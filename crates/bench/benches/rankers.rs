@@ -1,0 +1,39 @@
+//! Criterion benchmarks of every ranker on the AAN-like corpus — the
+//! per-method cost column behind R-Table 2's timing numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scholar::Preset;
+use scholar_bench::SEED;
+
+fn bench_rankers(c: &mut Criterion) {
+    let corpus = Preset::AanLike.generate(SEED);
+    let mut group = c.benchmark_group("rankers_aan_like");
+    group.sample_size(10);
+    for ranker in scholar::evaluation_rankers() {
+        group.bench_function(ranker.name(), |b| b.iter(|| ranker.rank(&corpus)));
+    }
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    group.sample_size(10);
+    group.bench_function("tiny", |b| b.iter(|| Preset::Tiny.generate(SEED)));
+    group.bench_function("aan_like", |b| b.iter(|| Preset::AanLike.generate(SEED)));
+    group.finish();
+}
+
+fn bench_hetnet_build(c: &mut Criterion) {
+    let corpus = Preset::AanLike.generate(SEED);
+    let cfg = scholar::QRankConfig::default();
+    c.bench_function("hetnet_build_aan_like", |b| {
+        b.iter(|| scholar::core::HetNet::build(&corpus, &cfg))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rankers, bench_corpus_generation, bench_hetnet_build
+);
+criterion_main!(benches);

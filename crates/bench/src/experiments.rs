@@ -1,0 +1,609 @@
+//! One function per R-Table / R-Figure (DESIGN.md §4).
+
+use crate::{corpus, snapshot_at_frac, FUTURE_WINDOW_YEARS, SEED};
+use scholar::corpus::stats::corpus_stats;
+use scholar::eval::experiment::{run_award_experiment, Experiment};
+use scholar::eval::groundtruth::{award_set, future_citations};
+use scholar::eval::metrics::kendall_tau_b;
+use scholar::eval::series::SeriesSet;
+use scholar::eval::tables::{fmt_metric, fmt_seconds, Table};
+use scholar::{
+    Ablation, CitationCount, PageRank, Preset, QRank, QRankConfig, Ranker,
+    TimeWeightedPageRank,
+};
+use std::time::Instant;
+
+/// R-Table 1: dataset statistics per preset.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "R-Table 1: dataset statistics (synthetic substitutes, DESIGN.md §5)",
+        &[
+            "dataset", "articles", "citations", "authors", "venues", "years", "refs/art",
+            "gini", "alpha",
+        ],
+    );
+    for preset in Preset::evaluation_suite() {
+        let c = corpus(preset);
+        let s = corpus_stats(&c);
+        t.row(vec![
+            preset.name().to_string(),
+            s.articles.to_string(),
+            s.citations.to_string(),
+            s.authors.to_string(),
+            s.venues.to_string(),
+            format!("{}-{}", s.first_year, s.last_year),
+            format!("{:.1}", s.mean_references),
+            format!("{:.3}", s.citation_gini),
+            s.citation_alpha.map_or("n/a".into(), |a| format!("{a:.2}")),
+        ]);
+    }
+    t
+}
+
+/// R-Table 2: ranking quality vs future-citation ground truth, one block
+/// per dataset preset.
+pub fn table2() -> Vec<Table> {
+    Preset::evaluation_suite()
+        .iter()
+        .map(|&preset| {
+            let c = corpus(preset);
+            let snap = snapshot_at_frac(&c, 0.8);
+            let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+            let exp = Experiment { corpus: &snap.corpus, truth: &truth };
+            let rows = exp.run(&scholar::evaluation_rankers());
+            let mut t = Table::new(
+                &format!(
+                    "R-Table 2 [{}]: future-citation prediction ({} articles at cutoff {}, {})",
+                    preset.name(),
+                    snap.corpus.num_articles(),
+                    snap.cutoff,
+                    truth.description
+                ),
+                &["method", "pairwise", "spearman", "kendall", "ndcg@50", "time"],
+            );
+            for r in rows {
+                t.row(vec![
+                    r.method,
+                    fmt_metric(r.pairwise_accuracy),
+                    fmt_metric(r.spearman),
+                    fmt_metric(r.kendall),
+                    fmt_metric(r.ndcg_at_50),
+                    fmt_seconds(r.seconds),
+                ]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// R-Table 3: award-article retrieval (planted-merit awards).
+pub fn table3() -> Table {
+    let c = corpus(Preset::AanLike);
+    let awards = award_set(&c, 5, 0.02);
+    let k = awards.len().max(10);
+    let rows = run_award_experiment(&c, &awards, &scholar::evaluation_rankers(), k);
+    let mut t = Table::new(
+        &format!(
+            "R-Table 3 [AAN-like]: award-article retrieval ({} awards, k = {k})",
+            awards.len()
+        ),
+        &["method", "P@k", "R@k", "MRR"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.method,
+            fmt_metric(r.precision_at_k),
+            fmt_metric(r.recall_at_k),
+            fmt_metric(r.mrr),
+        ]);
+    }
+    t
+}
+
+fn robustness_rankers() -> Vec<Box<dyn Ranker>> {
+    vec![
+        Box::new(CitationCount),
+        Box::new(PageRank::default()),
+        Box::new(TimeWeightedPageRank::default()),
+        Box::new(QRank::default()),
+    ]
+}
+
+/// R-Table 4: robustness over time — Kendall τ between the ranking
+/// computed at a cutoff and the final ranking, over the articles visible
+/// at the cutoff.
+pub fn table4() -> Table {
+    let c = corpus(Preset::AanLike);
+    let fracs = [0.6, 0.7, 0.8, 0.9];
+    let rankers = robustness_rankers();
+    let final_scores: Vec<Vec<f64>> = rankers.iter().map(|r| r.rank(&c)).collect();
+    let mut t = Table::new(
+        "R-Table 4 [AAN-like]: rank stability — Kendall tau(ranking at cutoff, final ranking)",
+        &["method", "60%", "70%", "80%", "90%"],
+    );
+    let mut rows: Vec<Vec<String>> =
+        rankers.iter().map(|r| vec![r.name()]).collect();
+    for &frac in &fracs {
+        let snap = snapshot_at_frac(&c, frac);
+        for (ri, ranker) in rankers.iter().enumerate() {
+            let snap_scores = ranker.rank(&snap.corpus);
+            // Gather the final scores of the same (visible) articles.
+            let final_sub: Vec<f64> = (0..snap.corpus.num_articles())
+                .map(|i| {
+                    let full = snap.full_of[i];
+                    final_scores[ri][full.index()]
+                })
+                .collect();
+            let tau = kendall_tau_b(&snap_scores, &final_sub);
+            rows[ri].push(fmt_metric(tau));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
+/// R-Table 5: component ablation on future-citation accuracy.
+pub fn table5() -> Table {
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let base = QRankConfig::default();
+    let mut t = Table::new(
+        "R-Table 5 [AAN-like]: ablation of QRank components (pairwise accuracy)",
+        &["variant", "pairwise", "spearman"],
+    );
+    for ab in Ablation::all() {
+        let scores = ab.rank(&base, &snap.corpus);
+        t.row(vec![
+            ab.name().to_string(),
+            fmt_metric(scholar::eval::metrics::pairwise_accuracy_auto(
+                &truth.values,
+                &scores,
+                0xfeed,
+            )),
+            fmt_metric(scholar::eval::metrics::spearman(&truth.values, &scores)),
+        ]);
+    }
+    t
+}
+
+/// Pairwise accuracy of one config against the standard AAN-like split.
+fn accuracy_of(cfg: &QRankConfig, snap_corpus: &scholar::Corpus, truth: &[f64]) -> f64 {
+    let scores = QRank::new(cfg.clone()).rank(snap_corpus);
+    scholar::eval::metrics::pairwise_accuracy_auto(truth, &scores, 0xfeed)
+}
+
+/// R-Fig 1: sensitivity to the edge-decay rate ρ.
+pub fn fig1() -> SeriesSet {
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let rhos = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.6];
+    let mut acc = Vec::new();
+    for &rho in &rhos {
+        acc.push(accuracy_of(&QRankConfig::default().with_rho(rho), &snap.corpus, &truth.values));
+    }
+    let mut fig = SeriesSet::new(
+        "R-Fig 1 [AAN-like]: pairwise accuracy vs edge-decay rho",
+        "rho",
+        rhos.to_vec(),
+    );
+    fig.add("QRank", acc);
+    fig
+}
+
+/// R-Fig 2: sensitivity over the (λ_P, λ_V, λ_U) simplex (step 0.2).
+/// Rendered as one series per λ_V with λ_P on the x-axis.
+pub fn fig2() -> SeriesSet {
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let steps = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut fig = SeriesSet::new(
+        "R-Fig 2 [AAN-like]: pairwise accuracy over the lambda simplex (lambda_U = 1 - P - V)",
+        "lambda_P",
+        steps.to_vec(),
+    );
+    for &lv in &steps {
+        let mut series = Vec::new();
+        for &lp in &steps {
+            let lu = 1.0 - lp - lv;
+            if lu < -1e-9 {
+                series.push(f64::NAN);
+            } else {
+                let cfg = QRankConfig::default().with_lambdas(lp, lv, lu.max(0.0));
+                series.push(accuracy_of(&cfg, &snap.corpus, &truth.values));
+            }
+        }
+        fig.add(&format!("lambda_V={lv:.1}"), series);
+    }
+    fig
+}
+
+/// R-Fig 3: convergence — L1 residual per iteration for PageRank, TWPR
+/// (inner walk), and QRank's outer reinforcement loop.
+pub fn fig3() -> SeriesSet {
+    let c = corpus(Preset::AanLike);
+    let max_pts = 30usize;
+    let pad = |mut v: Vec<f64>| -> Vec<f64> {
+        v.truncate(max_pts);
+        while v.len() < max_pts {
+            v.push(f64::NAN);
+        }
+        v
+    };
+    let (_, pr_diag) = PageRank::default().rank_with_diagnostics(&c);
+    let (_, twpr_diag) = TimeWeightedPageRank::default().rank_with_diagnostics(&c);
+    let qr = QRank::default().run(&c);
+    let mut fig = SeriesSet::new(
+        "R-Fig 3 [AAN-like]: L1 residual by iteration",
+        "iteration",
+        (1..=max_pts).map(|i| i as f64).collect(),
+    );
+    fig.add("PageRank", pad(pr_diag.residuals));
+    fig.add("TWPR", pad(twpr_diag.residuals));
+    fig.add("QRank outer", pad(qr.outer.residuals));
+    fig
+}
+
+/// R-Fig 4a: wall-time vs corpus size (citation-edge count) for PageRank
+/// and QRank. R-Fig 4b: wall-time vs thread count for the article walk on
+/// the MAG-like corpus.
+pub fn fig4() -> (SeriesSet, SeriesSet) {
+    // --- 4a: size scaling. ---
+    let rates = [40.0, 80.0, 160.0, 300.0];
+    let mut edges_axis = Vec::new();
+    let mut pr_times = Vec::new();
+    let mut qr_times = Vec::new();
+    for &rate in &rates {
+        let cfg = scholar::GeneratorConfig {
+            initial_articles_per_year: rate,
+            ..Preset::MagLike.config(SEED)
+        };
+        let c = scholar::corpus::CorpusGenerator::new(cfg).generate();
+        edges_axis.push(c.num_citations() as f64);
+        let t0 = Instant::now();
+        let _ = PageRank::default().rank(&c);
+        pr_times.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let _ = QRank::default().rank(&c);
+        qr_times.push(t1.elapsed().as_secs_f64());
+    }
+    let mut fig_a = SeriesSet::new(
+        "R-Fig 4a [MAG-like family]: wall seconds vs citation count",
+        "citations",
+        edges_axis,
+    );
+    fig_a.add("PageRank", pr_times);
+    fig_a.add("QRank", qr_times);
+
+    // --- 4b: thread scaling of the walk kernel itself (graph build and
+    // operator setup excluded — those are one-time costs). ---
+    let c = corpus(Preset::MagLike);
+    let g = c.citation_graph();
+    let op = sgraph::RowStochastic::new(&g);
+    let n = g.len();
+    let mut x = vec![1.0; n];
+    sgraph::stochastic::normalize_l1(&mut x);
+    let mut y = vec![0.0; n];
+    let steps = 50;
+    let threads = [1usize, 2, 4, 8];
+    let mut times = Vec::new();
+    for &th in &threads {
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            op.apply_parallel(&x, &mut y, 0.85, &sgraph::JumpVector::Uniform, th);
+            std::mem::swap(&mut x, &mut y);
+        }
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let mut fig_b = SeriesSet::new(
+        &format!("R-Fig 4b [MAG-like]: {steps} walk steps ({} edges), wall seconds vs threads", g.num_edges()),
+        "threads",
+        threads.iter().map(|&t| t as f64).collect(),
+    );
+    fig_b.add("walk kernel", times);
+    (fig_a, fig_b)
+}
+
+/// R-Fig 5: cold start — pairwise accuracy restricted to articles at most
+/// `k` years old at the cutoff, per method.
+pub fn fig5() -> SeriesSet {
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let ages: Vec<i32> = (1..=8).collect();
+    let rankers: Vec<Box<dyn Ranker>> = scholar::evaluation_rankers();
+    // Pre-rank once per method; slice per age bucket.
+    let all_scores: Vec<Vec<f64>> = rankers.iter().map(|r| r.rank(&snap.corpus)).collect();
+    let mut fig = SeriesSet::new(
+        "R-Fig 5 [AAN-like]: pairwise accuracy on articles <= k years old at cutoff",
+        "max age (years)",
+        ages.iter().map(|&a| a as f64).collect(),
+    );
+    for (ri, ranker) in rankers.iter().enumerate() {
+        let mut series = Vec::new();
+        for &age in &ages {
+            let keep: Vec<usize> = snap
+                .corpus
+                .articles()
+                .iter()
+                .filter(|a| snap.cutoff - a.year < age)
+                .map(|a| a.id.index())
+                .collect();
+            let sub_truth: Vec<f64> = keep.iter().map(|&i| truth.values[i]).collect();
+            let sub_scores: Vec<f64> = keep.iter().map(|&i| all_scores[ri][i]).collect();
+            series.push(scholar::eval::metrics::pairwise_accuracy_auto(
+                &sub_truth, &sub_scores, 0xfeed,
+            ));
+        }
+        fig.add(&ranker.name(), series);
+    }
+    fig
+}
+
+/// R-Fig 7: robustness to citation sparsity — Kendall τ between each
+/// method's ranking on a subsampled corpus and its ranking on the full
+/// corpus, as the kept fraction of citations varies.
+pub fn fig7() -> SeriesSet {
+    let c = corpus(Preset::AanLike);
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let rankers = robustness_rankers();
+    let full_scores: Vec<Vec<f64>> = rankers.iter().map(|r| r.rank(&c)).collect();
+    let mut fig = SeriesSet::new(
+        "R-Fig 7 [AAN-like]: rank stability under citation subsampling (tau vs full ranking)",
+        "kept fraction",
+        fractions.to_vec(),
+    );
+    for (ri, ranker) in rankers.iter().enumerate() {
+        let mut series = Vec::new();
+        for &f in &fractions {
+            let sparse = scholar::corpus::perturb::sample_citations(&c, f, SEED);
+            let scores = ranker.rank(&sparse);
+            series.push(kendall_tau_b(&scores, &full_scores[ri]));
+        }
+        fig.add(&ranker.name(), series);
+    }
+    fig
+}
+
+/// R-Fig 8: incremental updates — inner-walk iterations needed per yearly
+/// corpus growth step, cold start vs warm start from the previous year's
+/// scores.
+pub fn fig8() -> SeriesSet {
+    use scholar::corpus::snapshot_until;
+    let c = corpus(Preset::AanLike);
+    let (_, last) = c.year_range().unwrap();
+    let years: Vec<i32> = ((last - 6)..=last).collect();
+    let config = scholar::QRankConfig::default();
+
+    let mut cold_iters = Vec::new();
+    let mut warm_iters = Vec::new();
+    let mut prev: Option<(scholar::corpus::Snapshot, Vec<f64>)> = None;
+    for &y in &years {
+        let snap = snapshot_until(&c, y);
+        let cold = QRank::new(config.clone()).run(&snap.corpus);
+        cold_iters.push(cold.twpr_diagnostics.iterations as f64);
+        match &prev {
+            None => warm_iters.push(f64::NAN),
+            Some((prev_snap, prev_scores)) => {
+                // Map last year's scores into this year's id space.
+                let mut warm = vec![0.0; snap.corpus.num_articles()];
+                for (i, &score) in prev_scores.iter().enumerate() {
+                    let full_id = prev_snap.full_of[i];
+                    if let Some(id) = snap.to_snapshot(full_id) {
+                        warm[id.index()] = score;
+                    }
+                }
+                let warm_run = QRank::new(config.clone()).run_warm(&snap.corpus, Some(warm));
+                warm_iters.push(warm_run.twpr_diagnostics.iterations as f64);
+            }
+        }
+        prev = Some((snap, cold.article_scores));
+    }
+    let mut fig = SeriesSet::new(
+        "R-Fig 8 [AAN-like]: inner-walk iterations per yearly update, cold vs warm start",
+        "snapshot year",
+        years.iter().map(|&y| y as f64).collect(),
+    );
+    fig.add("cold start", cold_iters);
+    fig.add("warm start", warm_iters);
+    fig
+}
+
+/// R-Table 6: extended baselines (bibliometric normalizations and the
+/// Monte-Carlo PageRank approximation) on the standard AAN-like split.
+pub fn table6() -> Table {
+    use scholar::rank::{
+        AgeNormalizedCitations, FusedRanker, FusionRule, MonteCarloPageRank, RecentCitations,
+        RescaledRanker,
+    };
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let exp = Experiment { corpus: &snap.corpus, truth: &truth };
+    let rankers: Vec<Box<dyn Ranker>> = vec![
+        Box::new(CitationCount),
+        Box::new(AgeNormalizedCitations::default()),
+        Box::new(RecentCitations::default()),
+        Box::new(MonteCarloPageRank::default()),
+        Box::new(PageRank::default()),
+        Box::new(RescaledRanker::new(Box::new(PageRank::default()), 3)),
+        Box::new(TimeWeightedPageRank::default()),
+        Box::new(QRank::default()),
+        Box::new(FusedRanker::new(
+            vec![
+                Box::new(QRank::default()),
+                Box::new(RecentCitations::default()),
+            ],
+            FusionRule::default(),
+        )),
+    ];
+    let rows = exp.run(&rankers);
+    let mut t = Table::new(
+        "R-Table 6 [AAN-like]: extended baselines, future-citation prediction",
+        &["method", "pairwise", "spearman", "kendall", "ndcg@50", "time"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.method,
+            fmt_metric(r.pairwise_accuracy),
+            fmt_metric(r.spearman),
+            fmt_metric(r.kendall),
+            fmt_metric(r.ndcg_at_50),
+            fmt_seconds(r.seconds),
+        ]);
+    }
+    t
+}
+
+/// R-Table 2b: paired-bootstrap significance of each method's Spearman
+/// advantage over PageRank on the AAN-like future-citation split.
+pub fn significance() -> Table {
+    use scholar::eval::significance::{paired_bootstrap, BootstrapMetric};
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+    let baseline = PageRank::default().rank(&snap.corpus);
+    let mut t = Table::new(
+        "R-Table 2b [AAN-like]: paired bootstrap (Spearman delta vs PageRank, 1000 replicates)",
+        &["method", "delta", "95% CI low", "95% CI high", "p", "significant"],
+    );
+    for ranker in scholar::evaluation_rankers() {
+        if ranker.name() == "PageRank" {
+            continue;
+        }
+        let scores = ranker.rank(&snap.corpus);
+        let res = paired_bootstrap(
+            &truth.values,
+            &scores,
+            &baseline,
+            BootstrapMetric::Spearman,
+            1000,
+            0xb007,
+        );
+        t.row(vec![
+            ranker.name(),
+            format!("{:+.4}", res.observed_delta),
+            format!("{:+.4}", res.ci_low),
+            format!("{:+.4}", res.ci_high),
+            format!("{:.3}", res.p_value),
+            if res.significant() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t
+}
+
+/// R-Fig 9: solver comparison — L1 residual per iteration/sweep for power
+/// iteration vs Gauss–Seidel on the AAN-like citation graph.
+pub fn fig9() -> SeriesSet {
+    use sgraph::solver::{gauss_seidel, GaussSeidelOpts};
+    use sgraph::stochastic::PowerIterationOpts;
+    let c = corpus(Preset::AanLike);
+    let g = c.citation_graph();
+    let power = sgraph::RowStochastic::new(&g).stationary(&PowerIterationOpts {
+        tol: 1e-12,
+        ..Default::default()
+    });
+    let gs = gauss_seidel(&g, &GaussSeidelOpts { tol: 1e-12, ..Default::default() });
+    let max_pts = 40usize.min(power.residuals.len().max(gs.residuals.len()));
+    let pad = |mut v: Vec<f64>| -> Vec<f64> {
+        v.truncate(max_pts);
+        while v.len() < max_pts {
+            v.push(f64::NAN);
+        }
+        v
+    };
+    let mut fig = SeriesSet::new(
+        "R-Fig 9 [AAN-like]: solver comparison, L1 residual per iteration (d = 0.85)",
+        "iteration",
+        (1..=max_pts).map(|i| i as f64).collect(),
+    );
+    fig.add("power iteration", pad(power.residuals));
+    fig.add("Gauss-Seidel", pad(gs.residuals));
+    fig
+}
+
+/// R-Table 8: temporal cross-validation — the R-Table 2 evaluation
+/// repeated at five cutoffs (60%–90% of the timeline), mean ± std per
+/// method. Guards against a single lucky split.
+pub fn table8() -> Table {
+    let c = corpus(Preset::AanLike);
+    let rows = scholar::eval::run_temporal_cv(
+        &c,
+        &scholar::evaluation_rankers(),
+        &[0.6, 0.675, 0.75, 0.825, 0.9],
+        FUTURE_WINDOW_YEARS,
+    );
+    let mut t = Table::new(
+        "R-Table 8 [AAN-like]: temporal cross-validation over 5 cutoffs (mean ± std)",
+        &["method", "pairwise", "spearman", "folds"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.method,
+            format!("{:.4} ± {:.4}", r.mean_pairwise, r.std_pairwise),
+            format!("{:.4} ± {:.4}", r.mean_spearman, r.std_spearman),
+            r.folds.to_string(),
+        ]);
+    }
+    t
+}
+
+/// R-Table 7: score-distribution concentration per method (AAN-like).
+pub fn table7() -> Table {
+    let c = corpus(Preset::AanLike);
+    let mut t = Table::new(
+        "R-Table 7 [AAN-like]: score concentration per method",
+        &["method", "gini", "top1% mass", "top10% mass", "max/mean", "dead tail"],
+    );
+    for ranker in scholar::evaluation_rankers() {
+        let scores = ranker.rank(&c);
+        let Some(s) = scholar::eval::score_stats::score_stats(&scores) else {
+            continue;
+        };
+        t.row(vec![
+            ranker.name(),
+            format!("{:.3}", s.gini),
+            format!("{:.3}", s.top1pct_mass),
+            format!("{:.3}", s.top10pct_mass),
+            format!("{:.0}", s.max_over_mean),
+            format!("{:.3}", s.dead_tail_fraction),
+        ]);
+    }
+    t
+}
+
+/// R-Fig 6: sensitivity to damping d and jump recency τ.
+pub fn fig6() -> (SeriesSet, SeriesSet) {
+    let c = corpus(Preset::AanLike);
+    let snap = snapshot_at_frac(&c, 0.8);
+    let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
+
+    let dampings = [0.5, 0.65, 0.8, 0.85, 0.9, 0.95];
+    let mut d_acc = Vec::new();
+    for &d in &dampings {
+        d_acc.push(accuracy_of(&QRankConfig::default().with_damping(d), &snap.corpus, &truth.values));
+    }
+    let mut fig_d = SeriesSet::new(
+        "R-Fig 6a [AAN-like]: pairwise accuracy vs damping",
+        "damping",
+        dampings.to_vec(),
+    );
+    fig_d.add("QRank", d_acc);
+
+    let taus = [0.0, 0.025, 0.05, 0.1, 0.2, 0.4];
+    let mut t_acc = Vec::new();
+    for &tau in &taus {
+        t_acc.push(accuracy_of(&QRankConfig::default().with_tau(tau), &snap.corpus, &truth.values));
+    }
+    let mut fig_t = SeriesSet::new(
+        "R-Fig 6b [AAN-like]: pairwise accuracy vs jump recency tau",
+        "tau",
+        taus.to_vec(),
+    );
+    fig_t.add("QRank", t_acc);
+    (fig_d, fig_t)
+}

@@ -1,0 +1,550 @@
+//! Subcommand implementations. Every command writes human output to a
+//! caller-provided sink so the logic is unit-testable.
+
+use crate::args::Args;
+use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions};
+use scholar::corpus::stats::corpus_stats;
+use scholar::corpus::{snapshot_until, Preset};
+use scholar::eval::groundtruth::future_citations;
+use scholar::eval::tables::{fmt_metric, fmt_seconds, Table};
+use scholar::eval::Experiment;
+use scholar::rank::personalized::{related_articles, PersonalizedConfig};
+use scholar::rank::scores::top_k;
+use scholar::{Corpus, QRank, QRankConfig, Ranker};
+use std::io::Write;
+use std::path::Path;
+
+type CmdResult = Result<(), String>;
+
+fn wr<W: Write>(out: &mut W, text: std::fmt::Arguments<'_>) -> CmdResult {
+    out.write_fmt(text).map_err(|e| e.to_string())
+}
+
+macro_rules! outln {
+    ($out:expr, $($arg:tt)*) => {
+        wr($out, format_args!("{}\n", format_args!($($arg)*)))?
+    };
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    jsonl::read_jsonl_file(Path::new(path), &LoadOptions::default())
+        .map_err(|e| format!("cannot load '{path}': {e}"))
+}
+
+/// Read the QRank configuration: `--config file.json` (partial JSON —
+/// missing fields keep their defaults) or the built-in defaults.
+fn qrank_config(args: &Args) -> Result<QRankConfig, String> {
+    let Some(path) = args.get("config") else {
+        return Ok(QRankConfig::default());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read config '{path}': {e}"))?;
+    let cfg: QRankConfig =
+        serde_json::from_str(&text).map_err(|e| format!("bad config '{path}': {e}"))?;
+    cfg.validate().map_err(|e| format!("invalid config '{path}': {e}"))?;
+    Ok(cfg)
+}
+
+/// `scholar generate --preset tiny --seed 1 --out corpus.jsonl`
+pub fn generate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let preset = match args.get("preset").unwrap_or("tiny") {
+        "tiny" => Preset::Tiny,
+        "aan" => Preset::AanLike,
+        "dblp" => Preset::DblpLike,
+        "mag" => Preset::MagLike,
+        other => return Err(format!("unknown preset '{other}' (tiny|aan|dblp|mag)")),
+    };
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let out_path = args.get("out").ok_or("missing --out FILE")?;
+    let corpus = preset.generate(seed);
+    jsonl::write_jsonl_file(&corpus, Path::new(out_path)).map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "wrote {}: {} articles, {} citations",
+        out_path,
+        corpus.num_articles(),
+        corpus.num_citations()
+    );
+    Ok(())
+}
+
+/// `scholar stats corpus.jsonl`
+pub fn stats<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    outln!(out, "{}", corpus_stats(&corpus));
+    let report = scholar::corpus::validate::quality_report(&corpus);
+    outln!(
+        out,
+        "\ndata quality: {} time-travel citations, {} authorless, {} reference-less",
+        report.time_travel_citations,
+        report.articles_without_authors,
+        report.articles_without_references
+    );
+    Ok(())
+}
+
+fn ranker_by_name(name: &str) -> Result<Box<dyn Ranker>, String> {
+    Ok(match name {
+        "qrank" => Box::new(QRank::default()),
+        "twpr" => Box::new(scholar::TimeWeightedPageRank::default()),
+        "pagerank" => Box::new(scholar::PageRank::default()),
+        "cc" => Box::new(scholar::CitationCount),
+        "hits" => Box::new(scholar::Hits::default()),
+        "citerank" => Box::new(scholar::CiteRank::default()),
+        "futurerank" => Box::new(scholar::FutureRank::default()),
+        "prank" => Box::new(scholar::PRank::default()),
+        other => {
+            return Err(format!(
+                "unknown method '{other}' (qrank|twpr|pagerank|cc|hits|citerank|futurerank|prank)"
+            ))
+        }
+    })
+}
+
+/// `scholar rank corpus.jsonl --method qrank --top 20 [--explain] [--json]`
+pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let method = args.get("method").unwrap_or("qrank");
+    let top: usize = args.get_parsed("top", 20)?;
+    let cfg = qrank_config(args)?;
+    let ranker: Box<dyn Ranker> = if method == "qrank" {
+        Box::new(QRank::new(cfg.clone()))
+    } else {
+        ranker_by_name(method)?
+    };
+    let scores = ranker.rank(&corpus);
+    let best = top_k(&scores, top);
+
+    if args.has_switch("json") {
+        let rows: Vec<serde_json::Value> = best
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let a = &corpus.articles()[i];
+                serde_json::json!({
+                    "rank": pos + 1,
+                    "id": a.id.0,
+                    "title": a.title,
+                    "year": a.year,
+                    "venue": corpus.venue(a.venue).name,
+                    "score": scores[i],
+                })
+            })
+            .collect();
+        outln!(out, "{}", serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+
+    outln!(out, "top {} articles by {}:", best.len(), ranker.name());
+    for (pos, &i) in best.iter().enumerate() {
+        let a = &corpus.articles()[i];
+        outln!(
+            out,
+            "{:>3}. [{:.6}] {} ({}, {})",
+            pos + 1,
+            scores[i],
+            a.title,
+            a.year,
+            corpus.venue(a.venue).name
+        );
+    }
+
+    if args.has_switch("explain") {
+        if method != "qrank" {
+            return Err("--explain is only available for --method qrank".into());
+        }
+        let result = QRank::new(cfg.clone()).run(&corpus);
+        let explainer = scholar::core::Explainer::new(&corpus, &cfg, &result);
+        outln!(out, "\nexplanations:");
+        for &i in best.iter().take(5) {
+            let e = explainer.explain(scholar::corpus::ArticleId(i as u32), 3, &cfg);
+            wr(out, format_args!("{}", e.render(&corpus)))?;
+        }
+    }
+    Ok(())
+}
+
+/// `scholar related corpus.jsonl --seeds 12,99 --top 10`
+pub fn related<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let seeds_raw = args.get("seeds").ok_or("missing --seeds ID[,ID...]")?;
+    let top: usize = args.get_parsed("top", 10)?;
+    let mut seeds = Vec::new();
+    for tok in seeds_raw.split(',') {
+        let id: u32 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid article id '{tok}' in --seeds"))?;
+        if id as usize >= corpus.num_articles() {
+            return Err(format!(
+                "article id {id} out of range (corpus has {})",
+                corpus.num_articles()
+            ));
+        }
+        seeds.push(scholar::corpus::ArticleId(id));
+    }
+    outln!(out, "seeds:");
+    for &s in &seeds {
+        let a = corpus.article(s);
+        outln!(out, "  - [{}] {} ({})", s, a.title, a.year);
+    }
+    let hits = related_articles(&corpus, &seeds, top, &PersonalizedConfig::default());
+    outln!(out, "\nrelated articles (personalized lift over global PageRank):");
+    for (pos, (id, lift)) in hits.iter().enumerate() {
+        let a = corpus.article(*id);
+        outln!(out, "{:>3}. [{:+.3e}] {} ({})", pos + 1, lift, a.title, a.year);
+    }
+    Ok(())
+}
+
+/// `scholar analyze corpus.jsonl`
+pub fn analyze<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    use scholar::corpus::analysis::{
+        citation_age_histogram, h_index, mean_citation_age, self_citation_rate,
+        venue_insularity,
+    };
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    outln!(out, "{}", corpus_stats(&corpus));
+
+    if let Some(age) = mean_citation_age(&corpus) {
+        outln!(out, "\nmean citation age: {age:.1} years");
+        let hist = citation_age_histogram(&corpus);
+        let total: usize = hist.iter().sum();
+        for (a, &n) in hist.iter().enumerate().take(8) {
+            let bar = "#".repeat((n * 40 / total.max(1)).min(40));
+            outln!(out, "  {a:>2}y {n:>6} {bar}");
+        }
+    }
+    if let Some(rate) = self_citation_rate(&corpus) {
+        outln!(out, "self-citation rate: {:.1}%", rate * 100.0);
+    }
+    let ins = venue_insularity(&corpus);
+    let by_venue = corpus.articles_by_venue();
+    let mut venues: Vec<usize> = (0..corpus.num_venues()).collect();
+    venues.sort_by_key(|&v| std::cmp::Reverse(by_venue[v].len()));
+    outln!(out, "\nlargest venues (insularity = in-venue citation share):");
+    for &v in venues.iter().take(5) {
+        outln!(
+            out,
+            "  {:<24} {:>6} articles, {:>5.1}% insular",
+            corpus.venues()[v].name,
+            by_venue[v].len(),
+            ins[v] * 100.0
+        );
+    }
+    let h = h_index(&corpus);
+    let hf: Vec<f64> = h.iter().map(|&x| x as f64).collect();
+    outln!(out, "\ntop authors by within-corpus h-index:");
+    for idx in top_k(&hf, 5) {
+        outln!(out, "  h={:<3} {}", h[idx], corpus.authors()[idx].name);
+    }
+    Ok(())
+}
+
+/// `scholar coldstart corpus.jsonl --venue NAME --authors NAME[,NAME...]`
+pub fn coldstart<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let venue_name = args.get("venue").ok_or("missing --venue NAME")?;
+    let venue = corpus
+        .venues()
+        .iter()
+        .find(|v| v.name == venue_name)
+        .map(|v| v.id)
+        .ok_or_else(|| format!("unknown venue '{venue_name}'"))?;
+    let mut authors = Vec::new();
+    if let Some(names) = args.get("authors") {
+        for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let id = corpus
+                .authors()
+                .iter()
+                .find(|u| u.name == name)
+                .map(|u| u.id)
+                .ok_or_else(|| format!("unknown author '{name}'"))?;
+            authors.push(id);
+        }
+    }
+    let cfg = qrank_config(args)?;
+    let result = QRank::new(cfg.clone()).run(&corpus);
+    let scorer =
+        scholar::ColdStartScorer::new(&result, cfg.lambda_venue, cfg.lambda_author);
+    let score = scorer.score(venue, &authors);
+    let pct = scorer.percentile_among(score, &result, &corpus) * 100.0;
+    outln!(
+        out,
+        "a new submission at '{venue_name}' by [{}]",
+        authors
+            .iter()
+            .map(|&u| corpus.author(u).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    outln!(out, "  cold-start score: {score:.3e}");
+    outln!(out, "  would enter the index at the {pct:.1}th percentile");
+    Ok(())
+}
+
+/// `scholar eval corpus.jsonl --cutoff-frac 0.8 --window 5`
+pub fn eval<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let frac: f64 = args.get_parsed("cutoff-frac", 0.8)?;
+    let window: i32 = args.get_parsed("window", 5)?;
+    if !(0.0..=1.0).contains(&frac) {
+        return Err("--cutoff-frac must be in [0, 1]".into());
+    }
+    let (first, last) = corpus.year_range().ok_or("corpus is empty")?;
+    let cutoff = first + ((last - first) as f64 * frac) as i32;
+    let snap = snapshot_until(&corpus, cutoff);
+    if snap.corpus.num_articles() < 10 {
+        return Err(format!("only {} articles at cutoff {cutoff}", snap.corpus.num_articles()));
+    }
+    let truth = future_citations(&corpus, &snap, window);
+    let exp = Experiment { corpus: &snap.corpus, truth: &truth };
+    let rows = exp.run(&scholar::evaluation_rankers());
+    let mut table = Table::new(
+        &format!(
+            "future-citation prediction: {} articles at cutoff {cutoff}, {}",
+            snap.corpus.num_articles(),
+            truth.description
+        ),
+        &["method", "pairwise", "spearman", "kendall", "ndcg@50", "time"],
+    );
+    for r in rows {
+        table.row(vec![
+            r.method,
+            fmt_metric(r.pairwise_accuracy),
+            fmt_metric(r.spearman),
+            fmt_metric(r.kendall),
+            fmt_metric(r.ndcg_at_50),
+            fmt_seconds(r.seconds),
+        ]);
+    }
+    outln!(out, "{table}");
+    Ok(())
+}
+
+/// `scholar convert --from aan|mag ... --out FILE`
+pub fn convert<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let out_path = args.get("out").ok_or("missing --out FILE")?;
+    let corpus = match args.get("from") {
+        Some("aan") => {
+            let meta = args.get("meta").ok_or("missing --meta FILE")?;
+            let cites = args.get("cites").ok_or("missing --cites FILE")?;
+            aan::read_aan_files(Path::new(meta), Path::new(cites), &LoadOptions::default())
+                .map_err(|e| e.to_string())?
+        }
+        Some("mag") => {
+            let papers = args.get("papers").ok_or("missing --papers FILE")?;
+            let authors = args.get("authors").ok_or("missing --authors FILE")?;
+            let refs = args.get("refs").ok_or("missing --refs FILE")?;
+            mag::read_mag_files(
+                Path::new(papers),
+                Path::new(authors),
+                Path::new(refs),
+                &LoadOptions::default(),
+            )
+            .map_err(|e| e.to_string())?
+        }
+        Some(other) => return Err(format!("unknown source format '{other}' (aan|mag)")),
+        None => return Err("missing --from aan|mag".into()),
+    };
+    jsonl::write_jsonl_file(&corpus, Path::new(out_path)).map_err(|e| e.to_string())?;
+    outln!(
+        out,
+        "wrote {}: {} articles, {} citations, {} authors, {} venues",
+        out_path,
+        corpus.num_articles(),
+        corpus.num_citations(),
+        corpus.num_authors(),
+        corpus.num_venues()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scholar_cli_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run(argv: &[&str]) -> Result<String, String> {
+        let parsed = Args::parse(argv.iter().map(|s| s.to_string()))?;
+        let mut buf = Vec::new();
+        dispatch(&parsed, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn corpus_file(dir: &std::path::Path) -> String {
+        let path = dir.join("c.jsonl");
+        let c = Preset::Tiny.generate(5);
+        jsonl::write_jsonl_file(&c, &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_roundtrip() {
+        let dir = tmpdir();
+        let path = dir.join("gen.jsonl").to_string_lossy().into_owned();
+        let out = run(&["generate", "--preset", "tiny", "--seed", "3", "--out", &path]).unwrap();
+        assert!(out.contains("articles"));
+        let stats_out = run(&["stats", &path]).unwrap();
+        assert!(stats_out.contains("citations"));
+        assert!(stats_out.contains("data quality"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rank_text_and_json() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let text = run(&["rank", &path, "--method", "pagerank", "--top", "3"]).unwrap();
+        assert!(text.contains("top 3 articles by PageRank"));
+        let json = run(&["rank", &path, "--method", "cc", "--top", "2", "--json"]).unwrap();
+        let parsed: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0]["rank"], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rank_explain_requires_qrank() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let err = run(&["rank", &path, "--method", "cc", "--explain"]).unwrap_err();
+        assert!(err.contains("only available"));
+        let ok = run(&["rank", &path, "--method", "qrank", "--top", "2", "--explain"]).unwrap();
+        assert!(ok.contains("signal mix"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn related_finds_neighbors() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let out = run(&["related", &path, "--seeds", "0,1", "--top", "4"]).unwrap();
+        assert!(out.contains("related articles"));
+        assert!(out.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3', '4'])).count() >= 4);
+        let err = run(&["related", &path, "--seeds", "999999"]).unwrap_err();
+        assert!(err.contains("out of range"));
+        let err2 = run(&["related", &path, "--seeds", "abc"]).unwrap_err();
+        assert!(err2.contains("invalid article id"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_produces_table() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let out = run(&["eval", &path, "--cutoff-frac", "0.8", "--window", "5"]).unwrap();
+        assert!(out.contains("future-citation prediction"));
+        assert!(out.contains("QRank"));
+        assert!(out.contains("PageRank"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_aan_roundtrip() {
+        let dir = tmpdir();
+        let c = Preset::Tiny.generate(6);
+        let meta = dir.join("meta.txt");
+        let cites = dir.join("cites.txt");
+        std::fs::write(&meta, aan::write_metadata(&c)).unwrap();
+        std::fs::write(&cites, aan::write_citations(&c)).unwrap();
+        let out_path = dir.join("converted.jsonl").to_string_lossy().into_owned();
+        let out = run(&[
+            "convert",
+            "--from",
+            "aan",
+            "--meta",
+            &meta.to_string_lossy(),
+            "--cites",
+            &cites.to_string_lossy(),
+            "--out",
+            &out_path,
+        ])
+        .unwrap();
+        assert!(out.contains(&format!("{} articles", c.num_articles())));
+        let loaded = load_corpus(&out_path).unwrap();
+        assert_eq!(loaded.num_citations(), c.num_citations());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_prints_diagnostics() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let out = run(&["analyze", &path]).unwrap();
+        assert!(out.contains("mean citation age"));
+        assert!(out.contains("self-citation rate"));
+        assert!(out.contains("h-index"));
+        assert!(out.contains("insular"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coldstart_by_name() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        // Use names that exist in the generated corpus.
+        let out = run(&[
+            "coldstart",
+            &path,
+            "--venue",
+            "Venue-0000",
+            "--authors",
+            "Author-000000",
+        ])
+        .unwrap();
+        assert!(out.contains("cold-start score"));
+        assert!(out.contains("percentile"));
+        let err = run(&["coldstart", &path, "--venue", "Nope"]).unwrap_err();
+        assert!(err.contains("unknown venue"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_file_overrides_defaults() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let cfg_path = dir.join("cfg.json");
+        std::fs::write(
+            &cfg_path,
+            r#"{"lambda_article": 1.0, "lambda_venue": 0.0, "lambda_author": 0.0}"#,
+        )
+        .unwrap();
+        let out = run(&[
+            "rank", &path, "--method", "qrank", "--top", "3", "--config",
+            &cfg_path.to_string_lossy(),
+        ])
+        .unwrap();
+        assert!(out.contains("top 3 articles"));
+        // Invalid config is rejected with a clear message.
+        std::fs::write(&cfg_path, r#"{"lambda_article": 2.0}"#).unwrap();
+        let err = run(&[
+            "rank", &path, "--method", "qrank", "--config", &cfg_path.to_string_lossy(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid config"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run(&["nonsense"]).unwrap_err().contains("unknown command"));
+        assert!(run(&["rank", "/no/such/file.jsonl"]).unwrap_err().contains("cannot load"));
+        assert!(run(&["generate", "--preset", "bogus", "--out", "/tmp/x"])
+            .unwrap_err()
+            .contains("unknown preset"));
+        assert!(run(&["convert", "--out", "/tmp/x"]).unwrap_err().contains("--from"));
+        let help = run(&["help"]).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Library backing the `scholar` command-line tool.
+//!
+//! All command logic lives here (and is unit-tested here); `main.rs` is a
+//! thin dispatcher. Commands write to a generic `Write` sink so tests can
+//! capture output.
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+
+/// Dispatch a parsed command line, writing human output to `out`.
+pub fn dispatch<W: std::io::Write>(parsed: &Args, out: &mut W) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "generate" => commands::generate(parsed, out),
+        "stats" => commands::stats(parsed, out),
+        "rank" => commands::rank(parsed, out),
+        "related" => commands::related(parsed, out),
+        "coldstart" => commands::coldstart(parsed, out),
+        "analyze" => commands::analyze(parsed, out),
+        "eval" => commands::eval(parsed, out),
+        "convert" => commands::convert(parsed, out),
+        "" | "help" => {
+            writeln!(out, "{}", help_text()).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'scholar help')")),
+    }
+}
+
+/// The help screen.
+pub fn help_text() -> &'static str {
+    "scholar — query-independent scholarly article ranking
+
+USAGE: scholar <command> [args]
+
+COMMANDS:
+  generate  --preset tiny|aan|dblp|mag [--seed N] --out FILE
+            synthesize a corpus and write it as JSON lines
+  stats     CORPUS.jsonl
+            print corpus-level statistics
+  rank      CORPUS.jsonl [--method qrank|twpr|pagerank|cc|hits|citerank|futurerank|prank]
+            [--top N] [--explain] [--json]
+            rank every article, print the top N
+  related   CORPUS.jsonl --seeds ID[,ID...] [--top N]
+            personalized-PageRank related-article search from seed articles
+  coldstart CORPUS.jsonl --venue NAME [--authors NAME,NAME...]
+            score a not-yet-indexed submission from venue/author prestige
+  analyze   CORPUS.jsonl
+            bibliometric diagnostics: citation-age profile, self-citation
+            rate, venue insularity, h-index leaderboard
+
+Commands running QRank (rank, coldstart, eval) accept --config FILE with a
+partial QRankConfig as JSON; unspecified fields keep tuned defaults.
+  eval      CORPUS.jsonl [--cutoff-frac F] [--window YEARS]
+            hold out the last part of the timeline and compare all methods
+  convert   --from aan --meta META --cites CITES --out FILE
+            convert the AAN release format to JSON lines
+  convert   --from mag --papers P --authors A --refs R --out FILE
+            convert MAG-style TSV tables to JSON lines"
+}

@@ -1,0 +1,19 @@
+//! `scholar` — command-line interface to the qrank ranking stack.
+//! All logic lives in the library (`scholar_cli`); this is the
+//! process-boundary shim.
+
+fn main() {
+    let parsed = match scholar_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = scholar_cli::dispatch(&parsed, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

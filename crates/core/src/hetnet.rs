@@ -1,0 +1,122 @@
+//! The heterogeneous academic network QRank walks over.
+//!
+//! Built once per `(corpus, config)` pair; all five derived structures
+//! share the same exponential citation-age decay `exp(-ρ·Δt)` so the time
+//! model is consistent across layers (DESIGN.md §2.2).
+
+use crate::config::QRankConfig;
+use scholar_corpus::Corpus;
+use scholar_rank::TimeWeightedPageRank;
+use sgraph::{Bipartite, CsrGraph};
+
+/// All derived graphs of a corpus under one decay configuration.
+#[derive(Debug, Clone)]
+pub struct HetNet {
+    /// Article citation graph, edge weight `exp(-ρ·citation_age)`.
+    pub citation: CsrGraph,
+    /// Aggregated venue citation graph (decayed weights summed, venue
+    /// self-loops dropped).
+    pub venue_graph: CsrGraph,
+    /// Aggregated author citation graph (decayed × byline weights summed,
+    /// self-citations dropped per config).
+    pub author_graph: CsrGraph,
+    /// Author ↔ article bipartite with harmonic byline weights.
+    pub authorship: Bipartite,
+    /// Venue ↔ article bipartite with unit weights.
+    pub publication: Bipartite,
+}
+
+impl HetNet {
+    /// Build the network from a corpus.
+    pub fn build(corpus: &Corpus, config: &QRankConfig) -> Self {
+        let rho = config.twpr.rho;
+        let decay = |citing: &scholar_corpus::Article, cited: &scholar_corpus::Article| {
+            TimeWeightedPageRank::edge_weight(rho, (citing.year - cited.year) as f64)
+        };
+        HetNet {
+            citation: corpus.weighted_citation_graph(decay),
+            venue_graph: corpus.venue_graph(decay),
+            author_graph: corpus.author_graph(decay, config.drop_self_citations),
+            authorship: corpus.authorship_bipartite(),
+            publication: corpus.publication_bipartite(),
+        }
+    }
+
+    /// Number of articles.
+    pub fn num_articles(&self) -> usize {
+        self.citation.len()
+    }
+
+    /// Number of venues.
+    pub fn num_venues(&self) -> usize {
+        self.venue_graph.len()
+    }
+
+    /// Number of authors.
+    pub fn num_authors(&self) -> usize {
+        self.author_graph.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let v0 = b.venue("V0");
+        let v1 = b.venue("V1");
+        let u0 = b.author("U0");
+        let u1 = b.author("U1");
+        let a0 = b.add_article("a0", 1990, v0, vec![u0], vec![], None);
+        let a1 = b.add_article("a1", 2000, v0, vec![u0, u1], vec![a0], None);
+        b.add_article("a2", 2010, v1, vec![u1], vec![a0, a1], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn shapes_match_corpus() {
+        let c = corpus();
+        let net = HetNet::build(&c, &QRankConfig::default());
+        assert_eq!(net.num_articles(), 3);
+        assert_eq!(net.num_venues(), 2);
+        assert_eq!(net.num_authors(), 2);
+        assert_eq!(net.citation.num_edges(), 3);
+        assert_eq!(net.authorship.num_edges(), 4);
+        assert_eq!(net.publication.num_edges(), 3);
+    }
+
+    #[test]
+    fn decay_is_consistent_across_layers() {
+        let c = corpus();
+        let cfg = QRankConfig::default().with_rho(0.1);
+        let net = HetNet::build(&c, &cfg);
+        // Citation a1 -> a0 spans 10 years.
+        let w = net.citation.edge_weight(sgraph::NodeId(1), sgraph::NodeId(0)).unwrap();
+        assert!((w - (-1.0f64).exp()).abs() < 1e-12);
+        // Venue edge v1 -> v0 aggregates a2's two cross-venue citations:
+        // a2->a0 spans 20y, a2->a1 spans 10y.
+        let vw = net.venue_graph.edge_weight(sgraph::NodeId(1), sgraph::NodeId(0)).unwrap();
+        assert!((vw - ((-2.0f64).exp() + (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_zero_gives_unit_weights() {
+        let c = corpus();
+        let cfg = QRankConfig::default().with_rho(0.0);
+        let net = HetNet::build(&c, &cfg);
+        assert_eq!(net.citation.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn self_citation_config_respected() {
+        let c = corpus();
+        let keep = QRankConfig { drop_self_citations: false, ..Default::default() };
+        let net_keep = HetNet::build(&c, &keep);
+        let net_drop = HetNet::build(&c, &QRankConfig::default());
+        // a1 [u0,u1] cites a0 [u0]: u0->u0 self-citation exists only when kept.
+        assert!(net_keep.author_graph.has_edge(sgraph::NodeId(0), sgraph::NodeId(0)));
+        assert!(!net_drop.author_graph.has_edge(sgraph::NodeId(0), sgraph::NodeId(0)));
+    }
+}

@@ -1,0 +1,386 @@
+//! The QRank algorithm: time-weighted citation walk + venue/author mutual
+//! reinforcement.
+
+use crate::config::QRankConfig;
+use crate::hetnet::HetNet;
+use scholar_corpus::Corpus;
+use scholar_rank::diagnostics::Diagnostics;
+use scholar_rank::pagerank::{pagerank_on_graph, pagerank_on_graph_warm};
+use scholar_rank::{Ranker, TimeWeightedPageRank};
+use sgraph::stochastic::{l1_distance, normalize_l1};
+use sgraph::JumpVector;
+
+/// The QRank ranker. See the crate docs for the model.
+#[derive(Debug, Clone, Default)]
+pub struct QRank {
+    /// Parameters.
+    pub config: QRankConfig,
+}
+
+/// Everything QRank computes in one run.
+#[derive(Debug, Clone)]
+pub struct QRankResult {
+    /// Final article scores (sum 1) — the ranking.
+    pub article_scores: Vec<f64>,
+    /// Final venue scores (sum 1).
+    pub venue_scores: Vec<f64>,
+    /// Final author scores (sum 1).
+    pub author_scores: Vec<f64>,
+    /// The pure citation signal (TWPR stationary distribution), kept for
+    /// ablation and diagnosis.
+    pub twpr_scores: Vec<f64>,
+    /// Convergence of the inner TWPR walk.
+    pub twpr_diagnostics: Diagnostics,
+    /// Convergence of the outer mutual-reinforcement fixpoint.
+    pub outer: Diagnostics,
+}
+
+impl QRank {
+    /// QRank with the given configuration.
+    pub fn new(config: QRankConfig) -> Self {
+        config.assert_valid();
+        QRank { config }
+    }
+
+    /// Run the full framework.
+    pub fn run(&self, corpus: &Corpus) -> QRankResult {
+        self.run_warm(corpus, None)
+    }
+
+    /// Run with an optional warm start: article scores from a previous
+    /// run, already aligned with this corpus's article ids (scores for new
+    /// articles can be 0 — the vector is renormalized). Warm-starting the
+    /// inner citation walk is what makes incremental re-ranking after a
+    /// corpus update cheap (see [`crate::incremental`]).
+    pub fn run_warm(&self, corpus: &Corpus, warm_start: Option<Vec<f64>>) -> QRankResult {
+        let cfg = &self.config;
+        cfg.assert_valid();
+        let n = corpus.num_articles();
+        if n == 0 {
+            return QRankResult {
+                article_scores: Vec::new(),
+                venue_scores: vec![0.0; corpus.num_venues()],
+                author_scores: vec![0.0; corpus.num_authors()],
+                twpr_scores: Vec::new(),
+                twpr_diagnostics: Diagnostics::closed_form(),
+                outer: Diagnostics::closed_form(),
+            };
+        }
+
+        let net = HetNet::build(corpus, cfg);
+        let now = cfg.twpr.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
+
+        // ---- Stage 1: the three structural walks. ----
+        let jump = TimeWeightedPageRank::recency_jump(corpus, cfg.twpr.tau, now);
+        // A zero-mass warm start (e.g. every score fell outside the new
+        // corpus) would be rejected by the power iteration; drop it.
+        let warm = warm_start.filter(|w| w.len() == n && w.iter().sum::<f64>() > 0.0);
+        let (twpr_scores, twpr_diagnostics) =
+            pagerank_on_graph_warm(&net.citation, &cfg.twpr.pagerank, jump, warm);
+
+        let (mut sv, _) =
+            pagerank_on_graph(&net.venue_graph, &cfg.twpr.pagerank, JumpVector::Uniform);
+        let (mut su, _) =
+            pagerank_on_graph(&net.author_graph, &cfg.twpr.pagerank, JumpVector::Uniform);
+        normalize_l1(&mut sv);
+        normalize_l1(&mut su);
+
+        // ---- Stage 2: outer mutual-reinforcement fixpoint. ----
+        // Age-adaptive per-article weights: the citation signal of an
+        // article of age `a` has only matured by `g = 1 − exp(−a/σ)`; the
+        // remainder of its λ_P spills to the venue/author priors
+        // (proportionally to λ_V : λ_U), which exist from day one.
+        let sigma = cfg.maturity_years;
+        let prior_total = cfg.lambda_venue + cfg.lambda_author;
+        let weights: Vec<(f64, f64, f64)> = corpus
+            .articles()
+            .iter()
+            .map(|a| {
+                let g = if sigma > 0.0 {
+                    let age = (now - a.year).max(0) as f64;
+                    1.0 - (-age / sigma).exp()
+                } else {
+                    1.0
+                };
+                let spill = (1.0 - g) * cfg.lambda_article;
+                if prior_total > 0.0 {
+                    (
+                        cfg.lambda_article * g,
+                        cfg.lambda_venue + spill * (cfg.lambda_venue / prior_total),
+                        cfg.lambda_author + spill * (cfg.lambda_author / prior_total),
+                    )
+                } else {
+                    // No priors configured: nothing to spill into.
+                    (cfg.lambda_article, 0.0, 0.0)
+                }
+            })
+            .collect();
+
+        let mut f = twpr_scores.clone();
+        let mut venue_scores = vec![0.0; net.num_venues()];
+        let mut author_scores = vec![0.0; net.num_authors()];
+        let mut residuals = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        while iterations < cfg.outer_max_iter {
+            // Aggregated venue/author scores from current article scores.
+            let mut av = net.publication.aggregate_to_left(&f);
+            normalize_l1(&mut av);
+            let mut au = net.authorship.aggregate_to_left(&f);
+            normalize_l1(&mut au);
+
+            // Blend structural and aggregated prestige.
+            venue_scores = blend(&sv, &av, cfg.mu_venue);
+            author_scores = blend(&su, &au, cfg.mu_author);
+
+            // Push venue/author prestige back down to articles.
+            let mut venue_term = net.publication.aggregate_to_right(&venue_scores);
+            normalize_l1(&mut venue_term);
+            let mut author_term = net.authorship.aggregate_to_right(&author_scores);
+            normalize_l1(&mut author_term);
+
+            let mut next: Vec<f64> = (0..n)
+                .map(|i| {
+                    let (wp, wv, wu) = weights[i];
+                    wp * twpr_scores[i] + wv * venue_term[i] + wu * author_term[i]
+                })
+                .collect();
+            normalize_l1(&mut next);
+
+            iterations += 1;
+            let r = l1_distance(&f, &next);
+            residuals.push(r);
+            f = next;
+            if r < cfg.outer_tol {
+                converged = true;
+                break;
+            }
+        }
+
+        QRankResult {
+            article_scores: f,
+            venue_scores,
+            author_scores,
+            twpr_scores,
+            twpr_diagnostics,
+            outer: Diagnostics { iterations, converged, residuals },
+        }
+    }
+}
+
+/// `mu·a + (1-mu)·b`, renormalized to sum 1 (inputs are distributions).
+fn blend(a: &[f64], b: &[f64], mu: f64) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut out: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| mu * x + (1.0 - mu) * y).collect();
+    normalize_l1(&mut out);
+    out
+}
+
+impl Ranker for QRank {
+    fn name(&self) -> String {
+        "QRank".into()
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        self.run(corpus).article_scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+    use scholar_corpus::CorpusBuilder;
+    use scholar_rank::TwprConfig;
+
+    fn assert_distribution(v: &[f64]) {
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9, "sum {}", v.iter().sum::<f64>());
+        assert!(v.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn converges_on_generated_corpus() {
+        let c = Preset::Tiny.generate(1);
+        let res = QRank::default().run(&c);
+        assert!(res.twpr_diagnostics.converged);
+        assert!(res.outer.converged, "outer loop should converge: {:?}", res.outer.iterations);
+        assert_distribution(&res.article_scores);
+        assert_distribution(&res.venue_scores);
+        assert_distribution(&res.author_scores);
+        assert_distribution(&res.twpr_scores);
+    }
+
+    #[test]
+    fn lambda_article_one_reduces_to_twpr() {
+        let c = Preset::Tiny.generate(2);
+        let res = QRank::new(QRankConfig::default().with_lambdas(1.0, 0.0, 0.0)).run(&c);
+        let diff = l1_distance(&res.article_scores, &res.twpr_scores);
+        assert!(diff < 1e-9, "pure-article QRank must equal TWPR, diff {diff}");
+        // And it converges in one outer iteration.
+        assert!(res.outer.iterations <= 2);
+    }
+
+    #[test]
+    fn venue_signal_lifts_uncited_articles_in_good_venues() {
+        // Two uncited 2010 articles; one in the venue that hosts a classic,
+        // one in a venue nobody cites.
+        let mut b = CorpusBuilder::new();
+        let good = b.venue("Good");
+        let dull = b.venue("Dull");
+        let u = b.author("Someone");
+        let hit = b.add_article("classic", 1990, good, vec![u], vec![], None);
+        for i in 0..6 {
+            let citer = b.author(&format!("c{i}"));
+            b.add_article(&format!("citer{i}"), 1995 + i, dull, vec![citer], vec![hit], None);
+        }
+        b.add_article("new-good", 2010, good, vec![], vec![hit], None);
+        b.add_article("new-dull", 2010, dull, vec![], vec![hit], None);
+        let c = b.finish().unwrap();
+        let res = QRank::new(QRankConfig::default().with_lambdas(0.4, 0.6, 0.0)).run(&c);
+        let s = &res.article_scores;
+        assert!(
+            s[7] > s[8],
+            "venue prestige must lift the good-venue newcomer ({} vs {})",
+            s[7],
+            s[8]
+        );
+    }
+
+    #[test]
+    fn author_signal_lifts_new_articles_by_strong_authors() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let star = b.author("Star");
+        let newbie = b.author("Newbie");
+        let hit = b.add_article("hit", 1990, v, vec![star], vec![], None);
+        for i in 0..6 {
+            let citer = b.author(&format!("c{i}"));
+            b.add_article(&format!("citer{i}"), 1995 + i, v, vec![citer], vec![hit], None);
+        }
+        b.add_article("star-new", 2010, v, vec![star], vec![], None);
+        b.add_article("newbie-new", 2010, v, vec![newbie], vec![], None);
+        let c = b.finish().unwrap();
+        let res = QRank::new(QRankConfig::default().with_lambdas(0.4, 0.0, 0.6)).run(&c);
+        let s = &res.article_scores;
+        assert!(
+            s[7] > s[8],
+            "author prestige must lift the star's new article ({} vs {})",
+            s[7],
+            s[8]
+        );
+        assert!(res.author_scores[0] > res.author_scores[1]);
+    }
+
+    #[test]
+    fn cold_start_articles_get_nonzero_scores() {
+        // Pure citation methods give fresh uncited articles only the
+        // teleport floor; QRank must give them strictly more when their
+        // venue/authors have standing.
+        let c = Preset::Tiny.generate(3);
+        let res = QRank::default().run(&c);
+        let last_year = c.year_range().unwrap().1;
+        let fresh: Vec<usize> = c
+            .articles()
+            .iter()
+            .filter(|a| a.year == last_year)
+            .map(|a| a.id.index())
+            .collect();
+        assert!(!fresh.is_empty());
+        for &i in &fresh {
+            assert!(res.article_scores[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = Preset::Tiny.generate(4);
+        let a = QRank::default().rank(&c);
+        let b = QRank::default().rank(&c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threads_do_not_change_result() {
+        let c = Preset::Tiny.generate(5);
+        let seq = QRank::new(QRankConfig::default().with_threads(1)).rank(&c);
+        let par = QRank::new(QRankConfig::default().with_threads(4)).rank(&c);
+        assert!(l1_distance(&seq, &par) < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        let res = QRank::default().run(&c);
+        assert!(res.article_scores.is_empty());
+        assert!(res.outer.converged);
+    }
+
+    #[test]
+    fn corpus_without_authors_or_venue_citations() {
+        // One venue, no authors, straight citation chain: the venue/author
+        // terms degrade gracefully (venue term becomes uniform-ish over the
+        // single venue, author term all-zero and is renormalized away).
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("Only");
+        let a0 = b.add_article("a0", 1990, v, vec![], vec![], None);
+        let a1 = b.add_article("a1", 1995, v, vec![], vec![a0], None);
+        b.add_article("a2", 2000, v, vec![], vec![a1], None);
+        let c = b.finish().unwrap();
+        let res = QRank::default().run(&c);
+        assert_distribution(&res.article_scores);
+        assert!(res.article_scores[0] > res.article_scores[2]);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert_eq!(blend(&a, &b, 1.0), a);
+        assert_eq!(blend(&a, &b, 0.0), b);
+        let half = blend(&a, &b, 0.5);
+        assert!((half[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_warm_start_is_dropped() {
+        let c = Preset::Tiny.generate(8);
+        let cold = QRank::default().run(&c);
+        let warm =
+            QRank::default().run_warm(&c, Some(vec![0.0; c.num_articles()]));
+        assert_eq!(cold.article_scores, warm.article_scores);
+        // Wrong-length warm start is also dropped rather than panicking.
+        let short = QRank::default().run_warm(&c, Some(vec![1.0; 3]));
+        assert_eq!(cold.article_scores, short.article_scores);
+    }
+
+    #[test]
+    fn good_warm_start_converges_faster() {
+        let c = Preset::Tiny.generate(8);
+        let cold = QRank::default().run(&c);
+        let warm = QRank::default().run_warm(&c, Some(cold.article_scores.clone()));
+        assert!(
+            warm.twpr_diagnostics.iterations <= cold.twpr_diagnostics.iterations,
+            "warm {} vs cold {}",
+            warm.twpr_diagnostics.iterations,
+            cold.twpr_diagnostics.iterations
+        );
+        let diff = l1_distance(&warm.article_scores, &cold.article_scores);
+        assert!(diff < 1e-6, "warm and cold answers must agree, diff {diff}");
+    }
+
+    #[test]
+    fn outer_residuals_shrink() {
+        let c = Preset::Tiny.generate(6);
+        let res = QRank::new(QRankConfig {
+            twpr: TwprConfig::default(),
+            outer_tol: 0.0, // force full run
+            outer_max_iter: 30,
+            ..Default::default()
+        })
+        .run(&c);
+        let r = &res.outer.residuals;
+        assert!(r.len() >= 10);
+        assert!(r[r.len() - 1] < r[0], "outer fixpoint should contract: {r:?}");
+    }
+}

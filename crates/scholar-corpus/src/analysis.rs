@@ -1,0 +1,235 @@
+//! Bibliometric corpus analytics beyond raw counts.
+//!
+//! These are the domain-specific diagnostics a scholarly-search operator
+//! monitors: self-citation behavior, venue insularity, and the citation-
+//! age profile. They also validate the synthetic generator against the
+//! qualitative facts of real corpora (most citations are recent; venues
+//! cite themselves heavily; self-citation is common but a minority).
+
+use crate::corpus::Corpus;
+use crate::model::author_position_weights;
+
+/// Citation-age distribution: `histogram[d]` = number of citations whose
+/// citing and cited articles are `d` years apart (time-travel citations
+/// count at age 0).
+pub fn citation_age_histogram(corpus: &Corpus) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for a in corpus.articles() {
+        for &r in &a.references {
+            let age = (a.year - corpus.article(r).year).max(0) as usize;
+            if age >= hist.len() {
+                hist.resize(age + 1, 0);
+            }
+            hist[age] += 1;
+        }
+    }
+    hist
+}
+
+/// Mean citation age in years (`None` for citation-free corpora).
+pub fn mean_citation_age(corpus: &Corpus) -> Option<f64> {
+    let hist = citation_age_histogram(corpus);
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let weighted: usize = hist.iter().enumerate().map(|(age, &n)| age * n).sum();
+    Some(weighted as f64 / total as f64)
+}
+
+/// Fraction of citations that are author self-citations (citing and cited
+/// articles share at least one author). `None` for citation-free corpora.
+pub fn self_citation_rate(corpus: &Corpus) -> Option<f64> {
+    let mut total = 0usize;
+    let mut selfy = 0usize;
+    for a in corpus.articles() {
+        for &r in &a.references {
+            total += 1;
+            let cited = corpus.article(r);
+            if a.authors.iter().any(|u| cited.authors.contains(u)) {
+                selfy += 1;
+            }
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(selfy as f64 / total as f64)
+    }
+}
+
+/// Venue insularity: per venue, the fraction of its articles' outgoing
+/// citations that stay within the venue (0 for venues that cite nothing).
+pub fn venue_insularity(corpus: &Corpus) -> Vec<f64> {
+    let mut total = vec![0usize; corpus.num_venues()];
+    let mut intra = vec![0usize; corpus.num_venues()];
+    for a in corpus.articles() {
+        for &r in &a.references {
+            total[a.venue.index()] += 1;
+            if corpus.article(r).venue == a.venue {
+                intra[a.venue.index()] += 1;
+            }
+        }
+    }
+    intra
+        .iter()
+        .zip(&total)
+        .map(|(&i, &t)| if t > 0 { i as f64 / t as f64 } else { 0.0 })
+        .collect()
+}
+
+/// Per-author h-index computed from within-corpus citations.
+pub fn h_index(corpus: &Corpus) -> Vec<u32> {
+    let counts = corpus.citation_counts();
+    corpus
+        .articles_by_author()
+        .into_iter()
+        .map(|articles| {
+            let mut cs: Vec<u32> =
+                articles.iter().map(|&a| counts[a.index()]).collect();
+            cs.sort_unstable_by(|a, b| b.cmp(a));
+            let mut h = 0u32;
+            for (i, &c) in cs.iter().enumerate() {
+                if c as usize > i {
+                    h = (i + 1) as u32;
+                } else {
+                    break;
+                }
+            }
+            h
+        })
+        .collect()
+}
+
+/// Byline-position-weighted productivity per author (fractional article
+/// counts: an author's credit for a paper is their harmonic byline
+/// weight).
+pub fn fractional_productivity(corpus: &Corpus) -> Vec<f64> {
+    let mut credit = vec![0.0f64; corpus.num_authors()];
+    for a in corpus.articles() {
+        let w = author_position_weights(a.authors.len());
+        for (&u, &pw) in a.authors.iter().zip(&w) {
+            credit[u.index()] += pw;
+        }
+    }
+    credit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::generator::Preset;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let v0 = b.venue("v0");
+        let v1 = b.venue("v1");
+        let ada = b.author("Ada");
+        let bob = b.author("Bob");
+        let a0 = b.add_article("a0", 1990, v0, vec![ada], vec![], None);
+        let a1 = b.add_article("a1", 1995, v0, vec![ada, bob], vec![a0], None);
+        let a2 = b.add_article("a2", 2000, v1, vec![bob], vec![a0, a1], None);
+        b.add_article("a3", 2002, v1, vec![], vec![a2], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn citation_ages() {
+        let c = corpus();
+        // Ages: a1->a0 = 5; a2->a0 = 10; a2->a1 = 5; a3->a2 = 2.
+        let hist = citation_age_histogram(&c);
+        assert_eq!(hist[5], 2);
+        assert_eq!(hist[10], 1);
+        assert_eq!(hist[2], 1);
+        assert!((mean_citation_age(&c).unwrap() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_citations() {
+        let c = corpus();
+        // a1 (Ada,Bob) cites a0 (Ada): self. a2 (Bob) cites a0 (Ada): no.
+        // a2 (Bob) cites a1 (Ada,Bob): self. a3 () cites a2: no.
+        assert!((self_citation_rate(&c).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insularity() {
+        let c = corpus();
+        // v0: a1 cites a0 (v0): 1/1 intra. v1: a2 cites a0,a1 (v0) and a3
+        // cites a2 (v1): 1/3 intra.
+        let ins = venue_insularity(&c);
+        assert!((ins[0] - 1.0).abs() < 1e-12);
+        assert!((ins[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_index_basics() {
+        let c = corpus();
+        // Citation counts: a0=2, a1=1, a2=1, a3=0.
+        // Ada: articles a0(2), a1(1) -> h = 1? sorted [2,1]: i=0 c=2>0 h=1;
+        // i=1 c=1 !> 1? 1 > 1 false -> stop. Hmm h=1... Actually h=1 means
+        // 1 paper with >=1 citations; with [2,1] h should be... paper1 has
+        // 2>=1, paper2 has 1>=2? no. So h=1? No: h-index of [2,1] is 1?
+        // Classic definition: largest h with h papers having >= h cites.
+        // h=2 needs 2 papers with >=2: [2,1] fails. h=1 works. Yes, 1.
+        let h = h_index(&c);
+        assert_eq!(h[0], 1, "Ada");
+        // Bob: a1(1), a2(1): h=1.
+        assert_eq!(h[1], 1, "Bob");
+    }
+
+    #[test]
+    fn h_index_larger_case() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let star = b.author("Star");
+        // Three articles by Star, cited 3, 2, 2 times.
+        let mut stars = Vec::new();
+        for i in 0..3 {
+            stars.push(b.add_article(&format!("s{i}"), 1990 + i, v, vec![star], vec![], None));
+        }
+        let citers = vec![(stars[0], 3), (stars[1], 2), (stars[2], 2)];
+        let mut year = 2000;
+        for (target, count) in citers {
+            for _ in 0..count {
+                b.add_article("c", year, v, vec![], vec![target], None);
+                year += 1;
+            }
+        }
+        let c = b.finish().unwrap();
+        // [3,2,2]: h=2 (two papers with >=2 citations; not 3 with >=3).
+        assert_eq!(h_index(&c)[0], 2);
+    }
+
+    #[test]
+    fn fractional_credit_sums_to_article_count() {
+        let c = corpus();
+        let credit = fractional_productivity(&c);
+        // Total credit = number of articles with at least one author.
+        let authored = c.articles().iter().filter(|a| !a.authors.is_empty()).count();
+        assert!((credit.iter().sum::<f64>() - authored as f64).abs() < 1e-9);
+        // Ada: 1.0 (solo a0) + 2/3 (first of a1) = 5/3.
+        assert!((credit[0] - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_matches_qualitative_facts() {
+        let c = Preset::Tiny.generate(44);
+        let mean_age = mean_citation_age(&c).unwrap();
+        assert!(mean_age > 1.0 && mean_age < 15.0, "mean citation age {mean_age}");
+        let self_rate = self_citation_rate(&c).unwrap();
+        assert!(self_rate < 0.5, "self-citation should be a minority, got {self_rate}");
+        let ins = venue_insularity(&c);
+        assert!(ins.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        assert!(mean_citation_age(&c).is_none());
+        assert!(self_citation_rate(&c).is_none());
+        assert!(citation_age_histogram(&c).is_empty());
+        assert!(h_index(&c).is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! The [`Corpus`] container and its derived graphs.
+
+use crate::model::{Article, ArticleId, Author, AuthorId, Venue, VenueId, Year};
+use crate::{CorpusError, Result};
+use sgraph::{Bipartite, BipartiteBuilder, CsrGraph, GraphBuilder, NodeId};
+use std::collections::HashMap;
+
+/// An immutable scholarly corpus: articles, authors, venues, and the
+/// citation structure. Build one with [`CorpusBuilder`], the synthetic
+/// [`crate::generator`], or a [`crate::loader`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    pub(crate) articles: Vec<Article>,
+    pub(crate) authors: Vec<Author>,
+    pub(crate) venues: Vec<Venue>,
+}
+
+impl Corpus {
+    /// All articles, indexed by [`ArticleId`].
+    pub fn articles(&self) -> &[Article] {
+        &self.articles
+    }
+
+    /// All authors, indexed by [`AuthorId`].
+    pub fn authors(&self) -> &[Author] {
+        &self.authors
+    }
+
+    /// All venues, indexed by [`VenueId`].
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// Number of articles.
+    pub fn num_articles(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// Number of authors.
+    pub fn num_authors(&self) -> usize {
+        self.authors.len()
+    }
+
+    /// Number of venues.
+    pub fn num_venues(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// Total number of citations (sum of reference-list lengths).
+    pub fn num_citations(&self) -> usize {
+        self.articles.iter().map(|a| a.references.len()).sum()
+    }
+
+    /// Article lookup.
+    pub fn article(&self, id: ArticleId) -> &Article {
+        &self.articles[id.index()]
+    }
+
+    /// Author lookup.
+    pub fn author(&self, id: AuthorId) -> &Author {
+        &self.authors[id.index()]
+    }
+
+    /// Venue lookup.
+    pub fn venue(&self, id: VenueId) -> &Venue {
+        &self.venues[id.index()]
+    }
+
+    /// `(min_year, max_year)` across all articles; `None` when empty.
+    pub fn year_range(&self) -> Option<(Year, Year)> {
+        let mut it = self.articles.iter().map(|a| a.year);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for y in it {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+
+    /// The citation graph: one node per article, edge **citing → cited**,
+    /// unit weights. In-degree is citation count.
+    pub fn citation_graph(&self) -> CsrGraph {
+        let mut b = GraphBuilder::new(self.articles.len() as u32)
+            .with_edge_capacity(self.num_citations())
+            .self_loops(false);
+        for a in &self.articles {
+            for &r in &a.references {
+                b.add_unweighted(NodeId(a.id.0), NodeId(r.0));
+            }
+        }
+        b.build()
+    }
+
+    /// The citation graph with per-edge weights computed by
+    /// `f(citing, cited)`; used for time-decayed variants.
+    pub fn weighted_citation_graph<F>(&self, mut f: F) -> CsrGraph
+    where
+        F: FnMut(&Article, &Article) -> f64,
+    {
+        let mut b = GraphBuilder::new(self.articles.len() as u32)
+            .with_edge_capacity(self.num_citations())
+            .self_loops(false);
+        for a in &self.articles {
+            for &r in &a.references {
+                let w = f(a, &self.articles[r.index()]);
+                b.add_edge(NodeId(a.id.0), NodeId(r.0), w);
+            }
+        }
+        b.build()
+    }
+
+    /// Authorship bipartite: left = authors, right = articles, weights =
+    /// harmonic byline-position weights (first author heaviest).
+    pub fn authorship_bipartite(&self) -> Bipartite {
+        let mut b = BipartiteBuilder::new(self.authors.len() as u32, self.articles.len() as u32);
+        for a in &self.articles {
+            let w = crate::model::author_position_weights(a.authors.len());
+            for (&author, &weight) in a.authors.iter().zip(&w) {
+                b.add_edge(author.0, a.id.0, weight);
+            }
+        }
+        b.build()
+    }
+
+    /// Publication bipartite: left = venues, right = articles, unit weight.
+    pub fn publication_bipartite(&self) -> Bipartite {
+        let mut b = BipartiteBuilder::new(self.venues.len() as u32, self.articles.len() as u32);
+        for a in &self.articles {
+            b.add_edge(a.venue.0, a.id.0, 1.0);
+        }
+        b.build()
+    }
+
+    /// Aggregated venue citation graph: edge `V(u) → V(v)` with weight
+    /// `Σ f(citing, cited)` over article citations `u → v` whose venues
+    /// differ or match; self-loops (within-venue citations) are dropped.
+    pub fn venue_graph<F>(&self, mut f: F) -> CsrGraph
+    where
+        F: FnMut(&Article, &Article) -> f64,
+    {
+        let mut b = GraphBuilder::new(self.venues.len() as u32).self_loops(false);
+        for a in &self.articles {
+            for &r in &a.references {
+                let cited = &self.articles[r.index()];
+                let w = f(a, cited);
+                b.add_edge(NodeId(a.venue.0), NodeId(cited.venue.0), w);
+            }
+        }
+        b.build()
+    }
+
+    /// Aggregated author citation graph: edge `A(u) → A(v)` summed over
+    /// article citations, with the citing article's byline weight times the
+    /// cited article's byline weight, scaled by `f(citing, cited)`.
+    /// Self-citations (same author both sides) are dropped when
+    /// `drop_self_citations` is true.
+    pub fn author_graph<F>(&self, mut f: F, drop_self_citations: bool) -> CsrGraph
+    where
+        F: FnMut(&Article, &Article) -> f64,
+    {
+        let mut b =
+            GraphBuilder::new(self.authors.len() as u32).self_loops(!drop_self_citations);
+        for a in &self.articles {
+            if a.authors.is_empty() {
+                continue;
+            }
+            let wa = crate::model::author_position_weights(a.authors.len());
+            for &r in &a.references {
+                let cited = &self.articles[r.index()];
+                if cited.authors.is_empty() {
+                    continue;
+                }
+                let wc = crate::model::author_position_weights(cited.authors.len());
+                let base = f(a, cited);
+                if base <= 0.0 {
+                    continue;
+                }
+                for (&ua, &pa) in a.authors.iter().zip(&wa) {
+                    for (&uc, &pc) in cited.authors.iter().zip(&wc) {
+                        if drop_self_citations && ua == uc {
+                            continue;
+                        }
+                        b.add_edge(NodeId(ua.0), NodeId(uc.0), base * pa * pc);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Citation counts per article (in-degree of the citation graph,
+    /// computed directly without building the graph).
+    pub fn citation_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.articles.len()];
+        for a in &self.articles {
+            for &r in &a.references {
+                counts[r.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Articles grouped by venue: `by_venue[v]` lists the article ids
+    /// published at venue `v`.
+    pub fn articles_by_venue(&self) -> Vec<Vec<ArticleId>> {
+        let mut by = vec![Vec::new(); self.venues.len()];
+        for a in &self.articles {
+            by[a.venue.index()].push(a.id);
+        }
+        by
+    }
+
+    /// Articles grouped by author.
+    pub fn articles_by_author(&self) -> Vec<Vec<ArticleId>> {
+        let mut by = vec![Vec::new(); self.authors.len()];
+        for a in &self.articles {
+            for &u in &a.authors {
+                by[u.index()].push(a.id);
+            }
+        }
+        by
+    }
+}
+
+/// Incremental corpus assembly with name interning and integrity checks.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    articles: Vec<Article>,
+    authors: Vec<Author>,
+    venues: Vec<Venue>,
+    author_by_name: HashMap<String, AuthorId>,
+    venue_by_name: HashMap<String, VenueId>,
+    reject_time_travel: bool,
+}
+
+impl CorpusBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// When enabled, [`CorpusBuilder::finish`] rejects citations whose
+    /// cited article is newer than the citing article. Real datasets
+    /// contain a few such edges (preprints, in-press citations), so the
+    /// default is to allow them.
+    pub fn reject_time_travel(mut self, reject: bool) -> Self {
+        self.reject_time_travel = reject;
+        self
+    }
+
+    /// Intern an author by name, returning a stable id.
+    pub fn author(&mut self, name: &str) -> AuthorId {
+        if let Some(&id) = self.author_by_name.get(name) {
+            return id;
+        }
+        let id = AuthorId(self.authors.len() as u32);
+        self.authors.push(Author { id, name: name.to_owned() });
+        self.author_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern a venue by name, returning a stable id.
+    pub fn venue(&mut self, name: &str) -> VenueId {
+        if let Some(&id) = self.venue_by_name.get(name) {
+            return id;
+        }
+        let id = VenueId(self.venues.len() as u32);
+        self.venues.push(Venue { id, name: name.to_owned() });
+        self.venue_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Number of articles added so far (the next article's id).
+    pub fn next_article_id(&self) -> ArticleId {
+        ArticleId(self.articles.len() as u32)
+    }
+
+    /// Add an article. Its id is assigned densely in insertion order and
+    /// returned. References may point to not-yet-added articles; they are
+    /// validated in [`CorpusBuilder::finish`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_article(
+        &mut self,
+        title: &str,
+        year: Year,
+        venue: VenueId,
+        authors: Vec<AuthorId>,
+        references: Vec<ArticleId>,
+        merit: Option<f64>,
+    ) -> ArticleId {
+        let id = self.next_article_id();
+        self.articles.push(Article {
+            id,
+            title: title.to_owned(),
+            year,
+            venue,
+            authors,
+            references,
+            merit,
+        });
+        id
+    }
+
+    /// Validate and produce the immutable [`Corpus`].
+    ///
+    /// Checks: venue/author/reference ids in bounds, no self-citations, no
+    /// duplicate references (duplicates are silently deduplicated), and —
+    /// if [`CorpusBuilder::reject_time_travel`] was set — citation
+    /// chronology.
+    pub fn finish(mut self) -> Result<Corpus> {
+        let n_articles = self.articles.len() as u32;
+        let n_authors = self.authors.len() as u32;
+        let n_venues = self.venues.len() as u32;
+        let years: Vec<Year> = self.articles.iter().map(|a| a.year).collect();
+        for art in &mut self.articles {
+            if art.venue.0 >= n_venues {
+                return Err(CorpusError::DanglingReference {
+                    kind: "venue",
+                    id: art.venue.0,
+                    article: art.id.0,
+                });
+            }
+            for &u in &art.authors {
+                if u.0 >= n_authors {
+                    return Err(CorpusError::DanglingReference {
+                        kind: "author",
+                        id: u.0,
+                        article: art.id.0,
+                    });
+                }
+            }
+            art.references.sort_unstable();
+            art.references.dedup();
+            // Drop self-citations silently (an article citing itself is
+            // always data noise).
+            let own = art.id;
+            art.references.retain(|&r| r != own);
+            for &r in &art.references {
+                if r.0 >= n_articles {
+                    return Err(CorpusError::DanglingReference {
+                        kind: "article",
+                        id: r.0,
+                        article: art.id.0,
+                    });
+                }
+                if self.reject_time_travel && years[r.index()] > art.year {
+                    return Err(CorpusError::TimeTravelCitation {
+                        citing: art.id.0,
+                        cited: r.0,
+                    });
+                }
+            }
+        }
+        Ok(Corpus { articles: self.articles, authors: self.authors, venues: self.venues })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small hand-built corpus used across this crate's tests:
+    /// 4 articles, 3 authors, 2 venues.
+    ///
+    /// a0 (1990, v0, [u0])      — cited by a1, a2, a3
+    /// a1 (1995, v0, [u0, u1])  — cites a0; cited by a2
+    /// a2 (2000, v1, [u1])      — cites a0, a1
+    /// a3 (2005, v1, [u2, u0])  — cites a0
+    pub(crate) fn tiny() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let v0 = b.venue("VLDB");
+        let v1 = b.venue("ICDE");
+        let u0 = b.author("Ada");
+        let u1 = b.author("Bob");
+        let u2 = b.author("Cyd");
+        let a0 = b.add_article("Foundations", 1990, v0, vec![u0], vec![], Some(3.0));
+        let a1 = b.add_article("Extensions", 1995, v0, vec![u0, u1], vec![a0], Some(2.0));
+        b.add_article("Survey", 2000, v1, vec![u1], vec![a0, a1], Some(1.0));
+        b.add_article("Modern", 2005, v1, vec![u2, u0], vec![a0], Some(1.5));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let c = tiny();
+        assert_eq!(c.num_articles(), 4);
+        assert_eq!(c.num_authors(), 3);
+        assert_eq!(c.num_venues(), 2);
+        assert_eq!(c.num_citations(), 4);
+        assert_eq!(c.article(ArticleId(1)).title, "Extensions");
+        assert_eq!(c.author(AuthorId(2)).name, "Cyd");
+        assert_eq!(c.venue(VenueId(0)).name, "VLDB");
+        assert_eq!(c.year_range(), Some((1990, 2005)));
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = CorpusBuilder::new();
+        let u1 = b.author("X");
+        let u2 = b.author("X");
+        assert_eq!(u1, u2);
+        let v1 = b.venue("V");
+        let v2 = b.venue("V");
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn citation_graph_direction() {
+        let c = tiny();
+        let g = c.citation_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        // a2 cites a0: edge 2 -> 0.
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        // in-degree = citation count.
+        assert_eq!(g.in_degree(NodeId(0)), 3);
+        assert_eq!(c.citation_counts(), vec![3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn weighted_citation_graph_applies_f() {
+        let c = tiny();
+        let g = c.weighted_citation_graph(|citing, cited| (citing.year - cited.year) as f64);
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(0)), Some(10.0));
+        assert_eq!(g.edge_weight(NodeId(3), NodeId(0)), Some(15.0));
+    }
+
+    #[test]
+    fn authorship_bipartite_weights() {
+        let c = tiny();
+        let bp = c.authorship_bipartite();
+        assert_eq!(bp.num_left(), 3);
+        assert_eq!(bp.num_right(), 4);
+        // Article 1 has two authors with harmonic weights 2/3, 1/3.
+        let ws = bp.left_weights_of(1);
+        assert!((ws[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ws[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publication_bipartite_shape() {
+        let c = tiny();
+        let bp = c.publication_bipartite();
+        assert_eq!(bp.num_left(), 2);
+        assert_eq!(bp.left_degree(0), 2); // v0 has a0, a1
+        assert_eq!(bp.left_degree(1), 2); // v1 has a2, a3
+    }
+
+    #[test]
+    fn venue_graph_aggregates_and_drops_self_loops() {
+        let c = tiny();
+        let g = c.venue_graph(|_, _| 1.0);
+        // a2 (v1) cites a0, a1 (v0): weight 2. a3 (v1) cites a0 (v0): +1.
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(3.0));
+        // a1 (v0) cites a0 (v0): self-loop dropped.
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn author_graph_self_citations() {
+        let c = tiny();
+        // a1 [u0,u1] cites a0 [u0]: u0 -> u0 is a self-citation.
+        let with_self_dropped = c.author_graph(|_, _| 1.0, true);
+        assert!(!with_self_dropped.has_edge(NodeId(0), NodeId(0)));
+        assert!(with_self_dropped.has_edge(NodeId(1), NodeId(0))); // u1 cites u0
+        // Total weight should be < 4 citations since self-edges were dropped.
+        let with_self_kept = c.author_graph(|_, _| 1.0, false);
+        // Self-loop u0->u0 appears when kept.
+        assert!(with_self_kept.has_edge(NodeId(0), NodeId(0)));
+        assert!(with_self_kept.total_weight() > with_self_dropped.total_weight());
+    }
+
+    #[test]
+    fn groupings() {
+        let c = tiny();
+        let by_v = c.articles_by_venue();
+        assert_eq!(by_v[0], vec![ArticleId(0), ArticleId(1)]);
+        let by_a = c.articles_by_author();
+        assert_eq!(by_a[0], vec![ArticleId(0), ArticleId(1), ArticleId(3)]);
+        assert_eq!(by_a[2], vec![ArticleId(3)]);
+    }
+
+    #[test]
+    fn finish_rejects_dangling_ids() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("t", 2000, v, vec![AuthorId(9)], vec![], None);
+        assert!(matches!(
+            b.finish(),
+            Err(CorpusError::DanglingReference { kind: "author", .. })
+        ));
+
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("t", 2000, v, vec![], vec![ArticleId(7)], None);
+        assert!(matches!(
+            b.finish(),
+            Err(CorpusError::DanglingReference { kind: "article", .. })
+        ));
+
+        let mut b = CorpusBuilder::new();
+        b.add_article("t", 2000, VenueId(3), vec![], vec![], None);
+        assert!(matches!(
+            b.finish(),
+            Err(CorpusError::DanglingReference { kind: "venue", .. })
+        ));
+    }
+
+    #[test]
+    fn finish_dedups_references_and_drops_self_citation() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("first", 2000, v, vec![], vec![], None);
+        let next = b.next_article_id();
+        b.add_article("second", 2001, v, vec![], vec![a0, a0, next], None);
+        let c = b.finish().unwrap();
+        assert_eq!(c.article(ArticleId(1)).references, vec![a0]);
+    }
+
+    #[test]
+    fn time_travel_rejected_when_configured() {
+        let mut b = CorpusBuilder::new().reject_time_travel(true);
+        let v = b.venue("V");
+        let future = ArticleId(1);
+        b.add_article("old", 2000, v, vec![], vec![future], None);
+        b.add_article("new", 2010, v, vec![], vec![], None);
+        assert!(matches!(b.finish(), Err(CorpusError::TimeTravelCitation { citing: 0, cited: 1 })));
+
+        // Allowed by default.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let future = ArticleId(1);
+        b.add_article("old", 2000, v, vec![], vec![future], None);
+        b.add_article("new", 2010, v, vec![], vec![], None);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        assert_eq!(c.num_articles(), 0);
+        assert_eq!(c.year_range(), None);
+        assert!(c.citation_graph().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Generator configuration.
+
+use crate::model::Year;
+
+/// All knobs of the synthetic corpus process. Defaults produce a small
+/// (~2k article) corpus suitable for unit tests; use
+/// [`crate::generator::Preset`] for the dataset-scale configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed; equal seeds produce identical corpora.
+    pub seed: u64,
+    /// First publication year.
+    pub start_year: Year,
+    /// Last publication year (inclusive).
+    pub end_year: Year,
+    /// Expected number of articles in the first year.
+    pub initial_articles_per_year: f64,
+    /// Exponential growth of yearly output: year `t` produces
+    /// `initial · (1 + growth_rate)^(t − start)` articles.
+    pub growth_rate: f64,
+
+    /// Number of venues.
+    pub num_venues: u32,
+    /// Venue prestige follows Zipf: prestige of the k-th venue ∝
+    /// `1 / k^venue_zipf_exponent`.
+    pub venue_zipf_exponent: f64,
+    /// How strongly high-merit articles concentrate in high-prestige
+    /// venues (0 = venue choice independent of merit).
+    pub venue_merit_coupling: f64,
+    /// Multiplicative merit boost from venue prestige: final merit is
+    /// `base · (1 + venue_merit_boost · selectivity)` where selectivity ∈
+    /// [0, 1] is the venue's normalized prestige.
+    pub venue_merit_boost: f64,
+
+    /// Mean reference-list length (Poisson).
+    pub mean_references: f64,
+    /// Hard cap on reference-list length.
+    pub max_references: usize,
+    /// Preferential-attachment exponent on `(indeg + 1)`.
+    pub pa_strength: f64,
+    /// Exponent on cited-article merit in the citation kernel.
+    pub merit_strength: f64,
+    /// Time constant (years) of the exponential recency kernel
+    /// `exp(-age / recency_tau)` in the citation kernel.
+    pub recency_tau: f64,
+
+    /// Log-mean of the base-merit log-normal.
+    pub merit_mu: f64,
+    /// Log-std of the base-merit log-normal.
+    pub merit_sigma: f64,
+    /// Exponent coupling mean team ability into article merit.
+    pub author_merit_coupling: f64,
+    /// Log-std of the per-author ability log-normal (log-mean 0).
+    pub author_ability_sigma: f64,
+
+    /// Mean team size (shifted-geometric; always >= 1).
+    pub mean_team_size: f64,
+    /// Hard cap on team size.
+    pub max_team_size: usize,
+    /// Probability that a byline slot is filled by a brand-new author
+    /// (otherwise an existing author is drawn ∝ publications + 1).
+    pub new_author_prob: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            start_year: 1990,
+            end_year: 2010,
+            initial_articles_per_year: 60.0,
+            growth_rate: 0.05,
+            num_venues: 25,
+            venue_zipf_exponent: 1.0,
+            venue_merit_coupling: 2.0,
+            venue_merit_boost: 0.8,
+            mean_references: 6.0,
+            max_references: 40,
+            pa_strength: 0.9,
+            merit_strength: 1.0,
+            recency_tau: 6.0,
+            merit_mu: 0.0,
+            merit_sigma: 0.8,
+            author_merit_coupling: 0.6,
+            author_ability_sigma: 0.6,
+            mean_team_size: 2.4,
+            max_team_size: 8,
+            new_author_prob: 0.3,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Expected article count in `year` under the growth schedule.
+    pub fn expected_articles_in(&self, year: Year) -> f64 {
+        let t = (year - self.start_year) as f64;
+        self.initial_articles_per_year * (1.0 + self.growth_rate).powf(t)
+    }
+
+    /// Rough total article count across all years.
+    pub fn expected_total_articles(&self) -> f64 {
+        (self.start_year..=self.end_year)
+            .map(|y| self.expected_articles_in(y))
+            .sum()
+    }
+
+    /// Panic with a clear message if the configuration is nonsensical.
+    pub fn assert_valid(&self) {
+        assert!(self.start_year <= self.end_year, "start_year must be <= end_year");
+        assert!(self.initial_articles_per_year > 0.0, "need positive article rate");
+        assert!(self.growth_rate > -1.0, "growth rate must exceed -100%");
+        assert!(self.num_venues >= 1, "need at least one venue");
+        assert!(self.mean_references >= 0.0, "mean_references must be >= 0");
+        assert!(self.max_references >= 1, "max_references must be >= 1");
+        assert!(self.recency_tau > 0.0, "recency_tau must be positive");
+        assert!(self.merit_sigma >= 0.0, "merit_sigma must be >= 0");
+        assert!(self.mean_team_size >= 1.0, "teams have at least one author");
+        assert!(self.max_team_size >= 1, "max_team_size must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.new_author_prob),
+            "new_author_prob must be a probability"
+        );
+        assert!(self.pa_strength >= 0.0, "pa_strength must be >= 0");
+        assert!(self.merit_strength >= 0.0, "merit_strength must be >= 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        GeneratorConfig::default().assert_valid();
+    }
+
+    #[test]
+    fn growth_schedule() {
+        let cfg = GeneratorConfig {
+            initial_articles_per_year: 100.0,
+            growth_rate: 0.1,
+            start_year: 2000,
+            end_year: 2002,
+            ..Default::default()
+        };
+        assert!((cfg.expected_articles_in(2000) - 100.0).abs() < 1e-9);
+        assert!((cfg.expected_articles_in(2002) - 121.0).abs() < 1e-9);
+        assert!((cfg.expected_total_articles() - 331.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "start_year")]
+    fn invalid_years_panic() {
+        GeneratorConfig { start_year: 2010, end_year: 2000, ..Default::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        GeneratorConfig { new_author_prob: 1.5, ..Default::default() }.assert_valid();
+    }
+}

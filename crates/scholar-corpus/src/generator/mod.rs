@@ -1,0 +1,35 @@
+//! Synthetic scholarly-corpus generation.
+//!
+//! This module substitutes for the dataset downloads the original
+//! evaluation relied on (AAN, DBLP, MAG). It produces corpora whose
+//! *structural* properties match what the ranking algorithms exploit:
+//!
+//! * **Heavy-tailed citation counts** via preferential attachment
+//!   (`(indeg + 1)^pa_strength` in the citation kernel).
+//! * **Recency of citation** via an exponential age kernel
+//!   (`exp(-age / recency_tau)`), matching the empirical observation that
+//!   most references point a few years back.
+//! * **Planted intrinsic merit** per article (log-normal), which drives
+//!   citation accrual and later serves as noise-controlled ground truth
+//!   (see `scholar-eval`). No ranking algorithm ever reads it.
+//! * **Venue prestige** (Zipf) correlated with article merit in both
+//!   directions: strong articles preferentially land in strong venues, and
+//!   strong venues boost visibility. This is the signal QRank's venue
+//!   component exploits.
+//! * **Author ability and productivity** (log-normal ability, Lotka-style
+//!   rich-get-richer productivity), the signal behind QRank's author
+//!   component.
+//!
+//! The process is chronological — articles are created year by year and
+//! cite only strictly older articles — so generated citation graphs are
+//! DAGs. (Real corpora contain a small number of same-year and
+//! time-travel citations; the loaders and algorithms tolerate them, which
+//! is tested against hand-built fixtures instead.)
+
+mod config;
+mod engine;
+mod presets;
+
+pub use config::GeneratorConfig;
+pub use engine::CorpusGenerator;
+pub use presets::Preset;

@@ -1,0 +1,153 @@
+//! Dataset-scale generator presets.
+//!
+//! Each preset is calibrated to the corpus-level statistics published for
+//! the real dataset it substitutes (article count, citation density, year
+//! span, venue/author pool size). Absolute sizes for the larger presets
+//! are scaled down ~5-10× so the full evaluation suite runs on one
+//! machine; the structural exponents (citation tail, recency kernel,
+//! venue skew) are kept, which is what the algorithms actually see.
+
+use super::config::GeneratorConfig;
+use super::engine::CorpusGenerator;
+use crate::corpus::Corpus;
+
+/// Named dataset-scale configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// ~700 articles — fast unit-test corpus.
+    Tiny,
+    /// AAN-like: ~17k articles, ~100k citations, 1980–2010, ~30 venues.
+    /// (ACL Anthology Network: 21k articles / 110k citations.)
+    AanLike,
+    /// DBLP-like: ~90k articles, ~700k citations, 1970–2015, ~1200 venues.
+    /// (Scaled ~10× down from the ArnetMiner DBLP citation dump.)
+    DblpLike,
+    /// MAG-like: ~145k articles, ~1.4M citations, 1950–2015, ~4000 venues.
+    /// (Scaled far down from Microsoft Academic Graph; used for the
+    /// scalability experiments.)
+    MagLike,
+}
+
+impl Preset {
+    /// The configuration behind this preset (with the given seed).
+    pub fn config(self, seed: u64) -> GeneratorConfig {
+        match self {
+            Preset::Tiny => GeneratorConfig {
+                seed,
+                start_year: 1995,
+                end_year: 2010,
+                initial_articles_per_year: 30.0,
+                growth_rate: 0.05,
+                num_venues: 10,
+                mean_references: 5.0,
+                ..Default::default()
+            },
+            Preset::AanLike => GeneratorConfig {
+                seed,
+                start_year: 1980,
+                end_year: 2010,
+                initial_articles_per_year: 200.0,
+                growth_rate: 0.06,
+                num_venues: 30,
+                venue_zipf_exponent: 0.9,
+                mean_references: 6.0,
+                max_references: 50,
+                recency_tau: 6.0,
+                mean_team_size: 2.2,
+                ..Default::default()
+            },
+            Preset::DblpLike => GeneratorConfig {
+                seed,
+                start_year: 1970,
+                end_year: 2015,
+                initial_articles_per_year: 400.0,
+                growth_rate: 0.06,
+                num_venues: 1200,
+                venue_zipf_exponent: 1.05,
+                mean_references: 8.0,
+                max_references: 60,
+                recency_tau: 7.0,
+                mean_team_size: 2.6,
+                new_author_prob: 0.35,
+                ..Default::default()
+            },
+            Preset::MagLike => GeneratorConfig {
+                seed,
+                start_year: 1950,
+                end_year: 2015,
+                initial_articles_per_year: 300.0,
+                growth_rate: 0.05,
+                num_venues: 4000,
+                venue_zipf_exponent: 1.1,
+                mean_references: 10.0,
+                max_references: 80,
+                recency_tau: 8.0,
+                mean_team_size: 3.0,
+                new_author_prob: 0.4,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Generate the corpus for this preset.
+    pub fn generate(self, seed: u64) -> Corpus {
+        CorpusGenerator::new(self.config(seed)).generate()
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Tiny => "Tiny",
+            Preset::AanLike => "AAN-like",
+            Preset::DblpLike => "DBLP-like",
+            Preset::MagLike => "MAG-like",
+        }
+    }
+
+    /// The three dataset-scale presets used in the evaluation tables.
+    pub fn evaluation_suite() -> [Preset; 3] {
+        [Preset::AanLike, Preset::DblpLike, Preset::MagLike]
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_have_valid_configs() {
+        for p in [Preset::Tiny, Preset::AanLike, Preset::DblpLike, Preset::MagLike] {
+            p.config(1).assert_valid();
+            assert!(!p.name().is_empty());
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+
+    #[test]
+    fn aan_like_scale() {
+        let cfg = Preset::AanLike.config(1);
+        let total = cfg.expected_total_articles();
+        assert!((12_000.0..25_000.0).contains(&total), "AAN-like total {total}");
+    }
+
+    #[test]
+    fn preset_sizes_are_ordered() {
+        let t = Preset::Tiny.config(1).expected_total_articles();
+        let a = Preset::AanLike.config(1).expected_total_articles();
+        let d = Preset::DblpLike.config(1).expected_total_articles();
+        let m = Preset::MagLike.config(1).expected_total_articles();
+        assert!(t < a && a < d && d < m);
+    }
+
+    #[test]
+    fn evaluation_suite_names() {
+        let names: Vec<&str> = Preset::evaluation_suite().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["AAN-like", "DBLP-like", "MAG-like"]);
+    }
+}

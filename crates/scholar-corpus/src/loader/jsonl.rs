@@ -1,0 +1,244 @@
+//! JSON-lines corpus interchange.
+//!
+//! One object per line:
+//!
+//! ```json
+//! {"id": "P90-1001", "title": "...", "year": 1990, "venue": "ACL",
+//!  "authors": ["Ada L.", "Bob K."], "references": ["J89-2001"]}
+//! ```
+//!
+//! `write_jsonl` emits exactly this shape, so a corpus round-trips. The
+//! reader is two-pass (records may cite forward), tolerant of unknown
+//! references per [`LoadOptions`].
+
+use super::{IdInterner, LoadOptions, UnknownReferencePolicy};
+use crate::corpus::{Corpus, CorpusBuilder};
+use crate::model::Year;
+use crate::{CorpusError, Result};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The wire shape of one article record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonArticle {
+    /// External article id (any string).
+    pub id: String,
+    /// Title.
+    #[serde(default)]
+    pub title: String,
+    /// Publication year (optional in the wild).
+    #[serde(default)]
+    pub year: Option<Year>,
+    /// Venue name.
+    #[serde(default)]
+    pub venue: Option<String>,
+    /// Author names in byline order.
+    #[serde(default)]
+    pub authors: Vec<String>,
+    /// External ids of cited articles.
+    #[serde(default)]
+    pub references: Vec<String>,
+}
+
+/// Read a corpus from JSON-lines text.
+pub fn read_jsonl<R: Read>(reader: R, opts: &LoadOptions) -> Result<Corpus> {
+    let reader = BufReader::new(reader);
+    let mut records: Vec<JsonArticle> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let rec: JsonArticle = serde_json::from_str(trimmed).map_err(|e| CorpusError::Parse {
+            line: lineno + 1,
+            message: format!("bad json record: {e}"),
+        })?;
+        if opts.drop_yearless && rec.year.is_none() {
+            continue;
+        }
+        records.push(rec);
+    }
+    build_from_records(records, opts)
+}
+
+/// Assemble a corpus from parsed records (two-pass id resolution).
+pub fn build_from_records(records: Vec<JsonArticle>, opts: &LoadOptions) -> Result<Corpus> {
+    let mut interner = IdInterner::new();
+    for rec in &records {
+        interner.intern(&rec.id);
+    }
+    let mut builder = CorpusBuilder::new();
+    for (i, rec) in records.iter().enumerate() {
+        let venue = match &rec.venue {
+            Some(v) if !v.is_empty() => builder.venue(v),
+            _ => builder.venue("(unknown venue)"),
+        };
+        let authors = rec.authors.iter().map(|a| builder.author(a)).collect();
+        let mut references = Vec::with_capacity(rec.references.len());
+        for r in &rec.references {
+            match interner.get(r) {
+                Some(id) => references.push(id),
+                None => match opts.unknown_references {
+                    UnknownReferencePolicy::Drop => {}
+                    UnknownReferencePolicy::Error => {
+                        return Err(CorpusError::Parse {
+                            line: i + 1,
+                            message: format!("record {} cites unknown article '{r}'", rec.id),
+                        })
+                    }
+                },
+            }
+        }
+        // Two-pass interning means the dense id of record i is exactly i
+        // when external ids are unique. Enforce that so the builder's
+        // dense assignment matches the reference resolution above.
+        let expected = interner.get(&rec.id).expect("interned in first pass");
+        if expected.index() != i {
+            return Err(CorpusError::Parse {
+                line: i + 1,
+                message: format!("duplicate article id '{}'", rec.id),
+            });
+        }
+        builder.add_article(&rec.title, rec.year.unwrap_or(0), venue, authors, references, None);
+    }
+    builder.finish()
+}
+
+/// Write a corpus as JSON lines (the inverse of [`read_jsonl`], with
+/// articles keyed by their dense id rendered in decimal).
+pub fn write_jsonl<W: Write>(corpus: &Corpus, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for a in corpus.articles() {
+        let rec = JsonArticle {
+            id: a.id.to_string(),
+            title: a.title.clone(),
+            year: Some(a.year),
+            venue: Some(corpus.venue(a.venue).name.clone()),
+            authors: a.authors.iter().map(|&u| corpus.author(u).name.clone()).collect(),
+            references: a.references.iter().map(|r| r.to_string()).collect(),
+        };
+        serde_json::to_writer(&mut w, &rec)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a JSON-lines corpus from a file.
+pub fn read_jsonl_file(path: &Path, opts: &LoadOptions) -> Result<Corpus> {
+    read_jsonl(std::fs::File::open(path)?, opts)
+}
+
+/// Write a JSON-lines corpus to a file.
+pub fn write_jsonl_file(corpus: &Corpus, path: &Path) -> Result<()> {
+    write_jsonl(corpus, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ArticleId;
+
+    const SAMPLE: &str = r#"
+{"id": "A", "title": "First", "year": 1990, "venue": "VLDB", "authors": ["Ada"], "references": []}
+{"id": "B", "title": "Second", "year": 1995, "venue": "ICDE", "authors": ["Ada", "Bob"], "references": ["A"]}
+{"id": "C", "title": "Third", "year": 2000, "authors": [], "references": ["A", "B", "GHOST"]}
+"#;
+
+    #[test]
+    fn reads_basic_corpus() {
+        let c = read_jsonl(SAMPLE.as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(c.num_articles(), 3);
+        assert_eq!(c.article(ArticleId(1)).title, "Second");
+        assert_eq!(c.article(ArticleId(1)).references, vec![ArticleId(0)]);
+        // GHOST dropped by default.
+        assert_eq!(c.article(ArticleId(2)).references, vec![ArticleId(0), ArticleId(1)]);
+        // Missing venue maps to the sentinel.
+        assert_eq!(c.venue(c.article(ArticleId(2)).venue).name, "(unknown venue)");
+        assert_eq!(c.num_authors(), 2);
+    }
+
+    #[test]
+    fn unknown_reference_error_policy() {
+        let opts = LoadOptions {
+            unknown_references: UnknownReferencePolicy::Error,
+            ..Default::default()
+        };
+        let err = read_jsonl(SAMPLE.as_bytes(), &opts).unwrap_err();
+        assert!(err.to_string().contains("GHOST"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = r#"
+{"id": "later-cites-earlier-reversed", "year": 2000, "references": ["Z"]}
+{"id": "Z", "year": 1990, "references": []}
+"#;
+        let c = read_jsonl(text.as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(c.article(ArticleId(0)).references, vec![ArticleId(1)]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let text = "{\"id\": \"A\"}\n{\"id\": \"A\"}\n";
+        assert!(read_jsonl(text.as_bytes(), &LoadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn bad_json_reports_line() {
+        let text = "{\"id\": \"A\"}\nnot json\n";
+        match read_jsonl(text.as_bytes(), &LoadOptions::default()) {
+            Err(CorpusError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_yearless_option() {
+        let text = "{\"id\": \"A\"}\n{\"id\": \"B\", \"year\": 2000}\n";
+        let keep = read_jsonl(text.as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(keep.num_articles(), 2);
+        assert_eq!(keep.article(ArticleId(0)).year, 0);
+        let drop = read_jsonl(
+            text.as_bytes(),
+            &LoadOptions { drop_yearless: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(drop.num_articles(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let c = read_jsonl(SAMPLE.as_bytes(), &LoadOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&c, &mut buf).unwrap();
+        let c2 = read_jsonl(&buf[..], &LoadOptions::default()).unwrap();
+        assert_eq!(c.num_articles(), c2.num_articles());
+        assert_eq!(c.num_citations(), c2.num_citations());
+        for (a, b) in c.articles().iter().zip(c2.articles()) {
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.year, b.year);
+            assert_eq!(a.references, b.references);
+        }
+    }
+
+    #[test]
+    fn generated_corpus_roundtrips() {
+        let c = crate::generator::Preset::Tiny.generate(3);
+        let mut buf = Vec::new();
+        write_jsonl(&c, &mut buf).unwrap();
+        let c2 = read_jsonl(&buf[..], &LoadOptions::default()).unwrap();
+        assert_eq!(c.num_articles(), c2.num_articles());
+        assert_eq!(c.num_citations(), c2.num_citations());
+        assert_eq!(c.num_authors(), c2.num_authors());
+        assert_eq!(c.num_venues(), c2.num_venues());
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = read_jsonl("".as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(c.num_articles(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Loaders for real-world corpus interchange formats.
+//!
+//! Three formats are supported, covering the datasets the original
+//! evaluation drew on:
+//!
+//! * [`jsonl`] — one JSON object per line (the format this crate also
+//!   writes); the generic interchange path.
+//! * [`aan`] — the ACL Anthology Network release format: a block-structured
+//!   metadata file plus a `citing ==> cited` edge file.
+//! * [`mag`] — the Microsoft-Academic-Graph-style TSV triple: a papers
+//!   table, an authorship table, and a reference table.
+//!
+//! All loaders intern external string ids to dense [`crate::ArticleId`]s
+//! and share [`LoadOptions`] for how to treat data defects (references to
+//! unknown articles, missing years).
+
+pub mod aan;
+pub mod jsonl;
+pub mod mag;
+
+use crate::model::ArticleId;
+use std::collections::HashMap;
+
+/// How loaders treat records that reference unknown articles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnknownReferencePolicy {
+    /// Silently drop references to ids that never appear as articles
+    /// (the default — real citation dumps always contain such edges,
+    /// pointing at articles outside the crawl).
+    #[default]
+    Drop,
+    /// Fail loading.
+    Error,
+}
+
+/// Options shared by all loaders.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// Unknown-reference handling.
+    pub unknown_references: UnknownReferencePolicy,
+    /// Records without a parseable year are dropped when `true`
+    /// (default `false`: they get year 0 and survive, which keeps the
+    /// article-id space aligned with the source).
+    pub drop_yearless: bool,
+}
+
+/// Interns external string article ids to dense ids in first-seen order.
+#[derive(Debug, Default)]
+pub struct IdInterner {
+    map: HashMap<String, ArticleId>,
+}
+
+impl IdInterner {
+    /// Fresh interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `key`, allocating the next dense id when unseen.
+    pub fn intern(&mut self, key: &str) -> ArticleId {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = ArticleId(self.map.len() as u32);
+        self.map.insert(key.to_owned(), id);
+        id
+    }
+
+    /// Id for `key` without allocating.
+    pub fn get(&self, key: &str) -> Option<ArticleId> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of interned ids.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_stable_and_dense() {
+        let mut i = IdInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern("X");
+        let b = i.intern("Y");
+        let a2 = i.intern("X");
+        assert_eq!(a, a2);
+        assert_eq!(a, ArticleId(0));
+        assert_eq!(b, ArticleId(1));
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("Y"), Some(b));
+        assert_eq!(i.get("Z"), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Core entity types: articles, authors, venues.
+
+use serde::{Deserialize, Serialize};
+
+/// Publication year. The stack never needs finer time granularity.
+pub type Year = i32;
+
+macro_rules! dense_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize`, for indexing corpus tables and score
+            /// vectors.
+            #[inline(always)]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// Dense article identifier; indexes [`crate::Corpus::articles`] and
+    /// article-score vectors.
+    ArticleId
+}
+dense_id! {
+    /// Dense author identifier; indexes [`crate::Corpus::authors`] and
+    /// author-score vectors.
+    AuthorId
+}
+dense_id! {
+    /// Dense venue identifier; indexes [`crate::Corpus::venues`] and
+    /// venue-score vectors.
+    VenueId
+}
+
+/// One scholarly article.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Article {
+    /// Dense id; always equals this article's position in the corpus table.
+    pub id: ArticleId,
+    /// Title (may be synthetic).
+    pub title: String,
+    /// Publication year.
+    pub year: Year,
+    /// Venue the article appeared in.
+    pub venue: VenueId,
+    /// Author list in byline order (first author first).
+    pub authors: Vec<AuthorId>,
+    /// Outgoing citations: the articles this one cites.
+    pub references: Vec<ArticleId>,
+    /// Latent intrinsic merit planted by the synthetic generator;
+    /// `None` for articles loaded from real datasets. Used **only** by the
+    /// evaluation crate to derive ground truth — no ranking algorithm may
+    /// read it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub merit: Option<f64>,
+}
+
+/// One author.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Author {
+    /// Dense id; equals the position in the corpus author table.
+    pub id: AuthorId,
+    /// Display name.
+    pub name: String,
+}
+
+/// One publication venue (conference or journal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Venue {
+    /// Dense id; equals the position in the corpus venue table.
+    pub id: VenueId,
+    /// Display name.
+    pub name: String,
+}
+
+/// Byline-position weight used when aggregating article scores to authors:
+/// harmonic weighting, first author weighted 1, k-th author 1/k, normalized
+/// to sum 1 across the byline.
+///
+/// ```
+/// use scholar_corpus::model::author_position_weights;
+/// let w = author_position_weights(3);
+/// assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(w[0] > w[1] && w[1] > w[2]);
+/// ```
+pub fn author_position_weights(num_authors: usize) -> Vec<f64> {
+    if num_authors == 0 {
+        return Vec::new();
+    }
+    let mut w: Vec<f64> = (1..=num_authors).map(|k| 1.0 / k as f64).collect();
+    let sum: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_conversions() {
+        let a: ArticleId = 3u32.into();
+        assert_eq!(a.index(), 3);
+        assert_eq!(u32::from(a), 3);
+        assert_eq!(a.to_string(), "3");
+        assert!(ArticleId(1) < ArticleId(2));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; here we just check sizes.
+        assert_eq!(std::mem::size_of::<ArticleId>(), 4);
+        assert_eq!(std::mem::size_of::<AuthorId>(), 4);
+        assert_eq!(std::mem::size_of::<VenueId>(), 4);
+    }
+
+    #[test]
+    fn article_serde_roundtrip() {
+        let a = Article {
+            id: ArticleId(5),
+            title: "On Testing".into(),
+            year: 2001,
+            venue: VenueId(2),
+            authors: vec![AuthorId(1), AuthorId(3)],
+            references: vec![ArticleId(0), ArticleId(2)],
+            merit: Some(1.5),
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Article = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn merit_is_skipped_when_absent() {
+        let a = Article {
+            id: ArticleId(0),
+            title: String::new(),
+            year: 2000,
+            venue: VenueId(0),
+            authors: vec![],
+            references: vec![],
+            merit: None,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(!json.contains("merit"));
+    }
+
+    #[test]
+    fn position_weights_sum_to_one_and_decay() {
+        for n in 1..10 {
+            let w = author_position_weights(n);
+            assert_eq!(w.len(), n);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            for pair in w.windows(2) {
+                assert!(pair[0] > pair[1]);
+            }
+        }
+        assert!(author_position_weights(0).is_empty());
+        assert_eq!(author_position_weights(1), vec![1.0]);
+    }
+
+    #[test]
+    fn harmonic_ratios() {
+        let w = author_position_weights(2);
+        assert!((w[0] / w[1] - 2.0).abs() < 1e-12, "first author counts double in a pair");
+    }
+}

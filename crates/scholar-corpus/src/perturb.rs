@@ -1,0 +1,129 @@
+//! Corpus perturbations for robustness experiments.
+//!
+//! * [`sample_citations`] — keep each citation independently with a given
+//!   probability (the link-sparsity experiment, R-Fig 7): simulates an
+//!   incomplete crawl.
+//! * [`hide_citations_to_recent`] — hide most citations pointing at
+//!   recently published articles (the "new page" simulation): measures
+//!   how gracefully a ranker degrades for articles whose citation record
+//!   is missing.
+//!
+//! Both are deterministic given the seed, and nested across fractions
+//! (an edge dropped at keep = 0.8 is also dropped at keep = 0.5), which
+//! makes degradation curves monotone by construction rather than noisy.
+
+use crate::corpus::Corpus;
+use crate::model::Year;
+use sgraph::sampling::edge_unit;
+
+/// Keep each citation independently with probability `keep_fraction`.
+/// Articles, authors, and venues are untouched.
+pub fn sample_citations(corpus: &Corpus, keep_fraction: f64, seed: u64) -> Corpus {
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep fraction must be a probability, got {keep_fraction}"
+    );
+    let mut out = corpus.clone();
+    for a in &mut out.articles {
+        let src = a.id.0;
+        a.references.retain(|r| edge_unit(seed, src, r.0) < keep_fraction);
+    }
+    out
+}
+
+/// Hide each citation pointing at an article published after
+/// `recent_since` with probability `drop_fraction`.
+pub fn hide_citations_to_recent(
+    corpus: &Corpus,
+    recent_since: Year,
+    drop_fraction: f64,
+    seed: u64,
+) -> Corpus {
+    assert!(
+        (0.0..=1.0).contains(&drop_fraction),
+        "drop fraction must be a probability, got {drop_fraction}"
+    );
+    let recent: Vec<bool> =
+        corpus.articles().iter().map(|a| a.year >= recent_since).collect();
+    let mut out = corpus.clone();
+    for a in &mut out.articles {
+        let src = a.id.0;
+        a.references.retain(|r| {
+            !(recent[r.index()] && edge_unit(seed, src, r.0) < drop_fraction)
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Preset;
+    use crate::validate::validate;
+
+    #[test]
+    fn keep_fraction_is_respected() {
+        let c = Preset::Tiny.generate(30);
+        let total = c.num_citations() as f64;
+        for &f in &[0.3, 0.7] {
+            let s = sample_citations(&c, f, 4);
+            validate(&s).unwrap();
+            let kept = s.num_citations() as f64 / total;
+            assert!((kept - f).abs() < 0.05, "asked {f}, kept {kept}");
+            assert_eq!(s.num_articles(), c.num_articles());
+        }
+        assert_eq!(sample_citations(&c, 1.0, 4), c);
+        assert_eq!(sample_citations(&c, 0.0, 4).num_citations(), 0);
+    }
+
+    #[test]
+    fn samples_are_nested() {
+        let c = Preset::Tiny.generate(31);
+        let small = sample_citations(&c, 0.3, 9);
+        let large = sample_citations(&c, 0.7, 9);
+        for (a_small, a_large) in small.articles().iter().zip(large.articles()) {
+            for r in &a_small.references {
+                assert!(a_large.references.contains(r), "nested sampling violated");
+            }
+        }
+    }
+
+    #[test]
+    fn hiding_recent_targets_only_recent() {
+        let c = Preset::Tiny.generate(32);
+        let (_, last) = c.year_range().unwrap();
+        let cut = last - 3;
+        let hidden = hide_citations_to_recent(&c, cut, 1.0, 5);
+        validate(&hidden).unwrap();
+        let counts = hidden.citation_counts();
+        for a in hidden.articles() {
+            if a.year >= cut {
+                assert_eq!(counts[a.id.index()], 0, "recent article still cited");
+            }
+        }
+        // Old articles keep their citations.
+        let old_before: u32 = c
+            .citation_counts()
+            .iter()
+            .zip(c.articles())
+            .filter(|(_, a)| a.year < cut)
+            .map(|(&n, _)| n)
+            .sum();
+        let old_after: u32 = counts
+            .iter()
+            .zip(hidden.articles())
+            .filter(|(_, a)| a.year < cut)
+            .map(|(&n, _)| n)
+            .sum();
+        assert_eq!(old_before, old_after);
+    }
+
+    #[test]
+    fn partial_hiding() {
+        let c = Preset::Tiny.generate(33);
+        let (_, last) = c.year_range().unwrap();
+        let half = hide_citations_to_recent(&c, last - 5, 0.5, 6);
+        assert!(half.num_citations() < c.num_citations());
+        assert!(half.num_citations() > 0);
+    }
+}

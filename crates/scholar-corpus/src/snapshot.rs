@@ -1,0 +1,177 @@
+//! Time-restricted corpus views.
+//!
+//! The robustness experiment (R-Table 4) ranks articles using only the
+//! data available at a cutoff year and compares against the final ranking;
+//! the ground-truth builders need the complement (citations arriving
+//! *after* the cutoff). [`snapshot_until`] produces the restricted corpus
+//! plus the id correspondence.
+
+use crate::corpus::Corpus;
+use crate::model::{ArticleId, Year};
+
+/// A corpus restricted to articles published `<= cutoff`, with the id
+/// correspondence back to the full corpus.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The restricted corpus. Article ids are renumbered densely; author
+    /// and venue tables are kept whole (ids unchanged) so author/venue
+    /// scores remain comparable across snapshots.
+    pub corpus: Corpus,
+    /// `full_of[snap]` = the full-corpus id of snapshot article `snap`.
+    pub full_of: Vec<ArticleId>,
+    /// `snap_of[full]` = snapshot id of a full-corpus article, or `None`
+    /// if it post-dates the cutoff.
+    pub snap_of: Vec<Option<ArticleId>>,
+    /// The cutoff year used.
+    pub cutoff: Year,
+}
+
+impl Snapshot {
+    /// Map a snapshot article id to the full corpus.
+    pub fn to_full(&self, snap: ArticleId) -> ArticleId {
+        self.full_of[snap.index()]
+    }
+
+    /// Map a full-corpus article id into the snapshot, if present.
+    pub fn to_snapshot(&self, full: ArticleId) -> Option<ArticleId> {
+        self.snap_of[full.index()]
+    }
+
+    /// Scatter snapshot article scores back to full-corpus indexing,
+    /// filling post-cutoff articles with `fill`.
+    pub fn scatter_scores(&self, snap_scores: &[f64], fill: f64) -> Vec<f64> {
+        assert_eq!(snap_scores.len(), self.full_of.len(), "score length mismatch");
+        let mut out = vec![fill; self.snap_of.len()];
+        for (i, &full) in self.full_of.iter().enumerate() {
+            out[full.index()] = snap_scores[i];
+        }
+        out
+    }
+}
+
+/// Restrict `corpus` to articles published in or before `cutoff`.
+///
+/// References to post-cutoff articles are dropped (they cannot occur in
+/// chronological data, but loaders tolerate time-travel citations, so the
+/// snapshot must too).
+pub fn snapshot_until(corpus: &Corpus, cutoff: Year) -> Snapshot {
+    let n = corpus.num_articles();
+    let mut snap_of: Vec<Option<ArticleId>> = vec![None; n];
+    let mut full_of: Vec<ArticleId> = Vec::new();
+    for a in corpus.articles() {
+        if a.year <= cutoff {
+            snap_of[a.id.index()] = Some(ArticleId(full_of.len() as u32));
+            full_of.push(a.id);
+        }
+    }
+    let articles = full_of
+        .iter()
+        .map(|&fid| {
+            let a = corpus.article(fid);
+            let mut new = a.clone();
+            new.id = snap_of[fid.index()].unwrap();
+            new.references = a
+                .references
+                .iter()
+                .filter_map(|&r| snap_of[r.index()])
+                .collect();
+            new
+        })
+        .collect();
+    Snapshot {
+        corpus: Corpus {
+            articles,
+            authors: corpus.authors().to_vec(),
+            venues: corpus.venues().to_vec(),
+        },
+        full_of,
+        snap_of,
+        cutoff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let u = b.author("U");
+        let a0 = b.add_article("a0", 1990, v, vec![u], vec![], None);
+        let a1 = b.add_article("a1", 1995, v, vec![u], vec![a0], None);
+        let a2 = b.add_article("a2", 2000, v, vec![u], vec![a0, a1], None);
+        b.add_article("a3", 2005, v, vec![u], vec![a2], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cutoff_excludes_newer_articles() {
+        let c = corpus();
+        let s = snapshot_until(&c, 1999);
+        assert_eq!(s.corpus.num_articles(), 2);
+        assert_eq!(s.cutoff, 1999);
+        assert_eq!(s.to_full(ArticleId(1)), ArticleId(1));
+        assert_eq!(s.to_snapshot(ArticleId(2)), None);
+        assert_eq!(s.to_snapshot(ArticleId(0)), Some(ArticleId(0)));
+    }
+
+    #[test]
+    fn references_are_remapped_and_filtered() {
+        let c = corpus();
+        let s = snapshot_until(&c, 2000);
+        assert_eq!(s.corpus.num_articles(), 3);
+        let a2 = s.corpus.article(ArticleId(2));
+        assert_eq!(a2.references, vec![ArticleId(0), ArticleId(1)]);
+        // Snapshot corpus passes its own integrity invariants.
+        assert!(crate::validate::validate(&s.corpus).is_ok());
+    }
+
+    #[test]
+    fn authors_and_venues_survive_whole() {
+        let c = corpus();
+        let s = snapshot_until(&c, 1990);
+        assert_eq!(s.corpus.num_authors(), c.num_authors());
+        assert_eq!(s.corpus.num_venues(), c.num_venues());
+    }
+
+    #[test]
+    fn snapshot_of_everything_is_identity() {
+        let c = corpus();
+        let s = snapshot_until(&c, 3000);
+        assert_eq!(s.corpus, c);
+        for a in c.articles() {
+            assert_eq!(s.to_snapshot(a.id), Some(a.id));
+        }
+    }
+
+    #[test]
+    fn snapshot_before_everything_is_empty() {
+        let c = corpus();
+        let s = snapshot_until(&c, 1000);
+        assert_eq!(s.corpus.num_articles(), 0);
+    }
+
+    #[test]
+    fn scatter_scores_roundtrip() {
+        let c = corpus();
+        let s = snapshot_until(&c, 2000);
+        let scores = vec![0.5, 0.3, 0.2];
+        let full = s.scatter_scores(&scores, 0.0);
+        assert_eq!(full, vec![0.5, 0.3, 0.2, 0.0]);
+    }
+
+    #[test]
+    fn time_travel_citations_are_dropped_by_snapshot() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let future = ArticleId(1);
+        b.add_article("old", 1990, v, vec![], vec![future], None);
+        b.add_article("new", 2010, v, vec![], vec![], None);
+        let c = b.finish().unwrap();
+        let s = snapshot_until(&c, 2000);
+        assert_eq!(s.corpus.num_articles(), 1);
+        assert!(s.corpus.article(ArticleId(0)).references.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Corpus-level statistics (R-Table 1).
+
+use crate::corpus::Corpus;
+use crate::model::Year;
+use sgraph::stats as gstats;
+
+/// Summary statistics of a corpus, comparable to the dataset tables
+/// published alongside scholarly-ranking papers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of articles.
+    pub articles: usize,
+    /// Number of citation edges.
+    pub citations: usize,
+    /// Number of distinct authors.
+    pub authors: usize,
+    /// Number of distinct venues.
+    pub venues: usize,
+    /// First publication year (0 when empty).
+    pub first_year: Year,
+    /// Last publication year (0 when empty).
+    pub last_year: Year,
+    /// Mean reference-list length.
+    pub mean_references: f64,
+    /// Mean byline length.
+    pub mean_authors_per_article: f64,
+    /// Mean citations received per article.
+    pub mean_citations_received: f64,
+    /// Maximum citations received by one article.
+    pub max_citations_received: usize,
+    /// Fraction of articles never cited.
+    pub uncited_fraction: f64,
+    /// MLE power-law exponent of the citation-count tail (x_min = 5), if
+    /// the tail is large enough to estimate.
+    pub citation_alpha: Option<f64>,
+    /// Gini coefficient of citations received.
+    pub citation_gini: f64,
+}
+
+/// Compute [`CorpusStats`] for `corpus`.
+pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
+    let n = corpus.num_articles();
+    let g = corpus.citation_graph();
+    let in_stats = gstats::in_degree_stats(&g);
+    let (first_year, last_year) = corpus.year_range().unwrap_or((0, 0));
+    let total_refs = corpus.num_citations();
+    let total_authors: usize = corpus.articles().iter().map(|a| a.authors.len()).sum();
+    CorpusStats {
+        articles: n,
+        citations: total_refs,
+        authors: corpus.num_authors(),
+        venues: corpus.num_venues(),
+        first_year,
+        last_year,
+        mean_references: if n == 0 { 0.0 } else { total_refs as f64 / n as f64 },
+        mean_authors_per_article: if n == 0 { 0.0 } else { total_authors as f64 / n as f64 },
+        mean_citations_received: in_stats.mean,
+        max_citations_received: in_stats.max,
+        uncited_fraction: in_stats.zero_fraction,
+        citation_alpha: gstats::in_degree_power_law_alpha(&g, 5),
+        citation_gini: in_stats.gini,
+    }
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "articles                {:>12}", self.articles)?;
+        writeln!(f, "citations               {:>12}", self.citations)?;
+        writeln!(f, "authors                 {:>12}", self.authors)?;
+        writeln!(f, "venues                  {:>12}", self.venues)?;
+        writeln!(f, "years                   {:>7} - {:<4}", self.first_year, self.last_year)?;
+        writeln!(f, "mean references         {:>12.2}", self.mean_references)?;
+        writeln!(f, "mean authors/article    {:>12.2}", self.mean_authors_per_article)?;
+        writeln!(f, "mean citations recv     {:>12.2}", self.mean_citations_received)?;
+        writeln!(f, "max citations recv      {:>12}", self.max_citations_received)?;
+        writeln!(f, "uncited fraction        {:>12.3}", self.uncited_fraction)?;
+        match self.citation_alpha {
+            Some(a) => writeln!(f, "citation tail alpha     {:>12.2}", a)?,
+            None => writeln!(f, "citation tail alpha     {:>12}", "n/a")?,
+        }
+        write!(f, "citation gini           {:>12.3}", self.citation_gini)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    #[test]
+    fn stats_of_small_corpus() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let u0 = b.author("A");
+        let u1 = b.author("B");
+        let a0 = b.add_article("a0", 1990, v, vec![u0], vec![], None);
+        let a1 = b.add_article("a1", 1995, v, vec![u0, u1], vec![a0], None);
+        b.add_article("a2", 2000, v, vec![u1], vec![a0, a1], None);
+        let c = b.finish().unwrap();
+        let s = corpus_stats(&c);
+        assert_eq!(s.articles, 3);
+        assert_eq!(s.citations, 3);
+        assert_eq!(s.authors, 2);
+        assert_eq!(s.venues, 1);
+        assert_eq!(s.first_year, 1990);
+        assert_eq!(s.last_year, 2000);
+        assert!((s.mean_references - 1.0).abs() < 1e-12);
+        assert!((s.mean_authors_per_article - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_citations_received, 2);
+        assert!((s.uncited_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.citation_alpha, None); // tail far too small
+    }
+
+    #[test]
+    fn stats_of_empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        let s = corpus_stats(&c);
+        assert_eq!(s.articles, 0);
+        assert_eq!(s.mean_references, 0.0);
+        assert_eq!(s.first_year, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        let text = corpus_stats(&c).to_string();
+        assert!(text.contains("articles"));
+        assert!(text.contains("citation gini"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Referential-integrity validation for corpora from untrusted sources.
+
+use crate::corpus::Corpus;
+use crate::{CorpusError, Result};
+
+/// A summary of soft (non-fatal) data-quality findings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// Citations whose cited article is newer than the citing article.
+    pub time_travel_citations: usize,
+    /// Articles with an empty author list.
+    pub articles_without_authors: usize,
+    /// Articles with an empty reference list.
+    pub articles_without_references: usize,
+    /// Articles never cited by any other article.
+    pub uncited_articles: usize,
+}
+
+/// Hard validation: every id in bounds, dense id assignment, no
+/// self-citations, references sorted and deduplicated.
+///
+/// Corpora produced by [`crate::CorpusBuilder::finish`] always pass; this
+/// is the check applied to deserialized / hand-constructed data.
+pub fn validate(corpus: &Corpus) -> Result<()> {
+    let n_articles = corpus.num_articles() as u32;
+    let n_authors = corpus.num_authors() as u32;
+    let n_venues = corpus.num_venues() as u32;
+    for (i, a) in corpus.articles().iter().enumerate() {
+        if a.id.0 != i as u32 {
+            return Err(CorpusError::Parse {
+                line: i + 1,
+                message: format!("article id {} not dense at position {i}", a.id),
+            });
+        }
+        if a.venue.0 >= n_venues {
+            return Err(CorpusError::DanglingReference { kind: "venue", id: a.venue.0, article: a.id.0 });
+        }
+        for &u in &a.authors {
+            if u.0 >= n_authors {
+                return Err(CorpusError::DanglingReference { kind: "author", id: u.0, article: a.id.0 });
+            }
+        }
+        let mut prev: Option<u32> = None;
+        for &r in &a.references {
+            if r.0 >= n_articles {
+                return Err(CorpusError::DanglingReference { kind: "article", id: r.0, article: a.id.0 });
+            }
+            if r == a.id {
+                return Err(CorpusError::Parse {
+                    line: i + 1,
+                    message: format!("article {} cites itself", a.id),
+                });
+            }
+            if let Some(p) = prev {
+                if r.0 <= p {
+                    return Err(CorpusError::Parse {
+                        line: i + 1,
+                        message: format!("references of article {} not sorted/deduplicated", a.id),
+                    });
+                }
+            }
+            prev = Some(r.0);
+        }
+    }
+    for (i, u) in corpus.authors().iter().enumerate() {
+        if u.id.0 != i as u32 {
+            return Err(CorpusError::Parse {
+                line: i + 1,
+                message: format!("author id {} not dense at position {i}", u.id),
+            });
+        }
+    }
+    for (i, v) in corpus.venues().iter().enumerate() {
+        if v.id.0 != i as u32 {
+            return Err(CorpusError::Parse {
+                line: i + 1,
+                message: format!("venue id {} not dense at position {i}", v.id),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Soft data-quality report (never fails).
+pub fn quality_report(corpus: &Corpus) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let cited = corpus.citation_counts();
+    for a in corpus.articles() {
+        if a.authors.is_empty() {
+            report.articles_without_authors += 1;
+        }
+        if a.references.is_empty() {
+            report.articles_without_references += 1;
+        }
+        for &r in &a.references {
+            if corpus.article(r).year > a.year {
+                report.time_travel_citations += 1;
+            }
+        }
+    }
+    report.uncited_articles = cited.iter().filter(|&&c| c == 0).count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::model::{Article, ArticleId, VenueId};
+
+    fn good() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let u = b.author("U");
+        let a0 = b.add_article("a0", 1990, v, vec![u], vec![], None);
+        b.add_article("a1", 1995, v, vec![], vec![a0], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        assert!(validate(&good()).is_ok());
+    }
+
+    #[test]
+    fn detects_non_dense_article_ids() {
+        let mut c = good();
+        c.articles[1].id = ArticleId(7);
+        assert!(validate(&c).is_err());
+    }
+
+    #[test]
+    fn detects_self_citation() {
+        let mut c = good();
+        c.articles[1].references = vec![ArticleId(1)];
+        assert!(validate(&c).is_err());
+    }
+
+    #[test]
+    fn detects_unsorted_references() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("a0", 1990, v, vec![], vec![], None);
+        let a1 = b.add_article("a1", 1991, v, vec![], vec![], None);
+        b.add_article("a2", 1995, v, vec![], vec![a0, a1], None);
+        let mut c = b.finish().unwrap();
+        c.articles[2].references = vec![a1, a0];
+        assert!(validate(&c).is_err());
+    }
+
+    #[test]
+    fn detects_out_of_bounds_everything() {
+        let mut c = good();
+        c.articles[0].venue = VenueId(5);
+        assert!(matches!(validate(&c), Err(CorpusError::DanglingReference { kind: "venue", .. })));
+
+        let mut c = good();
+        c.articles[0].references = vec![ArticleId(99)];
+        assert!(matches!(validate(&c), Err(CorpusError::DanglingReference { kind: "article", .. })));
+    }
+
+    #[test]
+    fn quality_report_counts() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let u = b.author("U");
+        let future = ArticleId(1);
+        b.add_article("old", 1990, v, vec![], vec![future], None);
+        b.add_article("new", 2010, v, vec![u], vec![], None);
+        let c = b.finish().unwrap();
+        let r = quality_report(&c);
+        assert_eq!(r.time_travel_citations, 1);
+        assert_eq!(r.articles_without_authors, 1);
+        assert_eq!(r.articles_without_references, 1);
+        assert_eq!(r.uncited_articles, 1); // article 0 is never cited
+    }
+
+    #[test]
+    fn quality_report_clean_corpus() {
+        let r = quality_report(&good());
+        assert_eq!(r.time_travel_citations, 0);
+        assert_eq!(r.uncited_articles, 1);
+    }
+
+    #[test]
+    fn add_article_dense_ids_validate() {
+        // Articles created via Article literal with correct density pass.
+        let c = Corpus {
+            articles: vec![Article {
+                id: ArticleId(0),
+                title: "x".into(),
+                year: 2000,
+                venue: VenueId(0),
+                authors: vec![],
+                references: vec![],
+                merit: None,
+            }],
+            authors: vec![],
+            venues: vec![crate::model::Venue { id: VenueId(0), name: "v".into() }],
+        };
+        assert!(validate(&c).is_ok());
+    }
+}

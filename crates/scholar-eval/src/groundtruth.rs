@@ -1,0 +1,256 @@
+//! Ground-truth construction (DESIGN.md §4 / §5).
+//!
+//! Three constructions, mirroring what the published evaluation gathered
+//! from the real world:
+//!
+//! 1. **Future citations** — rank articles visible at a cutoff year by the
+//!    citations they receive in a held-out future window. This is the
+//!    standard "predict eventual impact" ground truth and requires no
+//!    planted information at all, so it works on real datasets too.
+//! 2. **Award lists** — the top-merit articles per year bucket, standing in
+//!    for best-paper / test-of-time award lists (uses the generator's
+//!    planted merit; unavailable for real corpora without award data).
+//! 3. **Expert pairs** — sampled article pairs with a clear merit margin,
+//!    standing in for pairwise expert judgments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scholar_corpus::{Corpus, Snapshot};
+use std::collections::HashSet;
+
+/// A graded ground truth over the articles of a (snapshot) corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// One non-negative grade per article (higher = objectively better).
+    pub values: Vec<f64>,
+    /// Human-readable description for table captions.
+    pub description: String,
+}
+
+/// Future-citation ground truth for the articles of `snapshot`: citations
+/// received from full-corpus articles published in
+/// `(cutoff, cutoff + window_years]`.
+///
+/// Returned values are aligned with the *snapshot's* article ids.
+pub fn future_citations(full: &Corpus, snapshot: &Snapshot, window_years: i32) -> GroundTruth {
+    assert!(window_years > 0, "window must be positive");
+    let horizon = snapshot.cutoff.saturating_add(window_years);
+    let mut values = vec![0.0f64; snapshot.corpus.num_articles()];
+    for citing in full.articles() {
+        if citing.year <= snapshot.cutoff || citing.year > horizon {
+            continue;
+        }
+        for &cited in &citing.references {
+            if let Some(snap_id) = snapshot.to_snapshot(cited) {
+                values[snap_id.index()] += 1.0;
+            }
+        }
+    }
+    GroundTruth {
+        values,
+        description: format!(
+            "citations received in ({}, {}]",
+            snapshot.cutoff, horizon
+        ),
+    }
+}
+
+/// Planted-merit ground truth (synthetic corpora only).
+///
+/// Returns `None` if any article lacks planted merit.
+pub fn planted_merit(corpus: &Corpus) -> Option<GroundTruth> {
+    let values: Option<Vec<f64>> = corpus.articles().iter().map(|a| a.merit).collect();
+    values.map(|values| GroundTruth { values, description: "planted intrinsic merit".into() })
+}
+
+/// Award-list ground truth: within each `bucket_years`-wide publication
+/// window, the top `top_frac` articles by planted merit (at least one per
+/// non-empty bucket) are "award papers".
+///
+/// Returns the set of article indices. Panics if merit is missing.
+pub fn award_set(corpus: &Corpus, bucket_years: i32, top_frac: f64) -> HashSet<usize> {
+    assert!(bucket_years > 0, "bucket width must be positive");
+    assert!((0.0..=1.0).contains(&top_frac), "top_frac must be in [0, 1]");
+    let Some((first, last)) = corpus.year_range() else {
+        return HashSet::new();
+    };
+    let mut awards = HashSet::new();
+    let mut bucket_start = first;
+    while bucket_start <= last {
+        let bucket_end = bucket_start + bucket_years - 1;
+        let mut members: Vec<(usize, f64)> = corpus
+            .articles()
+            .iter()
+            .filter(|a| a.year >= bucket_start && a.year <= bucket_end)
+            .map(|a| (a.id.index(), a.merit.expect("award_set needs planted merit")))
+            .collect();
+        if !members.is_empty() {
+            members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            let take = ((members.len() as f64 * top_frac).ceil() as usize).max(1);
+            for &(idx, _) in members.iter().take(take) {
+                awards.insert(idx);
+            }
+        }
+        bucket_start += bucket_years;
+    }
+    awards
+}
+
+/// Expert-pair ground truth: up to `n_pairs` article pairs `(winner,
+/// loser)` whose planted merits differ by at least `margin_ratio`×
+/// (ratio ≥ margin_ratio > 1 guarantees a judgment an expert would make
+/// confidently). Deterministic given `seed`.
+pub fn expert_pairs(
+    corpus: &Corpus,
+    n_pairs: usize,
+    margin_ratio: f64,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    assert!(margin_ratio > 1.0, "margin ratio must exceed 1");
+    let n = corpus.num_articles();
+    if n < 2 {
+        return Vec::new();
+    }
+    let merit: Vec<f64> = corpus
+        .articles()
+        .iter()
+        .map(|a| a.merit.expect("expert_pairs needs planted merit"))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(n_pairs);
+    let max_attempts = n_pairs.saturating_mul(50).max(1000);
+    let mut attempts = 0;
+    while pairs.len() < n_pairs && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        if merit[i] >= margin_ratio * merit[j] {
+            pairs.push((i, j));
+        } else if merit[j] >= margin_ratio * merit[i] {
+            pairs.push((j, i));
+        }
+    }
+    pairs
+}
+
+/// Fraction of expert pairs a score vector orders correctly (ties get half
+/// credit). `NaN` for an empty pair list.
+pub fn pair_agreement(pairs: &[(usize, usize)], scores: &[f64]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    let mut credit = 0.0;
+    for &(winner, loser) in pairs {
+        if scores[winner] > scores[loser] {
+            credit += 1.0;
+        } else if scores[winner] == scores[loser] {
+            credit += 0.5;
+        }
+    }
+    credit / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+    use scholar_corpus::{snapshot_until, CorpusBuilder};
+
+    fn staged_corpus() -> Corpus {
+        // a0 (1990), a1 (1995) visible at cutoff 2000;
+        // a2 (2005) cites a0; a3 (2010) cites a0, a1; a4 (2020) cites a1.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("a0", 1990, v, vec![], vec![], Some(5.0));
+        let a1 = b.add_article("a1", 1995, v, vec![], vec![a0], Some(1.0));
+        b.add_article("a2", 2005, v, vec![], vec![a0], Some(2.0));
+        b.add_article("a3", 2010, v, vec![], vec![a0, a1], Some(3.0));
+        b.add_article("a4", 2020, v, vec![], vec![a1], Some(0.5));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn future_citations_respect_window() {
+        let c = staged_corpus();
+        let snap = snapshot_until(&c, 2000);
+        assert_eq!(snap.corpus.num_articles(), 2);
+        // Window 10 years: citations in (2000, 2010] = a2, a3.
+        let gt = future_citations(&c, &snap, 10);
+        assert_eq!(gt.values, vec![2.0, 1.0]);
+        // Window 6: only a2 counts.
+        let gt6 = future_citations(&c, &snap, 6);
+        assert_eq!(gt6.values, vec![1.0, 0.0]);
+        // Window 25: a4's citation to a1 now counts.
+        let gt25 = future_citations(&c, &snap, 25);
+        assert_eq!(gt25.values, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn planted_merit_roundtrip() {
+        let c = staged_corpus();
+        let gt = planted_merit(&c).unwrap();
+        assert_eq!(gt.values, vec![5.0, 1.0, 2.0, 3.0, 0.5]);
+        // Missing merit -> None.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("x", 2000, v, vec![], vec![], None);
+        let c2 = b.finish().unwrap();
+        assert!(planted_merit(&c2).is_none());
+    }
+
+    #[test]
+    fn award_set_per_bucket() {
+        let c = staged_corpus();
+        // Buckets of 10y starting 1990: [1990-1999]={a0,a1}, [2000-2009]={a2},
+        // [2010-2019]={a3}, [2020-2029]={a4}. top_frac tiny -> 1 per bucket.
+        let awards = award_set(&c, 10, 0.01);
+        assert_eq!(awards.len(), 4);
+        assert!(awards.contains(&0)); // a0 beats a1 in its bucket
+        assert!(awards.contains(&2));
+        assert!(awards.contains(&3));
+        assert!(awards.contains(&4));
+        assert!(!awards.contains(&1));
+    }
+
+    #[test]
+    fn award_set_fraction_scales() {
+        let c = Preset::Tiny.generate(5);
+        let small = award_set(&c, 5, 0.02);
+        let large = award_set(&c, 5, 0.2);
+        assert!(large.len() > small.len());
+        assert!(small.iter().all(|i| large.contains(i) || !large.is_empty()));
+    }
+
+    #[test]
+    fn expert_pairs_have_margin() {
+        let c = Preset::Tiny.generate(6);
+        let pairs = expert_pairs(&c, 500, 2.0, 9);
+        assert!(pairs.len() > 100, "should find plenty of 2x-margin pairs");
+        for &(w, l) in &pairs {
+            let mw = c.articles()[w].merit.unwrap();
+            let ml = c.articles()[l].merit.unwrap();
+            assert!(mw >= 2.0 * ml);
+        }
+        // Determinism.
+        assert_eq!(pairs, expert_pairs(&c, 500, 2.0, 9));
+    }
+
+    #[test]
+    fn pair_agreement_scores() {
+        let pairs = vec![(0usize, 1usize), (2, 1)];
+        assert_eq!(pair_agreement(&pairs, &[2.0, 1.0, 3.0]), 1.0);
+        assert_eq!(pair_agreement(&pairs, &[0.0, 1.0, 0.5]), 0.0);
+        assert_eq!(pair_agreement(&pairs, &[1.0, 1.0, 2.0]), 0.75);
+        assert!(pair_agreement(&[], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn empty_corpus_edge_cases() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        assert!(award_set(&c, 5, 0.1).is_empty());
+        assert!(expert_pairs(&c, 10, 2.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # scholar-eval — ground truth, metrics, and the experiment harness
+//!
+//! Everything needed to score a ranking against what the paper's
+//! evaluation would have scored it against:
+//!
+//! * [`groundtruth`] — the three ground-truth constructions (future
+//!   citations in a held-out window; award lists from planted merit;
+//!   expert preference pairs) described in DESIGN.md §4.
+//! * [`metrics`] — pairwise accuracy, Spearman ρ, Kendall τ-b (O(n log n)),
+//!   NDCG@k, precision/recall@k, MRR, Jaccard@k, rank-biased overlap.
+//! * [`significance`] — paired-bootstrap tests for metric differences.
+//! * [`score_stats`] — score-distribution concentration diagnostics.
+//! * [`experiment`] — runs a set of [`scholar_rank::Ranker`]s over a
+//!   corpus snapshot and evaluates each against a ground truth, producing
+//!   the rows of the R-Tables; includes temporal cross-validation over
+//!   several cutoffs.
+//! * [`tables`] / [`series`] — plain-text rendering of tables and figure
+//!   series, plus machine-readable JSON for EXPERIMENTS.md.
+
+pub mod experiment;
+pub mod groundtruth;
+pub mod metrics;
+pub mod score_stats;
+pub mod series;
+pub mod significance;
+pub mod tables;
+
+pub use experiment::{evaluate_ranking, run_temporal_cv, CvRow, EvalRow, Experiment};
+pub use groundtruth::GroundTruth;
+pub use significance::{paired_bootstrap, BootstrapMetric, BootstrapResult};

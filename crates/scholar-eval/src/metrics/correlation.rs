@@ -1,0 +1,266 @@
+//! Rank and linear correlation coefficients.
+
+use scholar_rank::scores::fractional_ranks;
+
+/// Pearson linear correlation. `NaN` when either input is constant or
+/// inputs are shorter than 2.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        f64::NAN
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation (Pearson on fractional ranks, which handles
+/// ties correctly).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Kendall τ-b rank correlation with tie correction, computed in
+/// O(n log n) via Knight's algorithm (sort by x, count discordant pairs as
+/// merge-sort inversions on y).
+///
+/// Returns `NaN` for inputs shorter than 2 or when either input is fully
+/// tied.
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    // Pair and sort by (x, y).
+    let mut pairs: Vec<(f64, f64)> = x.iter().copied().zip(y.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
+
+    // Ties in x (n1) and joint ties (n3).
+    let mut n1 = 0.0f64;
+    let mut n3 = 0.0f64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && pairs[j + 1].0 == pairs[i].0 {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            n1 += t * (t - 1.0) / 2.0;
+            // Joint ties within the x-tie block (pairs are sorted by y there).
+            let mut a = i;
+            while a <= j {
+                let mut b2 = a;
+                while b2 < j && pairs[b2 + 1].1 == pairs[a].1 {
+                    b2 += 1;
+                }
+                let u = (b2 - a + 1) as f64;
+                n3 += u * (u - 1.0) / 2.0;
+                a = b2 + 1;
+            }
+            i = j + 1;
+        }
+    }
+
+    // Discordant pairs: inversions of the y sequence (merge sort count).
+    let mut ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let mut buf = vec![0.0f64; n];
+    let swaps = count_inversions(&mut ys, &mut buf);
+    // `ys` is now fully sorted by y: count ties in y (n2).
+    let mut n2 = 0.0f64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && ys[j + 1] == ys[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            n2 += t * (t - 1.0) / 2.0;
+            i = j + 1;
+        }
+    }
+
+    let num = n0 - n1 - n2 + n3 - 2.0 * swaps as f64;
+    let den = ((n0 - n1) * (n0 - n2)).sqrt();
+    if den <= 0.0 {
+        f64::NAN
+    } else {
+        num / den
+    }
+}
+
+/// Merge sort counting inversions (strict `>` pairs); `v` ends sorted.
+fn count_inversions(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = v.split_at_mut(mid);
+    let mut inv = count_inversions(left, buf) + count_inversions(right, buf);
+    // Merge with counting.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            buf[k] = right[j];
+            j += 1;
+            inv += (left.len() - i) as u64;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert_close(pearson(&x, &y), 1.0);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert_close(pearson(&x, &z), -1.0);
+        assert!(pearson(&x, &[5.0; 4]).is_nan());
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear: Spearman 1, Pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert_close(spearman(&x, &y), 1.0);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert_close(spearman(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn kendall_known_values() {
+        // Perfect agreement / disagreement.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_close(kendall_tau_b(&x, &x), 1.0);
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_close(kendall_tau_b(&x, &rev), -1.0);
+        // Classic small example: x = 1..4, y = (1, 3, 2, 4):
+        // 5 concordant, 1 discordant => tau = 4/6.
+        let y = [1.0, 3.0, 2.0, 4.0];
+        assert_close(kendall_tau_b(&x, &y), 4.0 / 6.0);
+    }
+
+    #[test]
+    fn kendall_with_ties_matches_reference() {
+        // Reference value computed with scipy.stats.kendalltau:
+        // x = [1,2,2,3], y = [1,2,3,4] -> tau_b ≈ 0.9128709291752769.
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau_b(&x, &y);
+        assert!((tau - 0.912_870_929_175_276_9).abs() < 1e-12, "tau {tau}");
+    }
+
+    #[test]
+    fn kendall_nan_cases() {
+        assert!(kendall_tau_b(&[1.0], &[1.0]).is_nan());
+        assert!(kendall_tau_b(&[1.0, 1.0], &[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn kendall_matches_naive_on_random_data() {
+        // O(n²) reference implementation.
+        fn naive_tau_b(x: &[f64], y: &[f64]) -> f64 {
+            let n = x.len();
+            let (mut conc, mut disc, mut tx, mut ty) = (0f64, 0f64, 0f64, 0f64);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = x[i] - x[j];
+                    let dy = y[i] - y[j];
+                    if dx == 0.0 && dy == 0.0 {
+                        // joint tie: counts in both tx and ty
+                        tx += 1.0;
+                        ty += 1.0;
+                    } else if dx == 0.0 {
+                        tx += 1.0;
+                    } else if dy == 0.0 {
+                        ty += 1.0;
+                    } else if dx * dy > 0.0 {
+                        conc += 1.0;
+                    } else {
+                        disc += 1.0;
+                    }
+                }
+            }
+            let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
+            (conc - disc) / ((n0 - tx) * (n0 - ty)).sqrt()
+        }
+        // Deterministic pseudo-random data with ties.
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 32) % 10) as f64
+        };
+        let x: Vec<f64> = (0..200).map(|_| next()).collect();
+        let y: Vec<f64> = (0..200).map(|_| next()).collect();
+        let fast = kendall_tau_b(&x, &y);
+        let slow = naive_tau_b(&x, &y);
+        assert!((fast - slow).abs() < 1e-9, "fast {fast}, slow {slow}");
+    }
+
+    #[test]
+    fn inversion_count_sorts() {
+        let mut v = vec![3.0, 1.0, 2.0];
+        let mut buf = vec![0.0; 3];
+        let inv = count_inversions(&mut v, &mut buf);
+        assert_eq!(inv, 2);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+}

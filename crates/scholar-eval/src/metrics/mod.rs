@@ -1,0 +1,13 @@
+//! Ranking-quality metrics.
+
+pub mod correlation;
+pub mod ndcg;
+pub mod pairwise;
+pub mod rbo;
+pub mod topk;
+
+pub use correlation::{kendall_tau_b, pearson, spearman};
+pub use ndcg::ndcg_at_k;
+pub use pairwise::{pairwise_accuracy, pairwise_accuracy_auto, pairwise_accuracy_sampled};
+pub use rbo::rbo;
+pub use topk::{jaccard_at_k, mrr, precision_at_k, recall_at_k};

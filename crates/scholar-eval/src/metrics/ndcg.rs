@@ -1,0 +1,86 @@
+//! Normalized discounted cumulative gain.
+
+use scholar_rank::scores::top_k;
+
+/// NDCG@k of `predicted` against graded non-negative relevance `truth`.
+///
+/// `DCG@k = Σ_{i<k} rel(item at predicted rank i) / log2(i + 2)`, divided
+/// by the ideal DCG@k. Returns `NaN` when the ideal DCG is zero (no
+/// relevant item exists).
+pub fn ndcg_at_k(truth: &[f64], predicted: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    debug_assert!(truth.iter().all(|&r| r >= 0.0), "relevance must be non-negative");
+    let k = k.min(truth.len());
+    if k == 0 {
+        return f64::NAN;
+    }
+    let discount = |i: usize| 1.0 / ((i + 2) as f64).log2();
+    let dcg: f64 = top_k(predicted, k)
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| truth[item] * discount(i))
+        .sum();
+    let ideal: f64 = top_k(truth, k)
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| truth[item] * discount(i))
+        .sum();
+    if ideal <= 0.0 {
+        f64::NAN
+    } else {
+        dcg / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let truth = [3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_at_k(&truth, &truth, 4) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&truth, &truth, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_low() {
+        let truth = [3.0, 0.0, 0.0, 0.0];
+        let pred = [0.0, 1.0, 2.0, 3.0]; // relevant item ranked last
+        let ndcg = ndcg_at_k(&truth, &pred, 4);
+        // DCG = 3/log2(5), ideal = 3/log2(2) = 3.
+        let expected = (3.0 / 5.0f64.log2()) / 3.0;
+        assert!((ndcg - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevant_item_outside_k_scores_zero() {
+        let truth = [1.0, 0.0, 0.0];
+        let pred = [0.0, 2.0, 1.0];
+        assert_eq!(ndcg_at_k(&truth, &pred, 2), 0.0);
+    }
+
+    #[test]
+    fn no_relevance_is_nan() {
+        assert!(ndcg_at_k(&[0.0, 0.0], &[1.0, 2.0], 2).is_nan());
+        assert!(ndcg_at_k(&[], &[], 5).is_nan());
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let truth = [1.0, 2.0];
+        assert!((ndcg_at_k(&truth, &truth, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_relevance_matters() {
+        // Swapping a high-grade and low-grade item hurts more than swapping
+        // two low-grade items.
+        let truth = [10.0, 1.0, 0.9, 0.0];
+        let swap_high = [1.0, 10.0, 0.9, 0.0]; // swaps ranks of items 0,1
+        let swap_low = [10.0, 0.9, 1.0, 0.0]; // swaps ranks of items 1,2
+        let a = ndcg_at_k(&truth, &swap_high, 4);
+        let b = ndcg_at_k(&truth, &swap_low, 4);
+        assert!(a < b);
+    }
+}

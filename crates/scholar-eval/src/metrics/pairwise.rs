@@ -1,0 +1,158 @@
+//! Pairwise ranking accuracy — the headline metric of the reconstructed
+//! evaluation (R-Table 2).
+//!
+//! Given ground-truth values `g` and predicted scores `p` over the same
+//! items, accuracy is the fraction of item pairs with distinct ground
+//! truth that the prediction orders the same way; prediction ties score
+//! half credit. 0.5 is chance, 1.0 is perfect.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn pair_credit(gi: f64, gj: f64, pi: f64, pj: f64) -> Option<f64> {
+    if gi == gj {
+        return None; // not an informative pair
+    }
+    let g_ord = gi > gj;
+    Some(if pi == pj {
+        0.5
+    } else if (pi > pj) == g_ord {
+        1.0
+    } else {
+        0.0
+    })
+}
+
+/// Exact pairwise accuracy over *all* informative pairs — O(n²); use the
+/// sampled variant above ~5k items. Returns `NaN` when no informative
+/// pairs exist.
+pub fn pairwise_accuracy(truth: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let n = truth.len();
+    let mut credit = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Some(c) = pair_credit(truth[i], truth[j], predicted[i], predicted[j]) {
+                credit += c;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        f64::NAN
+    } else {
+        credit / pairs as f64
+    }
+}
+
+/// Monte-Carlo pairwise accuracy over `samples` random informative pairs
+/// (deterministic given `seed`). Standard error ≈ 0.5/√samples. Returns
+/// `NaN` when the items admit no informative pair.
+pub fn pairwise_accuracy_sampled(
+    truth: &[f64],
+    predicted: &[f64],
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let n = truth.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut credit = 0.0f64;
+    let mut pairs = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = samples.saturating_mul(20).max(1000);
+    while pairs < samples && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        if let Some(c) = pair_credit(truth[i], truth[j], predicted[i], predicted[j]) {
+            credit += c;
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        f64::NAN
+    } else {
+        credit / pairs as f64
+    }
+}
+
+/// Pairwise accuracy that picks the exact algorithm below `exact_cutoff`
+/// items and sampling above it.
+pub fn pairwise_accuracy_auto(truth: &[f64], predicted: &[f64], seed: u64) -> f64 {
+    const EXACT_CUTOFF: usize = 3000;
+    const SAMPLES: usize = 200_000;
+    if truth.len() <= EXACT_CUTOFF {
+        pairwise_accuracy(truth, predicted)
+    } else {
+        pairwise_accuracy_sampled(truth, predicted, SAMPLES, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverted() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pairwise_accuracy(&g, &g), 1.0);
+        let inv = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(pairwise_accuracy(&g, &inv), 0.0);
+    }
+
+    #[test]
+    fn constant_prediction_scores_half() {
+        let g = [1.0, 2.0, 3.0];
+        let p = [5.0, 5.0, 5.0];
+        assert_eq!(pairwise_accuracy(&g, &p), 0.5);
+    }
+
+    #[test]
+    fn ground_truth_ties_are_skipped() {
+        let g = [1.0, 1.0, 2.0];
+        let p = [9.0, 0.0, 5.0]; // pair (0,1) uninformative; (0,2) wrong, (1,2) right
+        assert_eq!(pairwise_accuracy(&g, &p), 0.5);
+    }
+
+    #[test]
+    fn all_tied_truth_is_nan() {
+        assert!(pairwise_accuracy(&[1.0, 1.0], &[0.0, 1.0]).is_nan());
+        assert!(pairwise_accuracy(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn sampled_approximates_exact() {
+        // Deterministic data, 300 items.
+        let g: Vec<f64> = (0..300).map(|i| (i % 50) as f64).collect();
+        let p: Vec<f64> = (0..300).map(|i| ((i * 7) % 53) as f64).collect();
+        let exact = pairwise_accuracy(&g, &p);
+        let sampled = pairwise_accuracy_sampled(&g, &p, 100_000, 1);
+        assert!((exact - sampled).abs() < 0.01, "exact {exact}, sampled {sampled}");
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let g: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let p: Vec<f64> = (0..100).map(|i| ((i * 13) % 100) as f64).collect();
+        let a = pairwise_accuracy_sampled(&g, &p, 1000, 7);
+        let b = pairwise_accuracy_sampled(&g, &p, 1000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_switches_mode() {
+        let g: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pairwise_accuracy_auto(&g, &g, 0), 1.0);
+        let big: Vec<f64> = (0..4000).map(|i| i as f64).collect();
+        let acc = pairwise_accuracy_auto(&big, &big, 0);
+        assert!(acc > 0.999);
+    }
+}

@@ -1,0 +1,142 @@
+//! Rank-biased overlap (Webber, Moffat & Zobel 2010).
+//!
+//! Kendall τ treats a swap at rank 3 and a swap at rank 30,000 the same;
+//! for comparing *rankings as users see them*, the head matters far more.
+//! RBO computes a top-weighted similarity: with persistence `p`, the
+//! agreement at depth `d` is weighted `p^(d-1)`, so ~`1/(1-p)` top ranks
+//! carry most of the weight (`p = 0.9` ⇒ the top ~10 dominate; `p = 0.98`
+//! ⇒ the top ~50).
+//!
+//! We implement the extrapolated point estimate RBO_EXT over a fixed
+//! evaluation depth: two identical rankings score 1 regardless of depth,
+//! two disjoint ones score ~0.
+
+use scholar_rank::scores::top_k;
+use std::collections::HashSet;
+
+/// Extrapolated rank-biased overlap of two rankings, evaluated to
+/// `depth`, with persistence `p ∈ (0, 1)`.
+///
+/// The rankings are given as score vectors over the same item universe;
+/// ranks are derived by descending score with deterministic tie-breaks.
+/// Returns `NaN` for empty inputs.
+pub fn rbo(scores_a: &[f64], scores_b: &[f64], p: f64, depth: usize) -> f64 {
+    assert_eq!(scores_a.len(), scores_b.len(), "length mismatch");
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0, 1)");
+    let n = scores_a.len();
+    if n == 0 || depth == 0 {
+        return f64::NAN;
+    }
+    let depth = depth.min(n);
+    let order_a = top_k(scores_a, depth);
+    let order_b = top_k(scores_b, depth);
+
+    let mut seen_a: HashSet<usize> = HashSet::with_capacity(depth);
+    let mut seen_b: HashSet<usize> = HashSet::with_capacity(depth);
+    let mut overlap = 0usize;
+    let mut sum = 0.0f64;
+    let mut weight = 1.0f64; // p^(d-1)
+    let mut agreement_at_depth = 0.0;
+    for d in 0..depth {
+        let a = order_a[d];
+        let b = order_b[d];
+        if a == b {
+            overlap += 1;
+        } else {
+            if seen_b.contains(&a) {
+                overlap += 1;
+            }
+            if seen_a.contains(&b) {
+                overlap += 1;
+            }
+            seen_a.insert(a);
+            seen_b.insert(b);
+        }
+        agreement_at_depth = overlap as f64 / (d + 1) as f64;
+        sum += weight * agreement_at_depth;
+        weight *= p;
+    }
+    // RBO_EXT: the finite prefix plus the tail extrapolated at the final
+    // agreement level. Σ_{d=1..k} p^{d-1} = (1 - p^k)/(1 - p); the tail
+    // Σ_{d>k} p^{d-1} = p^k/(1-p).
+    let pk = p.powi(depth as i32);
+    (1.0 - p) * sum + pk * agreement_at_depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_score_one() {
+        let s = [0.5, 0.4, 0.3, 0.2, 0.1];
+        let v = rbo(&s, &s, 0.9, 5);
+        assert!((v - 1.0).abs() < 1e-12, "rbo = {v}");
+    }
+
+    #[test]
+    fn disjoint_heads_score_low() {
+        // Ranking A puts items 0..5 on top; B puts 5..10 on top.
+        let a: Vec<f64> = (0..10).map(|i| 10.0 - i as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| if i >= 5 { 20.0 - i as f64 } else { 1.0 - i as f64 * 0.01 }).collect();
+        let v = rbo(&a, &b, 0.9, 5);
+        assert!(v < 0.2, "disjoint heads should score low, rbo = {v}");
+    }
+
+    #[test]
+    fn head_swap_hurts_more_than_tail_swap() {
+        let base: Vec<f64> = (0..20).map(|i| 20.0 - i as f64).collect();
+        let mut head_swapped = base.clone();
+        head_swapped.swap(0, 1);
+        let mut tail_swapped = base.clone();
+        tail_swapped.swap(18, 19);
+        let head = rbo(&base, &head_swapped, 0.9, 20);
+        let tail = rbo(&base, &tail_swapped, 0.9, 20);
+        assert!(head < tail, "head swap ({head}) must cost more than tail swap ({tail})");
+        assert!(tail < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a: Vec<f64> = (0..15).map(|i| ((i * 7) % 15) as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| ((i * 4) % 15) as f64).collect();
+        let ab = rbo(&a, &b, 0.9, 15);
+        let ba = rbo(&b, &a, 0.9, 15);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn higher_p_discounts_a_good_head_with_a_bad_tail() {
+        // Universe of 100 items. Ranking B agrees with A on the top item,
+        // then fills its head with items from deep in A's tail. Head-heavy
+        // weighting (small p) rewards the top-1 agreement; persistent
+        // weighting (large p) averages in the disagreement below it.
+        let a: Vec<f64> = (0..100).map(|i| 100.0 - i as f64).collect();
+        let mut b = vec![0.0; 100];
+        b[0] = 100.0; // agree on the champion
+        for (rank, item) in (50..59).enumerate() {
+            b[item] = 99.0 - rank as f64; // bogus head
+        }
+        let head_heavy = rbo(&a, &b, 0.5, 10);
+        let deep = rbo(&a, &b, 0.95, 10);
+        assert!(
+            head_heavy > deep,
+            "small p should forgive the bad tail: {head_heavy} vs {deep}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(rbo(&[], &[], 0.9, 10).is_nan());
+        assert!(rbo(&[1.0], &[1.0], 0.9, 0).is_nan());
+        let one = rbo(&[1.0], &[1.0], 0.9, 5);
+        assert!((one - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn bad_p_panics() {
+        rbo(&[1.0], &[1.0], 1.0, 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Set-based top-k metrics: precision@k, recall@k, MRR, Jaccard@k.
+
+use scholar_rank::scores::top_k;
+use std::collections::HashSet;
+
+/// Precision@k: fraction of the predicted top-k that is in the relevant
+/// set. `NaN` when `k == 0` or there are no items.
+pub fn precision_at_k(relevant: &HashSet<usize>, predicted: &[f64], k: usize) -> f64 {
+    let k = k.min(predicted.len());
+    if k == 0 {
+        return f64::NAN;
+    }
+    let hits = top_k(predicted, k).into_iter().filter(|i| relevant.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: fraction of the relevant set found in the predicted top-k.
+/// `NaN` when the relevant set is empty.
+pub fn recall_at_k(relevant: &HashSet<usize>, predicted: &[f64], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return f64::NAN;
+    }
+    let k = k.min(predicted.len());
+    let hits = top_k(predicted, k).into_iter().filter(|i| relevant.contains(i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Mean reciprocal rank of the relevant items: mean over the relevant set
+/// of `1 / rank(item)` under the prediction. This grades *every* relevant
+/// item's position, not only the first hit, which suits award-list ground
+/// truth where all awardees matter. `NaN` when the relevant set is empty.
+pub fn mrr(relevant: &HashSet<usize>, predicted: &[f64]) -> f64 {
+    if relevant.is_empty() {
+        return f64::NAN;
+    }
+    let order = top_k(predicted, predicted.len());
+    let mut total = 0.0;
+    let mut found = 0usize;
+    for (rank0, item) in order.into_iter().enumerate() {
+        if relevant.contains(&item) {
+            total += 1.0 / (rank0 + 1) as f64;
+            found += 1;
+        }
+    }
+    debug_assert_eq!(found, relevant.len(), "relevant ids must index predicted");
+    total / relevant.len() as f64
+}
+
+/// Jaccard similarity between the top-k sets of two rankings — the
+/// rank-stability measure used by the robustness experiment (R-Table 4
+/// companion). `NaN` when `k == 0` or either ranking is empty.
+pub fn jaccard_at_k(a: &[f64], b: &[f64], k: usize) -> f64 {
+    if k == 0 || a.is_empty() || b.is_empty() {
+        return f64::NAN;
+    }
+    let sa: HashSet<usize> = top_k(a, k).into_iter().collect();
+    let sb: HashSet<usize> = top_k(b, k).into_iter().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(ids: &[usize]) -> HashSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        let relevant = rel(&[0, 1]);
+        let pred = [0.9, 0.1, 0.5, 0.3]; // top-2 = {0, 2}
+        assert_eq!(precision_at_k(&relevant, &pred, 2), 0.5);
+        assert_eq!(precision_at_k(&relevant, &pred, 4), 0.5);
+        assert!(precision_at_k(&relevant, &pred, 0).is_nan());
+    }
+
+    #[test]
+    fn recall_basics() {
+        let relevant = rel(&[0, 1]);
+        let pred = [0.9, 0.1, 0.5, 0.3];
+        assert_eq!(recall_at_k(&relevant, &pred, 2), 0.5);
+        assert_eq!(recall_at_k(&relevant, &pred, 4), 1.0);
+        assert!(recall_at_k(&rel(&[]), &pred, 2).is_nan());
+    }
+
+    #[test]
+    fn mrr_grades_all_relevant_items() {
+        let pred = [0.9, 0.8, 0.7, 0.6];
+        // Relevant at ranks 1 and 3: MRR = (1/1 + 1/3)/2 = 2/3.
+        let m = mrr(&rel(&[0, 2]), &pred);
+        assert!((m - 2.0 / 3.0).abs() < 1e-12);
+        // All relevant at the top: MRR is maximal for that set size.
+        let m_top = mrr(&rel(&[0, 1]), &pred);
+        assert!((m_top - 0.75).abs() < 1e-12);
+        assert!(m_top > m);
+        assert!(mrr(&rel(&[]), &pred).is_nan());
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        let a = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(jaccard_at_k(&a, &a, 2), 1.0);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(jaccard_at_k(&a, &b, 2), 0.0);
+        // top-3: {0,1,2} vs {3,2,1} -> intersection 2, union 4.
+        assert_eq!(jaccard_at_k(&a, &b, 3), 0.5);
+        assert!(jaccard_at_k(&a, &b, 0).is_nan());
+        assert!(jaccard_at_k(&[], &[], 3).is_nan());
+    }
+}

@@ -1,0 +1,140 @@
+//! Age-aware citation-count baselines.
+//!
+//! Two standard bibliometric normalizations of the raw citation count:
+//!
+//! * [`AgeNormalizedCitations`] — citations per year since publication
+//!   ("CPY"), the simplest correction of the old-paper bias.
+//! * [`RecentCitations`] — citations received from articles published in
+//!   the last `window` years only ("current impact"), a strong predictor
+//!   of near-future citations that needs no graph iteration at all.
+
+use crate::ranker::Ranker;
+use scholar_corpus::{Corpus, Year};
+
+/// Citations per year since publication.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct AgeNormalizedCitations {
+    /// "Now"; `None` = the corpus's last year.
+    pub now: Option<Year>,
+}
+
+
+impl Ranker for AgeNormalizedCitations {
+    fn name(&self) -> String {
+        "CitPerYear".into()
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        if corpus.num_articles() == 0 {
+            return Vec::new();
+        }
+        let now = self.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
+        let counts = corpus.citation_counts();
+        let mut scores: Vec<f64> = corpus
+            .articles()
+            .iter()
+            .map(|a| {
+                let age = (now - a.year).max(0) as f64 + 1.0; // publication year counts
+                counts[a.id.index()] as f64 / age
+            })
+            .collect();
+        crate::scores::normalize_or_uniform(&mut scores);
+        scores
+    }
+}
+
+/// Citations received from recently published articles only.
+#[derive(Debug, Clone, Copy)]
+pub struct RecentCitations {
+    /// Width of the citing-article window (years).
+    pub window: i32,
+    /// "Now"; `None` = the corpus's last year.
+    pub now: Option<Year>,
+}
+
+impl Default for RecentCitations {
+    fn default() -> Self {
+        RecentCitations { window: 3, now: None }
+    }
+}
+
+impl Ranker for RecentCitations {
+    fn name(&self) -> String {
+        format!("RecentCit({}y)", self.window)
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        if corpus.num_articles() == 0 {
+            return Vec::new();
+        }
+        assert!(self.window > 0, "window must be positive");
+        let now = self.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
+        let from = now - self.window + 1;
+        let mut scores = vec![0.0f64; corpus.num_articles()];
+        for citing in corpus.articles() {
+            if citing.year >= from && citing.year <= now {
+                for &cited in &citing.references {
+                    scores[cited.index()] += 1.0;
+                }
+            }
+        }
+        crate::scores::normalize_or_uniform(&mut scores);
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        // a0 (1990): cited in 1995 and 2010. a1 (2008): cited in 2010.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("old", 1990, v, vec![], vec![], None);
+        b.add_article("mid", 1995, v, vec![], vec![a0], None);
+        let a1 = b.add_article("newish", 2008, v, vec![], vec![], None);
+        b.add_article("latest", 2010, v, vec![], vec![a0, a1], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cit_per_year_boosts_young_articles() {
+        let c = corpus();
+        let s = AgeNormalizedCitations::default().rank(&c);
+        // a0: 2 citations over 21 years; a1: 1 citation over 3 years.
+        assert!(s[2] > s[0], "younger article with faster accrual should win: {s:?}");
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recent_citations_ignore_old_citations() {
+        let c = corpus();
+        let s = RecentCitations { window: 3, now: None }.rank(&c);
+        // Window = 2008..=2010: only "latest" cites count: a0 and a1 get 1 each.
+        assert_eq!(s[0], s[2]);
+        assert!(s[0] > 0.0);
+        assert_eq!(s[1], 0.0);
+        // Wide window sees the 1995 citation too.
+        let wide = RecentCitations { window: 30, now: None }.rank(&c);
+        assert!(wide[0] > wide[2]);
+    }
+
+    #[test]
+    fn explicit_now() {
+        let c = corpus();
+        // As of 1996, only the 1995 citation exists in a 3y window.
+        let s = RecentCitations { window: 3, now: Some(1996) }.rank(&c);
+        assert!(s[0] > 0.0);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        assert!(AgeNormalizedCitations::default().rank(&c).is_empty());
+        assert!(RecentCitations::default().rank(&c).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! The citation-count baseline.
+
+use crate::ranker::Ranker;
+use scholar_corpus::Corpus;
+
+/// Ranks articles by raw citation count (in-degree), normalized to sum 1.
+///
+/// The weakest but most transparent baseline: ignores who cites, when, and
+/// where; every ranking paper compares against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CitationCount;
+
+impl Ranker for CitationCount {
+    fn name(&self) -> String {
+        "CitCount".into()
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        let counts = corpus.citation_counts();
+        let mut scores: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        crate::scores::normalize_or_uniform(&mut scores);
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::CorpusBuilder;
+
+    #[test]
+    fn scores_proportional_to_in_degree() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("a0", 1990, v, vec![], vec![], None);
+        let a1 = b.add_article("a1", 1995, v, vec![], vec![a0], None);
+        b.add_article("a2", 2000, v, vec![], vec![a0, a1], None);
+        let c = b.finish().unwrap();
+        let s = CitationCount.rank(&c);
+        assert!((s[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s[2], 0.0);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn citation_free_corpus_falls_back_to_uniform() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("a0", 1990, v, vec![], vec![], None);
+        b.add_article("a1", 1991, v, vec![], vec![], None);
+        let c = b.finish().unwrap();
+        assert_eq!(CitationCount.rank(&c), vec![0.5, 0.5]);
+    }
+}

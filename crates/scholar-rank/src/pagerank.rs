@@ -1,0 +1,175 @@
+//! Plain PageRank on the citation graph.
+
+use crate::diagnostics::Diagnostics;
+use crate::ranker::Ranker;
+use scholar_corpus::Corpus;
+use sgraph::stochastic::PowerIterationOpts;
+use sgraph::{CsrGraph, JumpVector, RowStochastic};
+
+/// PageRank parameters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
+pub struct PageRankConfig {
+    /// Damping factor `d` ∈ [0, 1). 0.85 is canonical.
+    pub damping: f64,
+    /// L1 convergence tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Worker threads for the SpMV (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, tol: 1e-10, max_iter: 200, threads: 1 }
+    }
+}
+
+impl PageRankConfig {
+    /// Panics on out-of-range parameters.
+    pub fn assert_valid(&self) {
+        assert!((0.0..1.0).contains(&self.damping), "damping must be in [0, 1)");
+        assert!(self.tol >= 0.0, "tolerance must be >= 0");
+        assert!(self.max_iter > 0, "need at least one iteration");
+    }
+}
+
+/// The PageRank baseline over the unweighted citation graph.
+#[derive(Debug, Clone, Default)]
+pub struct PageRank {
+    /// Parameters.
+    pub config: PageRankConfig,
+}
+
+impl PageRank {
+    /// PageRank with the given configuration.
+    pub fn new(config: PageRankConfig) -> Self {
+        config.assert_valid();
+        PageRank { config }
+    }
+}
+
+/// Run damped power iteration on an arbitrary weighted graph and return
+/// `(scores, diagnostics)`. This is the kernel shared by PageRank, the
+/// time-weighted variant, P-Rank, and QRank's supernode walks.
+pub fn pagerank_on_graph(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    jump: JumpVector,
+) -> (Vec<f64>, Diagnostics) {
+    pagerank_on_graph_warm(g, config, jump, None)
+}
+
+/// [`pagerank_on_graph`] with an optional warm start (e.g. the scores of
+/// a previous corpus snapshot scattered into the new id space). A good
+/// warm start cuts iterations roughly in proportion to how little the
+/// graph changed; see the incremental-update experiment (R-Fig 8).
+pub fn pagerank_on_graph_warm(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    jump: JumpVector,
+    warm_start: Option<Vec<f64>>,
+) -> (Vec<f64>, Diagnostics) {
+    config.assert_valid();
+    let op = RowStochastic::new(g);
+    let res = op.stationary(&PowerIterationOpts {
+        damping: config.damping,
+        jump,
+        tol: config.tol,
+        max_iter: config.max_iter,
+        threads: config.threads,
+        warm_start,
+    });
+    let scores = res.scores.clone();
+    (scores, res.into())
+}
+
+impl PageRank {
+    /// Rank and also return convergence diagnostics.
+    pub fn rank_with_diagnostics(&self, corpus: &Corpus) -> (Vec<f64>, Diagnostics) {
+        pagerank_on_graph(&corpus.citation_graph(), &self.config, JumpVector::Uniform)
+    }
+}
+
+impl Ranker for PageRank {
+    fn name(&self) -> String {
+        "PageRank".into()
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        self.rank_with_diagnostics(corpus).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+    use scholar_corpus::CorpusBuilder;
+
+    fn line_corpus() -> Corpus {
+        // a2 -> a1 -> a0: importance flows to the oldest.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        let a0 = b.add_article("a0", 1990, v, vec![], vec![], None);
+        let a1 = b.add_article("a1", 1995, v, vec![], vec![a0], None);
+        b.add_article("a2", 2000, v, vec![], vec![a1], None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn importance_flows_to_cited() {
+        let c = line_corpus();
+        let (s, d) = PageRank::default().rank_with_diagnostics(&c);
+        assert!(d.converged);
+        assert!(s[0] > s[1], "cited more transitively should score higher");
+        assert!(s[1] > s[2]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damping_zero_gives_uniform() {
+        let c = line_corpus();
+        let pr = PageRank::new(PageRankConfig { damping: 0.0, ..Default::default() });
+        let s = pr.rank(&c);
+        for &x in &s {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn old_paper_bias_is_real() {
+        // On a generated corpus, the top of plain PageRank skews old. This
+        // is the defect TWPR/QRank address; assert it exists so the
+        // comparison in the benches is meaningful.
+        let c = Preset::Tiny.generate(2);
+        let s = PageRank::default().rank(&c);
+        let (lo, hi) = c.year_range().unwrap();
+        let mid = (lo + hi) / 2;
+        let top = crate::scores::top_k(&s, 20);
+        let old = top.iter().filter(|&&i| c.articles()[i].year <= mid).count();
+        assert!(old >= 14, "expected PageRank's top-20 to skew old, got {old}/20 old");
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn invalid_damping_panics() {
+        PageRank::new(PageRankConfig { damping: 1.0, ..Default::default() });
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = Preset::Tiny.generate(9);
+        let seq = PageRank::new(PageRankConfig { threads: 1, ..Default::default() }).rank(&c);
+        let par = PageRank::new(PageRankConfig { threads: 4, ..Default::default() }).rank(&c);
+        let diff: f64 = seq.iter().zip(&par).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff < 1e-9, "thread count must not change the answer (diff {diff})");
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        assert!(PageRank::default().rank(&c).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The common ranker interface.
+
+use scholar_corpus::Corpus;
+
+/// A query-independent article ranker.
+///
+/// Implementations score every article of a corpus; scores are
+/// non-negative and normalized to sum 1 (so they are comparable across
+/// methods and corpus snapshots). Higher is more important.
+///
+/// The trait is object-safe: the evaluation harness iterates over
+/// `Vec<Box<dyn Ranker>>`.
+pub trait Ranker {
+    /// Short display name used in experiment tables (e.g. `"PageRank"`).
+    fn name(&self) -> String;
+
+    /// Score every article in `corpus`.
+    fn rank(&self, corpus: &Corpus) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+
+    struct Constant;
+    impl Ranker for Constant {
+        fn name(&self) -> String {
+            "Constant".into()
+        }
+        fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+            let n = corpus.num_articles();
+            vec![1.0 / n as f64; n]
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let rankers: Vec<Box<dyn Ranker>> = vec![Box::new(Constant)];
+        let c = Preset::Tiny.generate(5);
+        for r in &rankers {
+            let scores = r.rank(&c);
+            assert_eq!(scores.len(), c.num_articles());
+            assert_eq!(r.name(), "Constant");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Rescaled ranking (Mariani, Medo & Zhang 2016): z-score any ranker's
+//! output within publication-year windows.
+//!
+//! Instead of re-weighting the walk (TWPR) or adding priors (QRank), the
+//! rescaling approach removes age effects *after the fact*: an article's
+//! score is expressed relative to the mean and standard deviation of the
+//! scores of articles published around the same time. An article is then
+//! ranked by how exceptional it is *for its age*, which mechanically
+//! de-biases any underlying method — at the cost of making scores
+//! incomparable in absolute terms (a so-so article in a weak year can
+//! outrank a good article from a strong year).
+
+use crate::ranker::Ranker;
+use scholar_corpus::Corpus;
+
+/// Wraps any ranker and z-scores its output within publication-year
+/// windows of `window_years`.
+pub struct RescaledRanker {
+    /// The underlying ranker.
+    pub inner: Box<dyn Ranker>,
+    /// Width of the year bucket used for normalization (1 = per-year).
+    pub window_years: i32,
+}
+
+impl RescaledRanker {
+    /// Rescale `inner` within `window_years`-wide year buckets.
+    pub fn new(inner: Box<dyn Ranker>, window_years: i32) -> Self {
+        assert!(window_years > 0, "window must be positive");
+        RescaledRanker { inner, window_years }
+    }
+}
+
+/// Z-score `scores` within year buckets; buckets with fewer than 2
+/// articles (or zero variance) get z = 0 for their members. The output is
+/// shifted/renormalized into a distribution (min-shifted to non-negative,
+/// then L1-normalized) so the [`Ranker`] contract holds.
+pub fn rescale_by_year(corpus: &Corpus, scores: &[f64], window_years: i32) -> Vec<f64> {
+    assert_eq!(scores.len(), corpus.num_articles(), "score length mismatch");
+    assert!(window_years > 0, "window must be positive");
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (first, _) = corpus.year_range().expect("non-empty corpus");
+    // Bucket index per article.
+    let bucket_of: Vec<usize> = corpus
+        .articles()
+        .iter()
+        .map(|a| ((a.year - first).max(0) / window_years) as usize)
+        .collect();
+    let num_buckets = bucket_of.iter().copied().max().unwrap_or(0) + 1;
+    let mut count = vec![0usize; num_buckets];
+    let mut sum = vec![0.0f64; num_buckets];
+    for (i, &b) in bucket_of.iter().enumerate() {
+        count[b] += 1;
+        sum[b] += scores[i];
+    }
+    let mean: Vec<f64> = sum
+        .iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let mut var = vec![0.0f64; num_buckets];
+    for (i, &b) in bucket_of.iter().enumerate() {
+        let d = scores[i] - mean[b];
+        var[b] += d * d;
+    }
+    let std: Vec<f64> = var
+        .iter()
+        .zip(&count)
+        .map(|(&v, &c)| if c > 1 { (v / c as f64).sqrt() } else { 0.0 })
+        .collect();
+
+    let mut z: Vec<f64> = (0..n)
+        .map(|i| {
+            let b = bucket_of[i];
+            if std[b] > 0.0 {
+                (scores[i] - mean[b]) / std[b]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Shift to non-negative and normalize into a distribution.
+    let min = z.iter().copied().fold(f64::INFINITY, f64::min);
+    for v in &mut z {
+        *v -= min;
+    }
+    crate::scores::normalize_or_uniform(&mut z);
+    z
+}
+
+impl Ranker for RescaledRanker {
+    fn name(&self) -> String {
+        format!("Rescaled[{}]({}y)", self.inner.name(), self.window_years)
+    }
+
+    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
+        let raw = self.inner.rank(corpus);
+        if raw.is_empty() {
+            return raw;
+        }
+        rescale_by_year(corpus, &raw, self.window_years)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citation_count::CitationCount;
+    use crate::pagerank::PageRank;
+    use crate::scores::top_k;
+    use scholar_corpus::generator::Preset;
+    use scholar_corpus::CorpusBuilder;
+
+    #[test]
+    fn z_scoring_within_buckets() {
+        // Two years; within each year one article dominates.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("1990-star", 1990, v, vec![], vec![], None);
+        b.add_article("1990-meh", 1990, v, vec![], vec![], None);
+        b.add_article("1991-star", 1991, v, vec![], vec![], None);
+        b.add_article("1991-meh", 1991, v, vec![], vec![], None);
+        let c = b.finish().unwrap();
+        // Raw scores: 1990 articles are an order of magnitude higher.
+        let raw = [1.0, 0.5, 0.1, 0.05];
+        let z = rescale_by_year(&c, &raw, 1);
+        // After rescaling, the two stars tie (each is +1σ of its year).
+        assert!((z[0] - z[2]).abs() < 1e-12, "stars should tie: {z:?}");
+        assert!((z[1] - z[3]).abs() < 1e-12, "mehs should tie: {z:?}");
+        assert!(z[0] > z[1]);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removes_age_bias_from_pagerank() {
+        let c = Preset::Tiny.generate(91);
+        let (lo, hi) = c.year_range().unwrap();
+        let mid = (lo + hi) / 2;
+        let old_in_top = |scores: &[f64]| {
+            top_k(scores, 30).iter().filter(|&&i| c.articles()[i].year <= mid).count()
+        };
+        let pr = PageRank::default().rank(&c);
+        let rescaled =
+            RescaledRanker::new(Box::new(PageRank::default()), 1).rank(&c);
+        assert!(
+            old_in_top(&rescaled) < old_in_top(&pr),
+            "rescaling should de-skew the top ({} vs {})",
+            old_in_top(&rescaled),
+            old_in_top(&pr)
+        );
+    }
+
+    #[test]
+    fn degenerate_buckets_are_safe() {
+        // Single article per year: all z = 0 -> uniform.
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("a", 2000, v, vec![], vec![], None);
+        b.add_article("b", 2001, v, vec![], vec![], None);
+        let c = b.finish().unwrap();
+        let z = rescale_by_year(&c, &[0.9, 0.1], 1);
+        assert_eq!(z, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn wider_window_merges_buckets() {
+        let mut b = CorpusBuilder::new();
+        let v = b.venue("V");
+        b.add_article("a", 2000, v, vec![], vec![], None);
+        b.add_article("b", 2001, v, vec![], vec![], None);
+        let c = b.finish().unwrap();
+        // With a 5-year window both land in one bucket; scores differ.
+        let z = rescale_by_year(&c, &[0.9, 0.1], 5);
+        assert!(z[0] > z[1]);
+    }
+
+    #[test]
+    fn ranker_wrapper_name_and_contract() {
+        let c = Preset::Tiny.generate(92);
+        let r = RescaledRanker::new(Box::new(CitationCount), 3);
+        assert_eq!(r.name(), "Rescaled[CitCount](3y)");
+        let s = r.rank(&c);
+        assert_eq!(s.len(), c.num_articles());
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().finish().unwrap();
+        let r = RescaledRanker::new(Box::new(CitationCount), 1);
+        assert!(r.rank(&c).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Weighted bipartite graphs (author↔article, venue↔article).
+//!
+//! A [`Bipartite`] stores both orientations in CSR form so that
+//! left-to-right aggregation (an author's score from their articles) and
+//! right-to-left aggregation (an article's score from its authors) are
+//! both sequential scans. FutureRank's author↔paper propagation and
+//! QRank's mutual-reinforcement steps are built on these.
+
+/// Builder for a [`Bipartite`] graph.
+#[derive(Debug, Clone)]
+pub struct BipartiteBuilder {
+    num_left: u32,
+    num_right: u32,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl BipartiteBuilder {
+    /// A builder for `num_left` left nodes and `num_right` right nodes.
+    pub fn new(num_left: u32, num_right: u32) -> Self {
+        BipartiteBuilder { num_left, num_right, edges: Vec::new() }
+    }
+
+    /// Stage an undirected weighted edge between left node `l` and right
+    /// node `r`. Duplicate `(l, r)` pairs have their weights summed.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds endpoints or invalid weight.
+    pub fn add_edge(&mut self, l: u32, r: u32, weight: f64) {
+        assert!(l < self.num_left, "left node {l} out of bounds ({})", self.num_left);
+        assert!(r < self.num_right, "right node {r} out of bounds ({})", self.num_right);
+        assert!(weight.is_finite() && weight >= 0.0, "invalid bipartite weight {weight}");
+        self.edges.push((l, r, weight));
+    }
+
+    /// Build the immutable bipartite structure.
+    pub fn build(mut self) -> Bipartite {
+        self.edges.sort_by_key(|&(l, r, _)| (l, r));
+        let mut dedup: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for (l, r, w) in self.edges.drain(..) {
+            match dedup.last_mut() {
+                Some(last) if last.0 == l && last.1 == r => last.2 += w,
+                _ => dedup.push((l, r, w)),
+            }
+        }
+        let nl = self.num_left as usize;
+        let nr = self.num_right as usize;
+        let m = dedup.len();
+
+        let mut lr_offsets = vec![0usize; nl + 1];
+        for &(l, _, _) in &dedup {
+            lr_offsets[l as usize + 1] += 1;
+        }
+        for i in 0..nl {
+            lr_offsets[i + 1] += lr_offsets[i];
+        }
+        let mut lr_targets = Vec::with_capacity(m);
+        let mut lr_weights = Vec::with_capacity(m);
+        for &(_, r, w) in &dedup {
+            lr_targets.push(r);
+            lr_weights.push(w);
+        }
+
+        let mut rl_offsets = vec![0usize; nr + 1];
+        for &(_, r, _) in &dedup {
+            rl_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..nr {
+            rl_offsets[i + 1] += rl_offsets[i];
+        }
+        let mut rl_targets = vec![0u32; m];
+        let mut rl_weights = vec![0f64; m];
+        let mut cursor = rl_offsets[..nr].to_vec();
+        for &(l, r, w) in &dedup {
+            let slot = cursor[r as usize];
+            rl_targets[slot] = l;
+            rl_weights[slot] = w;
+            cursor[r as usize] += 1;
+        }
+
+        Bipartite {
+            num_left: self.num_left,
+            num_right: self.num_right,
+            lr_offsets,
+            lr_targets,
+            lr_weights,
+            rl_offsets,
+            rl_targets,
+            rl_weights,
+        }
+    }
+}
+
+/// An immutable weighted bipartite graph with both orientations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bipartite {
+    num_left: u32,
+    num_right: u32,
+    lr_offsets: Vec<usize>,
+    lr_targets: Vec<u32>,
+    lr_weights: Vec<f64>,
+    rl_offsets: Vec<usize>,
+    rl_targets: Vec<u32>,
+    rl_weights: Vec<f64>,
+}
+
+impl Bipartite {
+    /// Number of left nodes.
+    pub fn num_left(&self) -> u32 {
+        self.num_left
+    }
+
+    /// Number of right nodes.
+    pub fn num_right(&self) -> u32 {
+        self.num_right
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn num_edges(&self) -> usize {
+        self.lr_targets.len()
+    }
+
+    /// Right neighbors of left node `l`, sorted ascending.
+    pub fn right_of(&self, l: u32) -> &[u32] {
+        &self.lr_targets[self.lr_offsets[l as usize]..self.lr_offsets[l as usize + 1]]
+    }
+
+    /// Weights parallel to [`Self::right_of`].
+    pub fn right_weights_of(&self, l: u32) -> &[f64] {
+        &self.lr_weights[self.lr_offsets[l as usize]..self.lr_offsets[l as usize + 1]]
+    }
+
+    /// Left neighbors of right node `r`, sorted ascending.
+    pub fn left_of(&self, r: u32) -> &[u32] {
+        &self.rl_targets[self.rl_offsets[r as usize]..self.rl_offsets[r as usize + 1]]
+    }
+
+    /// Weights parallel to [`Self::left_of`].
+    pub fn left_weights_of(&self, r: u32) -> &[f64] {
+        &self.rl_weights[self.rl_offsets[r as usize]..self.rl_offsets[r as usize + 1]]
+    }
+
+    /// Degree of left node `l`.
+    pub fn left_degree(&self, l: u32) -> usize {
+        self.right_of(l).len()
+    }
+
+    /// Degree of right node `r`.
+    pub fn right_degree(&self, r: u32) -> usize {
+        self.left_of(r).len()
+    }
+
+    /// Weighted-mean aggregation from right scores to left nodes:
+    /// `out[l] = Σ_r w(l,r)·score[r] / Σ_r w(l,r)`, 0 for isolated `l`.
+    pub fn aggregate_to_left(&self, right_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(right_scores.len(), self.num_right as usize, "score length mismatch");
+        let mut out = vec![0.0; self.num_left as usize];
+        for l in 0..self.num_left {
+            let rs = self.right_of(l);
+            let ws = self.right_weights_of(l);
+            let mut acc = 0.0;
+            let mut wsum = 0.0;
+            for (&r, &w) in rs.iter().zip(ws) {
+                acc += w * right_scores[r as usize];
+                wsum += w;
+            }
+            if wsum > 0.0 {
+                out[l as usize] = acc / wsum;
+            }
+        }
+        out
+    }
+
+    /// Weighted-mean aggregation from left scores to right nodes.
+    pub fn aggregate_to_right(&self, left_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(left_scores.len(), self.num_left as usize, "score length mismatch");
+        let mut out = vec![0.0; self.num_right as usize];
+        for r in 0..self.num_right {
+            let ls = self.left_of(r);
+            let ws = self.left_weights_of(r);
+            let mut acc = 0.0;
+            let mut wsum = 0.0;
+            for (&l, &w) in ls.iter().zip(ws) {
+                acc += w * left_scores[l as usize];
+                wsum += w;
+            }
+            if wsum > 0.0 {
+                out[r as usize] = acc / wsum;
+            }
+        }
+        out
+    }
+
+    /// Sum-propagation from right to left with per-edge normalization over
+    /// the *right* node's degree: `out[l] = Σ_r score[r]·w(l,r)/W(r)` where
+    /// `W(r)` is `r`'s total weight. This is the HITS/FutureRank-style
+    /// "split your mass among your endpoints" step; it conserves the total
+    /// mass of scores sitting on non-isolated right nodes.
+    pub fn distribute_to_left(&self, right_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(right_scores.len(), self.num_right as usize, "score length mismatch");
+        let mut out = vec![0.0; self.num_left as usize];
+        for r in 0..self.num_right {
+            let ls = self.left_of(r);
+            let ws = self.left_weights_of(r);
+            let wsum: f64 = ws.iter().sum();
+            if wsum <= 0.0 {
+                continue;
+            }
+            let s = right_scores[r as usize] / wsum;
+            for (&l, &w) in ls.iter().zip(ws) {
+                out[l as usize] += s * w;
+            }
+        }
+        out
+    }
+
+    /// Sum-propagation from left to right with per-edge normalization over
+    /// the *left* node's degree. Mirror of [`Self::distribute_to_left`].
+    pub fn distribute_to_right(&self, left_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(left_scores.len(), self.num_left as usize, "score length mismatch");
+        let mut out = vec![0.0; self.num_right as usize];
+        for l in 0..self.num_left {
+            let rs = self.right_of(l);
+            let ws = self.right_weights_of(l);
+            let wsum: f64 = ws.iter().sum();
+            if wsum <= 0.0 {
+                continue;
+            }
+            let s = left_scores[l as usize] / wsum;
+            for (&r, &w) in rs.iter().zip(ws) {
+                out[r as usize] += s * w;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    /// 2 authors, 3 articles. Author 0 wrote articles 0,1; author 1 wrote
+    /// articles 1,2. Article 1 is co-authored.
+    fn authors_articles() -> Bipartite {
+        let mut b = BipartiteBuilder::new(2, 3);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 1, 0.5);
+        b.add_edge(1, 2, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn shape_and_adjacency() {
+        let bp = authors_articles();
+        assert_eq!(bp.num_left(), 2);
+        assert_eq!(bp.num_right(), 3);
+        assert_eq!(bp.num_edges(), 4);
+        assert_eq!(bp.right_of(0), &[0, 1]);
+        assert_eq!(bp.left_of(1), &[0, 1]);
+        assert_eq!(bp.left_degree(0), 2);
+        assert_eq!(bp.right_degree(2), 1);
+        assert_eq!(bp.right_weights_of(0), &[1.0, 0.5]);
+        assert_eq!(bp.left_weights_of(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 0, 2.0);
+        let bp = b.build();
+        assert_eq!(bp.num_edges(), 1);
+        assert_eq!(bp.right_weights_of(0), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_left_panics() {
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.add_edge(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bipartite weight")]
+    fn nan_weight_panics() {
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.add_edge(0, 0, f64::NAN);
+    }
+
+    #[test]
+    fn aggregate_to_left_is_weighted_mean() {
+        let bp = authors_articles();
+        let article_scores = [0.9, 0.6, 0.3];
+        let a = bp.aggregate_to_left(&article_scores);
+        // Author 0: (1.0*0.9 + 0.5*0.6) / 1.5 = 0.8
+        assert_close(a[0], 0.8);
+        // Author 1: (0.5*0.6 + 1.0*0.3) / 1.5 = 0.4
+        assert_close(a[1], 0.4);
+    }
+
+    #[test]
+    fn aggregate_to_right_is_weighted_mean() {
+        let bp = authors_articles();
+        let author_scores = [1.0, 0.0];
+        let s = bp.aggregate_to_right(&author_scores);
+        assert_close(s[0], 1.0); // only author 0
+        assert_close(s[1], 0.5); // equal-weight mix
+        assert_close(s[2], 0.0); // only author 1
+    }
+
+    #[test]
+    fn isolated_nodes_score_zero() {
+        let mut b = BipartiteBuilder::new(2, 2);
+        b.add_edge(0, 0, 1.0);
+        let bp = b.build();
+        let left = bp.aggregate_to_left(&[1.0, 1.0]);
+        assert_close(left[1], 0.0);
+        let right = bp.aggregate_to_right(&[1.0, 1.0]);
+        assert_close(right[1], 0.0);
+    }
+
+    #[test]
+    fn distribute_conserves_mass() {
+        let bp = authors_articles();
+        let article_scores = [0.9, 0.6, 0.3];
+        let left = bp.distribute_to_left(&article_scores);
+        assert_close(left.iter().sum::<f64>(), article_scores.iter().sum::<f64>());
+        let back = bp.distribute_to_right(&left);
+        assert_close(back.iter().sum::<f64>(), article_scores.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn distribute_splits_by_weight() {
+        let mut b = BipartiteBuilder::new(2, 1);
+        b.add_edge(0, 0, 3.0);
+        b.add_edge(1, 0, 1.0);
+        let bp = b.build();
+        let left = bp.distribute_to_left(&[1.0]);
+        assert_close(left[0], 0.75);
+        assert_close(left[1], 0.25);
+    }
+
+    #[test]
+    fn empty_bipartite() {
+        let bp = BipartiteBuilder::new(0, 0).build();
+        assert_eq!(bp.num_edges(), 0);
+        assert!(bp.aggregate_to_left(&[]).is_empty());
+        assert!(bp.distribute_to_right(&[]).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Mutable staging area for assembling [`CsrGraph`]s.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphError, Result};
+
+/// What to do when the same `(src, dst)` pair is added more than once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicateEdgePolicy {
+    /// Sum the weights of duplicate edges into one edge (the default;
+    /// matches how citation multi-edges are aggregated into venue/author
+    /// graphs).
+    #[default]
+    SumWeights,
+    /// Keep the first weight seen, drop the rest.
+    KeepFirst,
+    /// Keep the maximum weight seen.
+    MaxWeight,
+    /// Fail the build with [`GraphError::DuplicateEdge`].
+    Reject,
+}
+
+/// Incrementally collects edges, then produces a canonical [`CsrGraph`].
+///
+/// The builder is intentionally permissive while staging (edges land in a
+/// flat vector); all validation, sorting, deduplication and the in-CSR
+/// derivation happen in [`GraphBuilder::build`] / [`GraphBuilder::try_build`],
+/// which run in O(E log E).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    edges: Vec<(u32, u32, f64)>,
+    policy: DuplicateEdgePolicy,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: u32) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            policy: DuplicateEdgePolicy::default(),
+            allow_self_loops: true,
+        }
+    }
+
+    /// Pre-reserve capacity for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Set the duplicate-edge policy (default: [`DuplicateEdgePolicy::SumWeights`]).
+    pub fn duplicate_policy(mut self, policy: DuplicateEdgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// When `false`, self-loops are silently dropped at build time
+    /// (citation graphs never contain them; aggregated venue/author graphs
+    /// do, and whether to keep them is a modeling choice).
+    pub fn self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of staged (pre-dedup) edges.
+    pub fn num_staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grow the node count (never shrinks).
+    pub fn ensure_nodes(&mut self, n: u32) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Stage a weighted edge.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        self.edges.push((src.0, dst.0, weight));
+    }
+
+    /// Stage an unweighted edge (weight 1.0).
+    pub fn add_unweighted(&mut self, src: NodeId, dst: NodeId) {
+        self.add_edge(src, dst, 1.0);
+    }
+
+    /// Stage many edges at once.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId, f64)>>(&mut self, iter: I) {
+        self.edges.extend(iter.into_iter().map(|(s, d, w)| (s.0, d.0, w)));
+    }
+
+    /// Build, panicking on invalid input. Prefer [`Self::try_build`] when
+    /// edges come from untrusted data.
+    pub fn build(self) -> CsrGraph {
+        self.try_build().expect("GraphBuilder::build: invalid graph input")
+    }
+
+    /// Build, validating node bounds, weights, and the duplicate policy.
+    pub fn try_build(mut self) -> Result<CsrGraph> {
+        let n = self.num_nodes as usize;
+
+        for &(s, d, w) in &self.edges {
+            if s >= self.num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: s, num_nodes: self.num_nodes });
+            }
+            if d >= self.num_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: d, num_nodes: self.num_nodes });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight { src: s, dst: d, weight: w });
+            }
+        }
+        if !self.allow_self_loops {
+            self.edges.retain(|&(s, d, _)| s != d);
+        }
+
+        // Sort by (src, dst); stable so KeepFirst keeps insertion order.
+        self.edges.sort_by_key(|&(s, d, _)| (s, d));
+
+        // Deduplicate in place according to policy.
+        let mut deduped: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for (s, d, w) in self.edges.drain(..) {
+            match deduped.last_mut() {
+                Some(last) if last.0 == s && last.1 == d => match self.policy {
+                    DuplicateEdgePolicy::SumWeights => last.2 += w,
+                    DuplicateEdgePolicy::KeepFirst => {}
+                    DuplicateEdgePolicy::MaxWeight => last.2 = last.2.max(w),
+                    DuplicateEdgePolicy::Reject => {
+                        return Err(GraphError::DuplicateEdge { src: s, dst: d })
+                    }
+                },
+                _ => deduped.push((s, d, w)),
+            }
+        }
+
+        let m = deduped.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(s, _, _) in &deduped {
+            out_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_weights = Vec::with_capacity(m);
+        for &(_, d, w) in &deduped {
+            out_targets.push(d);
+            out_weights.push(w);
+        }
+
+        // Derive in-CSR with a counting pass + placement pass.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, d, _) in &deduped {
+            in_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0u32; m];
+        let mut in_weights = vec![0f64; m];
+        let mut cursor = in_offsets[..n].to_vec();
+        // deduped is sorted by (src, dst), so within each target bucket the
+        // sources arrive in ascending order — the in-adjacency comes out
+        // sorted for free.
+        for &(s, d, w) in &deduped {
+            let slot = cursor[d as usize];
+            in_sources[slot] = s;
+            in_weights[slot] = w;
+            cursor[d as usize] += 1;
+        }
+
+        Ok(CsrGraph {
+            num_nodes: self.num_nodes,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        })
+    }
+
+    /// Convenience: build a graph directly from an edge list.
+    pub fn from_edges(num_nodes: u32, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(num_nodes).with_edge_capacity(edges.len());
+        for &(s, d) in edges {
+            b.add_unweighted(NodeId(s), NodeId(d));
+        }
+        b.build()
+    }
+
+    /// Convenience: build a weighted graph directly from an edge list.
+    pub fn from_weighted_edges(num_nodes: u32, edges: &[(u32, u32, f64)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(num_nodes).with_edge_capacity(edges.len());
+        for &(s, d, w) in edges {
+            b.add_edge(NodeId(s), NodeId(d), w);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_duplicate_weights_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1.5);
+        b.add_edge(NodeId(0), NodeId(1), 2.5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(4.0));
+    }
+
+    #[test]
+    fn keep_first_policy() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicateEdgePolicy::KeepFirst);
+        b.add_edge(NodeId(0), NodeId(1), 1.5);
+        b.add_edge(NodeId(0), NodeId(1), 9.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1.5));
+    }
+
+    #[test]
+    fn max_weight_policy() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicateEdgePolicy::MaxWeight);
+        b.add_edge(NodeId(0), NodeId(1), 1.5);
+        b.add_edge(NodeId(0), NodeId(1), 9.0);
+        b.add_edge(NodeId(0), NodeId(1), 3.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(9.0));
+    }
+
+    #[test]
+    fn reject_policy_errors() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicateEdgePolicy::Reject);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        assert!(matches!(b.try_build(), Err(GraphError::DuplicateEdge { src: 0, dst: 1 })));
+    }
+
+    #[test]
+    fn out_of_bounds_src_and_dst_error() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(5), NodeId(0), 1.0);
+        assert!(matches!(b.try_build(), Err(GraphError::NodeOutOfBounds { node: 5, .. })));
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        assert!(matches!(b.try_build(), Err(GraphError::NodeOutOfBounds { node: 2, .. })));
+    }
+
+    #[test]
+    fn invalid_weights_error() {
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let mut b = GraphBuilder::new(2);
+            b.add_edge(NodeId(0), NodeId(1), bad);
+            assert!(b.try_build().is_err(), "weight {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn zero_weight_is_allowed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn self_loops_dropped_when_disallowed() {
+        let mut b = GraphBuilder::new(2).self_loops(false);
+        b.add_edge(NodeId(0), NodeId(0), 1.0);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn self_loops_kept_by_default() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(NodeId(0), NodeId(0), 2.0);
+        let g = b.build();
+        assert!(g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn unsorted_input_becomes_canonical() {
+        let g1 = GraphBuilder::from_edges(4, &[(2, 1), (0, 3), (0, 1), (2, 0)]);
+        let g2 = GraphBuilder::from_edges(4, &[(0, 1), (0, 3), (2, 0), (2, 1)]);
+        assert_eq!(g1, g2);
+        g1.validate().unwrap();
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut b = GraphBuilder::new(3);
+        b.ensure_nodes(10);
+        assert_eq!(b.num_nodes(), 10);
+        b.ensure_nodes(5);
+        assert_eq!(b.num_nodes(), 10);
+    }
+
+    #[test]
+    fn extend_edges_stages_all() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(NodeId(0), NodeId(1), 1.0), (NodeId(1), NodeId(2), 1.0)]);
+        assert_eq!(b.num_staged_edges(), 2);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn from_weighted_edges_roundtrip() {
+        let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 0.25), (1, 2, 0.75)]);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(0.25));
+        assert_eq!(g.total_weight(), 1.0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_edges(), 0);
+    }
+}

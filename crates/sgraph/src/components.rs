@@ -1,0 +1,192 @@
+//! Weakly connected components via union-find.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// A classic disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: u32,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: u32) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n as usize], num_sets: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// The weakly-connected-component decomposition (edge direction ignored).
+#[derive(Debug, Clone)]
+pub struct WccResult {
+    /// `component[v]` is the WCC index of node `v` (components numbered
+    /// by first-seen node, densely from 0).
+    pub component: Vec<u32>,
+    /// Number of WCCs.
+    pub num_components: u32,
+}
+
+impl WccResult {
+    /// Sizes of each component.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components as usize];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest WCC (0 for empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of nodes in the largest WCC (`NaN` for empty graph).
+    pub fn largest_fraction(&self) -> f64 {
+        self.largest_size() as f64 / self.component.len() as f64
+    }
+}
+
+/// Weakly connected components of `g`.
+pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for e in g.edges() {
+        uf.union(e.src.0, e.dst.0);
+    }
+    // Densify labels by first appearance.
+    let mut label = vec![u32::MAX; n as usize];
+    let mut next = 0u32;
+    let mut component = vec![0u32; n as usize];
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r as usize] == u32::MAX {
+            label[r as usize] = next;
+            next += 1;
+        }
+        component[v as usize] = label[r as usize];
+    }
+    WccResult { component, num_components: next }
+}
+
+/// Nodes of the largest weakly connected component.
+pub fn largest_wcc_nodes(g: &CsrGraph) -> Vec<NodeId> {
+    let wcc = weakly_connected_components(g);
+    if g.is_empty() {
+        return Vec::new();
+    }
+    let sizes = wcc.component_sizes();
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    g.nodes().filter(|v| wcc.component[v.index()] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1, 2 -> 1: all weakly connected.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (2, 1)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 1);
+        assert_eq!(wcc.largest_size(), 3);
+        assert!((wcc.largest_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separate_islands() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(wcc.largest_size(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_and_stable() {
+        let g = GraphBuilder::from_edges(4, &[(2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        // First-seen order: node0 -> 0, node1 -> 1, nodes 2,3 -> 2.
+        assert_eq!(wcc.component, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn largest_wcc_node_extraction() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let nodes = largest_wcc_nodes(&g);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::CsrGraph::empty(0);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 0);
+        assert_eq!(wcc.largest_size(), 0);
+        assert!(largest_wcc_nodes(&g).is_empty());
+    }
+}

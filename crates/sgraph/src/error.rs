@@ -1,0 +1,112 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors produced while building, transforming, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node index `>= num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph being built.
+        num_nodes: u32,
+    },
+    /// An edge weight was NaN, infinite, or negative.
+    InvalidWeight {
+        /// Source of the offending edge.
+        src: u32,
+        /// Destination of the offending edge.
+        dst: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A duplicate edge was encountered under [`DuplicateEdgePolicy::Reject`].
+    ///
+    /// [`DuplicateEdgePolicy::Reject`]: crate::builder::DuplicateEdgePolicy::Reject
+    DuplicateEdge {
+        /// Source of the duplicated edge.
+        src: u32,
+        /// Destination of the duplicated edge.
+        dst: u32,
+    },
+    /// The graph contains a cycle where an acyclic graph was required
+    /// (e.g. topological sorting).
+    CycleDetected,
+    /// A malformed line in a text edge-list file.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Binary format corruption or version mismatch.
+    BadBinaryFormat(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node index {node} out of bounds (graph has {num_nodes} nodes)")
+            }
+            GraphError::InvalidWeight { src, dst, weight } => {
+                write!(f, "invalid weight {weight} on edge {src} -> {dst} (must be finite and >= 0)")
+            }
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst} rejected by policy")
+            }
+            GraphError::CycleDetected => write!(f, "graph contains a cycle"),
+            GraphError::ParseError { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::BadBinaryFormat(msg) => write!(f, "bad binary graph format: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<GraphError> = vec![
+            GraphError::NodeOutOfBounds { node: 7, num_nodes: 3 },
+            GraphError::InvalidWeight { src: 0, dst: 1, weight: f64::NAN },
+            GraphError::DuplicateEdge { src: 2, dst: 2 },
+            GraphError::CycleDetected,
+            GraphError::ParseError { line: 4, message: "oops".into() },
+            GraphError::BadBinaryFormat("magic".into()),
+            GraphError::Io(std::io::Error::other("x")),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

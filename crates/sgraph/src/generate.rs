@@ -1,0 +1,150 @@
+//! Random-graph generators for benchmarking and testing the substrate.
+//!
+//! Two standard models, both deterministic per seed:
+//!
+//! * [`gnm_random`] — Erdős–Rényi G(n, m): `m` edges drawn uniformly.
+//! * [`preferential_attachment`] — Barabási–Albert-style: nodes arrive one
+//!   at a time and attach `m` out-edges to earlier nodes with probability
+//!   proportional to in-degree + 1, producing the power-law in-degree of
+//!   citation graphs.
+//!
+//! (Corpus-level generation with years, venues, authors, and merit lives
+//! in `scholar-corpus::generator`; these are bare graphs for kernels.)
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// xorshift-based deterministic RNG (no external dependency in this crate).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        Rng(seed ^ 0x9e3779b97f4a7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Erdős–Rényi G(n, m): exactly `m` staged edges drawn uniformly with
+/// replacement (duplicates merge, so the final edge count can be slightly
+/// lower). Weights are 1.
+pub fn gnm_random(n: u32, m: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "need at least one node");
+    let mut rng = Rng::new(seed);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m);
+    for _ in 0..m {
+        let s = rng.below(n as u64) as u32;
+        let d = rng.below(n as u64) as u32;
+        b.add_unweighted(NodeId(s), NodeId(d));
+    }
+    b.build()
+}
+
+/// Preferential attachment: node `v` (for `v >= 1`) draws
+/// `min(m_per_node, v)` distinct targets among `0..v` with probability
+/// ∝ in-degree + 1, giving a heavy-tailed in-degree distribution.
+pub fn preferential_attachment(n: u32, m_per_node: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "need at least one node");
+    let mut rng = Rng::new(seed);
+    let mut b = GraphBuilder::new(n);
+    // repeated-nodes list: node i appears indeg(i)+1 times (approximately;
+    // we append one entry per received edge plus one base entry).
+    let mut urn: Vec<u32> = vec![0];
+    for v in 1..n {
+        let want = m_per_node.min(v as usize);
+        let mut picked: Vec<u32> = Vec::with_capacity(want);
+        let mut guard = 0;
+        while picked.len() < want && guard < want * 20 + 20 {
+            guard += 1;
+            let t = urn[(rng.unit() * urn.len() as f64) as usize % urn.len()];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_unweighted(NodeId(v), NodeId(t));
+            urn.push(t);
+        }
+        urn.push(v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn gnm_shape_and_determinism() {
+        let g = gnm_random(1000, 5000, 7);
+        assert_eq!(g.num_nodes(), 1000);
+        // Duplicates merge; expect close to m.
+        assert!(g.num_edges() > 4900 && g.num_edges() <= 5000);
+        assert_eq!(g, gnm_random(1000, 5000, 7));
+        assert_ne!(g, gnm_random(1000, 5000, 8));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_degrees_are_homogeneous() {
+        let g = gnm_random(2000, 20_000, 3);
+        let s = stats::in_degree_stats(&g);
+        // Poisson-ish: gini well below a power-law graph's.
+        assert!(s.gini < 0.4, "ER gini should be small, got {}", s.gini);
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let g = preferential_attachment(3000, 4, 5);
+        g.validate().unwrap();
+        let s = stats::in_degree_stats(&g);
+        assert!(s.gini > 0.5, "PA gini should be large, got {}", s.gini);
+        assert!(s.max > 50, "expect a hub, max in-degree {}", s.max);
+        // Every non-root node has out-degree min(m, v).
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        assert_eq!(g.out_degree(NodeId(10)), 4);
+    }
+
+    #[test]
+    fn preferential_attachment_is_a_dag() {
+        // Edges always point to earlier nodes.
+        let g = preferential_attachment(500, 3, 11);
+        assert!(!crate::traversal::is_cyclic(&g));
+    }
+
+    #[test]
+    fn tail_exponent_is_power_law_like() {
+        let g = preferential_attachment(20_000, 5, 13);
+        let alpha = stats::in_degree_power_law_alpha(&g, 10).expect("tail big enough");
+        // BA-style attachment gives alpha ~ 2-3.5.
+        assert!((1.8..4.0).contains(&alpha), "alpha = {alpha}");
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = gnm_random(1, 10, 1);
+        assert_eq!(g.num_nodes(), 1);
+        let p = preferential_attachment(1, 3, 1);
+        assert_eq!(p.num_edges(), 0);
+        let p2 = preferential_attachment(2, 3, 1);
+        assert_eq!(p2.num_edges(), 1);
+    }
+}

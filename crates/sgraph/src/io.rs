@@ -1,0 +1,294 @@
+//! Graph serialization: whitespace edge-list text and a compact binary
+//! format.
+//!
+//! The text format is one edge per line — `src dst [weight]` — with `#`
+//! comments and blank lines ignored; it is interchange-compatible with the
+//! formats published alongside AAN and SNAP datasets. The binary format is
+//! a little-endian dump of the CSR arrays behind a magic/version header,
+//! used to cache large generated corpora between benchmark runs.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphBuilder, GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SGRAPH01";
+
+/// Parse a graph from edge-list text. Node count is
+/// `max(seen node) + 1` unless `num_nodes` forces a larger graph.
+pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<u32>) -> Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut max_node: Option<u32> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let lineno = lineno + 1;
+        let src: u32 = parts
+            .next()
+            .ok_or_else(|| GraphError::ParseError { line: lineno, message: "missing src".into() })?
+            .parse()
+            .map_err(|e| GraphError::ParseError { line: lineno, message: format!("bad src: {e}") })?;
+        let dst: u32 = parts
+            .next()
+            .ok_or_else(|| GraphError::ParseError { line: lineno, message: "missing dst".into() })?
+            .parse()
+            .map_err(|e| GraphError::ParseError { line: lineno, message: format!("bad dst: {e}") })?;
+        let weight: f64 = match parts.next() {
+            Some(tok) => tok.parse().map_err(|e| GraphError::ParseError {
+                line: lineno,
+                message: format!("bad weight: {e}"),
+            })?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::ParseError {
+                line: lineno,
+                message: "trailing tokens after weight".into(),
+            });
+        }
+        max_node = Some(max_node.map_or(src.max(dst), |m| m.max(src).max(dst)));
+        edges.push((src, dst, weight));
+    }
+    let n = match (num_nodes, max_node) {
+        (Some(n), Some(m)) => n.max(m + 1),
+        (Some(n), None) => n,
+        (None, Some(m)) => m + 1,
+        (None, None) => 0,
+    };
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for (s, d, w) in edges {
+        b.add_edge(NodeId(s), NodeId(d), w);
+    }
+    b.try_build()
+}
+
+/// Write a graph as edge-list text. Weights equal to 1.0 are omitted.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# sgraph edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for e in g.edges() {
+        if e.weight == 1.0 {
+            writeln!(w, "{} {}", e.src.0, e.dst.0)?;
+        } else {
+            writeln!(w, "{} {} {}", e.src.0, e.dst.0, e.weight)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read an edge-list file from disk.
+pub fn read_edge_list_file(path: &Path, num_nodes: Option<u32>) -> Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?, num_nodes)
+}
+
+/// Write an edge-list file to disk.
+pub fn write_edge_list_file(g: &CsrGraph, path: &Path) -> Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Serialize the graph in the compact binary format.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, g.num_nodes() as u64)?;
+    write_u64(&mut w, g.num_edges() as u64)?;
+    for &off in &g.out_offsets {
+        write_u64(&mut w, off as u64)?;
+    }
+    for &t in &g.out_targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    for &wt in &g.out_weights {
+        w.write_all(&wt.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialize a graph written by [`write_binary`]. The in-CSR is rebuilt
+/// and the result validated.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::BadBinaryFormat("bad magic".into()));
+    }
+    let n = read_u64(&mut r)?;
+    let m = read_u64(&mut r)?;
+    if n > u32::MAX as u64 {
+        return Err(GraphError::BadBinaryFormat("node count exceeds u32".into()));
+    }
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    for _ in 0..=n {
+        let off = read_u64(&mut r)?;
+        if off > m {
+            return Err(GraphError::BadBinaryFormat("offset exceeds edge count".into()));
+        }
+        offsets.push(off as usize);
+    }
+    let mut targets = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf)?;
+        targets.push(u32::from_le_bytes(buf));
+    }
+    let mut weights = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf)?;
+        weights.push(f64::from_le_bytes(buf));
+    }
+    // Rebuild via the builder to regenerate the in-CSR and validate.
+    let mut b = GraphBuilder::new(n as u32).with_edge_capacity(m as usize);
+    for u in 0..n as usize {
+        let (start, end) = (offsets[u], offsets[u + 1]);
+        if end < start {
+            return Err(GraphError::BadBinaryFormat("offsets not monotone".into()));
+        }
+        for i in start..end {
+            b.add_edge(NodeId(u as u32), NodeId(targets[i]), weights[i]);
+        }
+    }
+    let g = b.try_build()?;
+    g.validate()?;
+    Ok(g)
+}
+
+/// Read a binary graph file from disk.
+pub fn read_binary_file(path: &Path) -> Result<CsrGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+/// Write a binary graph file to disk.
+pub fn write_binary_file(g: &CsrGraph, path: &Path) -> Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        GraphBuilder::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 2.5), (3, 4, 1.0), (4, 0, 0.125)],
+        )
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], None).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_isolated_nodes_with_hint() {
+        let g = GraphBuilder::from_edges(10, &[(0, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(10)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_parses_comments_and_defaults() {
+        let text = "# a comment\n\n0 1\n1 2 0.5\n  # indented comment\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(2)), Some(0.5));
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        match read_edge_list(text.as_bytes(), None) {
+            Err(GraphError::ParseError { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+        let text2 = "0\n";
+        assert!(matches!(
+            read_edge_list(text2.as_bytes(), None),
+            Err(GraphError::ParseError { line: 1, .. })
+        ));
+        let text3 = "0 1 2.0 junk\n";
+        assert!(read_edge_list(text3.as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_graph() {
+        let g = read_edge_list("".as_bytes(), None).unwrap();
+        assert!(g.is_empty());
+        let g = read_edge_list("# only comments\n".as_bytes(), Some(3)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty_and_isolated() {
+        for g in [CsrGraph::empty(0), CsrGraph::empty(7)] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::BadBinaryFormat(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("sgraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        let txt = dir.join("g.txt");
+        write_edge_list_file(&g, &txt).unwrap();
+        assert_eq!(read_edge_list_file(&txt, None).unwrap(), g);
+        let bin = dir.join("g.bin");
+        write_binary_file(&g, &bin).unwrap();
+        assert_eq!(read_binary_file(&bin).unwrap(), g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,190 @@
+//! k-core decomposition (total-degree peeling).
+//!
+//! The citation-network literature uses coreness both as a cheap
+//! importance proxy and to characterize dataset density; the corpus
+//! statistics module reports the degeneracy (maximum core number), and
+//! the sparsification experiment uses core membership to check that edge
+//! sampling preserves the dense backbone.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// The k-core decomposition of a graph (edge directions ignored).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreResult {
+    /// `core[v]` = the largest k such that v belongs to the k-core.
+    pub core: Vec<u32>,
+    /// The degeneracy: the maximum core number (0 for edgeless graphs).
+    pub degeneracy: u32,
+}
+
+impl CoreResult {
+    /// The nodes whose core number is at least `k`.
+    pub fn members_of_core(&self, k: u32) -> Vec<NodeId> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= k)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Histogram over core numbers: `hist[k]` = number of nodes with core
+    /// number exactly `k`.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.degeneracy as usize + 1];
+        for &c in &self.core {
+            hist[c as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Compute core numbers with the Batagelj–Zaversnik bucket-peeling
+/// algorithm, O(V + E). Degree = in-degree + out-degree (self-loops count
+/// twice, as in the undirected convention).
+pub fn k_core_decomposition(g: &CsrGraph) -> CoreResult {
+    let n = g.len();
+    if n == 0 {
+        return CoreResult { core: Vec::new(), degeneracy: 0 };
+    }
+    let mut degree: Vec<usize> =
+        g.nodes().map(|v| g.in_degree(v) + g.out_degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort nodes by degree.
+    let mut bin_starts = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin_starts[d + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin_starts[i + 1] += bin_starts[i];
+    }
+    let mut pos = vec![0usize; n]; // position of node in `order`
+    let mut order = vec![0u32; n]; // nodes sorted by current degree
+    {
+        let mut cursor = bin_starts.clone();
+        for v in 0..n {
+            let d = degree[v];
+            order[cursor[d]] = v as u32;
+            pos[v] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+    // bin[d] = index in `order` of the first node with degree >= d.
+    let mut bin = bin_starts;
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i] as usize;
+        core[v] = degree[v] as u32;
+        // "Remove" v: decrement the degree of each neighbor still ahead.
+        let neighbors: Vec<u32> = g
+            .out_neighbors(NodeId(v as u32))
+            .iter()
+            .chain(g.in_neighbors(NodeId(v as u32)))
+            .map(|x| x.0)
+            .collect();
+        for u in neighbors {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                let du = degree[u];
+                let pu = pos[u];
+                // Swap u with the first node of its degree bucket.
+                let pw = bin[du];
+                let w = order[pw] as usize;
+                if u != w {
+                    order[pu] = w as u32;
+                    order[pw] = u as u32;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    CoreResult { core, degeneracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_is_a_2_core() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let res = k_core_decomposition(&g);
+        assert_eq!(res.core, vec![2, 2, 2]);
+        assert_eq!(res.degeneracy, 2);
+    }
+
+    #[test]
+    fn pendant_vertices_peel_first() {
+        // Triangle {0,1,2} plus pendant 3 - 0.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let res = k_core_decomposition(&g);
+        assert_eq!(res.core[3], 1);
+        assert_eq!(res.core[0], 2);
+        assert_eq!(res.core[1], 2);
+        assert_eq!(res.core[2], 2);
+        assert_eq!(res.members_of_core(2).len(), 3);
+        assert_eq!(res.members_of_core(1).len(), 4);
+        assert_eq!(res.histogram(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn chain_is_1_core() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let res = k_core_decomposition(&g);
+        assert_eq!(res.core, vec![1, 1, 1, 1]);
+        assert_eq!(res.degeneracy, 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_0_core() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let res = k_core_decomposition(&g);
+        assert_eq!(res.core[2], 0);
+        assert_eq!(res.core[0], 1);
+    }
+
+    #[test]
+    fn clique_core_number() {
+        // Directed 5-clique (each ordered pair once): undirected degree 8.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = GraphBuilder::from_edges(5, &edges);
+        let res = k_core_decomposition(&g);
+        // Every node has total degree 8; the whole graph peels at 8.
+        assert!(res.core.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let res = k_core_decomposition(&CsrGraph::empty(0));
+        assert_eq!(res.degeneracy, 0);
+        assert!(res.core.is_empty());
+        let res1 = k_core_decomposition(&CsrGraph::empty(4));
+        assert_eq!(res1.core, vec![0; 4]);
+    }
+
+    #[test]
+    fn core_is_monotone_under_edge_removal() {
+        // Removing edges can only lower core numbers.
+        let g_full = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let g_less = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let full = k_core_decomposition(&g_full);
+        let less = k_core_decomposition(&g_less);
+        for v in 0..5 {
+            assert!(less.core[v] <= full.core[v]);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # sgraph — a compact directed-graph substrate for link analysis
+//!
+//! `sgraph` is the storage and traversal layer underneath the `qrank`
+//! scholarly-ranking stack. It provides:
+//!
+//! * [`CsrGraph`] — an immutable, weighted, directed graph in compressed
+//!   sparse row form, with *both* out- and in-adjacency materialized so
+//!   that push- and pull-style propagation are both cache-friendly.
+//! * [`GraphBuilder`] — the mutable staging area used to assemble graphs
+//!   (deduplication, weight merging, validation).
+//! * [`Bipartite`] — weighted bipartite graphs (author↔article,
+//!   venue↔article) with both orientations materialized.
+//! * Traversals ([`traversal`]), strongly/weakly connected components
+//!   ([`scc`], [`components`]), k-core decomposition ([`kcore`]), degree
+//!   statistics and power-law fitting ([`stats`]).
+//! * [`stochastic`] — the row-stochastic random-walk operator used by
+//!   every PageRank-family algorithm in the stack, with sequential and
+//!   multi-threaded ([`par`]) apply kernels and principled dangling-node
+//!   handling — plus a Gauss–Seidel solver for the same fixpoint
+//!   ([`solver`]) and local forward-push personalized PageRank ([`push`]).
+//! * Deterministic edge sampling for robustness experiments
+//!   ([`sampling`]) and random-graph models for benchmarking
+//!   ([`generate`]).
+//! * Plain-text and binary serialization ([`io`]).
+//!
+//! Node identifiers are dense `u32` indices wrapped in [`NodeId`]; graphs
+//! are therefore limited to fewer than 2³² nodes, which comfortably covers
+//! the scholarly corpora this stack targets (the largest preset, MAG-like,
+//! is ~10⁶ articles) while halving index memory versus `usize`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sgraph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1), 1.0);
+//! b.add_edge(NodeId(1), NodeId(2), 2.0);
+//! b.add_edge(NodeId(0), NodeId(2), 0.5);
+//! let g = b.build();
+//! assert_eq!(g.num_nodes(), 3);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+//! assert_eq!(g.in_degree(NodeId(2)), 2);
+//! ```
+
+pub mod bipartite;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod error;
+pub mod generate;
+pub mod io;
+pub mod kcore;
+pub mod par;
+pub mod push;
+pub mod sampling;
+pub mod scc;
+pub mod solver;
+pub mod stats;
+pub mod stochastic;
+pub mod traversal;
+pub mod view;
+
+pub use bipartite::{Bipartite, BipartiteBuilder};
+pub use builder::{DuplicateEdgePolicy, GraphBuilder};
+pub use csr::{CsrGraph, EdgeRef, NodeId};
+pub use error::GraphError;
+pub use stochastic::{JumpVector, RowStochastic};
+pub use view::SubgraphMap;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,166 @@
+//! Random edge sampling — the substrate of the sparsification-robustness
+//! experiment (R-Fig 7): how does each ranker's output degrade when a
+//! fraction of the citation edges is hidden?
+//!
+//! Sampling is deterministic given the seed and independent per edge, so
+//! nested samples can be produced by lowering the keep probability with
+//! the same seed.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// Deterministic per-edge hash in [0, 1): splitmix64 of
+/// `(seed, src, dst)`. The same edge keeps/drops consistently across
+/// different keep fractions, so samples are nested. Public so corpus-level
+/// perturbations can stay consistent with graph-level ones.
+pub fn edge_unit(seed: u64, src: u32, dst: u32) -> f64 {
+    let mut z = seed ^ ((src as u64) << 32 | dst as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Keep each edge independently with probability `keep_fraction`
+/// (weights preserved). Node set unchanged.
+pub fn sample_edges(g: &CsrGraph, keep_fraction: f64, seed: u64) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep fraction must be a probability, got {keep_fraction}"
+    );
+    let mut b = GraphBuilder::new(g.num_nodes())
+        .with_edge_capacity((g.num_edges() as f64 * keep_fraction) as usize + 16);
+    for e in g.edges() {
+        if edge_unit(seed, e.src.0, e.dst.0) < keep_fraction {
+            b.add_edge(e.src, e.dst, e.weight);
+        }
+    }
+    b.build()
+}
+
+/// Hide all *in-edges* of the given target nodes with probability
+/// `drop_fraction` — the "new page" simulation: a set of articles loses
+/// most of the citations pointing at them.
+pub fn drop_in_edges_of(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    drop_fraction: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&drop_fraction),
+        "drop fraction must be a probability, got {drop_fraction}"
+    );
+    let mut is_target = vec![false; g.len()];
+    for &t in targets {
+        is_target[t.index()] = true;
+    }
+    let mut b = GraphBuilder::new(g.num_nodes()).with_edge_capacity(g.num_edges());
+    for e in g.edges() {
+        let drop = is_target[e.dst.index()]
+            && edge_unit(seed, e.src.0, e.dst.0) < drop_fraction;
+        if !drop {
+            b.add_edge(e.src, e.dst, e.weight);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_random_graph() -> CsrGraph {
+        let mut edges = Vec::new();
+        let mut state = 77u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..20_000 {
+            edges.push((next() % 2000, next() % 2000, 1.0));
+        }
+        GraphBuilder::from_weighted_edges(2000, &edges)
+    }
+
+    #[test]
+    fn keep_fraction_is_respected() {
+        let g = big_random_graph();
+        for &f in &[0.2, 0.5, 0.8] {
+            let s = sample_edges(&g, f, 9);
+            let got = s.num_edges() as f64 / g.num_edges() as f64;
+            assert!(
+                (got - f).abs() < 0.03,
+                "asked to keep {f}, kept {got} ({} of {})",
+                s.num_edges(),
+                g.num_edges()
+            );
+            assert_eq!(s.num_nodes(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let g = big_random_graph();
+        assert_eq!(sample_edges(&g, 1.0, 1).num_edges(), g.num_edges());
+        assert_eq!(sample_edges(&g, 0.0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let g = big_random_graph();
+        let a = sample_edges(&g, 0.5, 42);
+        let b = sample_edges(&g, 0.5, 42);
+        assert_eq!(a, b);
+        let c = sample_edges(&g, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_are_nested() {
+        // Every edge kept at 30% must also be kept at 60% (same seed).
+        let g = big_random_graph();
+        let small = sample_edges(&g, 0.3, 5);
+        let large = sample_edges(&g, 0.6, 5);
+        for e in small.edges() {
+            assert!(
+                large.has_edge(e.src, e.dst),
+                "edge {} -> {} in the 30% sample missing from the 60% sample",
+                e.src,
+                e.dst
+            );
+        }
+    }
+
+    #[test]
+    fn drop_in_edges_targets_only() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 1), (3, 1), (0, 2), (3, 2)]);
+        let dropped = drop_in_edges_of(&g, &[NodeId(1)], 1.0, 7);
+        assert_eq!(dropped.in_degree(NodeId(1)), 0);
+        assert_eq!(dropped.in_degree(NodeId(2)), 2, "non-target in-edges untouched");
+    }
+
+    #[test]
+    fn partial_drop_fraction() {
+        let g = big_random_graph();
+        let targets: Vec<NodeId> = (0..200).map(NodeId).collect();
+        let before: usize = targets.iter().map(|&t| g.in_degree(t)).sum();
+        let dropped = drop_in_edges_of(&g, &targets, 0.9, 3);
+        let after: usize = targets.iter().map(|&t| dropped.in_degree(t)).sum();
+        let kept = after as f64 / before as f64;
+        assert!((kept - 0.1).abs() < 0.05, "expected ~10% of in-edges kept, got {kept}");
+    }
+
+    #[test]
+    fn weights_survive_sampling() {
+        let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 0.5)]);
+        let s = sample_edges(&g, 1.0, 1);
+        assert_eq!(s.edge_weight(NodeId(0), NodeId(1)), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_fraction_panics() {
+        sample_edges(&CsrGraph::empty(1), 1.5, 0);
+    }
+}

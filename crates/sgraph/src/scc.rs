@@ -1,0 +1,226 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Citation graphs are nearly acyclic, but same-year mutual citations and
+//! data noise create small SCCs; SCC structure is reported by the corpus
+//! statistics module and exercised by graph-sanity tests.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the SCC index of node `v`; components are numbered
+    /// in *reverse topological* order of the condensation (Tarjan's natural
+    /// output order): if SCC `a` has an edge to SCC `b`, then `a > b`.
+    pub component: Vec<u32>,
+    /// Number of SCCs.
+    pub num_components: u32,
+}
+
+impl SccResult {
+    /// Sizes of each component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components as usize];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest SCC (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of SCCs containing more than one node.
+    pub fn num_nontrivial(&self) -> usize {
+        self.component_sizes().into_iter().filter(|&s| s > 1).count()
+    }
+
+    /// The members of each component.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.num_components as usize];
+        for (i, &c) in self.component.iter().enumerate() {
+            out[c as usize].push(NodeId(i as u32));
+        }
+        out
+    }
+}
+
+/// Compute SCCs with an iterative Tarjan (explicit stack, so deep graphs —
+/// e.g. a 10⁶-node citation chain — cannot overflow the call stack).
+pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Work stack frames: (node, next-child cursor).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let vi = v as usize;
+            if *cursor == 0 {
+                // First visit of v.
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let neighbors = g.out_neighbors(NodeId(v));
+            let mut advanced = false;
+            while *cursor < neighbors.len() {
+                let w = neighbors[*cursor].0;
+                *cursor += 1;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    frames.push((w, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // All children done: pop frame, maybe emit component.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                let pi = parent as usize;
+                lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+            }
+            if lowlink[vi] == index[vi] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    component[w as usize] = num_components;
+                    if w == v {
+                        break;
+                    }
+                }
+                num_components += 1;
+            }
+        }
+    }
+
+    SccResult { component, num_components }
+}
+
+/// Condense the graph: one node per SCC, edges between distinct SCCs with
+/// summed weights. The result is always a DAG.
+pub fn condensation(g: &CsrGraph, scc: &SccResult) -> CsrGraph {
+    let mut b = crate::GraphBuilder::new(scc.num_components).self_loops(false);
+    for e in g.edges() {
+        let cs = scc.component[e.src.index()];
+        let cd = scc.component[e.dst.index()];
+        if cs != cd {
+            b.add_edge(NodeId(cs), NodeId(cd), e.weight);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_cyclic;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 4);
+        assert_eq!(scc.largest_size(), 1);
+        assert_eq!(scc.num_nontrivial(), 0);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.largest_size(), 3);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // {0,1} cycle -> {2,3} cycle
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[2], scc.component[3]);
+        assert_ne!(scc.component[0], scc.component[2]);
+        // Reverse topological numbering: source SCC has the larger id.
+        assert!(scc.component[0] > scc.component[2]);
+    }
+
+    #[test]
+    fn members_partition_the_nodes() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]);
+        let scc = tarjan_scc(&g);
+        let members = scc.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        assert_eq!(scc.num_nontrivial(), 2);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)],
+        );
+        let scc = tarjan_scc(&g);
+        let dag = condensation(&g, &scc);
+        assert_eq!(dag.num_nodes(), scc.num_components);
+        assert!(!is_cyclic(&dag));
+    }
+
+    #[test]
+    fn condensation_sums_parallel_edge_weights() {
+        // Two nodes in SCC A both point into SCC B.
+        let g = GraphBuilder::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (1, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 2, 1.0)],
+        );
+        let scc = tarjan_scc(&g);
+        let dag = condensation(&g, &scc);
+        assert_eq!(dag.num_edges(), 1);
+        assert_eq!(dag.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = crate::CsrGraph::empty(3);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 3);
+        let g0 = crate::CsrGraph::empty(0);
+        let scc0 = tarjan_scc(&g0);
+        assert_eq!(scc0.num_components, 0);
+        assert_eq!(scc0.largest_size(), 0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 200k-node chain would overflow a recursive Tarjan.
+        let n = 200_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::from_edges(n, &edges);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, n);
+    }
+}

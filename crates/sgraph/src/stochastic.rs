@@ -1,0 +1,524 @@
+//! The row-stochastic random-walk operator.
+//!
+//! Every PageRank-family algorithm in this stack is a fixpoint of
+//!
+//! ```text
+//! y = d · Pᵀ x  +  (d · dangling_mass(x) + (1 − d)) · j
+//! ```
+//!
+//! where `P` is the row-stochastic transition matrix derived from the edge
+//! weights, `j` is the jump (teleportation) distribution, and dangling
+//! nodes (no out-edges, or all-zero out-weights) re-emit their mass through
+//! `j`. This module precomputes the pull-style (in-edge, gather) form of
+//! `Pᵀ` once and applies it sequentially or across threads.
+//!
+//! The operator conserves probability mass exactly up to floating-point
+//! rounding: if `Σx = 1` then `Σy = 1`.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::par;
+
+/// A teleportation distribution over nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JumpVector {
+    /// Uniform over all nodes.
+    Uniform,
+    /// An arbitrary non-negative vector; normalized to sum 1 on
+    /// construction via [`JumpVector::weighted`].
+    Weighted(Vec<f64>),
+}
+
+impl JumpVector {
+    /// A weighted jump vector; weights must be non-negative and finite
+    /// with a positive sum (they are normalized here).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative/non-finite or if all are zero.
+    pub fn weighted(mut weights: Vec<f64>) -> Self {
+        let mut sum = 0.0;
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "jump weight must be finite and >= 0, got {w}");
+            sum += w;
+        }
+        assert!(sum > 0.0, "jump vector must have positive total mass");
+        for w in &mut weights {
+            *w /= sum;
+        }
+        JumpVector::Weighted(weights)
+    }
+
+    /// Probability assigned to node `v` given `n` total nodes.
+    #[inline]
+    pub fn prob(&self, v: NodeId, n: usize) -> f64 {
+        match self {
+            JumpVector::Uniform => 1.0 / n as f64,
+            JumpVector::Weighted(w) => w[v.index()],
+        }
+    }
+
+    /// Materialize as a dense vector of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        match self {
+            JumpVector::Uniform => vec![1.0 / n as f64; n],
+            JumpVector::Weighted(w) => {
+                assert_eq!(w.len(), n, "jump vector length mismatch");
+                w.clone()
+            }
+        }
+    }
+}
+
+/// Precomputed pull-form transition structure for a graph.
+#[derive(Debug, Clone)]
+pub struct RowStochastic {
+    n: usize,
+    /// in-CSR offsets (length n+1).
+    in_offsets: Vec<usize>,
+    /// in-CSR sources.
+    in_sources: Vec<u32>,
+    /// Normalized transition probability of each in-edge:
+    /// `p[u → v] = w(u,v) / Σ_t w(u,t)`.
+    in_probs: Vec<f64>,
+    /// Nodes with zero out-weight (dangling).
+    dangling: Vec<u32>,
+}
+
+impl RowStochastic {
+    /// Build the operator from a weighted graph. O(V + E).
+    pub fn new(g: &CsrGraph) -> Self {
+        let n = g.len();
+        // Out-weight sums per node.
+        let mut out_sum = vec![0.0f64; n];
+        for u in g.nodes() {
+            out_sum[u.index()] = g.out_weight_sum(u);
+        }
+        let dangling: Vec<u32> =
+            (0..n as u32).filter(|&u| out_sum[u as usize] <= 0.0).collect();
+
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_sources = Vec::with_capacity(g.num_edges());
+        let mut in_probs = Vec::with_capacity(g.num_edges());
+        in_offsets.push(0);
+        for v in g.nodes() {
+            for (&u, &w) in g.in_neighbors(v).iter().zip(g.in_edge_weights(v)) {
+                let s = out_sum[u.index()];
+                if s > 0.0 && w > 0.0 {
+                    in_sources.push(u.0);
+                    in_probs.push(w / s);
+                }
+            }
+            in_offsets.push(in_sources.len());
+        }
+        RowStochastic { n, in_offsets, in_sources, in_probs, dangling }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The dangling node ids (no outgoing probability).
+    pub fn dangling(&self) -> &[u32] {
+        &self.dangling
+    }
+
+    /// Total probability mass currently sitting on dangling nodes.
+    #[inline]
+    pub fn dangling_mass(&self, x: &[f64]) -> f64 {
+        self.dangling.iter().map(|&u| x[u as usize]).sum()
+    }
+
+    #[inline(always)]
+    fn gather(&self, v: usize, x: &[f64]) -> f64 {
+        let r = self.in_offsets[v]..self.in_offsets[v + 1];
+        let mut acc = 0.0;
+        for (s, p) in self.in_sources[r.clone()].iter().zip(&self.in_probs[r]) {
+            acc += x[*s as usize] * p;
+        }
+        acc
+    }
+
+    /// One damped power-iteration step, sequential.
+    ///
+    /// `y` must have length `num_nodes`. `x` should sum to 1 for the
+    /// probabilistic interpretation to hold (not enforced).
+    pub fn apply(&self, x: &[f64], y: &mut [f64], damping: f64, jump: &JumpVector) {
+        assert_eq!(x.len(), self.n, "input vector length mismatch");
+        assert_eq!(y.len(), self.n, "output vector length mismatch");
+        let residual = damping * self.dangling_mass(x) + (1.0 - damping);
+        match jump {
+            JumpVector::Uniform => {
+                let base = residual / self.n as f64;
+                for (v, slot) in y.iter_mut().enumerate() {
+                    *slot = damping * self.gather(v, x) + base;
+                }
+            }
+            JumpVector::Weighted(w) => {
+                assert_eq!(w.len(), self.n, "jump vector length mismatch");
+                for (v, slot) in y.iter_mut().enumerate() {
+                    *slot = damping * self.gather(v, x) + residual * w[v];
+                }
+            }
+        }
+    }
+
+    /// One damped power-iteration step across `threads` workers. Work is
+    /// balanced by in-edge count so power-law hubs don't serialize.
+    pub fn apply_parallel(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        damping: f64,
+        jump: &JumpVector,
+        threads: usize,
+    ) {
+        if threads <= 1 || self.n < 4096 {
+            return self.apply(x, y, damping, jump);
+        }
+        assert_eq!(x.len(), self.n, "input vector length mismatch");
+        assert_eq!(y.len(), self.n, "output vector length mismatch");
+        let residual = damping * self.dangling_mass(x) + (1.0 - damping);
+        let ranges = par::balanced_ranges(&self.in_offsets, threads);
+        let dense_jump;
+        let jump_slice: Option<&[f64]> = match jump {
+            JumpVector::Uniform => None,
+            JumpVector::Weighted(w) => {
+                assert_eq!(w.len(), self.n, "jump vector length mismatch");
+                dense_jump = w;
+                Some(dense_jump)
+            }
+        };
+        let base = residual / self.n as f64;
+        par::for_each_range_mut(y, &ranges, |range, chunk| {
+            for (v, slot) in range.clone().zip(chunk.iter_mut()) {
+                let jp = match jump_slice {
+                    None => base,
+                    Some(w) => residual * w[v],
+                };
+                *slot = damping * self.gather(v, x) + jp;
+            }
+        });
+    }
+
+    /// Run damped power iteration to a fixpoint.
+    ///
+    /// Starts from `jump` (or a caller-provided warm start), iterates until
+    /// the L1 residual drops below `tol` or `max_iter` steps elapse, and
+    /// returns the final vector plus per-iteration residual history.
+    pub fn stationary(&self, opts: &PowerIterationOpts) -> PowerIterationResult {
+        let n = self.n;
+        if n == 0 {
+            return PowerIterationResult {
+                scores: Vec::new(),
+                iterations: 0,
+                converged: true,
+                residuals: Vec::new(),
+            };
+        }
+        let mut x = match &opts.warm_start {
+            Some(v) => {
+                assert_eq!(v.len(), n, "warm start length mismatch");
+                let s: f64 = v.iter().sum();
+                assert!(s > 0.0, "warm start must have positive mass");
+                v.iter().map(|&e| e / s).collect()
+            }
+            None => opts.jump.to_dense(n),
+        };
+        let mut y = vec![0.0; n];
+        let mut residuals = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+        while iterations < opts.max_iter {
+            self.apply_parallel(&x, &mut y, opts.damping, &opts.jump, opts.threads);
+            iterations += 1;
+            let r = l1_distance(&x, &y);
+            residuals.push(r);
+            std::mem::swap(&mut x, &mut y);
+            if r < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        PowerIterationResult { scores: x, iterations, converged, residuals }
+    }
+}
+
+/// Options for [`RowStochastic::stationary`].
+#[derive(Debug, Clone)]
+pub struct PowerIterationOpts {
+    /// Damping factor `d` ∈ [0, 1); the canonical PageRank value is 0.85.
+    pub damping: f64,
+    /// Teleportation distribution.
+    pub jump: JumpVector,
+    /// L1 convergence tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Optional warm start (normalized internally).
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for PowerIterationOpts {
+    fn default() -> Self {
+        PowerIterationOpts {
+            damping: 0.85,
+            jump: JumpVector::Uniform,
+            tol: 1e-10,
+            max_iter: 200,
+            threads: 1,
+            warm_start: None,
+        }
+    }
+}
+
+/// Result of [`RowStochastic::stationary`].
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// The stationary (or last-iterate) distribution; sums to 1.
+    pub scores: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether `tol` was reached before `max_iter`.
+    pub converged: bool,
+    /// L1 residual after each iteration.
+    pub residuals: Vec<f64>,
+}
+
+/// L1 distance between two equal-length vectors.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Normalize `v` to sum 1 in place. No-op when the sum is not positive.
+pub fn normalize_l1(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for e in v {
+            *e /= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} != {b} (eps {eps})");
+    }
+
+    fn cycle3() -> CsrGraph {
+        GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn uniform_stationary_on_cycle() {
+        let op = RowStochastic::new(&cycle3());
+        let res = op.stationary(&PowerIterationOpts::default());
+        assert!(res.converged);
+        for &s in &res.scores {
+            assert_close(s, 1.0 / 3.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_per_step() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (3, 1)]); // 2,4 dangling
+        let op = RowStochastic::new(&g);
+        let x = vec![0.2; 5];
+        let mut y = vec![0.0; 5];
+        op.apply(&x, &mut y, 0.85, &JumpVector::Uniform);
+        assert_close(y.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn dangling_nodes_detected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2)]);
+        let op = RowStochastic::new(&g);
+        assert_eq!(op.dangling(), &[2, 3]);
+        assert_close(op.dangling_mass(&[0.1, 0.2, 0.3, 0.4]), 0.7, 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_out_edges_mean_dangling() {
+        let g = GraphBuilder::from_weighted_edges(2, &[(0, 1, 0.0)]);
+        let op = RowStochastic::new(&g);
+        assert_eq!(op.dangling(), &[0, 1]);
+    }
+
+    #[test]
+    fn weighted_edges_split_proportionally() {
+        // 0 -> 1 with weight 3, 0 -> 2 with weight 1: stationary mass of 1
+        // should be ~3x that of 2 contributed from 0's push.
+        let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 3.0), (0, 2, 1.0)]);
+        let op = RowStochastic::new(&g);
+        let x = vec![1.0, 0.0, 0.0];
+        let mut y = vec![0.0; 3];
+        op.apply(&x, &mut y, 1.0, &JumpVector::Uniform);
+        assert_close(y[1], 0.75, 1e-12);
+        assert_close(y[2], 0.25, 1e-12);
+    }
+
+    #[test]
+    fn damping_zero_returns_jump() {
+        let g = cycle3();
+        let op = RowStochastic::new(&g);
+        let jump = JumpVector::weighted(vec![1.0, 0.0, 1.0]);
+        let x = vec![1.0 / 3.0; 3];
+        let mut y = vec![0.0; 3];
+        op.apply(&x, &mut y, 0.0, &jump);
+        assert_close(y[0], 0.5, 1e-12);
+        assert_close(y[1], 0.0, 1e-12);
+        assert_close(y[2], 0.5, 1e-12);
+    }
+
+    #[test]
+    fn weighted_jump_normalizes() {
+        let j = JumpVector::weighted(vec![2.0, 2.0, 4.0]);
+        assert_close(j.prob(NodeId(2), 3), 0.5, 1e-12);
+        let dense = j.to_dense(3);
+        assert_close(dense.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn all_zero_jump_panics() {
+        let _ = JumpVector::weighted(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_jump_panics() {
+        let _ = JumpVector::weighted(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Random-ish graph, big enough to cross the parallel threshold.
+        let n = 5000u32;
+        let mut edges = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..30_000 {
+            let s = next() % n;
+            let d = next() % n;
+            let w = 1.0 + (next() % 10) as f64;
+            edges.push((s, d, w));
+        }
+        let g = GraphBuilder::from_weighted_edges(n, &edges);
+        let op = RowStochastic::new(&g);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = {
+            let mut v = x;
+            normalize_l1(&mut v);
+            v
+        };
+        let mut y_seq = vec![0.0; n as usize];
+        let mut y_par = vec![0.0; n as usize];
+        op.apply(&x, &mut y_seq, 0.85, &JumpVector::Uniform);
+        op.apply_parallel(&x, &mut y_par, 0.85, &JumpVector::Uniform, 4);
+        for (a, b) in y_seq.iter().zip(&y_par) {
+            assert_close(*a, *b, 1e-14);
+        }
+    }
+
+    #[test]
+    fn stationary_sums_to_one_with_dangling() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 0)]);
+        let op = RowStochastic::new(&g);
+        let res = op.stationary(&PowerIterationOpts::default());
+        assert!(res.converged);
+        assert_close(res.scores.iter().sum::<f64>(), 1.0, 1e-9);
+        assert!(res.iterations > 0);
+        assert_eq!(res.residuals.len(), res.iterations);
+    }
+
+    #[test]
+    fn residuals_decrease_monotonically_ish() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let op = RowStochastic::new(&g);
+        let res = op.stationary(&PowerIterationOpts::default());
+        // Power iteration on a damped chain must contract overall.
+        assert!(res.residuals.last().unwrap() < &res.residuals[0]);
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (0, 4)]);
+        let op = RowStochastic::new(&g);
+        let cold = op.stationary(&PowerIterationOpts::default());
+        let warm = op.stationary(&PowerIterationOpts {
+            warm_start: Some(cold.scores.clone()),
+            ..Default::default()
+        });
+        assert!(warm.iterations <= 2, "warm start from the answer should converge immediately");
+        for (a, b) in cold.scores.iter().zip(&warm.scores) {
+            assert_close(*a, *b, 1e-8);
+        }
+    }
+
+    #[test]
+    fn max_iter_reached_reports_not_converged() {
+        let g = cycle3();
+        let op = RowStochastic::new(&g);
+        let res = op.stationary(&PowerIterationOpts {
+            tol: 0.0, // unattainable
+            max_iter: 5,
+            ..Default::default()
+        });
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 5);
+    }
+
+    #[test]
+    fn empty_graph_stationary() {
+        let g = CsrGraph::empty(0);
+        let op = RowStochastic::new(&g);
+        let res = op.stationary(&PowerIterationOpts::default());
+        assert!(res.converged);
+        assert!(res.scores.is_empty());
+    }
+
+    #[test]
+    fn single_node_absorbs_everything() {
+        let g = CsrGraph::empty(1);
+        let op = RowStochastic::new(&g);
+        let res = op.stationary(&PowerIterationOpts::default());
+        assert_close(res.scores[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn l1_helpers() {
+        assert_close(l1_distance(&[1.0, 2.0], &[0.5, 1.0]), 1.5, 1e-12);
+        let mut v = vec![1.0, 3.0];
+        normalize_l1(&mut v);
+        assert_close(v[0], 0.25, 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_l1(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn personalized_jump_concentrates_mass() {
+        // Star: 1..=4 all point at 0; jump only at node 0.
+        let g = GraphBuilder::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let op = RowStochastic::new(&g);
+        let mut w = vec![0.0; 5];
+        w[0] = 1.0;
+        let res = op.stationary(&PowerIterationOpts {
+            jump: JumpVector::weighted(w),
+            ..Default::default()
+        });
+        assert!(res.scores[0] > 0.5, "personalization target should dominate");
+        for i in 1..5 {
+            assert!(res.scores[i] < res.scores[0]);
+        }
+    }
+}

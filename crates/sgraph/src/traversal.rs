@@ -1,0 +1,176 @@
+//! Breadth-first / depth-first traversal and topological ordering.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphError, Result};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` by following out-edges, in BFS order
+/// (including `start` itself).
+pub fn bfs_order(g: &CsrGraph, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.len()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.out_neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distance (in hops) from `start` to every node; `None` if unreachable.
+pub fn bfs_distances(g: &CsrGraph, start: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.len()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].unwrap();
+        for &v in g.out_neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes reachable from `start`, in iterative depth-first preorder.
+pub fn dfs_preorder(g: &CsrGraph, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.len()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push in reverse so smaller neighbor ids are visited first.
+        for &v in g.out_neighbors(u).iter().rev() {
+            if !visited[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Kahn's algorithm. Returns a topological order of *all* nodes, or
+/// [`GraphError::CycleDetected`] if the graph has a directed cycle.
+///
+/// Citation graphs are "almost" DAGs (cycles only arise from same-year
+/// mutual citations), so this doubles as a cheap cycle detector.
+pub fn topological_order(g: &CsrGraph) -> Result<Vec<NodeId>> {
+    let n = g.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut queue: VecDeque<NodeId> =
+        g.nodes().filter(|u| indeg[u.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.out_neighbors(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(GraphError::CycleDetected)
+    }
+}
+
+/// `true` if the graph contains at least one directed cycle.
+pub fn is_cyclic(g: &CsrGraph) -> bool {
+    topological_order(g).is_err()
+}
+
+/// Number of nodes reachable from `start` (including `start`).
+pub fn reachable_count(g: &CsrGraph, start: NodeId) -> usize {
+    bfs_order(g, start).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: u32) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        GraphBuilder::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_chain_visits_in_order() {
+        let g = chain(5);
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order, (0..5).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(bfs_order(&g, NodeId(3)), vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn bfs_distances_on_diamond() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(1), Some(2)]);
+        let d3 = bfs_distances(&g, NodeId(3));
+        assert_eq!(d3, vec![None, None, None, Some(0)]);
+    }
+
+    #[test]
+    fn dfs_preorder_follows_smallest_first() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 3), (1, 2), (3, 4)]);
+        let order = dfs_preorder(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn dfs_handles_cycles_without_looping() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let order = dfs_preorder(&g, NodeId(0));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn topo_order_on_dag() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> =
+            (0..4).map(|i| order.iter().position(|&x| x.0 == i).unwrap()).collect();
+        for e in g.edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn topo_order_detects_cycle() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(topological_order(&g), Err(GraphError::CycleDetected)));
+        assert!(is_cyclic(&g));
+        assert!(!is_cyclic(&chain(4)));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = GraphBuilder::from_edges(2, &[(0, 0), (0, 1)]);
+        assert!(is_cyclic(&g));
+    }
+
+    #[test]
+    fn reachable_count_works() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(reachable_count(&g, NodeId(0)), 3);
+        assert_eq!(reachable_count(&g, NodeId(3)), 2);
+        assert_eq!(reachable_count(&g, NodeId(4)), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Subgraph extraction with node re-labeling.
+//!
+//! Year-snapshot experiments ("rank using only data up to year Y") are
+//! implemented by inducing the subgraph on the articles published by the
+//! cutoff; [`SubgraphMap`] keeps the correspondence between the original
+//! and induced node ids so scores can be mapped back.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// The id correspondence produced by [`induced_subgraph`].
+#[derive(Debug, Clone)]
+pub struct SubgraphMap {
+    /// `orig_of[sub]` = the original id of subgraph node `sub`.
+    orig_of: Vec<u32>,
+    /// `sub_of[orig]` = subgraph id of original node, or `u32::MAX`.
+    sub_of: Vec<u32>,
+}
+
+impl SubgraphMap {
+    /// Original id of a subgraph node.
+    #[inline]
+    pub fn to_original(&self, sub: NodeId) -> NodeId {
+        NodeId(self.orig_of[sub.index()])
+    }
+
+    /// Subgraph id of an original node, if it was kept.
+    #[inline]
+    pub fn to_subgraph(&self, orig: NodeId) -> Option<NodeId> {
+        match self.sub_of.get(orig.index()) {
+            Some(&v) if v != u32::MAX => Some(NodeId(v)),
+            _ => None,
+        }
+    }
+
+    /// Number of kept nodes.
+    pub fn len(&self) -> usize {
+        self.orig_of.len()
+    }
+
+    /// `true` when no nodes were kept.
+    pub fn is_empty(&self) -> bool {
+        self.orig_of.is_empty()
+    }
+
+    /// Iterate over `(subgraph id, original id)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, NodeId)> + '_ {
+        self.orig_of.iter().enumerate().map(|(s, &o)| (NodeId(s as u32), NodeId(o)))
+    }
+
+    /// Scatter a subgraph score vector back into an original-sized vector,
+    /// filling dropped nodes with `fill`.
+    pub fn scatter(&self, sub_scores: &[f64], fill: f64) -> Vec<f64> {
+        assert_eq!(sub_scores.len(), self.orig_of.len(), "score vector length mismatch");
+        let mut out = vec![fill; self.sub_of.len()];
+        for (s, &o) in self.orig_of.iter().enumerate() {
+            out[o as usize] = sub_scores[s];
+        }
+        out
+    }
+
+    /// Gather an original-sized vector down to subgraph order.
+    pub fn gather(&self, orig_scores: &[f64]) -> Vec<f64> {
+        assert_eq!(orig_scores.len(), self.sub_of.len(), "score vector length mismatch");
+        self.orig_of.iter().map(|&o| orig_scores[o as usize]).collect()
+    }
+}
+
+/// Induce the subgraph on the nodes where `keep(v)` is true.
+///
+/// Kept nodes are renumbered densely in ascending original order; edges
+/// survive iff both endpoints are kept. Runs in O(V + E).
+pub fn induced_subgraph<F>(g: &CsrGraph, mut keep: F) -> (CsrGraph, SubgraphMap)
+where
+    F: FnMut(NodeId) -> bool,
+{
+    let n = g.len();
+    let mut sub_of = vec![u32::MAX; n];
+    let mut orig_of = Vec::new();
+    for v in g.nodes() {
+        if keep(v) {
+            sub_of[v.index()] = orig_of.len() as u32;
+            orig_of.push(v.0);
+        }
+    }
+    let mut b = GraphBuilder::new(orig_of.len() as u32);
+    for e in g.edges() {
+        let s = sub_of[e.src.index()];
+        let d = sub_of[e.dst.index()];
+        if s != u32::MAX && d != u32::MAX {
+            b.add_edge(NodeId(s), NodeId(d), e.weight);
+        }
+    }
+    (b.build(), SubgraphMap { orig_of, sub_of })
+}
+
+/// Induce the subgraph on an explicit node set (order-insensitive,
+/// duplicates ignored).
+pub fn subgraph_of_nodes(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, SubgraphMap) {
+    let mut keep = vec![false; g.len()];
+    for &v in nodes {
+        keep[v.index()] = true;
+    }
+    induced_subgraph(g, |v| keep[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> CsrGraph {
+        GraphBuilder::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 4, 9.0)],
+        )
+    }
+
+    #[test]
+    fn keep_even_nodes() {
+        let g = path5();
+        let (sub, map) = induced_subgraph(&g, |v| v.0 % 2 == 0);
+        assert_eq!(sub.num_nodes(), 3); // 0, 2, 4
+        assert_eq!(map.to_original(NodeId(1)), NodeId(2));
+        assert_eq!(map.to_subgraph(NodeId(4)), Some(NodeId(2)));
+        assert_eq!(map.to_subgraph(NodeId(1)), None);
+        // Only surviving edge: 0 -> 4 (weight 9).
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.edge_weight(NodeId(0), NodeId(2)), Some(9.0));
+    }
+
+    #[test]
+    fn keep_all_is_identity_shape() {
+        let g = path5();
+        let (sub, map) = induced_subgraph(&g, |_| true);
+        assert_eq!(sub, g);
+        for v in g.nodes() {
+            assert_eq!(map.to_subgraph(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn keep_none_is_empty() {
+        let g = path5();
+        let (sub, map) = induced_subgraph(&g, |_| false);
+        assert!(sub.is_empty());
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn scatter_and_gather_roundtrip() {
+        let g = path5();
+        let (_, map) = induced_subgraph(&g, |v| v.0 >= 2);
+        let sub_scores = vec![0.2, 0.3, 0.5];
+        let full = map.scatter(&sub_scores, 0.0);
+        assert_eq!(full, vec![0.0, 0.0, 0.2, 0.3, 0.5]);
+        assert_eq!(map.gather(&full), sub_scores);
+    }
+
+    #[test]
+    fn subgraph_of_nodes_ignores_duplicates() {
+        let g = path5();
+        let (sub, map) =
+            subgraph_of_nodes(&g, &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Dense ascending renumbering: 1->0, 2->1, 3->2.
+        assert_eq!(map.to_original(NodeId(0)), NodeId(1));
+        assert!(sub.has_edge(NodeId(0), NodeId(1))); // 1 -> 2
+        assert!(sub.has_edge(NodeId(1), NodeId(2))); // 2 -> 3
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let g = path5();
+        let (_, map) = induced_subgraph(&g, |v| v.0 > 2);
+        let pairs: Vec<_> = map.iter().collect();
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cold-start scoring: rank brand-new submissions that are not in the
+//! index yet, using only venue and author prestige.
+//!
+//! ```sh
+//! cargo run --release --example cold_start
+//! ```
+
+use scholar::corpus::model::{AuthorId, VenueId};
+use scholar::rank::scores::top_k;
+use scholar::{ColdStartScorer, Preset, QRank, QRankConfig};
+
+fn main() {
+    let corpus = Preset::Tiny.generate(11);
+    let config = QRankConfig::default();
+    let result = QRank::new(config.clone()).run(&corpus);
+    let scorer = ColdStartScorer::new(&result, config.lambda_venue, config.lambda_author);
+
+    // Pick interesting venues/authors from the finished run.
+    let best_venue = VenueId(top_k(&result.venue_scores, 1)[0] as u32);
+    let worst_venue = {
+        let order = top_k(&result.venue_scores, result.venue_scores.len());
+        VenueId(*order.last().unwrap() as u32)
+    };
+    let star_author = AuthorId(top_k(&result.author_scores, 1)[0] as u32);
+    let fresh_author = {
+        let order = top_k(&result.author_scores, result.author_scores.len());
+        AuthorId(*order.last().unwrap() as u32)
+    };
+
+    println!(
+        "best venue: {} | weakest venue: {}",
+        corpus.venue(best_venue).name,
+        corpus.venue(worst_venue).name
+    );
+    println!(
+        "star author: {} | unknown author: {}\n",
+        corpus.author(star_author).name,
+        corpus.author(fresh_author).name
+    );
+
+    // Four hypothetical submissions, none of which exist in the corpus.
+    let candidates = [("star author @ top venue", (best_venue, vec![star_author])),
+        ("star author @ weak venue", (worst_venue, vec![star_author])),
+        ("unknown author @ top venue", (best_venue, vec![fresh_author])),
+        ("unknown author @ weak venue", (worst_venue, vec![fresh_author]))];
+    let specs: Vec<(VenueId, Vec<AuthorId>)> =
+        candidates.iter().map(|(_, spec)| spec.clone()).collect();
+
+    println!("cold-start ranking of tomorrow's submissions:");
+    for (rank, (idx, score)) in scorer.rank_candidates(&specs).into_iter().enumerate() {
+        let percentile = scorer.percentile_among(score, &result, &corpus);
+        println!(
+            "  {}. {:<28} score {:.3e} (would land at the {:>4.1}th percentile of the index)",
+            rank + 1,
+            candidates[idx].0,
+            score,
+            percentile * 100.0
+        );
+    }
+
+    println!(
+        "\nWhy this matters: a pure citation ranker scores all four candidates\n\
+         identically (zero citations). QRank's venue/author components price\n\
+         them from day one — the cold-start fix the framework was built for."
+    );
+}

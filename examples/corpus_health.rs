@@ -1,0 +1,77 @@
+//! Corpus health dashboard: the bibliometric diagnostics an operator of a
+//! scholarly search index monitors, plus a comparison of QRank venue
+//! scores against the classic journal impact factor.
+//!
+//! ```sh
+//! cargo run --release --example corpus_health
+//! ```
+
+use scholar::corpus::analysis::{
+    citation_age_histogram, fractional_productivity, h_index, mean_citation_age,
+    self_citation_rate, venue_insularity,
+};
+use scholar::corpus::stats::corpus_stats;
+use scholar::rank::scores::top_k;
+use scholar::rank::venue_author::impact_factor;
+use scholar::{Preset, QRank};
+
+fn main() {
+    let corpus = Preset::Tiny.generate(63);
+    println!("{}\n", corpus_stats(&corpus));
+
+    // Citation-age profile.
+    let hist = citation_age_histogram(&corpus);
+    let total: usize = hist.iter().sum();
+    println!("citation-age profile (mean {:.1}y):", mean_citation_age(&corpus).unwrap());
+    for (age, &n) in hist.iter().enumerate().take(10) {
+        let bar = "#".repeat((n * 50 / total.max(1)).min(50));
+        println!("  {age:>2}y {n:>5} {bar}");
+    }
+
+    println!(
+        "\nself-citation rate: {:.1}%",
+        self_citation_rate(&corpus).unwrap_or(0.0) * 100.0
+    );
+
+    // Venue insularity vs size.
+    let ins = venue_insularity(&corpus);
+    let by_venue = corpus.articles_by_venue();
+    println!("\nvenue insularity (fraction of citations staying in-venue):");
+    for v in corpus.venues().iter().take(5) {
+        println!(
+            "  {:<12} {:>5.1}%  ({} articles)",
+            v.name,
+            ins[v.id.index()] * 100.0,
+            by_venue[v.id.index()].len()
+        );
+    }
+
+    // h-index leaderboard vs fractional productivity.
+    let h = h_index(&corpus);
+    let hf: Vec<f64> = h.iter().map(|&x| x as f64).collect();
+    let prod = fractional_productivity(&corpus);
+    println!("\ntop authors by within-corpus h-index:");
+    for idx in top_k(&hf, 5) {
+        println!(
+            "  h={:<3} {:<16} ({:.1} fractional articles)",
+            h[idx],
+            corpus.authors()[idx].name,
+            prod[idx]
+        );
+    }
+
+    // QRank venue prestige vs 2-year impact factor.
+    let result = QRank::default().run(&corpus);
+    let last = corpus.year_range().unwrap().1;
+    let jif = impact_factor(&corpus, last, 2);
+    println!("\nvenue prestige: QRank score vs 2-year impact factor ({last}):");
+    println!("  {:<12} {:>10} {:>8}", "venue", "QRank", "JIF");
+    for idx in top_k(&result.venue_scores, 5) {
+        println!(
+            "  {:<12} {:>10.5} {:>8.2}",
+            corpus.venues()[idx].name,
+            result.venue_scores[idx],
+            jif[idx]
+        );
+    }
+}

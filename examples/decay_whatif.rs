@@ -1,0 +1,46 @@
+//! What-if analysis of the time-decay rate ρ: how much does the top of
+//! the ranking change as citations to old work are discounted harder?
+//!
+//! ```sh
+//! cargo run --release --example decay_whatif
+//! ```
+
+use scholar::eval::metrics::jaccard_at_k;
+use scholar::eval::series::SeriesSet;
+use scholar::rank::scores::top_k;
+use scholar::{Preset, QRank, QRankConfig, Ranker};
+
+fn main() {
+    let corpus = Preset::Tiny.generate(31);
+    let rhos = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+
+    let baseline = QRank::new(QRankConfig::default().with_rho(0.0)).rank(&corpus);
+    let (first, last) = corpus.year_range().unwrap();
+
+    let mut overlap = Vec::new();
+    let mut mean_top_year = Vec::new();
+    for &rho in &rhos {
+        let scores = QRank::new(QRankConfig::default().with_rho(rho)).rank(&corpus);
+        overlap.push(jaccard_at_k(&baseline, &scores, 25));
+        let years: Vec<f64> = top_k(&scores, 25)
+            .into_iter()
+            .map(|i| corpus.articles()[i].year as f64)
+            .collect();
+        mean_top_year.push(years.iter().sum::<f64>() / years.len() as f64);
+    }
+
+    let mut fig = SeriesSet::new(
+        "effect of the decay rate on the top-25",
+        "rho",
+        rhos.to_vec(),
+    );
+    fig.add("jaccard@25 vs rho=0", overlap);
+    fig.add("mean year of top-25", mean_top_year.clone());
+    println!("{fig}");
+
+    println!(
+        "reading: as rho grows, the top-25 drifts away from the rho=0 ranking\n\
+         (falling jaccard) and becomes more recent (mean year rises toward {last};\n\
+         corpus spans {first}-{last}). This is R-Fig 1's mechanism in isolation."
+    );
+}

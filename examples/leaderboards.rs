@@ -1,0 +1,57 @@
+//! Venue and author leaderboards, including era-restricted venue prestige.
+//!
+//! ```sh
+//! cargo run --release --example leaderboards
+//! ```
+
+use scholar::rank::scores::top_k;
+use scholar::rank::venue_author::{venue_scores_in_window, venue_scores_from_articles};
+use scholar::{Preset, QRank};
+
+fn main() {
+    let corpus = Preset::Tiny.generate(23);
+    let result = QRank::default().run(&corpus);
+
+    println!("== author leaderboard (QRank author scores) ==");
+    for (pos, idx) in top_k(&result.author_scores, 8).into_iter().enumerate() {
+        let pubs = corpus.articles_by_author()[idx].len();
+        println!(
+            "  {:>2}. [{:.5}] {:<16} ({} articles)",
+            pos + 1,
+            result.author_scores[idx],
+            corpus.authors()[idx].name,
+            pubs
+        );
+    }
+
+    println!("\n== venue leaderboard (QRank venue scores) ==");
+    for (pos, idx) in top_k(&result.venue_scores, 5).into_iter().enumerate() {
+        let count = corpus.articles_by_venue()[idx].len();
+        println!(
+            "  {:>2}. [{:.5}] {:<12} ({} articles)",
+            pos + 1,
+            result.venue_scores[idx],
+            corpus.venues()[idx].name,
+            count
+        );
+    }
+
+    // Era-restricted venue prestige: the same venues scored only on what
+    // they published recently, which penalizes coasting on old classics.
+    let (first, last) = corpus.year_range().unwrap();
+    let recent_from = last - 5;
+    let all_time = venue_scores_from_articles(&corpus, &result.article_scores);
+    let recent = venue_scores_in_window(&corpus, &result.article_scores, recent_from, last);
+
+    println!("\n== venue prestige: all-time vs last-5-years (mean article score) ==");
+    println!("  {:<12} {:>12} {:>12}", "venue", "all-time", "recent");
+    for idx in top_k(&all_time, 5) {
+        println!(
+            "  {:<12} {:>12.6} {:>12.6}",
+            corpus.venues()[idx].name,
+            all_time[idx],
+            recent[idx]
+        );
+    }
+    println!("\n(corpus years {first}-{last}; 'recent' window {recent_from}-{last})");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate a corpus, run QRank, inspect the top articles.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scholar::rank::scores::top_k;
+use scholar::{Preset, QRank};
+
+fn main() {
+    // 1. A corpus. `Preset::AanLike` matches the scale of the ACL
+    //    Anthology Network; swap in `scholar::corpus::loader` to read a
+    //    real dataset instead.
+    let corpus = Preset::Tiny.generate(42);
+    println!(
+        "corpus: {} articles, {} citations, {} authors, {} venues\n",
+        corpus.num_articles(),
+        corpus.num_citations(),
+        corpus.num_authors(),
+        corpus.num_venues()
+    );
+
+    // 2. Rank. `QRank::default()` uses the tuned defaults; see
+    //    `QRankConfig` for every knob.
+    let ranker = QRank::default();
+    let result = ranker.run(&corpus);
+    println!(
+        "ranked in {} TWPR iterations + {} reinforcement rounds (converged: {})\n",
+        result.twpr_diagnostics.iterations, result.outer.iterations, result.outer.converged
+    );
+
+    // 3. Inspect.
+    println!("top 10 articles by QRank:");
+    for (pos, idx) in top_k(&result.article_scores, 10).into_iter().enumerate() {
+        let a = &corpus.articles()[idx];
+        println!(
+            "  {:>2}. [{:.5}] {} ({}, {})",
+            pos + 1,
+            result.article_scores[idx],
+            a.title,
+            a.year,
+            corpus.venue(a.venue).name
+        );
+    }
+
+    println!("\ntop 5 venues by QRank venue score:");
+    for (pos, idx) in top_k(&result.venue_scores, 5).into_iter().enumerate() {
+        println!(
+            "  {:>2}. [{:.5}] {}",
+            pos + 1,
+            result.venue_scores[idx],
+            corpus.venues()[idx].name
+        );
+    }
+}

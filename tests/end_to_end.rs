@@ -1,0 +1,163 @@
+//! Cross-crate integration: the full evaluation pipeline on a generated
+//! corpus, asserting the *shape* of the paper's headline results
+//! (DESIGN.md §4 "expected shape").
+
+use scholar::corpus::snapshot_until;
+use scholar::eval::groundtruth::future_citations;
+use scholar::eval::metrics::pairwise_accuracy_auto;
+use scholar::{
+    CitationCount, Corpus, PageRank, Preset, QRank, QRankConfig, Ranker, TimeWeightedPageRank,
+};
+
+/// An AAN-shaped corpus small enough for CI: same structural parameters,
+/// ~4k articles.
+fn eval_corpus() -> Corpus {
+    let cfg = scholar::GeneratorConfig {
+        initial_articles_per_year: 50.0,
+        ..Preset::AanLike.config(99)
+    };
+    scholar::corpus::CorpusGenerator::new(cfg).generate()
+}
+
+struct Split {
+    snap: scholar::corpus::Snapshot,
+    truth: scholar::GroundTruth,
+}
+
+fn split(corpus: &Corpus) -> Split {
+    let (first, last) = corpus.year_range().unwrap();
+    let cutoff = first + ((last - first) as f64 * 0.8) as i32;
+    let snap = snapshot_until(corpus, cutoff);
+    let truth = future_citations(corpus, &snap, 5);
+    Split { snap, truth }
+}
+
+fn accuracy(ranker: &dyn Ranker, s: &Split) -> f64 {
+    let scores = ranker.rank(&s.snap.corpus);
+    pairwise_accuracy_auto(&s.truth.values, &scores, 7)
+}
+
+#[test]
+fn all_rankers_beat_chance_on_future_citations() {
+    let corpus = eval_corpus();
+    let s = split(&corpus);
+    for ranker in scholar::evaluation_rankers() {
+        let acc = accuracy(ranker.as_ref(), &s);
+        assert!(
+            acc > 0.55,
+            "{} should beat chance at predicting future citations, got {acc:.3}",
+            ranker.name()
+        );
+    }
+}
+
+#[test]
+fn headline_shape_twpr_beats_pagerank() {
+    // The core claim of the time-weighted walk: modeling time beats not
+    // modeling it on future-citation prediction.
+    let corpus = eval_corpus();
+    let s = split(&corpus);
+    let pr = accuracy(&PageRank::default(), &s);
+    let twpr = accuracy(&TimeWeightedPageRank::default(), &s);
+    assert!(
+        twpr > pr + 0.02,
+        "TWPR ({twpr:.3}) should clearly beat PageRank ({pr:.3})"
+    );
+}
+
+#[test]
+fn headline_shape_qrank_beats_plain_baselines() {
+    let corpus = eval_corpus();
+    let s = split(&corpus);
+    let qr = accuracy(&QRank::default(), &s);
+    let pr = accuracy(&PageRank::default(), &s);
+    let cc = accuracy(&CitationCount, &s);
+    assert!(qr > pr, "QRank ({qr:.3}) should beat PageRank ({pr:.3})");
+    assert!(qr > cc, "QRank ({qr:.3}) should beat citation count ({cc:.3})");
+}
+
+#[test]
+fn cold_start_shape_qrank_margin_is_largest_on_new_articles() {
+    // The venue/author layers must pay off most on articles with the least
+    // citation history (R-Fig 5's shape).
+    let corpus = eval_corpus();
+    let s = split(&corpus);
+    let qr_scores = QRank::default().rank(&s.snap.corpus);
+    let pr_scores = PageRank::default().rank(&s.snap.corpus);
+
+    let slice_accuracy = |scores: &[f64], max_age: i32| -> f64 {
+        let keep: Vec<usize> = s
+            .snap
+            .corpus
+            .articles()
+            .iter()
+            .filter(|a| s.snap.cutoff - a.year < max_age)
+            .map(|a| a.id.index())
+            .collect();
+        let t: Vec<f64> = keep.iter().map(|&i| s.truth.values[i]).collect();
+        let p: Vec<f64> = keep.iter().map(|&i| scores[i]).collect();
+        pairwise_accuracy_auto(&t, &p, 7)
+    };
+
+    let qr_new = slice_accuracy(&qr_scores, 3);
+    let pr_new = slice_accuracy(&pr_scores, 3);
+    assert!(
+        qr_new > pr_new + 0.03,
+        "on articles <3y old, QRank ({qr_new:.3}) must clearly beat PageRank ({pr_new:.3})"
+    );
+}
+
+#[test]
+fn ablations_cost_accuracy() {
+    // Removing everything (down to plain PageRank) must cost accuracy
+    // relative to the full model.
+    let corpus = eval_corpus();
+    let s = split(&corpus);
+    let base = QRankConfig::default();
+    let full = pairwise_accuracy_auto(
+        &s.truth.values,
+        &scholar::Ablation::Full.rank(&base, &s.snap.corpus),
+        7,
+    );
+    let gutted = pairwise_accuracy_auto(
+        &s.truth.values,
+        &scholar::Ablation::PlainPageRank.rank(&base, &s.snap.corpus),
+        7,
+    );
+    assert!(
+        full > gutted + 0.02,
+        "full QRank ({full:.3}) must clearly beat its fully-ablated form ({gutted:.3})"
+    );
+}
+
+#[test]
+fn award_articles_rank_high_under_qrank() {
+    let corpus = eval_corpus();
+    let awards = scholar::eval::groundtruth::award_set(&corpus, 5, 0.02);
+    let scores = QRank::default().rank(&corpus);
+    let k = corpus.num_articles() / 10; // top decile
+    let p = scholar::eval::metrics::recall_at_k(&awards, &scores, k);
+    assert!(
+        p > 0.3,
+        "top decile of QRank should recover >30% of award articles, got {p:.3}"
+    );
+}
+
+#[test]
+fn expert_pairs_agree_with_qrank() {
+    let corpus = eval_corpus();
+    let pairs = scholar::eval::groundtruth::expert_pairs(&corpus, 2000, 3.0, 5);
+    assert!(pairs.len() >= 500);
+    let scores = QRank::default().rank(&corpus);
+    let agreement = scholar::eval::groundtruth::pair_agreement(&pairs, &scores);
+    let cc = CitationCount.rank(&corpus);
+    let cc_agreement = scholar::eval::groundtruth::pair_agreement(&pairs, &cc);
+    assert!(
+        agreement > 0.6,
+        "QRank should agree with clear-margin expert pairs, got {agreement:.3}"
+    );
+    assert!(
+        agreement >= cc_agreement - 0.05,
+        "QRank ({agreement:.3}) should not fall far behind citation count ({cc_agreement:.3})"
+    );
+}

@@ -1,0 +1,114 @@
+//! Cross-format integration: a corpus survives every serialization path
+//! and produces identical rankings afterwards.
+
+use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions};
+use scholar::{PageRank, Preset, QRank, Ranker};
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_rankings() {
+    let original = Preset::Tiny.generate(17);
+    let mut buf = Vec::new();
+    jsonl::write_jsonl(&original, &mut buf).unwrap();
+    let loaded = jsonl::read_jsonl(&buf[..], &LoadOptions::default()).unwrap();
+
+    let pr_a = PageRank::default().rank(&original);
+    let pr_b = PageRank::default().rank(&loaded);
+    assert!(l1(&pr_a, &pr_b) < 1e-12, "PageRank must survive the JSONL roundtrip");
+
+    let qr_a = QRank::default().rank(&original);
+    let qr_b = QRank::default().rank(&loaded);
+    assert!(l1(&qr_a, &qr_b) < 1e-12, "QRank must survive the JSONL roundtrip");
+}
+
+#[test]
+fn aan_roundtrip_preserves_rankings() {
+    let original = Preset::Tiny.generate(18);
+    let loaded = aan::roundtrip(&original).unwrap();
+    let qr_a = QRank::default().rank(&original);
+    let qr_b = QRank::default().rank(&loaded);
+    assert!(l1(&qr_a, &qr_b) < 1e-12, "QRank must survive the AAN roundtrip");
+}
+
+#[test]
+fn mag_tables_load_into_equivalent_corpus() {
+    // Render a corpus into MAG-style TSV by hand, reload, compare graphs.
+    let original = Preset::Tiny.generate(19);
+    let mut papers = String::new();
+    let mut auth = String::new();
+    let mut refs = String::new();
+    for a in original.articles() {
+        papers.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            a.id,
+            a.year,
+            original.venue(a.venue).name,
+            a.title
+        ));
+        for (pos, &u) in a.authors.iter().enumerate() {
+            auth.push_str(&format!("{}\t{}\t{}\n", a.id, original.author(u).name, pos + 1));
+        }
+        for &r in &a.references {
+            refs.push_str(&format!("{}\t{}\n", a.id, r));
+        }
+    }
+    let loaded = mag::read_mag(
+        papers.as_bytes(),
+        auth.as_bytes(),
+        refs.as_bytes(),
+        &LoadOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(loaded.num_articles(), original.num_articles());
+    assert_eq!(loaded.num_citations(), original.num_citations());
+    assert_eq!(loaded.num_authors(), original.num_authors());
+    assert_eq!(loaded.num_venues(), original.num_venues());
+    for (a, b) in original.articles().iter().zip(loaded.articles()) {
+        assert_eq!(a.year, b.year);
+        assert_eq!(a.references, b.references);
+        assert_eq!(a.authors.len(), b.authors.len());
+    }
+    let qr_a = QRank::default().rank(&original);
+    let qr_b = QRank::default().rank(&loaded);
+    assert!(l1(&qr_a, &qr_b) < 1e-12, "QRank must survive the MAG roundtrip");
+}
+
+#[test]
+fn binary_graph_cache_roundtrip() {
+    // The benchmark suite caches citation graphs in the sgraph binary
+    // format; the cached graph must rank identically.
+    let corpus = Preset::Tiny.generate(20);
+    let g = corpus.citation_graph();
+    let mut buf = Vec::new();
+    scholar::graph::io::write_binary(&g, &mut buf).unwrap();
+    let g2 = scholar::graph::io::read_binary(&buf[..]).unwrap();
+    assert_eq!(g, g2);
+
+    use scholar::graph::stochastic::PowerIterationOpts;
+    use scholar::graph::RowStochastic;
+    let s1 = RowStochastic::new(&g).stationary(&PowerIterationOpts::default());
+    let s2 = RowStochastic::new(&g2).stationary(&PowerIterationOpts::default());
+    assert!(l1(&s1.scores, &s2.scores) < 1e-15);
+}
+
+#[test]
+fn loaders_tolerate_messy_real_world_data() {
+    // Unknown references, missing years, missing venues — all at once.
+    let messy = r#"
+{"id": "A", "year": 1999, "references": ["MISSING-1", "B"]}
+{"id": "B", "venue": "", "authors": ["X", "X"], "references": []}
+{"id": "C", "year": 2005, "references": ["A", "B", "C-NOT-THERE"]}
+"#;
+    let corpus = jsonl::read_jsonl(messy.as_bytes(), &LoadOptions::default()).unwrap();
+    assert_eq!(corpus.num_articles(), 3);
+    // Rankers must not panic on the messy corpus.
+    for ranker in scholar::evaluation_rankers() {
+        let scores = ranker.rank(&corpus);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,210 @@
+//! Cross-crate property-based tests: invariants of the whole stack under
+//! randomly generated corpora (not just the generator's well-behaved
+//! output — these corpora include time-travel citations, empty bylines,
+//! and single-venue degenerate cases).
+
+use proptest::prelude::*;
+use scholar::corpus::model::{ArticleId, AuthorId, VenueId};
+use scholar::corpus::{Corpus, CorpusBuilder};
+use scholar::{QRank, QRankConfig, Ranker};
+
+/// Strategy: an arbitrary (possibly messy) corpus.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    // (num_articles, num_authors, num_venues, per-article randomness)
+    (2usize..40, 1u32..8, 1u32..5)
+        .prop_flat_map(|(n, na, nv)| {
+            let articles = proptest::collection::vec(
+                (
+                    1950i32..2020,                                  // year
+                    0u32..nv,                                       // venue
+                    proptest::collection::vec(0u32..na, 0..4),      // authors
+                    proptest::collection::vec(0usize..n, 0..6),     // raw refs
+                ),
+                n,
+            );
+            (Just(n), Just(na), Just(nv), articles)
+        })
+        .prop_map(|(n, na, nv, articles)| {
+            let mut b = CorpusBuilder::new();
+            for v in 0..nv {
+                b.venue(&format!("V{v}"));
+            }
+            for a in 0..na {
+                b.author(&format!("A{a}"));
+            }
+            for (i, (year, venue, authors, refs)) in articles.into_iter().enumerate() {
+                let mut dedup_authors: Vec<AuthorId> =
+                    authors.into_iter().map(AuthorId).collect();
+                dedup_authors.sort();
+                dedup_authors.dedup();
+                let refs: Vec<ArticleId> = refs
+                    .into_iter()
+                    .filter(|&r| r < n && r != i)
+                    .map(|r| ArticleId(r as u32))
+                    .collect();
+                b.add_article(
+                    &format!("art{i}"),
+                    year,
+                    VenueId(venue),
+                    dedup_authors,
+                    refs,
+                    None,
+                );
+            }
+            b.finish().expect("arbitrary corpus must build")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_ranker_emits_valid_distributions(corpus in arb_corpus()) {
+        for ranker in scholar::evaluation_rankers() {
+            let scores = ranker.rank(&corpus);
+            prop_assert_eq!(scores.len(), corpus.num_articles());
+            let sum: f64 = scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6,
+                "{} scores must sum to 1, got {}", ranker.name(), sum);
+            prop_assert!(scores.iter().all(|&s| s >= 0.0 && s.is_finite()),
+                "{} produced an invalid score", ranker.name());
+        }
+    }
+
+    #[test]
+    fn qrank_result_is_internally_consistent(corpus in arb_corpus()) {
+        let res = QRank::default().run(&corpus);
+        prop_assert_eq!(res.article_scores.len(), corpus.num_articles());
+        prop_assert_eq!(res.venue_scores.len(), corpus.num_venues());
+        prop_assert_eq!(res.author_scores.len(), corpus.num_authors());
+        // Venue scores of venues with no articles are derived from the
+        // structural walk only; all scores must still be finite.
+        for v in res.venue_scores.iter().chain(&res.author_scores) {
+            prop_assert!(v.is_finite() && *v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_then_rank_never_panics(corpus in arb_corpus(), frac in 0.0f64..1.0) {
+        let (first, last) = corpus.year_range().unwrap();
+        let cutoff = first + ((last - first) as f64 * frac) as i32;
+        let snap = scholar::corpus::snapshot_until(&corpus, cutoff);
+        if snap.corpus.num_articles() > 0 {
+            let scores = QRank::default().rank(&snap.corpus);
+            let full = snap.scatter_scores(&scores, 0.0);
+            prop_assert_eq!(full.len(), corpus.num_articles());
+        }
+    }
+
+    #[test]
+    fn citation_graph_agrees_with_corpus(corpus in arb_corpus()) {
+        let g = corpus.citation_graph();
+        prop_assert_eq!(g.len(), corpus.num_articles());
+        prop_assert_eq!(g.num_edges(), corpus.num_citations());
+        let counts = corpus.citation_counts();
+        for a in corpus.articles() {
+            prop_assert_eq!(
+                g.in_degree(scholar::graph::NodeId(a.id.0)),
+                counts[a.id.index()] as usize
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_mixture_interpolates_continuously(corpus in arb_corpus()) {
+        // Moving a little mass between lambda components must not produce
+        // wildly different rankings (continuity of the framework).
+        let base = QRank::new(QRankConfig::default().with_lambdas(0.8, 0.1, 0.1)).rank(&corpus);
+        let nudged = QRank::new(QRankConfig::default().with_lambdas(0.78, 0.12, 0.1)).rank(&corpus);
+        let l1: f64 = base.iter().zip(&nudged).map(|(a, b)| (a - b).abs()).sum();
+        prop_assert!(l1 < 0.2, "2% lambda nudge moved the distribution by {l1}");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_on_arbitrary_corpora(corpus in arb_corpus()) {
+        let mut buf = Vec::new();
+        scholar::corpus::loader::jsonl::write_jsonl(&corpus, &mut buf).unwrap();
+        let loaded = scholar::corpus::loader::jsonl::read_jsonl(
+            &buf[..],
+            &scholar::corpus::loader::LoadOptions::default(),
+        ).unwrap();
+        prop_assert_eq!(loaded.num_articles(), corpus.num_articles());
+        prop_assert_eq!(loaded.num_citations(), corpus.num_citations());
+        for (a, b) in corpus.articles().iter().zip(loaded.articles()) {
+            prop_assert_eq!(a.year, b.year);
+            prop_assert_eq!(&a.references, &b.references);
+        }
+    }
+}
+
+// ---- Loader robustness: arbitrary junk must produce Err or a valid
+// corpus, never a panic. ----
+
+fn arb_jsonl_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Valid-ish records with random fields.
+            (any::<u32>(), proptest::option::of(1900i32..2100), proptest::collection::vec(any::<u32>(), 0..3))
+                .prop_map(|(id, year, refs)| {
+                    let refs: Vec<String> =
+                        refs.into_iter().map(|r| format!("\"{r}\"")).collect();
+                    match year {
+                        Some(y) => format!(
+                            "{{\"id\": \"{id}\", \"year\": {y}, \"references\": [{}]}}",
+                            refs.join(",")
+                        ),
+                        None => format!("{{\"id\": \"{id}\", \"references\": [{}]}}", refs.join(",")),
+                    }
+                }),
+            // Plain junk lines.
+            "[ -~]{0,40}".prop_map(|s| s),
+            // Truncated JSON.
+            Just("{\"id\": \"x\"".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jsonl_loader_never_panics(text in arb_jsonl_text()) {
+        let opts = scholar::corpus::loader::LoadOptions::default();
+        match scholar::corpus::loader::jsonl::read_jsonl(text.as_bytes(), &opts) {
+            Ok(corpus) => {
+                scholar::corpus::validate::validate(&corpus).unwrap();
+                // And ranking the result must not panic either.
+                let _ = scholar::PageRank::default().rank(&corpus);
+            }
+            Err(e) => {
+                // Errors must render (no panic in Display).
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn aan_loader_never_panics(meta in "[ -~\n]{0,200}", cites in "[ -~\n]{0,200}") {
+        let opts = scholar::corpus::loader::LoadOptions::default();
+        match scholar::corpus::loader::aan::read_aan(meta.as_bytes(), cites.as_bytes(), &opts) {
+            Ok(corpus) => {
+                scholar::corpus::validate::validate(&corpus).unwrap();
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_loader_never_panics(text in "[ -~\n]{0,200}") {
+        match scholar::graph::io::read_edge_list(text.as_bytes(), None) {
+            Ok(g) => g.validate().unwrap(),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Snapshot-consistency integration: time-restricted views behave like
+//! the real passage of time.
+
+use scholar::corpus::{snapshot_until, Preset};
+use scholar::eval::metrics::{jaccard_at_k, kendall_tau_b};
+use scholar::{PageRank, QRank, Ranker};
+
+#[test]
+fn snapshots_nest() {
+    let c = Preset::Tiny.generate(71);
+    let (first, last) = c.year_range().unwrap();
+    let mid = (first + last) / 2;
+    let early = snapshot_until(&c, mid);
+    let late = snapshot_until(&c, last - 2);
+    assert!(early.corpus.num_articles() < late.corpus.num_articles());
+    // Every early article is in the late snapshot with the same year.
+    for a in early.corpus.articles() {
+        let full_id = early.to_full(a.id);
+        let late_id = late.to_snapshot(full_id).expect("early article must be in late snapshot");
+        assert_eq!(late.corpus.article(late_id).year, a.year);
+    }
+}
+
+#[test]
+fn snapshot_citation_counts_monotone() {
+    // An article's citation count can only grow as the snapshot widens.
+    let c = Preset::Tiny.generate(72);
+    let (first, last) = c.year_range().unwrap();
+    let mid = (first + last) / 2;
+    let early = snapshot_until(&c, mid);
+    let late = snapshot_until(&c, last);
+    let early_counts = early.corpus.citation_counts();
+    let late_counts = late.corpus.citation_counts();
+    for a in early.corpus.articles() {
+        let full_id = early.to_full(a.id);
+        let late_id = late.to_snapshot(full_id).unwrap();
+        assert!(
+            late_counts[late_id.index()] >= early_counts[a.id.index()],
+            "citations must be monotone over time"
+        );
+    }
+}
+
+#[test]
+fn rankings_stabilize_as_cutoff_approaches_the_end() {
+    // Kendall tau between the snapshot ranking and the final ranking
+    // (over common articles) should increase with the cutoff.
+    let c = Preset::Tiny.generate(73);
+    let (first, last) = c.year_range().unwrap();
+    let span = last - first;
+    let final_scores = PageRank::default().rank(&c);
+
+    let tau_at = |frac: f64| -> f64 {
+        let cutoff = first + (span as f64 * frac) as i32;
+        let snap = snapshot_until(&c, cutoff);
+        let snap_scores = PageRank::default().rank(&snap.corpus);
+        let final_sub: Vec<f64> = (0..snap.corpus.num_articles())
+            .map(|i| final_scores[snap.full_of[i].index()])
+            .collect();
+        kendall_tau_b(&snap_scores, &final_sub)
+    };
+
+    let early = tau_at(0.5);
+    let late = tau_at(0.9);
+    assert!(
+        late > early,
+        "ranking at 90% cutoff ({late:.3}) should agree with the final ranking more than at 50% ({early:.3})"
+    );
+    assert!(late > 0.5, "near-final ranking should strongly agree, got {late:.3}");
+}
+
+#[test]
+fn qrank_is_more_stable_than_pagerank_under_sparsification() {
+    // The robustness claim (R-Table 4's shape): with venue/author priors,
+    // QRank's ranking at an early cutoff agrees with its final ranking at
+    // least as well as plain PageRank does with its own.
+    let c = Preset::Tiny.generate(74);
+    let (first, last) = c.year_range().unwrap();
+    let cutoff = first + ((last - first) as f64 * 0.7) as i32;
+    let snap = snapshot_until(&c, cutoff);
+
+    let stability = |ranker: &dyn Ranker| -> f64 {
+        let final_scores = ranker.rank(&c);
+        let snap_scores = ranker.rank(&snap.corpus);
+        let final_sub: Vec<f64> = (0..snap.corpus.num_articles())
+            .map(|i| final_scores[snap.full_of[i].index()])
+            .collect();
+        kendall_tau_b(&snap_scores, &final_sub)
+    };
+
+    let qr = stability(&QRank::default());
+    let pr = stability(&PageRank::default());
+    assert!(
+        qr > pr - 0.05,
+        "QRank stability ({qr:.3}) should not fall behind PageRank ({pr:.3})"
+    );
+}
+
+#[test]
+fn top_k_overlap_between_adjacent_snapshots_is_high() {
+    let c = Preset::Tiny.generate(75);
+    let (first, last) = c.year_range().unwrap();
+    let s1 = snapshot_until(&c, last - 2);
+    let s2 = snapshot_until(&c, last - 1);
+    let r1 = QRank::default().rank(&s1.corpus);
+    let r2 = QRank::default().rank(&s2.corpus);
+    // Map s1 scores into s2's id space for comparison (s1 ⊆ s2).
+    let r1_in_s2: Vec<f64> = {
+        let mut v = vec![0.0; s2.corpus.num_articles()];
+        for (i, &score) in r1.iter().enumerate() {
+            let full = s1.full_of[i];
+            let s2_id = s2.to_snapshot(full).unwrap();
+            v[s2_id.index()] = score;
+        }
+        v
+    };
+    let overlap = jaccard_at_k(&r1_in_s2, &r2, 50);
+    assert!(
+        overlap > 0.5,
+        "one extra year should not overturn the top-50 (jaccard {overlap:.3})"
+    );
+    assert_eq!(first, c.year_range().unwrap().0);
+}
