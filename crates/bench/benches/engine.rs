@@ -1,0 +1,119 @@
+//! Build-once / solve-many economics of the prepared [`QRankEngine`]:
+//! how much of a QRank run is the structural build, how cheap a re-solve
+//! against a cached plan is, and how much a shared-engine ablation sweep
+//! saves over rebuilding per variant.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench engine
+//! ```
+//!
+//! Besides the human-readable report, writes `BENCH_engine.json` at the
+//! repository root so the numbers are machine-checkable.
+
+use scholar::core::SolveScratch;
+use scholar::graph::stochastic::l1_distance;
+use scholar::{Ablation, MixParams, Preset, QRank, QRankConfig, QRankEngine};
+use scholar_bench::SEED;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn secs_of<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let corpus = Preset::AanLike.generate(SEED);
+    let cfg = QRankConfig::default();
+    println!(
+        "engine economics on aan_like ({} articles, {} citations)\n",
+        corpus.num_articles(),
+        corpus.num_citations()
+    );
+
+    // --- Build vs solve cost. -------------------------------------------
+    let (engine, build_secs) = secs_of(|| QRankEngine::build(&corpus, &cfg));
+    // The first solve pays the (cached-thereafter) inner citation walk.
+    let (first, first_solve_secs) = secs_of(|| engine.solve(&MixParams::from_config(&cfg)));
+    // Steady-state re-solves: reused scratch, varied mixture parameters —
+    // the tuning-loop workload the engine exists for.
+    let mixes: Vec<MixParams> = [
+        (0.85, 0.10, 0.05),
+        (0.80, 0.15, 0.05),
+        (0.80, 0.10, 0.10),
+        (0.70, 0.20, 0.10),
+        (0.90, 0.05, 0.05),
+        (0.75, 0.15, 0.10),
+        (0.85, 0.05, 0.10),
+        (0.95, 0.03, 0.02),
+        (0.60, 0.20, 0.20),
+        (0.70, 0.15, 0.15),
+    ]
+    .iter()
+    .map(|&(lp, lv, lu)| MixParams::from_config(&cfg.clone().with_lambdas(lp, lv, lu)))
+    .collect();
+    let mut scratch = SolveScratch::new();
+    let (_, resolve_total) = secs_of(|| {
+        for mix in &mixes {
+            black_box(engine.solve_with(mix, None, &mut scratch));
+        }
+    });
+    let resolve_secs = resolve_total / mixes.len() as f64;
+    println!("build (graphs + operators + structural walks): {build_secs:>8.4} s");
+    println!("first solve (pays the cached inner walk):      {first_solve_secs:>8.4} s");
+    println!("steady-state re-solve (mean of {}):            {resolve_secs:>8.4} s", mixes.len());
+    println!(
+        "build / re-solve ratio:                        {:>8.1}x\n",
+        build_secs / resolve_secs
+    );
+
+    // --- Ablation sweep: shared engines vs rebuild per variant. ---------
+    // Mean of 3 timed runs after a warmup each (time_secs), so allocator
+    // and cache effects don't favour whichever path runs second.
+    let swept = Ablation::sweep(&cfg, &corpus);
+    let shared_secs = scholar_bench::time_secs(3, || Ablation::sweep(&cfg, &corpus));
+    let fresh: Vec<_> = Ablation::all()
+        .into_iter()
+        .map(|ab| (ab, QRank::new(ab.apply(&cfg)).run(&corpus)))
+        .collect();
+    let rebuild_secs = scholar_bench::time_secs(3, || {
+        Ablation::all()
+            .into_iter()
+            .map(|ab| (ab, QRank::new(ab.apply(&cfg)).run(&corpus)))
+            .collect::<Vec<_>>()
+    });
+    // Sanity: the fast path must be the same computation.
+    let mut max_l1: f64 = 0.0;
+    for ((ab, a), (_, b)) in swept.iter().zip(&fresh) {
+        let l1 = l1_distance(&a.article_scores, &b.article_scores);
+        assert!(l1 <= 1e-12, "{ab:?}: shared-engine sweep drifted from fresh runs ({l1:.3e})");
+        max_l1 = max_l1.max(l1);
+    }
+    let speedup = rebuild_secs / shared_secs;
+    println!("ablation sweep, {} variants:", swept.len());
+    println!("  shared engines (2 builds):  {shared_secs:>8.4} s");
+    println!("  rebuild per variant:        {rebuild_secs:>8.4} s");
+    println!("  speedup:                    {speedup:>8.2}x  (max L1 drift {max_l1:.2e})");
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", "aan_like")
+        .field("seed", SEED)
+        .field("articles", corpus.num_articles())
+        .field("citations", corpus.num_citations())
+        .field("build_secs", build_secs)
+        .field("first_solve_secs", first_solve_secs)
+        .field("resolve_secs_mean", resolve_secs)
+        .field("resolve_samples", mixes.len())
+        .field("outer_iterations_first_solve", first.outer.iterations)
+        .field("ablation_variants", swept.len())
+        .field("ablation_shared_engine_secs", shared_secs)
+        .field("ablation_rebuild_per_variant_secs", rebuild_secs)
+        .field("ablation_speedup", speedup)
+        .field("max_l1_shared_vs_fresh", max_l1)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

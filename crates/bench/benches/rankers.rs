@@ -1,39 +1,32 @@
-//! Criterion benchmarks of every ranker on the AAN-like corpus — the
+//! Wall-clock benchmarks of every ranker on the AAN-like corpus — the
 //! per-method cost column behind R-Table 2's timing numbers.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench rankers
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scholar::Preset;
-use scholar_bench::SEED;
+use scholar_bench::{time_secs, SEED};
 
-fn bench_rankers(c: &mut Criterion) {
+fn main() {
     let corpus = Preset::AanLike.generate(SEED);
-    let mut group = c.benchmark_group("rankers_aan_like");
-    group.sample_size(10);
+    println!(
+        "rankers_aan_like ({} articles, {} citations):",
+        corpus.num_articles(),
+        corpus.num_citations()
+    );
     for ranker in scholar::evaluation_rankers() {
-        group.bench_function(ranker.name(), |b| b.iter(|| ranker.rank(&corpus)));
+        let secs = time_secs(3, || ranker.rank(&corpus));
+        println!("  {:<16} {:>9.4} s", ranker.name(), secs);
     }
-    group.finish();
-}
 
-fn bench_corpus_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("corpus_generation");
-    group.sample_size(10);
-    group.bench_function("tiny", |b| b.iter(|| Preset::Tiny.generate(SEED)));
-    group.bench_function("aan_like", |b| b.iter(|| Preset::AanLike.generate(SEED)));
-    group.finish();
-}
+    println!("\ncorpus_generation:");
+    println!("  {:<16} {:>9.4} s", "tiny", time_secs(5, || Preset::Tiny.generate(SEED)));
+    println!("  {:<16} {:>9.4} s", "aan_like", time_secs(3, || Preset::AanLike.generate(SEED)));
 
-fn bench_hetnet_build(c: &mut Criterion) {
-    let corpus = Preset::AanLike.generate(SEED);
     let cfg = scholar::QRankConfig::default();
-    c.bench_function("hetnet_build_aan_like", |b| {
-        b.iter(|| scholar::core::HetNet::build(&corpus, &cfg))
-    });
+    println!(
+        "\nhetnet_build_aan_like: {:.4} s",
+        time_secs(3, || scholar::core::HetNet::build(&corpus, &cfg))
+    );
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_rankers, bench_corpus_generation, bench_hetnet_build
-);
-criterion_main!(benches);

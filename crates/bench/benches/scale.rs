@@ -1,53 +1,42 @@
-//! Criterion scalability benchmarks (R-Fig 4 companion): ranking cost as
-//! the corpus grows, and thread scaling of the article walk.
+//! Scalability benchmarks (R-Fig 4 companion): ranking cost as the
+//! corpus grows, and thread scaling of the article walk.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench scale
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scholar::corpus::CorpusGenerator;
 use scholar::rank::{PageRankConfig, TwprConfig};
 use scholar::{GeneratorConfig, PageRank, Preset, Ranker, TimeWeightedPageRank};
-use scholar_bench::SEED;
+use scholar_bench::{time_secs, SEED};
 
 fn corpus_with_rate(rate: f64) -> scholar::Corpus {
-    let cfg = GeneratorConfig {
-        initial_articles_per_year: rate,
-        ..Preset::DblpLike.config(SEED)
-    };
+    let cfg = GeneratorConfig { initial_articles_per_year: rate, ..Preset::DblpLike.config(SEED) };
     CorpusGenerator::new(cfg).generate()
 }
 
-fn bench_size_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pagerank_vs_corpus_size");
-    group.sample_size(10);
+fn main() {
+    println!("pagerank_vs_corpus_size:");
     for &rate in &[25.0, 50.0, 100.0] {
         let corpus = corpus_with_rate(rate);
         let edges = corpus.num_citations();
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(edges), &corpus, |b, corpus| {
-            b.iter(|| PageRank::default().rank(corpus))
-        });
+        let secs = time_secs(3, || PageRank::default().rank(&corpus));
+        println!(
+            "  {:>9} edges {:>9.4} s ({:.1} Medges/s)",
+            edges,
+            secs,
+            edges as f64 / secs / 1e6
+        );
     }
-    group.finish();
-}
 
-fn bench_thread_scaling(c: &mut Criterion) {
+    println!("\ntwpr_thread_scaling:");
     let corpus = corpus_with_rate(100.0);
-    let mut group = c.benchmark_group("twpr_thread_scaling");
-    group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
         let ranker = TimeWeightedPageRank::new(TwprConfig {
             pagerank: PageRankConfig { threads, ..Default::default() },
             ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::new("threads", threads), &ranker, |b, r| {
-            b.iter(|| r.rank(&corpus))
-        });
+        let secs = time_secs(3, || ranker.rank(&corpus));
+        println!("  {threads} threads {secs:>9.4} s");
     }
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_size_scaling, bench_thread_scaling
-);
-criterion_main!(benches);

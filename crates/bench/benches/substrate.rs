@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks of the graph substrate: CSR construction,
-//! the SpMV random-walk step (sequential vs parallel), and the O(n log n)
+//! Micro-benchmarks of the graph substrate: CSR construction, the SpMV
+//! random-walk step (sequential vs parallel), and the O(n log n)
 //! Kendall τ used throughout the evaluation.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench substrate
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scholar::graph::stochastic::{normalize_l1, PowerIterationOpts};
 use scholar::graph::{GraphBuilder, JumpVector, NodeId, RowStochastic};
+use scholar_bench::time_secs;
 
 /// Deterministic pseudo-random edge list (splitmix-style).
 fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32, f64)> {
@@ -16,25 +20,22 @@ fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32, f64)> {
     (0..m).map(|_| (next() % n, next() % n, 1.0 + (next() % 8) as f64)).collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("csr_build");
+fn bench_build() {
+    println!("csr_build:");
     for &(n, m) in &[(10_000u32, 60_000usize), (50_000, 400_000)] {
         let edges = random_edges(n, m, 7);
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(m), &edges, |b, edges| {
-            b.iter(|| {
-                let mut builder = GraphBuilder::new(n).with_edge_capacity(edges.len());
-                for &(s, d, w) in edges {
-                    builder.add_edge(NodeId(s), NodeId(d), w);
-                }
-                builder.build()
-            })
+        let secs = time_secs(5, || {
+            let mut builder = GraphBuilder::new(n).with_edge_capacity(edges.len());
+            for &(s, d, w) in &edges {
+                builder.add_edge(NodeId(s), NodeId(d), w);
+            }
+            builder.build()
         });
+        println!("  {m:>7} edges {secs:>9.4} s ({:.1} Medges/s)", m as f64 / secs / 1e6);
     }
-    group.finish();
 }
 
-fn bench_spmv(c: &mut Criterion) {
+fn bench_spmv() {
     let n = 100_000u32;
     let m = 800_000usize;
     let g = GraphBuilder::from_weighted_edges(n, &random_edges(n, m, 11));
@@ -43,28 +44,24 @@ fn bench_spmv(c: &mut Criterion) {
     normalize_l1(&mut x);
     let mut y = vec![0.0; n as usize];
 
-    let mut group = c.benchmark_group("walk_step_800k_edges");
-    group.throughput(Throughput::Elements(m as u64));
+    println!("\nwalk_step_800k_edges:");
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| op.apply_parallel(&x, &mut y, 0.85, &JumpVector::Uniform, t))
-        });
+        let secs =
+            time_secs(20, || op.apply_parallel(&x, &mut y, 0.85, &JumpVector::Uniform, threads));
+        println!("  {threads} threads {secs:>9.5} s ({:.1} Medges/s)", m as f64 / secs / 1e6);
     }
-    group.finish();
 }
 
-fn bench_power_iteration(c: &mut Criterion) {
+fn bench_power_iteration() {
     let n = 50_000u32;
     let g = GraphBuilder::from_weighted_edges(n, &random_edges(n, 300_000, 13));
     let op = RowStochastic::new(&g);
-    c.bench_function("power_iteration_to_1e-8_300k_edges", |b| {
-        b.iter(|| {
-            op.stationary(&PowerIterationOpts { tol: 1e-8, ..Default::default() })
-        })
-    });
+    let secs =
+        time_secs(3, || op.stationary(&PowerIterationOpts { tol: 1e-8, ..Default::default() }));
+    println!("\npower_iteration_to_1e-8_300k_edges: {secs:.4} s");
 }
 
-fn bench_kendall(c: &mut Criterion) {
+fn bench_kendall() {
     let mut state = 99u64;
     let mut next = move || {
         state ^= state << 13;
@@ -74,14 +71,13 @@ fn bench_kendall(c: &mut Criterion) {
     };
     let x: Vec<f64> = (0..100_000).map(|_| next()).collect();
     let y: Vec<f64> = (0..100_000).map(|_| next()).collect();
-    c.bench_function("kendall_tau_100k", |b| {
-        b.iter(|| scholar::eval::metrics::kendall_tau_b(&x, &y))
-    });
+    let secs = time_secs(5, || scholar::eval::metrics::kendall_tau_b(&x, &y));
+    println!("\nkendall_tau_100k: {secs:.4} s");
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_build, bench_spmv, bench_power_iteration, bench_kendall
-);
-criterion_main!(benches);
+fn main() {
+    bench_build();
+    bench_spmv();
+    bench_power_iteration();
+    bench_kendall();
+}

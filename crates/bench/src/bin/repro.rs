@@ -147,8 +147,8 @@ fn run_one(id: &str) {
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "sig", "table3", "table4", "table5", "table6", "table7", "table8",
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "table1", "table2", "sig", "table3", "table4", "table5", "table6", "table7", "table8", "fig1",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 ];
 
 fn main() {

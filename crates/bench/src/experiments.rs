@@ -8,8 +8,7 @@ use scholar::eval::metrics::kendall_tau_b;
 use scholar::eval::series::SeriesSet;
 use scholar::eval::tables::{fmt_metric, fmt_seconds, Table};
 use scholar::{
-    Ablation, CitationCount, PageRank, Preset, QRank, QRankConfig, Ranker,
-    TimeWeightedPageRank,
+    Ablation, CitationCount, PageRank, Preset, QRank, QRankConfig, Ranker, TimeWeightedPageRank,
 };
 use std::time::Instant;
 
@@ -18,8 +17,15 @@ pub fn table1() -> Table {
     let mut t = Table::new(
         "R-Table 1: dataset statistics (synthetic substitutes, DESIGN.md §5)",
         &[
-            "dataset", "articles", "citations", "authors", "venues", "years", "refs/art",
-            "gini", "alpha",
+            "dataset",
+            "articles",
+            "citations",
+            "authors",
+            "venues",
+            "years",
+            "refs/art",
+            "gini",
+            "alpha",
         ],
     );
     for preset in Preset::evaluation_suite() {
@@ -121,8 +127,7 @@ pub fn table4() -> Table {
         "R-Table 4 [AAN-like]: rank stability — Kendall tau(ranking at cutoff, final ranking)",
         &["method", "60%", "70%", "80%", "90%"],
     );
-    let mut rows: Vec<Vec<String>> =
-        rankers.iter().map(|r| vec![r.name()]).collect();
+    let mut rows: Vec<Vec<String>> = rankers.iter().map(|r| vec![r.name()]).collect();
     for &frac in &fracs {
         let snap = snapshot_at_frac(&c, frac);
         for (ri, ranker) in rankers.iter().enumerate() {
@@ -144,7 +149,9 @@ pub fn table4() -> Table {
     t
 }
 
-/// R-Table 5: component ablation on future-citation accuracy.
+/// R-Table 5: component ablation on future-citation accuracy. The seven
+/// variants run through [`Ablation::sweep`], which shares prepared
+/// engines between structurally identical variants (two builds total).
 pub fn table5() -> Table {
     let c = corpus(Preset::AanLike);
     let snap = snapshot_at_frac(&c, 0.8);
@@ -154,16 +161,16 @@ pub fn table5() -> Table {
         "R-Table 5 [AAN-like]: ablation of QRank components (pairwise accuracy)",
         &["variant", "pairwise", "spearman"],
     );
-    for ab in Ablation::all() {
-        let scores = ab.rank(&base, &snap.corpus);
+    for (ab, res) in Ablation::sweep(&base, &snap.corpus) {
+        let scores = &res.article_scores;
         t.row(vec![
             ab.name().to_string(),
             fmt_metric(scholar::eval::metrics::pairwise_accuracy_auto(
                 &truth.values,
-                &scores,
+                scores,
                 0xfeed,
             )),
-            fmt_metric(scholar::eval::metrics::spearman(&truth.values, &scores)),
+            fmt_metric(scholar::eval::metrics::spearman(&truth.values, scores)),
         ]);
     }
     t
@@ -195,12 +202,16 @@ pub fn fig1() -> SeriesSet {
 }
 
 /// R-Fig 2: sensitivity over the (λ_P, λ_V, λ_U) simplex (step 0.2).
-/// Rendered as one series per λ_V with λ_P on the x-axis.
+/// Rendered as one series per λ_V with λ_P on the x-axis. All grid points
+/// share one structural configuration, so one prepared engine answers the
+/// entire simplex.
 pub fn fig2() -> SeriesSet {
     let c = corpus(Preset::AanLike);
     let snap = snapshot_at_frac(&c, 0.8);
     let truth = future_citations(&c, &snap, FUTURE_WINDOW_YEARS);
     let steps = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let engine = scholar::QRankEngine::build(&snap.corpus, &QRankConfig::default());
+    let mut scratch = scholar::core::SolveScratch::new();
     let mut fig = SeriesSet::new(
         "R-Fig 2 [AAN-like]: pairwise accuracy over the lambda simplex (lambda_U = 1 - P - V)",
         "lambda_P",
@@ -214,7 +225,13 @@ pub fn fig2() -> SeriesSet {
                 series.push(f64::NAN);
             } else {
                 let cfg = QRankConfig::default().with_lambdas(lp, lv, lu.max(0.0));
-                series.push(accuracy_of(&cfg, &snap.corpus, &truth.values));
+                let res =
+                    engine.solve_with(&scholar::MixParams::from_config(&cfg), None, &mut scratch);
+                series.push(scholar::eval::metrics::pairwise_accuracy_auto(
+                    &truth.values,
+                    &res.article_scores,
+                    0xfeed,
+                ));
             }
         }
         fig.add(&format!("lambda_V={lv:.1}"), series);
@@ -300,7 +317,10 @@ pub fn fig4() -> (SeriesSet, SeriesSet) {
         times.push(t0.elapsed().as_secs_f64());
     }
     let mut fig_b = SeriesSet::new(
-        &format!("R-Fig 4b [MAG-like]: {steps} walk steps ({} edges), wall seconds vs threads", g.num_edges()),
+        &format!(
+            "R-Fig 4b [MAG-like]: {steps} walk steps ({} edges), wall seconds vs threads",
+            g.num_edges()
+        ),
         "threads",
         threads.iter().map(|&t| t as f64).collect(),
     );
@@ -336,7 +356,9 @@ pub fn fig5() -> SeriesSet {
             let sub_truth: Vec<f64> = keep.iter().map(|&i| truth.values[i]).collect();
             let sub_scores: Vec<f64> = keep.iter().map(|&i| all_scores[ri][i]).collect();
             series.push(scholar::eval::metrics::pairwise_accuracy_auto(
-                &sub_truth, &sub_scores, 0xfeed,
+                &sub_truth,
+                &sub_scores,
+                0xfeed,
             ));
         }
         fig.add(&ranker.name(), series);
@@ -434,10 +456,7 @@ pub fn table6() -> Table {
         Box::new(TimeWeightedPageRank::default()),
         Box::new(QRank::default()),
         Box::new(FusedRanker::new(
-            vec![
-                Box::new(QRank::default()),
-                Box::new(RecentCitations::default()),
-            ],
+            vec![Box::new(QRank::default()), Box::new(RecentCitations::default())],
             FusionRule::default(),
         )),
     ];
@@ -503,10 +522,8 @@ pub fn fig9() -> SeriesSet {
     use sgraph::stochastic::PowerIterationOpts;
     let c = corpus(Preset::AanLike);
     let g = c.citation_graph();
-    let power = sgraph::RowStochastic::new(&g).stationary(&PowerIterationOpts {
-        tol: 1e-12,
-        ..Default::default()
-    });
+    let power = sgraph::RowStochastic::new(&g)
+        .stationary(&PowerIterationOpts { tol: 1e-12, ..Default::default() });
     let gs = gauss_seidel(&g, &GaussSeidelOpts { tol: 1e-12, ..Default::default() });
     let max_pts = 40usize.min(power.residuals.len().max(gs.residuals.len()));
     let pad = |mut v: Vec<f64>| -> Vec<f64> {
@@ -585,7 +602,11 @@ pub fn fig6() -> (SeriesSet, SeriesSet) {
     let dampings = [0.5, 0.65, 0.8, 0.85, 0.9, 0.95];
     let mut d_acc = Vec::new();
     for &d in &dampings {
-        d_acc.push(accuracy_of(&QRankConfig::default().with_damping(d), &snap.corpus, &truth.values));
+        d_acc.push(accuracy_of(
+            &QRankConfig::default().with_damping(d),
+            &snap.corpus,
+            &truth.values,
+        ));
     }
     let mut fig_d = SeriesSet::new(
         "R-Fig 6a [AAN-like]: pairwise accuracy vs damping",

@@ -54,9 +54,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
     }
 

@@ -32,16 +32,30 @@ fn load_corpus(path: &str) -> Result<Corpus, String> {
 }
 
 /// Read the QRank configuration: `--config file.json` (partial JSON —
-/// missing fields keep their defaults) or the built-in defaults.
+/// missing fields keep their defaults) or the built-in defaults. A
+/// `--threads N` flag overrides the worker count from either source
+/// (`--threads 1` forces sequential execution; the `SCHOLAR_THREADS`
+/// environment variable sets the default instead).
 fn qrank_config(args: &Args) -> Result<QRankConfig, String> {
-    let Some(path) = args.get("config") else {
-        return Ok(QRankConfig::default());
+    let mut cfg = match args.get("config") {
+        None => QRankConfig::default(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config '{path}': {e}"))?;
+            let cfg = QRankConfig::from_json_str(&text)
+                .map_err(|e| format!("bad config '{path}': {e}"))?;
+            cfg.validate().map_err(|e| format!("invalid config '{path}': {e}"))?;
+            cfg
+        }
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read config '{path}': {e}"))?;
-    let cfg: QRankConfig =
-        serde_json::from_str(&text).map_err(|e| format!("bad config '{path}': {e}"))?;
-    cfg.validate().map_err(|e| format!("invalid config '{path}': {e}"))?;
+    if let Some(t) = args.get("threads") {
+        let threads: usize =
+            t.parse().map_err(|_| format!("invalid --threads '{t}' (positive integer)"))?;
+        if threads == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        cfg.twpr.pagerank.threads = threads;
+    }
     Ok(cfg)
 }
 
@@ -107,35 +121,44 @@ pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     let method = args.get("method").unwrap_or("qrank");
     let top: usize = args.get_parsed("top", 20)?;
     let cfg = qrank_config(args)?;
-    let ranker: Box<dyn Ranker> = if method == "qrank" {
-        Box::new(QRank::new(cfg.clone()))
+    if args.has_switch("explain") && method != "qrank" {
+        return Err("--explain is only available for --method qrank".into());
+    }
+    // The qrank path goes through the prepared engine so one build + one
+    // solve serves both the score listing and the optional explanations.
+    let (method_name, scores, qrank_run) = if method == "qrank" {
+        let engine = scholar::QRankEngine::build(&corpus, &cfg);
+        let result = engine.solve(&scholar::MixParams::from_config(&cfg));
+        let scores = result.article_scores.clone();
+        ("QRank".to_string(), scores, Some((engine, result)))
     } else {
-        ranker_by_name(method)?
+        let ranker = ranker_by_name(method)?;
+        let scores = ranker.rank(&corpus);
+        (ranker.name(), scores, None)
     };
-    let scores = ranker.rank(&corpus);
     let best = top_k(&scores, top);
 
     if args.has_switch("json") {
-        let rows: Vec<serde_json::Value> = best
+        let rows: Vec<sjson::Value> = best
             .iter()
             .enumerate()
             .map(|(pos, &i)| {
                 let a = &corpus.articles()[i];
-                serde_json::json!({
-                    "rank": pos + 1,
-                    "id": a.id.0,
-                    "title": a.title,
-                    "year": a.year,
-                    "venue": corpus.venue(a.venue).name,
-                    "score": scores[i],
-                })
+                sjson::ObjectBuilder::new()
+                    .field("rank", pos + 1)
+                    .field("id", u64::from(a.id.0))
+                    .field("title", a.title.as_str())
+                    .field("year", a.year)
+                    .field("venue", corpus.venue(a.venue).name.as_str())
+                    .field("score", scores[i])
+                    .build()
             })
             .collect();
-        outln!(out, "{}", serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?);
+        outln!(out, "{}", sjson::Value::Array(rows).to_string_pretty());
         return Ok(());
     }
 
-    outln!(out, "top {} articles by {}:", best.len(), ranker.name());
+    outln!(out, "top {} articles by {}:", best.len(), method_name);
     for (pos, &i) in best.iter().enumerate() {
         let a = &corpus.articles()[i];
         outln!(
@@ -150,17 +173,67 @@ pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     }
 
     if args.has_switch("explain") {
-        if method != "qrank" {
-            return Err("--explain is only available for --method qrank".into());
-        }
-        let result = QRank::new(cfg.clone()).run(&corpus);
-        let explainer = scholar::core::Explainer::new(&corpus, &cfg, &result);
+        let (engine, result) = qrank_run.as_ref().expect("--explain implies the qrank path ran");
+        let explainer = scholar::core::Explainer::from_engine(&corpus, engine, result);
         outln!(out, "\nexplanations:");
         for &i in best.iter().take(5) {
             let e = explainer.explain(scholar::corpus::ArticleId(i as u32), 3, &cfg);
             wr(out, format_args!("{}", e.render(&corpus)))?;
         }
     }
+    Ok(())
+}
+
+/// `scholar ablate corpus.jsonl [--json] [--config FILE] [--threads N]`
+///
+/// Runs all seven ablation variants of R-Table 5 over one corpus, sharing
+/// prepared engines between structurally identical variants, and reports
+/// how far each ablated ranking drifts from the full model.
+pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let cfg = qrank_config(args)?;
+    let swept = scholar::Ablation::sweep(&cfg, &corpus);
+    let full = swept
+        .iter()
+        .find(|(ab, _)| *ab == scholar::Ablation::Full)
+        .map(|(_, res)| res.article_scores.clone())
+        .expect("sweep always contains the full model");
+
+    if args.has_switch("json") {
+        let rows: Vec<sjson::Value> = swept
+            .iter()
+            .map(|(ab, res)| {
+                sjson::ObjectBuilder::new()
+                    .field("variant", ab.name().trim())
+                    .field("outer_iterations", res.outer.iterations)
+                    .field("converged", res.outer.converged)
+                    .field(
+                        "l1_vs_full",
+                        scholar::graph::stochastic::l1_distance(&res.article_scores, &full),
+                    )
+                    .field("top_article", top_k(&res.article_scores, 1)[0])
+                    .build()
+            })
+            .collect();
+        outln!(out, "{}", sjson::Value::Array(rows).to_string_pretty());
+        return Ok(());
+    }
+
+    let mut table = Table::new(
+        &format!("ablation sweep over {} articles (shared engines)", corpus.num_articles()),
+        &["variant", "outer iters", "L1 vs full", "top article"],
+    );
+    for (ab, res) in &swept {
+        let l1 = scholar::graph::stochastic::l1_distance(&res.article_scores, &full);
+        let best = top_k(&res.article_scores, 1)[0];
+        table.row(vec![
+            ab.name().to_string(),
+            format!("{}", res.outer.iterations),
+            format!("{l1:.3e}"),
+            corpus.articles()[best].title.clone(),
+        ]);
+    }
+    outln!(out, "{table}");
     Ok(())
 }
 
@@ -171,10 +244,8 @@ pub fn related<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     let top: usize = args.get_parsed("top", 10)?;
     let mut seeds = Vec::new();
     for tok in seeds_raw.split(',') {
-        let id: u32 = tok
-            .trim()
-            .parse()
-            .map_err(|_| format!("invalid article id '{tok}' in --seeds"))?;
+        let id: u32 =
+            tok.trim().parse().map_err(|_| format!("invalid article id '{tok}' in --seeds"))?;
         if id as usize >= corpus.num_articles() {
             return Err(format!(
                 "article id {id} out of range (corpus has {})",
@@ -200,8 +271,7 @@ pub fn related<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 /// `scholar analyze corpus.jsonl`
 pub fn analyze<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     use scholar::corpus::analysis::{
-        citation_age_histogram, h_index, mean_citation_age, self_citation_rate,
-        venue_insularity,
+        citation_age_histogram, h_index, mean_citation_age, self_citation_rate, venue_insularity,
     };
     let corpus = load_corpus(args.positional(0, "corpus path")?)?;
     outln!(out, "{}", corpus_stats(&corpus));
@@ -264,19 +334,15 @@ pub fn coldstart<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         }
     }
     let cfg = qrank_config(args)?;
-    let result = QRank::new(cfg.clone()).run(&corpus);
-    let scorer =
-        scholar::ColdStartScorer::new(&result, cfg.lambda_venue, cfg.lambda_author);
+    let mix = scholar::MixParams::from_config(&cfg);
+    let result = QRank::new(cfg).run(&corpus);
+    let scorer = scholar::ColdStartScorer::from_mix(&result, &mix);
     let score = scorer.score(venue, &authors);
     let pct = scorer.percentile_among(score, &result, &corpus) * 100.0;
     outln!(
         out,
         "a new submission at '{venue_name}' by [{}]",
-        authors
-            .iter()
-            .map(|&u| corpus.author(u).name.clone())
-            .collect::<Vec<_>>()
-            .join(", ")
+        authors.iter().map(|&u| corpus.author(u).name.clone()).collect::<Vec<_>>().join(", ")
     );
     outln!(out, "  cold-start score: {score:.3e}");
     outln!(out, "  would enter the index at the {pct:.1}th percentile");
@@ -408,9 +474,10 @@ mod tests {
         let text = run(&["rank", &path, "--method", "pagerank", "--top", "3"]).unwrap();
         assert!(text.contains("top 3 articles by PageRank"));
         let json = run(&["rank", &path, "--method", "cc", "--top", "2", "--json"]).unwrap();
-        let parsed: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0]["rank"], 1);
+        let parsed = sjson::parse(&json).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("rank").unwrap().as_usize(), Some(1));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -426,12 +493,50 @@ mod tests {
     }
 
     #[test]
+    fn ablate_text_and_json() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let text = run(&["ablate", &path]).unwrap();
+        assert!(text.contains("ablation sweep"));
+        assert!(text.contains("QRank (full)"));
+        assert!(text.contains("PageRank"));
+        let json = run(&["ablate", &path, "--json"]).unwrap();
+        let parsed = sjson::parse(&json).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].get("variant").unwrap().as_str(), Some("QRank (full)"));
+        assert_eq!(rows[0].get("l1_vs_full").unwrap().as_f64(), Some(0.0));
+        assert_eq!(rows[0].get("converged").unwrap().as_bool(), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_is_validated_and_accepted() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        // --threads 1 (the sequential escape hatch) must give the same
+        // ranking as the default thread count.
+        let seq =
+            run(&["rank", &path, "--method", "qrank", "--top", "3", "--threads", "1"]).unwrap();
+        let par =
+            run(&["rank", &path, "--method", "qrank", "--top", "3", "--threads", "4"]).unwrap();
+        assert_eq!(seq, par);
+        let err = run(&["rank", &path, "--threads", "0"]).unwrap_err();
+        assert!(err.contains("--threads"));
+        let err2 = run(&["rank", &path, "--threads", "lots"]).unwrap_err();
+        assert!(err2.contains("invalid --threads"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn related_finds_neighbors() {
         let dir = tmpdir();
         let path = corpus_file(&dir);
         let out = run(&["related", &path, "--seeds", "0,1", "--top", "4"]).unwrap();
         assert!(out.contains("related articles"));
-        assert!(out.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3', '4'])).count() >= 4);
+        assert!(
+            out.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3', '4'])).count() >= 4
+        );
         let err = run(&["related", &path, "--seeds", "999999"]).unwrap_err();
         assert!(err.contains("out of range"));
         let err2 = run(&["related", &path, "--seeds", "abc"]).unwrap_err();
@@ -494,15 +599,8 @@ mod tests {
         let dir = tmpdir();
         let path = corpus_file(&dir);
         // Use names that exist in the generated corpus.
-        let out = run(&[
-            "coldstart",
-            &path,
-            "--venue",
-            "Venue-0000",
-            "--authors",
-            "Author-000000",
-        ])
-        .unwrap();
+        let out = run(&["coldstart", &path, "--venue", "Venue-0000", "--authors", "Author-000000"])
+            .unwrap();
         assert!(out.contains("cold-start score"));
         assert!(out.contains("percentile"));
         let err = run(&["coldstart", &path, "--venue", "Nope"]).unwrap_err();
@@ -521,17 +619,22 @@ mod tests {
         )
         .unwrap();
         let out = run(&[
-            "rank", &path, "--method", "qrank", "--top", "3", "--config",
+            "rank",
+            &path,
+            "--method",
+            "qrank",
+            "--top",
+            "3",
+            "--config",
             &cfg_path.to_string_lossy(),
         ])
         .unwrap();
         assert!(out.contains("top 3 articles"));
         // Invalid config is rejected with a clear message.
         std::fs::write(&cfg_path, r#"{"lambda_article": 2.0}"#).unwrap();
-        let err = run(&[
-            "rank", &path, "--method", "qrank", "--config", &cfg_path.to_string_lossy(),
-        ])
-        .unwrap_err();
+        let err =
+            run(&["rank", &path, "--method", "qrank", "--config", &cfg_path.to_string_lossy()])
+                .unwrap_err();
         assert!(err.contains("invalid config"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

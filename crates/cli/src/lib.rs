@@ -17,6 +17,7 @@ pub fn dispatch<W: std::io::Write>(parsed: &Args, out: &mut W) -> Result<(), Str
         "generate" => commands::generate(parsed, out),
         "stats" => commands::stats(parsed, out),
         "rank" => commands::rank(parsed, out),
+        "ablate" => commands::ablate(parsed, out),
         "related" => commands::related(parsed, out),
         "coldstart" => commands::coldstart(parsed, out),
         "analyze" => commands::analyze(parsed, out),
@@ -44,6 +45,9 @@ COMMANDS:
   rank      CORPUS.jsonl [--method qrank|twpr|pagerank|cc|hits|citerank|futurerank|prank]
             [--top N] [--explain] [--json]
             rank every article, print the top N
+  ablate    CORPUS.jsonl [--json]
+            run all seven ablation variants over one corpus, sharing
+            prepared engines between structurally identical variants
   related   CORPUS.jsonl --seeds ID[,ID...] [--top N]
             personalized-PageRank related-article search from seed articles
   coldstart CORPUS.jsonl --venue NAME [--authors NAME,NAME...]
@@ -51,13 +55,16 @@ COMMANDS:
   analyze   CORPUS.jsonl
             bibliometric diagnostics: citation-age profile, self-citation
             rate, venue insularity, h-index leaderboard
-
-Commands running QRank (rank, coldstart, eval) accept --config FILE with a
-partial QRankConfig as JSON; unspecified fields keep tuned defaults.
   eval      CORPUS.jsonl [--cutoff-frac F] [--window YEARS]
             hold out the last part of the timeline and compare all methods
   convert   --from aan --meta META --cites CITES --out FILE
             convert the AAN release format to JSON lines
   convert   --from mag --papers P --authors A --refs R --out FILE
-            convert MAG-style TSV tables to JSON lines"
+            convert MAG-style TSV tables to JSON lines
+
+Commands running QRank (rank, ablate, coldstart, eval) accept --config FILE
+with a partial QRankConfig as JSON; unspecified fields keep tuned defaults.
+They also accept --threads N to set the worker count (--threads 1 forces
+sequential execution); the SCHOLAR_THREADS environment variable changes
+the default instead."
 }

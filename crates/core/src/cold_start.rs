@@ -47,6 +47,12 @@ impl ColdStartScorer {
         }
     }
 
+    /// [`Self::new`] with the weights taken from the [`MixParams`]
+    /// (`crate::engine::MixParams`) the result was solved under.
+    pub fn from_mix(result: &QRankResult, mix: &crate::engine::MixParams) -> Self {
+        Self::new(result, mix.lambda_venue, mix.lambda_author)
+    }
+
     /// Score a hypothetical new article by venue and byline.
     ///
     /// Returned on the article-score scale of the underlying run (so it is
@@ -82,11 +88,8 @@ impl ColdStartScorer {
     /// Rank several hypothetical submissions, best first. Returns indices
     /// into `candidates` with their scores.
     pub fn rank_candidates(&self, candidates: &[(VenueId, Vec<AuthorId>)]) -> Vec<(usize, f64)> {
-        let mut scored: Vec<(usize, f64)> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, (v, us))| (i, self.score(*v, us)))
-            .collect();
+        let mut scored: Vec<(usize, f64)> =
+            candidates.iter().enumerate().map(|(i, (v, us))| (i, self.score(*v, us))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         scored
     }

@@ -7,8 +7,7 @@ use scholar_rank::TwprConfig;
 /// Defaults are the values tuned on the synthetic AAN-like validation
 /// corpus (see EXPERIMENTS.md R-Fig 1/2/6); `TwprConfig`'s defaults carry
 /// the citation-walk parameters (damping 0.85, ρ = 0.15/yr, τ = 0.05/yr).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QRankConfig {
     /// Parameters of the article-level time-weighted walk; its `rho` also
     /// drives the decay used when aggregating the venue/author graphs.
@@ -158,6 +157,65 @@ impl QRankConfig {
         self.assert_valid();
         self
     }
+
+    /// Parse a (possibly partial) JSON config: fields present in the text
+    /// override the tuned defaults, including inside the nested `twpr` /
+    /// `twpr.pagerank` objects; unknown keys are ignored. The result is
+    /// *not* validated — call [`Self::validate`] on it.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = sjson::parse(text).map_err(|e| e.to_string())?;
+        let obj = v.as_object().ok_or("config must be a JSON object")?;
+        let mut cfg = QRankConfig::default();
+        for (key, val) in obj {
+            let num = |name: &str| val.as_f64().ok_or_else(|| format!("'{name}' must be a number"));
+            match key.as_str() {
+                "twpr" => cfg.twpr.merge_json(val)?,
+                "lambda_article" => cfg.lambda_article = num("lambda_article")?,
+                "lambda_venue" => cfg.lambda_venue = num("lambda_venue")?,
+                "lambda_author" => cfg.lambda_author = num("lambda_author")?,
+                "mu_venue" => cfg.mu_venue = num("mu_venue")?,
+                "mu_author" => cfg.mu_author = num("mu_author")?,
+                "maturity_years" => cfg.maturity_years = num("maturity_years")?,
+                "drop_self_citations" => {
+                    cfg.drop_self_citations =
+                        val.as_bool().ok_or("'drop_self_citations' must be a bool")?
+                }
+                "outer_tol" => cfg.outer_tol = num("outer_tol")?,
+                "outer_max_iter" => {
+                    cfg.outer_max_iter =
+                        val.as_usize().ok_or("'outer_max_iter' must be an integer")?
+                }
+                _ => {}
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Serialize the full configuration as a JSON object.
+    pub fn to_json(&self) -> sjson::Value {
+        sjson::ObjectBuilder::new()
+            .field("twpr", self.twpr.to_json())
+            .field("lambda_article", self.lambda_article)
+            .field("lambda_venue", self.lambda_venue)
+            .field("lambda_author", self.lambda_author)
+            .field("mu_venue", self.mu_venue)
+            .field("mu_author", self.mu_author)
+            .field("maturity_years", self.maturity_years)
+            .field("drop_self_citations", self.drop_self_citations)
+            .field("outer_tol", self.outer_tol)
+            .field("outer_max_iter", self.outer_max_iter)
+            .build()
+    }
+
+    /// `true` when `other` shares every *structural* parameter with
+    /// `self` — the parameters that determine the derived graphs, the
+    /// row-stochastic operators, and the three structural stationary
+    /// distributions a [`crate::QRankEngine`] caches (everything in
+    /// `twpr` plus `drop_self_citations`). Configs that agree here can
+    /// share one prepared engine and differ only in mix parameters.
+    pub fn same_structure(&self, other: &QRankConfig) -> bool {
+        self.twpr == other.twpr && self.drop_self_citations == other.drop_self_citations
+    }
 }
 
 #[cfg(test)]
@@ -170,19 +228,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let cfg = QRankConfig::default().with_lambdas(0.7, 0.2, 0.1).with_rho(0.3);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: QRankConfig = serde_json::from_str(&json).unwrap();
+        let json = cfg.to_json().to_string_compact();
+        let back = QRankConfig::from_json_str(&json).unwrap();
         assert_eq!(cfg, back);
     }
 
     #[test]
     fn partial_json_fills_defaults() {
         // Users can override a subset of knobs in a config file.
-        let cfg: QRankConfig =
-            serde_json::from_str(r#"{"lambda_article": 0.9, "lambda_venue": 0.1, "lambda_author": 0.0, "twpr": {"tau": 0.2}}"#)
-                .unwrap();
+        let cfg = QRankConfig::from_json_str(
+            r#"{"lambda_article": 0.9, "lambda_venue": 0.1, "lambda_author": 0.0, "twpr": {"tau": 0.2}}"#,
+        )
+        .unwrap();
         cfg.assert_valid();
         assert_eq!(cfg.lambda_article, 0.9);
         assert_eq!(cfg.twpr.tau, 0.2);

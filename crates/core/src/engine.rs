@@ -1,0 +1,557 @@
+//! The prepared QRank execution plan: build once, solve many.
+//!
+//! [`QRank::run`](crate::QRank::run) does two very different kinds of
+//! work. The *structural* part — deriving the five-graph [`HetNet`],
+//! normalizing the three row-stochastic operators, and running the three
+//! structural walks to their stationary distributions — depends only on
+//! the corpus and the structural half of the configuration (everything in
+//! `twpr` plus `drop_self_citations`; see
+//! [`QRankConfig::same_structure`]). The *mixture* part — the outer
+//! mutual-reinforcement fixpoint over λ/μ/σ — is cheap, and it is the
+//! only thing parameter sweeps, ablations, and tuning grids vary.
+//!
+//! [`QRankEngine`] splits the two phases. `build` pays the structural
+//! cost once; [`QRankEngine::solve`] answers any mixture of
+//! [`MixParams`] against the cached plan, running only the outer
+//! fixpoint. The outer loop is allocation-free at steady state (all
+//! buffers live in a reusable [`SolveScratch`] and are ping-ponged) and
+//! parallel (aggregations and the combine step partition their output
+//! index space exactly like `RowStochastic::apply_parallel`, so results
+//! are bitwise identical at any thread count).
+//!
+//! An engine is invalidated by — and must be rebuilt after — any change
+//! to the corpus or to a structural parameter; [`QRankEngine::supports`]
+//! tells whether a config can reuse this plan.
+
+use crate::config::QRankConfig;
+use crate::hetnet::HetNet;
+use crate::qrank::QRankResult;
+use scholar_corpus::Corpus;
+use scholar_rank::diagnostics::Diagnostics;
+use scholar_rank::TimeWeightedPageRank;
+use sgraph::stochastic::{blend_into, l1_distance, normalize_l1, PowerIterationOpts};
+use sgraph::{JumpVector, RowStochastic};
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Work threshold below which the parallel kernels stay sequential
+/// (same rationale and value as `RowStochastic::apply_parallel`).
+const PAR_THRESHOLD: usize = 4096;
+
+/// The mixture-side parameters of one QRank solve: everything a
+/// [`QRankEngine`] does *not* bake into its cached plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixParams {
+    /// Weight of the citation (TWPR) signal, λ_P.
+    pub lambda_article: f64,
+    /// Weight of the venue signal, λ_V.
+    pub lambda_venue: f64,
+    /// Weight of the author signal, λ_U.
+    pub lambda_author: f64,
+    /// Structural-vs-aggregated venue blend μ_V.
+    pub mu_venue: f64,
+    /// Structural-vs-aggregated author blend μ_U.
+    pub mu_author: f64,
+    /// Citation-evidence maturity constant σ (years, 0 = disabled).
+    pub maturity_years: f64,
+    /// L1 tolerance of the outer fixpoint.
+    pub outer_tol: f64,
+    /// Iteration cap of the outer fixpoint.
+    pub outer_max_iter: usize,
+}
+
+impl MixParams {
+    /// Extract the mixture parameters of a full configuration.
+    pub fn from_config(cfg: &QRankConfig) -> Self {
+        MixParams {
+            lambda_article: cfg.lambda_article,
+            lambda_venue: cfg.lambda_venue,
+            lambda_author: cfg.lambda_author,
+            mu_venue: cfg.mu_venue,
+            mu_author: cfg.mu_author,
+            maturity_years: cfg.maturity_years,
+            outer_tol: cfg.outer_tol,
+            outer_max_iter: cfg.outer_max_iter,
+        }
+    }
+
+    /// Panics on invalid mixture parameters (same rules as
+    /// [`QRankConfig::validate`]).
+    pub fn assert_valid(&self) {
+        let (lp, lv, lu) = (self.lambda_article, self.lambda_venue, self.lambda_author);
+        assert!(lp >= 0.0 && lv >= 0.0 && lu >= 0.0, "lambda weights must be >= 0");
+        assert!(
+            (lp + lv + lu - 1.0).abs() < 1e-9,
+            "lambda weights must sum to 1 (got {})",
+            lp + lv + lu
+        );
+        assert!((0.0..=1.0).contains(&self.mu_venue), "mu_venue must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&self.mu_author), "mu_author must be in [0, 1]");
+        assert!(
+            self.maturity_years >= 0.0 && self.maturity_years.is_finite(),
+            "maturity_years must be finite and >= 0"
+        );
+        assert!(self.outer_max_iter > 0, "need at least one outer iteration");
+        assert!(self.outer_tol >= 0.0, "outer tolerance must be >= 0");
+    }
+}
+
+impl From<&QRankConfig> for MixParams {
+    fn from(cfg: &QRankConfig) -> Self {
+        MixParams::from_config(cfg)
+    }
+}
+
+/// Reusable per-solve buffers; hand the same scratch to repeated
+/// [`QRankEngine::solve_with`] calls and the outer fixpoint allocates
+/// nothing after the first solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    f: Vec<f64>,
+    next: Vec<f64>,
+    av: Vec<f64>,
+    au: Vec<f64>,
+    venue_scores: Vec<f64>,
+    author_scores: Vec<f64>,
+    venue_term: Vec<f64>,
+    author_term: Vec<f64>,
+    weights: Vec<(f64, f64, f64)>,
+    warm_twpr: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    fn resize_for(&mut self, n: usize, nv: usize, nu: usize) {
+        self.f.resize(n, 0.0);
+        self.next.resize(n, 0.0);
+        self.av.resize(nv, 0.0);
+        self.au.resize(nu, 0.0);
+        self.venue_scores.resize(nv, 0.0);
+        self.author_scores.resize(nu, 0.0);
+        self.venue_term.resize(n, 0.0);
+        self.author_term.resize(n, 0.0);
+    }
+}
+
+/// A prepared, immutable QRank execution plan for one
+/// `(corpus, structural-config)` pair.
+///
+/// Caches the heterogeneous network, the three row-stochastic operators,
+/// the recency jump vector, the per-article ages, the structural
+/// venue/author stationary distributions, and (lazily, on the first cold
+/// solve) the TWPR stationary distribution. `solve` then runs only the
+/// outer mutual-reinforcement fixpoint. Shared-reference solves are safe
+/// from multiple threads.
+#[derive(Debug)]
+pub struct QRankEngine {
+    config: QRankConfig,
+    now: i32,
+    net: HetNet,
+    citation_op: RowStochastic,
+    venue_op: RowStochastic,
+    author_op: RowStochastic,
+    jump: JumpVector,
+    /// Cold TWPR stationary + diagnostics; computed on first use so a
+    /// purely warm-started engine (incremental re-ranking) never pays for
+    /// the cold walk.
+    twpr_cold: OnceLock<(Vec<f64>, Diagnostics)>,
+    /// Normalized structural venue stationary.
+    sv: Vec<f64>,
+    /// Normalized structural author stationary.
+    su: Vec<f64>,
+    /// Per-article age in years, clamped at 0.
+    ages: Vec<f64>,
+    threads: usize,
+    pub_left_ranges: Vec<Range<usize>>,
+    pub_right_ranges: Vec<Range<usize>>,
+    auth_left_ranges: Vec<Range<usize>>,
+    auth_right_ranges: Vec<Range<usize>>,
+    article_ranges: Vec<Range<usize>>,
+}
+
+/// One full output range when the work is too small (or the config too
+/// sequential) to be worth fanning out.
+fn gated_ranges(
+    len: usize,
+    work: usize,
+    threads: usize,
+    make: impl FnOnce() -> Vec<Range<usize>>,
+) -> Vec<Range<usize>> {
+    if threads <= 1 || work < PAR_THRESHOLD {
+        std::iter::once(0..len).collect()
+    } else {
+        make()
+    }
+}
+
+impl QRankEngine {
+    /// Build the plan: derive the heterogeneous network, normalize the
+    /// three operators, run the structural venue/author walks, and
+    /// precompute the balanced parallel partitions. O(corpus) — this is
+    /// the expensive phase; amortize it across solves.
+    pub fn build(corpus: &Corpus, config: &QRankConfig) -> Self {
+        config.assert_valid();
+        let net = HetNet::build(corpus, config);
+        let n = net.num_articles();
+        let now =
+            config.twpr.now.or_else(|| corpus.year_range().map(|(_, last)| last)).unwrap_or(0);
+
+        let citation_op = RowStochastic::new(&net.citation);
+        let venue_op = RowStochastic::new(&net.venue_graph);
+        let author_op = RowStochastic::new(&net.author_graph);
+        let jump = TimeWeightedPageRank::recency_jump(corpus, config.twpr.tau, now);
+
+        let pr = &config.twpr.pagerank;
+        let structural_opts = || PowerIterationOpts {
+            damping: pr.damping,
+            jump: JumpVector::Uniform,
+            tol: pr.tol,
+            max_iter: pr.max_iter,
+            threads: pr.threads,
+            warm_start: None,
+        };
+        let mut sv = venue_op.stationary(&structural_opts()).scores;
+        let mut su = author_op.stationary(&structural_opts()).scores;
+        normalize_l1(&mut sv);
+        normalize_l1(&mut su);
+
+        let ages: Vec<f64> =
+            corpus.articles().iter().map(|a| (now - a.year).max(0) as f64).collect();
+
+        let threads = pr.threads;
+        let nv = net.num_venues();
+        let nu = net.num_authors();
+        let pub_edges = net.publication.num_edges();
+        let auth_edges = net.authorship.num_edges();
+        let pub_left_ranges =
+            gated_ranges(nv, pub_edges, threads, || net.publication.left_ranges(threads));
+        let pub_right_ranges =
+            gated_ranges(n, pub_edges, threads, || net.publication.right_ranges(threads));
+        let auth_left_ranges =
+            gated_ranges(nu, auth_edges, threads, || net.authorship.left_ranges(threads));
+        let auth_right_ranges =
+            gated_ranges(n, auth_edges, threads, || net.authorship.right_ranges(threads));
+        let article_ranges =
+            gated_ranges(n, n, threads, || sgraph::par::uniform_ranges(n, threads));
+
+        QRankEngine {
+            config: config.clone(),
+            now,
+            net,
+            citation_op,
+            venue_op,
+            author_op,
+            jump,
+            twpr_cold: OnceLock::new(),
+            sv,
+            su,
+            ages,
+            threads,
+            pub_left_ranges,
+            pub_right_ranges,
+            auth_left_ranges,
+            auth_right_ranges,
+            article_ranges,
+        }
+    }
+
+    /// The configuration the plan was built from (its mixture half is
+    /// only a default — any [`MixParams`] can be solved against the
+    /// plan).
+    pub fn config(&self) -> &QRankConfig {
+        &self.config
+    }
+
+    /// `true` when `cfg` can be answered by this plan, i.e. it agrees
+    /// with the build config on every structural parameter.
+    pub fn supports(&self, cfg: &QRankConfig) -> bool {
+        self.config.same_structure(cfg)
+    }
+
+    /// The cached heterogeneous network.
+    pub fn net(&self) -> &HetNet {
+        &self.net
+    }
+
+    /// The cached row-stochastic operators, in (citation, venue, author)
+    /// order.
+    pub fn operators(&self) -> (&RowStochastic, &RowStochastic, &RowStochastic) {
+        (&self.citation_op, &self.venue_op, &self.author_op)
+    }
+
+    /// Worker threads the plan partitions its kernels for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The reference year used for ages and recency.
+    pub fn now(&self) -> i32 {
+        self.now
+    }
+
+    /// Number of articles in the prepared corpus.
+    pub fn num_articles(&self) -> usize {
+        self.net.num_articles()
+    }
+
+    /// The cold TWPR stationary distribution (computing it on first
+    /// call), with its convergence diagnostics.
+    pub fn twpr(&self) -> (&[f64], &Diagnostics) {
+        let (scores, diag) = self.twpr_cold.get_or_init(|| self.run_inner_walk(None));
+        (scores, diag)
+    }
+
+    fn run_inner_walk(&self, warm_start: Option<Vec<f64>>) -> (Vec<f64>, Diagnostics) {
+        let pr = &self.config.twpr.pagerank;
+        let res = self.citation_op.stationary(&PowerIterationOpts {
+            damping: pr.damping,
+            jump: self.jump.clone(),
+            tol: pr.tol,
+            max_iter: pr.max_iter,
+            threads: pr.threads,
+            warm_start,
+        });
+        let scores = res.scores.clone();
+        (scores, res.into())
+    }
+
+    /// Solve one mixture against the plan (cold inner walk, cached after
+    /// the first solve).
+    pub fn solve(&self, mix: &MixParams) -> QRankResult {
+        self.solve_warm(mix, None)
+    }
+
+    /// [`Self::solve`] with an optional warm start for the inner citation
+    /// walk (scores aligned with this corpus's article ids; zero-mass or
+    /// wrong-length vectors are ignored, matching
+    /// [`QRank::run_warm`](crate::QRank::run_warm)).
+    pub fn solve_warm(&self, mix: &MixParams, warm_start: Option<&[f64]>) -> QRankResult {
+        let mut scratch = SolveScratch::new();
+        self.solve_with(mix, warm_start, &mut scratch)
+    }
+
+    /// [`Self::solve_warm`] against caller-owned scratch buffers: repeated
+    /// calls with the same scratch run the outer fixpoint without
+    /// allocating.
+    pub fn solve_with(
+        &self,
+        mix: &MixParams,
+        warm_start: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> QRankResult {
+        mix.assert_valid();
+        let n = self.net.num_articles();
+        if n == 0 {
+            return QRankResult {
+                article_scores: Vec::new(),
+                venue_scores: vec![0.0; self.net.num_venues()],
+                author_scores: vec![0.0; self.net.num_authors()],
+                twpr_scores: Vec::new(),
+                twpr_diagnostics: Diagnostics::closed_form(),
+                outer: Diagnostics::closed_form(),
+            };
+        }
+        scratch.resize_for(n, self.net.num_venues(), self.net.num_authors());
+        let SolveScratch {
+            ref mut f,
+            ref mut next,
+            ref mut av,
+            ref mut au,
+            ref mut venue_scores,
+            ref mut author_scores,
+            ref mut venue_term,
+            ref mut author_term,
+            ref mut weights,
+            ref mut warm_twpr,
+        } = *scratch;
+
+        // ---- Inner citation walk: cached cold, or re-run warm. ----
+        // A zero-mass warm start (e.g. every score fell outside the new
+        // corpus) would be rejected by the power iteration; drop it.
+        let warm = warm_start.filter(|w| w.len() == n && w.iter().sum::<f64>() > 0.0);
+        let (twpr, twpr_diagnostics): (&[f64], Diagnostics) = match warm {
+            None => {
+                let (scores, diag) = self.twpr();
+                (scores, diag.clone())
+            }
+            Some(w) => {
+                let (scores, diag) = self.run_inner_walk(Some(w.to_vec()));
+                *warm_twpr = scores;
+                (warm_twpr, diag)
+            }
+        };
+
+        // ---- Age-adaptive per-article weights (see QRankConfig docs). ----
+        let sigma = mix.maturity_years;
+        let prior_total = mix.lambda_venue + mix.lambda_author;
+        weights.clear();
+        weights.extend(self.ages.iter().map(|&age| {
+            let g = if sigma > 0.0 { 1.0 - (-age / sigma).exp() } else { 1.0 };
+            let spill = (1.0 - g) * mix.lambda_article;
+            if prior_total > 0.0 {
+                (
+                    mix.lambda_article * g,
+                    mix.lambda_venue + spill * (mix.lambda_venue / prior_total),
+                    mix.lambda_author + spill * (mix.lambda_author / prior_total),
+                )
+            } else {
+                // No priors configured: nothing to spill into.
+                (mix.lambda_article, 0.0, 0.0)
+            }
+        }));
+
+        // ---- Outer mutual-reinforcement fixpoint, zero-alloc. ----
+        f.clear();
+        f.extend_from_slice(twpr);
+        let mut residuals = Vec::with_capacity(mix.outer_max_iter.min(64));
+        let mut converged = false;
+        let mut iterations = 0;
+
+        while iterations < mix.outer_max_iter {
+            // Aggregated venue/author scores from current article scores.
+            self.net.publication.aggregate_to_left_into_par(f, av, &self.pub_left_ranges);
+            normalize_l1(av);
+            self.net.authorship.aggregate_to_left_into_par(f, au, &self.auth_left_ranges);
+            normalize_l1(au);
+
+            // Blend structural and aggregated prestige.
+            blend_into(&self.sv, av, mix.mu_venue, venue_scores);
+            blend_into(&self.su, au, mix.mu_author, author_scores);
+
+            // Push venue/author prestige back down to articles.
+            self.net.publication.aggregate_to_right_into_par(
+                venue_scores,
+                venue_term,
+                &self.pub_right_ranges,
+            );
+            normalize_l1(venue_term);
+            self.net.authorship.aggregate_to_right_into_par(
+                author_scores,
+                author_term,
+                &self.auth_right_ranges,
+            );
+            normalize_l1(author_term);
+
+            // Combine the three signals per article.
+            {
+                let vt: &[f64] = venue_term;
+                let at: &[f64] = author_term;
+                let w: &[(f64, f64, f64)] = weights;
+                sgraph::par::for_each_range_mut(next, &self.article_ranges, |range, chunk| {
+                    for (i, slot) in range.zip(chunk.iter_mut()) {
+                        let (wp, wv, wu) = w[i];
+                        *slot = wp * twpr[i] + wv * vt[i] + wu * at[i];
+                    }
+                });
+            }
+            normalize_l1(next);
+
+            iterations += 1;
+            let r = l1_distance(f, next);
+            residuals.push(r);
+            std::mem::swap(f, next);
+            if r < mix.outer_tol {
+                converged = true;
+                break;
+            }
+        }
+
+        QRankResult {
+            article_scores: f.clone(),
+            venue_scores: venue_scores.clone(),
+            author_scores: author_scores.clone(),
+            twpr_scores: twpr.to_vec(),
+            twpr_diagnostics,
+            outer: Diagnostics { iterations, converged, residuals },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+
+    #[test]
+    fn worker_count_used_for_partitions_is_the_configured_one() {
+        let c = Preset::Tiny.generate(1);
+        let engine = QRankEngine::build(&c, &QRankConfig::default().with_threads(3));
+        assert_eq!(engine.threads, 3);
+        // Tiny corpus: everything below the parallel threshold collapses
+        // to a single sequential range.
+        assert_eq!(engine.article_ranges.len(), 1);
+    }
+
+    #[test]
+    fn structural_stationaries_are_distributions() {
+        let c = Preset::Tiny.generate(2);
+        let engine = QRankEngine::build(&c, &QRankConfig::default());
+        assert!((engine.sv.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((engine.su.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let (tw, diag) = engine.twpr();
+        assert!(diag.converged);
+        assert!((tw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supports_follows_structural_equality() {
+        let c = Preset::Tiny.generate(3);
+        let base = QRankConfig::default();
+        let engine = QRankEngine::build(&c, &base);
+        assert!(engine.supports(&base));
+        assert!(engine.supports(&base.clone().with_lambdas(0.5, 0.3, 0.2)));
+        assert!(engine.supports(&base.clone().with_maturity(3.0)));
+        assert!(!engine.supports(&base.clone().with_rho(0.0)));
+        assert!(!engine.supports(&base.clone().with_tau(0.0)));
+        assert!(!engine.supports(&QRankConfig { drop_self_citations: false, ..base }));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let c = Preset::Tiny.generate(4);
+        let cfg = QRankConfig::default();
+        let engine = QRankEngine::build(&c, &cfg);
+        let mut scratch = SolveScratch::new();
+        let mixes = [
+            MixParams::from_config(&cfg),
+            MixParams::from_config(&cfg.clone().with_lambdas(0.5, 0.25, 0.25)),
+            MixParams::from_config(&cfg.clone().with_maturity(2.0)),
+        ];
+        for mix in &mixes {
+            let reused = engine.solve_with(mix, None, &mut scratch);
+            let fresh = engine.solve(mix);
+            assert_eq!(reused.article_scores, fresh.article_scores);
+            assert_eq!(reused.venue_scores, fresh.venue_scores);
+            assert_eq!(reused.author_scores, fresh.author_scores);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_solve() {
+        let c = scholar_corpus::CorpusBuilder::new().finish().unwrap();
+        let engine = QRankEngine::build(&c, &QRankConfig::default());
+        let res = engine.solve(&MixParams::from_config(&QRankConfig::default()));
+        assert!(res.article_scores.is_empty());
+        assert!(res.outer.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_mix_panics() {
+        let mix = MixParams {
+            lambda_article: 0.5,
+            lambda_venue: 0.5,
+            lambda_author: 0.5,
+            mu_venue: 0.5,
+            mu_author: 0.5,
+            maturity_years: 0.0,
+            outer_tol: 1e-10,
+            outer_max_iter: 100,
+        };
+        mix.assert_valid();
+    }
+}

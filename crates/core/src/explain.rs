@@ -7,6 +7,7 @@
 //! both for debugging rankings and as end-user provenance.
 
 use crate::config::QRankConfig;
+use crate::engine::QRankEngine;
 use crate::hetnet::HetNet;
 use crate::qrank::QRankResult;
 use scholar_corpus::{ArticleId, Corpus};
@@ -39,20 +40,40 @@ pub struct Explanation {
 pub struct Explainer<'a> {
     corpus: &'a Corpus,
     result: &'a QRankResult,
-    net: HetNet,
+    net: std::borrow::Cow<'a, HetNet>,
     venue_term: Vec<f64>,
     author_term: Vec<f64>,
 }
 
 impl<'a> Explainer<'a> {
     /// Build an explainer (reconstructs the heterogeneous network once).
+    /// When a prepared [`QRankEngine`] for the same corpus/config is at
+    /// hand, [`Self::from_engine`] borrows its network instead.
     pub fn new(corpus: &'a Corpus, config: &QRankConfig, result: &'a QRankResult) -> Self {
+        let net = HetNet::build(corpus, config);
+        Self::with_net(corpus, std::borrow::Cow::Owned(net), result)
+    }
+
+    /// Build an explainer against a prepared engine, reusing its cached
+    /// heterogeneous network instead of deriving a fresh one.
+    pub fn from_engine(
+        corpus: &'a Corpus,
+        engine: &'a QRankEngine,
+        result: &'a QRankResult,
+    ) -> Self {
+        Self::with_net(corpus, std::borrow::Cow::Borrowed(engine.net()), result)
+    }
+
+    fn with_net(
+        corpus: &'a Corpus,
+        net: std::borrow::Cow<'a, HetNet>,
+        result: &'a QRankResult,
+    ) -> Self {
         assert_eq!(
             result.article_scores.len(),
             corpus.num_articles(),
             "result does not match corpus"
         );
-        let net = HetNet::build(corpus, config);
         let mut venue_term = net.publication.aggregate_to_right(&result.venue_scores);
         normalize_l1(&mut venue_term);
         let mut author_term = net.authorship.aggregate_to_right(&result.author_scores);
@@ -62,18 +83,20 @@ impl<'a> Explainer<'a> {
 
     /// Explain one article, reporting at most `max_citers` contributing
     /// citers.
-    pub fn explain(&self, article: ArticleId, max_citers: usize, config: &QRankConfig) -> Explanation {
+    pub fn explain(
+        &self,
+        article: ArticleId,
+        max_citers: usize,
+        config: &QRankConfig,
+    ) -> Explanation {
         let i = article.index();
         assert!(i < self.corpus.num_articles(), "article {article} out of bounds");
         let p = config.lambda_article * self.result.twpr_scores[i];
         let v = config.lambda_venue * self.venue_term[i];
         let u = config.lambda_author * self.author_term[i];
         let total = p + v + u;
-        let (citation_share, venue_share, author_share) = if total > 0.0 {
-            (p / total, v / total, u / total)
-        } else {
-            (0.0, 0.0, 0.0)
-        };
+        let (citation_share, venue_share, author_share) =
+            if total > 0.0 { (p / total, v / total, u / total) } else { (0.0, 0.0, 0.0) };
 
         // In-flow decomposition of the TWPR signal: contribution of citer
         // c is twpr[c] · transition(c → article), using the decayed edge
@@ -210,6 +233,22 @@ mod tests {
         assert!(text.contains("classic"));
         assert!(text.contains("signal mix"));
         assert!(text.contains("in-flow"));
+    }
+
+    #[test]
+    fn from_engine_matches_fresh_explainer() {
+        let (c, cfg, res) = setup();
+        let engine = crate::engine::QRankEngine::build(&c, &cfg);
+        let fresh = Explainer::new(&c, &cfg, &res);
+        let reused = Explainer::from_engine(&c, &engine, &res);
+        for i in 0..c.num_articles() {
+            let a = fresh.explain(ArticleId(i as u32), 5, &cfg);
+            let b = reused.explain(ArticleId(i as u32), 5, &cfg);
+            assert_eq!(a.citation_share, b.citation_share);
+            assert_eq!(a.venue_share, b.venue_share);
+            assert_eq!(a.author_share, b.author_share);
+            assert_eq!(a.top_citers, b.top_citers);
+        }
     }
 
     #[test]

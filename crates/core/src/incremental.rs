@@ -9,15 +9,24 @@
 //! old scores into the grown id space as the warm start.
 
 use crate::config::QRankConfig;
-use crate::qrank::{QRank, QRankResult};
+use crate::engine::{MixParams, QRankEngine};
+use crate::qrank::QRankResult;
 use scholar_corpus::model::Article;
 use scholar_corpus::Corpus;
 
 /// Maintains a QRank ranking across corpus updates.
-#[derive(Debug, Clone)]
+///
+/// Holds the prepared [`QRankEngine`] for the current corpus, so
+/// mixture-only re-solves (and score explanations via
+/// [`crate::Explainer::from_engine`]) come free between updates; each
+/// [`IncrementalRanker::extend`] rebuilds the plan for the grown corpus
+/// and warm-starts the inner walk from the previous scores — the warm
+/// path never pays for the cold citation walk.
+#[derive(Debug)]
 pub struct IncrementalRanker {
     config: QRankConfig,
     corpus: Corpus,
+    engine: QRankEngine,
     result: QRankResult,
 }
 
@@ -34,13 +43,19 @@ impl IncrementalRanker {
     /// Rank `corpus` from scratch and start tracking it.
     pub fn new(config: QRankConfig, corpus: Corpus) -> Self {
         config.assert_valid();
-        let result = QRank::new(config.clone()).run(&corpus);
-        IncrementalRanker { config, corpus, result }
+        let engine = QRankEngine::build(&corpus, &config);
+        let result = engine.solve(&MixParams::from_config(&config));
+        IncrementalRanker { config, corpus, engine, result }
     }
 
     /// The current corpus.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
+    }
+
+    /// The prepared engine for the current corpus.
+    pub fn engine(&self) -> &QRankEngine {
+        &self.engine
     }
 
     /// The current ranking.
@@ -63,12 +78,14 @@ impl IncrementalRanker {
         // Old scores as warm start, zero for the newcomers.
         let mut warm = vec![0.0f64; new_n];
         warm[..old_n].copy_from_slice(&self.result.article_scores);
-        let result = QRank::new(self.config.clone()).run_warm(&grown, Some(warm));
+        let engine = QRankEngine::build(&grown, &self.config);
+        let result = engine.solve_warm(&MixParams::from_config(&self.config), Some(&warm));
         let stats = UpdateStats {
             added_articles: new_n - old_n,
             warm_iterations: result.twpr_diagnostics.iterations,
         };
         self.corpus = grown;
+        self.engine = engine;
         self.result = result;
         stats
     }
@@ -98,6 +115,7 @@ pub fn grow_corpus(base: &Corpus, batch: Vec<Article>) -> Corpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qrank::QRank;
     use scholar_corpus::generator::Preset;
     use scholar_corpus::model::{ArticleId, AuthorId, VenueId};
     use scholar_corpus::snapshot_until;
@@ -118,10 +136,8 @@ mod tests {
     fn grow_preserves_base() {
         let base = Preset::Tiny.generate(40);
         let n = base.num_articles();
-        let grown = grow_corpus(
-            &base,
-            vec![batch_article(0, 2011, vec![ArticleId(0), ArticleId(5)])],
-        );
+        let grown =
+            grow_corpus(&base, vec![batch_article(0, 2011, vec![ArticleId(0), ArticleId(5)])]);
         assert_eq!(grown.num_articles(), n + 1);
         assert_eq!(grown.num_venues(), base.num_venues());
         assert_eq!(grown.num_authors(), base.num_authors());
@@ -138,9 +154,7 @@ mod tests {
         let mut inc = IncrementalRanker::new(QRankConfig::default(), base.clone());
         let grown = grow_corpus(
             &base,
-            (0..20)
-                .map(|i| batch_article(i, 2011, vec![ArticleId((i * 7 % 50) as u32)]))
-                .collect(),
+            (0..20).map(|i| batch_article(i, 2011, vec![ArticleId((i * 7 % 50) as u32)])).collect(),
         );
         let stats = inc.extend(grown.clone());
         assert_eq!(stats.added_articles, 20);
@@ -178,11 +192,7 @@ mod tests {
                 year: a.year,
                 venue: a.venue,
                 authors: a.authors.clone(),
-                references: a
-                    .references
-                    .iter()
-                    .filter_map(|&r| snap.to_snapshot(r))
-                    .collect(),
+                references: a.references.iter().filter_map(|&r| snap.to_snapshot(r)).collect(),
                 merit: a.merit,
             })
             .collect();

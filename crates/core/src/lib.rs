@@ -39,10 +39,32 @@
 //! let scores = QRank::default().rank(&corpus);
 //! assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
+//!
+//! ## Build once, solve many
+//!
+//! [`QRank::run`] rebuilds the heterogeneous network and re-runs the
+//! structural walks every call. Parameter sweeps, ablations, and tuning
+//! grids vary only the mixture parameters, so they should prepare a
+//! [`QRankEngine`] once and solve many times:
+//!
+//! ```
+//! use qrank::{MixParams, QRankConfig, QRankEngine};
+//! use scholar_corpus::generator::Preset;
+//!
+//! let corpus = Preset::Tiny.generate(42);
+//! let base = QRankConfig::default();
+//! let engine = QRankEngine::build(&corpus, &base); // expensive, once
+//! for lambda_venue in [0.05, 0.10, 0.15] {
+//!     let cfg = base.clone().with_lambdas(0.9 - lambda_venue, lambda_venue, 0.1);
+//!     let res = engine.solve(&MixParams::from_config(&cfg)); // cheap
+//!     assert!(res.outer.converged);
+//! }
+//! ```
 
 pub mod ablation;
 pub mod cold_start;
 pub mod config;
+pub mod engine;
 pub mod explain;
 pub mod hetnet;
 pub mod incremental;
@@ -51,6 +73,7 @@ pub mod qrank;
 pub use ablation::Ablation;
 pub use cold_start::ColdStartScorer;
 pub use config::QRankConfig;
+pub use engine::{MixParams, QRankEngine, SolveScratch};
 pub use explain::{Explainer, Explanation};
 pub use hetnet::HetNet;
 pub use incremental::{grow_corpus, IncrementalRanker, UpdateStats};

@@ -2,13 +2,10 @@
 //! reinforcement.
 
 use crate::config::QRankConfig;
-use crate::hetnet::HetNet;
+use crate::engine::{MixParams, QRankEngine};
 use scholar_corpus::Corpus;
 use scholar_rank::diagnostics::Diagnostics;
-use scholar_rank::pagerank::{pagerank_on_graph, pagerank_on_graph_warm};
-use scholar_rank::{Ranker, TimeWeightedPageRank};
-use sgraph::stochastic::{l1_distance, normalize_l1};
-use sgraph::JumpVector;
+use scholar_rank::Ranker;
 
 /// The QRank ranker. See the crate docs for the model.
 #[derive(Debug, Clone, Default)]
@@ -52,129 +49,14 @@ impl QRank {
     /// articles can be 0 — the vector is renormalized). Warm-starting the
     /// inner citation walk is what makes incremental re-ranking after a
     /// corpus update cheap (see [`crate::incremental`]).
+    ///
+    /// This is `QRankEngine::build` + one solve; callers that vary only
+    /// mixture parameters across runs should hold a [`QRankEngine`] and
+    /// call [`QRankEngine::solve`] to skip the rebuild.
     pub fn run_warm(&self, corpus: &Corpus, warm_start: Option<Vec<f64>>) -> QRankResult {
-        let cfg = &self.config;
-        cfg.assert_valid();
-        let n = corpus.num_articles();
-        if n == 0 {
-            return QRankResult {
-                article_scores: Vec::new(),
-                venue_scores: vec![0.0; corpus.num_venues()],
-                author_scores: vec![0.0; corpus.num_authors()],
-                twpr_scores: Vec::new(),
-                twpr_diagnostics: Diagnostics::closed_form(),
-                outer: Diagnostics::closed_form(),
-            };
-        }
-
-        let net = HetNet::build(corpus, cfg);
-        let now = cfg.twpr.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
-
-        // ---- Stage 1: the three structural walks. ----
-        let jump = TimeWeightedPageRank::recency_jump(corpus, cfg.twpr.tau, now);
-        // A zero-mass warm start (e.g. every score fell outside the new
-        // corpus) would be rejected by the power iteration; drop it.
-        let warm = warm_start.filter(|w| w.len() == n && w.iter().sum::<f64>() > 0.0);
-        let (twpr_scores, twpr_diagnostics) =
-            pagerank_on_graph_warm(&net.citation, &cfg.twpr.pagerank, jump, warm);
-
-        let (mut sv, _) =
-            pagerank_on_graph(&net.venue_graph, &cfg.twpr.pagerank, JumpVector::Uniform);
-        let (mut su, _) =
-            pagerank_on_graph(&net.author_graph, &cfg.twpr.pagerank, JumpVector::Uniform);
-        normalize_l1(&mut sv);
-        normalize_l1(&mut su);
-
-        // ---- Stage 2: outer mutual-reinforcement fixpoint. ----
-        // Age-adaptive per-article weights: the citation signal of an
-        // article of age `a` has only matured by `g = 1 − exp(−a/σ)`; the
-        // remainder of its λ_P spills to the venue/author priors
-        // (proportionally to λ_V : λ_U), which exist from day one.
-        let sigma = cfg.maturity_years;
-        let prior_total = cfg.lambda_venue + cfg.lambda_author;
-        let weights: Vec<(f64, f64, f64)> = corpus
-            .articles()
-            .iter()
-            .map(|a| {
-                let g = if sigma > 0.0 {
-                    let age = (now - a.year).max(0) as f64;
-                    1.0 - (-age / sigma).exp()
-                } else {
-                    1.0
-                };
-                let spill = (1.0 - g) * cfg.lambda_article;
-                if prior_total > 0.0 {
-                    (
-                        cfg.lambda_article * g,
-                        cfg.lambda_venue + spill * (cfg.lambda_venue / prior_total),
-                        cfg.lambda_author + spill * (cfg.lambda_author / prior_total),
-                    )
-                } else {
-                    // No priors configured: nothing to spill into.
-                    (cfg.lambda_article, 0.0, 0.0)
-                }
-            })
-            .collect();
-
-        let mut f = twpr_scores.clone();
-        let mut venue_scores = vec![0.0; net.num_venues()];
-        let mut author_scores = vec![0.0; net.num_authors()];
-        let mut residuals = Vec::new();
-        let mut converged = false;
-        let mut iterations = 0;
-
-        while iterations < cfg.outer_max_iter {
-            // Aggregated venue/author scores from current article scores.
-            let mut av = net.publication.aggregate_to_left(&f);
-            normalize_l1(&mut av);
-            let mut au = net.authorship.aggregate_to_left(&f);
-            normalize_l1(&mut au);
-
-            // Blend structural and aggregated prestige.
-            venue_scores = blend(&sv, &av, cfg.mu_venue);
-            author_scores = blend(&su, &au, cfg.mu_author);
-
-            // Push venue/author prestige back down to articles.
-            let mut venue_term = net.publication.aggregate_to_right(&venue_scores);
-            normalize_l1(&mut venue_term);
-            let mut author_term = net.authorship.aggregate_to_right(&author_scores);
-            normalize_l1(&mut author_term);
-
-            let mut next: Vec<f64> = (0..n)
-                .map(|i| {
-                    let (wp, wv, wu) = weights[i];
-                    wp * twpr_scores[i] + wv * venue_term[i] + wu * author_term[i]
-                })
-                .collect();
-            normalize_l1(&mut next);
-
-            iterations += 1;
-            let r = l1_distance(&f, &next);
-            residuals.push(r);
-            f = next;
-            if r < cfg.outer_tol {
-                converged = true;
-                break;
-            }
-        }
-
-        QRankResult {
-            article_scores: f,
-            venue_scores,
-            author_scores,
-            twpr_scores,
-            twpr_diagnostics,
-            outer: Diagnostics { iterations, converged, residuals },
-        }
+        let engine = QRankEngine::build(corpus, &self.config);
+        engine.solve_warm(&MixParams::from_config(&self.config), warm_start.as_deref())
     }
-}
-
-/// `mu·a + (1-mu)·b`, renormalized to sum 1 (inputs are distributions).
-fn blend(a: &[f64], b: &[f64], mu: f64) -> Vec<f64> {
-    debug_assert_eq!(a.len(), b.len());
-    let mut out: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| mu * x + (1.0 - mu) * y).collect();
-    normalize_l1(&mut out);
-    out
 }
 
 impl Ranker for QRank {
@@ -193,6 +75,7 @@ mod tests {
     use scholar_corpus::generator::Preset;
     use scholar_corpus::CorpusBuilder;
     use scholar_rank::TwprConfig;
+    use sgraph::stochastic::l1_distance;
 
     fn assert_distribution(v: &[f64]) {
         assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9, "sum {}", v.iter().sum::<f64>());
@@ -280,12 +163,8 @@ mod tests {
         let c = Preset::Tiny.generate(3);
         let res = QRank::default().run(&c);
         let last_year = c.year_range().unwrap().1;
-        let fresh: Vec<usize> = c
-            .articles()
-            .iter()
-            .filter(|a| a.year == last_year)
-            .map(|a| a.id.index())
-            .collect();
+        let fresh: Vec<usize> =
+            c.articles().iter().filter(|a| a.year == last_year).map(|a| a.id.index()).collect();
         assert!(!fresh.is_empty());
         for &i in &fresh {
             assert!(res.article_scores[i] > 0.0);
@@ -333,21 +212,10 @@ mod tests {
     }
 
     #[test]
-    fn blend_endpoints() {
-        let a = vec![1.0, 0.0];
-        let b = vec![0.0, 1.0];
-        assert_eq!(blend(&a, &b, 1.0), a);
-        assert_eq!(blend(&a, &b, 0.0), b);
-        let half = blend(&a, &b, 0.5);
-        assert!((half[0] - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
     fn zero_mass_warm_start_is_dropped() {
         let c = Preset::Tiny.generate(8);
         let cold = QRank::default().run(&c);
-        let warm =
-            QRank::default().run_warm(&c, Some(vec![0.0; c.num_articles()]));
+        let warm = QRank::default().run_warm(&c, Some(vec![0.0; c.num_articles()]));
         assert_eq!(cold.article_scores, warm.article_scores);
         // Wrong-length warm start is also dropped rather than panicking.
         let short = QRank::default().run_warm(&c, Some(vec![1.0; 3]));

@@ -71,11 +71,7 @@ pub fn venue_insularity(corpus: &Corpus) -> Vec<f64> {
             }
         }
     }
-    intra
-        .iter()
-        .zip(&total)
-        .map(|(&i, &t)| if t > 0 { i as f64 / t as f64 } else { 0.0 })
-        .collect()
+    intra.iter().zip(&total).map(|(&i, &t)| if t > 0 { i as f64 / t as f64 } else { 0.0 }).collect()
 }
 
 /// Per-author h-index computed from within-corpus citations.
@@ -85,8 +81,7 @@ pub fn h_index(corpus: &Corpus) -> Vec<u32> {
         .articles_by_author()
         .into_iter()
         .map(|articles| {
-            let mut cs: Vec<u32> =
-                articles.iter().map(|&a| counts[a.index()]).collect();
+            let mut cs: Vec<u32> = articles.iter().map(|&a| counts[a.index()]).collect();
             cs.sort_unstable_by(|a, b| b.cmp(a));
             let mut h = 0u32;
             for (i, &c) in cs.iter().enumerate() {

@@ -160,8 +160,7 @@ impl Corpus {
     where
         F: FnMut(&Article, &Article) -> f64,
     {
-        let mut b =
-            GraphBuilder::new(self.authors.len() as u32).self_loops(!drop_self_citations);
+        let mut b = GraphBuilder::new(self.authors.len() as u32).self_loops(!drop_self_citations);
         for a in &self.articles {
             if a.authors.is_empty() {
                 continue;
@@ -346,10 +345,7 @@ impl CorpusBuilder {
                     });
                 }
                 if self.reject_time_travel && years[r.index()] > art.year {
-                    return Err(CorpusError::TimeTravelCitation {
-                        citing: art.id.0,
-                        cited: r.0,
-                    });
+                    return Err(CorpusError::TimeTravelCitation { citing: art.id.0, cited: r.0 });
                 }
             }
         }
@@ -467,7 +463,7 @@ mod tests {
         let with_self_dropped = c.author_graph(|_, _| 1.0, true);
         assert!(!with_self_dropped.has_edge(NodeId(0), NodeId(0)));
         assert!(with_self_dropped.has_edge(NodeId(1), NodeId(0))); // u1 cites u0
-        // Total weight should be < 4 citations since self-edges were dropped.
+                                                                   // Total weight should be < 4 citations since self-edges were dropped.
         let with_self_kept = c.author_graph(|_, _| 1.0, false);
         // Self-loop u0->u0 appears when kept.
         assert!(with_self_kept.has_edge(NodeId(0), NodeId(0)));
@@ -489,25 +485,16 @@ mod tests {
         let mut b = CorpusBuilder::new();
         let v = b.venue("V");
         b.add_article("t", 2000, v, vec![AuthorId(9)], vec![], None);
-        assert!(matches!(
-            b.finish(),
-            Err(CorpusError::DanglingReference { kind: "author", .. })
-        ));
+        assert!(matches!(b.finish(), Err(CorpusError::DanglingReference { kind: "author", .. })));
 
         let mut b = CorpusBuilder::new();
         let v = b.venue("V");
         b.add_article("t", 2000, v, vec![], vec![ArticleId(7)], None);
-        assert!(matches!(
-            b.finish(),
-            Err(CorpusError::DanglingReference { kind: "article", .. })
-        ));
+        assert!(matches!(b.finish(), Err(CorpusError::DanglingReference { kind: "article", .. })));
 
         let mut b = CorpusBuilder::new();
         b.add_article("t", 2000, VenueId(3), vec![], vec![], None);
-        assert!(matches!(
-            b.finish(),
-            Err(CorpusError::DanglingReference { kind: "venue", .. })
-        ));
+        assert!(matches!(b.finish(), Err(CorpusError::DanglingReference { kind: "venue", .. })));
     }
 
     #[test]

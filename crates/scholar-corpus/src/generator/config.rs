@@ -99,9 +99,7 @@ impl GeneratorConfig {
 
     /// Rough total article count across all years.
     pub fn expected_total_articles(&self) -> f64 {
-        (self.start_year..=self.end_year)
-            .map(|y| self.expected_articles_in(y))
-            .sum()
+        (self.start_year..=self.end_year).map(|y| self.expected_articles_in(y)).sum()
     }
 
     /// Panic with a clear message if the configuration is nonsensical.

@@ -3,8 +3,8 @@
 use super::config::GeneratorConfig;
 use crate::corpus::{Corpus, CorpusBuilder};
 use crate::model::{ArticleId, AuthorId, VenueId, Year};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use srand::rngs::SmallRng;
+use srand::{Rng, SeedableRng};
 
 /// Runs the generative process described in [`crate::generator`].
 ///
@@ -47,11 +47,9 @@ impl CorpusGenerator {
             .map(|k| 1.0 / ((k + 1) as f64).powf(cfg.venue_zipf_exponent))
             .collect();
         let max_prestige = venue_prestige[0];
-        let selectivity: Vec<f64> =
-            venue_prestige.iter().map(|&p| p / max_prestige).collect();
-        let venue_ids: Vec<VenueId> = (0..cfg.num_venues)
-            .map(|k| builder.venue(&format!("Venue-{k:04}")))
-            .collect();
+        let selectivity: Vec<f64> = venue_prestige.iter().map(|&p| p / max_prestige).collect();
+        let venue_ids: Vec<VenueId> =
+            (0..cfg.num_venues).map(|k| builder.venue(&format!("Venue-{k:04}"))).collect();
 
         // ---- Author pool (grows lazily). ----
         let mut author_ability: Vec<f64> = Vec::new();
@@ -118,15 +116,13 @@ impl CorpusGenerator {
                 // The article's standing within the merit distribution is
                 // known analytically for the log-normal base (before the
                 // ability boost we use the combined value's log directly).
-                let merit_z = ((base_merit.ln() - cfg.merit_mu)
-                    / cfg.merit_sigma.max(1e-9))
-                .clamp(-3.0, 3.0);
+                let merit_z =
+                    ((base_merit.ln() - cfg.merit_mu) / cfg.merit_sigma.max(1e-9)).clamp(-3.0, 3.0);
                 let percentile = 0.5 * (1.0 + erf(merit_z / std::f64::consts::SQRT_2));
                 let exponent = 1.0 + cfg.venue_merit_coupling * percentile;
                 let venue_idx = self.pick_venue(&venue_prestige, exponent);
                 let venue = venue_ids[venue_idx];
-                let merit =
-                    base_merit * (1.0 + cfg.venue_merit_boost * selectivity[venue_idx]);
+                let merit = base_merit * (1.0 + cfg.venue_merit_boost * selectivity[venue_idx]);
 
                 // ---- References (strictly older articles). ----
                 let refs = self.pick_references(
@@ -350,10 +346,9 @@ mod tests {
         // Split by merit median; compare mean citations.
         pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
         let half = pairs.len() / 2;
-        let low_mean: f64 =
-            pairs[..half].iter().map(|p| p.1 as f64).sum::<f64>() / half as f64;
-        let high_mean: f64 = pairs[half..].iter().map(|p| p.1 as f64).sum::<f64>()
-            / (pairs.len() - half) as f64;
+        let low_mean: f64 = pairs[..half].iter().map(|p| p.1 as f64).sum::<f64>() / half as f64;
+        let high_mean: f64 =
+            pairs[half..].iter().map(|p| p.1 as f64).sum::<f64>() / (pairs.len() - half) as f64;
         assert!(
             high_mean > 1.5 * low_mean,
             "high-merit articles should be cited clearly more ({high_mean:.2} vs {low_mean:.2})"
@@ -373,11 +368,8 @@ mod tests {
             ids.iter().map(|&i| c.article(i).merit.unwrap()).sum::<f64>() / ids.len() as f64
         };
         let top = mean_merit(&by_venue[0]);
-        let tail_ids: Vec<ArticleId> = by_venue[by_venue.len() / 2..]
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let tail_ids: Vec<ArticleId> =
+            by_venue[by_venue.len() / 2..].iter().flatten().copied().collect();
         let tail = mean_merit(&tail_ids);
         assert!(
             top > tail,

@@ -75,7 +75,7 @@ pub enum CorpusError {
     /// Underlying IO failure.
     Io(std::io::Error),
     /// Underlying JSON failure.
-    Json(serde_json::Error),
+    Json(sjson::Error),
 }
 
 impl std::fmt::Display for CorpusError {
@@ -87,7 +87,9 @@ impl std::fmt::Display for CorpusError {
             CorpusError::TimeTravelCitation { citing, cited } => {
                 write!(f, "article {citing} cites article {cited} published later")
             }
-            CorpusError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            CorpusError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             CorpusError::Io(e) => write!(f, "io error: {e}"),
             CorpusError::Json(e) => write!(f, "json error: {e}"),
         }
@@ -110,8 +112,8 @@ impl From<std::io::Error> for CorpusError {
     }
 }
 
-impl From<serde_json::Error> for CorpusError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<sjson::Error> for CorpusError {
+    fn from(e: sjson::Error) -> Self {
         CorpusError::Json(e)
     }
 }

@@ -237,10 +237,8 @@ P95-2002 ==> X99-9999
 
     #[test]
     fn unknown_citation_error_policy() {
-        let opts = LoadOptions {
-            unknown_references: UnknownReferencePolicy::Error,
-            ..Default::default()
-        };
+        let opts =
+            LoadOptions { unknown_references: UnknownReferencePolicy::Error, ..Default::default() };
         assert!(read_aan(META.as_bytes(), CITES.as_bytes(), &opts).is_err());
     }
 

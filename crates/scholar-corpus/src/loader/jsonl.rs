@@ -15,30 +15,96 @@ use super::{IdInterner, LoadOptions, UnknownReferencePolicy};
 use crate::corpus::{Corpus, CorpusBuilder};
 use crate::model::Year;
 use crate::{CorpusError, Result};
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// The wire shape of one article record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JsonArticle {
     /// External article id (any string).
     pub id: String,
     /// Title.
-    #[serde(default)]
     pub title: String,
     /// Publication year (optional in the wild).
-    #[serde(default)]
     pub year: Option<Year>,
     /// Venue name.
-    #[serde(default)]
     pub venue: Option<String>,
     /// Author names in byline order.
-    #[serde(default)]
     pub authors: Vec<String>,
     /// External ids of cited articles.
-    #[serde(default)]
     pub references: Vec<String>,
+}
+
+impl JsonArticle {
+    /// Decode one record from a parsed JSON object. Missing fields other
+    /// than `id` take their defaults; wrongly-typed fields are an error.
+    pub fn from_value(v: &sjson::Value) -> std::result::Result<Self, String> {
+        let obj = v.as_object().ok_or("record must be a JSON object")?;
+        let mut rec = JsonArticle::default();
+        let mut has_id = false;
+        for (key, val) in obj {
+            match key.as_str() {
+                "id" => {
+                    rec.id = val.as_str().ok_or("'id' must be a string")?.to_string();
+                    has_id = true;
+                }
+                "title" => {
+                    rec.title = val.as_str().ok_or("'title' must be a string")?.to_string();
+                }
+                "year" if !val.is_null() => {
+                    let y = val.as_i64().ok_or("'year' must be an integer")?;
+                    let y = i32::try_from(y).map_err(|_| "'year' out of range")?;
+                    rec.year = Some(y);
+                }
+                "venue" if !val.is_null() => {
+                    rec.venue = Some(val.as_str().ok_or("'venue' must be a string")?.to_string());
+                }
+                "authors" => {
+                    rec.authors = string_array(val, "authors")?;
+                }
+                "references" => {
+                    rec.references = string_array(val, "references")?;
+                }
+                _ => {} // tolerate unknown fields from richer dumps
+            }
+        }
+        if !has_id {
+            return Err("missing field 'id'".into());
+        }
+        Ok(rec)
+    }
+
+    /// Encode this record as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let strings = |xs: &[String]| {
+            sjson::Value::Array(xs.iter().map(|s| sjson::Value::from(s.as_str())).collect())
+        };
+        let mut b = sjson::ObjectBuilder::new()
+            .field("id", self.id.as_str())
+            .field("title", self.title.as_str());
+        if let Some(y) = self.year {
+            b = b.field("year", y);
+        }
+        if let Some(v) = &self.venue {
+            b = b.field("venue", v.as_str());
+        }
+        b.field("authors", strings(&self.authors))
+            .field("references", strings(&self.references))
+            .build()
+            .to_string_compact()
+    }
+}
+
+fn string_array(v: &sjson::Value, field: &str) -> std::result::Result<Vec<String>, String> {
+    let items = v.as_array().ok_or_else(|| format!("'{field}' must be an array"))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{field}' must contain strings"))
+        })
+        .collect()
 }
 
 /// Read a corpus from JSON-lines text.
@@ -51,10 +117,13 @@ pub fn read_jsonl<R: Read>(reader: R, opts: &LoadOptions) -> Result<Corpus> {
         if trimmed.is_empty() {
             continue;
         }
-        let rec: JsonArticle = serde_json::from_str(trimmed).map_err(|e| CorpusError::Parse {
-            line: lineno + 1,
-            message: format!("bad json record: {e}"),
-        })?;
+        let rec = sjson::parse(trimmed)
+            .map_err(|e| e.to_string())
+            .and_then(|v| JsonArticle::from_value(&v))
+            .map_err(|e| CorpusError::Parse {
+                line: lineno + 1,
+                message: format!("bad json record: {e}"),
+            })?;
         if opts.drop_yearless && rec.year.is_none() {
             continue;
         }
@@ -119,7 +188,7 @@ pub fn write_jsonl<W: Write>(corpus: &Corpus, writer: W) -> Result<()> {
             authors: a.authors.iter().map(|&u| corpus.author(u).name.clone()).collect(),
             references: a.references.iter().map(|r| r.to_string()).collect(),
         };
-        serde_json::to_writer(&mut w, &rec)?;
+        w.write_all(rec.to_json_line().as_bytes())?;
         w.write_all(b"\n")?;
     }
     w.flush()?;
@@ -162,10 +231,8 @@ mod tests {
 
     #[test]
     fn unknown_reference_error_policy() {
-        let opts = LoadOptions {
-            unknown_references: UnknownReferencePolicy::Error,
-            ..Default::default()
-        };
+        let opts =
+            LoadOptions { unknown_references: UnknownReferencePolicy::Error, ..Default::default() };
         let err = read_jsonl(SAMPLE.as_bytes(), &opts).unwrap_err();
         assert!(err.to_string().contains("GHOST"));
     }
@@ -201,11 +268,9 @@ mod tests {
         let keep = read_jsonl(text.as_bytes(), &LoadOptions::default()).unwrap();
         assert_eq!(keep.num_articles(), 2);
         assert_eq!(keep.article(ArticleId(0)).year, 0);
-        let drop = read_jsonl(
-            text.as_bytes(),
-            &LoadOptions { drop_yearless: true, ..Default::default() },
-        )
-        .unwrap();
+        let drop =
+            read_jsonl(text.as_bytes(), &LoadOptions { drop_yearless: true, ..Default::default() })
+                .unwrap();
         assert_eq!(drop.num_articles(), 1);
     }
 

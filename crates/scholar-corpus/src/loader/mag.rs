@@ -150,12 +150,8 @@ pub fn read_mag<R1: Read, R2: Read, R3: Read>(
         } else {
             builder.venue(&row.venue)
         };
-        let authors =
-            bylines[i].iter().map(|(_, _, name)| builder.author(name)).collect();
-        let references = refs[i]
-            .iter()
-            .map(|&j| crate::model::ArticleId(j as u32))
-            .collect();
+        let authors = bylines[i].iter().map(|(_, _, name)| builder.author(name)).collect();
+        let references = refs[i].iter().map(|&j| crate::model::ArticleId(j as u32)).collect();
         builder.add_article(&row.title, row.year.unwrap_or(0), venue, authors, references, None);
     }
     builder.finish()
@@ -181,29 +177,22 @@ mod tests {
     use super::*;
     use crate::model::ArticleId;
 
-    const PAPERS: &str = "P1\t1990\tVLDB\tFirst Paper\nP2\t1995\tICDE\tSecond Paper\nP3\t\t\tYearless\n";
+    const PAPERS: &str =
+        "P1\t1990\tVLDB\tFirst Paper\nP2\t1995\tICDE\tSecond Paper\nP3\t\t\tYearless\n";
     const AUTH: &str = "P1\tAda\t1\nP2\tBob\t2\nP2\tAda\t1\nP9\tGhost\t1\n";
     const REFS: &str = "P2\tP1\nP2\tP9\n";
 
     #[test]
     fn loads_three_tables() {
-        let c = read_mag(
-            PAPERS.as_bytes(),
-            AUTH.as_bytes(),
-            REFS.as_bytes(),
-            &LoadOptions::default(),
-        )
-        .unwrap();
+        let c =
+            read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &LoadOptions::default())
+                .unwrap();
         assert_eq!(c.num_articles(), 3);
         assert_eq!(c.article(ArticleId(0)).title, "First Paper");
         assert_eq!(c.article(ArticleId(1)).references, vec![ArticleId(0)]);
         // Byline ordered by position column, not file order.
-        let byline: Vec<&str> = c
-            .article(ArticleId(1))
-            .authors
-            .iter()
-            .map(|&u| c.author(u).name.as_str())
-            .collect();
+        let byline: Vec<&str> =
+            c.article(ArticleId(1)).authors.iter().map(|&u| c.author(u).name.as_str()).collect();
         assert_eq!(byline, vec!["Ada", "Bob"]);
         // Yearless paper kept with year 0 by default.
         assert_eq!(c.article(ArticleId(2)).year, 0);
@@ -224,10 +213,8 @@ mod tests {
 
     #[test]
     fn error_policy_on_unknown_ids() {
-        let opts = LoadOptions {
-            unknown_references: UnknownReferencePolicy::Error,
-            ..Default::default()
-        };
+        let opts =
+            LoadOptions { unknown_references: UnknownReferencePolicy::Error, ..Default::default() };
         // Ghost authorship row P9 trips first.
         assert!(read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &opts).is_err());
         // Without the ghost authorship, the ghost reference trips.
@@ -265,31 +252,18 @@ mod tests {
     #[test]
     fn missing_position_sorts_last() {
         let auth = "P1\tZed\t\nP1\tAda\t1\n";
-        let c = read_mag(
-            PAPERS.as_bytes(),
-            auth.as_bytes(),
-            "".as_bytes(),
-            &LoadOptions::default(),
-        )
-        .unwrap();
-        let byline: Vec<&str> = c
-            .article(ArticleId(0))
-            .authors
-            .iter()
-            .map(|&u| c.author(u).name.as_str())
-            .collect();
+        let c =
+            read_mag(PAPERS.as_bytes(), auth.as_bytes(), "".as_bytes(), &LoadOptions::default())
+                .unwrap();
+        let byline: Vec<&str> =
+            c.article(ArticleId(0)).authors.iter().map(|&u| c.author(u).name.as_str()).collect();
         assert_eq!(byline, vec!["Ada", "Zed"]);
     }
 
     #[test]
     fn empty_tables() {
-        let c = read_mag(
-            "".as_bytes(),
-            "".as_bytes(),
-            "".as_bytes(),
-            &LoadOptions::default(),
-        )
-        .unwrap();
+        let c =
+            read_mag("".as_bytes(), "".as_bytes(), "".as_bytes(), &LoadOptions::default()).unwrap();
         assert_eq!(c.num_articles(), 0);
     }
 }

@@ -1,17 +1,12 @@
 //! Core entity types: articles, authors, venues.
 
-use serde::{Deserialize, Serialize};
-
 /// Publication year. The stack never needs finer time granularity.
 pub type Year = i32;
 
 macro_rules! dense_id {
     ($(#[$meta:meta])* $name:ident) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -62,7 +57,7 @@ dense_id! {
 }
 
 /// One scholarly article.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Article {
     /// Dense id; always equals this article's position in the corpus table.
     pub id: ArticleId,
@@ -80,12 +75,11 @@ pub struct Article {
     /// `None` for articles loaded from real datasets. Used **only** by the
     /// evaluation crate to derive ground truth — no ranking algorithm may
     /// read it.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub merit: Option<f64>,
 }
 
 /// One author.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Author {
     /// Dense id; equals the position in the corpus author table.
     pub id: AuthorId,
@@ -94,7 +88,7 @@ pub struct Author {
 }
 
 /// One publication venue (conference or journal).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Venue {
     /// Dense id; equals the position in the corpus venue table.
     pub id: VenueId,
@@ -143,37 +137,6 @@ mod tests {
         assert_eq!(std::mem::size_of::<ArticleId>(), 4);
         assert_eq!(std::mem::size_of::<AuthorId>(), 4);
         assert_eq!(std::mem::size_of::<VenueId>(), 4);
-    }
-
-    #[test]
-    fn article_serde_roundtrip() {
-        let a = Article {
-            id: ArticleId(5),
-            title: "On Testing".into(),
-            year: 2001,
-            venue: VenueId(2),
-            authors: vec![AuthorId(1), AuthorId(3)],
-            references: vec![ArticleId(0), ArticleId(2)],
-            merit: Some(1.5),
-        };
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Article = serde_json::from_str(&json).unwrap();
-        assert_eq!(a, back);
-    }
-
-    #[test]
-    fn merit_is_skipped_when_absent() {
-        let a = Article {
-            id: ArticleId(0),
-            title: String::new(),
-            year: 2000,
-            venue: VenueId(0),
-            authors: vec![],
-            references: vec![],
-            merit: None,
-        };
-        let json = serde_json::to_string(&a).unwrap();
-        assert!(!json.contains("merit"));
     }
 
     #[test]

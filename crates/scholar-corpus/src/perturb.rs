@@ -43,14 +43,11 @@ pub fn hide_citations_to_recent(
         (0.0..=1.0).contains(&drop_fraction),
         "drop fraction must be a probability, got {drop_fraction}"
     );
-    let recent: Vec<bool> =
-        corpus.articles().iter().map(|a| a.year >= recent_since).collect();
+    let recent: Vec<bool> = corpus.articles().iter().map(|a| a.year >= recent_since).collect();
     let mut out = corpus.clone();
     for a in &mut out.articles {
         let src = a.id.0;
-        a.references.retain(|r| {
-            !(recent[r.index()] && edge_unit(seed, src, r.0) < drop_fraction)
-        });
+        a.references.retain(|r| !(recent[r.index()] && edge_unit(seed, src, r.0) < drop_fraction));
     }
     out
 }

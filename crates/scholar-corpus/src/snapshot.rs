@@ -70,11 +70,7 @@ pub fn snapshot_until(corpus: &Corpus, cutoff: Year) -> Snapshot {
             let a = corpus.article(fid);
             let mut new = a.clone();
             new.id = snap_of[fid.index()].unwrap();
-            new.references = a
-                .references
-                .iter()
-                .filter_map(|&r| snap_of[r.index()])
-                .collect();
+            new.references = a.references.iter().filter_map(|&r| snap_of[r.index()]).collect();
             new
         })
         .collect();

@@ -33,17 +33,29 @@ pub fn validate(corpus: &Corpus) -> Result<()> {
             });
         }
         if a.venue.0 >= n_venues {
-            return Err(CorpusError::DanglingReference { kind: "venue", id: a.venue.0, article: a.id.0 });
+            return Err(CorpusError::DanglingReference {
+                kind: "venue",
+                id: a.venue.0,
+                article: a.id.0,
+            });
         }
         for &u in &a.authors {
             if u.0 >= n_authors {
-                return Err(CorpusError::DanglingReference { kind: "author", id: u.0, article: a.id.0 });
+                return Err(CorpusError::DanglingReference {
+                    kind: "author",
+                    id: u.0,
+                    article: a.id.0,
+                });
             }
         }
         let mut prev: Option<u32> = None;
         for &r in &a.references {
             if r.0 >= n_articles {
-                return Err(CorpusError::DanglingReference { kind: "article", id: r.0, article: a.id.0 });
+                return Err(CorpusError::DanglingReference {
+                    kind: "article",
+                    id: r.0,
+                    article: a.id.0,
+                });
             }
             if r == a.id {
                 return Err(CorpusError::Parse {
@@ -156,7 +168,10 @@ mod tests {
 
         let mut c = good();
         c.articles[0].references = vec![ArticleId(99)];
-        assert!(matches!(validate(&c), Err(CorpusError::DanglingReference { kind: "article", .. })));
+        assert!(matches!(
+            validate(&c),
+            Err(CorpusError::DanglingReference { kind: "article", .. })
+        ));
     }
 
     #[test]

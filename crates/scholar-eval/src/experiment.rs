@@ -4,12 +4,11 @@ use crate::groundtruth::GroundTruth;
 use crate::metrics;
 use scholar_corpus::Corpus;
 use scholar_rank::Ranker;
-use serde::Serialize;
 use std::collections::HashSet;
 use std::time::Instant;
 
 /// One evaluated `(ranker, ground truth)` cell — a row of an R-Table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EvalRow {
     /// Ranker display name.
     pub method: String,
@@ -26,7 +25,12 @@ pub struct EvalRow {
 }
 
 /// Score one ranking against a graded ground truth.
-pub fn evaluate_ranking(truth: &GroundTruth, scores: &[f64], method: &str, seconds: f64) -> EvalRow {
+pub fn evaluate_ranking(
+    truth: &GroundTruth,
+    scores: &[f64],
+    method: &str,
+    seconds: f64,
+) -> EvalRow {
     assert_eq!(truth.values.len(), scores.len(), "truth/scores length mismatch");
     EvalRow {
         method: method.to_owned(),
@@ -84,7 +88,7 @@ impl<'a> Experiment<'a> {
 
 /// Award-list evaluation: precision@k, NDCG-style MRR, and recall@k of an
 /// award set under each ranker (R-Table 3 rows).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AwardRow {
     /// Ranker display name.
     pub method: String,
@@ -119,7 +123,7 @@ pub fn run_award_experiment(
 
 /// One method's aggregate over a temporal cross-validation: the same
 /// evaluation repeated at several cutoff years, reported as mean ± std.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CvRow {
     /// Ranker display name.
     pub method: String,

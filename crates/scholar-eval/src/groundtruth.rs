@@ -13,9 +13,9 @@
 //! 3. **Expert pairs** — sampled article pairs with a clear merit margin,
 //!    standing in for pairwise expert judgments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use scholar_corpus::{Corpus, Snapshot};
+use srand::rngs::SmallRng;
+use srand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// A graded ground truth over the articles of a (snapshot) corpus.
@@ -48,10 +48,7 @@ pub fn future_citations(full: &Corpus, snapshot: &Snapshot, window_years: i32) -
     }
     GroundTruth {
         values,
-        description: format!(
-            "citations received in ({}, {}]",
-            snapshot.cutoff, horizon
-        ),
+        description: format!("citations received in ({}, {}]", snapshot.cutoff, horizon),
     }
 }
 

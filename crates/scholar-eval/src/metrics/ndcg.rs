@@ -20,11 +20,8 @@ pub fn ndcg_at_k(truth: &[f64], predicted: &[f64], k: usize) -> f64 {
         .enumerate()
         .map(|(i, item)| truth[item] * discount(i))
         .sum();
-    let ideal: f64 = top_k(truth, k)
-        .into_iter()
-        .enumerate()
-        .map(|(i, item)| truth[item] * discount(i))
-        .sum();
+    let ideal: f64 =
+        top_k(truth, k).into_iter().enumerate().map(|(i, item)| truth[item] * discount(i)).sum();
     if ideal <= 0.0 {
         f64::NAN
     } else {

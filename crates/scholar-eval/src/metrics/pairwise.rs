@@ -6,8 +6,8 @@
 //! truth that the prediction orders the same way; prediction ties score
 //! half credit. 0.5 is chance, 1.0 is perfect.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use srand::rngs::SmallRng;
+use srand::{Rng, SeedableRng};
 
 fn pair_credit(gi: f64, gj: f64, pi: f64, pj: f64) -> Option<f64> {
     if gi == gj {

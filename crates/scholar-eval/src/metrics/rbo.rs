@@ -78,7 +78,8 @@ mod tests {
     fn disjoint_heads_score_low() {
         // Ranking A puts items 0..5 on top; B puts 5..10 on top.
         let a: Vec<f64> = (0..10).map(|i| 10.0 - i as f64).collect();
-        let b: Vec<f64> = (0..10).map(|i| if i >= 5 { 20.0 - i as f64 } else { 1.0 - i as f64 * 0.01 }).collect();
+        let b: Vec<f64> =
+            (0..10).map(|i| if i >= 5 { 20.0 - i as f64 } else { 1.0 - i as f64 * 0.01 }).collect();
         let v = rbo(&a, &b, 0.9, 5);
         assert!(v < 0.2, "disjoint heads should score low, rbo = {v}");
     }
@@ -120,10 +121,7 @@ mod tests {
         }
         let head_heavy = rbo(&a, &b, 0.5, 10);
         let deep = rbo(&a, &b, 0.95, 10);
-        assert!(
-            head_heavy > deep,
-            "small p should forgive the bad tail: {head_heavy} vs {deep}"
-        );
+        assert!(head_heavy > deep, "small p should forgive the bad tail: {head_heavy} vs {deep}");
     }
 
     #[test]

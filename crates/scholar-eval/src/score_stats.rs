@@ -37,8 +37,7 @@ pub fn score_stats(scores: &[f64]) -> Option<ScoreStats> {
     let mut sorted = scores.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Gini over the ascending-sorted values.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &s)| (i as f64 + 1.0) * s).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &s)| (i as f64 + 1.0) * s).sum();
     let gini = (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64;
 
     let top_mass = |frac: f64| -> f64 {

@@ -4,10 +4,8 @@
 //! per method. `render` prints a readable text block; `to_csv` produces
 //! the machine-readable form recorded in EXPERIMENTS.md.
 
-use serde::Serialize;
-
 /// One named y-series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -16,7 +14,7 @@ pub struct Series {
 }
 
 /// A figure: shared x-axis plus one or more series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesSet {
     /// Figure caption.
     pub title: String,

@@ -8,8 +8,8 @@
 //! resample, and look at the distribution of the difference.
 
 use crate::metrics::spearman;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use srand::rngs::SmallRng;
+use srand::{Rng, SeedableRng};
 
 /// Which metric to bootstrap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

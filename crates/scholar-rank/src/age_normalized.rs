@@ -12,13 +12,11 @@ use crate::ranker::Ranker;
 use scholar_corpus::{Corpus, Year};
 
 /// Citations per year since publication.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AgeNormalizedCitations {
     /// "Now"; `None` = the corpus's last year.
     pub now: Option<Year>,
 }
-
 
 impl Ranker for AgeNormalizedCitations {
     fn name(&self) -> String {

@@ -119,12 +119,7 @@ mod tests {
         b.add_article("new-uncited", 2010, v, vec![], vec![], None);
         let c = b.finish().unwrap();
         let s = CiteRank::default().rank(&c);
-        assert!(
-            s[1] > s[0],
-            "reader traffic starts at recent papers: {} vs {}",
-            s[1],
-            s[0]
-        );
+        assert!(s[1] > s[0], "reader traffic starts at recent papers: {} vs {}", s[1], s[0]);
         // Plain PageRank is indifferent.
         let pr = PageRank::default().rank(&c);
         assert!((pr[0] - pr[1]).abs() < 1e-12);
@@ -162,11 +157,7 @@ mod tests {
         let c = Preset::Tiny.generate(15);
         let (_, last) = c.year_range().unwrap();
         let recent_mass = |scores: &[f64]| -> f64 {
-            c.articles()
-                .iter()
-                .filter(|a| last - a.year < 3)
-                .map(|a| scores[a.id.index()])
-                .sum()
+            c.articles().iter().filter(|a| last - a.year < 3).map(|a| scores[a.id.index()]).sum()
         };
         let cr = recent_mass(&CiteRank::default().rank(&c));
         let pr = recent_mass(&PageRank::default().rank(&c));

@@ -246,7 +246,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha + beta + gamma")]
     fn overweight_mixture_panics() {
-        FutureRank::new(FutureRankConfig { alpha: 0.6, beta: 0.3, gamma: 0.3, ..Default::default() });
+        FutureRank::new(FutureRankConfig {
+            alpha: 0.6,
+            beta: 0.3,
+            gamma: 0.3,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -12,10 +12,10 @@
 
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use scholar_corpus::Corpus;
 use sgraph::CsrGraph;
+use srand::rngs::SmallRng;
+use srand::{Rng, SeedableRng};
 
 /// Monte-Carlo PageRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,11 +98,7 @@ pub fn monte_carlo_pagerank(g: &CsrGraph, config: &MonteCarloConfig) -> (Vec<f64
     let scores: Vec<f64> = visits.iter().map(|&c| c as f64 / total as f64).collect();
     (
         scores,
-        Diagnostics {
-            iterations: config.walks_per_node,
-            converged: true,
-            residuals: Vec::new(),
-        },
+        Diagnostics { iterations: config.walks_per_node, converged: true, residuals: Vec::new() },
     )
 }
 

@@ -7,8 +7,7 @@ use sgraph::stochastic::PowerIterationOpts;
 use sgraph::{CsrGraph, JumpVector, RowStochastic};
 
 /// PageRank parameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageRankConfig {
     /// Damping factor `d` ∈ [0, 1). 0.85 is canonical.
     pub damping: f64,
@@ -16,13 +15,20 @@ pub struct PageRankConfig {
     pub tol: f64,
     /// Iteration cap.
     pub max_iter: usize,
-    /// Worker threads for the SpMV (1 = sequential).
+    /// Worker threads for the SpMV (1 = sequential). Defaults to
+    /// [`sgraph::par::default_threads`] (all cores, capped at 16;
+    /// `SCHOLAR_THREADS=1` or `--threads 1` forces sequential).
     pub threads: usize,
 }
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tol: 1e-10, max_iter: 200, threads: 1 }
+        PageRankConfig {
+            damping: 0.85,
+            tol: 1e-10,
+            max_iter: 200,
+            threads: sgraph::par::default_threads(),
+        }
     }
 }
 
@@ -32,6 +38,34 @@ impl PageRankConfig {
         assert!((0.0..1.0).contains(&self.damping), "damping must be in [0, 1)");
         assert!(self.tol >= 0.0, "tolerance must be >= 0");
         assert!(self.max_iter > 0, "need at least one iteration");
+    }
+
+    /// Overlay fields present in a parsed JSON object onto `self`
+    /// (partial configs keep defaults; unknown keys are ignored).
+    pub fn merge_json(&mut self, v: &sjson::Value) -> Result<(), String> {
+        let obj = v.as_object().ok_or("'pagerank' must be an object")?;
+        for (key, val) in obj {
+            match key.as_str() {
+                "damping" => self.damping = val.as_f64().ok_or("'damping' must be a number")?,
+                "tol" => self.tol = val.as_f64().ok_or("'tol' must be a number")?,
+                "max_iter" => {
+                    self.max_iter = val.as_usize().ok_or("'max_iter' must be an integer")?
+                }
+                "threads" => self.threads = val.as_usize().ok_or("'threads' must be an integer")?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// This config as a JSON object.
+    pub fn to_json(&self) -> sjson::Value {
+        sjson::ObjectBuilder::new()
+            .field("damping", self.damping)
+            .field("tol", self.tol)
+            .field("max_iter", self.max_iter)
+            .field("threads", self.threads)
+            .build()
     }
 }
 

@@ -39,10 +39,7 @@ pub fn personalized_pagerank(
     config: &PersonalizedConfig,
 ) -> (Vec<f64>, Diagnostics) {
     assert!(!seeds.is_empty(), "need at least one seed article");
-    assert!(
-        config.seed_mass > 0.0 && config.seed_mass <= 1.0,
-        "seed_mass must be in (0, 1]"
-    );
+    assert!(config.seed_mass > 0.0 && config.seed_mass <= 1.0, "seed_mass must be in (0, 1]");
     let n = corpus.num_articles();
     let uniform_mass = (1.0 - config.seed_mass) / n as f64;
     let per_seed = config.seed_mass / seeds.len() as f64;
@@ -51,11 +48,7 @@ pub fn personalized_pagerank(
         assert!(s.index() < n, "seed {s} out of bounds");
         jump[s.index()] += per_seed;
     }
-    pagerank_on_graph(
-        &corpus.citation_graph(),
-        &config.pagerank,
-        JumpVector::weighted(jump),
-    )
+    pagerank_on_graph(&corpus.citation_graph(), &config.pagerank, JumpVector::weighted(jump))
 }
 
 /// The `k` most related articles to the seed set, excluding the seeds
@@ -69,11 +62,8 @@ pub fn related_articles(
     config: &PersonalizedConfig,
 ) -> Vec<(ArticleId, f64)> {
     let (pers, _) = personalized_pagerank(corpus, seeds, config);
-    let (global, _) = pagerank_on_graph(
-        &corpus.citation_graph(),
-        &config.pagerank,
-        JumpVector::Uniform,
-    );
+    let (global, _) =
+        pagerank_on_graph(&corpus.citation_graph(), &config.pagerank, JumpVector::Uniform);
     let mut lift: Vec<(ArticleId, f64)> = (0..corpus.num_articles())
         .filter(|i| !seeds.iter().any(|s| s.index() == *i))
         .map(|i| (ArticleId(i as u32), pers[i] - global[i]))
@@ -128,8 +118,7 @@ mod tests {
     #[test]
     fn multiple_seeds_split_mass() {
         let c = chain_corpus();
-        let (s, _) =
-            personalized_pagerank(&c, &[ArticleId(2), ArticleId(5)], &Default::default());
+        let (s, _) = personalized_pagerank(&c, &[ArticleId(2), ArticleId(5)], &Default::default());
         let left: f64 = s[0] + s[1] + s[2];
         let right: f64 = s[3] + s[4] + s[5];
         assert!((left - right).abs() < 1e-9, "symmetric seeds ⇒ symmetric mass");

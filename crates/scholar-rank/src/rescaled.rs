@@ -55,11 +55,8 @@ pub fn rescale_by_year(corpus: &Corpus, scores: &[f64], window_years: i32) -> Ve
         count[b] += 1;
         sum[b] += scores[i];
     }
-    let mean: Vec<f64> = sum
-        .iter()
-        .zip(&count)
-        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
+    let mean: Vec<f64> =
+        sum.iter().zip(&count).map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
     let mut var = vec![0.0f64; num_buckets];
     for (i, &b) in bucket_of.iter().enumerate() {
         let d = scores[i] - mean[b];
@@ -142,8 +139,7 @@ mod tests {
             top_k(scores, 30).iter().filter(|&&i| c.articles()[i].year <= mid).count()
         };
         let pr = PageRank::default().rank(&c);
-        let rescaled =
-            RescaledRanker::new(Box::new(PageRank::default()), 1).rank(&c);
+        let rescaled = RescaledRanker::new(Box::new(PageRank::default()), 1).rank(&c);
         assert!(
             old_in_top(&rescaled) < old_in_top(&pr),
             "rescaling should de-skew the top ({} vs {})",

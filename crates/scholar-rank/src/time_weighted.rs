@@ -19,8 +19,7 @@ use scholar_corpus::{Corpus, Year};
 use sgraph::JumpVector;
 
 /// TWPR parameters.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwprConfig {
     /// Underlying power-iteration parameters.
     pub pagerank: PageRankConfig,
@@ -44,6 +43,45 @@ impl TwprConfig {
         self.pagerank.assert_valid();
         assert!(self.rho >= 0.0 && self.rho.is_finite(), "rho must be finite and >= 0");
         assert!(self.tau >= 0.0 && self.tau.is_finite(), "tau must be finite and >= 0");
+    }
+
+    /// Overlay fields present in a parsed JSON object onto `self`
+    /// (partial configs keep defaults; unknown keys are ignored).
+    pub fn merge_json(&mut self, v: &sjson::Value) -> Result<(), String> {
+        let obj = v.as_object().ok_or("'twpr' must be an object")?;
+        for (key, val) in obj {
+            match key.as_str() {
+                "pagerank" => self.pagerank.merge_json(val)?,
+                "rho" => self.rho = val.as_f64().ok_or("'rho' must be a number")?,
+                "tau" => self.tau = val.as_f64().ok_or("'tau' must be a number")?,
+                "now" => {
+                    self.now = if val.is_null() {
+                        None
+                    } else {
+                        Some(
+                            val.as_i64()
+                                .and_then(|y| i32::try_from(y).ok())
+                                .ok_or("'now' must be a year")?,
+                        )
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// This config as a JSON object.
+    pub fn to_json(&self) -> sjson::Value {
+        let mut b = sjson::ObjectBuilder::new()
+            .field("pagerank", self.pagerank.to_json())
+            .field("rho", self.rho)
+            .field("tau", self.tau);
+        b = match self.now {
+            Some(y) => b.field("now", y),
+            None => b.field("now", sjson::Value::Null),
+        };
+        b.build()
     }
 }
 
@@ -72,11 +110,8 @@ impl TimeWeightedPageRank {
         if tau == 0.0 || corpus.num_articles() == 0 {
             return JumpVector::Uniform;
         }
-        let weights: Vec<f64> = corpus
-            .articles()
-            .iter()
-            .map(|a| (-tau * (now - a.year).max(0) as f64).exp())
-            .collect();
+        let weights: Vec<f64> =
+            corpus.articles().iter().map(|a| (-tau * (now - a.year).max(0) as f64).exp()).collect();
         JumpVector::weighted(weights)
     }
 
@@ -115,12 +150,9 @@ mod tests {
     #[test]
     fn rho_zero_tau_zero_equals_pagerank() {
         let c = Preset::Tiny.generate(4);
-        let twpr = TimeWeightedPageRank::new(TwprConfig {
-            rho: 0.0,
-            tau: 0.0,
-            ..Default::default()
-        })
-        .rank(&c);
+        let twpr =
+            TimeWeightedPageRank::new(TwprConfig { rho: 0.0, tau: 0.0, ..Default::default() })
+                .rank(&c);
         let pr = PageRank::default().rank(&c);
         let diff: f64 = twpr.iter().zip(&pr).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff < 1e-9, "TWPR(0,0) must equal PageRank, diff {diff}");
@@ -150,12 +182,9 @@ mod tests {
         let pr = PageRank::default().rank(&c);
         assert!((pr[0] - pr[1]).abs() < 1e-9, "plain PR is indifferent");
 
-        let twpr = TimeWeightedPageRank::new(TwprConfig {
-            rho: 0.3,
-            tau: 0.0,
-            ..Default::default()
-        })
-        .rank(&c);
+        let twpr =
+            TimeWeightedPageRank::new(TwprConfig { rho: 0.3, tau: 0.0, ..Default::default() })
+                .rank(&c);
         assert!(
             twpr[1] > twpr[0],
             "TWPR should favor the recent citation target ({} vs {})",
@@ -171,12 +200,9 @@ mod tests {
         b.add_article("old", 1990, v, vec![], vec![], None);
         b.add_article("new", 2020, v, vec![], vec![], None);
         let c = b.finish().unwrap();
-        let twpr = TimeWeightedPageRank::new(TwprConfig {
-            rho: 0.0,
-            tau: 0.2,
-            ..Default::default()
-        })
-        .rank(&c);
+        let twpr =
+            TimeWeightedPageRank::new(TwprConfig { rho: 0.0, tau: 0.2, ..Default::default() })
+                .rank(&c);
         assert!(twpr[1] > twpr[0], "tau > 0 must favor the newer article");
     }
 
@@ -186,10 +212,7 @@ mod tests {
         let (lo, hi) = c.year_range().unwrap();
         let mid = (lo + hi) / 2;
         let count_old = |s: &[f64]| {
-            crate::scores::top_k(s, 20)
-                .iter()
-                .filter(|&&i| c.articles()[i].year <= mid)
-                .count()
+            crate::scores::top_k(s, 20).iter().filter(|&&i| c.articles()[i].year <= mid).count()
         };
         let pr_old = count_old(&PageRank::default().rank(&c));
         let twpr_old = count_old(

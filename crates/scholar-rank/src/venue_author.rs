@@ -115,8 +115,8 @@ mod tests {
         let a = author_scores_from_articles(&c, &scores);
         assert!((a[0] - 0.6).abs() < 1e-12); // Solo: only a0
         assert!((a[1] - 0.3).abs() < 1e-12); // Duo1: only a1
-        // Duo2: weighted mean of a1 (weight 1/3) and a2 (weight 1):
-        // (1/3·0.3 + 1·0.1) / (1/3 + 1) = 0.2/1.3333 = 0.15
+                                             // Duo2: weighted mean of a1 (weight 1/3) and a2 (weight 1):
+                                             // (1/3·0.3 + 1·0.1) / (1/3 + 1) = 0.2/1.3333 = 0.15
         assert!((a[2] - 0.15).abs() < 1e-12);
     }
 

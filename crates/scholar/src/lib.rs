@@ -30,7 +30,9 @@ pub use scholar_eval as eval;
 pub use scholar_rank as rank;
 pub use sgraph as graph;
 
-pub use qrank::{Ablation, ColdStartScorer, QRank, QRankConfig, QRankResult};
+pub use qrank::{
+    Ablation, ColdStartScorer, MixParams, QRank, QRankConfig, QRankEngine, QRankResult,
+};
 pub use scholar_corpus::{Corpus, CorpusBuilder, GeneratorConfig, Preset};
 pub use scholar_eval::GroundTruth;
 pub use scholar_rank::{

@@ -152,42 +152,120 @@ impl Bipartite {
     /// Weighted-mean aggregation from right scores to left nodes:
     /// `out[l] = Σ_r w(l,r)·score[r] / Σ_r w(l,r)`, 0 for isolated `l`.
     pub fn aggregate_to_left(&self, right_scores: &[f64]) -> Vec<f64> {
-        assert_eq!(right_scores.len(), self.num_right as usize, "score length mismatch");
         let mut out = vec![0.0; self.num_left as usize];
-        for l in 0..self.num_left {
-            let rs = self.right_of(l);
-            let ws = self.right_weights_of(l);
+        self.aggregate_to_left_into(right_scores, &mut out);
+        out
+    }
+
+    /// Weighted-mean aggregation from left scores to right nodes.
+    pub fn aggregate_to_right(&self, left_scores: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_right as usize];
+        self.aggregate_to_right_into(left_scores, &mut out);
+        out
+    }
+
+    /// [`Self::aggregate_to_left`] into a caller-provided buffer, so
+    /// solve-many loops can run allocation-free. Isolated left nodes are
+    /// written as 0 (the buffer need not be pre-zeroed).
+    pub fn aggregate_to_left_into(&self, right_scores: &[f64], out: &mut [f64]) {
+        assert_eq!(right_scores.len(), self.num_right as usize, "score length mismatch");
+        assert_eq!(out.len(), self.num_left as usize, "output length mismatch");
+        self.aggregate_to_left_range(right_scores, 0..self.num_left as usize, out);
+    }
+
+    /// [`Self::aggregate_to_right`] into a caller-provided buffer.
+    /// Isolated right nodes are written as 0.
+    pub fn aggregate_to_right_into(&self, left_scores: &[f64], out: &mut [f64]) {
+        assert_eq!(left_scores.len(), self.num_left as usize, "score length mismatch");
+        assert_eq!(out.len(), self.num_right as usize, "output length mismatch");
+        self.aggregate_to_right_range(left_scores, 0..self.num_right as usize, out);
+    }
+
+    /// Parallel [`Self::aggregate_to_left_into`] over precomputed ranges
+    /// (see [`Self::left_ranges`]). Each worker gathers into a disjoint
+    /// chunk of `out`; the result is bitwise identical to the sequential
+    /// path for any partition, because every output element is produced by
+    /// the same per-node loop.
+    pub fn aggregate_to_left_into_par(
+        &self,
+        right_scores: &[f64],
+        out: &mut [f64],
+        ranges: &[std::ops::Range<usize>],
+    ) {
+        assert_eq!(right_scores.len(), self.num_right as usize, "score length mismatch");
+        assert_eq!(out.len(), self.num_left as usize, "output length mismatch");
+        crate::par::for_each_range_mut(out, ranges, |range, chunk| {
+            self.aggregate_to_left_range(right_scores, range, chunk);
+        });
+    }
+
+    /// Parallel [`Self::aggregate_to_right_into`] over precomputed ranges
+    /// (see [`Self::right_ranges`]).
+    pub fn aggregate_to_right_into_par(
+        &self,
+        left_scores: &[f64],
+        out: &mut [f64],
+        ranges: &[std::ops::Range<usize>],
+    ) {
+        assert_eq!(left_scores.len(), self.num_left as usize, "score length mismatch");
+        assert_eq!(out.len(), self.num_right as usize, "output length mismatch");
+        crate::par::for_each_range_mut(out, ranges, |range, chunk| {
+            self.aggregate_to_right_range(left_scores, range, chunk);
+        });
+    }
+
+    /// Contiguous left-node ranges balanced by edge count, for
+    /// [`Self::aggregate_to_left_into_par`]. Compute once per
+    /// `(graph, threads)` pair and reuse across iterations.
+    pub fn left_ranges(&self, threads: usize) -> Vec<std::ops::Range<usize>> {
+        crate::par::balanced_ranges(&self.lr_offsets, threads)
+    }
+
+    /// Contiguous right-node ranges balanced by edge count, for
+    /// [`Self::aggregate_to_right_into_par`].
+    pub fn right_ranges(&self, threads: usize) -> Vec<std::ops::Range<usize>> {
+        crate::par::balanced_ranges(&self.rl_offsets, threads)
+    }
+
+    /// Weighted-mean gather for left nodes in `range`; `chunk` is the
+    /// `out[range]` slice (chunk[i] corresponds to left node range.start+i).
+    fn aggregate_to_left_range(
+        &self,
+        right_scores: &[f64],
+        range: std::ops::Range<usize>,
+        chunk: &mut [f64],
+    ) {
+        for (slot, l) in range.enumerate() {
+            let rs = &self.lr_targets[self.lr_offsets[l]..self.lr_offsets[l + 1]];
+            let ws = &self.lr_weights[self.lr_offsets[l]..self.lr_offsets[l + 1]];
             let mut acc = 0.0;
             let mut wsum = 0.0;
             for (&r, &w) in rs.iter().zip(ws) {
                 acc += w * right_scores[r as usize];
                 wsum += w;
             }
-            if wsum > 0.0 {
-                out[l as usize] = acc / wsum;
-            }
+            chunk[slot] = if wsum > 0.0 { acc / wsum } else { 0.0 };
         }
-        out
     }
 
-    /// Weighted-mean aggregation from left scores to right nodes.
-    pub fn aggregate_to_right(&self, left_scores: &[f64]) -> Vec<f64> {
-        assert_eq!(left_scores.len(), self.num_left as usize, "score length mismatch");
-        let mut out = vec![0.0; self.num_right as usize];
-        for r in 0..self.num_right {
-            let ls = self.left_of(r);
-            let ws = self.left_weights_of(r);
+    /// Mirror of [`Self::aggregate_to_left_range`] for right nodes.
+    fn aggregate_to_right_range(
+        &self,
+        left_scores: &[f64],
+        range: std::ops::Range<usize>,
+        chunk: &mut [f64],
+    ) {
+        for (slot, r) in range.enumerate() {
+            let ls = &self.rl_targets[self.rl_offsets[r]..self.rl_offsets[r + 1]];
+            let ws = &self.rl_weights[self.rl_offsets[r]..self.rl_offsets[r + 1]];
             let mut acc = 0.0;
             let mut wsum = 0.0;
             for (&l, &w) in ls.iter().zip(ws) {
                 acc += w * left_scores[l as usize];
                 wsum += w;
             }
-            if wsum > 0.0 {
-                out[r as usize] = acc / wsum;
-            }
+            chunk[slot] = if wsum > 0.0 { acc / wsum } else { 0.0 };
         }
-        out
     }
 
     /// Sum-propagation from right to left with per-edge normalization over
@@ -265,6 +343,62 @@ mod tests {
         assert_eq!(bp.right_degree(2), 1);
         assert_eq!(bp.right_weights_of(0), &[1.0, 0.5]);
         assert_eq!(bp.left_weights_of(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_and_reset_stale_buffers() {
+        let bp = authors_articles();
+        let right_scores = [0.1, 0.6, 0.3];
+        let left_scores = [0.7, 0.3];
+        // Poisoned buffers: `_into` must overwrite every slot, including
+        // isolated nodes (the allocating path relies on a fresh zeroed vec).
+        let mut left_out = vec![f64::MAX; 2];
+        bp.aggregate_to_left_into(&right_scores, &mut left_out);
+        assert_eq!(left_out, bp.aggregate_to_left(&right_scores));
+        let mut right_out = vec![f64::MAX; 3];
+        bp.aggregate_to_right_into(&left_scores, &mut right_out);
+        assert_eq!(right_out, bp.aggregate_to_right(&left_scores));
+
+        // Isolated nodes are explicitly zeroed.
+        let mut b = BipartiteBuilder::new(3, 2);
+        b.add_edge(0, 0, 1.0);
+        let sparse = b.build();
+        let mut out = vec![9.9; 3];
+        sparse.aggregate_to_left_into(&[1.0, 1.0], &mut out);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.0);
+    }
+
+    #[test]
+    fn parallel_aggregation_is_bitwise_sequential() {
+        // Big enough to produce several ranges; skewed degrees so the
+        // balanced partition is non-trivial.
+        let (nl, nr) = (500u32, 300u32);
+        let mut b = BipartiteBuilder::new(nl, nr);
+        let mut state = 0x9e3779b9u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..4000 {
+            let l = next() % nl;
+            let r = next() % nr;
+            let w = 0.5 + (next() % 8) as f64;
+            b.add_edge(l, r, w);
+        }
+        let bp = b.build();
+        let right_scores: Vec<f64> = (0..nr).map(|i| 1.0 / (i + 1) as f64).collect();
+        let left_scores: Vec<f64> = (0..nl).map(|i| (i % 7) as f64 + 0.25).collect();
+        let seq_l = bp.aggregate_to_left(&right_scores);
+        let seq_r = bp.aggregate_to_right(&left_scores);
+        for threads in [1usize, 2, 8] {
+            let mut par_l = vec![f64::MAX; nl as usize];
+            bp.aggregate_to_left_into_par(&right_scores, &mut par_l, &bp.left_ranges(threads));
+            assert_eq!(par_l, seq_l, "left aggregation differs at {threads} threads");
+            let mut par_r = vec![f64::MAX; nr as usize];
+            bp.aggregate_to_right_into_par(&left_scores, &mut par_r, &bp.right_ranges(threads));
+            assert_eq!(par_r, seq_r, "right aggregation differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -120,12 +120,7 @@ pub fn largest_wcc_nodes(g: &CsrGraph) -> Vec<NodeId> {
         return Vec::new();
     }
     let sizes = wcc.component_sizes();
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(i, _)| i as u32)
-        .unwrap();
+    let best = sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32).unwrap();
     g.nodes().filter(|v| wcc.component[v.index()] == best).collect()
 }
 

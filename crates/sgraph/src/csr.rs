@@ -6,15 +6,12 @@
 //! propagation sequential-scan friendly; the PageRank-family kernels in
 //! [`crate::stochastic`] are all pull-style and rely on the in-CSR.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense node identifier.
 ///
 /// Nodes of a [`CsrGraph`] are always numbered `0..num_nodes`, so the
 /// wrapped `u32` doubles as an index into score vectors and attribute
 /// columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -61,7 +58,7 @@ pub struct EdgeRef {
 /// Construct via [`crate::GraphBuilder`]. Within each node's adjacency
 /// list, neighbors are sorted by target index, which makes neighbor
 /// lookups binary-searchable and graph equality canonical.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     pub(crate) num_nodes: u32,
     // Out-adjacency.
@@ -143,8 +140,6 @@ impl CsrGraph {
     #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
         let r = self.out_range(u);
-        // SAFETY: NodeId is #[serde(transparent)] over u32 and #[repr] —
-        // actually we avoid unsafe: reinterpret via split borrow below.
         node_slice(&self.out_targets[r])
     }
 
@@ -191,10 +186,7 @@ impl CsrGraph {
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let r = self.out_range(u);
         let base = r.start;
-        self.out_targets[r]
-            .binary_search(&v.0)
-            .ok()
-            .map(|i| self.out_weights[base + i])
+        self.out_targets[r].binary_search(&v.0).ok().map(|i| self.out_weights[base + i])
     }
 
     /// Iterator over every edge in source order.
@@ -293,12 +285,17 @@ impl CsrGraph {
             let ts = self.out_neighbors(u);
             for pair in ts.windows(2) {
                 if pair[1] <= pair[0] {
-                    return Err(GraphError::BadBinaryFormat("out adjacency not strictly sorted".into()));
+                    return Err(GraphError::BadBinaryFormat(
+                        "out adjacency not strictly sorted".into(),
+                    ));
                 }
             }
             for (&t, &w) in ts.iter().zip(self.out_edge_weights(u)) {
                 if t.0 >= self.num_nodes {
-                    return Err(GraphError::NodeOutOfBounds { node: t.0, num_nodes: self.num_nodes });
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: t.0,
+                        num_nodes: self.num_nodes,
+                    });
                 }
                 if !w.is_finite() || w < 0.0 {
                     return Err(GraphError::InvalidWeight { src: u.0, dst: t.0, weight: w });
@@ -333,11 +330,9 @@ fn windows_pairs(v: &[usize]) -> impl Iterator<Item = (usize, usize)> + '_ {
 
 /// Reinterpret a `&[u32]` as `&[NodeId]` without copying.
 ///
-/// Sound because `NodeId` is a `#[serde(transparent)]` newtype with the
-/// same layout as `u32` (single public field, no attributes affecting
-/// layout are required for a single-field tuple struct in practice, but we
-/// do not rely on that: this helper copies on the rare platforms where the
-/// assertion would fail — enforced via const assertion instead).
+/// Sound because `NodeId` is a newtype with the same layout as `u32`
+/// (single public field; identical size and alignment enforced via the
+/// const assertions below).
 #[inline(always)]
 fn node_slice(raw: &[u32]) -> &[NodeId] {
     const _: () = assert!(std::mem::size_of::<NodeId>() == std::mem::size_of::<u32>());

@@ -53,7 +53,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node index {node} out of bounds (graph has {num_nodes} nodes)")
             }
             GraphError::InvalidWeight { src, dst, weight } => {
-                write!(f, "invalid weight {weight} on edge {src} -> {dst} (must be finite and >= 0)")
+                write!(
+                    f,
+                    "invalid weight {weight} on edge {src} -> {dst} (must be finite and >= 0)"
+                )
             }
             GraphError::DuplicateEdge { src, dst } => {
                 write!(f, "duplicate edge {src} -> {dst} rejected by policy")

@@ -32,12 +32,18 @@ pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<u32>) -> Result<CsrG
             .next()
             .ok_or_else(|| GraphError::ParseError { line: lineno, message: "missing src".into() })?
             .parse()
-            .map_err(|e| GraphError::ParseError { line: lineno, message: format!("bad src: {e}") })?;
+            .map_err(|e| GraphError::ParseError {
+                line: lineno,
+                message: format!("bad src: {e}"),
+            })?;
         let dst: u32 = parts
             .next()
             .ok_or_else(|| GraphError::ParseError { line: lineno, message: "missing dst".into() })?
             .parse()
-            .map_err(|e| GraphError::ParseError { line: lineno, message: format!("bad dst: {e}") })?;
+            .map_err(|e| GraphError::ParseError {
+                line: lineno,
+                message: format!("bad dst: {e}"),
+            })?;
         let weight: f64 = match parts.next() {
             Some(tok) => tok.parse().map_err(|e| GraphError::ParseError {
                 line: lineno,

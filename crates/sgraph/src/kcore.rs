@@ -47,8 +47,7 @@ pub fn k_core_decomposition(g: &CsrGraph) -> CoreResult {
     if n == 0 {
         return CoreResult { core: Vec::new(), degeneracy: 0 };
     }
-    let mut degree: Vec<usize> =
-        g.nodes().map(|v| g.in_degree(v) + g.out_degree(v)).collect();
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.in_degree(v) + g.out_degree(v)).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);
 
     // Bucket sort nodes by degree.

@@ -10,7 +10,19 @@
 
 /// Number of workers to use by default: the available parallelism, capped
 /// at 16 (diminishing returns for memory-bound SpMV beyond that).
+///
+/// The `SCHOLAR_THREADS` environment variable overrides the probe when it
+/// is set to a positive integer — `SCHOLAR_THREADS=1` forces every
+/// default-configured kernel sequential, the CLI `--threads` flag does
+/// the same per invocation.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SCHOLAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
 }
 
@@ -79,11 +91,8 @@ pub fn balanced_ranges(prefix: &[usize], threads: usize) -> Vec<std::ops::Range<
 ///
 /// Falls back to a sequential loop when only one range is produced, so
 /// callers can use it unconditionally.
-pub fn for_each_range_mut<T, F>(
-    out: &mut [T],
-    ranges: &[std::ops::Range<usize>],
-    f: F,
-) where
+pub fn for_each_range_mut<T, F>(out: &mut [T], ranges: &[std::ops::Range<usize>], f: F)
+where
     T: Send,
     F: Fn(std::ops::Range<usize>, &mut [T]) + Sync,
 {

@@ -181,12 +181,7 @@ mod tests {
             &[(NodeId(7), 1.0)],
             &PushOpts { epsilon: 1e-9, ..Default::default() },
         );
-        let l1: f64 = exact
-            .scores
-            .iter()
-            .zip(&approx.scores)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let l1: f64 = exact.scores.iter().zip(&approx.scores).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 < 1e-5, "push estimate too far from exact: L1 = {l1}");
     }
 
@@ -228,11 +223,7 @@ mod tests {
     #[test]
     fn multiple_seeds_normalize() {
         let g = random_graph(200, 1000, 11);
-        let res = forward_push(
-            &g,
-            &[(NodeId(0), 3.0), (NodeId(5), 1.0)],
-            &PushOpts::default(),
-        );
+        let res = forward_push(&g, &[(NodeId(0), 3.0), (NodeId(5), 1.0)], &PushOpts::default());
         let total = res.scores.iter().sum::<f64>() + res.residual_mass;
         assert!((total - 1.0).abs() < 1e-12);
     }

@@ -57,8 +57,7 @@ pub fn drop_in_edges_of(
     }
     let mut b = GraphBuilder::new(g.num_nodes()).with_edge_capacity(g.num_edges());
     for e in g.edges() {
-        let drop = is_target[e.dst.index()]
-            && edge_unit(seed, e.src.0, e.dst.0) < drop_fraction;
+        let drop = is_target[e.dst.index()] && edge_unit(seed, e.src.0, e.dst.0) < drop_fraction;
         if !drop {
             b.add_edge(e.src, e.dst, e.weight);
         }

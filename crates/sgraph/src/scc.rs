@@ -180,10 +180,8 @@ mod tests {
 
     #[test]
     fn condensation_is_acyclic() {
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
         let scc = tarjan_scc(&g);
         let dag = condensation(&g, &scc);
         assert_eq!(dag.num_nodes(), scc.num_components);

@@ -36,12 +36,7 @@ pub struct GaussSeidelOpts {
 
 impl Default for GaussSeidelOpts {
     fn default() -> Self {
-        GaussSeidelOpts {
-            damping: 0.85,
-            jump: JumpVector::Uniform,
-            tol: 1e-10,
-            max_sweeps: 200,
-        }
+        GaussSeidelOpts { damping: 0.85, jump: JumpVector::Uniform, tol: 1e-10, max_sweeps: 200 }
     }
 }
 
@@ -162,10 +157,7 @@ mod tests {
     #[test]
     fn agrees_with_dangling_nodes_present() {
         // Half the nodes dangle.
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 3), (1, 3), (1, 4), (2, 5), (0, 4)],
-        );
+        let g = GraphBuilder::from_edges(6, &[(0, 3), (1, 3), (1, 4), (2, 5), (0, 4)]);
         assert_eq!(g.dangling_nodes().len(), 3);
         let exact = power(&g);
         let gs = gauss_seidel(&g, &GaussSeidelOpts { tol: 1e-13, ..Default::default() });
@@ -175,7 +167,10 @@ mod tests {
 
     #[test]
     fn handles_self_loops() {
-        let g = GraphBuilder::from_weighted_edges(3, &[(0, 0, 3.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let g = GraphBuilder::from_weighted_edges(
+            3,
+            &[(0, 0, 3.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        );
         let exact = power(&g);
         let gs = gauss_seidel(&g, &GaussSeidelOpts { tol: 1e-13, ..Default::default() });
         assert!(l1_distance(&exact.scores, &gs.scores) < 1e-9);
@@ -184,10 +179,8 @@ mod tests {
     #[test]
     fn converges_in_fewer_sweeps_than_power_iterations() {
         let g = random_graph(2000, 14_000, 23);
-        let pw = RowStochastic::new(&g).stationary(&PowerIterationOpts {
-            tol: 1e-10,
-            ..Default::default()
-        });
+        let pw = RowStochastic::new(&g)
+            .stationary(&PowerIterationOpts { tol: 1e-10, ..Default::default() });
         let gs = gauss_seidel(&g, &GaussSeidelOpts::default());
         assert!(pw.converged && gs.converged);
         assert!(
@@ -211,10 +204,7 @@ mod tests {
             max_iter: 2000,
             ..Default::default()
         });
-        let gs = gauss_seidel(
-            &g,
-            &GaussSeidelOpts { jump, tol: 1e-13, ..Default::default() },
-        );
+        let gs = gauss_seidel(&g, &GaussSeidelOpts { jump, tol: 1e-13, ..Default::default() });
         assert!(l1_distance(&exact.scores, &gs.scores) < 1e-8);
     }
 
@@ -228,9 +218,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "damping")]
     fn bad_damping_panics() {
-        gauss_seidel(
-            &CsrGraph::empty(1),
-            &GaussSeidelOpts { damping: 1.5, ..Default::default() },
-        );
+        gauss_seidel(&CsrGraph::empty(1), &GaussSeidelOpts { damping: 1.5, ..Default::default() });
     }
 }

@@ -26,7 +26,14 @@ pub struct DegreeStats {
 
 fn degree_stats(mut degrees: Vec<usize>) -> DegreeStats {
     if degrees.is_empty() {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0.0, gini: 0.0, zero_fraction: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0.0,
+            gini: 0.0,
+            zero_fraction: 0.0,
+        };
     }
     degrees.sort_unstable();
     let n = degrees.len();
@@ -42,21 +49,11 @@ fn degree_stats(mut degrees: Vec<usize>) -> DegreeStats {
     let gini = if sum == 0 {
         0.0
     } else {
-        let weighted: f64 = degrees
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-            .sum();
+        let weighted: f64 =
+            degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * weighted) / (n as f64 * sum as f64) - (n as f64 + 1.0) / n as f64
     };
-    DegreeStats {
-        min: degrees[0],
-        max: degrees[n - 1],
-        mean,
-        median,
-        gini,
-        zero_fraction,
-    }
+    DegreeStats { min: degrees[0], max: degrees[n - 1], mean, median, gini, zero_fraction }
 }
 
 /// In-degree statistics of `g`.

@@ -92,8 +92,7 @@ impl RowStochastic {
         for u in g.nodes() {
             out_sum[u.index()] = g.out_weight_sum(u);
         }
-        let dangling: Vec<u32> =
-            (0..n as u32).filter(|&u| out_sum[u as usize] <= 0.0).collect();
+        let dangling: Vec<u32> = (0..n as u32).filter(|&u| out_sum[u as usize] <= 0.0).collect();
 
         let mut in_offsets = Vec::with_capacity(n + 1);
         let mut in_sources = Vec::with_capacity(g.num_edges());
@@ -254,7 +253,9 @@ pub struct PowerIterationOpts {
     pub tol: f64,
     /// Iteration cap.
     pub max_iter: usize,
-    /// Worker threads (1 = sequential).
+    /// Worker threads (1 = sequential). Defaults to
+    /// [`crate::par::default_threads`]; set `SCHOLAR_THREADS=1` (or pass
+    /// 1 explicitly) to force sequential execution.
     pub threads: usize,
     /// Optional warm start (normalized internally).
     pub warm_start: Option<Vec<f64>>,
@@ -267,7 +268,7 @@ impl Default for PowerIterationOpts {
             jump: JumpVector::Uniform,
             tol: 1e-10,
             max_iter: 200,
-            threads: 1,
+            threads: crate::par::default_threads(),
             warm_start: None,
         }
     }
@@ -290,6 +291,19 @@ pub struct PowerIterationResult {
 pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// `out = mu·a + (1-mu)·b`, renormalized to sum 1 (inputs are
+/// distributions). In-place counterpart of the convex-blend-then-normalize
+/// step used by mutual-reinforcement fixpoints, so a solve loop can reuse
+/// one buffer instead of allocating per iteration.
+pub fn blend_into(a: &[f64], b: &[f64], mu: f64, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *slot = mu * x + (1.0 - mu) * y;
+    }
+    normalize_l1(out);
 }
 
 /// Normalize `v` to sum 1 in place. No-op when the sum is not positive.
@@ -503,6 +517,23 @@ mod tests {
         let mut z = vec![0.0, 0.0];
         normalize_l1(&mut z);
         assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn blend_into_matches_convex_combination() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let mut out = vec![f64::MAX; 2];
+        blend_into(&a, &b, 1.0, &mut out);
+        assert_eq!(out, a);
+        blend_into(&a, &b, 0.0, &mut out);
+        assert_eq!(out, b);
+        blend_into(&a, &b, 0.5, &mut out);
+        assert_close(out[0], 0.5, 1e-12);
+        // Unnormalized inputs are renormalized to sum 1.
+        blend_into(&[2.0, 2.0], &[0.0, 4.0], 0.5, &mut out);
+        assert_close(out.iter().sum::<f64>(), 1.0, 1e-12);
+        assert_close(out[0], 0.25, 1e-12);
     }
 
     #[test]

@@ -71,8 +71,7 @@ pub fn dfs_preorder(g: &CsrGraph, start: NodeId) -> Vec<NodeId> {
 pub fn topological_order(g: &CsrGraph) -> Result<Vec<NodeId>> {
     let n = g.len();
     let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
-    let mut queue: VecDeque<NodeId> =
-        g.nodes().filter(|u| indeg[u.index()] == 0).collect();
+    let mut queue: VecDeque<NodeId> = g.nodes().filter(|u| indeg[u.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);

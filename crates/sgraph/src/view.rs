@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn subgraph_of_nodes_ignores_duplicates() {
         let g = path5();
-        let (sub, map) =
-            subgraph_of_nodes(&g, &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
+        let (sub, map) = subgraph_of_nodes(&g, &[NodeId(3), NodeId(1), NodeId(3), NodeId(2)]);
         assert_eq!(sub.num_nodes(), 3);
         // Dense ascending renumbering: 1->0, 2->1, 3->2.
         assert_eq!(map.to_original(NodeId(0)), NodeId(1));

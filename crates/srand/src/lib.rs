@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! # srand — small deterministic pseudo-random numbers
+//!
+//! A dependency-free random-number layer for the scholar stack. It
+//! deliberately mirrors the small slice of the `rand` crate API the
+//! workspace uses (`SeedableRng::seed_from_u64`, `Rng::gen`,
+//! `Rng::gen_range`) so call sites stay idiomatic, while keeping the
+//! implementation tiny, portable, and bit-for-bit reproducible across
+//! platforms and releases — a hard requirement for the deterministic
+//! corpus generator and the evaluation bootstrap machinery.
+//!
+//! The core generator is xoshiro256++ seeded through SplitMix64; both
+//! are public-domain algorithms by Blackman & Vigna. Integer ranges are
+//! sampled without modulo bias via rejection; floats use the standard
+//! 53-bit mantissa construction.
+
+/// Generators (named to mirror `rand::rngs`).
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    ///
+    /// Not cryptographically secure; intended for simulation, corpus
+    /// synthesis, and bootstrap resampling.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Advance and return the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            SmallRng::next_u64(self)
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface shared by all generators.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from its canonical distribution
+    /// (uniform on `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from the half-open `range` (`start..end`).
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types with a canonical uniform distribution for [`Rng::gen`].
+pub trait Sample {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform integer in `[0, n)` without modulo bias (rejection sampling).
+#[inline]
+fn uniform_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    // Reject the low `2^64 mod n` values so every residue is equally
+    // likely. The loop almost never iterates more than once.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let x = rng.next_u64();
+        if x >= threshold {
+            return x % n;
+        }
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end - self.start;
+        self.start + uniform_below(rng, span)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<i32> {
+    type Output = i32;
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + uniform_below(rng, span) as i64) as i32
+    }
+}
+
+impl SampleRange for std::ops::Range<u32> {
+    type Output = u32;
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as u32
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let u: f64 = f64::sample(rng);
+        let x = self.start + u * (self.end - self.start);
+        // Guard against rounding landing exactly on `end`.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_usize_bounds_and_coverage() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = r.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn gen_range_u64_respects_offset() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x = r.gen_range(100u64..110);
+            assert!((100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_stays_inside() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let _ = r.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn no_obvious_modulo_bias() {
+        // With rejection sampling every residue class of 3 is equally
+        // likely; a naive `% 3` over u64 would also pass this, but the
+        // threshold path is exercised by the tiny span.
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.gen_range(0usize..3)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "counts {counts:?}");
+        }
+    }
+}

@@ -30,17 +30,9 @@ fn main() {
     );
 
     // Load through the real-format loader.
-    let corpus = aan::read_aan(
-        metadata.as_bytes(),
-        citations.as_bytes(),
-        &LoadOptions::default(),
-    )
-    .expect("AAN load failed");
-    println!(
-        "loaded: {} articles, {} citations\n",
-        corpus.num_articles(),
-        corpus.num_citations()
-    );
+    let corpus = aan::read_aan(metadata.as_bytes(), citations.as_bytes(), &LoadOptions::default())
+        .expect("AAN load failed");
+    println!("loaded: {} articles, {} citations\n", corpus.num_articles(), corpus.num_citations());
 
     // Rank with data up to the 80% cutoff; ground truth = citations in the
     // following 5 years. Merit survives the round trip only in the

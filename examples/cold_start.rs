@@ -39,10 +39,12 @@ fn main() {
     );
 
     // Four hypothetical submissions, none of which exist in the corpus.
-    let candidates = [("star author @ top venue", (best_venue, vec![star_author])),
+    let candidates = [
+        ("star author @ top venue", (best_venue, vec![star_author])),
         ("star author @ weak venue", (worst_venue, vec![star_author])),
         ("unknown author @ top venue", (best_venue, vec![fresh_author])),
-        ("unknown author @ weak venue", (worst_venue, vec![fresh_author]))];
+        ("unknown author @ weak venue", (worst_venue, vec![fresh_author])),
+    ];
     let specs: Vec<(VenueId, Vec<AuthorId>)> =
         candidates.iter().map(|(_, spec)| spec.clone()).collect();
 

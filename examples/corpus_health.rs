@@ -28,10 +28,7 @@ fn main() {
         println!("  {age:>2}y {n:>5} {bar}");
     }
 
-    println!(
-        "\nself-citation rate: {:.1}%",
-        self_citation_rate(&corpus).unwrap_or(0.0) * 100.0
-    );
+    println!("\nself-citation rate: {:.1}%", self_citation_rate(&corpus).unwrap_or(0.0) * 100.0);
 
     // Venue insularity vs size.
     let ins = venue_insularity(&corpus);

@@ -22,18 +22,12 @@ fn main() {
     for &rho in &rhos {
         let scores = QRank::new(QRankConfig::default().with_rho(rho)).rank(&corpus);
         overlap.push(jaccard_at_k(&baseline, &scores, 25));
-        let years: Vec<f64> = top_k(&scores, 25)
-            .into_iter()
-            .map(|i| corpus.articles()[i].year as f64)
-            .collect();
+        let years: Vec<f64> =
+            top_k(&scores, 25).into_iter().map(|i| corpus.articles()[i].year as f64).collect();
         mean_top_year.push(years.iter().sum::<f64>() / years.len() as f64);
     }
 
-    let mut fig = SeriesSet::new(
-        "effect of the decay rate on the top-25",
-        "rho",
-        rhos.to_vec(),
-    );
+    let mut fig = SeriesSet::new("effect of the decay rate on the top-25", "rho", rhos.to_vec());
     fig.add("jaccard@25 vs rho=0", overlap);
     fig.add("mean year of top-25", mean_top_year.clone());
     println!("{fig}");

@@ -16,17 +16,10 @@ fn main() {
     let full = Preset::Tiny.generate(77);
     let (_, last) = full.year_range().unwrap();
     let snap = snapshot_until(&full, last - 2);
-    println!(
-        "initial index: {} articles (through {})",
-        snap.corpus.num_articles(),
-        last - 2
-    );
+    println!("initial index: {} articles (through {})", snap.corpus.num_articles(), last - 2);
 
     let mut index = IncrementalRanker::new(QRankConfig::default(), snap.corpus.clone());
-    println!(
-        "initial ranking: {} inner iterations\n",
-        index.result().twpr_diagnostics.iterations
-    );
+    println!("initial ranking: {} inner iterations\n", index.result().twpr_diagnostics.iterations);
 
     // Two yearly update batches arrive.
     let mut current_snap = snap;
@@ -63,12 +56,6 @@ fn main() {
     let result = index.result();
     for (pos, i) in top_k(&result.article_scores, 5).into_iter().enumerate() {
         let a = &index.corpus().articles()[i];
-        println!(
-            "  {}. [{:.5}] {} ({})",
-            pos + 1,
-            result.article_scores[i],
-            a.title,
-            a.year
-        );
+        println!("  {}. [{:.5}] {} ({})", pos + 1, result.article_scores[i], a.title, a.year);
     }
 }

@@ -5,7 +5,7 @@
 //! ```
 
 use scholar::rank::scores::top_k;
-use scholar::rank::venue_author::{venue_scores_in_window, venue_scores_from_articles};
+use scholar::rank::venue_author::{venue_scores_from_articles, venue_scores_in_window};
 use scholar::{Preset, QRank};
 
 fn main() {

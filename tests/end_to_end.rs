@@ -12,10 +12,8 @@ use scholar::{
 /// An AAN-shaped corpus small enough for CI: same structural parameters,
 /// ~4k articles.
 fn eval_corpus() -> Corpus {
-    let cfg = scholar::GeneratorConfig {
-        initial_articles_per_year: 50.0,
-        ..Preset::AanLike.config(99)
-    };
+    let cfg =
+        scholar::GeneratorConfig { initial_articles_per_year: 50.0, ..Preset::AanLike.config(99) };
     scholar::corpus::CorpusGenerator::new(cfg).generate()
 }
 
@@ -59,10 +57,7 @@ fn headline_shape_twpr_beats_pagerank() {
     let s = split(&corpus);
     let pr = accuracy(&PageRank::default(), &s);
     let twpr = accuracy(&TimeWeightedPageRank::default(), &s);
-    assert!(
-        twpr > pr + 0.02,
-        "TWPR ({twpr:.3}) should clearly beat PageRank ({pr:.3})"
-    );
+    assert!(twpr > pr + 0.02, "TWPR ({twpr:.3}) should clearly beat PageRank ({pr:.3})");
 }
 
 #[test]
@@ -137,10 +132,7 @@ fn award_articles_rank_high_under_qrank() {
     let scores = QRank::default().rank(&corpus);
     let k = corpus.num_articles() / 10; // top decile
     let p = scholar::eval::metrics::recall_at_k(&awards, &scores, k);
-    assert!(
-        p > 0.3,
-        "top decile of QRank should recover >30% of award articles, got {p:.3}"
-    );
+    assert!(p > 0.3, "top decile of QRank should recover >30% of award articles, got {p:.3}");
 }
 
 #[test]

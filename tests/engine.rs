@@ -1,0 +1,144 @@
+//! Prepared-engine equivalence: a cached `QRankEngine` must answer every
+//! mixture exactly like a fresh `QRank` run — across corpus presets,
+//! ablation variants, warm starts, and thread counts.
+
+use scholar::core::engine::{MixParams, QRankEngine, SolveScratch};
+use scholar::core::Ablation;
+use scholar::corpus::generator::Preset;
+use scholar::corpus::{Corpus, CorpusGenerator};
+use scholar::{GeneratorConfig, QRank, QRankConfig};
+use sgraph::stochastic::l1_distance;
+
+/// Corpora spanning the generator presets (the larger presets scaled down
+/// so the suite stays fast while still crossing the parallel-kernel
+/// threshold).
+fn preset_corpora() -> Vec<(&'static str, Corpus)> {
+    vec![
+        ("tiny-1", Preset::Tiny.generate(1)),
+        ("tiny-9", Preset::Tiny.generate(9)),
+        (
+            "aan-scaled",
+            CorpusGenerator::new(GeneratorConfig {
+                initial_articles_per_year: 60.0,
+                ..Preset::AanLike.config(7)
+            })
+            .generate(),
+        ),
+        (
+            "dblp-scaled",
+            CorpusGenerator::new(GeneratorConfig {
+                initial_articles_per_year: 25.0,
+                ..Preset::DblpLike.config(3)
+            })
+            .generate(),
+        ),
+    ]
+}
+
+fn assert_result_close(name: &str, a: &scholar::QRankResult, b: &scholar::QRankResult) {
+    for (label, x, y) in [
+        ("article", &a.article_scores, &b.article_scores),
+        ("venue", &a.venue_scores, &b.venue_scores),
+        ("author", &a.author_scores, &b.author_scores),
+        ("twpr", &a.twpr_scores, &b.twpr_scores),
+    ] {
+        let l1 = l1_distance(x, y);
+        assert!(l1 <= 1e-12, "{name}: {label} scores differ by L1 {l1}");
+    }
+}
+
+#[test]
+fn cached_engine_matches_fresh_run_across_presets() {
+    for (name, corpus) in preset_corpora() {
+        let cfg = QRankConfig::default();
+        let engine = QRankEngine::build(&corpus, &cfg);
+        let mut scratch = SolveScratch::new();
+        // Solve repeatedly against the same plan — reused scratch, varied
+        // mixtures — and check each answer against a from-scratch run.
+        for cfg in [
+            cfg.clone(),
+            cfg.clone().with_lambdas(0.7, 0.2, 0.1),
+            cfg.clone().with_maturity(3.0),
+            QRankConfig { mu_venue: 0.9, mu_author: 0.1, ..cfg.clone() },
+        ] {
+            let cached = engine.solve_with(&MixParams::from_config(&cfg), None, &mut scratch);
+            let fresh = QRank::new(cfg).run(&corpus);
+            assert_result_close(name, &cached, &fresh);
+        }
+    }
+}
+
+#[test]
+fn shared_engine_ablation_sweep_matches_fresh_runs() {
+    let corpus = Preset::Tiny.generate(5);
+    let base = QRankConfig::default();
+    let swept = Ablation::sweep(&base, &corpus);
+    assert_eq!(swept.len(), Ablation::all().len());
+    for (ab, res) in &swept {
+        let fresh = QRank::new(ab.apply(&base)).run(&corpus);
+        assert_result_close(ab.name(), res, &fresh);
+        assert!(res.outer.converged, "{} did not converge", ab.name());
+    }
+}
+
+#[test]
+fn warm_solves_match_fresh_warm_runs() {
+    let corpus = Preset::Tiny.generate(6);
+    let cfg = QRankConfig::default();
+    let engine = QRankEngine::build(&corpus, &cfg);
+    let mix = MixParams::from_config(&cfg);
+    let cold = engine.solve(&mix);
+
+    // A genuine warm start (yesterday's scores, slightly perturbed).
+    let mut warm: Vec<f64> = cold.article_scores.clone();
+    for (i, w) in warm.iter_mut().enumerate() {
+        *w *= 1.0 + 0.01 * ((i % 7) as f64);
+    }
+    let cached = engine.solve_warm(&mix, Some(&warm));
+    let fresh = QRank::new(cfg.clone()).run_warm(&corpus, Some(warm));
+    assert_result_close("warm", &cached, &fresh);
+
+    // Degenerate warm starts are dropped, not propagated: zero mass and
+    // wrong length both fall back to the cold solve.
+    let zero = engine.solve_warm(&mix, Some(&vec![0.0; corpus.num_articles()]));
+    assert_eq!(zero.article_scores, cold.article_scores);
+    let short = engine.solve_warm(&mix, Some(&[1.0, 2.0]));
+    assert_eq!(short.article_scores, cold.article_scores);
+}
+
+#[test]
+fn thread_count_does_not_change_any_score() {
+    // Large enough to cross the parallel threshold so the balanced-range
+    // kernels actually engage; the parallel partitions must be bitwise
+    // equivalent to sequential execution.
+    let corpus = CorpusGenerator::new(GeneratorConfig {
+        initial_articles_per_year: 60.0,
+        ..Preset::AanLike.config(11)
+    })
+    .generate();
+    assert!(corpus.num_articles() > 4096, "corpus must exercise the parallel kernels");
+    let reference: Option<scholar::QRankResult> = None;
+    let mut reference = reference;
+    for threads in [1usize, 2, 8] {
+        let cfg = QRankConfig::default().with_threads(threads);
+        let engine = QRankEngine::build(&corpus, &cfg);
+        let res = engine.solve(&MixParams::from_config(&cfg));
+        match &reference {
+            None => reference = Some(res),
+            Some(base) => {
+                assert_eq!(
+                    base.article_scores, res.article_scores,
+                    "article scores changed at {threads} threads"
+                );
+                assert_eq!(
+                    base.venue_scores, res.venue_scores,
+                    "venue scores changed at {threads} threads"
+                );
+                assert_eq!(
+                    base.author_scores, res.author_scores,
+                    "author scores changed at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -55,13 +55,9 @@ fn mag_tables_load_into_equivalent_corpus() {
             refs.push_str(&format!("{}\t{}\n", a.id, r));
         }
     }
-    let loaded = mag::read_mag(
-        papers.as_bytes(),
-        auth.as_bytes(),
-        refs.as_bytes(),
-        &LoadOptions::default(),
-    )
-    .unwrap();
+    let loaded =
+        mag::read_mag(papers.as_bytes(), auth.as_bytes(), refs.as_bytes(), &LoadOptions::default())
+            .unwrap();
 
     assert_eq!(loaded.num_articles(), original.num_articles());
     assert_eq!(loaded.num_citations(), original.num_citations());

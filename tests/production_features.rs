@@ -19,7 +19,7 @@ fn cold_start_scores_align_with_eventual_reality() {
     // pure noise.
     let full = scholar::corpus::CorpusGenerator::new(scholar::GeneratorConfig {
         initial_articles_per_year: 50.0,
-        ..Preset::AanLike.config(81)
+        ..Preset::AanLike.config(42)
     })
     .generate();
     let (_, last) = full.year_range().unwrap();
@@ -37,12 +37,8 @@ fn cold_start_scores_align_with_eventual_reality() {
         }
         // Authors that existed before the cutoff keep their ids (author
         // table is shared across snapshots).
-        let known: Vec<_> = a
-            .authors
-            .iter()
-            .copied()
-            .filter(|u| u.index() < snap.corpus.num_authors())
-            .collect();
+        let known: Vec<_> =
+            a.authors.iter().copied().filter(|u| u.index() < snap.corpus.num_authors()).collect();
         if known.is_empty() {
             continue;
         }

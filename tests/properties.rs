@@ -2,175 +2,208 @@
 //! randomly generated corpora (not just the generator's well-behaved
 //! output — these corpora include time-travel citations, empty bylines,
 //! and single-venue degenerate cases).
+//!
+//! Cases come from a seeded in-repo generator; failures print the seed.
 
-use proptest::prelude::*;
 use scholar::corpus::model::{ArticleId, AuthorId, VenueId};
 use scholar::corpus::{Corpus, CorpusBuilder};
 use scholar::{QRank, QRankConfig, Ranker};
+use srand::{rngs::SmallRng, Rng, SeedableRng};
 
-/// Strategy: an arbitrary (possibly messy) corpus.
-fn arb_corpus() -> impl Strategy<Value = Corpus> {
-    // (num_articles, num_authors, num_venues, per-article randomness)
-    (2usize..40, 1u32..8, 1u32..5)
-        .prop_flat_map(|(n, na, nv)| {
-            let articles = proptest::collection::vec(
-                (
-                    1950i32..2020,                                  // year
-                    0u32..nv,                                       // venue
-                    proptest::collection::vec(0u32..na, 0..4),      // authors
-                    proptest::collection::vec(0usize..n, 0..6),     // raw refs
-                ),
-                n,
-            );
-            (Just(n), Just(na), Just(nv), articles)
-        })
-        .prop_map(|(n, na, nv, articles)| {
-            let mut b = CorpusBuilder::new();
-            for v in 0..nv {
-                b.venue(&format!("V{v}"));
-            }
-            for a in 0..na {
-                b.author(&format!("A{a}"));
-            }
-            for (i, (year, venue, authors, refs)) in articles.into_iter().enumerate() {
-                let mut dedup_authors: Vec<AuthorId> =
-                    authors.into_iter().map(AuthorId).collect();
-                dedup_authors.sort();
-                dedup_authors.dedup();
-                let refs: Vec<ArticleId> = refs
-                    .into_iter()
-                    .filter(|&r| r < n && r != i)
-                    .map(|r| ArticleId(r as u32))
-                    .collect();
-                b.add_article(
-                    &format!("art{i}"),
-                    year,
-                    VenueId(venue),
-                    dedup_authors,
-                    refs,
-                    None,
-                );
-            }
-            b.finish().expect("arbitrary corpus must build")
-        })
+const CASES: u64 = 64;
+
+/// An arbitrary (possibly messy) corpus: 2..40 articles over 1..8 authors
+/// and 1..5 venues, with random bylines and (possibly time-travel) refs.
+fn arb_corpus(rng: &mut SmallRng) -> Corpus {
+    let n = rng.gen_range(2usize..40);
+    let na = rng.gen_range(1u32..8);
+    let nv = rng.gen_range(1u32..5);
+    let mut b = CorpusBuilder::new();
+    for v in 0..nv {
+        b.venue(&format!("V{v}"));
+    }
+    for a in 0..na {
+        b.author(&format!("A{a}"));
+    }
+    for i in 0..n {
+        let year = rng.gen_range(1950i32..2020);
+        let venue = rng.gen_range(0u32..nv);
+        let num_authors = rng.gen_range(0usize..4);
+        let mut dedup_authors: Vec<AuthorId> =
+            (0..num_authors).map(|_| AuthorId(rng.gen_range(0u32..na))).collect();
+        dedup_authors.sort();
+        dedup_authors.dedup();
+        let num_refs = rng.gen_range(0usize..6);
+        let refs: Vec<ArticleId> = (0..num_refs)
+            .map(|_| rng.gen_range(0usize..n))
+            .filter(|&r| r != i)
+            .map(|r| ArticleId(r as u32))
+            .collect();
+        b.add_article(&format!("art{i}"), year, VenueId(venue), dedup_authors, refs, None);
+    }
+    b.finish().expect("arbitrary corpus must build")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_ranker_emits_valid_distributions(corpus in arb_corpus()) {
-        for ranker in scholar::evaluation_rankers() {
-            let scores = ranker.rank(&corpus);
-            prop_assert_eq!(scores.len(), corpus.num_articles());
-            let sum: f64 = scores.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-6,
-                "{} scores must sum to 1, got {}", ranker.name(), sum);
-            prop_assert!(scores.iter().all(|&s| s >= 0.0 && s.is_finite()),
-                "{} produced an invalid score", ranker.name());
+fn for_corpora(body: impl Fn(&Corpus, &mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0x5eed);
+        let corpus = arb_corpus(&mut rng);
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&corpus, &mut rng)));
+        if let Err(e) = res {
+            eprintln!("property failed for seed {seed} ({} articles)", corpus.num_articles());
+            std::panic::resume_unwind(e);
         }
     }
+}
 
-    #[test]
-    fn qrank_result_is_internally_consistent(corpus in arb_corpus()) {
-        let res = QRank::default().run(&corpus);
-        prop_assert_eq!(res.article_scores.len(), corpus.num_articles());
-        prop_assert_eq!(res.venue_scores.len(), corpus.num_venues());
-        prop_assert_eq!(res.author_scores.len(), corpus.num_authors());
+#[test]
+fn every_ranker_emits_valid_distributions() {
+    for_corpora(|corpus, _| {
+        for ranker in scholar::evaluation_rankers() {
+            let scores = ranker.rank(corpus);
+            assert_eq!(scores.len(), corpus.num_articles());
+            let sum: f64 = scores.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{} scores must sum to 1, got {}",
+                ranker.name(),
+                sum
+            );
+            assert!(
+                scores.iter().all(|&s| s >= 0.0 && s.is_finite()),
+                "{} produced an invalid score",
+                ranker.name()
+            );
+        }
+    });
+}
+
+#[test]
+fn qrank_result_is_internally_consistent() {
+    for_corpora(|corpus, _| {
+        let res = QRank::default().run(corpus);
+        assert_eq!(res.article_scores.len(), corpus.num_articles());
+        assert_eq!(res.venue_scores.len(), corpus.num_venues());
+        assert_eq!(res.author_scores.len(), corpus.num_authors());
         // Venue scores of venues with no articles are derived from the
         // structural walk only; all scores must still be finite.
         for v in res.venue_scores.iter().chain(&res.author_scores) {
-            prop_assert!(v.is_finite() && *v >= 0.0);
+            assert!(v.is_finite() && *v >= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn snapshot_then_rank_never_panics(corpus in arb_corpus(), frac in 0.0f64..1.0) {
+#[test]
+fn snapshot_then_rank_never_panics() {
+    for_corpora(|corpus, rng| {
+        let frac = rng.gen_range(0.0f64..1.0);
         let (first, last) = corpus.year_range().unwrap();
         let cutoff = first + ((last - first) as f64 * frac) as i32;
-        let snap = scholar::corpus::snapshot_until(&corpus, cutoff);
+        let snap = scholar::corpus::snapshot_until(corpus, cutoff);
         if snap.corpus.num_articles() > 0 {
             let scores = QRank::default().rank(&snap.corpus);
             let full = snap.scatter_scores(&scores, 0.0);
-            prop_assert_eq!(full.len(), corpus.num_articles());
+            assert_eq!(full.len(), corpus.num_articles());
         }
-    }
+    });
+}
 
-    #[test]
-    fn citation_graph_agrees_with_corpus(corpus in arb_corpus()) {
+#[test]
+fn citation_graph_agrees_with_corpus() {
+    for_corpora(|corpus, _| {
         let g = corpus.citation_graph();
-        prop_assert_eq!(g.len(), corpus.num_articles());
-        prop_assert_eq!(g.num_edges(), corpus.num_citations());
+        assert_eq!(g.len(), corpus.num_articles());
+        assert_eq!(g.num_edges(), corpus.num_citations());
         let counts = corpus.citation_counts();
         for a in corpus.articles() {
-            prop_assert_eq!(
-                g.in_degree(scholar::graph::NodeId(a.id.0)),
-                counts[a.id.index()] as usize
-            );
+            assert_eq!(g.in_degree(scholar::graph::NodeId(a.id.0)), counts[a.id.index()] as usize);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lambda_mixture_interpolates_continuously(corpus in arb_corpus()) {
-        // Moving a little mass between lambda components must not produce
-        // wildly different rankings (continuity of the framework).
-        let base = QRank::new(QRankConfig::default().with_lambdas(0.8, 0.1, 0.1)).rank(&corpus);
-        let nudged = QRank::new(QRankConfig::default().with_lambdas(0.78, 0.12, 0.1)).rank(&corpus);
+#[test]
+fn lambda_mixture_interpolates_continuously() {
+    // Moving a little mass between lambda components must not produce
+    // wildly different rankings (continuity of the framework).
+    for_corpora(|corpus, _| {
+        let base = QRank::new(QRankConfig::default().with_lambdas(0.8, 0.1, 0.1)).rank(corpus);
+        let nudged = QRank::new(QRankConfig::default().with_lambdas(0.78, 0.12, 0.1)).rank(corpus);
         let l1: f64 = base.iter().zip(&nudged).map(|(a, b)| (a - b).abs()).sum();
-        prop_assert!(l1 < 0.2, "2% lambda nudge moved the distribution by {l1}");
-    }
+        assert!(l1 < 0.2, "2% lambda nudge moved the distribution by {l1}");
+    });
+}
 
-    #[test]
-    fn jsonl_roundtrip_on_arbitrary_corpora(corpus in arb_corpus()) {
+#[test]
+fn jsonl_roundtrip_on_arbitrary_corpora() {
+    for_corpora(|corpus, _| {
         let mut buf = Vec::new();
-        scholar::corpus::loader::jsonl::write_jsonl(&corpus, &mut buf).unwrap();
+        scholar::corpus::loader::jsonl::write_jsonl(corpus, &mut buf).unwrap();
         let loaded = scholar::corpus::loader::jsonl::read_jsonl(
             &buf[..],
             &scholar::corpus::loader::LoadOptions::default(),
-        ).unwrap();
-        prop_assert_eq!(loaded.num_articles(), corpus.num_articles());
-        prop_assert_eq!(loaded.num_citations(), corpus.num_citations());
+        )
+        .unwrap();
+        assert_eq!(loaded.num_articles(), corpus.num_articles());
+        assert_eq!(loaded.num_citations(), corpus.num_citations());
         for (a, b) in corpus.articles().iter().zip(loaded.articles()) {
-            prop_assert_eq!(a.year, b.year);
-            prop_assert_eq!(&a.references, &b.references);
+            assert_eq!(a.year, b.year);
+            assert_eq!(&a.references, &b.references);
         }
-    }
+    });
 }
 
 // ---- Loader robustness: arbitrary junk must produce Err or a valid
 // corpus, never a panic. ----
 
-fn arb_jsonl_text() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            // Valid-ish records with random fields.
-            (any::<u32>(), proptest::option::of(1900i32..2100), proptest::collection::vec(any::<u32>(), 0..3))
-                .prop_map(|(id, year, refs)| {
-                    let refs: Vec<String> =
-                        refs.into_iter().map(|r| format!("\"{r}\"")).collect();
-                    match year {
-                        Some(y) => format!(
-                            "{{\"id\": \"{id}\", \"year\": {y}, \"references\": [{}]}}",
-                            refs.join(",")
-                        ),
-                        None => format!("{{\"id\": \"{id}\", \"references\": [{}]}}", refs.join(",")),
-                    }
-                }),
-            // Plain junk lines.
-            "[ -~]{0,40}".prop_map(|s| s),
-            // Truncated JSON.
-            Just("{\"id\": \"x\"".to_string()),
-        ],
-        0..12,
-    )
-    .prop_map(|lines| lines.join("\n"))
+fn random_printable(rng: &mut SmallRng, max_len: usize, allow_newline: bool) -> String {
+    let len = rng.gen_range(0usize..max_len.max(1));
+    (0..len)
+        .map(|_| {
+            if allow_newline && rng.gen_range(0usize..20) == 0 {
+                '\n'
+            } else {
+                // Printable ASCII: 0x20..=0x7e.
+                char::from(rng.gen_range(0x20u32..0x7f) as u8)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_jsonl_text(rng: &mut SmallRng) -> String {
+    let lines = rng.gen_range(0usize..12);
+    (0..lines)
+        .map(|_| match rng.gen_range(0usize..3) {
+            // Valid-ish records with random fields.
+            0 => {
+                let id: u32 = rng.gen_range(0u32..u32::MAX);
+                let refs: Vec<String> = (0..rng.gen_range(0usize..3))
+                    .map(|_| format!("\"{}\"", rng.gen_range(0u32..u32::MAX)))
+                    .collect();
+                if rng.gen() {
+                    let y = rng.gen_range(1900i32..2100);
+                    format!(
+                        "{{\"id\": \"{id}\", \"year\": {y}, \"references\": [{}]}}",
+                        refs.join(",")
+                    )
+                } else {
+                    format!("{{\"id\": \"{id}\", \"references\": [{}]}}", refs.join(","))
+                }
+            }
+            // Plain junk lines.
+            1 => random_printable(rng, 40, false),
+            // Truncated JSON.
+            _ => "{\"id\": \"x\"".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
-    #[test]
-    fn jsonl_loader_never_panics(text in arb_jsonl_text()) {
+#[test]
+fn jsonl_loader_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x10ad);
+        let text = arb_jsonl_text(&mut rng);
         let opts = scholar::corpus::loader::LoadOptions::default();
         match scholar::corpus::loader::jsonl::read_jsonl(text.as_bytes(), &opts) {
             Ok(corpus) => {
@@ -184,9 +217,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn aan_loader_never_panics(meta in "[ -~\n]{0,200}", cites in "[ -~\n]{0,200}") {
+#[test]
+fn aan_loader_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xaa4);
+        let meta = random_printable(&mut rng, 200, true);
+        let cites = random_printable(&mut rng, 200, true);
         let opts = scholar::corpus::loader::LoadOptions::default();
         match scholar::corpus::loader::aan::read_aan(meta.as_bytes(), cites.as_bytes(), &opts) {
             Ok(corpus) => {
@@ -197,9 +235,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn edge_list_loader_never_panics(text in "[ -~\n]{0,200}") {
+#[test]
+fn edge_list_loader_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xed6e);
+        let text = random_printable(&mut rng, 200, true);
         match scholar::graph::io::read_edge_list(text.as_bytes(), None) {
             Ok(g) => g.validate().unwrap(),
             Err(e) => {

@@ -90,10 +90,7 @@ fn qrank_is_more_stable_than_pagerank_under_sparsification() {
 
     let qr = stability(&QRank::default());
     let pr = stability(&PageRank::default());
-    assert!(
-        qr > pr - 0.05,
-        "QRank stability ({qr:.3}) should not fall behind PageRank ({pr:.3})"
-    );
+    assert!(qr > pr - 0.05, "QRank stability ({qr:.3}) should not fall behind PageRank ({pr:.3})");
 }
 
 #[test]
@@ -115,9 +112,6 @@ fn top_k_overlap_between_adjacent_snapshots_is_high() {
         v
     };
     let overlap = jaccard_at_k(&r1_in_s2, &r2, 50);
-    assert!(
-        overlap > 0.5,
-        "one extra year should not overturn the top-50 (jaccard {overlap:.3})"
-    );
+    assert!(overlap > 0.5, "one extra year should not overturn the top-50 (jaccard {overlap:.3})");
     assert_eq!(first, c.year_range().unwrap().0);
 }
