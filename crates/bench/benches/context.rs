@@ -1,0 +1,114 @@
+//! Shared-[`RankContext`] economics: the full baseline-suite ranking
+//! sweep of an evaluation session (every ranker, once per ground-truth
+//! experiment) with one prepared context versus the per-ranker rebuild
+//! idiom, plus the drift and build-count guarantees that make the fast
+//! path safe. Metric scoring is identical work in both paths and is
+//! excluded from the timed region.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench context
+//! ```
+//!
+//! Besides the human-readable report, writes `BENCH_context.json` at the
+//! repository root so the numbers are machine-checkable.
+
+use scholar::graph::stochastic::l1_distance;
+use scholar::rank::RankContext;
+use scholar::{Corpus, Preset};
+use scholar_bench::{smoke_mode, time_secs, SEED};
+
+/// Full-suite ranking passes per session: a typical evaluation scores
+/// every baseline against three ground truths (future citations, awards,
+/// expert pairs), and the rebuild idiom re-ranks for each.
+const PASSES: usize = 3;
+
+/// One evaluation session against a prepared context: building the
+/// context is part of the session, every ranker solves through it, and
+/// repeat passes hit the solve memo.
+fn session_shared(corpus: &Corpus) -> Vec<Vec<f64>> {
+    let ctx = RankContext::new(corpus);
+    let mut rankings = Vec::new();
+    for _ in 0..PASSES {
+        for ranker in scholar::evaluation_rankers() {
+            rankings.push(ranker.rank_ctx(&ctx));
+        }
+    }
+    rankings
+}
+
+/// The same session in the pre-context idiom: each ranker re-derives its
+/// graphs and re-solves from scratch on every pass.
+fn session_rebuild(corpus: &Corpus) -> Vec<Vec<f64>> {
+    let mut rankings = Vec::new();
+    for _ in 0..PASSES {
+        for ranker in scholar::evaluation_rankers() {
+            rankings.push(ranker.rank(corpus));
+        }
+    }
+    rankings
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (preset, name) = if smoke { (Preset::Tiny, "tiny") } else { (Preset::AanLike, "aan_like") };
+    let corpus = preset.generate(SEED);
+    let suite = scholar::evaluation_rankers();
+    println!(
+        "baseline-suite session on {name} ({} articles, {} citations, {} rankers x {PASSES} passes)\n",
+        corpus.num_articles(),
+        corpus.num_citations(),
+        suite.len()
+    );
+
+    // --- Correctness first: the fast path must be the same computation. --
+    let shared_rankings = session_shared(&corpus);
+    let rebuilt_rankings = session_rebuild(&corpus);
+    let mut max_l1: f64 = 0.0;
+    for (i, (a, b)) in shared_rankings.iter().zip(&rebuilt_rankings).enumerate() {
+        let drift = l1_distance(a, b);
+        let who = suite[i % suite.len()].name();
+        assert!(drift <= 1e-12, "{who}: shared-context scores drifted ({drift:.3e})");
+        max_l1 = max_l1.max(drift);
+    }
+
+    // One session against a fresh corpus (fresh build counter): the whole
+    // suite must derive the citation CSR exactly once.
+    let counted = corpus.clone();
+    session_shared(&counted);
+    let builds = counted.citation_graph_builds();
+    assert_eq!(builds, 1, "shared-context session built the citation graph {builds} times");
+
+    // --- The race. ------------------------------------------------------
+    let iters = if smoke { 1 } else { 3 };
+    let shared_secs = time_secs(iters, || session_shared(&corpus));
+    let rebuild_secs = time_secs(iters, || session_rebuild(&corpus));
+    let speedup = rebuild_secs / shared_secs;
+    println!("shared context (1 build, memoized solves): {shared_secs:>8.4} s");
+    println!("rebuild per ranker per pass:               {rebuild_secs:>8.4} s");
+    println!("speedup:                                   {speedup:>8.2}x");
+    println!("max L1 drift shared vs rebuild:            {max_l1:>8.2e}");
+    println!("citation graph builds per shared session:  {builds:>8}");
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_context.json and the speedup floor)");
+        return;
+    }
+    assert!(speedup >= 2.0, "shared-context session must be >= 2x faster, got {speedup:.2}x");
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", name)
+        .field("seed", SEED)
+        .field("articles", corpus.num_articles())
+        .field("citations", corpus.num_citations())
+        .field("rankers", suite.len())
+        .field("passes", PASSES)
+        .field("shared_context_secs", shared_secs)
+        .field("rebuild_secs", rebuild_secs)
+        .field("speedup", speedup)
+        .field("max_l1_drift", max_l1)
+        .field("citation_graph_builds_shared", builds)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_context.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

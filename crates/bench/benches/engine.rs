@@ -13,7 +13,7 @@
 use scholar::core::SolveScratch;
 use scholar::graph::stochastic::l1_distance;
 use scholar::{Ablation, MixParams, Preset, QRank, QRankConfig, QRankEngine};
-use scholar_bench::SEED;
+use scholar_bench::{smoke_mode, SEED};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -24,10 +24,12 @@ fn secs_of<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 fn main() {
-    let corpus = Preset::AanLike.generate(SEED);
+    let smoke = smoke_mode();
+    let (preset, name) = if smoke { (Preset::Tiny, "tiny") } else { (Preset::AanLike, "aan_like") };
+    let corpus = preset.generate(SEED);
     let cfg = QRankConfig::default();
     println!(
-        "engine economics on aan_like ({} articles, {} citations)\n",
+        "engine economics on {name} ({} articles, {} citations)\n",
         corpus.num_articles(),
         corpus.num_citations()
     );
@@ -71,13 +73,14 @@ fn main() {
     // --- Ablation sweep: shared engines vs rebuild per variant. ---------
     // Mean of 3 timed runs after a warmup each (time_secs), so allocator
     // and cache effects don't favour whichever path runs second.
+    let iters = if smoke { 1 } else { 3 };
     let swept = Ablation::sweep(&cfg, &corpus);
-    let shared_secs = scholar_bench::time_secs(3, || Ablation::sweep(&cfg, &corpus));
+    let shared_secs = scholar_bench::time_secs(iters, || Ablation::sweep(&cfg, &corpus));
     let fresh: Vec<_> = Ablation::all()
         .into_iter()
         .map(|ab| (ab, QRank::new(ab.apply(&cfg)).run(&corpus)))
         .collect();
-    let rebuild_secs = scholar_bench::time_secs(3, || {
+    let rebuild_secs = scholar_bench::time_secs(iters, || {
         Ablation::all()
             .into_iter()
             .map(|ab| (ab, QRank::new(ab.apply(&cfg)).run(&corpus)))
@@ -96,8 +99,12 @@ fn main() {
     println!("  rebuild per variant:        {rebuild_secs:>8.4} s");
     println!("  speedup:                    {speedup:>8.2}x  (max L1 drift {max_l1:.2e})");
 
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_engine.json)");
+        return;
+    }
     let json = sjson::ObjectBuilder::new()
-        .field("corpus", "aan_like")
+        .field("corpus", name)
         .field("seed", SEED)
         .field("articles", corpus.num_articles())
         .field("citations", corpus.num_citations())

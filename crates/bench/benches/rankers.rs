@@ -6,27 +6,32 @@
 //! ```
 
 use scholar::Preset;
-use scholar_bench::{time_secs, SEED};
+use scholar_bench::{smoke_mode, time_secs, SEED};
 
 fn main() {
-    let corpus = Preset::AanLike.generate(SEED);
+    let smoke = smoke_mode();
+    let (preset, name, iters) =
+        if smoke { (Preset::Tiny, "tiny", 1) } else { (Preset::AanLike, "aan_like", 3) };
+    let corpus = preset.generate(SEED);
     println!(
-        "rankers_aan_like ({} articles, {} citations):",
+        "rankers_{name} ({} articles, {} citations):",
         corpus.num_articles(),
         corpus.num_citations()
     );
     for ranker in scholar::evaluation_rankers() {
-        let secs = time_secs(3, || ranker.rank(&corpus));
+        let secs = time_secs(iters, || ranker.rank(&corpus));
         println!("  {:<16} {:>9.4} s", ranker.name(), secs);
     }
 
     println!("\ncorpus_generation:");
     println!("  {:<16} {:>9.4} s", "tiny", time_secs(5, || Preset::Tiny.generate(SEED)));
-    println!("  {:<16} {:>9.4} s", "aan_like", time_secs(3, || Preset::AanLike.generate(SEED)));
+    if !smoke {
+        println!("  {:<16} {:>9.4} s", "aan_like", time_secs(3, || Preset::AanLike.generate(SEED)));
+    }
 
     let cfg = scholar::QRankConfig::default();
     println!(
-        "\nhetnet_build_aan_like: {:.4} s",
-        time_secs(3, || scholar::core::HetNet::build(&corpus, &cfg))
+        "\nhetnet_build_{name}: {:.4} s",
+        time_secs(iters, || scholar::core::HetNet::build(&corpus, &cfg))
     );
 }

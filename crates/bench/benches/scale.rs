@@ -8,7 +8,7 @@
 use scholar::corpus::CorpusGenerator;
 use scholar::rank::{PageRankConfig, TwprConfig};
 use scholar::{GeneratorConfig, PageRank, Preset, Ranker, TimeWeightedPageRank};
-use scholar_bench::{time_secs, SEED};
+use scholar_bench::{smoke_mode, time_secs, SEED};
 
 fn corpus_with_rate(rate: f64) -> scholar::Corpus {
     let cfg = GeneratorConfig { initial_articles_per_year: rate, ..Preset::DblpLike.config(SEED) };
@@ -16,11 +16,14 @@ fn corpus_with_rate(rate: f64) -> scholar::Corpus {
 }
 
 fn main() {
+    let smoke = smoke_mode();
+    let rates: &[f64] = if smoke { &[5.0] } else { &[25.0, 50.0, 100.0] };
+    let iters = if smoke { 1 } else { 3 };
     println!("pagerank_vs_corpus_size:");
-    for &rate in &[25.0, 50.0, 100.0] {
+    for &rate in rates {
         let corpus = corpus_with_rate(rate);
         let edges = corpus.num_citations();
-        let secs = time_secs(3, || PageRank::default().rank(&corpus));
+        let secs = time_secs(iters, || PageRank::default().rank(&corpus));
         println!(
             "  {:>9} edges {:>9.4} s ({:.1} Medges/s)",
             edges,
@@ -30,13 +33,14 @@ fn main() {
     }
 
     println!("\ntwpr_thread_scaling:");
-    let corpus = corpus_with_rate(100.0);
-    for &threads in &[1usize, 2, 4, 8] {
+    let corpus = corpus_with_rate(if smoke { 5.0 } else { 100.0 });
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &threads in thread_counts {
         let ranker = TimeWeightedPageRank::new(TwprConfig {
             pagerank: PageRankConfig { threads, ..Default::default() },
             ..Default::default()
         });
-        let secs = time_secs(3, || ranker.rank(&corpus));
+        let secs = time_secs(iters, || ranker.rank(&corpus));
         println!("  {threads} threads {secs:>9.4} s");
     }
 }

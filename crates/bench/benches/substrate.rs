@@ -8,7 +8,7 @@
 
 use scholar::graph::stochastic::{normalize_l1, PowerIterationOpts};
 use scholar::graph::{GraphBuilder, JumpVector, NodeId, RowStochastic};
-use scholar_bench::time_secs;
+use scholar_bench::{smoke_mode, time_secs};
 
 /// Deterministic pseudo-random edge list (splitmix-style).
 fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32, f64)> {
@@ -20,11 +20,13 @@ fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32, f64)> {
     (0..m).map(|_| (next() % n, next() % n, 1.0 + (next() % 8) as f64)).collect()
 }
 
-fn bench_build() {
+fn bench_build(smoke: bool) {
     println!("csr_build:");
-    for &(n, m) in &[(10_000u32, 60_000usize), (50_000, 400_000)] {
+    let sizes: &[(u32, usize)] =
+        if smoke { &[(2_000, 12_000)] } else { &[(10_000, 60_000), (50_000, 400_000)] };
+    for &(n, m) in sizes {
         let edges = random_edges(n, m, 7);
-        let secs = time_secs(5, || {
+        let secs = time_secs(if smoke { 2 } else { 5 }, || {
             let mut builder = GraphBuilder::new(n).with_edge_capacity(edges.len());
             for &(s, d, w) in &edges {
                 builder.add_edge(NodeId(s), NodeId(d), w);
@@ -35,33 +37,37 @@ fn bench_build() {
     }
 }
 
-fn bench_spmv() {
-    let n = 100_000u32;
-    let m = 800_000usize;
+fn bench_spmv(smoke: bool) {
+    let n: u32 = if smoke { 10_000 } else { 100_000 };
+    let m: usize = if smoke { 80_000 } else { 800_000 };
     let g = GraphBuilder::from_weighted_edges(n, &random_edges(n, m, 11));
     let op = RowStochastic::new(&g);
     let mut x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
     normalize_l1(&mut x);
     let mut y = vec![0.0; n as usize];
 
-    println!("\nwalk_step_800k_edges:");
-    for &threads in &[1usize, 2, 4, 8] {
-        let secs =
-            time_secs(20, || op.apply_parallel(&x, &mut y, 0.85, &JumpVector::Uniform, threads));
+    println!("\nwalk_step_{}k_edges:", m / 1000);
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &threads in thread_counts {
+        let secs = time_secs(if smoke { 5 } else { 20 }, || {
+            op.apply_parallel(&x, &mut y, 0.85, &JumpVector::Uniform, threads)
+        });
         println!("  {threads} threads {secs:>9.5} s ({:.1} Medges/s)", m as f64 / secs / 1e6);
     }
 }
 
-fn bench_power_iteration() {
-    let n = 50_000u32;
-    let g = GraphBuilder::from_weighted_edges(n, &random_edges(n, 300_000, 13));
+fn bench_power_iteration(smoke: bool) {
+    let n: u32 = if smoke { 5_000 } else { 50_000 };
+    let m = if smoke { 30_000 } else { 300_000 };
+    let g = GraphBuilder::from_weighted_edges(n, &random_edges(n, m, 13));
     let op = RowStochastic::new(&g);
-    let secs =
-        time_secs(3, || op.stationary(&PowerIterationOpts { tol: 1e-8, ..Default::default() }));
-    println!("\npower_iteration_to_1e-8_300k_edges: {secs:.4} s");
+    let secs = time_secs(if smoke { 1 } else { 3 }, || {
+        op.stationary(&PowerIterationOpts { tol: 1e-8, ..Default::default() })
+    });
+    println!("\npower_iteration_to_1e-8_{}k_edges: {secs:.4} s", m / 1000);
 }
 
-fn bench_kendall() {
+fn bench_kendall(smoke: bool) {
     let mut state = 99u64;
     let mut next = move || {
         state ^= state << 13;
@@ -69,15 +75,18 @@ fn bench_kendall() {
         state ^= state << 17;
         ((state >> 32) % 1000) as f64
     };
-    let x: Vec<f64> = (0..100_000).map(|_| next()).collect();
-    let y: Vec<f64> = (0..100_000).map(|_| next()).collect();
-    let secs = time_secs(5, || scholar::eval::metrics::kendall_tau_b(&x, &y));
-    println!("\nkendall_tau_100k: {secs:.4} s");
+    let n = if smoke { 10_000 } else { 100_000 };
+    let x: Vec<f64> = (0..n).map(|_| next()).collect();
+    let y: Vec<f64> = (0..n).map(|_| next()).collect();
+    let secs =
+        time_secs(if smoke { 2 } else { 5 }, || scholar::eval::metrics::kendall_tau_b(&x, &y));
+    println!("\nkendall_tau_{}k: {secs:.4} s", n / 1000);
 }
 
 fn main() {
-    bench_build();
-    bench_spmv();
-    bench_power_iteration();
-    bench_kendall();
+    let smoke = smoke_mode();
+    bench_build(smoke);
+    bench_spmv(smoke);
+    bench_power_iteration(smoke);
+    bench_kendall(smoke);
 }

@@ -30,6 +30,15 @@ pub fn snapshot_at_frac(corpus: &Corpus, frac: f64) -> Snapshot {
 /// truth throughout the evaluation.
 pub const FUTURE_WINDOW_YEARS: i32 = 5;
 
+/// True when the bench binary was invoked with `--smoke` (reachable as
+/// `cargo bench -p scholar-bench --bench <name> -- --smoke`): bench mains
+/// shrink their corpora and iteration counts so every target finishes in
+/// seconds, and skip writing `BENCH_*.json` so smoke numbers never
+/// clobber real ones. Used by the CI smoke job.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
 /// Mean wall-clock seconds per call of `f` over `iters` timed runs,
 /// after one untimed warmup run. The dependency-free replacement for the
 /// Criterion harness in the `benches/` targets.

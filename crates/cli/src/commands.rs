@@ -10,9 +10,11 @@ use scholar::eval::tables::{fmt_metric, fmt_seconds, Table};
 use scholar::eval::Experiment;
 use scholar::rank::personalized::{related_articles, PersonalizedConfig};
 use scholar::rank::scores::top_k;
+use scholar::rank::{RankContext, SolveTelemetry};
 use scholar::{Corpus, QRank, QRankConfig, Ranker};
 use std::io::Write;
 use std::path::Path;
+use std::time::Instant;
 
 type CmdResult = Result<(), String>;
 
@@ -126,15 +128,26 @@ pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     }
     // The qrank path goes through the prepared engine so one build + one
     // solve serves both the score listing and the optional explanations.
-    let (method_name, scores, qrank_run) = if method == "qrank" {
+    let (method_name, scores, telemetry, qrank_run) = if method == "qrank" {
+        let built = Instant::now();
         let engine = scholar::QRankEngine::build(&corpus, &cfg);
+        let build_secs = built.elapsed().as_secs_f64();
+        let solved = Instant::now();
         let result = engine.solve(&scholar::MixParams::from_config(&cfg));
+        let telemetry = SolveTelemetry {
+            iterations: result.outer.iterations + result.twpr_diagnostics.iterations,
+            converged: result.outer.converged && result.twpr_diagnostics.converged,
+            residuals: result.outer.residuals.clone(),
+            build_secs,
+            solve_secs: solved.elapsed().as_secs_f64(),
+            cached: false,
+        };
         let scores = result.article_scores.clone();
-        ("QRank".to_string(), scores, Some((engine, result)))
+        ("QRank".to_string(), scores, telemetry, Some((engine, result)))
     } else {
         let ranker = ranker_by_name(method)?;
-        let scores = ranker.rank(&corpus);
-        (ranker.name(), scores, None)
+        let solved = ranker.solve_ctx(&RankContext::new(&corpus));
+        (ranker.name(), solved.scores, solved.telemetry, None)
     };
     let best = top_k(&scores, top);
 
@@ -169,6 +182,24 @@ pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
             a.title,
             a.year,
             corpus.venue(a.venue).name
+        );
+    }
+    if telemetry.iterations == 0 {
+        outln!(
+            out,
+            "\nsolver: closed form (build {}, solve {})",
+            fmt_seconds(telemetry.build_secs),
+            fmt_seconds(telemetry.solve_secs)
+        );
+    } else {
+        outln!(
+            out,
+            "\nsolver: {} iterations{}, final residual {:.2e}, build {}, solve {}",
+            telemetry.iterations,
+            if telemetry.converged { "" } else { " (NOT converged)" },
+            telemetry.final_residual().unwrap_or(0.0),
+            fmt_seconds(telemetry.build_secs),
+            fmt_seconds(telemetry.solve_secs)
         );
     }
 
@@ -206,6 +237,7 @@ pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
                 sjson::ObjectBuilder::new()
                     .field("variant", ab.name().trim())
                     .field("outer_iterations", res.outer.iterations)
+                    .field("inner_iterations", res.twpr_diagnostics.iterations)
                     .field("converged", res.outer.converged)
                     .field(
                         "l1_vs_full",
@@ -221,7 +253,7 @@ pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
     let mut table = Table::new(
         &format!("ablation sweep over {} articles (shared engines)", corpus.num_articles()),
-        &["variant", "outer iters", "L1 vs full", "top article"],
+        &["variant", "outer iters", "inner iters", "L1 vs full", "top article"],
     );
     for (ab, res) in &swept {
         let l1 = scholar::graph::stochastic::l1_distance(&res.article_scores, &full);
@@ -229,6 +261,7 @@ pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         table.row(vec![
             ab.name().to_string(),
             format!("{}", res.outer.iterations),
+            format!("{}", res.twpr_diagnostics.iterations),
             format!("{l1:.3e}"),
             corpus.articles()[best].title.clone(),
         ]);
@@ -372,15 +405,18 @@ pub fn eval<W: Write>(args: &Args, out: &mut W) -> CmdResult {
             snap.corpus.num_articles(),
             truth.description
         ),
-        &["method", "pairwise", "spearman", "kendall", "ndcg@50", "time"],
+        &["method", "pairwise", "spearman", "kendall", "ndcg@50", "iters", "build/solve", "time"],
     );
     for r in rows {
+        let t = &r.telemetry;
         table.row(vec![
             r.method,
             fmt_metric(r.pairwise_accuracy),
             fmt_metric(r.spearman),
             fmt_metric(r.kendall),
             fmt_metric(r.ndcg_at_50),
+            format!("{}{}", t.iterations, if t.converged { "" } else { "*" }),
+            format!("{}/{}", fmt_seconds(t.build_secs), fmt_seconds(t.solve_secs)),
             fmt_seconds(r.seconds),
         ]);
     }
@@ -515,12 +551,17 @@ mod tests {
         let dir = tmpdir();
         let path = corpus_file(&dir);
         // --threads 1 (the sequential escape hatch) must give the same
-        // ranking as the default thread count.
+        // ranking as the default thread count. The trailing solver line
+        // carries wall-clock times, so compare everything above it.
+        let ranking_lines = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| !l.starts_with("solver:")).map(str::to_owned).collect()
+        };
         let seq =
             run(&["rank", &path, "--method", "qrank", "--top", "3", "--threads", "1"]).unwrap();
         let par =
             run(&["rank", &path, "--method", "qrank", "--top", "3", "--threads", "4"]).unwrap();
-        assert_eq!(seq, par);
+        assert_eq!(ranking_lines(&seq), ranking_lines(&par));
+        assert!(seq.contains("solver: "), "rank output reports solver telemetry");
         let err = run(&["rank", &path, "--threads", "0"]).unwrap_err();
         assert!(err.contains("--threads"));
         let err2 = run(&["rank", &path, "--threads", "lots"]).unwrap_err();

@@ -28,7 +28,7 @@ use crate::hetnet::HetNet;
 use crate::qrank::QRankResult;
 use scholar_corpus::Corpus;
 use scholar_rank::diagnostics::Diagnostics;
-use scholar_rank::TimeWeightedPageRank;
+use scholar_rank::{RankContext, TimeWeightedPageRank};
 use sgraph::stochastic::{blend_into, l1_distance, normalize_l1, PowerIterationOpts};
 use sgraph::{JumpVector, RowStochastic};
 use std::ops::Range;
@@ -196,6 +196,20 @@ impl QRankEngine {
     pub fn build(corpus: &Corpus, config: &QRankConfig) -> Self {
         config.assert_valid();
         let net = HetNet::build(corpus, config);
+        Self::assemble(corpus, config, net)
+    }
+
+    /// [`QRankEngine::build`] against a prepared [`RankContext`]: the
+    /// decayed citation graph and the bipartites come from the context's
+    /// caches (see [`HetNet::build_from_ctx`]); the structural walks and
+    /// partitions are still computed here.
+    pub fn build_from_ctx(ctx: &RankContext, config: &QRankConfig) -> Self {
+        config.assert_valid();
+        let net = HetNet::build_from_ctx(ctx, config);
+        Self::assemble(ctx.corpus(), config, net)
+    }
+
+    fn assemble(corpus: &Corpus, config: &QRankConfig, net: HetNet) -> Self {
         let n = net.num_articles();
         let now =
             config.twpr.now.or_else(|| corpus.year_range().map(|(_, last)| last)).unwrap_or(0);
@@ -303,6 +317,15 @@ impl QRankEngine {
     pub fn twpr(&self) -> (&[f64], &Diagnostics) {
         let (scores, diag) = self.twpr_cold.get_or_init(|| self.run_inner_walk(None));
         (scores, diag)
+    }
+
+    /// Install a precomputed cold TWPR stationary (e.g. a context-memoized
+    /// TWPR solve with identical parameters) so [`Self::twpr`] and cold
+    /// solves skip the inner walk. No-op if the walk already ran; the
+    /// caller must guarantee the scores match what [`Self::twpr`] would
+    /// compute.
+    pub fn prime_twpr(&self, scores: Vec<f64>, diagnostics: Diagnostics) {
+        let _ = self.twpr_cold.set((scores, diagnostics));
     }
 
     fn run_inner_walk(&self, warm_start: Option<Vec<f64>>) -> (Vec<f64>, Diagnostics) {

@@ -6,7 +6,7 @@
 
 use crate::config::QRankConfig;
 use scholar_corpus::Corpus;
-use scholar_rank::TimeWeightedPageRank;
+use scholar_rank::{RankContext, TimeWeightedPageRank};
 use sgraph::{Bipartite, CsrGraph};
 
 /// All derived graphs of a corpus under one decay configuration.
@@ -39,6 +39,26 @@ impl HetNet {
             author_graph: corpus.author_graph(decay, config.drop_self_citations),
             authorship: corpus.authorship_bipartite(),
             publication: corpus.publication_bipartite(),
+        }
+    }
+
+    /// [`HetNet::build`] against a prepared [`RankContext`]: the decayed
+    /// citation graph and both bipartites come from the context's caches
+    /// (a clone of an already-derived structure instead of a re-derivation
+    /// from the article table). The venue/author supernode graphs are
+    /// QRank-specific aggregations and are still built here.
+    pub fn build_from_ctx(ctx: &RankContext, config: &QRankConfig) -> Self {
+        let corpus = ctx.corpus();
+        let rho = config.twpr.rho;
+        let decay = |citing: &scholar_corpus::Article, cited: &scholar_corpus::Article| {
+            TimeWeightedPageRank::edge_weight(rho, (citing.year - cited.year) as f64)
+        };
+        HetNet {
+            citation: ctx.decayed_citation(rho).graph.clone(),
+            venue_graph: corpus.venue_graph(decay),
+            author_graph: corpus.author_graph(decay, config.drop_self_citations),
+            authorship: ctx.authorship().clone(),
+            publication: ctx.publication().clone(),
         }
     }
 

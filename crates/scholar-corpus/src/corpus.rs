@@ -4,18 +4,55 @@ use crate::model::{Article, ArticleId, Author, AuthorId, Venue, VenueId, Year};
 use crate::{CorpusError, Result};
 use sgraph::{Bipartite, BipartiteBuilder, CsrGraph, GraphBuilder, NodeId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An immutable scholarly corpus: articles, authors, venues, and the
 /// citation structure. Build one with [`CorpusBuilder`], the synthetic
 /// [`crate::generator`], or a [`crate::loader`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Corpus {
     pub(crate) articles: Vec<Article>,
     pub(crate) authors: Vec<Author>,
     pub(crate) venues: Vec<Venue>,
+    /// How many times [`Corpus::citation_graph`] has materialized the CSR
+    /// for this instance. Build-amortization probe: a prepared layer that
+    /// shares one context leaves this at 1 after a full ranker sweep.
+    citation_graph_builds: AtomicUsize,
+}
+
+impl Clone for Corpus {
+    fn clone(&self) -> Self {
+        // The build counter is per-instance instrumentation, not data:
+        // a clone starts with a fresh count.
+        Corpus::from_parts(self.articles.clone(), self.authors.clone(), self.venues.clone())
+    }
+}
+
+impl PartialEq for Corpus {
+    fn eq(&self, other: &Self) -> bool {
+        self.articles == other.articles
+            && self.authors == other.authors
+            && self.venues == other.venues
+    }
 }
 
 impl Corpus {
+    /// Assemble a corpus from already-validated parts (crate-internal;
+    /// public construction goes through [`CorpusBuilder`] and friends).
+    pub(crate) fn from_parts(
+        articles: Vec<Article>,
+        authors: Vec<Author>,
+        venues: Vec<Venue>,
+    ) -> Self {
+        Corpus { articles, authors, venues, citation_graph_builds: AtomicUsize::new(0) }
+    }
+
+    /// How many times [`Corpus::citation_graph`] has run for this
+    /// instance. Used by tests and benches to assert that prepared layers
+    /// (RankContext, QRankEngine) amortize the CSR build.
+    pub fn citation_graph_builds(&self) -> usize {
+        self.citation_graph_builds.load(Ordering::Relaxed)
+    }
     /// All articles, indexed by [`ArticleId`].
     pub fn articles(&self) -> &[Article] {
         &self.articles
@@ -82,6 +119,7 @@ impl Corpus {
     /// The citation graph: one node per article, edge **citing → cited**,
     /// unit weights. In-degree is citation count.
     pub fn citation_graph(&self) -> CsrGraph {
+        self.citation_graph_builds.fetch_add(1, Ordering::Relaxed);
         let mut b = GraphBuilder::new(self.articles.len() as u32)
             .with_edge_capacity(self.num_citations())
             .self_loops(false);
@@ -349,7 +387,7 @@ impl CorpusBuilder {
                 }
             }
         }
-        Ok(Corpus { articles: self.articles, authors: self.authors, venues: self.venues })
+        Ok(Corpus::from_parts(self.articles, self.authors, self.venues))
     }
 }
 

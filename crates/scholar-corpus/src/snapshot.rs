@@ -75,11 +75,7 @@ pub fn snapshot_until(corpus: &Corpus, cutoff: Year) -> Snapshot {
         })
         .collect();
     Snapshot {
-        corpus: Corpus {
-            articles,
-            authors: corpus.authors().to_vec(),
-            venues: corpus.venues().to_vec(),
-        },
+        corpus: Corpus::from_parts(articles, corpus.authors().to_vec(), corpus.venues().to_vec()),
         full_of,
         snap_of,
         cutoff,

@@ -200,8 +200,8 @@ mod tests {
     #[test]
     fn add_article_dense_ids_validate() {
         // Articles created via Article literal with correct density pass.
-        let c = Corpus {
-            articles: vec![Article {
+        let c = Corpus::from_parts(
+            vec![Article {
                 id: ArticleId(0),
                 title: "x".into(),
                 year: 2000,
@@ -210,9 +210,9 @@ mod tests {
                 references: vec![],
                 merit: None,
             }],
-            authors: vec![],
-            venues: vec![crate::model::Venue { id: VenueId(0), name: "v".into() }],
-        };
+            vec![],
+            vec![crate::model::Venue { id: VenueId(0), name: "v".into() }],
+        );
         assert!(validate(&c).is_ok());
     }
 }

@@ -3,7 +3,7 @@
 use crate::groundtruth::GroundTruth;
 use crate::metrics;
 use scholar_corpus::Corpus;
-use scholar_rank::Ranker;
+use scholar_rank::{RankContext, Ranker, SolveTelemetry};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -20,8 +20,12 @@ pub struct EvalRow {
     pub kendall: f64,
     /// NDCG@50 against the graded truth.
     pub ndcg_at_50: f64,
-    /// Wall-clock seconds spent in `rank()`.
+    /// Wall-clock seconds spent producing the ranking.
     pub seconds: f64,
+    /// Solver telemetry of the ranking (iterations, convergence, build vs.
+    /// solve wall time, memo hits). Default (zeroed) when the row was
+    /// scored from a bare score vector.
+    pub telemetry: SolveTelemetry,
 }
 
 /// Score one ranking against a graded ground truth.
@@ -39,6 +43,7 @@ pub fn evaluate_ranking(
         kendall: metrics::kendall_tau_b(&truth.values, scores),
         ndcg_at_50: metrics::ndcg_at_k(&truth.values, scores, 50),
         seconds,
+        telemetry: SolveTelemetry::default(),
     }
 }
 
@@ -52,35 +57,42 @@ pub struct Experiment<'a> {
 }
 
 impl<'a> Experiment<'a> {
-    /// Run every ranker and produce one row each, in input order.
+    /// Run every ranker and produce one row each, in input order. All
+    /// rankers share one [`RankContext`], so the citation graph and its
+    /// derived operators are built exactly once for the whole suite.
     pub fn run(&self, rankers: &[Box<dyn Ranker>]) -> Vec<EvalRow> {
-        rankers
-            .iter()
-            .map(|r| {
-                let start = Instant::now();
-                let scores = r.rank(self.corpus);
-                let seconds = start.elapsed().as_secs_f64();
-                evaluate_ranking(self.truth, &scores, &r.name(), seconds)
-            })
-            .collect()
+        self.run_inner(rankers, None)
     }
 
     /// Like [`Experiment::run`] but restricted to a subset of articles
     /// (e.g. only recent ones for the cold-start figure): metrics are
     /// computed on the gathered sub-vectors.
     pub fn run_on_subset(&self, rankers: &[Box<dyn Ranker>], keep: &[usize]) -> Vec<EvalRow> {
-        let sub_truth = GroundTruth {
+        self.run_inner(rankers, Some(keep))
+    }
+
+    /// Shared body of [`Experiment::run`] and [`Experiment::run_on_subset`]:
+    /// one prepared context, full rankings, optional gather to a subset.
+    fn run_inner(&self, rankers: &[Box<dyn Ranker>], keep: Option<&[usize]>) -> Vec<EvalRow> {
+        let ctx = RankContext::new(self.corpus);
+        let sub_truth = keep.map(|keep| GroundTruth {
             values: keep.iter().map(|&i| self.truth.values[i]).collect(),
             description: format!("{} (subset of {})", self.truth.description, keep.len()),
-        };
+        });
+        let truth = sub_truth.as_ref().unwrap_or(self.truth);
         rankers
             .iter()
             .map(|r| {
                 let start = Instant::now();
-                let scores = r.rank(self.corpus);
+                let out = r.solve_ctx(&ctx);
                 let seconds = start.elapsed().as_secs_f64();
-                let sub_scores: Vec<f64> = keep.iter().map(|&i| scores[i]).collect();
-                evaluate_ranking(&sub_truth, &sub_scores, &r.name(), seconds)
+                let scores = match keep {
+                    None => out.scores,
+                    Some(keep) => keep.iter().map(|&i| out.scores[i]).collect(),
+                };
+                let mut row = evaluate_ranking(truth, &scores, &r.name(), seconds);
+                row.telemetry = out.telemetry;
+                row
             })
             .collect()
     }
@@ -107,10 +119,11 @@ pub fn run_award_experiment(
     rankers: &[Box<dyn Ranker>],
     k: usize,
 ) -> Vec<AwardRow> {
+    let ctx = RankContext::new(corpus);
     rankers
         .iter()
         .map(|r| {
-            let scores = r.rank(corpus);
+            let scores = r.rank_ctx(&ctx);
             AwardRow {
                 method: r.name(),
                 precision_at_k: metrics::precision_at_k(awards, &scores, k),
@@ -173,8 +186,9 @@ pub fn run_temporal_cv(
             continue;
         }
         let truth = crate::groundtruth::future_citations(corpus, &snap, window_years);
+        let ctx = RankContext::new(&snap.corpus);
         for (ri, ranker) in rankers.iter().enumerate() {
-            let scores = ranker.rank(&snap.corpus);
+            let scores = ranker.rank_ctx(&ctx);
             pairwise[ri].push(metrics::pairwise_accuracy_auto(&truth.values, &scores, 0xcb));
             spearman[ri].push(metrics::spearman(&truth.values, &scores));
         }

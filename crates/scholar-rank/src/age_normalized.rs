@@ -8,8 +8,10 @@
 //!   the last `window` years only ("current impact"), a strong predictor
 //!   of near-future citations that needs no graph iteration at all.
 
+use crate::context::RankContext;
 use crate::ranker::Ranker;
-use scholar_corpus::{Corpus, Year};
+use crate::telemetry::RankOutput;
+use scholar_corpus::Year;
 
 /// Citations per year since publication.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,22 +25,23 @@ impl Ranker for AgeNormalizedCitations {
         "CitPerYear".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        if corpus.num_articles() == 0 {
-            return Vec::new();
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        if ctx.num_articles() == 0 {
+            return RankOutput::closed_form(Vec::new());
         }
-        let now = self.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
-        let counts = corpus.citation_counts();
-        let mut scores: Vec<f64> = corpus
-            .articles()
+        let now = self.now.unwrap_or_else(|| ctx.now());
+        let counts = ctx.citation_counts();
+        let mut scores: Vec<f64> = ctx
+            .years()
             .iter()
-            .map(|a| {
-                let age = (now - a.year).max(0) as f64 + 1.0; // publication year counts
-                counts[a.id.index()] as f64 / age
+            .zip(counts)
+            .map(|(&year, &c)| {
+                let age = (now - year).max(0) as f64 + 1.0; // publication year counts
+                c as f64 / age
             })
             .collect();
         crate::scores::normalize_or_uniform(&mut scores);
-        scores
+        RankOutput::closed_form(scores)
     }
 }
 
@@ -62,15 +65,15 @@ impl Ranker for RecentCitations {
         format!("RecentCit({}y)", self.window)
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        if corpus.num_articles() == 0 {
-            return Vec::new();
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        if ctx.num_articles() == 0 {
+            return RankOutput::closed_form(Vec::new());
         }
         assert!(self.window > 0, "window must be positive");
-        let now = self.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
+        let now = self.now.unwrap_or_else(|| ctx.now());
         let from = now - self.window + 1;
-        let mut scores = vec![0.0f64; corpus.num_articles()];
-        for citing in corpus.articles() {
+        let mut scores = vec![0.0f64; ctx.num_articles()];
+        for citing in ctx.corpus().articles() {
             if citing.year >= from && citing.year <= now {
                 for &cited in &citing.references {
                     scores[cited.index()] += 1.0;
@@ -78,14 +81,14 @@ impl Ranker for RecentCitations {
             }
         }
         crate::scores::normalize_or_uniform(&mut scores);
-        scores
+        RankOutput::closed_form(scores)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scholar_corpus::CorpusBuilder;
+    use scholar_corpus::{Corpus, CorpusBuilder};
 
     fn corpus() -> Corpus {
         // a0 (1990): cited in 1995 and 2010. a1 (2008): cited in 2010.

@@ -1,7 +1,8 @@
 //! The citation-count baseline.
 
+use crate::context::RankContext;
 use crate::ranker::Ranker;
-use scholar_corpus::Corpus;
+use crate::telemetry::RankOutput;
 
 /// Ranks articles by raw citation count (in-degree), normalized to sum 1.
 ///
@@ -15,11 +16,10 @@ impl Ranker for CitationCount {
         "CitCount".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        let counts = corpus.citation_counts();
-        let mut scores: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        let mut scores: Vec<f64> = ctx.citation_counts().iter().map(|&c| c as f64).collect();
         crate::scores::normalize_or_uniform(&mut scores);
-        scores
+        RankOutput::closed_form(scores)
     }
 }
 

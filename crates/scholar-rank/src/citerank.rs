@@ -10,11 +10,13 @@
 //! an important baseline: it has the recency-personalized jump but *no*
 //! per-edge decay and *no* venue/author layer.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
-use crate::pagerank::{pagerank_on_graph, PageRankConfig};
+use crate::pagerank::{pagerank_on_op, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
-use sgraph::JumpVector;
+use std::time::Instant;
 
 /// CiteRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,24 +66,8 @@ impl CiteRank {
 
     /// Rank and return convergence diagnostics.
     pub fn rank_with_diagnostics(&self, corpus: &Corpus) -> (Vec<f64>, Diagnostics) {
-        self.config.assert_valid();
-        if corpus.num_articles() == 0 {
-            return (Vec::new(), Diagnostics::closed_form());
-        }
-        let now = self.config.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
-        let weights: Vec<f64> = corpus
-            .articles()
-            .iter()
-            .map(|a| (-((now - a.year).max(0) as f64) / self.config.tau_dir).exp())
-            .collect();
-        let jump = JumpVector::weighted(weights);
-        let pr_cfg = PageRankConfig {
-            damping: self.config.alpha,
-            tol: self.config.tol,
-            max_iter: self.config.max_iter,
-            threads: 1,
-        };
-        pagerank_on_graph(&corpus.citation_graph(), &pr_cfg, jump)
+        let out = self.solve_ctx(&RankContext::new(corpus));
+        (out.scores, out.telemetry.diagnostics())
     }
 }
 
@@ -90,8 +76,35 @@ impl Ranker for CiteRank {
         format!("CiteRank(α={:.2},τ={:.1})", self.config.alpha, self.config.tau_dir)
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.rank_with_diagnostics(corpus).0
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        if ctx.num_articles() == 0 {
+            return RankOutput::closed_form(Vec::new());
+        }
+        let now = self.config.now.unwrap_or_else(|| ctx.now());
+        let built = Instant::now();
+        let op = ctx.citation_op();
+        let build_secs = built.elapsed().as_secs_f64();
+        let key = format!(
+            "citerank(alpha={},tau={},now={},tol={},max={})",
+            self.config.alpha, self.config.tau_dir, now, self.config.tol, self.config.max_iter
+        );
+        let solved = Instant::now();
+        let (scores, diag, cached) = ctx.cached_solve(&key, || {
+            // The start distribution decays with article age: the paper's
+            // reader-traffic model. 1/tau_dir plays the role of τ.
+            let jump = ctx.recency_jump(1.0 / self.config.tau_dir, now);
+            let pr_cfg = PageRankConfig {
+                damping: self.config.alpha,
+                tol: self.config.tol,
+                max_iter: self.config.max_iter,
+                threads: 1,
+            };
+            pagerank_on_op(op, &pr_cfg, jump, None)
+        });
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

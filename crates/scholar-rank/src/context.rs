@@ -1,0 +1,263 @@
+//! The shared prepared-corpus substrate under every ranker.
+//!
+//! A [`RankContext`] is built once per corpus and lazily caches every
+//! derived structure the ranker suite needs: the citation CSR (forward +
+//! reverse adjacency), its row-stochastic walk operator with dangling
+//! sets and out-weight sums, the author/venue bipartite maps, citation
+//! counts, per-article year vectors, time-decayed citation operators
+//! keyed by their decay parameters, and a memo of completed solves keyed
+//! by the full parameter string. Rankers implement
+//! [`crate::ranker::Ranker::solve_ctx`] against this context; the old
+//! `rank(&Corpus)` entry point survives as a thin wrapper that builds a
+//! throwaway context.
+//!
+//! Invalidation is by construction: a context borrows an immutable
+//! [`Corpus`] and is dropped when the corpus changes (there is no
+//! in-place mutation to track). Caches are interior-mutable
+//! (`OnceLock`/`Mutex`) so a shared `&RankContext` works from the
+//! evaluation harness without threading `&mut` everywhere.
+
+use crate::diagnostics::Diagnostics;
+use scholar_corpus::{Corpus, Year};
+use sgraph::{Bipartite, CsrGraph, JumpVector, RowStochastic};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A time-decayed citation graph (`exp(-ρ·citation_age)` edge weights)
+/// and its walk operator, cached per ρ inside [`RankContext`]. Citation
+/// age is the year difference of the two endpoints, so the graph is
+/// independent of the caller's "now".
+#[derive(Debug)]
+pub struct DecayedCitation {
+    /// CSR with exponentially decayed edge weights.
+    pub graph: CsrGraph,
+    /// Pull-form walk operator over `graph`.
+    pub op: RowStochastic,
+}
+
+/// A memoized solve: normalized scores plus convergence diagnostics.
+pub type SolveRecord = (Vec<f64>, Diagnostics);
+
+/// Prepared, lazily-cached derived structures for one corpus.
+///
+/// Build once with [`RankContext::new`], then hand `&ctx` to any number
+/// of rankers: the first user of each structure pays for its
+/// construction, everyone after reads the cache.
+pub struct RankContext<'c> {
+    corpus: &'c Corpus,
+    now: Year,
+    citation: OnceLock<CsrGraph>,
+    citation_op: OnceLock<RowStochastic>,
+    authorship: OnceLock<Bipartite>,
+    publication: OnceLock<Bipartite>,
+    citation_counts: OnceLock<Vec<u32>>,
+    years: OnceLock<Vec<Year>>,
+    decayed: Mutex<HashMap<u64, Arc<DecayedCitation>>>,
+    solves: Mutex<HashMap<String, Arc<SolveRecord>>>,
+}
+
+impl<'c> RankContext<'c> {
+    /// A fresh context over `corpus`. Cheap: nothing is built until a
+    /// ranker asks for it.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        RankContext {
+            corpus,
+            now: corpus.year_range().map(|(_, hi)| hi).unwrap_or(0),
+            citation: OnceLock::new(),
+            citation_op: OnceLock::new(),
+            authorship: OnceLock::new(),
+            publication: OnceLock::new(),
+            citation_counts: OnceLock::new(),
+            years: OnceLock::new(),
+            decayed: Mutex::new(HashMap::new()),
+            solves: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Number of articles (ranking vectors have this length).
+    pub fn num_articles(&self) -> usize {
+        self.corpus.num_articles()
+    }
+
+    /// The corpus's last publication year (0 for an empty corpus); the
+    /// default "now" for recency-aware rankers.
+    pub fn now(&self) -> Year {
+        self.now
+    }
+
+    /// The unweighted citation CSR (built once per context).
+    pub fn citation_graph(&self) -> &CsrGraph {
+        self.citation.get_or_init(|| self.corpus.citation_graph())
+    }
+
+    /// The row-stochastic walk operator over [`Self::citation_graph`],
+    /// with dangling sets and out-weight normalization precomputed.
+    pub fn citation_op(&self) -> &RowStochastic {
+        self.citation_op.get_or_init(|| RowStochastic::new(self.citation_graph()))
+    }
+
+    /// Authorship bipartite (left = authors, right = articles, harmonic
+    /// byline weights).
+    pub fn authorship(&self) -> &Bipartite {
+        self.authorship.get_or_init(|| self.corpus.authorship_bipartite())
+    }
+
+    /// Publication bipartite (left = venues, right = articles, unit
+    /// weights).
+    pub fn publication(&self) -> &Bipartite {
+        self.publication.get_or_init(|| self.corpus.publication_bipartite())
+    }
+
+    /// Citation counts per article (in-degree).
+    pub fn citation_counts(&self) -> &[u32] {
+        self.citation_counts.get_or_init(|| self.corpus.citation_counts())
+    }
+
+    /// Publication year per article.
+    pub fn years(&self) -> &[Year] {
+        self.years.get_or_init(|| self.corpus.articles().iter().map(|a| a.year).collect())
+    }
+
+    /// Article ages in years relative to `now`, clamped at 0. Computed
+    /// from the cached year vector (not itself cached: it is a single
+    /// cheap pass and `now` varies per caller).
+    pub fn ages(&self, now: Year) -> Vec<f64> {
+        self.years().iter().map(|&y| (now - y).max(0) as f64).collect()
+    }
+
+    /// The recency-personalized jump vector `j(v) ∝ exp(-τ·age(v))`
+    /// (uniform when `τ = 0` or the corpus is empty).
+    pub fn recency_jump(&self, tau: f64, now: Year) -> JumpVector {
+        crate::time_weighted::TimeWeightedPageRank::recency_jump(self.corpus, tau, now)
+    }
+
+    /// The time-decayed citation graph + operator for decay rate `rho`,
+    /// cached per rate. TWPR and QRank's article layer share one entry
+    /// under default configs.
+    pub fn decayed_citation(&self, rho: f64) -> Arc<DecayedCitation> {
+        let key = rho.to_bits();
+        if let Some(hit) = self.decayed.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        let graph = self.corpus.weighted_citation_graph(|citing, cited| {
+            crate::time_weighted::TimeWeightedPageRank::edge_weight(
+                rho,
+                (citing.year - cited.year) as f64,
+            )
+        });
+        let op = RowStochastic::new(&graph);
+        let entry = Arc::new(DecayedCitation { graph, op });
+        self.decayed.lock().unwrap().entry(key).or_insert_with(|| Arc::clone(&entry));
+        entry
+    }
+
+    /// Memoized solve: if `key` was solved before in this context, the
+    /// recorded scores and diagnostics are returned with `cached = true`;
+    /// otherwise `f` runs and its result is recorded. Keys must encode
+    /// every parameter that affects the result (ranker + full config),
+    /// which is exactly what the rankers' display names plus solver
+    /// tolerances provide. The lock is not held while `f` runs, so a
+    /// solve may itself consult the memo (QRank's inner walk reuses a
+    /// TWPR entry this way).
+    pub fn cached_solve(
+        &self,
+        key: &str,
+        f: impl FnOnce() -> SolveRecord,
+    ) -> (Vec<f64>, Diagnostics, bool) {
+        if let Some(hit) = self.solves.lock().unwrap().get(key) {
+            return (hit.0.clone(), hit.1.clone(), true);
+        }
+        let (scores, diag) = f();
+        self.solves
+            .lock()
+            .unwrap()
+            .entry(key.to_owned())
+            .or_insert_with(|| Arc::new((scores.clone(), diag.clone())));
+        (scores, diag, false)
+    }
+}
+
+impl std::fmt::Debug for RankContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankContext")
+            .field("articles", &self.num_articles())
+            .field("now", &self.now)
+            .field("citation_built", &self.citation.get().is_some())
+            .field("decayed_entries", &self.decayed.lock().unwrap().len())
+            .field("memoized_solves", &self.solves.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+
+    #[test]
+    fn citation_graph_is_built_exactly_once() {
+        let c = Preset::Tiny.generate(3);
+        let ctx = RankContext::new(&c);
+        assert_eq!(c.citation_graph_builds(), 0);
+        let _ = ctx.citation_graph();
+        let _ = ctx.citation_op();
+        let _ = ctx.citation_graph();
+        assert_eq!(c.citation_graph_builds(), 1);
+    }
+
+    #[test]
+    fn decayed_citation_caches_per_parameter_pair() {
+        let c = Preset::Tiny.generate(3);
+        let ctx = RankContext::new(&c);
+        let a = ctx.decayed_citation(0.15);
+        let b = ctx.decayed_citation(0.15);
+        assert!(Arc::ptr_eq(&a, &b), "same decay rate must share one entry");
+        let other = ctx.decayed_citation(0.3);
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(a.graph.num_nodes() as usize, c.num_articles());
+    }
+
+    #[test]
+    fn cached_solve_hits_on_second_call() {
+        let c = Preset::Tiny.generate(3);
+        let ctx = RankContext::new(&c);
+        let mut calls = 0;
+        let (s1, _, hit1) = ctx.cached_solve("k", || {
+            calls += 1;
+            (vec![0.5, 0.5], Diagnostics::closed_form())
+        });
+        let (s2, _, hit2) = ctx.cached_solve("k", || {
+            calls += 1;
+            (vec![0.0, 1.0], Diagnostics::closed_form())
+        });
+        assert!(!hit1 && hit2);
+        assert_eq!(calls, 1);
+        assert_eq!(s1, s2, "a hit must return the recorded scores bit-for-bit");
+    }
+
+    #[test]
+    fn years_and_ages_align_with_articles() {
+        let c = Preset::Tiny.generate(3);
+        let ctx = RankContext::new(&c);
+        assert_eq!(ctx.years().len(), c.num_articles());
+        let ages = ctx.ages(ctx.now());
+        assert_eq!(ages.len(), c.num_articles());
+        assert!(ages.iter().all(|&a| a >= 0.0));
+        assert_eq!(ctx.now(), c.year_range().unwrap().1);
+    }
+
+    #[test]
+    fn empty_corpus_context() {
+        let c = scholar_corpus::CorpusBuilder::new().finish().unwrap();
+        let ctx = RankContext::new(&c);
+        assert_eq!(ctx.now(), 0);
+        assert_eq!(ctx.num_articles(), 0);
+        assert!(ctx.citation_graph().is_empty());
+        assert_eq!(ctx.citation_counts().len(), 0);
+    }
+}

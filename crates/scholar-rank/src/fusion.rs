@@ -12,9 +12,10 @@
 //! Both consume *ranks*, not raw scores, so wildly different score
 //! distributions (see R-Table 7) fuse sanely.
 
+use crate::context::RankContext;
 use crate::ranker::Ranker;
 use crate::scores::{competition_ranks, normalize};
-use scholar_corpus::Corpus;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 
 /// Which fusion rule to apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,9 +86,20 @@ impl Ranker for FusedRanker {
         format!("{rule}[{}]", inner.join("+"))
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        let lists: Vec<Vec<f64>> = self.rankers.iter().map(|r| r.rank(corpus)).collect();
-        fuse_scores(&lists, self.rule)
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        let outputs: Vec<RankOutput> = self.rankers.iter().map(|r| r.solve_ctx(ctx)).collect();
+        // Aggregate telemetry across the fused solves: total work, worst
+        // convergence, and whether everything came out of the memo.
+        let telemetry = SolveTelemetry {
+            iterations: outputs.iter().map(|o| o.telemetry.iterations).sum(),
+            converged: outputs.iter().all(|o| o.telemetry.converged),
+            residuals: Vec::new(),
+            build_secs: outputs.iter().map(|o| o.telemetry.build_secs).sum(),
+            solve_secs: outputs.iter().map(|o| o.telemetry.solve_secs).sum(),
+            cached: outputs.iter().all(|o| o.telemetry.cached),
+        };
+        let lists: Vec<Vec<f64>> = outputs.into_iter().map(|o| o.scores).collect();
+        RankOutput { scores: fuse_scores(&lists, self.rule), telemetry }
     }
 }
 

@@ -16,11 +16,14 @@
 //! the authorship bipartite), which is the part QRank generalizes to
 //! venues as well.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
-use sgraph::stochastic::{l1_distance, normalize_l1};
-use sgraph::{JumpVector, RowStochastic};
+use sgraph::stochastic::{fixpoint, normalize_l1};
+use sgraph::JumpVector;
+use std::time::Instant;
 
 /// FutureRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,9 +100,17 @@ impl FutureRank {
 
     /// Run the full fixpoint, returning author scores too.
     pub fn run(&self, corpus: &Corpus) -> FutureRankResult {
+        self.run_ctx(&RankContext::new(corpus))
+    }
+
+    /// [`FutureRank::run`] against a prepared context: the citation
+    /// operator and authorship bipartite come from the shared caches and
+    /// the iteration runs on the sgraph fixpoint driver with
+    /// preallocated term buffers.
+    pub fn run_ctx(&self, ctx: &RankContext) -> FutureRankResult {
         let cfg = &self.config;
         cfg.assert_valid();
-        let n = corpus.num_articles();
+        let n = ctx.num_articles();
         if n == 0 {
             return FutureRankResult {
                 article_scores: Vec::new(),
@@ -107,67 +118,52 @@ impl FutureRank {
                 diagnostics: Diagnostics::closed_form(),
             };
         }
-        let now = cfg.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
-        let cite_op = RowStochastic::new(&corpus.citation_graph());
-        let authorship = corpus.authorship_bipartite();
+        let now = cfg.now.unwrap_or_else(|| ctx.now());
+        let cite_op = ctx.citation_op();
+        let authorship = ctx.authorship();
 
         // Recency personalization (normalized).
-        let mut time_vec: Vec<f64> = corpus
-            .articles()
-            .iter()
-            .map(|a| (-cfg.rho * (now - a.year).max(0) as f64).exp())
-            .collect();
+        let mut time_vec: Vec<f64> =
+            ctx.ages(now).into_iter().map(|age| (-cfg.rho * age).exp()).collect();
         normalize_l1(&mut time_vec);
 
         let delta = (1.0 - cfg.alpha - cfg.beta - cfg.gamma).max(0.0);
         let uniform = 1.0 / n as f64;
 
-        let mut p = vec![uniform; n];
-        let mut author = vec![0.0; corpus.num_authors()];
+        let mut author = vec![0.0; ctx.corpus().num_authors()];
         let mut cite_term = vec![0.0; n];
-        let mut residuals = Vec::new();
-        let mut converged = false;
-        let mut iterations = 0;
-
-        while iterations < cfg.max_iter {
+        let res = fixpoint(vec![uniform; n], cfg.tol, cfg.max_iter, |p, next| {
             // Author scores from current article scores (mass-conserving
             // distribution over the bipartite), normalized.
-            author = authorship.distribute_to_left(&p);
+            author = authorship.distribute_to_left(p);
             normalize_l1(&mut author);
 
             // Citation propagation with dangling mass re-emitted uniformly
             // (damping 1 here: the mixture handles teleportation).
-            cite_op.apply(&p, &mut cite_term, 1.0, &JumpVector::Uniform);
+            cite_op.apply(p, &mut cite_term, 1.0, &JumpVector::Uniform);
 
             // Author → article term, normalized to a distribution so β
             // means what it says.
             let mut author_term = authorship.distribute_to_right(&author);
             normalize_l1(&mut author_term);
 
-            let mut next: Vec<f64> = (0..n)
-                .map(|i| {
-                    cfg.alpha * cite_term[i]
-                        + cfg.beta * author_term[i]
-                        + cfg.gamma * time_vec[i]
-                        + delta * uniform
-                })
-                .collect();
-            normalize_l1(&mut next);
-
-            iterations += 1;
-            let r = l1_distance(&p, &next);
-            residuals.push(r);
-            p = next;
-            if r < cfg.tol {
-                converged = true;
-                break;
+            for (i, slot) in next.iter_mut().enumerate() {
+                *slot = cfg.alpha * cite_term[i]
+                    + cfg.beta * author_term[i]
+                    + cfg.gamma * time_vec[i]
+                    + delta * uniform;
             }
-        }
+            normalize_l1(next);
+        });
 
         FutureRankResult {
-            article_scores: p,
+            article_scores: res.scores,
             author_scores: author,
-            diagnostics: Diagnostics { iterations, converged, residuals },
+            diagnostics: Diagnostics {
+                iterations: res.iterations,
+                converged: res.converged,
+                residuals: res.residuals,
+            },
         }
     }
 }
@@ -177,8 +173,25 @@ impl Ranker for FutureRank {
         "FutureRank".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.run(corpus).article_scores
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        let cfg = &self.config;
+        let built = Instant::now();
+        let _ = ctx.citation_op();
+        let _ = ctx.authorship();
+        let build_secs = built.elapsed().as_secs_f64();
+        let key = format!(
+            "futurerank(a={},b={},g={},rho={},now={:?},tol={},max={})",
+            cfg.alpha, cfg.beta, cfg.gamma, cfg.rho, cfg.now, cfg.tol, cfg.max_iter
+        );
+        let solved = Instant::now();
+        let (scores, diag, cached) = ctx.cached_solve(&key, || {
+            let res = self.run_ctx(ctx);
+            (res.article_scores, res.diagnostics)
+        });
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

@@ -4,10 +4,13 @@
 //! good hubs (e.g. surveys), and a good **hub** when it cites good
 //! authorities. The authority score is the article ranking.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::Corpus;
 use sgraph::{CsrGraph, NodeId};
+use std::time::Instant;
 
 /// HITS parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,52 +48,49 @@ pub fn hits_on_graph(g: &CsrGraph, config: &HitsConfig) -> HitsResult {
             diagnostics: Diagnostics::closed_form(),
         };
     }
-    let mut auth = vec![1.0 / n as f64; n];
-    let mut hub = vec![1.0 / n as f64; n];
-    let mut residuals = Vec::new();
-    let mut converged = false;
-    let mut iterations = 0;
-    while iterations < config.max_iter {
-        // auth(v) = Σ_{u → v} hub(u)
-        let mut new_auth = vec![0.0f64; n];
-        for (v, slot) in new_auth.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for &u in g.in_neighbors(NodeId(v as u32)) {
-                acc += hub[u.index()];
+    // Pack [authority | hub] into one 2n state vector so the shared
+    // sgraph fixpoint driver runs the mutual reinforcement with
+    // ping-pong buffers; its L1 residual over the packed vector equals
+    // the auth-residual + hub-residual the hand-rolled loop tracked.
+    let res =
+        sgraph::stochastic::fixpoint(vec![1.0 / n as f64; 2 * n], config.tol, config.max_iter, {
+            |x, y| {
+                let x_hub = &x[n..];
+                let (y_auth, y_hub) = y.split_at_mut(n);
+                // auth(v) = Σ_{u → v} hub(u)
+                for (v, slot) in y_auth.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for &u in g.in_neighbors(NodeId(v as u32)) {
+                        acc += x_hub[u.index()];
+                    }
+                    *slot = acc;
+                }
+                sgraph::stochastic::normalize_l1(y_auth);
+                // hub(u) = Σ_{u → v} auth(v), from this round's authorities
+                for (u, slot) in y_hub.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for &v in g.out_neighbors(NodeId(u as u32)) {
+                        acc += y_auth[v.index()];
+                    }
+                    *slot = acc;
+                }
+                sgraph::stochastic::normalize_l1(y_hub);
             }
-            *slot = acc;
-        }
-        sgraph::stochastic::normalize_l1(&mut new_auth);
-        // hub(u) = Σ_{u → v} auth(v)
-        let mut new_hub = vec![0.0f64; n];
-        for (u, slot) in new_hub.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for &v in g.out_neighbors(NodeId(u as u32)) {
-                acc += new_auth[v.index()];
-            }
-            *slot = acc;
-        }
-        sgraph::stochastic::normalize_l1(&mut new_hub);
-
-        iterations += 1;
-        let r = sgraph::stochastic::l1_distance(&auth, &new_auth)
-            + sgraph::stochastic::l1_distance(&hub, &new_hub);
-        residuals.push(r);
-        auth = new_auth;
-        hub = new_hub;
-        if r < config.tol {
-            converged = true;
-            break;
-        }
-    }
+        });
     // Degenerate graphs (no edges reaching the iteration) zero the
     // vectors out; fall back to uniform so scores stay a distribution.
+    let mut auth = res.scores[..n].to_vec();
+    let mut hub = res.scores[n..].to_vec();
     crate::scores::normalize_or_uniform(&mut auth);
     crate::scores::normalize_or_uniform(&mut hub);
     HitsResult {
         authorities: auth,
         hubs: hub,
-        diagnostics: Diagnostics { iterations, converged, residuals },
+        diagnostics: Diagnostics {
+            iterations: res.iterations,
+            converged: res.converged,
+            residuals: res.residuals,
+        },
     }
 }
 
@@ -109,7 +109,12 @@ impl Hits {
 
     /// Full hub/authority result.
     pub fn run(&self, corpus: &Corpus) -> HitsResult {
-        hits_on_graph(&corpus.citation_graph(), &self.config)
+        self.run_ctx(&RankContext::new(corpus))
+    }
+
+    /// Full hub/authority result against a prepared context.
+    pub fn run_ctx(&self, ctx: &RankContext) -> HitsResult {
+        hits_on_graph(ctx.citation_graph(), &self.config)
     }
 }
 
@@ -118,8 +123,19 @@ impl Ranker for Hits {
         "HITS".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.run(corpus).authorities
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        let built = Instant::now();
+        let g = ctx.citation_graph();
+        let build_secs = built.elapsed().as_secs_f64();
+        let key = format!("hits(tol={},max={})", self.config.tol, self.config.max_iter);
+        let solved = Instant::now();
+        let (scores, diag, cached) = ctx.cached_solve(&key, || {
+            let res = hits_on_graph(g, &self.config);
+            (res.authorities, res.diagnostics)
+        });
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

@@ -17,11 +17,16 @@
 //! | Monte-Carlo PageRank | [`monte_carlo`] | walk-simulation approximation |
 //! | Personalized PageRank | [`personalized`] | seeded exploration / related articles |
 //!
-//! All rankers implement the object-safe [`Ranker`] trait, consume a
-//! [`scholar_corpus::Corpus`], and return one non-negative score per
-//! article normalized to sum 1, so scores are comparable across methods
-//! and corpus snapshots. Per-run convergence information is available
-//! through the lower-level `*_with_diagnostics` entry points.
+//! All rankers implement the object-safe [`Ranker`] trait and return one
+//! non-negative score per article normalized to sum 1, so scores are
+//! comparable across methods and corpus snapshots. The primary entry
+//! point is [`Ranker::solve_ctx`], which runs against a shared
+//! [`context::RankContext`] — a prepared layer that caches the citation
+//! CSR, walk operators, bipartite maps, year vectors, and completed
+//! solves, so a whole evaluation suite builds each structure once — and
+//! reports unified [`telemetry::SolveTelemetry`] (iterations, residuals,
+//! convergence, build/solve wall time). `Ranker::rank(&Corpus)` remains
+//! as a convenience over a throwaway context.
 //!
 //! The paper's own method (QRank) builds on these pieces and lives in the
 //! `qrank` crate.
@@ -29,6 +34,7 @@
 pub mod age_normalized;
 pub mod citation_count;
 pub mod citerank;
+pub mod context;
 pub mod diagnostics;
 pub mod fusion;
 pub mod futurerank;
@@ -40,12 +46,14 @@ pub mod prank;
 pub mod ranker;
 pub mod rescaled;
 pub mod scores;
+pub mod telemetry;
 pub mod time_weighted;
 pub mod venue_author;
 
 pub use age_normalized::{AgeNormalizedCitations, RecentCitations};
 pub use citation_count::CitationCount;
 pub use citerank::{CiteRank, CiteRankConfig};
+pub use context::{DecayedCitation, RankContext};
 pub use diagnostics::Diagnostics;
 pub use fusion::{fuse_scores, FusedRanker, FusionRule};
 pub use futurerank::{FutureRank, FutureRankConfig};
@@ -56,4 +64,5 @@ pub use personalized::{personalized_pagerank, related_articles, PersonalizedConf
 pub use prank::{PRank, PRankConfig};
 pub use ranker::Ranker;
 pub use rescaled::{rescale_by_year, RescaledRanker};
+pub use telemetry::{RankOutput, SolveTelemetry};
 pub use time_weighted::{TimeWeightedPageRank, TwprConfig};

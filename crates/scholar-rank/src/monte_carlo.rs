@@ -10,12 +10,14 @@
 //! The repro harness compares its accuracy and cost against power
 //! iteration (an ablation of the "exact walk" design choice).
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
-use scholar_corpus::Corpus;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use sgraph::CsrGraph;
 use srand::rngs::SmallRng;
 use srand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Monte-Carlo PageRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,8 +124,21 @@ impl Ranker for MonteCarloPageRank {
         format!("MC-PageRank(R={})", self.config.walks_per_node)
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        monte_carlo_pagerank(&corpus.citation_graph(), &self.config).0
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        let built = Instant::now();
+        let g = ctx.citation_graph();
+        let build_secs = built.elapsed().as_secs_f64();
+        let key = format!(
+            "mc-pagerank(d={},walks={},seed={})",
+            self.config.damping, self.config.walks_per_node, self.config.seed
+        );
+        let solved = Instant::now();
+        let (scores, diag, cached) =
+            ctx.cached_solve(&key, || monte_carlo_pagerank(g, &self.config));
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

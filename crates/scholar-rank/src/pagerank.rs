@@ -1,10 +1,13 @@
 //! Plain PageRank on the citation graph.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::Corpus;
 use sgraph::stochastic::PowerIterationOpts;
 use sgraph::{CsrGraph, JumpVector, RowStochastic};
+use std::time::Instant;
 
 /// PageRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,8 +108,19 @@ pub fn pagerank_on_graph_warm(
     jump: JumpVector,
     warm_start: Option<Vec<f64>>,
 ) -> (Vec<f64>, Diagnostics) {
+    pagerank_on_op(&RowStochastic::new(g), config, jump, warm_start)
+}
+
+/// [`pagerank_on_graph_warm`] against an already-built walk operator —
+/// the form every context-aware ranker uses, so a shared
+/// [`RowStochastic`] is normalized and dangling-scanned exactly once.
+pub fn pagerank_on_op(
+    op: &RowStochastic,
+    config: &PageRankConfig,
+    jump: JumpVector,
+    warm_start: Option<Vec<f64>>,
+) -> (Vec<f64>, Diagnostics) {
     config.assert_valid();
-    let op = RowStochastic::new(g);
     let res = op.stationary(&PowerIterationOpts {
         damping: config.damping,
         jump,
@@ -122,7 +136,8 @@ pub fn pagerank_on_graph_warm(
 impl PageRank {
     /// Rank and also return convergence diagnostics.
     pub fn rank_with_diagnostics(&self, corpus: &Corpus) -> (Vec<f64>, Diagnostics) {
-        pagerank_on_graph(&corpus.citation_graph(), &self.config, JumpVector::Uniform)
+        let out = self.solve_ctx(&RankContext::new(corpus));
+        (out.scores, out.telemetry.diagnostics())
     }
 }
 
@@ -131,8 +146,21 @@ impl Ranker for PageRank {
         "PageRank".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.rank_with_diagnostics(corpus).0
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        let built = Instant::now();
+        let op = ctx.citation_op();
+        let build_secs = built.elapsed().as_secs_f64();
+        let key = format!(
+            "pagerank(d={},tol={},max={})",
+            self.config.damping, self.config.tol, self.config.max_iter
+        );
+        let solved = Instant::now();
+        let (scores, diag, cached) =
+            ctx.cached_solve(&key, || pagerank_on_op(op, &self.config, JumpVector::Uniform, None));
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

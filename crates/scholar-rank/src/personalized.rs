@@ -5,8 +5,9 @@
 //! view of this reading list*". The teleport vector concentrates on the
 //! seed articles, optionally time-decayed.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
-use crate::pagerank::{pagerank_on_graph, PageRankConfig};
+use crate::pagerank::{pagerank_on_op, PageRankConfig};
 use scholar_corpus::{ArticleId, Corpus};
 use sgraph::JumpVector;
 
@@ -38,9 +39,20 @@ pub fn personalized_pagerank(
     seeds: &[ArticleId],
     config: &PersonalizedConfig,
 ) -> (Vec<f64>, Diagnostics) {
+    personalized_pagerank_ctx(&RankContext::new(corpus), seeds, config)
+}
+
+/// [`personalized_pagerank`] against a prepared context, so repeated
+/// seeded walks (or a seeded walk plus the global one) share the citation
+/// operator.
+pub fn personalized_pagerank_ctx(
+    ctx: &RankContext,
+    seeds: &[ArticleId],
+    config: &PersonalizedConfig,
+) -> (Vec<f64>, Diagnostics) {
     assert!(!seeds.is_empty(), "need at least one seed article");
     assert!(config.seed_mass > 0.0 && config.seed_mass <= 1.0, "seed_mass must be in (0, 1]");
-    let n = corpus.num_articles();
+    let n = ctx.num_articles();
     let uniform_mass = (1.0 - config.seed_mass) / n as f64;
     let per_seed = config.seed_mass / seeds.len() as f64;
     let mut jump = vec![uniform_mass; n];
@@ -48,22 +60,24 @@ pub fn personalized_pagerank(
         assert!(s.index() < n, "seed {s} out of bounds");
         jump[s.index()] += per_seed;
     }
-    pagerank_on_graph(&corpus.citation_graph(), &config.pagerank, JumpVector::weighted(jump))
+    pagerank_on_op(ctx.citation_op(), &config.pagerank, JumpVector::weighted(jump), None)
 }
 
 /// The `k` most related articles to the seed set, excluding the seeds
 /// themselves: personalized PageRank minus the global (uniform) PageRank,
 /// ranked by the difference. Positive difference = "more important from
-/// this perspective than in general".
+/// this perspective than in general". Both walks share one prepared
+/// context (the citation graph is built once).
 pub fn related_articles(
     corpus: &Corpus,
     seeds: &[ArticleId],
     k: usize,
     config: &PersonalizedConfig,
 ) -> Vec<(ArticleId, f64)> {
-    let (pers, _) = personalized_pagerank(corpus, seeds, config);
+    let ctx = RankContext::new(corpus);
+    let (pers, _) = personalized_pagerank_ctx(&ctx, seeds, config);
     let (global, _) =
-        pagerank_on_graph(&corpus.citation_graph(), &config.pagerank, JumpVector::Uniform);
+        pagerank_on_op(ctx.citation_op(), &config.pagerank, JumpVector::Uniform, None);
     let mut lift: Vec<(ArticleId, f64)> = (0..corpus.num_articles())
         .filter(|i| !seeds.iter().any(|s| s.index() == *i))
         .map(|i| (ArticleId(i as u32), pers[i] - global[i]))

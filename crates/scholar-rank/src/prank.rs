@@ -13,12 +13,15 @@
 //! QRank there is no time modeling and no two-level structure — prestige
 //! simply diffuses through the mixed graph.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::pagerank::{pagerank_on_graph, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::model::author_position_weights;
 use scholar_corpus::Corpus;
 use sgraph::{GraphBuilder, JumpVector, NodeId};
+use std::time::Instant;
 
 /// P-Rank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,8 +149,28 @@ impl Ranker for PRank {
         "P-Rank".into()
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.run(corpus).article_scores
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        let cfg = &self.config;
+        let key = format!(
+            "prank(lc={},la={},lv={},d={},tol={},max={})",
+            cfg.lambda_cite,
+            cfg.lambda_author,
+            cfg.lambda_venue,
+            cfg.pagerank.damping,
+            cfg.pagerank.tol,
+            cfg.pagerank.max_iter
+        );
+        // The combined paper/author/venue graph is P-Rank-specific (it
+        // depends on the layer weights), so it is not shared through the
+        // context; repeated solves are served by the memo instead.
+        let solved = Instant::now();
+        let (scores, diag, cached) = ctx.cached_solve(&key, || {
+            let res = self.run(ctx.corpus());
+            (res.article_scores, res.diagnostics)
+        });
+        let telemetry = SolveTelemetry::timed(&diag, 0.0, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

@@ -10,7 +10,9 @@
 //! incomparable in absolute terms (a so-so article in a weak year can
 //! outrank a good article from a strong year).
 
+use crate::context::RankContext;
 use crate::ranker::Ranker;
+use crate::telemetry::RankOutput;
 use scholar_corpus::Corpus;
 
 /// Wraps any ranker and z-scores its output within publication-year
@@ -92,12 +94,15 @@ impl Ranker for RescaledRanker {
         format!("Rescaled[{}]({}y)", self.inner.name(), self.window_years)
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        let raw = self.inner.rank(corpus);
-        if raw.is_empty() {
-            return raw;
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        let inner = self.inner.solve_ctx(ctx);
+        if inner.scores.is_empty() {
+            return inner;
         }
-        rescale_by_year(corpus, &raw, self.window_years)
+        let scores = rescale_by_year(ctx.corpus(), &inner.scores, self.window_years);
+        // The rescaling itself is closed-form; the telemetry that matters
+        // (iterations, convergence, walls) is the wrapped solve's.
+        RankOutput { scores, telemetry: inner.telemetry }
     }
 }
 

@@ -12,11 +12,14 @@
 //!   articles: `j(v) ∝ exp(-τ·(T_now − year(v)))`. `τ = 0` recovers the
 //!   uniform jump.
 
+use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
-use crate::pagerank::{pagerank_on_graph, PageRankConfig};
+use crate::pagerank::{pagerank_on_op, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
 use sgraph::JumpVector;
+use std::time::Instant;
 
 /// TWPR parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,16 +120,18 @@ impl TimeWeightedPageRank {
 
     /// Rank and also return convergence diagnostics.
     pub fn rank_with_diagnostics(&self, corpus: &Corpus) -> (Vec<f64>, Diagnostics) {
-        if corpus.num_articles() == 0 {
-            return (Vec::new(), Diagnostics::closed_form());
-        }
-        let now = self.config.now.unwrap_or_else(|| corpus.year_range().unwrap().1);
-        let rho = self.config.rho;
-        let g = corpus.weighted_citation_graph(|citing, cited| {
-            Self::edge_weight(rho, (citing.year - cited.year) as f64)
-        });
-        let jump = Self::recency_jump(corpus, self.config.tau, now);
-        pagerank_on_graph(&g, &self.config.pagerank, jump)
+        let out = self.solve_ctx(&RankContext::new(corpus));
+        (out.scores, out.telemetry.diagnostics())
+    }
+
+    /// The memo key for a TWPR solve with config `cfg` at year `now`.
+    /// QRank's article-layer cold walk uses identical parameters under
+    /// matching configs, so it shares this entry via the context memo.
+    pub fn solve_key(cfg: &TwprConfig, now: Year) -> String {
+        format!(
+            "twpr(rho={},tau={},now={},d={},tol={},max={})",
+            cfg.rho, cfg.tau, now, cfg.pagerank.damping, cfg.pagerank.tol, cfg.pagerank.max_iter
+        )
     }
 }
 
@@ -135,8 +140,23 @@ impl Ranker for TimeWeightedPageRank {
         format!("TWPR(ρ={:.2},τ={:.2})", self.config.rho, self.config.tau)
     }
 
-    fn rank(&self, corpus: &Corpus) -> Vec<f64> {
-        self.rank_with_diagnostics(corpus).0
+    fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
+        self.config.assert_valid();
+        if ctx.num_articles() == 0 {
+            return RankOutput::closed_form(Vec::new());
+        }
+        let now = self.config.now.unwrap_or_else(|| ctx.now());
+        let built = Instant::now();
+        let decayed = ctx.decayed_citation(self.config.rho);
+        let build_secs = built.elapsed().as_secs_f64();
+        let solved = Instant::now();
+        let (scores, diag, cached) = ctx.cached_solve(&Self::solve_key(&self.config, now), || {
+            let jump = ctx.recency_jump(self.config.tau, now);
+            pagerank_on_op(&decayed.op, &self.config.pagerank, jump, None)
+        });
+        let telemetry =
+            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        RankOutput { scores, telemetry }
     }
 }
 

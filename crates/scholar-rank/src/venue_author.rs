@@ -4,19 +4,32 @@
 //! venues / top authors" tables, and the simplest form of the signals
 //! QRank folds back into article ranking.
 
+use crate::context::RankContext;
 use scholar_corpus::{Corpus, Year};
 
 /// Mean article score per venue (0 for venues with no articles).
 pub fn venue_scores_from_articles(corpus: &Corpus, article_scores: &[f64]) -> Vec<f64> {
-    assert_eq!(article_scores.len(), corpus.num_articles(), "score length mismatch");
-    corpus.publication_bipartite().aggregate_to_left(article_scores)
+    venue_scores_from_articles_ctx(&RankContext::new(corpus), article_scores)
+}
+
+/// [`venue_scores_from_articles`] against a prepared context, reusing its
+/// cached publication bipartite.
+pub fn venue_scores_from_articles_ctx(ctx: &RankContext, article_scores: &[f64]) -> Vec<f64> {
+    assert_eq!(article_scores.len(), ctx.num_articles(), "score length mismatch");
+    ctx.publication().aggregate_to_left(article_scores)
 }
 
 /// Byline-weighted mean article score per author (0 for authors with no
 /// articles). First authors weigh most (harmonic weights).
 pub fn author_scores_from_articles(corpus: &Corpus, article_scores: &[f64]) -> Vec<f64> {
-    assert_eq!(article_scores.len(), corpus.num_articles(), "score length mismatch");
-    corpus.authorship_bipartite().aggregate_to_left(article_scores)
+    author_scores_from_articles_ctx(&RankContext::new(corpus), article_scores)
+}
+
+/// [`author_scores_from_articles`] against a prepared context, reusing its
+/// cached authorship bipartite.
+pub fn author_scores_from_articles_ctx(ctx: &RankContext, article_scores: &[f64]) -> Vec<f64> {
+    assert_eq!(article_scores.len(), ctx.num_articles(), "score length mismatch");
+    ctx.authorship().aggregate_to_left(article_scores)
 }
 
 /// Venue scores restricted to a publication-year window — prestige of a

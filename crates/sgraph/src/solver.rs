@@ -66,7 +66,10 @@ pub fn gauss_seidel(g: &CsrGraph, opts: &GaussSeidelOpts) -> PowerIterationResul
     // Per-node out-weight sums for transition probabilities.
     let out_sum: Vec<f64> = g.nodes().map(|v| g.out_weight_sum(v)).collect();
 
-    let mut x = opts.jump.to_dense(n);
+    // Materialize the jump distribution once (like power iteration does)
+    // instead of calling `JumpVector::prob` per node per sweep.
+    let jump_dense = opts.jump.to_dense(n);
+    let mut x = jump_dense.clone();
     let mut prev = vec![0.0f64; n];
     let mut residuals = Vec::new();
     let mut converged = false;
@@ -78,7 +81,7 @@ pub fn gauss_seidel(g: &CsrGraph, opts: &GaussSeidelOpts) -> PowerIterationResul
         prev.copy_from_slice(&x);
         for v in 0..n {
             let vu = v as u32;
-            let jp = opts.jump.prob(crate::NodeId(vu), n);
+            let jp = jump_dense[v];
             let mut acc = 0.0;
             let mut diag = 0.0;
             let node = crate::NodeId(vu);

@@ -287,6 +287,51 @@ pub struct PowerIterationResult {
     pub residuals: Vec<f64>,
 }
 
+/// Run a generic fixpoint iteration with ping-pong buffers.
+///
+/// `step(x, y)` must write the next iterate into `y` given the current
+/// iterate `x` (both of length `x0.len()`). The driver alternates two
+/// preallocated buffers — no per-iteration allocation — records the L1
+/// residual after every step, and stops once it drops below `tol` or
+/// `max_iter` steps elapse. This generalizes
+/// [`RowStochastic::stationary`] to fixpoints that are not plain damped
+/// walks (mutual-reinforcement schemes, multi-term blends, packed
+/// two-vector systems), so every iterative ranker can share one driver
+/// and one diagnostics shape.
+pub fn fixpoint(
+    x0: Vec<f64>,
+    tol: f64,
+    max_iter: usize,
+    mut step: impl FnMut(&[f64], &mut [f64]),
+) -> PowerIterationResult {
+    let n = x0.len();
+    if n == 0 {
+        return PowerIterationResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
+    }
+    let mut x = x0;
+    let mut y = vec![0.0; n];
+    let mut residuals = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    while iterations < max_iter {
+        step(&x, &mut y);
+        iterations += 1;
+        let r = l1_distance(&x, &y);
+        residuals.push(r);
+        std::mem::swap(&mut x, &mut y);
+        if r < tol {
+            converged = true;
+            break;
+        }
+    }
+    PowerIterationResult { scores: x, iterations, converged, residuals }
+}
+
 /// L1 distance between two equal-length vectors.
 pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -534,6 +579,38 @@ mod tests {
         blend_into(&[2.0, 2.0], &[0.0, 4.0], 0.5, &mut out);
         assert_close(out.iter().sum::<f64>(), 1.0, 1e-12);
         assert_close(out[0], 0.25, 1e-12);
+    }
+
+    #[test]
+    fn fixpoint_driver_matches_stationary() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (0, 5)]);
+        let op = RowStochastic::new(&g);
+        let opts = PowerIterationOpts::default();
+        let direct = op.stationary(&opts);
+        let generic = fixpoint(opts.jump.to_dense(6), opts.tol, opts.max_iter, |x, y| {
+            op.apply(x, y, opts.damping, &opts.jump)
+        });
+        assert!(generic.converged);
+        assert_eq!(generic.iterations, direct.iterations);
+        assert!(l1_distance(&generic.scores, &direct.scores) < 1e-14);
+    }
+
+    #[test]
+    fn fixpoint_driver_respects_max_iter() {
+        let res = fixpoint(vec![1.0, 0.0], 0.0, 7, |x, y| {
+            y[0] = x[1];
+            y[1] = x[0];
+        });
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 7);
+        assert_eq!(res.residuals.len(), 7);
+    }
+
+    #[test]
+    fn fixpoint_driver_empty_input() {
+        let res = fixpoint(Vec::new(), 1e-10, 10, |_, _| {});
+        assert!(res.converged);
+        assert!(res.scores.is_empty());
     }
 
     #[test]

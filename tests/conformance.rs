@@ -1,0 +1,114 @@
+//! Trait-level conformance suite: every registered ranker must honor the
+//! [`Ranker`] contract on generated corpora — finite non-negative scores,
+//! one per article, summing to 1 — and the context path must agree with
+//! the plain-corpus path bit-for-bit (within 1e-12 L1).
+
+use scholar::rank::{
+    AgeNormalizedCitations, FusedRanker, FusionRule, MonteCarloPageRank, RankContext,
+    RecentCitations, RescaledRanker,
+};
+use scholar::{CitationCount, Corpus, PageRank, Preset, Ranker};
+use sgraph::stochastic::l1_distance;
+
+/// Every ranker exposed by the stack: the R-Table evaluation suite plus
+/// the auxiliary/bibliometric rankers and the two combinators.
+fn registered_rankers() -> Vec<Box<dyn Ranker>> {
+    let mut rankers = scholar::evaluation_rankers();
+    rankers.push(Box::new(MonteCarloPageRank::default()));
+    rankers.push(Box::new(AgeNormalizedCitations::default()));
+    rankers.push(Box::new(RecentCitations::default()));
+    rankers.push(Box::new(RescaledRanker::new(Box::new(PageRank::default()), 5)));
+    rankers.push(Box::new(FusedRanker::new(
+        vec![Box::new(CitationCount), Box::new(PageRank::default())],
+        FusionRule::ReciprocalRank { k: 60.0 },
+    )));
+    rankers
+}
+
+fn assert_distribution(name: &str, corpus: &Corpus, scores: &[f64]) {
+    assert_eq!(
+        scores.len(),
+        corpus.num_articles(),
+        "{name}: one score per article ({} vs {})",
+        scores.len(),
+        corpus.num_articles()
+    );
+    for (i, &s) in scores.iter().enumerate() {
+        assert!(s.is_finite(), "{name}: score[{i}] = {s} is not finite");
+        assert!(s >= 0.0, "{name}: score[{i}] = {s} is negative");
+    }
+    let sum: f64 = scores.iter().sum();
+    assert!((sum - 1.0).abs() <= 1e-9, "{name}: scores sum to {sum}, want 1 ± 1e-9");
+}
+
+fn check_preset(preset: Preset, seed: u64) {
+    let corpus = preset.generate(seed);
+    let ctx = RankContext::new(&corpus);
+    for ranker in registered_rankers() {
+        let name = ranker.name();
+        let out = ranker.solve_ctx(&ctx);
+        assert_distribution(&name, &corpus, &out.scores);
+        let t = &out.telemetry;
+        assert!(t.build_secs >= 0.0 && t.solve_secs >= 0.0, "{name}: negative wall time");
+        assert!(
+            t.residuals.iter().all(|r| r.is_finite()),
+            "{name}: non-finite residual in telemetry"
+        );
+    }
+}
+
+#[test]
+fn every_ranker_emits_a_distribution_on_tiny() {
+    for seed in [1, 7] {
+        check_preset(Preset::Tiny, seed);
+    }
+}
+
+#[test]
+fn rank_ctx_matches_rank() {
+    let corpus = Preset::Tiny.generate(3);
+    let ctx = RankContext::new(&corpus);
+    for ranker in registered_rankers() {
+        let name = ranker.name();
+        let via_ctx = ranker.rank_ctx(&ctx);
+        let via_corpus = ranker.rank(&corpus);
+        let drift = l1_distance(&via_ctx, &via_corpus);
+        assert!(drift <= 1e-12, "{name}: rank vs rank_ctx drift {drift:.3e} > 1e-12");
+    }
+}
+
+#[test]
+fn repeated_solves_on_one_context_are_bitwise_stable() {
+    let corpus = Preset::Tiny.generate(4);
+    let ctx = RankContext::new(&corpus);
+    for ranker in registered_rankers() {
+        let first = ranker.rank_ctx(&ctx);
+        let second = ranker.rank_ctx(&ctx);
+        assert_eq!(first, second, "{}: repeat solve on one context drifted", ranker.name());
+    }
+}
+
+#[test]
+fn full_suite_builds_the_citation_graph_exactly_once() {
+    let corpus = Preset::Tiny.generate(5);
+    assert_eq!(corpus.citation_graph_builds(), 0);
+    let ctx = RankContext::new(&corpus);
+    for ranker in registered_rankers() {
+        let _ = ranker.rank_ctx(&ctx);
+    }
+    assert_eq!(
+        corpus.citation_graph_builds(),
+        1,
+        "a shared-context suite must derive the citation CSR exactly once"
+    );
+}
+
+/// The larger presets take minutes in debug builds; run explicitly with
+/// `cargo test --release -- --ignored` for full-preset coverage.
+#[test]
+#[ignore = "large presets; run in release builds"]
+fn every_ranker_emits_a_distribution_on_large_presets() {
+    for preset in [Preset::AanLike, Preset::DblpLike, Preset::MagLike] {
+        check_preset(preset, 11);
+    }
+}
