@@ -1,0 +1,180 @@
+//! Serving-layer benchmark: HTTP throughput and client-observed latency
+//! against a live `scholar-serve` instance, then the hot-swap guarantee
+//! under load — while the reindexer publishes new generations, every
+//! request must succeed and the published index must stay bit-identical
+//! to a fresh build from the same `(corpus, scores)`.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench serve
+//! ```
+//!
+//! Besides the human-readable report, writes `BENCH_serve.json` at the
+//! repository root so the numbers are machine-checkable.
+
+use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
+use scholar::serve::{serve, Metrics, Reindexer, ScoreIndex, ServeConfig, TopQuery};
+use scholar::{Preset, QRankConfig};
+use scholar_bench::{smoke_mode, SEED};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One blocking request; returns (status, latency). Panics on transport
+/// errors — a dropped response is exactly what this bench must rule out.
+fn request(addr: SocketAddr, target: &str) -> (u16, Duration) {
+    let t0 = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let took = t0.elapsed();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("torn response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    sjson::parse(body).unwrap_or_else(|e| panic!("torn JSON body {body:?}: {e:?}"));
+    (status, took)
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn batch(i: usize) -> Vec<Article> {
+    vec![Article {
+        id: ArticleId(0),
+        title: format!("bench-batch-{i}"),
+        year: 2012,
+        venue: VenueId(0),
+        authors: vec![AuthorId(0)],
+        references: vec![ArticleId(i as u32), ArticleId(2 * i as u32 + 1)],
+        merit: None,
+    }]
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (preset, name) = if smoke { (Preset::Tiny, "tiny") } else { (Preset::AanLike, "aan_like") };
+    let corpus = preset.generate(SEED);
+    let n = corpus.num_articles();
+    let (requests_per_client, clients, swap_batches) = if smoke { (40, 2, 1) } else { (800, 2, 3) };
+
+    println!(
+        "serving {name} ({n} articles): {clients} clients x {requests_per_client} requests, \
+         then {swap_batches} hot swaps under load\n"
+    );
+
+    let metrics = Arc::new(Metrics::new());
+    let swap_metrics = Arc::clone(&metrics);
+    let (shared, reindexer) =
+        Reindexer::start(QRankConfig::default(), corpus, move |_| swap_metrics.record_swap());
+    let config = ServeConfig { workers: 2, ..Default::default() };
+    let server = serve(Arc::clone(&shared), Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+
+    // --- Phase 1: steady-state throughput and latency. ------------------
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(requests_per_client);
+                for i in 0..requests_per_client {
+                    let target = match i % 3 {
+                        0 => "/top?k=10".to_string(),
+                        1 => "/top?k=25&year_min=2005".to_string(),
+                        _ => format!("/article/{}", (i * 37 + c * 11) % 50),
+                    };
+                    let (status, took) = request(addr, &target);
+                    assert!(status == 200 || status == 404, "unexpected status {status}");
+                    lat.push(took.as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> =
+        handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let throughput = total as f64 / wall;
+    let p50 = percentile_us(&latencies, 0.50);
+    let p99 = percentile_us(&latencies, 0.99);
+    println!("steady state: {total} requests in {wall:.2}s = {throughput:.0} req/s");
+    println!("latency: p50 {p50}us, p99 {p99}us");
+
+    // --- Phase 2: hot swaps under load. ---------------------------------
+    let gen_before = shared.load().generation();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let (status, _) = request(addr, "/top?k=10");
+                    assert_eq!(status, 200, "request failed during swap");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    for b in 0..swap_batches {
+        reindexer.submit(batch(b));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while reindexer.batches_published() < (b + 1) as u64 {
+            assert!(Instant::now() < deadline, "swap {b} never published");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let swap_requests: u64 = hammer.into_iter().map(|h| h.join().expect("hammer panicked")).sum();
+    let gen_after = shared.load().generation();
+    assert_eq!(gen_after, gen_before + swap_batches as u64, "every swap must publish");
+    assert!(swap_requests > 0, "no requests landed during the swap phase");
+
+    // Drift: the index the swaps published must answer exactly like a
+    // fresh build over the same corpus + scores — all ranks, all ties.
+    let published = shared.load();
+    let fresh = ScoreIndex::build(
+        Arc::new(published.corpus().as_ref().clone()),
+        published.scores().to_vec(),
+    );
+    let q = TopQuery { k: published.num_articles(), ..Default::default() };
+    let drift = published.top(&q).iter().zip(&fresh.top(&q)).filter(|(a, b)| a != b).count();
+    assert_eq!(drift, 0, "published index drifted from fresh build in {drift} positions");
+    println!("hot swap: {swap_requests} requests over {swap_batches} swaps, 0 failures, drift 0");
+
+    drop(server);
+    reindexer.shutdown();
+
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_serve.json)");
+        return;
+    }
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", name)
+        .field("seed", SEED)
+        .field("articles", n)
+        .field("clients", clients)
+        .field("requests", total)
+        .field("throughput_req_per_sec", throughput)
+        .field("latency_p50_us", p50 as i64)
+        .field("latency_p99_us", p99 as i64)
+        .field("swap_batches", swap_batches)
+        .field("swap_requests", swap_requests as i64)
+        .field("swap_failures", 0)
+        .field("swap_drift_positions", 0)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -2,7 +2,7 @@
 //! caller-provided sink so the logic is unit-testable.
 
 use crate::args::Args;
-use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions};
+use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions, MissingYearPolicy};
 use scholar::corpus::stats::corpus_stats;
 use scholar::corpus::{snapshot_until, Preset};
 use scholar::eval::groundtruth::future_citations;
@@ -28,8 +28,28 @@ macro_rules! outln {
     };
 }
 
-fn load_corpus(path: &str) -> Result<Corpus, String> {
-    jsonl::read_jsonl_file(Path::new(path), &LoadOptions::default())
+/// Loader options from the command line: `--missing-year error|drop|YEAR`
+/// (default `error` — records without a year abort the load instead of
+/// silently becoming year-0 articles that time-decay kernels zero out).
+fn load_options(args: &Args) -> Result<LoadOptions, String> {
+    let mut opts = LoadOptions::default();
+    if let Some(policy) = args.get("missing-year") {
+        opts.missing_year = match policy {
+            "error" => MissingYearPolicy::Error,
+            "drop" => MissingYearPolicy::Drop,
+            other => match other.parse() {
+                Ok(y) => MissingYearPolicy::Impute(y),
+                Err(_) => {
+                    return Err(format!("invalid --missing-year '{other}' (error|drop|YEAR)"))
+                }
+            },
+        };
+    }
+    Ok(opts)
+}
+
+fn load_corpus(path: &str, args: &Args) -> Result<Corpus, String> {
+    jsonl::read_jsonl_file(Path::new(path), &load_options(args)?)
         .map_err(|e| format!("cannot load '{path}': {e}"))
 }
 
@@ -86,7 +106,7 @@ pub fn generate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
 /// `scholar stats corpus.jsonl`
 pub fn stats<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     outln!(out, "{}", corpus_stats(&corpus));
     let report = scholar::corpus::validate::quality_report(&corpus);
     outln!(
@@ -119,7 +139,7 @@ fn ranker_by_name(name: &str) -> Result<Box<dyn Ranker>, String> {
 
 /// `scholar rank corpus.jsonl --method qrank --top 20 [--explain] [--json]`
 pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let method = args.get("method").unwrap_or("qrank");
     let top: usize = args.get_parsed("top", 20)?;
     let cfg = qrank_config(args)?;
@@ -221,7 +241,7 @@ pub fn rank<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 /// prepared engines between structurally identical variants, and reports
 /// how far each ablated ranking drifts from the full model.
 pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let cfg = qrank_config(args)?;
     let swept = scholar::Ablation::sweep(&cfg, &corpus);
     let full = swept
@@ -272,7 +292,7 @@ pub fn ablate<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
 /// `scholar related corpus.jsonl --seeds 12,99 --top 10`
 pub fn related<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let seeds_raw = args.get("seeds").ok_or("missing --seeds ID[,ID...]")?;
     let top: usize = args.get_parsed("top", 10)?;
     let mut seeds = Vec::new();
@@ -306,7 +326,7 @@ pub fn analyze<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     use scholar::corpus::analysis::{
         citation_age_histogram, h_index, mean_citation_age, self_citation_rate, venue_insularity,
     };
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     outln!(out, "{}", corpus_stats(&corpus));
 
     if let Some(age) = mean_citation_age(&corpus) {
@@ -346,7 +366,7 @@ pub fn analyze<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
 /// `scholar coldstart corpus.jsonl --venue NAME --authors NAME[,NAME...]`
 pub fn coldstart<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let venue_name = args.get("venue").ok_or("missing --venue NAME")?;
     let venue = corpus
         .venues()
@@ -384,7 +404,7 @@ pub fn coldstart<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
 /// `scholar eval corpus.jsonl --cutoff-frac 0.8 --window 5`
 pub fn eval<W: Write>(args: &Args, out: &mut W) -> CmdResult {
-    let corpus = load_corpus(args.positional(0, "corpus path")?)?;
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let frac: f64 = args.get_parsed("cutoff-frac", 0.8)?;
     let window: i32 = args.get_parsed("window", 5)?;
     if !(0.0..=1.0).contains(&frac) {
@@ -462,6 +482,67 @@ pub fn convert<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     Ok(())
 }
 
+/// `scholar serve corpus.jsonl [--addr HOST:PORT] [--workers N]
+/// [--queue N] [--read-timeout-ms MS] [--duration SECS]`
+///
+/// Rank the corpus, then serve it over HTTP: `GET /top`,
+/// `GET /article/{id}`, `GET /health`, `GET /metrics`. Without
+/// `--duration` the server runs until stdin closes (Ctrl-D); with it, for
+/// that many seconds. Either way shutdown is graceful — in-flight
+/// requests drain before the process moves on.
+pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
+    let config = qrank_config(args)?;
+    let duration: Option<u64> = match args.get("duration") {
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| format!("invalid --duration '{raw}' (seconds)"))?)
+        }
+        None => None,
+    };
+    let serve_config = scholar::serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
+        workers: args.get_parsed("workers", 4)?,
+        queue_depth: args.get_parsed("queue", 64)?,
+        read_timeout: std::time::Duration::from_millis(args.get_parsed("read-timeout-ms", 5000)?),
+    };
+
+    outln!(out, "ranking {} articles...", corpus.num_articles());
+    let metrics = std::sync::Arc::new(scholar::serve::Metrics::new());
+    let swap_metrics = std::sync::Arc::clone(&metrics);
+    let (shared, reindexer) =
+        scholar::serve::Reindexer::start(config, corpus, move |_| swap_metrics.record_swap());
+    let mut server = scholar::serve::serve(shared, std::sync::Arc::clone(&metrics), &serve_config)
+        .map_err(|e| format!("cannot bind {}: {e}", serve_config.addr))?;
+    outln!(out, "listening on http://{}", server.addr());
+    outln!(out, "endpoints: /top /article/{{id}} /health /metrics");
+
+    match duration {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => {
+            outln!(out, "press Ctrl-D (close stdin) to stop");
+            let mut line = String::new();
+            while std::io::stdin().read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                line.clear();
+            }
+        }
+    }
+
+    server.shutdown();
+    reindexer.shutdown();
+    let rel = std::sync::atomic::Ordering::Relaxed;
+    outln!(
+        out,
+        "served {} requests ({} ok, {} client errors, {} shed), p50 {}us, p99 {}us",
+        metrics.requests.load(rel),
+        metrics.ok.load(rel),
+        metrics.client_errors.load(rel),
+        metrics.shed.load(rel),
+        metrics.latency_quantile_us(0.50),
+        metrics.latency_quantile_us(0.99)
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +570,21 @@ mod tests {
         let c = Preset::Tiny.generate(5);
         jsonl::write_jsonl_file(&c, &path).unwrap();
         path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn serve_binds_ranks_and_shuts_down_cleanly() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        // --duration 0: bind, publish generation 1, drain, exit.
+        let out =
+            run(&["serve", &path, "--addr", "127.0.0.1:0", "--workers", "1", "--duration", "0"])
+                .unwrap();
+        assert!(out.contains("listening on http://127.0.0.1:"), "{out}");
+        assert!(out.contains("served 0 requests"), "{out}");
+        let err = run(&["serve", &path, "--duration", "soon"]).unwrap_err();
+        assert!(err.contains("--duration"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -618,7 +714,7 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains(&format!("{} articles", c.num_articles())));
-        let loaded = load_corpus(&out_path).unwrap();
+        let loaded = load_corpus(&out_path, &Args::default()).unwrap();
         assert_eq!(loaded.num_citations(), c.num_citations());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -677,6 +773,35 @@ mod tests {
             run(&["rank", &path, "--method", "qrank", "--config", &cfg_path.to_string_lossy()])
                 .unwrap_err();
         assert!(err.contains("invalid config"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_year_policy_flag() {
+        let dir = tmpdir();
+        let path = dir.join("yearless.jsonl");
+        std::fs::write(
+            &path,
+            "{\"id\": \"A\"}\n{\"id\": \"B\", \"year\": 2000, \"references\": [\"A\"]}\n",
+        )
+        .unwrap();
+        let path = path.to_string_lossy().into_owned();
+        // Default: the yearless record aborts the load.
+        let err = run(&["stats", &path]).unwrap_err();
+        assert!(err.contains("no publication year"), "{err}");
+        // Explicit policies let the load proceed.
+        let article_count = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("articles"))
+                .and_then(|l| l.split_whitespace().last())
+                .map(str::to_owned)
+        };
+        let dropped = run(&["stats", &path, "--missing-year", "drop"]).unwrap();
+        assert_eq!(article_count(&dropped).as_deref(), Some("1"), "{dropped}");
+        let imputed = run(&["stats", &path, "--missing-year", "1995"]).unwrap();
+        assert_eq!(article_count(&imputed).as_deref(), Some("2"), "{imputed}");
+        let bad = run(&["stats", &path, "--missing-year", "whenever"]).unwrap_err();
+        assert!(bad.contains("invalid --missing-year"), "{bad}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

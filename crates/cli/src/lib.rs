@@ -23,6 +23,7 @@ pub fn dispatch<W: std::io::Write>(parsed: &Args, out: &mut W) -> Result<(), Str
         "analyze" => commands::analyze(parsed, out),
         "eval" => commands::eval(parsed, out),
         "convert" => commands::convert(parsed, out),
+        "serve" => commands::serve(parsed, out),
         "" | "help" => {
             writeln!(out, "{}", help_text()).map_err(|e| e.to_string())?;
             Ok(())
@@ -61,8 +62,17 @@ COMMANDS:
             convert the AAN release format to JSON lines
   convert   --from mag --papers P --authors A --refs R --out FILE
             convert MAG-style TSV tables to JSON lines
+  serve     CORPUS.jsonl [--addr HOST:PORT] [--workers N] [--queue N]
+            [--read-timeout-ms MS] [--duration SECS]
+            rank the corpus and serve it over HTTP: GET /top (k, venue,
+            author, year_min, year_max filters), /article/{id}, /health,
+            /metrics; runs until stdin closes unless --duration is given
 
-Commands running QRank (rank, ablate, coldstart, eval) accept --config FILE
+Commands reading CORPUS.jsonl accept --missing-year error|drop|YEAR for
+records without a publication year (default: error — yearless records
+abort the load rather than silently becoming year-0 articles).
+
+Commands running QRank (rank, ablate, coldstart, eval, serve) accept --config FILE
 with a partial QRankConfig as JSON; unspecified fields keep tuned defaults.
 They also accept --threads N to set the worker count (--threads 1 forces
 sequential execution); the SCHOLAR_THREADS environment variable changes

@@ -68,12 +68,45 @@ impl IncrementalRanker {
     /// the grown corpus, and any new authors/venues must already have been
     /// appended via [`Corpus`] growth — in practice callers construct the
     /// grown corpus with [`grow_corpus`]).
+    ///
+    /// # Append-only contract
+    ///
+    /// The warm start is only a valid accelerant when the retained prefix
+    /// is **identical** to the tracked corpus: an edit to an old article's
+    /// references, year, venue, or byline changes the fixpoint, and a
+    /// warm-started solve would silently converge to scores for a corpus
+    /// the caller never declared. `extend` therefore verifies the whole
+    /// prefix — id, year, venue, authors, and references of every retained
+    /// article — and panics on the first mutation. The check is O(old
+    /// articles + old references) per update, which is linear in the data
+    /// the solver is about to traverse many times over, so it is noise
+    /// next to the solve itself.
     pub fn extend(&mut self, grown: Corpus) -> UpdateStats {
         let old_n = self.corpus.num_articles();
         let new_n = grown.num_articles();
         assert!(new_n >= old_n, "corpus can only grow");
         for (old, new) in self.corpus.articles().iter().zip(grown.articles()) {
             assert_eq!(old.id, new.id, "existing article ids must be stable");
+            assert_eq!(
+                old.year, new.year,
+                "append-only contract violated: article {} changed year",
+                old.id
+            );
+            assert_eq!(
+                old.venue, new.venue,
+                "append-only contract violated: article {} changed venue",
+                old.id
+            );
+            assert_eq!(
+                old.authors, new.authors,
+                "append-only contract violated: article {} changed its byline",
+                old.id
+            );
+            assert_eq!(
+                old.references, new.references,
+                "append-only contract violated: article {} changed its references",
+                old.id
+            );
         }
         // Old scores as warm start, zero for the newcomers.
         let mut warm = vec![0.0f64; new_n];
@@ -205,6 +238,68 @@ mod tests {
             stats.warm_iterations,
             cold_iters
         );
+    }
+
+    /// Build a grown corpus whose retained prefix has been tampered with
+    /// by `mutate`, then feed it to `extend`.
+    fn extend_with_mutated_prefix(mutate: impl Fn(&mut Article)) {
+        let base = Preset::Tiny.generate(44);
+        let mut inc = IncrementalRanker::new(QRankConfig::default(), base.clone());
+        let mut grown = grow_corpus(&base, vec![batch_article(0, 2011, vec![ArticleId(3)])]);
+        // Rebuild the grown corpus with article 5 of the prefix mutated —
+        // the id space stays dense and valid, only the content lies.
+        let mut articles: Vec<Article> = grown.articles().to_vec();
+        mutate(&mut articles[5]);
+        let mut b = scholar_corpus::CorpusBuilder::new();
+        for v in grown.venues() {
+            b.venue(&v.name);
+        }
+        for u in grown.authors() {
+            b.author(&u.name);
+        }
+        for a in &articles {
+            b.add_article(&a.title, a.year, a.venue, a.authors.clone(), a.references.clone(), None);
+        }
+        grown = b.finish().expect("mutated corpus is still structurally valid");
+        inc.extend(grown);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed its references")]
+    fn mutated_prefix_references_rejected() {
+        extend_with_mutated_prefix(|a| {
+            if a.references.is_empty() {
+                a.references.push(ArticleId(0));
+            } else {
+                a.references.clear();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "changed year")]
+    fn mutated_prefix_year_rejected() {
+        extend_with_mutated_prefix(|a| a.year -= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed venue")]
+    fn mutated_prefix_venue_rejected() {
+        extend_with_mutated_prefix(|a| {
+            a.venue = VenueId(if a.venue.0 == 0 { 1 } else { 0 });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "changed its byline")]
+    fn mutated_prefix_byline_rejected() {
+        extend_with_mutated_prefix(|a| {
+            if a.authors.is_empty() {
+                a.authors.push(AuthorId(0));
+            } else {
+                a.authors.clear();
+            }
+        });
     }
 
     #[test]

@@ -127,8 +127,11 @@ pub fn read_aan<R1: Read, R2: Read>(
     citations: R2,
     opts: &LoadOptions,
 ) -> Result<Corpus> {
+    // The missing-year policy is applied by `build_from_records`, but
+    // `Drop` must also run here so the citation index below never
+    // resolves an edge into a record that is about to vanish.
     let mut records = read_metadata(metadata)?;
-    if opts.drop_yearless {
+    if opts.missing_year == super::MissingYearPolicy::Drop {
         records.retain(|r| r.year.is_some());
     }
     let index: HashMap<String, usize> =

@@ -124,16 +124,23 @@ pub fn read_jsonl<R: Read>(reader: R, opts: &LoadOptions) -> Result<Corpus> {
                 line: lineno + 1,
                 message: format!("bad json record: {e}"),
             })?;
-        if opts.drop_yearless && rec.year.is_none() {
-            continue;
-        }
         records.push(rec);
     }
     build_from_records(records, opts)
 }
 
-/// Assemble a corpus from parsed records (two-pass id resolution).
-pub fn build_from_records(records: Vec<JsonArticle>, opts: &LoadOptions) -> Result<Corpus> {
+/// Assemble a corpus from parsed records (two-pass id resolution). The
+/// [`LoadOptions::missing_year`] policy is applied first, so yearless
+/// records error, vanish, or receive the imputed year before any dense
+/// id is assigned.
+pub fn build_from_records(mut records: Vec<JsonArticle>, opts: &LoadOptions) -> Result<Corpus> {
+    super::apply_missing_year(
+        &mut records,
+        opts.missing_year,
+        |r| r.year,
+        |r, y| r.year = Some(y),
+        |r| format!("'{}'", r.id),
+    )?;
     let mut interner = IdInterner::new();
     for rec in &records {
         interner.intern(&rec.id);
@@ -170,7 +177,8 @@ pub fn build_from_records(records: Vec<JsonArticle>, opts: &LoadOptions) -> Resu
                 message: format!("duplicate article id '{}'", rec.id),
             });
         }
-        builder.add_article(&rec.title, rec.year.unwrap_or(0), venue, authors, references, None);
+        let year = rec.year.expect("missing-year policy applied above");
+        builder.add_article(&rec.title, year, venue, authors, references, None);
     }
     builder.finish()
 }
@@ -207,6 +215,7 @@ pub fn write_jsonl_file(corpus: &Corpus, path: &Path) -> Result<()> {
 
 #[cfg(test)]
 mod tests {
+    use super::super::MissingYearPolicy;
     use super::*;
     use crate::model::ArticleId;
 
@@ -263,15 +272,35 @@ mod tests {
     }
 
     #[test]
-    fn drop_yearless_option() {
+    fn missing_year_errors_by_default() {
         let text = "{\"id\": \"A\"}\n{\"id\": \"B\", \"year\": 2000}\n";
-        let keep = read_jsonl(text.as_bytes(), &LoadOptions::default()).unwrap();
-        assert_eq!(keep.num_articles(), 2);
-        assert_eq!(keep.article(ArticleId(0)).year, 0);
-        let drop =
-            read_jsonl(text.as_bytes(), &LoadOptions { drop_yearless: true, ..Default::default() })
-                .unwrap();
-        assert_eq!(drop.num_articles(), 1);
+        let err = read_jsonl(text.as_bytes(), &LoadOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'A'"), "error names the yearless record: {msg}");
+        assert!(msg.contains("no publication year"), "{msg}");
+    }
+
+    #[test]
+    fn missing_year_drop_policy() {
+        let text = "{\"id\": \"A\"}\n{\"id\": \"B\", \"year\": 2000, \"references\": [\"A\"]}\n";
+        let opts = LoadOptions { missing_year: MissingYearPolicy::Drop, ..Default::default() };
+        let c = read_jsonl(text.as_bytes(), &opts).unwrap();
+        assert_eq!(c.num_articles(), 1);
+        assert_eq!(c.article(ArticleId(0)).year, 2000);
+        // The reference to the dropped record follows the
+        // unknown-reference policy (default: dropped too).
+        assert!(c.article(ArticleId(0)).references.is_empty());
+    }
+
+    #[test]
+    fn missing_year_impute_policy() {
+        let text = "{\"id\": \"A\"}\n{\"id\": \"B\", \"year\": 2000}\n";
+        let opts =
+            LoadOptions { missing_year: MissingYearPolicy::Impute(1997), ..Default::default() };
+        let c = read_jsonl(text.as_bytes(), &opts).unwrap();
+        assert_eq!(c.num_articles(), 2);
+        assert_eq!(c.article(ArticleId(0)).year, 1997);
+        assert_eq!(c.article(ArticleId(1)).year, 2000);
     }
 
     #[test]

@@ -68,9 +68,13 @@ pub fn read_mag<R1: Read, R2: Read, R3: Read>(
     opts: &LoadOptions,
 ) -> Result<Corpus> {
     let mut rows = read_papers(papers)?;
-    if opts.drop_yearless {
-        rows.retain(|r| r.year.is_some());
-    }
+    super::apply_missing_year(
+        &mut rows,
+        opts.missing_year,
+        |r| r.year,
+        |r, y| r.year = Some(y),
+        |r| format!("'{}'", r.id),
+    )?;
     let index: HashMap<String, usize> =
         rows.iter().enumerate().map(|(i, r)| (r.id.clone(), i)).collect();
     if index.len() != rows.len() {
@@ -152,7 +156,8 @@ pub fn read_mag<R1: Read, R2: Read, R3: Read>(
         };
         let authors = bylines[i].iter().map(|(_, _, name)| builder.author(name)).collect();
         let references = refs[i].iter().map(|&j| crate::model::ArticleId(j as u32)).collect();
-        builder.add_article(&row.title, row.year.unwrap_or(0), venue, authors, references, None);
+        let year = row.year.expect("missing-year policy applied above");
+        builder.add_article(&row.title, year, venue, authors, references, None);
     }
     builder.finish()
 }
@@ -174,8 +179,13 @@ pub fn read_mag_files(
 
 #[cfg(test)]
 mod tests {
+    use super::super::MissingYearPolicy;
     use super::*;
     use crate::model::ArticleId;
+
+    fn impute_1992() -> LoadOptions {
+        LoadOptions { missing_year: MissingYearPolicy::Impute(1992), ..Default::default() }
+    }
 
     const PAPERS: &str =
         "P1\t1990\tVLDB\tFirst Paper\nP2\t1995\tICDE\tSecond Paper\nP3\t\t\tYearless\n";
@@ -184,9 +194,9 @@ mod tests {
 
     #[test]
     fn loads_three_tables() {
-        let c =
-            read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &LoadOptions::default())
-                .unwrap();
+        let opts =
+            LoadOptions { missing_year: MissingYearPolicy::Impute(1992), ..Default::default() };
+        let c = read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &opts).unwrap();
         assert_eq!(c.num_articles(), 3);
         assert_eq!(c.article(ArticleId(0)).title, "First Paper");
         assert_eq!(c.article(ArticleId(1)).references, vec![ArticleId(0)]);
@@ -194,18 +204,28 @@ mod tests {
         let byline: Vec<&str> =
             c.article(ArticleId(1)).authors.iter().map(|&u| c.author(u).name.as_str()).collect();
         assert_eq!(byline, vec!["Ada", "Bob"]);
-        // Yearless paper kept with year 0 by default.
-        assert_eq!(c.article(ArticleId(2)).year, 0);
+        // Yearless paper kept with the explicitly imputed year.
+        assert_eq!(c.article(ArticleId(2)).year, 1992);
         assert_eq!(c.venue(c.article(ArticleId(2)).venue).name, "(unknown venue)");
     }
 
     #[test]
-    fn drop_yearless() {
+    fn missing_year_errors_by_default() {
+        let err =
+            read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &LoadOptions::default())
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'P3'"), "error names the yearless paper: {msg}");
+        assert!(msg.contains("no publication year"), "{msg}");
+    }
+
+    #[test]
+    fn missing_year_drop_policy() {
         let c = read_mag(
             PAPERS.as_bytes(),
             AUTH.as_bytes(),
             REFS.as_bytes(),
-            &LoadOptions { drop_yearless: true, ..Default::default() },
+            &LoadOptions { missing_year: MissingYearPolicy::Drop, ..Default::default() },
         )
         .unwrap();
         assert_eq!(c.num_articles(), 2);
@@ -213,8 +233,10 @@ mod tests {
 
     #[test]
     fn error_policy_on_unknown_ids() {
-        let opts =
-            LoadOptions { unknown_references: UnknownReferencePolicy::Error, ..Default::default() };
+        let opts = LoadOptions {
+            unknown_references: UnknownReferencePolicy::Error,
+            missing_year: MissingYearPolicy::Impute(1992),
+        };
         // Ghost authorship row P9 trips first.
         assert!(read_mag(PAPERS.as_bytes(), AUTH.as_bytes(), REFS.as_bytes(), &opts).is_err());
         // Without the ghost authorship, the ghost reference trips.
@@ -240,21 +262,16 @@ mod tests {
         )
         .is_err());
         let bad_pos = "P1\tAda\tfirst\n";
-        assert!(read_mag(
-            PAPERS.as_bytes(),
-            bad_pos.as_bytes(),
-            "".as_bytes(),
-            &LoadOptions::default()
-        )
-        .is_err());
+        assert!(
+            read_mag(PAPERS.as_bytes(), bad_pos.as_bytes(), "".as_bytes(), &impute_1992()).is_err()
+        );
     }
 
     #[test]
     fn missing_position_sorts_last() {
         let auth = "P1\tZed\t\nP1\tAda\t1\n";
         let c =
-            read_mag(PAPERS.as_bytes(), auth.as_bytes(), "".as_bytes(), &LoadOptions::default())
-                .unwrap();
+            read_mag(PAPERS.as_bytes(), auth.as_bytes(), "".as_bytes(), &impute_1992()).unwrap();
         let byline: Vec<&str> =
             c.article(ArticleId(0)).authors.iter().map(|&u| c.author(u).name.as_str()).collect();
         assert_eq!(byline, vec!["Ada", "Zed"]);

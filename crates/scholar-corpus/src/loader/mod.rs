@@ -18,7 +18,8 @@ pub mod aan;
 pub mod jsonl;
 pub mod mag;
 
-use crate::model::ArticleId;
+use crate::model::{ArticleId, Year};
+use crate::{CorpusError, Result};
 use std::collections::HashMap;
 
 /// How loaders treat records that reference unknown articles.
@@ -33,15 +34,74 @@ pub enum UnknownReferencePolicy {
     Error,
 }
 
+/// How loaders treat records without a parseable publication year.
+///
+/// Every time-aware ranker in the stack reads `Article::year`, so a
+/// sentinel value is never safe: an article silently mapped to year 0
+/// looks ~2000 years old, time-decay kernels zero it out, and
+/// age-normalized rankers treat it as ancient. The policy therefore
+/// defaults to failing loudly; keeping or discarding yearless records is
+/// an explicit caller decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissingYearPolicy {
+    /// Fail loading with a parse error naming the yearless record
+    /// (the default).
+    #[default]
+    Error,
+    /// Drop yearless records (and, transitively, references to them are
+    /// treated per [`UnknownReferencePolicy`]). Note this renumbers dense
+    /// article ids relative to the source file.
+    Drop,
+    /// Keep yearless records, assigning them this year. Callers choose
+    /// the sentinel consciously (e.g. the corpus median year) instead of
+    /// inheriting an implicit year 0.
+    Impute(Year),
+}
+
 /// Options shared by all loaders.
 #[derive(Debug, Clone, Default)]
 pub struct LoadOptions {
     /// Unknown-reference handling.
     pub unknown_references: UnknownReferencePolicy,
-    /// Records without a parseable year are dropped when `true`
-    /// (default `false`: they get year 0 and survive, which keeps the
-    /// article-id space aligned with the source).
-    pub drop_yearless: bool,
+    /// Missing-year handling (defaults to [`MissingYearPolicy::Error`]).
+    pub missing_year: MissingYearPolicy,
+}
+
+/// Apply a [`MissingYearPolicy`] to a batch of loader records, each of
+/// which carries an optional year. `year_of`/`impute` read and write the
+/// record's year; `label` names a record for the error message. Must run
+/// before external ids are interned/indexed, because `Drop` removes
+/// records (renumbering dense ids).
+pub(crate) fn apply_missing_year<T>(
+    records: &mut Vec<T>,
+    policy: MissingYearPolicy,
+    year_of: impl Fn(&T) -> Option<Year>,
+    impute: impl Fn(&mut T, Year),
+    label: impl Fn(&T) -> String,
+) -> Result<()> {
+    match policy {
+        MissingYearPolicy::Error => {
+            if let Some((i, rec)) = records.iter().enumerate().find(|(_, r)| year_of(r).is_none()) {
+                return Err(CorpusError::Parse {
+                    line: i + 1,
+                    message: format!(
+                        "record {} has no publication year (choose a LoadOptions::missing_year \
+                         policy — Drop or Impute — to accept yearless records)",
+                        label(rec)
+                    ),
+                });
+            }
+        }
+        MissingYearPolicy::Drop => records.retain(|r| year_of(r).is_some()),
+        MissingYearPolicy::Impute(y) => {
+            for r in records.iter_mut() {
+                if year_of(r).is_none() {
+                    impute(r, y);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Interns external string article ids to dense ids in first-seen order.

@@ -1,0 +1,351 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`: enough to parse
+//! one `GET` request defensively and write one `Connection: close`
+//! response. No external dependencies, no keep-alive, no chunked bodies —
+//! the serving API is read-only and every response is a single JSON
+//! document, so the simplest correct subset of the protocol wins.
+//!
+//! Defensive posture (each mapped to a distinct status):
+//! - request line longer than [`MAX_REQUEST_LINE`] → `414`
+//! - header block longer than [`MAX_HEAD`] or missing the `\r\n\r\n`
+//!   terminator before EOF → `400`
+//! - socket read timeout (slowloris: bytes trickling in forever) → `408`
+//! - any method but `GET` → `405`
+//! - malformed query values (`k=banana`) → `400`, reported per-parameter
+
+use std::io::{ErrorKind, Read};
+
+/// Longest accepted request line (`GET <target> HTTP/1.1`).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Longest accepted request head (request line + all headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request target: path plus decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// URL path, percent-decoded (e.g. `/article/17`).
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served. Ordered roughly by how early in the
+/// connection lifecycle each is detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Request line exceeded [`MAX_REQUEST_LINE`] → `414 URI Too Long`.
+    RequestLineTooLong,
+    /// Head exceeded [`MAX_HEAD`], EOF before `\r\n\r\n`, or a request
+    /// line that is not `METHOD TARGET VERSION` → `400 Bad Request`.
+    Malformed(String),
+    /// The socket timed out before a full head arrived → `408`.
+    Timeout,
+    /// Parsed fine but the method is not `GET` → `405`.
+    MethodNotAllowed(String),
+}
+
+impl HttpError {
+    /// The response status code for this error.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::RequestLineTooLong => 414,
+            HttpError::Malformed(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::MethodNotAllowed(_) => 405,
+        }
+    }
+
+    /// Human-readable cause, embedded in the JSON error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::RequestLineTooLong => {
+                format!("request line exceeds {MAX_REQUEST_LINE} bytes")
+            }
+            HttpError::Malformed(why) => why.clone(),
+            HttpError::Timeout => "timed out waiting for request".to_string(),
+            HttpError::MethodNotAllowed(m) => format!("method {m} not allowed (only GET)"),
+        }
+    }
+}
+
+/// Read one request head from `stream` and parse its request line.
+///
+/// Reads until `\r\n\r\n` (headers are ignored — the API needs none),
+/// enforcing [`MAX_REQUEST_LINE`] / [`MAX_HEAD`] as the bytes arrive, so
+/// an attacker cannot buffer unbounded garbage. A read timeout configured
+/// on the stream surfaces as [`HttpError::Timeout`].
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        if find_terminator(&head).is_some() {
+            break;
+        }
+        // Enforce limits *before* reading more: if the request line is
+        // already over budget there is no point waiting for the rest.
+        if !head.contains(&b'\n') && head.len() > MAX_REQUEST_LINE {
+            return Err(HttpError::RequestLineTooLong);
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::Malformed(format!("request head exceeds {MAX_HEAD} bytes")));
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(HttpError::Malformed(
+                    "connection closed before end of request head".to_string(),
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Malformed(format!("read error: {e}"))),
+        };
+        head.extend_from_slice(&buf[..n]);
+    }
+
+    let line_end = head.iter().position(|&b| b == b'\n').expect("terminator implies newline");
+    if line_end > MAX_REQUEST_LINE {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let line = String::from_utf8_lossy(&head[..line_end]);
+    let line = line.trim_end_matches(['\r', '\n']);
+    parse_request_line(line)
+}
+
+/// Position just past the `\r\n\r\n` (or bare `\n\n`) head terminator.
+fn find_terminator(head: &[u8]) -> Option<usize> {
+    head.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| head.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+fn parse_request_line(line: &str) -> Result<Request, HttpError> {
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "request line is not 'METHOD TARGET VERSION': {line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported protocol version {version:?}")));
+    }
+    if method != "GET" {
+        return Err(HttpError::MethodNotAllowed(method.to_string()));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect();
+    Ok(Request { path: percent_decode(path), query })
+}
+
+/// Decode `%XX` escapes and `+`-for-space. Invalid escapes pass through
+/// literally (they can only make lookups miss, never panic).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h << 4 | l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b {
+        Some(c @ b'0'..=b'9') => Some(c - b'0'),
+        Some(c @ b'a'..=b'f') => Some(c - b'a' + 10),
+        Some(c @ b'A'..=b'F') => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        414 => "URI Too Long",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serialize one complete `Connection: close` HTTP/1.1 response with a
+/// JSON body.
+pub fn response_bytes(status: u16, body: &sjson::Value) -> Vec<u8> {
+    let body = body.to_string_compact();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// The JSON error body every non-2xx response carries.
+pub fn error_body(status: u16, message: &str) -> sjson::Value {
+    sjson::ObjectBuilder::new()
+        .field("error", reason(status))
+        .field("status", status as i64)
+        .field("message", message)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_simple_get_with_query() {
+        let r = parse("GET /top?k=5&venue=ICDE HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/top");
+        assert_eq!(r.param("k"), Some("5"));
+        assert_eq!(r.param("venue"), Some("ICDE"));
+        assert_eq!(r.param("nope"), None);
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_params() {
+        let r = parse("GET /top?author=Ada%20Lovelace&x=a%2Bb+c HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.param("author"), Some("Ada Lovelace"));
+        assert_eq!(r.param("x"), Some("a+b c"));
+        // Invalid escapes survive literally instead of erroring.
+        assert_eq!(percent_decode("100%_x%zz"), "100%_x%zz");
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let raw = format!("GET /top?junk={} HTTP/1.1\r\n\r\n", "x".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse(&raw), Err(HttpError::RequestLineTooLong));
+        assert_eq!(HttpError::RequestLineTooLong.status(), 414);
+    }
+
+    #[test]
+    fn missing_terminator_is_400() {
+        let err = parse("GET /top HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("before end of request head"), "{}", err.message());
+    }
+
+    #[test]
+    fn oversized_head_is_400() {
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n", "y".repeat(MAX_HEAD + 10));
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("head exceeds"));
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        for raw in ["WHAT\r\n\r\n", "GET /top\r\n\r\n", "GET /x SMTP/3 extra\r\n\r\n"] {
+            assert_eq!(parse(raw).unwrap_err().status(), 400, "raw = {raw:?}");
+        }
+        // Unsupported protocol version.
+        assert_eq!(parse("GET / HTTP/3.0\r\n\r\n").unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let err = parse("POST /top HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::MethodNotAllowed("POST".to_string()));
+        assert_eq!(err.status(), 405);
+    }
+
+    /// A reader that yields a few bytes then pretends the socket timed
+    /// out — the slowloris case as the server sees it.
+    struct Slowloris {
+        sent: bool,
+    }
+    impl Read for Slowloris {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.sent {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "timed out"))
+            } else {
+                self.sent = true;
+                let part = b"GET /top?k=";
+                buf[..part.len()].copy_from_slice(part);
+                Ok(part.len())
+            }
+        }
+    }
+
+    #[test]
+    fn slow_trickle_hits_timeout_408() {
+        let err = read_request(&mut Slowloris { sent: false }).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let body = sjson::ObjectBuilder::new().field("ok", true).build();
+        let raw = response_bytes(200, &body);
+        let text = String::from_utf8(raw).unwrap();
+        let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Content-Type: application/json"));
+        assert!(head.contains(&format!("Content-Length: {}", payload.len())));
+        assert!(head.contains("Connection: close"));
+        assert_eq!(sjson::parse(payload).unwrap().get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn error_body_names_the_status() {
+        let v = error_body(404, "no such article");
+        assert_eq!(v.get("status").unwrap().as_i64(), Some(404));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("Not Found"));
+        assert_eq!(v.get("message").unwrap().as_str(), Some("no such article"));
+    }
+}

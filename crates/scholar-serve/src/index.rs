@@ -1,0 +1,454 @@
+//! The query-ready [`ScoreIndex`]: an immutable, precomputed view of one
+//! ranking over one corpus.
+//!
+//! The paper's scores are query-independent, which makes the serving
+//! problem an indexing problem: sort once at publish time, answer every
+//! request by slicing. The index holds the globally score-sorted article
+//! order plus per-venue / per-author / per-year posting lists, each
+//! pre-sorted by the *same* comparator as
+//! [`scholar_rank::scores::top_k`] (score descending, dense id ascending
+//! on ties), so a filtered answer is a prefix scan of the smallest
+//! applicable posting list instead of an O(n log n) re-sort per request.
+
+use scholar_corpus::model::Year;
+use scholar_corpus::{ArticleId, Corpus};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Compare two articles the way the published ranking does: higher score
+/// first, ties broken by smaller dense id (the [`top_k`] contract).
+///
+/// [`top_k`]: scholar_rank::scores::top_k
+#[inline]
+fn ranking_cmp(scores: &[f64], a: u32, b: u32) -> std::cmp::Ordering {
+    scores[b as usize]
+        .partial_cmp(&scores[a as usize])
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.cmp(&b))
+}
+
+/// A top-k request against the index. `None` filters match everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopQuery {
+    /// How many results to return (fewer if the filter matches fewer).
+    pub k: usize,
+    /// Restrict to one venue (dense id).
+    pub venue: Option<u32>,
+    /// Restrict to articles with this author on the byline (dense id).
+    pub author: Option<u32>,
+    /// Earliest publication year, inclusive.
+    pub year_min: Option<Year>,
+    /// Latest publication year, inclusive.
+    pub year_max: Option<Year>,
+}
+
+/// One result row of a [`TopQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Global rank (1 = best article of the whole corpus, not of the
+    /// filtered subset).
+    pub rank: usize,
+    /// The article.
+    pub id: ArticleId,
+    /// Its score in the published ranking.
+    pub score: f64,
+}
+
+/// Everything the index knows about one article: the `explain`-style
+/// per-article lookup.
+#[derive(Debug, Clone)]
+pub struct ArticleDetail {
+    /// The article.
+    pub id: ArticleId,
+    /// Global rank, 1-based.
+    pub rank: usize,
+    /// Score in the published ranking.
+    pub score: f64,
+    /// Fraction of articles ranked at or below this one (1.0 = best).
+    pub percentile: f64,
+    /// Ranking neighbors: up to `want` articles directly above and below
+    /// in the global order, including this one, in rank order.
+    pub neighbors: Vec<Hit>,
+}
+
+/// An immutable, query-ready index over one `(corpus, scores)` pair.
+///
+/// Build cost is O(n log n) once; after that unfiltered top-k is O(k),
+/// venue/author-filtered top-k is a prefix scan of that entity's posting
+/// list, and year-ranged top-k is a k-way merge over the per-year lists
+/// (O((k + years) · log years)). The index owns an `Arc` of the corpus so
+/// responses can render titles and names without a side lookup.
+#[derive(Debug)]
+pub struct ScoreIndex {
+    corpus: Arc<Corpus>,
+    scores: Vec<f64>,
+    /// Article indices sorted by `ranking_cmp`: the published order.
+    order: Vec<u32>,
+    /// Inverse of `order`: `rank_of[article] = position in order`.
+    rank_of: Vec<u32>,
+    /// Per-venue posting lists, each sorted by `ranking_cmp`.
+    by_venue: Vec<Vec<u32>>,
+    /// Per-author posting lists, each sorted by `ranking_cmp`.
+    by_author: Vec<Vec<u32>>,
+    /// Per-year posting lists sorted by year, each list sorted by
+    /// `ranking_cmp`. Years are usually a few decades, so a sorted vec
+    /// beats a map.
+    by_year: Vec<(Year, Vec<u32>)>,
+    /// Venue name -> dense id, for resolving query filters.
+    venue_ids: HashMap<String, u32>,
+    /// Author name -> dense id.
+    author_ids: HashMap<String, u32>,
+    /// Monotonic publish generation, stamped by the swap layer.
+    generation: u64,
+}
+
+impl ScoreIndex {
+    /// Build the index from a corpus and its published score vector
+    /// (one score per article, as produced by any
+    /// [`scholar_rank::Ranker`] or the QRank engine).
+    pub fn build(corpus: Arc<Corpus>, scores: Vec<f64>) -> Self {
+        let n = corpus.num_articles();
+        assert_eq!(scores.len(), n, "one score per article");
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| ranking_cmp(&scores, a, b));
+        let mut rank_of = vec![0u32; n];
+        for (pos, &a) in order.iter().enumerate() {
+            rank_of[a as usize] = pos as u32;
+        }
+
+        // Posting lists inherit the global order by construction: walk
+        // `order` once and append to each entity's list, so every list is
+        // already sorted by the ranking comparator — no per-list sort.
+        let mut by_venue: Vec<Vec<u32>> = vec![Vec::new(); corpus.num_venues()];
+        let mut by_author: Vec<Vec<u32>> = vec![Vec::new(); corpus.num_authors()];
+        let mut year_slots: HashMap<Year, Vec<u32>> = HashMap::new();
+        for &a in &order {
+            let art = &corpus.articles()[a as usize];
+            by_venue[art.venue.index()].push(a);
+            for &u in &art.authors {
+                by_author[u.index()].push(a);
+            }
+            year_slots.entry(art.year).or_default().push(a);
+        }
+        let mut by_year: Vec<(Year, Vec<u32>)> = year_slots.into_iter().collect();
+        by_year.sort_by_key(|(y, _)| *y);
+
+        let venue_ids =
+            corpus.venues().iter().map(|v| (v.name.clone(), v.id.0)).collect::<HashMap<_, _>>();
+        let author_ids =
+            corpus.authors().iter().map(|u| (u.name.clone(), u.id.0)).collect::<HashMap<_, _>>();
+
+        ScoreIndex {
+            corpus,
+            scores,
+            order,
+            rank_of,
+            by_venue,
+            by_author,
+            by_year,
+            venue_ids,
+            author_ids,
+            generation: 0,
+        }
+    }
+
+    /// The corpus this index serves.
+    pub fn corpus(&self) -> &Arc<Corpus> {
+        &self.corpus
+    }
+
+    /// The published score of one article.
+    pub fn score(&self, id: ArticleId) -> f64 {
+        self.scores[id.index()]
+    }
+
+    /// The full score vector backing this index.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Number of indexed articles.
+    pub fn num_articles(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The publish generation (0 until the swap layer stamps it).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamp the publish generation (used by the swap layer).
+    pub(crate) fn set_generation(&mut self, g: u64) {
+        self.generation = g;
+    }
+
+    /// Resolve a venue name to its dense id.
+    pub fn venue_id(&self, name: &str) -> Option<u32> {
+        self.venue_ids.get(name).copied()
+    }
+
+    /// Resolve an author name to its dense id.
+    pub fn author_id(&self, name: &str) -> Option<u32> {
+        self.author_ids.get(name).copied()
+    }
+
+    fn hit(&self, a: u32) -> Hit {
+        Hit {
+            rank: self.rank_of[a as usize] as usize + 1,
+            id: ArticleId(a),
+            score: self.scores[a as usize],
+        }
+    }
+
+    #[inline]
+    fn year_ok(&self, a: u32, q: &TopQuery) -> bool {
+        let y = self.corpus.articles()[a as usize].year;
+        q.year_min.is_none_or(|lo| y >= lo) && q.year_max.is_none_or(|hi| y <= hi)
+    }
+
+    /// Answer a top-k query. Results come back in the published order
+    /// (score descending, id ascending on ties) and match what
+    /// [`scholar_rank::scores::top_k`] would return on the filtered
+    /// subset, without re-sorting anything at query time.
+    pub fn top(&self, q: &TopQuery) -> Vec<Hit> {
+        if q.k == 0 {
+            return Vec::new();
+        }
+        match (q.venue, q.author) {
+            // Entity filter(s): scan the smaller posting list, check the
+            // remaining predicates on the fly. Lists are score-ordered,
+            // so the first k survivors are the answer.
+            (Some(v), Some(u)) => {
+                let vl = self.by_venue.get(v as usize).map_or(&[][..], Vec::as_slice);
+                let ul = self.by_author.get(u as usize).map_or(&[][..], Vec::as_slice);
+                if vl.len() <= ul.len() {
+                    self.scan(vl, q, |a| self.on_byline(a, u))
+                } else {
+                    self.scan(ul, q, |a| self.corpus.articles()[a as usize].venue.0 == v)
+                }
+            }
+            (Some(v), None) => {
+                let vl = self.by_venue.get(v as usize).map_or(&[][..], Vec::as_slice);
+                self.scan(vl, q, |_| true)
+            }
+            (None, Some(u)) => {
+                let ul = self.by_author.get(u as usize).map_or(&[][..], Vec::as_slice);
+                self.scan(ul, q, |_| true)
+            }
+            // Year range only: k-way merge of the per-year lists in
+            // range; each is score-ordered, so a heap of list heads
+            // yields the global filtered order.
+            (None, None) if q.year_min.is_some() || q.year_max.is_some() => self.merge_years(q),
+            // Unfiltered: the first k of the published order.
+            (None, None) => self.order.iter().take(q.k).map(|&a| self.hit(a)).collect(),
+        }
+    }
+
+    /// Is author `u` on article `a`'s byline?
+    fn on_byline(&self, a: u32, u: u32) -> bool {
+        self.corpus.articles()[a as usize].authors.iter().any(|x| x.0 == u)
+    }
+
+    fn scan(&self, list: &[u32], q: &TopQuery, extra: impl Fn(u32) -> bool) -> Vec<Hit> {
+        let mut out = Vec::with_capacity(q.k.min(list.len()));
+        for &a in list {
+            if self.year_ok(a, q) && extra(a) {
+                out.push(self.hit(a));
+                if out.len() == q.k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn merge_years(&self, q: &TopQuery) -> Vec<Hit> {
+        // Heads of every in-range year list, keyed so the heap pops the
+        // best-ranked article first: BinaryHeap is a max-heap, and
+        // `Reverse(rank)` orders by published rank, which already encodes
+        // (score desc, id asc).
+        use std::cmp::Reverse;
+        let lo = self.by_year.partition_point(|(y, _)| q.year_min.is_some_and(|m| *y < m));
+        let hi = self.by_year.partition_point(|(y, _)| q.year_max.is_none_or(|m| *y <= m));
+        let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = self.by_year[lo..hi]
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, list))| !list.is_empty())
+            .map(|(li, (_, list))| Reverse((self.rank_of[list[0] as usize], li + lo, 0)))
+            .collect();
+        let mut out = Vec::with_capacity(q.k);
+        while let Some(Reverse((_, li, pos))) = heap.pop() {
+            let list = &self.by_year[li].1;
+            out.push(self.hit(list[pos]));
+            if out.len() == q.k {
+                break;
+            }
+            if pos + 1 < list.len() {
+                heap.push(Reverse((self.rank_of[list[pos + 1] as usize], li, pos + 1)));
+            }
+        }
+        out
+    }
+
+    /// The `explain`-style lookup: rank, score, percentile, and the
+    /// articles ranked directly around `id` (`want` on each side).
+    pub fn detail(&self, id: ArticleId, want: usize) -> Option<ArticleDetail> {
+        let n = self.order.len();
+        if id.index() >= n {
+            return None;
+        }
+        let pos = self.rank_of[id.index()] as usize;
+        let from = pos.saturating_sub(want);
+        let to = (pos + want + 1).min(n);
+        Some(ArticleDetail {
+            id,
+            rank: pos + 1,
+            score: self.scores[id.index()],
+            percentile: (n - pos) as f64 / n as f64,
+            neighbors: self.order[from..to].iter().map(|&a| self.hit(a)).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+    use scholar_rank::scores::top_k;
+    use scholar_rank::Ranker;
+
+    fn indexed(seed: u64) -> (Arc<Corpus>, ScoreIndex) {
+        let corpus = Arc::new(Preset::Tiny.generate(seed));
+        let scores = scholar_rank::PageRank::default().rank(&corpus);
+        let index = ScoreIndex::build(Arc::clone(&corpus), scores);
+        (corpus, index)
+    }
+
+    /// Ground truth: run `top_k` over the brute-force filtered subset.
+    fn brute_force(corpus: &Corpus, scores: &[f64], q: &TopQuery) -> Vec<u32> {
+        let keep: Vec<u32> = (0..corpus.num_articles() as u32)
+            .filter(|&a| {
+                let art = &corpus.articles()[a as usize];
+                q.venue.is_none_or(|v| art.venue.0 == v)
+                    && q.author.is_none_or(|u| art.authors.iter().any(|x| x.0 == u))
+                    && q.year_min.is_none_or(|lo| art.year >= lo)
+                    && q.year_max.is_none_or(|hi| art.year <= hi)
+            })
+            .collect();
+        let sub: Vec<f64> = keep.iter().map(|&a| scores[a as usize]).collect();
+        top_k(&sub, q.k).into_iter().map(|i| keep[i]).collect()
+    }
+
+    fn assert_matches_ground_truth(corpus: &Corpus, index: &ScoreIndex, q: &TopQuery) {
+        let got: Vec<u32> = index.top(q).iter().map(|h| h.id.0).collect();
+        let want = brute_force(corpus, index.scores(), q);
+        assert_eq!(got, want, "query {q:?} diverged from top_k ground truth");
+    }
+
+    #[test]
+    fn unfiltered_matches_top_k_exactly() {
+        let (corpus, index) = indexed(11);
+        for k in [0, 1, 5, 50, corpus.num_articles(), corpus.num_articles() + 10] {
+            assert_matches_ground_truth(&corpus, &index, &TopQuery { k, ..Default::default() });
+        }
+    }
+
+    #[test]
+    fn filtered_queries_match_ground_truth() {
+        let (corpus, index) = indexed(12);
+        let (y0, y1) = corpus.year_range().unwrap();
+        let mid = (y0 + y1) / 2;
+        let queries = [
+            TopQuery { k: 10, venue: Some(0), ..Default::default() },
+            TopQuery { k: 10, author: Some(3), ..Default::default() },
+            TopQuery { k: 10, venue: Some(1), author: Some(2), ..Default::default() },
+            TopQuery { k: 10, year_min: Some(mid), ..Default::default() },
+            TopQuery { k: 10, year_max: Some(mid), ..Default::default() },
+            TopQuery { k: 10, year_min: Some(y0 + 1), year_max: Some(mid), ..Default::default() },
+            TopQuery { k: 7, venue: Some(0), year_min: Some(mid), ..Default::default() },
+            TopQuery { k: 7, author: Some(1), year_max: Some(mid), ..Default::default() },
+            TopQuery { k: 3, year_min: Some(y1 + 5), ..Default::default() }, // empty range
+            TopQuery { k: 4, venue: Some(u32::MAX - 3), ..Default::default() }, // unknown venue
+        ];
+        for q in &queries {
+            assert_matches_ground_truth(&corpus, &index, q);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_like_top_k() {
+        // A corpus with no citations ranks every article identically
+        // under PageRank — the all-ties worst case. The index must still
+        // agree with top_k, which breaks ties by smaller id.
+        let mut b = scholar_corpus::CorpusBuilder::new();
+        let v = b.venue("V");
+        let u = b.author("A");
+        for i in 0..20 {
+            b.add_article(&format!("t{i}"), 2000 + (i % 3), v, vec![u], vec![], None);
+        }
+        let corpus = Arc::new(b.finish().unwrap());
+        let scores = scholar_rank::PageRank::default().rank(&corpus);
+        let index = ScoreIndex::build(Arc::clone(&corpus), scores);
+        assert_matches_ground_truth(&corpus, &index, &TopQuery { k: 20, ..Default::default() });
+        assert_matches_ground_truth(
+            &corpus,
+            &index,
+            &TopQuery { k: 5, year_min: Some(2001), year_max: Some(2002), ..Default::default() },
+        );
+        assert_matches_ground_truth(
+            &corpus,
+            &index,
+            &TopQuery { k: 9, venue: Some(0), ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn exhaustive_small_corpus_sweep() {
+        // Every (k, venue, year window) combination on a small corpus.
+        let (corpus, index) = indexed(13);
+        let (y0, y1) = corpus.year_range().unwrap();
+        for k in [1, 3, 17] {
+            for venue in [None, Some(0), Some(1)] {
+                for lo in [None, Some(y0 + 2)] {
+                    for hi in [None, Some(y1 - 2)] {
+                        let q = TopQuery { k, venue, year_min: lo, year_max: hi, author: None };
+                        assert_matches_ground_truth(&corpus, &index, &q);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detail_reports_rank_percentile_neighbors() {
+        let (corpus, index) = indexed(14);
+        let n = corpus.num_articles();
+        let best = index.top(&TopQuery { k: 1, ..Default::default() })[0].id;
+        let d = index.detail(best, 2).unwrap();
+        assert_eq!(d.rank, 1);
+        assert!((d.percentile - 1.0).abs() < 1e-12);
+        // Rank 1 has no one above: neighbors are itself + 2 below.
+        assert_eq!(d.neighbors.len(), 3);
+        assert_eq!(d.neighbors[0].id, best);
+        assert!(d.neighbors.windows(2).all(|w| w[0].rank + 1 == w[1].rank));
+
+        // A mid-ranked article gets 2 on each side.
+        let mid = index.top(&TopQuery { k: n / 2, ..Default::default() }).pop().unwrap().id;
+        let d = index.detail(mid, 2).unwrap();
+        assert_eq!(d.neighbors.len(), 5);
+        assert_eq!(d.neighbors[2].id, mid);
+        // Out of range id.
+        assert!(index.detail(ArticleId(n as u32 + 7), 2).is_none());
+    }
+
+    #[test]
+    fn name_resolution() {
+        let (corpus, index) = indexed(15);
+        let v = &corpus.venues()[0];
+        assert_eq!(index.venue_id(&v.name), Some(v.id.0));
+        assert_eq!(index.venue_id("No Such Venue"), None);
+        let u = &corpus.authors()[0];
+        assert_eq!(index.author_id(&u.name), Some(u.id.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Query serving for query-independent rankings.
+//!
+//! The paper's central observation — article importance can be computed
+//! *independently of any query* — turns serving into an indexing problem:
+//! all the ranking work happens at publish time, and a request is a
+//! prefix scan. This crate is the subsystem that exploits that:
+//!
+//! - [`ScoreIndex`] (in [`index`]): an immutable, query-ready index over
+//!   one `(corpus, scores)` pair — globally sorted order, per-venue /
+//!   per-author / per-year posting lists, and an `explain`-style
+//!   per-article lookup. Filtered and unfiltered top-k answers match
+//!   [`scholar_rank::scores::top_k`] exactly, ties included.
+//! - [`SharedIndex`] + [`Reindexer`] (in [`swap`]): zero-downtime
+//!   publication. Queries snapshot an `Arc` of the current index; a
+//!   background thread folds corpus batches through
+//!   [`qrank::IncrementalRanker`] and atomically publishes fresh
+//!   generations.
+//! - [`server`] + [`http`]: a std-only HTTP/1.1 front end — fixed worker
+//!   pool, bounded accept queue that sheds load with `503`, per-request
+//!   read timeouts, and graceful drain on shutdown. Endpoints:
+//!   `GET /top`, `GET /article/{id}`, `GET /health`, `GET /metrics`.
+//! - [`Metrics`] (in [`metrics`]): lock-free counters and a log-spaced
+//!   latency histogram behind `GET /metrics`.
+//!
+//! ```no_run
+//! use scholar_serve::{serve, Metrics, Reindexer, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let corpus = scholar_corpus::generator::Preset::Tiny.generate(7);
+//! let (shared, reindexer) =
+//!     Reindexer::start(qrank::QRankConfig::default(), corpus, |_| {});
+//! let metrics = Arc::new(Metrics::new());
+//! let mut server = serve(shared, metrics, &ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! // ... submit batches via `reindexer.submit(...)`; queries never block ...
+//! server.shutdown();
+//! reindexer.shutdown();
+//! ```
+
+pub mod http;
+pub mod index;
+pub mod metrics;
+pub mod server;
+pub mod swap;
+
+pub use index::{ArticleDetail, Hit, ScoreIndex, TopQuery};
+pub use metrics::Metrics;
+pub use server::{respond, serve, ServeConfig, ServerHandle};
+pub use swap::{Reindexer, SharedIndex};

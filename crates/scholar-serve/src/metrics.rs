@@ -1,0 +1,217 @@
+//! Lock-free server metrics: request counters, an in-flight gauge, and a
+//! log-spaced latency histogram, all plain atomics so the hot path never
+//! takes a lock. Rendered as JSON for `GET /metrics`.
+
+use sjson::{ObjectBuilder, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in microseconds, log-spaced. The last
+/// bucket is open-ended.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 500_000, 2_000_000];
+
+/// Per-endpoint request counters.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    /// `GET /top` requests served.
+    pub top: AtomicU64,
+    /// `GET /article/{id}` requests served.
+    pub article: AtomicU64,
+    /// `GET /health` requests served.
+    pub health: AtomicU64,
+    /// `GET /metrics` requests served.
+    pub metrics: AtomicU64,
+}
+
+/// All server metrics. One instance lives in an `Arc` shared by every
+/// worker; every field is an atomic, so recording is wait-free.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total requests that produced a response (any status).
+    pub requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub ok: AtomicU64,
+    /// Responses with a 4xx status (bad request, not found, timeout...).
+    pub client_errors: AtomicU64,
+    /// Connections shed with `503` because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Requests currently being parsed or answered.
+    pub in_flight: AtomicU64,
+    /// Index swaps observed by the serving layer.
+    pub index_swaps: AtomicU64,
+    /// Per-endpoint counters.
+    pub endpoints: EndpointCounters,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_total_us: AtomicU64,
+}
+
+/// RAII guard for the in-flight gauge: increments on creation, decrements
+/// on drop, so early returns and panics can't leak a stuck gauge.
+pub struct InFlight<'a>(&'a Metrics);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Mark a request as in flight; the gauge drops when the guard does.
+    pub fn begin(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(self)
+    }
+
+    /// Record a completed response with its status and service time.
+    pub fn record(&self, status: u16, took: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if (200..300).contains(&status) {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = took.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record a connection shed with `503` before it reached a worker.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an index swap becoming visible to queries.
+    pub fn record_swap(&self) {
+        self.index_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate latency quantile (0.0..=1.0) in microseconds, read from
+    /// the histogram: the upper bound of the bucket holding the quantile.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.latency.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.latency.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Snapshot every counter into the `/metrics` JSON document.
+    pub fn to_json(&self) -> Value {
+        let lat: Vec<Value> = self
+            .latency
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                ObjectBuilder::new()
+                    .field(
+                        "le_us",
+                        match LATENCY_BUCKETS_US.get(i) {
+                            Some(&b) => Value::from(b as i64),
+                            None => Value::String("inf".to_string()),
+                        },
+                    )
+                    .field("count", c.load(Ordering::Relaxed) as i64)
+                    .build()
+            })
+            .collect();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total_us = self.latency_total_us.load(Ordering::Relaxed);
+        ObjectBuilder::new()
+            .field("requests", requests as i64)
+            .field("ok", self.ok.load(Ordering::Relaxed) as i64)
+            .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
+            .field("shed", self.shed.load(Ordering::Relaxed) as i64)
+            .field("in_flight", self.in_flight.load(Ordering::Relaxed) as i64)
+            .field("index_swaps", self.index_swaps.load(Ordering::Relaxed) as i64)
+            .field(
+                "endpoints",
+                ObjectBuilder::new()
+                    .field("top", self.endpoints.top.load(Ordering::Relaxed) as i64)
+                    .field("article", self.endpoints.article.load(Ordering::Relaxed) as i64)
+                    .field("health", self.endpoints.health.load(Ordering::Relaxed) as i64)
+                    .field("metrics", self.endpoints.metrics.load(Ordering::Relaxed) as i64)
+                    .build(),
+            )
+            .field(
+                "latency",
+                ObjectBuilder::new()
+                    .field(
+                        "mean_us",
+                        if requests == 0 { 0.0 } else { total_us as f64 / requests as f64 },
+                    )
+                    .field("p50_us", self.latency_quantile_us(0.50) as i64)
+                    .field("p99_us", self.latency_quantile_us(0.99) as i64)
+                    .field("histogram", Value::Array(lat))
+                    .build(),
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_statuses_and_buckets_latency() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_micros(80));
+        m.record(200, Duration::from_micros(80));
+        m.record(404, Duration::from_micros(3_000));
+        m.record_shed();
+        assert_eq!(m.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(m.ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.client_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.shed.load(Ordering::Relaxed), 1);
+        // Two of three requests landed in the <=100us bucket.
+        assert_eq!(m.latency_quantile_us(0.5), 100);
+        assert_eq!(m.latency_quantile_us(0.99), 5_000);
+    }
+
+    #[test]
+    fn in_flight_gauge_is_raii() {
+        let m = Metrics::new();
+        {
+            let _a = m.begin();
+            let _b = m.begin();
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn json_snapshot_has_all_sections() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_micros(10));
+        let v = m.to_json();
+        assert_eq!(v.get("requests").and_then(|x| x.as_i64()), Some(1));
+        let lat = v.get("latency").unwrap();
+        assert!(lat.get("p50_us").is_some());
+        let hist = lat.get("histogram").and_then(|h| h.as_array()).unwrap();
+        assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
+        // The open-ended bucket labels itself "inf".
+        assert_eq!(hist.last().unwrap().get("le_us").and_then(|x| x.as_str()), Some("inf"));
+    }
+
+    #[test]
+    fn overflow_latency_lands_in_open_bucket() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_secs(30));
+        assert_eq!(m.latency_quantile_us(0.5), u64::MAX);
+    }
+}

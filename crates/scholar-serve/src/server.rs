@@ -1,0 +1,330 @@
+//! The serving loop: a `TcpListener`, a fixed worker pool, and a bounded
+//! hand-off queue between them.
+//!
+//! One acceptor thread pulls connections off the listener and `try_send`s
+//! them into a `sync_channel` of depth [`ServeConfig::queue_depth`]. If
+//! the queue is full the acceptor writes a `503` itself and drops the
+//! connection — load is shed at the door instead of growing an unbounded
+//! backlog. Workers block on the queue, parse one request under a read
+//! timeout, snapshot the published [`ScoreIndex`] via [`SharedIndex`],
+//! and answer from that immutable snapshot, so an index swap mid-request
+//! can never tear a response.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] flips a flag, nudges
+//! the acceptor awake with a self-connection, closes the queue, and joins
+//! every worker — each finishes the request it holds before exiting.
+
+use crate::http::{self, Request};
+use crate::index::{ScoreIndex, TopQuery};
+use crate::metrics::Metrics;
+use crate::swap::SharedIndex;
+use scholar_corpus::ArticleId;
+use sjson::{ObjectBuilder, Value};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (0 = any free port).
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// acceptor starts shedding with `503`.
+    pub queue_depth: usize,
+    /// Per-connection read timeout while waiting for the request head;
+    /// a slowloris client is cut off with `408` after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Default number of ranking neighbors in an `/article/{id}` response.
+const DETAIL_NEIGHBORS: usize = 3;
+/// Cap on `k` so a single request cannot ask for the whole corpus
+/// serialized a million times over.
+const MAX_K: usize = 10_000;
+
+/// A running server: owns the worker pool and the acceptor thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start serving `shared` on `config.addr`. Returns once the listener is
+/// bound and every thread is running; panics if the address cannot be
+/// bound.
+pub fn serve(
+    shared: Arc<SharedIndex>,
+    metrics: Arc<Metrics>,
+    config: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name(format!("scholar-serve-{i}"))
+                .spawn(move || worker_loop(rx, shared, metrics, read_timeout))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("scholar-accept".to_string())
+            .spawn(move || accept_loop(listener, tx, stop, metrics))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle { addr, metrics, stop, acceptor: Some(acceptor), workers })
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join every
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor may be parked in `accept()`; a throwaway local
+        // connection wakes it so it can observe the stop flag. The
+        // acceptor drops the queue sender on exit, which in turn ends
+        // every worker once the queue drains.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Queue full: shed at the door. The write is best-effort —
+                // a client that already gave up is not our problem.
+                metrics.record_shed();
+                let body = http::error_body(503, "server is at capacity, retry shortly");
+                let _ = stream.write_all(&http::response_bytes(503, &body));
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here closes the queue: workers drain what's left and
+    // then see `Err(RecvError)` and exit.
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    shared: Arc<SharedIndex>,
+    metrics: Arc<Metrics>,
+    read_timeout: Duration,
+) {
+    loop {
+        // Hold the lock only long enough to dequeue one connection.
+        let stream = match rx.lock().expect("queue lock poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return, // queue closed and drained: shutdown
+        };
+        handle_connection(stream, &shared, &metrics, read_timeout);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Arc<SharedIndex>,
+    metrics: &Arc<Metrics>,
+    read_timeout: Duration,
+) {
+    let _gauge = metrics.begin();
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let (status, body) = match http::read_request(&mut stream) {
+        // Snapshot the index once per request: the whole answer comes
+        // from one immutable generation even if a swap lands mid-answer.
+        Ok(req) => respond(&req, &shared.load(), metrics),
+        Err(e) => (e.status(), http::error_body(e.status(), &e.message())),
+    };
+    let _ = stream.write_all(&http::response_bytes(status, &body));
+    metrics.record(status, started.elapsed());
+}
+
+/// Route one parsed request. Pure: index snapshot in, `(status, body)`
+/// out, which is what makes the endpoints unit-testable without sockets.
+pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Value) {
+    let rel = Ordering::Relaxed;
+    match req.path.as_str() {
+        "/health" => {
+            metrics.endpoints.health.fetch_add(1, rel);
+            (
+                200,
+                ObjectBuilder::new()
+                    .field("status", "ok")
+                    .field("articles", index.num_articles() as i64)
+                    .field("generation", index.generation() as i64)
+                    .build(),
+            )
+        }
+        "/metrics" => {
+            metrics.endpoints.metrics.fetch_add(1, rel);
+            (200, metrics.to_json())
+        }
+        "/top" => {
+            metrics.endpoints.top.fetch_add(1, rel);
+            match parse_top_query(req, index) {
+                Ok(q) => (200, top_body(index, &q)),
+                Err(msg) => (400, http::error_body(400, &msg)),
+            }
+        }
+        _ => match req.path.strip_prefix("/article/") {
+            Some(rest) => {
+                metrics.endpoints.article.fetch_add(1, rel);
+                match rest.parse::<u32>() {
+                    Ok(id) => match index.detail(ArticleId(id), DETAIL_NEIGHBORS) {
+                        Some(d) => (200, detail_body(index, &d)),
+                        None => (404, http::error_body(404, &format!("no article with id {id}"))),
+                    },
+                    Err(_) => {
+                        (400, http::error_body(400, &format!("article id {rest:?} is not a u32")))
+                    }
+                }
+            }
+            None => (404, http::error_body(404, &format!("no route for {}", req.path))),
+        },
+    }
+}
+
+/// Build a [`TopQuery`] from `/top` parameters, resolving venue/author
+/// names through the index. Every malformed value is a `400` with the
+/// offending parameter named.
+fn parse_top_query(req: &Request, index: &ScoreIndex) -> Result<TopQuery, String> {
+    let mut q = TopQuery { k: 10, ..Default::default() };
+    if let Some(raw) = req.param("k") {
+        q.k = raw
+            .parse::<usize>()
+            .map_err(|_| format!("parameter k={raw:?} is not a non-negative integer"))?;
+        if q.k > MAX_K {
+            return Err(format!("parameter k={raw} exceeds the maximum of {MAX_K}"));
+        }
+    }
+    if let Some(name) = req.param("venue") {
+        q.venue = Some(index.venue_id(name).ok_or_else(|| format!("unknown venue {name:?}"))?);
+    }
+    if let Some(name) = req.param("author") {
+        q.author = Some(index.author_id(name).ok_or_else(|| format!("unknown author {name:?}"))?);
+    }
+    for (key, slot) in [("year_min", &mut q.year_min), ("year_max", &mut q.year_max)] {
+        if let Some(raw) = req.param(key) {
+            *slot = Some(
+                raw.parse::<i32>().map_err(|_| format!("parameter {key}={raw:?} is not a year"))?,
+            );
+        }
+    }
+    Ok(q)
+}
+
+fn hit_json(index: &ScoreIndex, h: &crate::index::Hit) -> Value {
+    let art = &index.corpus().articles()[h.id.index()];
+    ObjectBuilder::new()
+        .field("rank", h.rank as i64)
+        .field("id", h.id.0 as i64)
+        .field("score", h.score)
+        .field("title", art.title.as_str())
+        .field("year", art.year)
+        .field("venue", index.corpus().venue(art.venue).name.as_str())
+        .build()
+}
+
+fn top_body(index: &ScoreIndex, q: &TopQuery) -> Value {
+    let hits = index.top(q);
+    ObjectBuilder::new()
+        .field("generation", index.generation() as i64)
+        .field("count", hits.len() as i64)
+        .field("results", Value::Array(hits.iter().map(|h| hit_json(index, h)).collect()))
+        .build()
+}
+
+fn detail_body(index: &ScoreIndex, d: &crate::index::ArticleDetail) -> Value {
+    let art = &index.corpus().articles()[d.id.index()];
+    ObjectBuilder::new()
+        .field("generation", index.generation() as i64)
+        .field("id", d.id.0 as i64)
+        .field("title", art.title.as_str())
+        .field("year", art.year)
+        .field("venue", index.corpus().venue(art.venue).name.as_str())
+        .field(
+            "authors",
+            Value::Array(
+                art.authors
+                    .iter()
+                    .map(|&u| Value::from(index.corpus().author(u).name.as_str()))
+                    .collect(),
+            ),
+        )
+        .field("rank", d.rank as i64)
+        .field("score", d.score)
+        .field("percentile", d.percentile)
+        .field("references", art.references.len() as i64)
+        .field("neighbors", Value::Array(d.neighbors.iter().map(|h| hit_json(index, h)).collect()))
+        .build()
+}

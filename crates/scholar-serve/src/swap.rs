@@ -1,0 +1,244 @@
+//! Zero-downtime index publication.
+//!
+//! [`SharedIndex`] is the single mutable cell of the serving stack: an
+//! `RwLock<Arc<ScoreIndex>>`. Readers clone the `Arc` (a refcount bump
+//! under a read lock held for nanoseconds) and then answer the whole
+//! request against that immutable snapshot — a swap mid-request can never
+//! tear a response. [`Reindexer`] is the producer side: a background
+//! thread that folds corpus batches through
+//! [`qrank::IncrementalRanker`] and publishes a freshly built index
+//! after each batch.
+
+use crate::index::ScoreIndex;
+use qrank::incremental::{grow_corpus, IncrementalRanker};
+use qrank::QRankConfig;
+use scholar_corpus::model::Article;
+use scholar_corpus::Corpus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+
+/// The atomically swappable published index.
+///
+/// `load()` is the only read path and `publish()` the only write path;
+/// both are O(1) and neither blocks on index construction, which always
+/// happens off to the side on a private `ScoreIndex` value.
+#[derive(Debug)]
+pub struct SharedIndex {
+    current: RwLock<Arc<ScoreIndex>>,
+    generation: AtomicU64,
+}
+
+impl SharedIndex {
+    /// Publish `index` as generation 1 and start serving it.
+    pub fn new(mut index: ScoreIndex) -> Self {
+        index.set_generation(1);
+        SharedIndex { current: RwLock::new(Arc::new(index)), generation: AtomicU64::new(1) }
+    }
+
+    /// Snapshot the currently published index. The returned `Arc` stays
+    /// valid (and immutable) even if a new index is published while the
+    /// caller is still using it.
+    pub fn load(&self) -> Arc<ScoreIndex> {
+        Arc::clone(&self.current.read().expect("index lock poisoned"))
+    }
+
+    /// Atomically replace the published index, stamping the next
+    /// generation. In-flight requests keep their old snapshot; new
+    /// requests see the new index.
+    pub fn publish(&self, mut index: ScoreIndex) -> u64 {
+        let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        index.set_generation(g);
+        *self.current.write().expect("index lock poisoned") = Arc::new(index);
+        g
+    }
+
+    /// Generation of the most recently published index.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+/// A batch submitted to the [`Reindexer`].
+enum Job {
+    Batch(Vec<Article>),
+    Stop,
+}
+
+/// Background re-ranking thread: owns an [`IncrementalRanker`], consumes
+/// article batches from a channel, and publishes a fresh [`ScoreIndex`]
+/// into the [`SharedIndex`] after each batch. Serving never pauses — the
+/// expensive solve and index build happen entirely off the read path.
+pub struct Reindexer {
+    tx: Sender<Job>,
+    handle: JoinHandle<IncrementalRanker>,
+    batches_published: Arc<AtomicU64>,
+}
+
+impl Reindexer {
+    /// Rank `corpus` from scratch, publish generation 1 into a fresh
+    /// [`SharedIndex`], and start the background thread.
+    ///
+    /// `on_publish` runs on the background thread after every successful
+    /// publication (e.g. to bump a swap metric).
+    pub fn start(
+        config: QRankConfig,
+        corpus: Corpus,
+        on_publish: impl Fn(u64) + Send + 'static,
+    ) -> (Arc<SharedIndex>, Reindexer) {
+        let ranker = IncrementalRanker::new(config, corpus);
+        let shared = Arc::new(SharedIndex::new(Self::index_of(&ranker)));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let published = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let shared = Arc::clone(&shared);
+            let published = Arc::clone(&published);
+            std::thread::Builder::new()
+                .name("scholar-reindex".into())
+                .spawn(move || Self::run(ranker, rx, shared, published, on_publish))
+                .expect("spawn reindexer thread")
+        };
+        (Arc::clone(&shared), Reindexer { tx, handle, batches_published: published })
+    }
+
+    fn index_of(ranker: &IncrementalRanker) -> ScoreIndex {
+        ScoreIndex::build(Arc::new(ranker.corpus().clone()), ranker.result().article_scores.clone())
+    }
+
+    fn run(
+        mut ranker: IncrementalRanker,
+        rx: Receiver<Job>,
+        shared: Arc<SharedIndex>,
+        published: Arc<AtomicU64>,
+        on_publish: impl Fn(u64),
+    ) -> IncrementalRanker {
+        while let Ok(Job::Batch(mut batch)) = rx.recv() {
+            // Coalesce any batches that queued up while the last solve
+            // ran: one warm solve over the union beats one per batch.
+            loop {
+                match rx.try_recv() {
+                    Ok(Job::Batch(more)) => batch.extend(more),
+                    Ok(Job::Stop) | Err(TryRecvError::Disconnected) => {
+                        return ranker;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                }
+            }
+            let grown = grow_corpus(ranker.corpus(), batch);
+            ranker.extend(grown);
+            let g = shared.publish(Self::index_of(&ranker));
+            published.fetch_add(1, Ordering::SeqCst);
+            on_publish(g);
+        }
+        ranker
+    }
+
+    /// Queue a batch of new articles for ranking and publication. Returns
+    /// immediately; the publish happens asynchronously.
+    pub fn submit(&self, batch: Vec<Article>) {
+        self.tx.send(Job::Batch(batch)).expect("reindexer thread is alive");
+    }
+
+    /// Number of batches ranked and published so far.
+    pub fn batches_published(&self) -> u64 {
+        self.batches_published.load(Ordering::SeqCst)
+    }
+
+    /// Stop the thread after it finishes the batch in hand, returning the
+    /// final ranker state (corpus + scores).
+    pub fn shutdown(self) -> IncrementalRanker {
+        let _ = self.tx.send(Job::Stop);
+        self.handle.join().expect("reindexer thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::TopQuery;
+    use scholar_corpus::generator::Preset;
+    use scholar_corpus::model::{ArticleId, AuthorId, VenueId};
+    use std::time::{Duration, Instant};
+
+    fn batch_article(i: usize, refs: Vec<ArticleId>) -> Article {
+        Article {
+            id: ArticleId(0),
+            title: format!("swap-batch-{i}"),
+            year: 2012,
+            venue: VenueId(0),
+            authors: vec![AuthorId(0)],
+            references: refs,
+            merit: None,
+        }
+    }
+
+    #[test]
+    fn publish_bumps_generation_and_readers_keep_snapshots() {
+        let corpus = Arc::new(Preset::Tiny.generate(21));
+        let scores = vec![1.0 / corpus.num_articles() as f64; corpus.num_articles()];
+        let shared = SharedIndex::new(ScoreIndex::build(Arc::clone(&corpus), scores.clone()));
+        let old = shared.load();
+        assert_eq!(old.generation(), 1);
+
+        let g = shared.publish(ScoreIndex::build(Arc::clone(&corpus), scores));
+        assert_eq!(g, 2);
+        assert_eq!(shared.generation(), 2);
+        // The old snapshot is still fully usable.
+        assert_eq!(old.generation(), 1);
+        assert_eq!(old.num_articles(), corpus.num_articles());
+        assert_eq!(shared.load().generation(), 2);
+    }
+
+    #[test]
+    fn reindexer_publishes_grown_corpus() {
+        let corpus = Preset::Tiny.generate(22);
+        let n0 = corpus.num_articles();
+        let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+        assert_eq!(shared.load().num_articles(), n0);
+
+        reindexer.submit(vec![
+            batch_article(0, vec![ArticleId(0), ArticleId(3)]),
+            batch_article(1, vec![ArticleId(1)]),
+        ]);
+        // Wait for the asynchronous publish (bounded, normally instant).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while reindexer.batches_published() < 1 {
+            assert!(Instant::now() < deadline, "reindexer never published");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let idx = shared.load();
+        assert_eq!(idx.num_articles(), n0 + 2);
+        assert!(idx.generation() >= 2);
+        // The published index answers queries over the grown corpus.
+        let hits = idx.top(&TopQuery { k: 5, ..Default::default() });
+        assert_eq!(hits.len(), 5);
+
+        let ranker = reindexer.shutdown();
+        assert_eq!(ranker.corpus().num_articles(), n0 + 2);
+    }
+
+    #[test]
+    fn published_scores_match_fresh_rank_of_same_corpus() {
+        // Zero drift: what the swap layer publishes must equal a from-
+        // scratch rank of the identical grown corpus.
+        let corpus = Preset::Tiny.generate(23);
+        let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+        reindexer.submit(vec![batch_article(0, vec![ArticleId(2)])]);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while reindexer.batches_published() < 1 {
+            assert!(Instant::now() < deadline, "reindexer never published");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let idx = shared.load();
+        let cold = qrank::QRank::default().run(idx.corpus());
+        let drift: f64 = idx
+            .scores()
+            .iter()
+            .zip(&cold.article_scores)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(drift < 1e-9, "published scores drifted {drift} from cold rank");
+        reindexer.shutdown();
+    }
+}

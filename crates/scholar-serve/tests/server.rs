@@ -1,0 +1,235 @@
+//! End-to-end tests against a live server on a real socket: routing,
+//! defensive parsing over TCP, and the no-torn-response guarantee while
+//! the index is hot-swapped under load.
+
+use scholar_corpus::generator::Preset;
+use scholar_corpus::model::{Article, ArticleId, AuthorId, VenueId};
+use scholar_serve::{serve, Metrics, Reindexer, ScoreIndex, ServeConfig, SharedIndex, TopQuery};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_server(seed: u64) -> (Arc<SharedIndex>, Reindexer, scholar_serve::ServerHandle) {
+    let corpus = Preset::Tiny.generate(seed);
+    let (shared, reindexer) = Reindexer::start(qrank::QRankConfig::default(), corpus, |_| {});
+    let metrics = Arc::new(Metrics::new());
+    let config =
+        ServeConfig { workers: 2, read_timeout: Duration::from_millis(300), ..Default::default() };
+    let server = serve(Arc::clone(&shared), metrics, &config).expect("bind");
+    (shared, reindexer, server)
+}
+
+/// One raw HTTP exchange: write `raw`, read to EOF, return the response.
+///
+/// Tolerates the server resetting the connection after responding to an
+/// oversized request (unread bytes in its receive buffer turn the close
+/// into an RST): whatever arrived before the reset is the response.
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let _ = s.write_all(raw);
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) if !out.is_empty() => break,
+            Err(e) => panic!("read failed before any response arrived: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, sjson::Value) {
+    let raw = raw_roundtrip(addr, format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, sjson::parse(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e:?}")))
+}
+
+#[test]
+fn endpoints_answer_over_real_sockets() {
+    let (shared, reindexer, server) = start_server(31);
+    let addr = server.addr();
+
+    let (status, health) = get(addr, "/health");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("generation").unwrap().as_i64(), Some(1));
+
+    let (status, top) = get(addr, "/top?k=5");
+    assert_eq!(status, 200);
+    let results = top.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 5);
+    // The HTTP answer is exactly the index answer, rank for rank.
+    let expect = shared.load().top(&TopQuery { k: 5, ..Default::default() });
+    for (r, h) in results.iter().zip(&expect) {
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(h.id.0 as u64));
+        assert_eq!(r.get("rank").unwrap().as_usize(), Some(h.rank));
+    }
+
+    // Filter by a real venue name (URL-encoded).
+    let venue = shared.load().corpus().venues()[0].name.clone();
+    let encoded: String = venue
+        .bytes()
+        .map(|b| if b == b' ' { "+".to_string() } else { (b as char).to_string() })
+        .collect();
+    let (status, filtered) = get(addr, &format!("/top?k=3&venue={encoded}"));
+    assert_eq!(status, 200, "venue {venue:?}");
+    for r in filtered.get("results").unwrap().as_array().unwrap() {
+        assert_eq!(r.get("venue").unwrap().as_str(), Some(venue.as_str()));
+    }
+
+    let (status, detail) = get(addr, "/article/0");
+    assert_eq!(status, 200);
+    assert_eq!(detail.get("id").unwrap().as_i64(), Some(0));
+    assert!(detail.get("percentile").unwrap().as_f64().unwrap() > 0.0);
+    assert!(!detail.get("neighbors").unwrap().as_array().unwrap().is_empty());
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.get("requests").unwrap().as_i64().unwrap() >= 4);
+
+    drop(server);
+    reindexer.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_defensive_statuses_over_tcp() {
+    let (_shared, reindexer, server) = start_server(32);
+    let addr = server.addr();
+
+    // 404 unknown route / unknown article, 400 bad id and bad query values.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/article/999999").0, 404);
+    assert_eq!(get(addr, "/article/banana").0, 400);
+    let (status, body) = get(addr, "/top?k=banana");
+    assert_eq!(status, 400);
+    assert!(body.get("message").unwrap().as_str().unwrap().contains("k=\"banana\""));
+    assert_eq!(get(addr, "/top?k=999999999").0, 400); // over MAX_K
+    assert_eq!(get(addr, "/top?year_min=MMXII").0, 400);
+    assert_eq!(get(addr, "/top?venue=No+Such+Venue").0, 400);
+
+    // 405 non-GET, 400 garbage request line.
+    assert!(raw_roundtrip(addr, b"POST /top HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+    assert!(raw_roundtrip(addr, b"GARBAGE\r\n\r\n").starts_with("HTTP/1.1 400"));
+
+    // 414 oversized request line.
+    let long = format!("GET /top?pad={} HTTP/1.1\r\n\r\n", "x".repeat(8192));
+    assert!(raw_roundtrip(addr, long.as_bytes()).starts_with("HTTP/1.1 414"));
+
+    // 400 missing terminator: half a head then FIN.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /top HTTP/1.1\r\nHost: t\r\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out:?}");
+    }
+
+    // 408 slowloris: trickle bytes slower than the read timeout allows.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /top?k=").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap(); // server cuts us off
+        assert!(out.starts_with("HTTP/1.1 408"), "{out:?}");
+    }
+
+    drop(server);
+    reindexer.shutdown();
+}
+
+/// Hammer the server from client threads while the reindexer publishes new
+/// generations. Every response must be complete, well-formed JSON whose
+/// rows are internally consistent with a single generation — no torn or
+/// dropped responses.
+#[test]
+fn no_torn_responses_during_hot_swap() {
+    let (shared, reindexer, server) = start_server(33);
+    let addr = server.addr();
+    let base_n = shared.load().num_articles();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut generations = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let (status, top) = get(addr, "/top?k=8");
+                    assert_eq!(status, 200);
+                    let gen = top.get("generation").unwrap().as_u64().unwrap();
+                    let results = top.get("results").unwrap().as_array().unwrap();
+                    assert_eq!(results.len(), 8, "torn result list");
+                    // Ranks must be strictly increasing and scores
+                    // non-increasing — a response mixing two indexes
+                    // would violate one of these.
+                    for w in results.windows(2) {
+                        assert!(
+                            w[0].get("rank").unwrap().as_u64() < w[1].get("rank").unwrap().as_u64()
+                        );
+                        assert!(
+                            w[0].get("score").unwrap().as_f64()
+                                >= w[1].get("score").unwrap().as_f64()
+                        );
+                    }
+                    generations.push(gen);
+                    served += 1;
+                }
+                // Generations are monotone: a client can never observe
+                // the index going backwards.
+                assert!(generations.windows(2).all(|w| w[0] <= w[1]));
+                served
+            })
+        })
+        .collect();
+
+    // Publish several generations while the clients hammer away.
+    for batch in 0..3 {
+        reindexer.submit(vec![Article {
+            id: ArticleId(0),
+            title: format!("hot-{batch}"),
+            year: 2012,
+            venue: VenueId(0),
+            authors: vec![AuthorId(0)],
+            references: vec![ArticleId(batch as u32)],
+            merit: None,
+        }]);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while reindexer.batches_published() < batch + 1 {
+            assert!(Instant::now() < deadline, "publish {batch} never landed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert_eq!(shared.load().num_articles(), base_n + 3);
+
+    // Let the clients observe the final generation, then stop them.
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let total: u64 = clients.into_iter().map(|c| c.join().expect("client panicked")).sum();
+    assert!(total > 0, "clients never got a response");
+
+    // Drift check: the published index must equal a fresh build from the
+    // same corpus + scores, hit for hit.
+    let published = shared.load();
+    let fresh = ScoreIndex::build(
+        Arc::new(published.corpus().as_ref().clone()),
+        published.scores().to_vec(),
+    );
+    let q = TopQuery { k: published.num_articles(), ..Default::default() };
+    assert_eq!(published.top(&q), fresh.top(&q), "published index drifted from fresh build");
+
+    // Graceful shutdown drains: zero dropped requests end-to-end.
+    let metrics = Arc::clone(server.metrics());
+    drop(server);
+    reindexer.shutdown();
+    assert_eq!(metrics.in_flight.load(std::sync::atomic::Ordering::SeqCst), 0);
+}

@@ -12,6 +12,8 @@
 //! * [`eval`] — ground truth, metrics, experiment harness
 //!   (re-export of `scholar-eval`).
 //! * [`graph`] — the underlying graph substrate (re-export of `sgraph`).
+//! * [`serve`] — the query-serving subsystem: filtered top-k index,
+//!   hot-swap layer, HTTP server (re-export of `scholar-serve`).
 //!
 //! The most common items are additionally re-exported at the top level.
 //!
@@ -28,6 +30,7 @@ pub use qrank as core;
 pub use scholar_corpus as corpus;
 pub use scholar_eval as eval;
 pub use scholar_rank as rank;
+pub use scholar_serve as serve;
 pub use sgraph as graph;
 
 pub use qrank::{

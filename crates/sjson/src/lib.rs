@@ -111,6 +111,19 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Build a number from a `u64` only if it survives the `f64` storage
+    /// representation exactly; `None` when the value would be rounded
+    /// (any integer above 2^53 that is not itself representable). This is
+    /// the checked alternative to the lossy `From<u64>` conversion for
+    /// callers emitting identifiers or counters that must round-trip.
+    pub fn from_u64_exact(n: u64) -> Option<Value> {
+        let f = n as f64;
+        // Guard the cast-back against saturation: u64::MAX rounds up to
+        // 2^64 as f64, and `2^64 as u64` saturates back to u64::MAX,
+        // which would fake an exact round-trip.
+        (f < u64::MAX as f64 && f as u64 == n).then_some(Value::Number(f))
+    }
+
     /// Serialize compactly (no whitespace).
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
@@ -147,11 +160,16 @@ impl From<i32> for Value {
     }
 }
 impl From<u64> for Value {
+    /// Lossy above 2^53: like JavaScript, numbers are stored as `f64`,
+    /// so integers beyond `2^53` round to the nearest representable
+    /// double (e.g. `2^53 + 1` becomes `2^53`). Use
+    /// [`Value::from_u64_exact`] when silent rounding is unacceptable.
     fn from(n: u64) -> Self {
         Value::Number(n as f64)
     }
 }
 impl From<usize> for Value {
+    /// Lossy above 2^53, like `From<u64>` — see [`Value::from_u64_exact`].
     fn from(n: usize) -> Self {
         Value::Number(n as f64)
     }
@@ -497,6 +515,10 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Infinity; mirror serde_json's `null` convention.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path below would cast -0.0 to 0 and drop the
+        // sign bit; emit it explicitly so -0.0 round-trips.
+        out.push_str("-0.0");
     } else if n.fract() == 0.0 && n.abs() < 1e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
@@ -659,6 +681,46 @@ mod tests {
         assert_eq!(Value::Number(42.0).to_string_compact(), "42");
         assert_eq!(Value::Number(-7.0).to_string_compact(), "-7");
         assert_eq!(Value::from(3usize).to_string_compact(), "3");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let s = Value::Number(-0.0).to_string_compact();
+        assert_eq!(s, "-0.0");
+        let back = parse(&s).unwrap().as_f64().unwrap();
+        assert_eq!(back, 0.0);
+        assert!(back.is_sign_negative(), "-0.0 must round-trip with its sign bit");
+        // And plain zero stays unsigned.
+        assert_eq!(Value::Number(0.0).to_string_compact(), "0");
+    }
+
+    #[test]
+    fn u64_exactness_boundary_at_2_53() {
+        let exact = 1u64 << 53; // 9007199254740992: representable
+        let inexact = exact + 1; // 9007199254740993: rounds to 2^53
+        let below = exact - 1; // largest integer where all are exact
+
+        for n in [below, exact] {
+            let v = Value::from_u64_exact(n).expect("representable");
+            let s = v.to_string_compact();
+            assert_eq!(parse(&s).unwrap().as_u64(), Some(n), "{n} via {s}");
+        }
+        assert_eq!(Value::from_u64_exact(inexact), None);
+        assert_eq!(Value::from_u64_exact(u64::MAX), None);
+
+        // The blanket From<u64> is documented lossy: 2^53 + 1 rounds.
+        let lossy = Value::from(inexact);
+        assert_eq!(lossy.as_u64(), Some(exact), "From<u64> rounds to nearest double");
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_and_roundtrip() {
+        // U+1F393 (🎓) spelled as the surrogate pair 🎓.
+        let v = parse("\"\\ud83c\\udf93 graduation\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F393} graduation"));
+        // The writer emits raw UTF-8, which must parse back identically.
+        let re = parse(&v.to_string_compact()).unwrap();
+        assert_eq!(re, v);
     }
 
     #[test]

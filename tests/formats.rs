@@ -1,7 +1,7 @@
 //! Cross-format integration: a corpus survives every serialization path
 //! and produces identical rankings afterwards.
 
-use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions};
+use scholar::corpus::loader::{aan, jsonl, mag, LoadOptions, MissingYearPolicy};
 use scholar::{PageRank, Preset, QRank, Ranker};
 
 fn l1(a: &[f64], b: &[f64]) -> f64 {
@@ -99,12 +99,25 @@ fn loaders_tolerate_messy_real_world_data() {
 {"id": "B", "venue": "", "authors": ["X", "X"], "references": []}
 {"id": "C", "year": 2005, "references": ["A", "B", "C-NOT-THERE"]}
 "#;
-    let corpus = jsonl::read_jsonl(messy.as_bytes(), &LoadOptions::default()).unwrap();
+    // A yearless record is a hard error unless the caller picks a policy:
+    // the year-0 sentinel used to silently make articles ~2000 years old.
+    let err = jsonl::read_jsonl(messy.as_bytes(), &LoadOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("no publication year"), "{err}");
+
+    let opts = LoadOptions { missing_year: MissingYearPolicy::Impute(2000), ..Default::default() };
+    let corpus = jsonl::read_jsonl(messy.as_bytes(), &opts).unwrap();
     assert_eq!(corpus.num_articles(), 3);
+    assert_eq!(corpus.articles()[1].year, 2000);
     // Rankers must not panic on the messy corpus.
     for ranker in scholar::evaluation_rankers() {
         let scores = ranker.rank(&corpus);
         assert_eq!(scores.len(), 3);
         assert!(scores.iter().all(|s| s.is_finite()));
     }
+
+    // Dropping instead renumbers around the yearless record.
+    let opts = LoadOptions { missing_year: MissingYearPolicy::Drop, ..Default::default() };
+    let dropped = jsonl::read_jsonl(messy.as_bytes(), &opts).unwrap();
+    assert_eq!(dropped.num_articles(), 2);
+    assert!(dropped.articles().iter().all(|a| a.year != 0));
 }
