@@ -271,6 +271,11 @@ impl ScoreIndex {
         use std::cmp::Reverse;
         let lo = self.by_year.partition_point(|(y, _)| q.year_min.is_some_and(|m| *y < m));
         let hi = self.by_year.partition_point(|(y, _)| q.year_max.is_none_or(|m| *y <= m));
+        // An inverted range (`year_min > year_max`) yields lo > hi, which
+        // would panic as a slice bound — it just matches nothing.
+        if lo >= hi {
+            return Vec::new();
+        }
         let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = self.by_year[lo..hi]
             .iter()
             .enumerate()
@@ -373,6 +378,27 @@ mod tests {
         ];
         for q in &queries {
             assert_matches_ground_truth(&corpus, &index, q);
+        }
+    }
+
+    #[test]
+    fn inverted_year_range_is_empty_not_a_panic() {
+        // Regression: year_min > year_max used to produce lo > hi slice
+        // bounds in merge_years and panic — remotely triggerable.
+        let (corpus, index) = indexed(15);
+        let (y0, y1) = corpus.year_range().unwrap();
+        for q in [
+            TopQuery { k: 5, year_min: Some(y1), year_max: Some(y0), ..Default::default() },
+            TopQuery { k: 5, year_min: Some(y0 + 1), year_max: Some(y0), ..Default::default() },
+            TopQuery {
+                k: 5,
+                venue: Some(0),
+                year_min: Some(y1),
+                year_max: Some(y0),
+                ..Default::default()
+            },
+        ] {
+            assert_eq!(index.top(&q), Vec::new(), "inverted range {q:?} must match nothing");
         }
     }
 

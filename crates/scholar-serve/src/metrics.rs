@@ -36,6 +36,9 @@ pub struct Metrics {
     pub client_errors: AtomicU64,
     /// Connections shed with `503` because the accept queue was full.
     pub shed: AtomicU64,
+    /// Panics caught (and survived) by worker threads while handling a
+    /// request. Any non-zero value is a bug worth investigating.
+    pub panics: AtomicU64,
     /// Requests currently being parsed or answered.
     pub in_flight: AtomicU64,
     /// Index swaps observed by the serving layer.
@@ -87,6 +90,11 @@ impl Metrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a panic caught by a worker while handling a request.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record an index swap becoming visible to queries.
     pub fn record_swap(&self) {
         self.index_swaps.fetch_add(1, Ordering::Relaxed);
@@ -136,6 +144,7 @@ impl Metrics {
             .field("ok", self.ok.load(Ordering::Relaxed) as i64)
             .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
             .field("shed", self.shed.load(Ordering::Relaxed) as i64)
+            .field("panics", self.panics.load(Ordering::Relaxed) as i64)
             .field("in_flight", self.in_flight.load(Ordering::Relaxed) as i64)
             .field("index_swaps", self.index_swaps.load(Ordering::Relaxed) as i64)
             .field(

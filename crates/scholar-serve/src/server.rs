@@ -184,7 +184,24 @@ fn worker_loop(
             Ok(s) => s,
             Err(_) => return, // queue closed and drained: shutdown
         };
-        handle_connection(stream, &shared, &metrics, read_timeout);
+        // Panic isolation: a bug while answering one request must not
+        // kill this worker (each death would silently shrink the pool
+        // until nothing serves). `AssertUnwindSafe` is sound here —
+        // nothing mutable crosses the boundary: the stream is consumed,
+        // and `shared`/`metrics` only expose atomic or lock-guarded
+        // state whose guards poison on panic.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, &shared, &metrics, read_timeout)
+        }));
+        if let Err(cause) = caught {
+            metrics.record_panic();
+            let msg = cause
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| cause.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("<non-string panic payload>");
+            eprintln!("scholar-serve: worker caught a panic while handling a request: {msg}");
+        }
     }
 }
 
@@ -278,6 +295,11 @@ fn parse_top_query(req: &Request, index: &ScoreIndex) -> Result<TopQuery, String
             *slot = Some(
                 raw.parse::<i32>().map_err(|_| format!("parameter {key}={raw:?} is not a year"))?,
             );
+        }
+    }
+    if let (Some(lo), Some(hi)) = (q.year_min, q.year_max) {
+        if lo > hi {
+            return Err(format!("year range is inverted: year_min={lo} > year_max={hi}"));
         }
     }
     Ok(q)

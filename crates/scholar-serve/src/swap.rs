@@ -48,9 +48,14 @@ impl SharedIndex {
     /// generation. In-flight requests keep their old snapshot; new
     /// requests see the new index.
     pub fn publish(&self, mut index: ScoreIndex) -> u64 {
+        // Stamp the generation while holding the write lock: concurrent
+        // publishers then install indexes in generation order, so the
+        // winning index always carries the highest generation and
+        // `generation()` never runs ahead of what readers can load.
+        let mut current = self.current.write().expect("index lock poisoned");
         let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         index.set_generation(g);
-        *self.current.write().expect("index lock poisoned") = Arc::new(index);
+        *current = Arc::new(index);
         g
     }
 
@@ -115,12 +120,16 @@ impl Reindexer {
     ) -> IncrementalRanker {
         while let Ok(Job::Batch(mut batch)) = rx.recv() {
             // Coalesce any batches that queued up while the last solve
-            // ran: one warm solve over the union beats one per batch.
+            // ran: one warm solve over the union beats one per batch. A
+            // Stop seen here still processes the batch in hand first —
+            // shutdown() promises the accepted work gets published.
+            let mut stopping = false;
             loop {
                 match rx.try_recv() {
                     Ok(Job::Batch(more)) => batch.extend(more),
                     Ok(Job::Stop) | Err(TryRecvError::Disconnected) => {
-                        return ranker;
+                        stopping = true;
+                        break;
                     }
                     Err(TryRecvError::Empty) => break,
                 }
@@ -130,6 +139,9 @@ impl Reindexer {
             let g = shared.publish(Self::index_of(&ranker));
             published.fetch_add(1, Ordering::SeqCst);
             on_publish(g);
+            if stopping {
+                break;
+            }
         }
         ranker
     }
@@ -216,6 +228,25 @@ mod tests {
 
         let ranker = reindexer.shutdown();
         assert_eq!(ranker.corpus().num_articles(), n0 + 2);
+    }
+
+    #[test]
+    fn shutdown_publishes_the_batch_in_hand() {
+        // Regression: a Stop that arrived while the reindexer was
+        // coalescing used to discard the batch already dequeued,
+        // breaking shutdown()'s finish-the-batch guarantee. Submitting
+        // and immediately shutting down queues [Batch, Stop] before the
+        // thread wakes, so the Stop is (almost always) seen mid-coalesce
+        // — and the batch must still be ranked and published.
+        let corpus = Preset::Tiny.generate(24);
+        let n0 = corpus.num_articles();
+        let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+        reindexer.submit(vec![batch_article(0, vec![ArticleId(1)])]);
+        let ranker = reindexer.shutdown();
+        assert_eq!(ranker.corpus().num_articles(), n0 + 1, "accepted batch was dropped");
+        let idx = shared.load();
+        assert_eq!(idx.num_articles(), n0 + 1);
+        assert_eq!(idx.generation(), 2);
     }
 
     #[test]

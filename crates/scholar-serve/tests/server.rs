@@ -115,6 +115,16 @@ fn malformed_requests_get_defensive_statuses_over_tcp() {
     assert_eq!(get(addr, "/top?year_min=MMXII").0, 400);
     assert_eq!(get(addr, "/top?venue=No+Such+Venue").0, 400);
 
+    // Regression: an inverted year range used to panic in merge_years,
+    // permanently killing a worker per request. It must be a 400, and
+    // the server must keep answering on every worker afterwards.
+    let (status, body) = get(addr, "/top?year_min=2010&year_max=2000");
+    assert_eq!(status, 400);
+    assert!(body.get("message").unwrap().as_str().unwrap().contains("inverted"));
+    for _ in 0..4 {
+        assert_eq!(get(addr, "/health").0, 200, "a worker died on the inverted-range request");
+    }
+
     // 405 non-GET, 400 garbage request line.
     assert!(raw_roundtrip(addr, b"POST /top HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
     assert!(raw_roundtrip(addr, b"GARBAGE\r\n\r\n").starts_with("HTTP/1.1 400"));
