@@ -82,6 +82,10 @@ impl IncrementalRanker {
     /// the solver is about to traverse many times over, so it is noise
     /// next to the solve itself.
     pub fn extend(&mut self, grown: Corpus) -> UpdateStats {
+        // Chaos site: a slow or dying solve inside the reindex pipeline.
+        // A panic here must stay contained to the reindexer thread and
+        // leave the previously published index serving.
+        failpoint!("incremental.extend");
         let old_n = self.corpus.num_articles();
         let new_n = grown.num_articles();
         assert!(new_n >= old_n, "corpus can only grow");

@@ -127,6 +127,15 @@ pub fn read_aan<R1: Read, R2: Read>(
     citations: R2,
     opts: &LoadOptions,
 ) -> Result<Corpus> {
+    // Chaos site: poisoned metadata stream. Must surface as a parse
+    // error, never as an empty-but-Ok corpus.
+    failpoint!(
+        "corpus.aan.parse",
+        return Err(CorpusError::Parse {
+            line: 0,
+            message: "injected parse fault at corpus.aan.parse".into(),
+        })
+    );
     // The missing-year policy is applied by `build_from_records`, but
     // `Drop` must also run here so the citation index below never
     // resolves an edge into a record that is about to vanish.

@@ -112,11 +112,28 @@ pub fn read_jsonl<R: Read>(reader: R, opts: &LoadOptions) -> Result<Corpus> {
     let reader = BufReader::new(reader);
     let mut records: Vec<JsonArticle> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
+        // Chaos site: transient read failure mid-file. Must surface as a
+        // clean CorpusError::Io, never a partial corpus.
+        failpoint!(
+            "corpus.jsonl.io",
+            return Err(CorpusError::Io(std::io::Error::other(
+                "injected I/O fault at corpus.jsonl.io",
+            )))
+        );
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
+        // Chaos site: corrupt record. Must surface as CorpusError::Parse
+        // carrying the 1-based line number of the poisoned record.
+        failpoint!(
+            "corpus.jsonl.parse",
+            return Err(CorpusError::Parse {
+                line: lineno + 1,
+                message: "injected parse fault at corpus.jsonl.parse".into(),
+            })
+        );
         let rec = sjson::parse(trimmed)
             .map_err(|e| e.to_string())
             .and_then(|v| JsonArticle::from_value(&v))

@@ -67,6 +67,15 @@ pub fn read_mag<R1: Read, R2: Read, R3: Read>(
     references: R3,
     opts: &LoadOptions,
 ) -> Result<Corpus> {
+    // Chaos site: poisoned papers table. Must surface as a parse error,
+    // never as an empty-but-Ok corpus.
+    failpoint!(
+        "corpus.mag.parse",
+        return Err(CorpusError::Parse {
+            line: 0,
+            message: "injected parse fault at corpus.mag.parse".into(),
+        })
+    );
     let mut rows = read_papers(papers)?;
     super::apply_missing_year(
         &mut rows,

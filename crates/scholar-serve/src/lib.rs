@@ -37,6 +37,30 @@
 //! reindexer.shutdown();
 //! ```
 
+/// Named fault-injection site (see `scholar-testkit`). With the
+/// `failpoints` feature on, evaluates the site in the testkit registry:
+/// the unit form can delay or panic; the two-argument form additionally
+/// runs its second argument (typically `return Err(..)` or `continue`)
+/// when the site's schedule says *trigger*. Without the feature the
+/// macro expands to nothing at all — no branch, no registry, no
+/// dependency.
+#[cfg(feature = "failpoints")]
+macro_rules! failpoint {
+    ($site:literal) => {
+        let _ = ::scholar_testkit::fp::hit($site);
+    };
+    ($site:literal, $on_trigger:expr) => {
+        if ::scholar_testkit::fp::hit($site) {
+            $on_trigger
+        }
+    };
+}
+#[cfg(not(feature = "failpoints"))]
+macro_rules! failpoint {
+    ($site:literal) => {};
+    ($site:literal, $on_trigger:expr) => {};
+}
+
 pub mod http;
 pub mod index;
 pub mod metrics;

@@ -34,6 +34,9 @@ pub struct Metrics {
     pub ok: AtomicU64,
     /// Responses with a 4xx status (bad request, not found, timeout...).
     pub client_errors: AtomicU64,
+    /// Responses with a 5xx status (handler panics surfaced as `500`).
+    /// Excludes `503` sheds, which never reach a worker — see `shed`.
+    pub server_errors: AtomicU64,
     /// Connections shed with `503` because the accept queue was full.
     pub shed: AtomicU64,
     /// Panics caught (and survived) by worker threads while handling a
@@ -78,6 +81,8 @@ impl Metrics {
             self.ok.fetch_add(1, Ordering::Relaxed);
         } else if (400..500).contains(&status) {
             self.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else if (500..600).contains(&status) {
+            self.server_errors.fetch_add(1, Ordering::Relaxed);
         }
         let us = took.as_micros().min(u64::MAX as u128) as u64;
         let bucket = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
@@ -143,6 +148,7 @@ impl Metrics {
             .field("requests", requests as i64)
             .field("ok", self.ok.load(Ordering::Relaxed) as i64)
             .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
+            .field("server_errors", self.server_errors.load(Ordering::Relaxed) as i64)
             .field("shed", self.shed.load(Ordering::Relaxed) as i64)
             .field("panics", self.panics.load(Ordering::Relaxed) as i64)
             .field("in_flight", self.in_flight.load(Ordering::Relaxed) as i64)
@@ -182,12 +188,14 @@ mod tests {
         m.record(200, Duration::from_micros(80));
         m.record(200, Duration::from_micros(80));
         m.record(404, Duration::from_micros(3_000));
+        m.record(500, Duration::from_micros(120));
         m.record_shed();
-        assert_eq!(m.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(m.requests.load(Ordering::Relaxed), 4);
         assert_eq!(m.ok.load(Ordering::Relaxed), 2);
         assert_eq!(m.client_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.server_errors.load(Ordering::Relaxed), 1);
         assert_eq!(m.shed.load(Ordering::Relaxed), 1);
-        // Two of three requests landed in the <=100us bucket.
+        // Two of four requests landed in the <=100us bucket.
         assert_eq!(m.latency_quantile_us(0.5), 100);
         assert_eq!(m.latency_quantile_us(0.99), 5_000);
     }

@@ -156,6 +156,13 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = conn else { continue };
+        // Chaos site: an accepted connection the acceptor loses before
+        // hand-off (transient accept-path fault). Queue accounting and
+        // worker liveness must survive it.
+        failpoint!("serve.accept", {
+            drop(stream);
+            continue;
+        });
         match tx.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
@@ -195,14 +202,18 @@ fn worker_loop(
         }));
         if let Err(cause) = caught {
             metrics.record_panic();
-            let msg = cause
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| cause.downcast_ref::<String>().map(String::as_str))
-                .unwrap_or("<non-string panic payload>");
-            eprintln!("scholar-serve: worker caught a panic while handling a request: {msg}");
+            log_panic("handling a request", &cause);
         }
     }
+}
+
+fn log_panic(stage: &str, cause: &(dyn std::any::Any + Send)) {
+    let msg = cause
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| cause.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>");
+    eprintln!("scholar-serve: worker caught a panic while {stage}: {msg}");
 }
 
 fn handle_connection(
@@ -215,11 +226,24 @@ fn handle_connection(
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
+    // Chaos site: slow or dying worker before it even reads the request.
+    failpoint!("serve.handle");
 
     let (status, body) = match http::read_request(&mut stream) {
         // Snapshot the index once per request: the whole answer comes
         // from one immutable generation even if a swap lands mid-answer.
-        Ok(req) => respond(&req, &shared.load(), metrics),
+        // Panic isolation at the narrowest useful scope: a handler bug
+        // must not cost the client its response — it becomes a recorded
+        // `500`, so `/metrics` accounting stays exact even under panics
+        // (the outer worker_loop catch remains as the last-resort belt).
+        Ok(req) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            respond(&req, &shared.load(), metrics)
+        }))
+        .unwrap_or_else(|cause| {
+            metrics.record_panic();
+            log_panic("answering a request", cause.as_ref());
+            (500, http::error_body(500, "internal error while answering the request"))
+        }),
         Err(e) => (e.status(), http::error_body(e.status(), &e.message())),
     };
     let _ = stream.write_all(&http::response_bytes(status, &body));
@@ -229,6 +253,9 @@ fn handle_connection(
 /// Route one parsed request. Pure: index snapshot in, `(status, body)`
 /// out, which is what makes the endpoints unit-testable without sockets.
 pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Value) {
+    // Chaos site: a buggy/slow handler. An injected panic here must come
+    // back as a recorded 500, never as a lost response or a dead worker.
+    failpoint!("serve.respond");
     let rel = Ordering::Relaxed;
     match req.path.as_str() {
         "/health" => {

@@ -48,6 +48,9 @@ impl SharedIndex {
     /// generation. In-flight requests keep their old snapshot; new
     /// requests see the new index.
     pub fn publish(&self, mut index: ScoreIndex) -> u64 {
+        // Chaos site: stretch the window between taking the write lock
+        // and installing the index, to let racing publishers pile up.
+        failpoint!("swap.publish");
         // Stamp the generation while holding the write lock: concurrent
         // publishers then install indexes in generation order, so the
         // winning index always carries the highest generation and
@@ -124,6 +127,9 @@ impl Reindexer {
             // Stop seen here still processes the batch in hand first —
             // shutdown() promises the accepted work gets published.
             let mut stopping = false;
+            // Chaos site: hold the thread mid-coalesce so a Stop (or more
+            // batches) reliably lands while a batch is already in hand.
+            failpoint!("reindex.coalesce");
             loop {
                 match rx.try_recv() {
                     Ok(Job::Batch(more)) => batch.extend(more),
@@ -136,6 +142,9 @@ impl Reindexer {
             }
             let grown = grow_corpus(ranker.corpus(), batch);
             ranker.extend(grown);
+            // Chaos site: delay between solve and publish, widening the
+            // window where readers still see the previous generation.
+            failpoint!("reindex.publish");
             let g = shared.publish(Self::index_of(&ranker));
             published.fetch_add(1, Ordering::SeqCst);
             on_publish(g);

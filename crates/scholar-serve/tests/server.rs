@@ -156,6 +156,65 @@ fn malformed_requests_get_defensive_statuses_over_tcp() {
     reindexer.shutdown();
 }
 
+/// The `/metrics` accounting is exact, not approximate: under a
+/// concurrent mix of 2xx and 4xx traffic, every request lands in exactly
+/// one status class and exactly one histogram bucket, so the class
+/// counters and the bucket counts both sum to the request counter.
+#[test]
+fn metrics_accounting_is_exact_under_concurrent_load() {
+    let (_shared, reindexer, server) = start_server(34);
+    let addr = server.addr();
+
+    const CLIENTS: u64 = 4;
+    const PER_CLIENT: u64 = 24;
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    match (t + i) % 4 {
+                        0 => assert_eq!(get(addr, "/top?k=3").0, 200),
+                        1 => assert_eq!(get(addr, "/nope").0, 404),
+                        2 => assert_eq!(get(addr, "/top?k=banana").0, 400),
+                        _ => assert_eq!(get(addr, "/health").0, 200),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client panicked");
+    }
+
+    let metrics = Arc::clone(server.metrics());
+    drop(server); // graceful drain: every admitted request completes
+    reindexer.shutdown();
+
+    use std::sync::atomic::Ordering::SeqCst;
+    let requests = metrics.requests.load(SeqCst);
+    let ok = metrics.ok.load(SeqCst);
+    let client_errors = metrics.client_errors.load(SeqCst);
+    let server_errors = metrics.server_errors.load(SeqCst);
+    assert_eq!(requests, CLIENTS * PER_CLIENT);
+    assert_eq!(ok + client_errors + server_errors, requests, "a request escaped classification");
+    assert_eq!(ok, CLIENTS * PER_CLIENT / 2);
+    assert_eq!(client_errors, CLIENTS * PER_CLIENT / 2);
+    assert_eq!(server_errors, 0);
+    assert_eq!(metrics.panics.load(SeqCst), 0);
+    assert_eq!(metrics.in_flight.load(SeqCst), 0);
+
+    // The histogram holds exactly one sample per request.
+    let hist_sum: i64 = metrics
+        .to_json()
+        .get("latency")
+        .and_then(|l| l.get("histogram"))
+        .and_then(|h| h.as_array())
+        .expect("histogram array")
+        .iter()
+        .map(|b| b.get("count").and_then(|c| c.as_i64()).unwrap())
+        .sum();
+    assert_eq!(hist_sum as u64, requests, "histogram mass diverged from the request counter");
+}
+
 /// Hammer the server from client threads while the reindexer publishes new
 /// generations. Every response must be complete, well-formed JSON whose
 /// rows are internally consistent with a single generation — no torn or

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # scholar-testkit — deterministic fault injection and seeded chaos
+//!
+//! The serving stack's failure modes (worker deaths, publish races,
+//! half-written requests) were historically found by reviewers reading
+//! code. This crate turns each of those classes into machinery that can
+//! *provoke* them on demand, deterministically:
+//!
+//! * [`fp`] — a process-global **failpoint registry**. Production crates
+//!   mark named sites with a `failpoint!` macro that compiles to nothing
+//!   unless the crate's `failpoints` feature is on; tests arm the sites
+//!   with fixed actions, finite scripts, or seeded random schedules that
+//!   return errors, inject delays, or panic.
+//! * [`model`] — a **reference model** of the `ScoreIndex` /
+//!   `SharedIndex` query semantics (brute-force filter + sort), run
+//!   against the real implementation under seeded interleavings to catch
+//!   torn reads, non-monotone generations, and ranking divergence.
+//! * [`chaos`] — a **byte-level chaos client** for the HTTP server:
+//!   split writes, stalls, truncated heads, mid-request disconnects, all
+//!   drawn from a seeded generator, plus liveness and metrics-exactness
+//!   probes.
+//! * [`seeds`] — the seed-sweep driver: every failing case prints its
+//!   seed, and the same binary re-run with that seed reproduces the
+//!   failure byte-for-byte. CI adds fresh seeds on top of the fixed set
+//!   via environment variables.
+//!
+//! The registry and harness live in this always-compiled crate; only the
+//! *call sites* in production crates are feature-gated, so the default
+//! build carries zero fault-injection overhead.
+
+pub mod chaos;
+pub mod fp;
+pub mod model;
+pub mod seeds;
+
+pub use fp::{Action, FaultMix, Scenario};
+pub use model::{ModelArticle, ModelHit, ModelIndex, ModelQuery};
+pub use seeds::for_seeds;

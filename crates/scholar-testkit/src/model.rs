@@ -1,0 +1,256 @@
+//! A reference model of the serving index semantics.
+//!
+//! [`ModelIndex`] re-implements the `ScoreIndex` query contract in the
+//! most obviously-correct way possible: keep every article as a plain
+//! row, answer `top` by brute-force filter + full sort, answer `detail`
+//! by scanning the sorted order. No posting lists, no heaps, no merge —
+//! nothing shared with the real implementation, so agreement between the
+//! two is evidence, not tautology.
+//!
+//! The model is deliberately typed in plain `u32`/`i32`/`f64` so this
+//! crate stays below the serving stack in the dependency graph (the
+//! production crates depend on the testkit for the failpoint registry;
+//! the comparison against real `ScoreIndex` values happens in the chaos
+//! integration suite, which sees both sides).
+
+/// One article row as the model sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArticle {
+    /// Dense article id.
+    pub id: u32,
+    /// Publication year.
+    pub year: i32,
+    /// Dense venue id.
+    pub venue: u32,
+    /// Dense author ids on the byline.
+    pub authors: Vec<u32>,
+    /// Published score.
+    pub score: f64,
+}
+
+/// A top-k query in model terms (mirrors `scholar_serve::TopQuery`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelQuery {
+    /// How many results to return.
+    pub k: usize,
+    /// Restrict to one venue.
+    pub venue: Option<u32>,
+    /// Restrict to articles with this author on the byline.
+    pub author: Option<u32>,
+    /// Earliest publication year, inclusive.
+    pub year_min: Option<i32>,
+    /// Latest publication year, inclusive.
+    pub year_max: Option<i32>,
+}
+
+/// One model result row (mirrors `scholar_serve::Hit`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHit {
+    /// Global rank (1 = best article of the whole corpus).
+    pub rank: usize,
+    /// Article id.
+    pub id: u32,
+    /// Published score.
+    pub score: f64,
+}
+
+/// The ranking comparator the whole stack promises: score descending,
+/// dense id ascending on ties.
+fn ranking_cmp(a: &ModelArticle, b: &ModelArticle) -> std::cmp::Ordering {
+    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+}
+
+/// The brute-force reference index.
+#[derive(Debug, Clone)]
+pub struct ModelIndex {
+    /// Rows sorted into the published order.
+    order: Vec<ModelArticle>,
+}
+
+impl ModelIndex {
+    /// Build the model from unordered rows.
+    pub fn new(mut rows: Vec<ModelArticle>) -> Self {
+        rows.sort_by(ranking_cmp);
+        ModelIndex { order: rows }
+    }
+
+    /// Number of articles.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the model holds no articles.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn matches(a: &ModelArticle, q: &ModelQuery) -> bool {
+        q.venue.is_none_or(|v| a.venue == v)
+            && q.author.is_none_or(|u| a.authors.contains(&u))
+            && q.year_min.is_none_or(|lo| a.year >= lo)
+            && q.year_max.is_none_or(|hi| a.year <= hi)
+    }
+
+    /// Answer a top-k query by brute force: walk the published order,
+    /// keep the first `k` rows matching every filter. Rank is the
+    /// *global* position, matching the `ScoreIndex::top` contract.
+    pub fn top(&self, q: &ModelQuery) -> Vec<ModelHit> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| Self::matches(a, q))
+            .take(q.k)
+            .map(|(pos, a)| ModelHit { rank: pos + 1, id: a.id, score: a.score })
+            .collect()
+    }
+
+    /// The model of `ScoreIndex::detail`: rank, percentile, and `want`
+    /// ranking neighbors on each side (inclusive of the article itself).
+    pub fn detail(&self, id: u32, want: usize) -> Option<(usize, f64, Vec<ModelHit>)> {
+        let n = self.order.len();
+        let pos = self.order.iter().position(|a| a.id == id)?;
+        let from = pos.saturating_sub(want);
+        let to = (pos + want + 1).min(n);
+        let neighbors = self.order[from..to]
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ModelHit { rank: from + i + 1, id: a.id, score: a.score })
+            .collect();
+        Some((pos + 1, (n - pos) as f64 / n as f64, neighbors))
+    }
+
+    /// Internal-consistency check for any result list claiming to be in
+    /// published order: ranks strictly increase and scores never
+    /// increase. A response torn across two index generations violates
+    /// one of these with overwhelming probability.
+    pub fn assert_well_ordered(hits: &[ModelHit]) {
+        for w in hits.windows(2) {
+            assert!(
+                w[0].rank < w[1].rank,
+                "ranks must strictly increase: {} then {}",
+                w[0].rank,
+                w[1].rank
+            );
+            assert!(
+                w[0].score >= w[1].score,
+                "scores must be non-increasing: {} then {}",
+                w[0].score,
+                w[1].score
+            );
+        }
+    }
+}
+
+/// Assert a sequence of observed generations is monotone non-decreasing —
+/// the `SharedIndex` contract that no reader ever sees the index move
+/// backwards in time.
+pub fn assert_monotone_generations(observed: &[u64]) {
+    for w in observed.windows(2) {
+        assert!(w[0] <= w[1], "generation went backwards: {} then {}", w[0], w[1]);
+    }
+}
+
+/// Draw a random query from a seeded generator: every filter is present
+/// or absent independently, bounds may be inverted, ids may be unknown —
+/// the adversarial shapes the serving layer must answer (with an empty
+/// list, never a panic).
+pub fn arb_query(
+    rng: &mut srand::rngs::SmallRng,
+    n: usize,
+    n_venues: u32,
+    n_authors: u32,
+    years: (i32, i32),
+) -> ModelQuery {
+    use srand::Rng;
+    let mut q = ModelQuery { k: rng.gen_range(0usize..n + 3), ..Default::default() };
+    if rng.gen_range(0u32..3) == 0 {
+        // Sometimes an id one past the end: unknown entities match nothing.
+        q.venue = Some(rng.gen_range(0u32..n_venues + 1));
+    }
+    if rng.gen_range(0u32..3) == 0 {
+        q.author = Some(rng.gen_range(0u32..n_authors + 1));
+    }
+    let (y0, y1) = years;
+    if rng.gen_range(0u32..2) == 0 {
+        q.year_min = Some(rng.gen_range(y0 - 1..y1 + 2));
+    }
+    if rng.gen_range(0u32..2) == 0 {
+        // Independent of year_min, so ~half the ranged queries with both
+        // bounds are inverted or empty.
+        q.year_max = Some(rng.gen_range(y0 - 1..y1 + 2));
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srand::{rngs::SmallRng, SeedableRng};
+
+    fn rows() -> Vec<ModelArticle> {
+        // Scores chosen with deliberate ties (ids 1/3 and 0/4).
+        vec![
+            ModelArticle { id: 0, year: 2000, venue: 0, authors: vec![0], score: 0.1 },
+            ModelArticle { id: 1, year: 2001, venue: 1, authors: vec![0, 1], score: 0.3 },
+            ModelArticle { id: 2, year: 2002, venue: 0, authors: vec![1], score: 0.2 },
+            ModelArticle { id: 3, year: 2003, venue: 1, authors: vec![], score: 0.3 },
+            ModelArticle { id: 4, year: 2004, venue: 0, authors: vec![0], score: 0.1 },
+        ]
+    }
+
+    #[test]
+    fn order_breaks_ties_by_id() {
+        let m = ModelIndex::new(rows());
+        let ids: Vec<u32> =
+            m.top(&ModelQuery { k: 5, ..Default::default() }).iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn filters_keep_global_ranks() {
+        let m = ModelIndex::new(rows());
+        let hits = m.top(&ModelQuery { k: 5, venue: Some(0), ..Default::default() });
+        assert_eq!(
+            hits.iter().map(|h| (h.rank, h.id)).collect::<Vec<_>>(),
+            vec![(3, 2), (4, 0), (5, 4)]
+        );
+        ModelIndex::assert_well_ordered(&hits);
+    }
+
+    #[test]
+    fn inverted_and_unknown_filters_match_nothing() {
+        let m = ModelIndex::new(rows());
+        let inverted =
+            ModelQuery { k: 5, year_min: Some(2004), year_max: Some(2000), ..Default::default() };
+        assert!(m.top(&inverted).is_empty());
+        let unknown = ModelQuery { k: 5, venue: Some(99), ..Default::default() };
+        assert!(m.top(&unknown).is_empty());
+    }
+
+    #[test]
+    fn detail_matches_order() {
+        let m = ModelIndex::new(rows());
+        let (rank, pct, neighbors) = m.detail(2, 1).unwrap();
+        assert_eq!(rank, 3);
+        assert!((pct - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(neighbors.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 2, 0]);
+        assert!(m.detail(99, 1).is_none());
+    }
+
+    #[test]
+    fn arb_queries_are_diverse() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let qs: Vec<ModelQuery> =
+            (0..200).map(|_| arb_query(&mut rng, 10, 3, 4, (1990, 2010))).collect();
+        assert!(qs.iter().any(|q| q.venue.is_some()));
+        assert!(qs.iter().any(|q| q.author.is_some()));
+        assert!(qs.iter().any(|q| q.year_min.zip(q.year_max).is_some_and(|(lo, hi)| lo > hi)));
+        assert!(qs.iter().any(|q| q.k == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "generation went backwards")]
+    fn monotone_generation_checker_catches_regressions() {
+        assert_monotone_generations(&[1, 2, 2, 1]);
+    }
+}

@@ -115,6 +115,39 @@ fn stochastic_step_conserves_mass() {
 }
 
 #[test]
+fn composed_operator_rows_sum_to_one() {
+    // The decay/teleport composition `y = d·xP + (1-d)·j + leaked·j` is a
+    // row-stochastic operator: pushing each basis vector through it must
+    // return exactly unit mass (1 ± 1e-12), for uniform and for arbitrary
+    // weighted teleport vectors alike. Basis vectors probe individual
+    // rows, so this is strictly stronger than mass conservation on one
+    // blended distribution.
+    for_cases(|n, edges, rng| {
+        let damping = rng.gen_range(0.0f64..1.0);
+        let g = GraphBuilder::from_weighted_edges(n, edges);
+        let op = RowStochastic::new(&g);
+        let jumps = [
+            JumpVector::Uniform,
+            JumpVector::weighted((0..n).map(|i| 0.01 + (i % 5) as f64).collect()),
+        ];
+        let mut y = vec![0.0; n as usize];
+        for jump in &jumps {
+            for i in 0..(n as usize).min(8) {
+                let mut e = vec![0.0; n as usize];
+                e[i] = 1.0;
+                op.apply(&e, &mut y, damping, jump);
+                let sum: f64 = y.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-12,
+                    "row {i} of composed operator sums to {sum} (damping {damping})"
+                );
+                assert!(y.iter().all(|&v| v >= 0.0 && v.is_finite()));
+            }
+        }
+    });
+}
+
+#[test]
 fn stationary_is_fixed_point() {
     for_cases(|n, edges, _| {
         let g = GraphBuilder::from_weighted_edges(n, edges);
@@ -167,6 +200,37 @@ fn text_roundtrip_identity() {
         // for the f64 display format Rust uses (shortest roundtrip repr).
         assert_eq!(g, g2);
     });
+}
+
+#[test]
+fn io_roundtrip_with_extreme_weights() {
+    // CSR io must round-trip weights at the edges of f64: subnormals,
+    // near-max magnitudes, and values whose shortest decimal repr is
+    // long. Binary io is bit-exact by construction; text io leans on
+    // Rust's shortest-roundtrip float printing — both must reproduce the
+    // graph exactly.
+    let extremes = [
+        f64::MIN_POSITIVE, // smallest normal
+        5e-324,            // smallest subnormal
+        f64::MAX,
+        1.0 + f64::EPSILON,
+        0.1 + 0.2, // classic long-decimal sum
+        1e308,
+        1e-308,
+        std::f64::consts::PI,
+    ];
+    let mut edges = Vec::new();
+    for (i, &w) in extremes.iter().enumerate() {
+        let i = i as u32;
+        edges.push((i, (i + 1) % extremes.len() as u32, w));
+    }
+    let g = GraphBuilder::from_weighted_edges(extremes.len() as u32, &edges);
+    let mut bin = Vec::new();
+    sgraph::io::write_binary(&g, &mut bin).unwrap();
+    assert_eq!(sgraph::io::read_binary(&bin[..]).unwrap(), g);
+    let mut txt = Vec::new();
+    sgraph::io::write_edge_list(&g, &mut txt).unwrap();
+    assert_eq!(sgraph::io::read_edge_list(&txt[..], Some(g.len() as u32)).unwrap(), g);
 }
 
 #[test]

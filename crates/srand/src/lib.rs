@@ -27,6 +27,18 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// Derive an independent child generator, advancing this one.
+        ///
+        /// The child is seeded from one draw of the parent stream,
+        /// re-expanded through SplitMix64, so child streams are
+        /// decorrelated from the parent and from each other. This is the
+        /// backbone of per-site / per-case determinism in the chaos
+        /// harness: one master seed fans out into any number of
+        /// reproducible sub-streams.
+        pub fn split(&mut self) -> SmallRng {
+            <SmallRng as crate::SeedableRng>::seed_from_u64(self.next_u64())
+        }
+
         /// Advance and return the next 64 random bits.
         #[inline]
         pub fn next_u64(&mut self) -> u64 {
@@ -282,6 +294,80 @@ mod tests {
     fn empty_range_panics() {
         let mut r = SmallRng::seed_from_u64(1);
         let _ = r.gen_range(5usize..5);
+    }
+
+    /// Chi-square statistic for `samples` drawn uniformly over `bins`.
+    fn chi_square(samples: &[usize], bins: usize) -> f64 {
+        let mut counts = vec![0u64; bins];
+        for &s in samples {
+            counts[s] += 1;
+        }
+        let expected = samples.len() as f64 / bins as f64;
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum()
+    }
+
+    #[test]
+    fn chi_square_uniformity_smoke() {
+        // 64 bins, df = 63: mean 63, sd ~ 11.2. A healthy generator stays
+        // well under 120 (~5 sd); a biased one (e.g. plain `% 64` over a
+        // short-period LCG, or a stuck bit) blows far past it. Seeds are
+        // fixed, so this is deterministic — a smoke test, not a p-value.
+        for seed in [2u64, 77, 12_345] {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let samples: Vec<usize> = (0..65_536).map(|_| r.gen_range(0usize..64)).collect();
+            let x2 = chi_square(&samples, 64);
+            assert!(x2 < 120.0, "seed {seed}: chi-square {x2} too high for uniform");
+            assert!(x2 > 20.0, "seed {seed}: chi-square {x2} suspiciously low (stuck stream?)");
+        }
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_and_distinct() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut ca = a.split();
+        let mut cb = b.split();
+        for _ in 0..64 {
+            assert_eq!(ca.next_u64(), cb.next_u64(), "split must be deterministic");
+        }
+        // Many children of one parent all start differently.
+        let mut parent = SmallRng::seed_from_u64(7);
+        let mut firsts = std::collections::HashSet::new();
+        for _ in 0..256 {
+            assert!(firsts.insert(parent.split().next_u64()), "child streams collided");
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        // Pearson correlation between parent-after-split, child, and
+        // sibling streams should be statistically indistinguishable from
+        // zero: |r| ~ 1/sqrt(n) = 0.01 for n = 10_000; allow 4 sd.
+        fn corr(xs: &[f64], ys: &[f64]) -> f64 {
+            let n = xs.len() as f64;
+            let mx = xs.iter().sum::<f64>() / n;
+            let my = ys.iter().sum::<f64>() / n;
+            let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+            let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+            cov / (vx.sqrt() * vy.sqrt())
+        }
+        let n = 10_000;
+        let mut parent = SmallRng::seed_from_u64(1234);
+        let mut child_a = parent.split();
+        let mut child_b = parent.split();
+        let pa: Vec<f64> = (0..n).map(|_| parent.gen::<f64>()).collect();
+        let ca: Vec<f64> = (0..n).map(|_| child_a.gen::<f64>()).collect();
+        let cb: Vec<f64> = (0..n).map(|_| child_b.gen::<f64>()).collect();
+        for (label, r) in [("parent/child", corr(&pa, &ca)), ("sibling/sibling", corr(&ca, &cb))] {
+            assert!(r.abs() < 0.04, "{label} correlation {r} too large");
+        }
+        // Each split stream is itself uniform.
+        let mut fresh = SmallRng::seed_from_u64(1234);
+        let mut child = fresh.split();
+        let samples: Vec<usize> = (0..65_536).map(|_| child.gen_range(0usize..64)).collect();
+        let x2 = chi_square(&samples, 64);
+        assert!(x2 < 120.0, "split-child chi-square {x2} too high");
     }
 
     #[test]

@@ -1,0 +1,602 @@
+//! The chaos suite: deterministic fault injection and model-based
+//! checking for the serve/reindex pipeline.
+//!
+//! Compiled only with the `failpoints` feature — the default test build
+//! carries none of this (and none of the failpoint overhead):
+//!
+//! ```text
+//! cargo test -p scholar --features failpoints --test chaos
+//! ```
+//!
+//! Three pillars, all driven through `scholar_testkit`:
+//!
+//! 1. **Failpoint schedules** — seeded fault mixes armed at the named
+//!    sites inside scholar-serve, the corpus loaders, and the incremental
+//!    ranker. Every schedule is a pure function of its seed.
+//! 2. **Model-based checking** — the brute-force `ModelIndex` re-derives
+//!    the query contract independently; the real `ScoreIndex` and the
+//!    hot-swap layer must agree with it under adversarial queries and
+//!    seeded publish interleavings.
+//! 3. **Byte-level HTTP chaos** — split writes, truncations, disconnects,
+//!    and garbage against a live server, with the worker pool proven
+//!    alive and `/metrics` accounting proven exact afterwards.
+//!
+//! Every failing case prints a `CHAOS-SEED <label> seed=<n>` line; re-run
+//! exactly that case with `SCHOLAR_CHAOS_REPLAY=<label>:<n>`.
+
+#![cfg(feature = "failpoints")]
+
+use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
+use scholar::corpus::{Corpus, CorpusBuilder};
+use scholar::serve::{serve, Metrics, Reindexer, ScoreIndex, ServeConfig, SharedIndex, TopQuery};
+use scholar::QRankConfig;
+use scholar_testkit::chaos;
+use scholar_testkit::fp::{self, Action, FaultMix, Scenario};
+use scholar_testkit::model::{
+    arb_query, assert_monotone_generations, ModelArticle, ModelIndex, ModelQuery,
+};
+use scholar_testkit::seeds::for_seeds;
+use srand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- helpers
+
+/// A small random corpus plus a tie-heavy score vector: scores come from
+/// a tiny palette so every query exercises the tie-breaking contract.
+fn arb_indexed(rng: &mut SmallRng) -> (Arc<Corpus>, Vec<f64>) {
+    let n = rng.gen_range(5usize..40);
+    let nv = rng.gen_range(1u32..5);
+    let na = rng.gen_range(1u32..6);
+    let mut b = CorpusBuilder::new();
+    for v in 0..nv {
+        b.venue(&format!("V{v}"));
+    }
+    for a in 0..na {
+        b.author(&format!("A{a}"));
+    }
+    for i in 0..n {
+        let year = rng.gen_range(1990i32..2015);
+        let venue = VenueId(rng.gen_range(0u32..nv));
+        let mut authors: Vec<AuthorId> =
+            (0..rng.gen_range(0usize..3)).map(|_| AuthorId(rng.gen_range(0u32..na))).collect();
+        authors.sort();
+        authors.dedup();
+        let refs: Vec<ArticleId> = (0..rng.gen_range(0usize..4))
+            .map(|_| rng.gen_range(0usize..n))
+            .filter(|&r| r != i)
+            .map(|r| ArticleId(r as u32))
+            .collect();
+        b.add_article(&format!("c{i}"), year, venue, authors, refs, None);
+    }
+    let corpus = Arc::new(b.finish().expect("arbitrary corpus must build"));
+    let palette = [0.0, 0.1, 0.1 + f64::EPSILON, 0.25, 0.5];
+    let scores = (0..n).map(|_| palette[rng.gen_range(0usize..palette.len())]).collect();
+    (corpus, scores)
+}
+
+/// The same `(corpus, scores)` pair in the model's plain-typed terms.
+fn model_rows(corpus: &Corpus, scores: &[f64]) -> Vec<ModelArticle> {
+    corpus
+        .articles()
+        .iter()
+        .map(|a| ModelArticle {
+            id: a.id.0,
+            year: a.year,
+            venue: a.venue.0,
+            authors: a.authors.iter().map(|u| u.0).collect(),
+            score: scores[a.id.index()],
+        })
+        .collect()
+}
+
+fn to_top_query(q: &ModelQuery) -> TopQuery {
+    TopQuery {
+        k: q.k,
+        venue: q.venue,
+        author: q.author,
+        year_min: q.year_min,
+        year_max: q.year_max,
+    }
+}
+
+fn batch_article(i: usize, refs: Vec<ArticleId>) -> Article {
+    Article {
+        id: ArticleId(0),
+        title: format!("chaos-batch-{i}"),
+        year: 2012,
+        venue: VenueId(0),
+        authors: vec![AuthorId(0)],
+        references: refs,
+        merit: None,
+    }
+}
+
+/// A tiny fixed corpus for the reindexer scenarios (cheap to re-rank).
+fn small_corpus(seed: u64) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0de);
+    let mut b = CorpusBuilder::new();
+    b.venue("V0");
+    b.author("A0");
+    for i in 0..25usize {
+        let refs: Vec<ArticleId> = (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(0usize..25))
+            .filter(|&r| r < i)
+            .map(|r| ArticleId(r as u32))
+            .collect();
+        b.add_article(
+            &format!("s{i}"),
+            1990 + (i as i32 % 20),
+            VenueId(0),
+            vec![AuthorId(0)],
+            refs,
+            None,
+        );
+    }
+    b.finish().unwrap()
+}
+
+// ---------------------------------------------- pillar 2: model checking
+
+#[test]
+fn score_index_agrees_with_model_under_adversarial_queries() {
+    let _s = Scenario::begin();
+    for_seeds("model.query", 64, |_seed, rng| {
+        let (corpus, scores) = arb_indexed(rng);
+        let n = corpus.num_articles();
+        let nv = corpus.num_venues() as u32;
+        let na = corpus.num_authors() as u32;
+        let years = corpus.year_range().unwrap();
+        let index = ScoreIndex::build(Arc::clone(&corpus), scores.clone());
+        let model = ModelIndex::new(model_rows(&corpus, &scores));
+        for _ in 0..30 {
+            let mq = arb_query(rng, n, nv, na, years);
+            let got = index.top(&to_top_query(&mq));
+            let want = model.top(&mq);
+            assert_eq!(got.len(), want.len(), "hit count diverged for {mq:?}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.rank, g.id.0), (w.rank, w.id), "hit diverged for {mq:?}");
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "score diverged for {mq:?}");
+            }
+            ModelIndex::assert_well_ordered(&want);
+        }
+        // `detail` agrees too, including out-of-range ids.
+        for _ in 0..8 {
+            let id = rng.gen_range(0u32..n as u32 + 3);
+            let want = rng.gen_range(0usize..4);
+            match (index.detail(ArticleId(id), want), model.detail(id, want)) {
+                (None, None) => {}
+                (Some(d), Some((rank, pct, neighbors))) => {
+                    assert_eq!(d.rank, rank, "rank diverged for article {id}");
+                    assert!((d.percentile - pct).abs() < 1e-15);
+                    assert_eq!(d.neighbors.len(), neighbors.len());
+                    for (g, w) in d.neighbors.iter().zip(&neighbors) {
+                        assert_eq!((g.rank, g.id.0), (w.rank, w.id));
+                    }
+                }
+                (got, want) => {
+                    panic!("detail presence diverged for article {id}: {got:?} vs {want:?}")
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn chaos_cases_replay_byte_identically() {
+    // The reproduction story end to end: the same seed must produce the
+    // same corpus, the same queries, and bit-for-bit the same answers.
+    let _s = Scenario::begin();
+    let run = |seed: u64| -> Vec<(usize, u32, u64)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (corpus, scores) = arb_indexed(&mut rng);
+        let index = ScoreIndex::build(Arc::clone(&corpus), scores);
+        let years = corpus.year_range().unwrap();
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            let mq = arb_query(
+                &mut rng,
+                corpus.num_articles(),
+                corpus.num_venues() as u32,
+                corpus.num_authors() as u32,
+                years,
+            );
+            for h in index.top(&to_top_query(&mq)) {
+                out.push((h.rank, h.id.0, h.score.to_bits()));
+            }
+        }
+        out
+    };
+    for seed in [0u64, 17, 0x5eed] {
+        assert_eq!(run(seed), run(seed), "seed {seed} did not replay identically");
+    }
+}
+
+#[test]
+fn swap_layer_agrees_with_model_under_seeded_interleavings() {
+    let _s = Scenario::begin();
+    for_seeds("swap.race", 32, |seed, rng| {
+        let (corpus, scores) = arb_indexed(rng);
+        let shared =
+            Arc::new(SharedIndex::new(ScoreIndex::build(Arc::clone(&corpus), scores.clone())));
+        // Stretch the publish critical section so racing publishers pile
+        // up on the write lock in seed-dependent orders.
+        fp::seeded("swap.publish", seed, FaultMix::delays(0.7, 4));
+
+        const PUBLISHERS: usize = 3;
+        const PER_PUBLISHER: u64 = 3;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let model = ModelIndex::new(model_rows(&corpus, &scores));
+                std::thread::spawn(move || {
+                    let mut observed = Vec::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        // The counter a reader sees before loading can
+                        // never run ahead of what it then loads.
+                        let before = shared.generation();
+                        let snap = shared.load();
+                        assert!(
+                            snap.generation() >= before,
+                            "generation counter ({before}) ran ahead of the loadable \
+                             index ({})",
+                            snap.generation()
+                        );
+                        observed.push(snap.generation());
+                        // Every snapshot answers queries like a fresh
+                        // model of itself: no torn index is ever visible.
+                        let hits = snap.top(&TopQuery { k: 5, ..Default::default() });
+                        let want = model.top(&ModelQuery { k: 5, ..Default::default() });
+                        assert_eq!(hits.len(), want.len());
+                        for (g, w) in hits.iter().zip(&want) {
+                            assert_eq!((g.rank, g.id.0), (w.rank, w.id));
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        let publishers: Vec<_> = (0..PUBLISHERS)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let corpus = Arc::clone(&corpus);
+                let scores = scores.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..PER_PUBLISHER {
+                        shared.publish(ScoreIndex::build(Arc::clone(&corpus), scores.clone()));
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().expect("publisher panicked");
+        }
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            let observed = r.join().expect("reader panicked");
+            assert_monotone_generations(&observed);
+        }
+        // Exactly one generation per publish, in a contiguous sequence.
+        assert_eq!(shared.generation(), 1 + PUBLISHERS as u64 * PER_PUBLISHER);
+        assert_eq!(shared.load().generation(), shared.generation());
+        fp::clear("swap.publish");
+    });
+}
+
+// ------------------------------------------------ pillar 3: HTTP chaos
+
+#[test]
+fn byte_chaos_keeps_the_pool_live_and_metrics_exact() {
+    let _s = Scenario::begin();
+    let mut setup = SmallRng::seed_from_u64(0xbeef);
+    let (corpus, scores) = arb_indexed(&mut setup);
+    let shared = Arc::new(SharedIndex::new(ScoreIndex::build(corpus, scores)));
+    let metrics = Arc::new(Metrics::new());
+    let config = ServeConfig {
+        workers: 3,
+        queue_depth: 16,
+        read_timeout: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let mut server = serve(shared, Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+
+    for_seeds("serve.chaos", 48, |seed, rng| {
+        // Faults on every serve-side site the harness owns: dropped
+        // accepts, slow workers, panicking handlers.
+        fp::seeded("serve.accept", seed, FaultMix::errors(0.10));
+        fp::seeded("serve.handle", seed ^ 1, FaultMix::delays(0.30, 3));
+        fp::seeded("serve.respond", seed ^ 2, FaultMix::panics(0.20));
+        for _ in 0..6 {
+            let _ = chaos::strike(addr, rng);
+        }
+        // Well-formed requests while the handler still panics at random:
+        // every one must come back whole, as 200 or as a recorded 500.
+        fp::clear("serve.accept");
+        for _ in 0..4 {
+            let (status, body) = chaos::http_get(addr, "/top?k=5");
+            assert!(
+                status == 200 || status == 500,
+                "well-formed request got unexpected status {status}: {body:?}"
+            );
+        }
+        // With all faults off, the full pool must still be standing.
+        fp::clear("serve.handle");
+        fp::clear("serve.respond");
+        chaos::assert_pool_live(addr, config.workers);
+    });
+
+    // Quiescent point: every connection above has completed. The
+    // accounting must balance to the request — histogram mass equals the
+    // request counter, and every request is classified exactly once.
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, m) = chaos::http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let field = |name: &str| -> i64 {
+        m.get(name).and_then(|v| v.as_i64()).unwrap_or_else(|| panic!("missing metric {name}"))
+    };
+    let requests = field("requests");
+    // The /metrics request that produced this snapshot records itself
+    // only after rendering, so the snapshot is self-consistent.
+    assert!(requests > 0);
+    assert_eq!(
+        field("ok") + field("client_errors") + field("server_errors"),
+        requests,
+        "every request must be classified exactly once"
+    );
+    let hist: i64 = m
+        .get("latency")
+        .and_then(|l| l.get("histogram"))
+        .and_then(|h| h.as_array())
+        .expect("histogram array")
+        .iter()
+        .map(|b| b.get("count").and_then(|c| c.as_i64()).unwrap())
+        .sum();
+    assert_eq!(hist, requests, "histogram bucket counts must sum to the request counter");
+    // Every injected respond-panic was converted into a recorded 500 by
+    // the inner catch — none leaked to the outer worker catch, which
+    // would count a panic without a response.
+    assert_eq!(field("panics"), field("server_errors"), "panic path lost a 500");
+    assert_eq!(metrics.in_flight.load(Ordering::SeqCst), 0);
+    server.shutdown();
+}
+
+// -------------------------------------------- pillar 1: fault schedules
+
+#[test]
+fn loader_fault_schedules_fail_clean_or_load_whole() {
+    let _s = Scenario::begin();
+    // Baseline: a valid jsonl dump the loader reads happily when no
+    // fault fires.
+    let mut setup = SmallRng::seed_from_u64(0xfeed);
+    let (corpus, _) = arb_indexed(&mut setup);
+    let mut jsonl = Vec::new();
+    scholar::corpus::loader::jsonl::write_jsonl(&corpus, &mut jsonl).unwrap();
+    let opts = scholar::corpus::loader::LoadOptions::default();
+    let n = corpus.num_articles();
+    let cites = corpus.num_citations();
+
+    let outcomes = std::sync::Mutex::new((0u32, 0u32, 0u32)); // ok, io, parse
+    for_seeds("corpus.faults", 48, |seed, rng| {
+        let p_io = rng.gen_range(0.0f64..0.02);
+        let p_parse = rng.gen_range(0.0f64..0.02);
+        fp::seeded("corpus.jsonl.io", seed, FaultMix::errors(p_io));
+        fp::seeded("corpus.jsonl.parse", seed ^ 7, FaultMix::errors(p_parse));
+        for _ in 0..6 {
+            match scholar::corpus::loader::jsonl::read_jsonl(&jsonl[..], &opts) {
+                // All-or-nothing: a load that survives the schedule must
+                // be the *whole* corpus, never a silent prefix.
+                Ok(c) => {
+                    assert_eq!(c.num_articles(), n, "partial corpus leaked through");
+                    assert_eq!(c.num_citations(), cites);
+                    outcomes.lock().unwrap().0 += 1;
+                }
+                Err(scholar::corpus::CorpusError::Io(e)) => {
+                    assert!(e.to_string().contains("corpus.jsonl.io"));
+                    outcomes.lock().unwrap().1 += 1;
+                }
+                Err(scholar::corpus::CorpusError::Parse { line, message }) => {
+                    assert!(message.contains("corpus.jsonl.parse"), "unexpected parse: {message}");
+                    assert!(line >= 1 && line <= n, "injected parse fault lost its line number");
+                    outcomes.lock().unwrap().2 += 1;
+                }
+                Err(other) => panic!("unexpected error shape: {other}"),
+            }
+        }
+        fp::clear("corpus.jsonl.io");
+        fp::clear("corpus.jsonl.parse");
+    });
+    let (ok, io, parse) = *outcomes.lock().unwrap();
+    assert!(ok > 0, "no schedule let a load through");
+    assert!(io > 0, "no schedule exercised the I/O fault");
+    assert!(parse > 0, "no schedule exercised the parse fault");
+}
+
+#[test]
+fn aan_and_mag_fault_sites_surface_as_parse_errors() {
+    let _s = Scenario::begin();
+    let opts = scholar::corpus::loader::LoadOptions::default();
+    fp::set("corpus.aan.parse", Action::Trigger);
+    let err = scholar::corpus::loader::aan::read_aan(
+        "id\tA paper\t2001\n".as_bytes(),
+        "".as_bytes(),
+        &opts,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("corpus.aan.parse"), "{err}");
+    fp::clear("corpus.aan.parse");
+
+    fp::set("corpus.mag.parse", Action::Trigger);
+    let err = scholar::corpus::loader::mag::read_mag(
+        "1\t2001\tV\tT\n".as_bytes(),
+        "".as_bytes(),
+        "".as_bytes(),
+        &opts,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("corpus.mag.parse"), "{err}");
+}
+
+// --------------------------------------- PR 3 regression scenarios
+
+#[test]
+fn regression_inverted_year_range_is_rejected_not_fatal() {
+    // The remotely-triggerable merge_years panic from PR 3: the server
+    // must answer 400 and keep every worker.
+    let _s = Scenario::begin();
+    let mut setup = SmallRng::seed_from_u64(0x1237);
+    let (corpus, scores) = arb_indexed(&mut setup);
+    let shared = Arc::new(SharedIndex::new(ScoreIndex::build(corpus, scores)));
+    let config = ServeConfig { workers: 2, ..Default::default() };
+    let mut server = serve(shared, Arc::new(Metrics::new()), &config).expect("bind");
+    let (status, body) = chaos::http_get(server.addr(), "/top?year_min=2010&year_max=1990");
+    assert_eq!(status, 400);
+    assert!(body.get("message").unwrap().as_str().unwrap().contains("inverted"));
+    chaos::assert_pool_live(server.addr(), config.workers);
+    server.shutdown();
+}
+
+#[test]
+fn regression_panic_storm_does_not_drain_the_pool() {
+    // PR 3's pool-drain review finding, now driven through the failpoint
+    // registry instead of a hand-rolled poisoned index: a burst of
+    // handler panics must not kill a single worker, and each panic must
+    // surface as a counted 500.
+    let _s = Scenario::begin();
+    let mut setup = SmallRng::seed_from_u64(0x900d);
+    let (corpus, scores) = arb_indexed(&mut setup);
+    let shared = Arc::new(SharedIndex::new(ScoreIndex::build(corpus, scores)));
+    let metrics = Arc::new(Metrics::new());
+    let config = ServeConfig { workers: 2, ..Default::default() };
+    let mut server = serve(shared, Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+
+    for_seeds("serve.drain", 8, |seed, rng| {
+        let storm = rng.gen_range(1usize..5);
+        let before = metrics.panics.load(Ordering::SeqCst);
+        fp::script("serve.respond", vec![Action::Panic; storm]);
+        for i in 0..storm {
+            let (status, body) = chaos::http_get(addr, "/top?k=3");
+            assert_eq!(status, 500, "storm request {i} (seed {seed}) was not a clean 500");
+            assert!(body.get("message").is_some());
+        }
+        fp::clear("serve.respond");
+        chaos::assert_pool_live(addr, config.workers);
+        assert_eq!(
+            metrics.panics.load(Ordering::SeqCst),
+            before + storm as u64,
+            "every injected panic must be counted"
+        );
+    });
+    assert_eq!(
+        metrics.server_errors.load(Ordering::SeqCst),
+        metrics.panics.load(Ordering::SeqCst),
+        "every caught panic must have produced a recorded 500"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn regression_mid_coalesce_shutdown_still_publishes() {
+    // PR 3's finish-the-batch guarantee, made deterministic: a delay at
+    // the coalesce site guarantees the Stop lands while a batch is in
+    // hand, for every seed, instead of relying on thread timing.
+    let _s = Scenario::begin();
+    for_seeds("swap.stop", 16, |_seed, rng| {
+        fp::set("reindex.coalesce", Action::DelayMs(rng.gen_range(5u64..40)));
+        let corpus = small_corpus(rng.next_u64());
+        let n0 = corpus.num_articles();
+        let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+        let batches = rng.gen_range(1usize..3);
+        for i in 0..batches {
+            reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]);
+        }
+        let ranker = reindexer.shutdown();
+        assert_eq!(
+            ranker.corpus().num_articles(),
+            n0 + batches,
+            "an accepted batch was dropped on shutdown"
+        );
+        let idx = shared.load();
+        assert_eq!(idx.num_articles(), n0 + batches);
+        assert!(idx.generation() >= 2, "the batch in hand was never published");
+        fp::clear("reindex.coalesce");
+    });
+}
+
+#[test]
+fn reindexer_death_leaves_the_published_index_serving() {
+    // A fault inside the incremental solve kills the reindex thread, not
+    // the serving path: queries keep answering from the last published
+    // generation, and the failure surfaces on join, not silently.
+    let _s = Scenario::begin();
+    fp::script("incremental.extend", vec![Action::Panic]);
+    let corpus = small_corpus(1);
+    let n0 = corpus.num_articles();
+    let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+    reindexer.submit(vec![batch_article(0, vec![ArticleId(0)])]);
+
+    // Wait for the injected death, bounded.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while fp::fired("incremental.extend") == 0 {
+        assert!(std::time::Instant::now() < deadline, "extend site never hit");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    // Readers still get the old generation, whole and consistent.
+    let snap = shared.load();
+    assert_eq!(snap.generation(), 1);
+    assert_eq!(snap.num_articles(), n0);
+    assert_eq!(snap.top(&TopQuery { k: 5, ..Default::default() }).len(), 5);
+    // The death is loud at shutdown, not swallowed.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reindexer.shutdown()))
+        .expect_err("a dead reindexer must fail the join");
+    let msg = err
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| err.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    assert!(msg.contains("reindexer thread panicked"), "unexpected panic payload: {msg}");
+}
+
+#[test]
+fn reindex_publish_delay_never_tears_a_reader() {
+    // Delay between solve and publish (the widest reader-visible window):
+    // readers must see only complete generations throughout.
+    let _s = Scenario::begin();
+    fp::set("reindex.publish", Action::DelayMs(15));
+    let corpus = small_corpus(2);
+    let n0 = corpus.num_articles();
+    let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut observed = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                let snap = shared.load();
+                observed.push(snap.generation());
+                // A snapshot's article count must match its generation:
+                // gen 1 has the base corpus, anything later has grown.
+                if snap.generation() == 1 {
+                    assert_eq!(snap.num_articles(), n0);
+                } else {
+                    assert!(snap.num_articles() > n0);
+                }
+            }
+            observed
+        })
+    };
+    for i in 0..2 {
+        reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]);
+    }
+    reindexer.shutdown();
+    stop.store(true, Ordering::SeqCst);
+    assert_monotone_generations(&reader.join().expect("reader panicked"));
+    assert!(shared.load().num_articles() > n0);
+}

@@ -153,6 +153,61 @@ fn jsonl_roundtrip_on_arbitrary_corpora() {
     });
 }
 
+#[test]
+fn decayed_teleport_composition_preserves_row_sums() {
+    // The full ranking operator — exp(-ρ·age) edge decay composed with
+    // damping and a recency-weighted teleport — must stay row-stochastic
+    // to near machine precision: each basis vector pushed through it
+    // comes back with total mass 1 ± 1e-12. This is the stack-level
+    // analogue of sgraph's operator test, exercised through RankContext
+    // so the cached decayed graph is what gets probed.
+    for_corpora(|corpus, rng| {
+        let ctx = scholar::rank::RankContext::new(corpus);
+        let rho = rng.gen_range(0.01f64..0.5);
+        let tau = rng.gen_range(0.0f64..0.3);
+        let damping = rng.gen_range(0.0f64..1.0);
+        let now = corpus.year_range().map(|(_, last)| last).unwrap_or(2020);
+        let decayed = ctx.decayed_citation(rho);
+        let jump = ctx.recency_jump(tau, now);
+        let n = corpus.num_articles();
+        let mut y = vec![0.0; n];
+        for i in 0..n.min(8) {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            decayed.op.apply(&e, &mut y, damping, &jump);
+            let sum: f64 = y.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-12,
+                "row {i} sums to {sum} (rho {rho}, tau {tau}, damping {damping})"
+            );
+        }
+    });
+}
+
+#[test]
+fn top_k_agrees_with_full_sort_under_adversarial_ties() {
+    // Scores drawn from a tiny value set force massive tie blocks; the
+    // documented order (score desc, index asc) must match an
+    // independently computed full sort for every prefix length.
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x7135);
+        let n = rng.gen_range(1usize..80);
+        let palette = [0.0f64, 1e-300, 0.25, 0.25 + f64::EPSILON, 0.5, 1.0];
+        let scores: Vec<f64> =
+            (0..n).map(|_| palette[rng.gen_range(0usize..palette.len())]).collect();
+        let mut expected: Vec<usize> = (0..n).collect();
+        expected.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+        for k in [0, 1, n / 2, n, n + 5] {
+            let got = scholar::rank::scores::top_k(&scores, k);
+            assert_eq!(
+                got,
+                expected[..k.min(n)].to_vec(),
+                "seed {seed}: top_k({k}) diverged from full sort (n={n})"
+            );
+        }
+    }
+}
+
 // ---- Loader robustness: arbitrary junk must produce Err or a valid
 // corpus, never a panic. ----
 
