@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Shared experiment machinery for the `repro` binary and the wall-clock
 //! benches. Every R-Table / R-Figure of DESIGN.md §4 has one function
 //! here that produces its rendered form; `repro` dispatches on the

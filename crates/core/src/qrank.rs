@@ -5,9 +5,9 @@ use crate::config::QRankConfig;
 use crate::engine::{MixParams, QRankEngine};
 use scholar_corpus::{Corpus, Year};
 use scholar_rank::diagnostics::Diagnostics;
+use scholar_rank::telemetry::Stopwatch;
 use scholar_rank::telemetry::{RankOutput, SolveTelemetry};
 use scholar_rank::{RankContext, Ranker, TimeWeightedPageRank};
-use std::time::Instant;
 
 /// The QRank ranker. See the crate docs for the model.
 #[derive(Debug, Clone, Default)]
@@ -97,12 +97,12 @@ impl Ranker for QRank {
         // totals as the run that populated them.
         let now = self.config.twpr.now.unwrap_or_else(|| ctx.now());
         let mut build_secs = 0.0;
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, combined, cached) =
             ctx.cached_solve(&QRank::solve_key(&self.config, now), || {
-                let built = Instant::now();
+                let built = Stopwatch::start();
                 let engine = QRankEngine::build_from_ctx(ctx, &self.config);
-                build_secs = built.elapsed().as_secs_f64();
+                build_secs = built.secs();
                 debug_assert_eq!(engine.now(), now);
 
                 // The cold inner walk is exactly a TWPR solve with this
@@ -123,7 +123,7 @@ impl Ranker for QRank {
                 combined.converged = combined.converged && tw_diag.converged;
                 (res.article_scores, combined)
             });
-        let solve_secs = (solved.elapsed().as_secs_f64() - build_secs).max(0.0);
+        let solve_secs = (solved.secs() - build_secs).max(0.0);
         let telemetry = SolveTelemetry::timed(&combined, build_secs, solve_secs, cached);
         RankOutput { scores, telemetry }
     }

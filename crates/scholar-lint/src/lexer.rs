@@ -1,0 +1,409 @@
+//! A small hand-rolled Rust lexer: enough token structure for lexical
+//! lint rules, with exact line/column tracking.
+//!
+//! The point of lexing (instead of regexing) is that rules must *never*
+//! fire on text inside string literals, char literals, or comments — a
+//! doc example mentioning `unwrap()` is not a violation. The lexer
+//! therefore understands every literal form that can hide such text:
+//! `"…"` with escapes, raw strings `r#"…"#` at any hash depth, byte
+//! strings, char literals (disambiguated from lifetimes), and nested
+//! block comments. Comments are *kept* as tokens because two rules read
+//! them: SAFETY-COMMENT looks for `// SAFETY:` and the allowlist lives
+//! in `// lint: allow(…)` comments.
+//!
+//! Everything else is deliberately coarse: keywords are just idents,
+//! and punctuation is single characters except `::`, which is fused so
+//! path patterns like `Instant::now` are three adjacent tokens.
+
+/// What a token is, at the granularity lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `HashMap`, `r#mod`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// One punctuation character, except `::` which is one token.
+    Punct,
+    /// A `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (nesting handled), including doc variants.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification (see [`TokenKind`]).
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this token a comment (line or block)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Character cursor with line/column bookkeeping.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(text: &str) -> Self {
+        Cursor { chars: text.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `text` into tokens. Never fails: unrecognized bytes become
+/// single-character [`TokenKind::Punct`] tokens, and unterminated
+/// literals or comments extend to end of input — a lexer for a linter
+/// must degrade gracefully, not panic on the code it is judging.
+pub fn lex(text: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(text);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        let start = cur.pos;
+        let kind = if c.is_whitespace() {
+            cur.bump();
+            continue;
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        } else if starts_raw_string(&cur) {
+            lex_raw_string(&mut cur);
+            TokenKind::Str
+        } else if c == '"' || (c == 'b' && cur.peek(1) == Some('"')) {
+            if c == 'b' {
+                cur.bump();
+            }
+            lex_quoted(&mut cur, '"');
+            TokenKind::Str
+        } else if c == 'b' && cur.peek(1) == Some('\'') {
+            cur.bump();
+            lex_quoted(&mut cur, '\'');
+            TokenKind::Char
+        } else if c == '\'' {
+            lex_tick(&mut cur)
+        } else if is_ident_start(c) {
+            // Raw identifiers (`r#mod`) reach here only when not a raw
+            // string (checked above).
+            cur.bump();
+            if c == 'r' && cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+                cur.bump();
+            }
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            TokenKind::Num
+        } else if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            TokenKind::Punct
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        out.push(Token { kind, text: cur.chars[start..cur.pos].iter().collect(), line, col });
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#…#"`, `br"`, or `br#…#"`?
+fn starts_raw_string(cur: &Cursor) -> bool {
+    let mut i = match cur.peek(0) {
+        Some('r') => 1,
+        Some('b') if cur.peek(1) == Some('r') => 2,
+        _ => return false,
+    };
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek(i) == Some('"')
+}
+
+/// Consume a raw string starting at the cursor (`r`/`br` prefix, hashes,
+/// quote, body, closing quote + same number of hashes).
+fn lex_raw_string(cur: &mut Cursor) {
+    cur.bump(); // r (or b)
+    if cur.peek(0) == Some('r') {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '"' && (0..hashes).all(|k| cur.peek(k) == Some('#')) {
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Consume a `"…"` or `'…'` literal with `\`-escapes; the cursor sits on
+/// the opening quote.
+fn lex_quoted(cur: &mut Cursor, quote: char) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == quote {
+            return;
+        }
+    }
+}
+
+/// Disambiguate what follows a bare `'`: a char literal or a lifetime.
+fn lex_tick(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the tick
+    match cur.peek(0) {
+        // `'\n'` and friends: escaped char literal.
+        Some('\\') => {
+            lex_tick_tail(cur);
+            TokenKind::Char
+        }
+        // `'a…`: consume the ident run; a closing tick makes it a char
+        // literal (`'a'`), anything else a lifetime (`'a>`, `'static`).
+        Some(c) if is_ident_start(c) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        // `'('`, `' '`, digits: one char then the closing tick.
+        Some(_) => {
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Lifetime,
+    }
+}
+
+/// After the backslash of an escaped char literal: consume through the
+/// closing tick (handles `'\u{1F600}'`).
+fn lex_tick_tail(cur: &mut Cursor) {
+    cur.bump(); // backslash
+    while let Some(c) = cur.bump() {
+        if c == '\'' {
+            return;
+        }
+    }
+}
+
+/// Consume a numeric literal: `10`, `0xff_u32`, `1.5e-3`, `1.0f64`.
+/// `0..n` lexes as `0`, `..`, `n` (the dot is only part of the number
+/// when a digit follows it).
+fn lex_number(cur: &mut Cursor) {
+    let mut prev = '0';
+    while let Some(c) = cur.peek(0) {
+        let take = is_ident_continue(c)
+            || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+        if !take {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_punct_and_paths() {
+        let t = kinds("a.unwrap(); X::Y");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, ";".into()),
+                (TokenKind::Ident, "X".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "Y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "unwrap() /* not a comment */";"#);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+        assert!(!t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        // Escaped quote does not end the string early.
+        let t = kinds(r#""a\"b" x"#);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_at_depth() {
+        let t = kinds(r###"r#"contains "quotes" and unwrap()"# tail"###);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1], (TokenKind::Ident, "tail".into()));
+        let t = kinds("br\"bytes\" y");
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let t = kinds("r#match x");
+        assert_eq!(t[0], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("'a' 'x 'static '\\n' '}' b'z'");
+        assert_eq!(
+            t.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_and_nest() {
+        let t = kinds("x // SAFETY: fine\ny /* a /* nested */ still */ z");
+        assert_eq!(t[1].0, TokenKind::LineComment);
+        assert!(t[1].1.contains("SAFETY"));
+        assert_eq!(t[3].0, TokenKind::BlockComment);
+        assert!(t[3].1.contains("still"));
+        assert_eq!(t[4], (TokenKind::Ident, "z".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("0..n 1.5e-3 0xff_u32");
+        assert_eq!(t[0], (TokenKind::Num, "0".into()));
+        assert_eq!(t[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokenKind::Ident, "n".into()));
+        assert_eq!(t[4], (TokenKind::Num, "1.5e-3".into()));
+        assert_eq!(t[5], (TokenKind::Num, "0xff_u32".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let t = lex("ab\n  cd");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"raw", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

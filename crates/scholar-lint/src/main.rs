@@ -1,0 +1,81 @@
+//! `scholar-lint` CLI: `cargo run -p scholar-lint -- check [--root DIR]`.
+//!
+//! Prints one `file:line:col [RULE-ID] message` line per finding and
+//! exits 1 when any survive the allowlist — the shape CI's lint step
+//! and editors both understand. `rules` lists the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for (id, what) in RULE_SUMMARIES {
+                println!("{id:15} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: scholar-lint check [--root DIR] | scholar-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const RULE_SUMMARIES: [(&str, &str); 7] = [
+    (
+        "DETERMINISM",
+        "no HashMap/HashSet/RandomState/SystemTime/Instant::now in score-producing crates",
+    ),
+    (
+        "HOTPATH-PANIC",
+        "no unwrap/expect/panic!-family/slice-index in scholar-serve production code",
+    ),
+    ("FAILPOINT-SYNC", "failpoint! sites == scholar_testkit::fp::SITES == DESIGN.md §2.7 table"),
+    ("SAFETY-COMMENT", "every unsafe carries an adjacent // SAFETY: comment"),
+    ("BENCH-SCHEMA", "every BENCH_*.json writer emits the shared corpus/seed/articles keys"),
+    ("ALLOW-SYNTAX", "lint: allow(...) comments must name a real rule and carry a reason"),
+    ("ALLOW-UNUSED", "allows that no longer suppress anything must be deleted"),
+];
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Resolve the workspace root: accept either the root itself or any
+    // directory under it that has `crates/` above (so plain `cargo run
+    // -p scholar-lint -- check` works from the workspace root).
+    match scholar_lint::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("scholar-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("scholar-lint: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("scholar-lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

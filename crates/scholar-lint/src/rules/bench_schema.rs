@@ -1,0 +1,71 @@
+//! **BENCH-SCHEMA** — every `BENCH_*.json` writer must emit the shared
+//! key set, so the checked-in perf artifacts stay diffable as one
+//! trajectory across PRs.
+//!
+//! The bench targets each write their own artifact (`BENCH_engine.json`,
+//! `BENCH_context.json`, `BENCH_serve.json`, …) with target-specific
+//! measurements — that's fine. What must not drift is the shared spine:
+//! which corpus, which seed, how many articles. A new bench that forgets
+//! `seed` produces numbers nobody can reproduce; one that renames
+//! `articles` to `n` breaks every cross-bench comparison script.
+//!
+//! The rule looks at each file under a `benches/` directory that
+//! mentions a `BENCH_*.json` string literal and requires a
+//! `.field("<key>", …)` call for every shared key.
+
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Keys every `BENCH_*.json` artifact must carry.
+pub const BENCH_SHARED_KEYS: [&str; 3] = ["corpus", "seed", "articles"];
+
+const RULE: &str = "BENCH-SCHEMA";
+
+/// Flag bench JSON writers missing shared keys.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if !file.rel_path.contains("/benches/") {
+            continue;
+        }
+        let code: Vec<&crate::lexer::Token> = file.code_tokens().map(|(_, t)| t).collect();
+        // The first BENCH_*.json literal marks this file as a writer
+        // and anchors the diagnostic.
+        let Some(anchor) = code.iter().find(|t| {
+            t.kind == TokenKind::Str && {
+                let s = t.text.trim_matches('"');
+                s.contains("BENCH_") && s.ends_with(".json")
+            }
+        }) else {
+            continue;
+        };
+        let mut emitted: Vec<String> = Vec::new();
+        for k in 0..code.len() {
+            if code[k].is_ident("field")
+                && code.get(k + 1).is_some_and(|t| t.is_punct("("))
+                && code.get(k + 2).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                emitted.push(code[k + 2].text.trim_matches('"').to_string());
+            }
+        }
+        let missing: Vec<&str> = BENCH_SHARED_KEYS
+            .iter()
+            .copied()
+            .filter(|key| !emitted.iter().any(|e| e == key))
+            .collect();
+        if !missing.is_empty() {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                anchor.line,
+                anchor.col,
+                RULE,
+                format!(
+                    "BENCH_*.json writer is missing shared key(s) {}: every bench artifact \
+                     must emit {} so the perf trajectory stays diffable",
+                    missing.join(", "),
+                    BENCH_SHARED_KEYS.join("/"),
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! **DETERMINISM** — the score-producing crates must be bit-identical
+//! run-to-run and thread-count-to-thread-count.
+//!
+//! The failure mode this guards is silent: `HashMap` iteration order
+//! changes with the hasher's per-process random seed, so a ranking that
+//! sums or tie-breaks over a map walk can differ between two identical
+//! runs — exactly the class of bug that made the repo's 1/2/8-thread
+//! equivalence tests load-bearing. Wall-clock reads (`Instant::now`,
+//! `SystemTime`) are the other leak: fine for telemetry, catastrophic
+//! if they ever feed a score. `srand`'s seeded generators are the only
+//! sanctioned randomness.
+//!
+//! The rule is deliberately coarse — it flags the *presence* of the
+//! types, not just provably-ordered iteration, because lexical analysis
+//! cannot see types flow. A use that is genuinely order-independent
+//! gets an `// lint: allow(DETERMINISM) reason` stating why.
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Crates whose output is (or feeds) published scores.
+pub const SCORE_CRATES: [&str; 3] = ["sgraph", "scholar-rank", "core"];
+
+/// Identifiers that introduce nondeterminism.
+const BANNED_IDENTS: [(&str, &str); 4] = [
+    ("HashMap", "iteration order varies per process (random hasher seed)"),
+    ("HashSet", "iteration order varies per process (random hasher seed)"),
+    ("RandomState", "per-process random hasher state"),
+    ("SystemTime", "wall-clock read"),
+];
+
+/// Flag nondeterminism sources in the score-producing crates.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        let in_scope = file.crate_name.as_deref().is_some_and(|c| SCORE_CRATES.contains(&c))
+            && file.rel_path.contains("/src/");
+        if !in_scope {
+            continue;
+        }
+        let code: Vec<(usize, &crate::lexer::Token)> = file.code_tokens().collect();
+        for (k, (_, tok)) in code.iter().enumerate() {
+            for (name, why) in BANNED_IDENTS {
+                if tok.is_ident(name) {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        tok.line,
+                        tok.col,
+                        "DETERMINISM",
+                        format!(
+                            "{name} in score-producing crate ({why}); use BTreeMap/Vec or seeded srand, \
+                             or `// lint: allow(DETERMINISM) <why order/time cannot reach scores>`"
+                        ),
+                    ));
+                }
+            }
+            // `Instant::now` as three adjacent tokens.
+            if tok.is_ident("Instant")
+                && code.get(k + 1).is_some_and(|(_, t)| t.is_punct("::"))
+                && code.get(k + 2).is_some_and(|(_, t)| t.is_ident("now"))
+            {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    tok.col,
+                    "DETERMINISM",
+                    "Instant::now in score-producing crate (wall-clock read); route timing through \
+                     scholar_rank::telemetry::Stopwatch or allowlist with the reason it cannot reach scores"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

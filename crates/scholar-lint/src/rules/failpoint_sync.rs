@@ -1,0 +1,279 @@
+//! **FAILPOINT-SYNC** — three views of the failpoint surface must be
+//! one set: the `failpoint!("name")` sites compiled into production
+//! crates, the canonical catalogue `scholar_testkit::fp::SITES`, and
+//! the human-facing table in DESIGN.md §2.7.
+//!
+//! PR 4 shipped eleven instrumented sites and documented them by hand;
+//! nothing stopped the next PR from adding a twelfth site the chaos
+//! harness never arms and the docs never mention. This rule makes the
+//! drift a build failure in every direction: a code site missing from
+//! the catalogue or the docs, a catalogued site with no code behind it,
+//! and a documented site that no longer exists are all diagnostics —
+//! anchored at the exact line to fix.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Where the canonical catalogue lives.
+pub const CATALOGUE_PATH: &str = "crates/scholar-testkit/src/fp.rs";
+/// The DESIGN.md heading that opens the documented site table.
+pub const DESIGN_SECTION: &str = "### 2.7";
+
+const RULE: &str = "FAILPOINT-SYNC";
+
+/// One `failpoint!("…")` invocation found in production code.
+#[derive(Debug)]
+struct CodeSite {
+    name: String,
+    path: String,
+    line: u32,
+    col: u32,
+}
+
+/// Cross-check code sites, the testkit catalogue, and DESIGN.md §2.7.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let code_sites = collect_code_sites(ws);
+    let catalogue = ws.file(CATALOGUE_PATH).map(collect_catalogue);
+    let design = ws.design.as_ref().map(|lines| collect_design_sites(lines));
+
+    if code_sites.is_empty() && catalogue.is_none() {
+        return; // nothing instrumented anywhere: the rule is moot
+    }
+
+    // Duplicate *names* across code sites would make the catalogue
+    // ambiguous about which site a schedule arms.
+    for (i, s) in code_sites.iter().enumerate() {
+        if code_sites[..i].iter().any(|p| p.name == s.name) {
+            out.push(Diagnostic::new(
+                &s.path,
+                s.line,
+                s.col,
+                RULE,
+                format!("failpoint site {:?} is declared at more than one code site", s.name),
+            ));
+        }
+    }
+
+    // Code → catalogue and code → docs.
+    for s in &code_sites {
+        match &catalogue {
+            None => out.push(Diagnostic::new(
+                &s.path,
+                s.line,
+                s.col,
+                RULE,
+                format!(
+                    "failpoint site {:?} has no catalogue: {CATALOGUE_PATH} (fp::SITES) was not found",
+                    s.name
+                ),
+            )),
+            Some(cat) => {
+                let hits = cat.iter().filter(|(n, _)| *n == s.name).count();
+                if hits == 0 {
+                    out.push(Diagnostic::new(
+                        &s.path,
+                        s.line,
+                        s.col,
+                        RULE,
+                        format!(
+                            "failpoint site {:?} is missing from scholar_testkit::fp::SITES",
+                            s.name
+                        ),
+                    ));
+                }
+            }
+        }
+        match &design {
+            None => out.push(Diagnostic::new(
+                &s.path,
+                s.line,
+                s.col,
+                RULE,
+                format!(
+                    "failpoint site {:?} is undocumented: DESIGN.md section {DESIGN_SECTION:?} was not found",
+                    s.name
+                ),
+            )),
+            Some(doc) => {
+                if !doc.iter().any(|(n, _)| *n == s.name) {
+                    out.push(Diagnostic::new(
+                        &s.path,
+                        s.line,
+                        s.col,
+                        RULE,
+                        format!(
+                            "failpoint site {:?} is not documented in the DESIGN.md {DESIGN_SECTION} table",
+                            s.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Catalogue → code (stale entries) and catalogue-internal dups.
+    if let Some(cat) = &catalogue {
+        for (i, (name, line)) in cat.iter().enumerate() {
+            if cat[..i].iter().any(|(n, _)| n == name) {
+                out.push(Diagnostic::new(
+                    CATALOGUE_PATH,
+                    *line,
+                    1,
+                    RULE,
+                    format!("site {name:?} appears more than once in fp::SITES"),
+                ));
+            }
+            if !code_sites.iter().any(|s| s.name == *name) {
+                out.push(Diagnostic::new(
+                    CATALOGUE_PATH,
+                    *line,
+                    1,
+                    RULE,
+                    format!(
+                        "fp::SITES lists {name:?} but no failpoint!({name:?}) site exists in production code"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Docs → code (stale or duplicated documentation).
+    if let Some(doc) = &design {
+        for (i, (name, line)) in doc.iter().enumerate() {
+            if doc[..i].iter().any(|(n, _)| n == name) {
+                out.push(Diagnostic::new(
+                    "DESIGN.md",
+                    *line,
+                    1,
+                    RULE,
+                    format!("site {name:?} is documented more than once in {DESIGN_SECTION}"),
+                ));
+            }
+            if !code_sites.iter().any(|s| s.name == *name) {
+                out.push(Diagnostic::new(
+                    "DESIGN.md",
+                    *line,
+                    1,
+                    RULE,
+                    format!(
+                        "{DESIGN_SECTION} documents site {name:?} but no such failpoint! exists in production code"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Every `failpoint!("name"…)` invocation in production (non-test) code.
+fn collect_code_sites(ws: &Workspace) -> Vec<CodeSite> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !file.rel_path.contains("/src/") {
+            continue;
+        }
+        let code: Vec<&crate::lexer::Token> = file.code_tokens().map(|(_, t)| t).collect();
+        for k in 0..code.len() {
+            if code[k].is_ident("failpoint")
+                && code.get(k + 1).is_some_and(|t| t.is_punct("!"))
+                && code.get(k + 2).is_some_and(|t| t.is_punct("("))
+                && code.get(k + 3).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                let lit = code[k + 3];
+                out.push(CodeSite {
+                    name: strip_quotes(&lit.text),
+                    path: file.rel_path.clone(),
+                    line: code[k].line,
+                    col: code[k].col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The `(name, line)` entries of `pub const SITES: &[&str] = [ … ]` in
+/// the catalogue file: string literals between the `[` after the
+/// `SITES` identifier and its matching `]`.
+fn collect_catalogue(file: &SourceFile) -> Vec<(String, u32)> {
+    let code: Vec<&crate::lexer::Token> = file.code_tokens().map(|(_, t)| t).collect();
+    let Some(start) = code.iter().position(|t| t.is_ident("SITES")) else {
+        return Vec::new();
+    };
+    // Skip the declared type (`: &[&str]`) — the initializer's bracket
+    // is the first `[` after the `=`.
+    let Some(eq) = code[start..].iter().position(|t| t.is_punct("=")) else {
+        return Vec::new();
+    };
+    let Some(open) = code[start + eq..].iter().position(|t| t.is_punct("[")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in &code[start + eq + open + 1..] {
+        if t.is_punct("]") {
+            break;
+        }
+        if t.kind == TokenKind::Str {
+            out.push((strip_quotes(&t.text), t.line));
+        }
+    }
+    out
+}
+
+/// Backticked site names inside the §2.7 section of DESIGN.md, with
+/// their 1-based line numbers. A "site name" is dotted lowercase
+/// (`serve.accept`, `corpus.jsonl.io`) — other backticked spans in the
+/// section (type names, env vars, file paths) don't match the shape.
+fn collect_design_sites(lines: &[String]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (i, line) in lines.iter().enumerate() {
+        if line.starts_with(DESIGN_SECTION) {
+            in_section = true;
+            continue;
+        }
+        if in_section && (line.starts_with("## ") || line.starts_with("### ")) {
+            break;
+        }
+        if !in_section {
+            continue;
+        }
+        for span in backticked_spans(line) {
+            if is_site_name(span) {
+                out.push((span.to_string(), i as u32 + 1));
+            }
+        }
+    }
+    out
+}
+
+/// The text between each `` ` `` pair on one line.
+fn backticked_spans(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        out.push(&after[..close]);
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+/// Dotted lowercase identifier with at least two segments (and not a
+/// file name like `chaos.rs`, which prose legitimately backticks).
+fn is_site_name(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 2
+        && !s.ends_with(".rs")
+        && segs.iter().all(|seg| {
+            !seg.is_empty()
+                && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+        && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+}
+
+fn strip_quotes(text: &str) -> String {
+    text.trim_matches('"').to_string()
+}

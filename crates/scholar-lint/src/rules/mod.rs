@@ -1,0 +1,24 @@
+//! The rule set. Each rule is a function from the loaded
+//! [`Workspace`] to diagnostics; [`run_all`] is the engine's whole
+//! dispatch. Rules only see production code — tokens inside
+//! `#[cfg(test)]` items are masked out by [`crate::source`] — and never
+//! see the inside of string literals or comments, by construction of
+//! the lexer.
+
+pub mod bench_schema;
+pub mod determinism;
+pub mod failpoint_sync;
+pub mod hotpath;
+pub mod safety;
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Run every rule.
+pub fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    determinism::check(ws, out);
+    hotpath::check(ws, out);
+    failpoint_sync::check(ws, out);
+    safety::check(ws, out);
+    bench_schema::check(ws, out);
+}

@@ -1,0 +1,48 @@
+//! **SAFETY-COMMENT** — every `unsafe` block, function, or impl must
+//! say why it is sound, in a `// SAFETY:` comment the next reader (and
+//! the Miri CI job's triager) can check the code against.
+//!
+//! Accepted placements: a comment in the contiguous comment run
+//! directly above the `unsafe` token, or a trailing comment later on
+//! the same line. The comment must contain the literal `SAFETY:`.
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "SAFETY-COMMENT";
+
+/// Flag `unsafe` tokens with no adjacent `SAFETY:` comment.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if file.test_mask[i] || !tok.is_ident("unsafe") {
+                continue;
+            }
+            // Comment run immediately above (walking back over any
+            // adjacent comments).
+            let mut documented = file.tokens[..i]
+                .iter()
+                .rev()
+                .take_while(|t| t.is_comment())
+                .any(|t| t.text.contains("SAFETY:"));
+            // Or a trailing comment on the same line.
+            if !documented {
+                documented = file.tokens[i + 1..]
+                    .iter()
+                    .take_while(|t| t.line == tok.line)
+                    .any(|t| t.is_comment() && t.text.contains("SAFETY:"));
+            }
+            if !documented {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    tok.col,
+                    RULE,
+                    "unsafe without a `// SAFETY:` comment — state the invariant that makes \
+                     this sound, directly above the unsafe (or trailing on its line)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! One lexed source file plus the two per-file analyses every rule
+//! shares: which tokens live inside `#[cfg(test)]` items (rules only
+//! judge production code) and the in-source allowlist entries.
+//!
+//! ## Allowlist syntax
+//!
+//! A diagnostic is suppressed by a comment of the form
+//!
+//! ```text
+//! // lint: allow(RULE-ID) written reason for the exception
+//! ```
+//!
+//! placed either at the end of the offending line or on its own line
+//! directly above it (stacking is fine — each own-line allow applies to
+//! the next line that holds code). `allow-file(RULE-ID) reason` at any
+//! position exempts the whole file from one rule. The reason is
+//! mandatory: an allow without one is itself reported (`ALLOW-SYNTAX`),
+//! and an allow that suppresses nothing is reported too
+//! (`ALLOW-UNUSED`), so the allowlist can only ever shrink to match
+//! reality.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::{Diagnostic, RULES};
+
+/// What an allowlist entry applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// One source line (the one the comment trails or precedes).
+    Line(u32),
+    /// The whole file.
+    File,
+}
+
+/// One parsed `// lint: allow(…)` entry.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule this entry suppresses.
+    pub rule: String,
+    /// The written justification (non-empty by construction).
+    pub reason: String,
+    /// Line of the comment itself (where `ALLOW-UNUSED` is reported).
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// What the entry covers.
+    pub scope: AllowScope,
+}
+
+/// A lexed file with its test-code mask and allowlist.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// The crate directory name under `crates/` (e.g. `sgraph`), if any.
+    pub crate_name: Option<String>,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` is true when token `i` is inside a `#[cfg(test)]`
+    /// item — rules skip those tokens.
+    pub test_mask: Vec<bool>,
+    /// Parsed allowlist entries.
+    pub allows: Vec<Allow>,
+    /// Malformed allow comments, reported as `ALLOW-SYNTAX`.
+    pub allow_issues: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lex `text` and run the shared per-file analyses.
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let test_mask = cfg_test_mask(&tokens);
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            tokens,
+            test_mask,
+            allows: Vec::new(),
+            allow_issues: Vec::new(),
+        };
+        file.collect_allows();
+        file
+    }
+
+    /// Non-test, non-comment tokens with their indices — the stream most
+    /// rules walk.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens.iter().enumerate().filter(|(i, t)| !self.test_mask[*i] && !t.is_comment())
+    }
+
+    /// Previous non-comment token before index `i`, if any.
+    pub fn prev_code_token(&self, i: usize) -> Option<&Token> {
+        self.tokens[..i].iter().rev().find(|t| !t.is_comment())
+    }
+
+    fn collect_allows(&mut self) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !tok.is_comment() {
+                continue;
+            }
+            // The marker must open the comment (after its `//`-style
+            // sigils): a doc comment *describing* the syntax — "use
+            // `// lint: allow(…)`" — is prose, not an allowlist entry.
+            let content = tok.text.trim_start_matches(['/', '!', '*']).trim_start();
+            let Some(body) = content.strip_prefix("lint:") else { continue };
+            let body = body.trim();
+            match parse_allow_body(body) {
+                Ok((rule, file_wide, reason)) => {
+                    if !RULES.contains(&rule) {
+                        self.allow_issues.push(Diagnostic::new(
+                            &self.rel_path,
+                            tok.line,
+                            tok.col,
+                            "ALLOW-SYNTAX",
+                            format!(
+                                "allow names unknown rule {rule:?} (known: {})",
+                                RULES.join(", ")
+                            ),
+                        ));
+                        continue;
+                    }
+                    if reason.is_empty() {
+                        self.allow_issues.push(Diagnostic::new(
+                            &self.rel_path,
+                            tok.line,
+                            tok.col,
+                            "ALLOW-SYNTAX",
+                            format!("allow({rule}) has no reason — every exception must say why"),
+                        ));
+                        continue;
+                    }
+                    let scope = if file_wide {
+                        AllowScope::File
+                    } else {
+                        AllowScope::Line(self.allow_target_line(i, tok))
+                    };
+                    self.allows.push(Allow {
+                        rule: rule.to_string(),
+                        reason: reason.to_string(),
+                        line: tok.line,
+                        col: tok.col,
+                        scope,
+                    });
+                }
+                Err(why) => {
+                    self.allow_issues.push(Diagnostic::new(
+                        &self.rel_path,
+                        tok.line,
+                        tok.col,
+                        "ALLOW-SYNTAX",
+                        why,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Which line a non-file allow comment at token `i` covers: its own
+    /// line when code precedes it there (trailing form), otherwise the
+    /// line of the next code token (own-line form).
+    fn allow_target_line(&self, i: usize, tok: &Token) -> u32 {
+        let trailing = self.tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !t.is_comment());
+        if trailing {
+            return tok.line;
+        }
+        self.tokens[i + 1..].iter().find(|t| !t.is_comment()).map(|t| t.line).unwrap_or(tok.line)
+    }
+}
+
+/// Parse the text after `lint:` into `(rule, file_wide, reason)`.
+fn parse_allow_body(body: &str) -> Result<(&str, bool, &str), String> {
+    let (file_wide, rest) = if let Some(r) = body.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "malformed lint comment {body:?}: expected `allow(RULE-ID) reason` or `allow-file(RULE-ID) reason`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed allow: missing `(RULE-ID)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed allow: unclosed `(RULE-ID)`".to_string());
+    };
+    let rule = rest[..close].trim();
+    let reason = rest[close + 1..].trim();
+    Ok((rule, file_wide, reason))
+}
+
+/// Mark every token inside a `#[cfg(test)]` item (attribute included).
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(tokens, i) {
+            if is_test {
+                let item_end = skip_item(tokens, attr_end);
+                mask[i..item_end].iter_mut().for_each(|m| *m = true);
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// If token `i` starts an attribute (`#[…]` or `#![…]`), return the
+/// index just past its `]` and whether it contains `cfg(… test …)`.
+fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if !tokens[i].is_punct("#") {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut is_cfg = false;
+    let mut has_test = false;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "[" if t.kind == TokenKind::Punct => depth += 1,
+            "]" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j + 1, is_cfg && has_test));
+                }
+            }
+            "cfg" if t.kind == TokenKind::Ident => is_cfg = true,
+            "test" if t.kind == TokenKind::Ident => has_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((tokens.len(), is_cfg && has_test))
+}
+
+/// Starting just past an attribute, return the index just past the item
+/// it decorates: further attributes and comments are skipped, then the
+/// item runs to its matching `}` (brace body) or `;` (whichever comes
+/// first at depth zero).
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes and interleaved comments.
+    loop {
+        while tokens.get(i).is_some_and(Token::is_comment) {
+            i += 1;
+        }
+        match parse_attribute(tokens, i) {
+            Some((end, _)) => i = end,
+            None => break,
+        }
+    }
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(i) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .zip(&f.test_mask)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(unwraps, vec![true]);
+        // Code outside the mod is live.
+        let after = f.tokens.iter().zip(&f.test_mask).find(|(t, _)| t.is_ident("after")).unwrap();
+        assert!(!after.1);
+    }
+
+    #[test]
+    fn cfg_test_fn_and_use_are_masked() {
+        let src = "#[cfg(test)]\nuse foo::bar;\n#[cfg(all(test, feature = \"x\"))]\nfn helper() { a.unwrap() }\nfn live() {}";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f
+            .tokens
+            .iter()
+            .zip(&f.test_mask)
+            .filter(|(t, _)| t.is_ident("unwrap") || t.is_ident("bar"))
+            .all(|(_, m)| *m));
+        let live = f.tokens.iter().zip(&f.test_mask).find(|(t, _)| t.is_ident("live")).unwrap();
+        assert!(!live.1);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_masked() {
+        let src = "#[cfg(feature = \"failpoints\")]\nfn gated() { x.unwrap() }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.test_mask.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn trailing_and_own_line_allows_target_the_right_line() {
+        let src = "fn f() {\n  a.unwrap(); // lint: allow(HOTPATH-PANIC) trailing reason\n  // lint: allow(HOTPATH-PANIC) own-line reason\n  b.unwrap();\n}";
+        let f = SourceFile::parse("crates/scholar-serve/src/x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].scope, AllowScope::Line(2));
+        assert_eq!(f.allows[1].scope, AllowScope::Line(4));
+        assert!(f.allow_issues.is_empty());
+    }
+
+    #[test]
+    fn stacked_own_line_allows_all_reach_the_code_line() {
+        let src =
+            "// lint: allow(DETERMINISM) first\n// lint: allow(SAFETY-COMMENT) second\nlet x = 1;";
+        let f = SourceFile::parse("crates/sgraph/src/x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allows.iter().all(|a| a.scope == AllowScope::Line(3)));
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_syntax_issues() {
+        let src = "// lint: allow(HOTPATH-PANIC)\n// lint: allow(NO-SUCH-RULE) why\n// lint: alow(DETERMINISM) typo\nlet x = 1;";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.allows.is_empty());
+        assert_eq!(f.allow_issues.len(), 3);
+        assert!(f.allow_issues.iter().all(|d| d.rule == "ALLOW-SYNTAX"));
+        assert!(f.allow_issues[0].message.contains("no reason"));
+        assert!(f.allow_issues[1].message.contains("unknown rule"));
+        assert!(f.allow_issues[2].message.contains("malformed"));
+    }
+
+    #[test]
+    fn allow_file_scope_parses() {
+        let src = "// lint: allow-file(HOTPATH-PANIC) whole file is audited\nfn f() {}";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].scope, AllowScope::File);
+        assert_eq!(f.allows[0].reason, "whole file is audited");
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: a compliant bench writer — emits every shared key.
+
+fn main() {
+    let name = "BENCH_ok.json";
+    let _ = name;
+    builder()
+        .field("corpus", 1)
+        .field("seed", 42)
+        .field("articles", 100)
+        .field("extra_is_fine", 7)
+        .build();
+}
+
+struct B;
+impl B {
+    fn field(self, _k: &str, _v: u32) -> Self {
+        self
+    }
+    fn build(self) {}
+}
+fn builder() -> B {
+    B
+}

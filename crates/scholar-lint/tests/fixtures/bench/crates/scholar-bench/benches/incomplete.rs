@@ -1,0 +1,21 @@
+//! Fixture: a bench artifact writer missing the shared `seed` key.
+
+fn main() {
+    let name = "BENCH_fixture.json";
+    let json = format!("{{\"corpus\": 1}}");
+    let _ = (name, json);
+    // Pretend-builder calls the rule recognizes:
+    // .field("corpus", …) and .field("articles", …) below, no seed.
+    builder().field("corpus", "tiny").field("articles", 100).build();
+}
+
+struct B;
+impl B {
+    fn field(self, _k: &str, _v: u32) -> Self {
+        self
+    }
+    fn build(self) {}
+}
+fn builder() -> B {
+    B
+}

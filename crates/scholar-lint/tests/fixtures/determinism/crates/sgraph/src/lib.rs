@@ -1,0 +1,22 @@
+//! Fixture: a score-producing crate that violates DETERMINISM four ways,
+//! plus the non-firing cases (string literal, comment, test code).
+
+use std::collections::HashMap;
+
+pub fn violations() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    let s = "HashMap inside a string literal never fires";
+    // HashMap and Instant::now() inside a comment never fire.
+    m.len() + s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_hash_collections() {
+        let _ = std::collections::HashSet::<u32>::new();
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: one site in full sync, one drifted out of catalogue + docs.
+
+macro_rules! failpoint {
+    ($site:literal) => {
+        let _ = $site;
+    };
+}
+
+pub fn instrumented() {
+    failpoint!("serve.good");
+    failpoint!("drift.new");
+}

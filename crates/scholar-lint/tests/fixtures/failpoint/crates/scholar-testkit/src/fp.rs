@@ -1,0 +1,4 @@
+//! Fixture catalogue: lists one live site and one stale one; misses
+//! `drift.new` entirely.
+
+pub const SITES: &[&str] = &["serve.good", "stale.gone"];

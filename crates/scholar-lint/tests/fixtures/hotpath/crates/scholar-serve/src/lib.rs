@@ -1,0 +1,29 @@
+//! Fixture: serve-path panic sources, allow suppression, and the
+//! meta-diagnostics for broken allow comments.
+
+pub fn violations(v: &[u32]) -> u32 {
+    let a = *v.first().unwrap();
+    let b = *v.get(1).expect("fixture");
+    if v.len() == usize::MAX {
+        panic!("unreachable fixture arm");
+    }
+    let c = v[2];
+    let s = "v[9] and v.unwrap() and panic! in a string never fire";
+    // v[9], .unwrap() and panic!() in a comment never fire.
+    let d = v[3]; // lint: allow(HOTPATH-PANIC) fixture proves a reasoned allow suppresses
+    // lint: allow(HOTPATH-PANIC) this allow suppresses nothing and must be flagged unused
+    let e = s.len() as u32;
+    // lint: allow(HOTPATH-PANIC)
+    let f = v[4];
+    // lint: allow(NO-SUCH-RULE) unknown rule ids must be flagged
+    a + b + c + d + e + f
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u32, 2];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

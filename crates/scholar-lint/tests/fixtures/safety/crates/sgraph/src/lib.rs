@@ -1,0 +1,23 @@
+//! Fixture: documented and undocumented `unsafe`.
+
+/// Reads one byte.
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture contract — `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Reads one byte without saying why that is sound.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Trailing placement also counts.
+pub fn trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: fixture contract — `p` is valid for reads.
+}
+
+/// The string "unsafe" and a comment saying unsafe never fire.
+pub fn not_code() -> &'static str {
+    // unsafe in a comment is fine
+    "unsafe in a string is fine"
+}

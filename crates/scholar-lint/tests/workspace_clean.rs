@@ -1,0 +1,39 @@
+//! The workspace gate: the real repository must lint clean.
+//!
+//! This is the test CI leans on — any new violation of a workspace
+//! invariant (nondeterministic containers in score crates, panics in
+//! the serve path, failpoint catalogue drift, undocumented `unsafe`,
+//! bench schema drift) or any allow comment without a reason fails
+//! `cargo test` here, with the same `file:line:col [RULE]` lines the
+//! CLI prints.
+
+use std::path::Path;
+
+#[test]
+fn repository_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = scholar_lint::check_workspace(&root).expect("scan the workspace");
+    assert!(
+        diags.is_empty(),
+        "scholar-lint found {} undocumented finding(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// Allowlist round-trip: every allow in the tree both parses and
+/// suppresses something. `check_workspace` already folds unused or
+/// malformed allows into the diagnostics (ALLOW-UNUSED / ALLOW-SYNTAX),
+/// so this is implied by `repository_lints_clean` — asserted separately
+/// here so a failure names the property that broke.
+#[test]
+fn every_allow_is_well_formed_and_used() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = scholar_lint::check_workspace(&root).expect("scan the workspace");
+    let meta: Vec<String> = diags
+        .iter()
+        .filter(|d| d.rule == "ALLOW-UNUSED" || d.rule == "ALLOW-SYNTAX")
+        .map(|d| d.to_string())
+        .collect();
+    assert!(meta.is_empty(), "allowlist entries out of round-trip:\n{}", meta.join("\n"));
+}

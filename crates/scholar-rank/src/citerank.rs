@@ -14,9 +14,9 @@ use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::pagerank::{pagerank_on_op, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
-use std::time::Instant;
 
 /// CiteRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,14 +82,14 @@ impl Ranker for CiteRank {
             return RankOutput::closed_form(Vec::new());
         }
         let now = self.config.now.unwrap_or_else(|| ctx.now());
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let op = ctx.citation_op();
-        let build_secs = built.elapsed().as_secs_f64();
+        let build_secs = built.secs();
         let key = format!(
             "citerank(alpha={},tau={},now={},tol={},max={})",
             self.config.alpha, self.config.tau_dir, now, self.config.tol, self.config.max_iter
         );
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&key, || {
             // The start distribution decays with article age: the paper's
             // reader-traffic model. 1/tau_dir plays the role of τ.
@@ -102,8 +102,7 @@ impl Ranker for CiteRank {
             };
             pagerank_on_op(op, &pr_cfg, jump, None)
         });
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

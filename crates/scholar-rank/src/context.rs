@@ -20,7 +20,7 @@
 use crate::diagnostics::Diagnostics;
 use scholar_corpus::{Corpus, Year};
 use sgraph::{Bipartite, CsrGraph, JumpVector, RowStochastic};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A time-decayed citation graph (`exp(-ρ·citation_age)` edge weights)
@@ -52,8 +52,8 @@ pub struct RankContext<'c> {
     publication: OnceLock<Bipartite>,
     citation_counts: OnceLock<Vec<u32>>,
     years: OnceLock<Vec<Year>>,
-    decayed: Mutex<HashMap<u64, Arc<DecayedCitation>>>,
-    solves: Mutex<HashMap<String, Arc<SolveRecord>>>,
+    decayed: Mutex<BTreeMap<u64, Arc<DecayedCitation>>>,
+    solves: Mutex<BTreeMap<String, Arc<SolveRecord>>>,
 }
 
 impl<'c> RankContext<'c> {
@@ -69,8 +69,8 @@ impl<'c> RankContext<'c> {
             publication: OnceLock::new(),
             citation_counts: OnceLock::new(),
             years: OnceLock::new(),
-            decayed: Mutex::new(HashMap::new()),
-            solves: Mutex::new(HashMap::new()),
+            decayed: Mutex::new(BTreeMap::new()),
+            solves: Mutex::new(BTreeMap::new()),
         }
     }
 

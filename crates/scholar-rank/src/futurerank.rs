@@ -19,11 +19,11 @@
 use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
 use sgraph::stochastic::{fixpoint, normalize_l1};
 use sgraph::JumpVector;
-use std::time::Instant;
 
 /// FutureRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,21 +176,20 @@ impl Ranker for FutureRank {
     fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
         self.config.assert_valid();
         let cfg = &self.config;
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let _ = ctx.citation_op();
         let _ = ctx.authorship();
-        let build_secs = built.elapsed().as_secs_f64();
+        let build_secs = built.secs();
         let key = format!(
             "futurerank(a={},b={},g={},rho={},now={:?},tol={},max={})",
             cfg.alpha, cfg.beta, cfg.gamma, cfg.rho, cfg.now, cfg.tol, cfg.max_iter
         );
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&key, || {
             let res = self.run_ctx(ctx);
             (res.article_scores, res.diagnostics)
         });
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

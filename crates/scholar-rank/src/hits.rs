@@ -7,10 +7,10 @@
 use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::Corpus;
 use sgraph::{CsrGraph, NodeId};
-use std::time::Instant;
 
 /// HITS parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,17 +124,16 @@ impl Ranker for Hits {
     }
 
     fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let g = ctx.citation_graph();
-        let build_secs = built.elapsed().as_secs_f64();
+        let build_secs = built.secs();
         let key = format!("hits(tol={},max={})", self.config.tol, self.config.max_iter);
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&key, || {
             let res = hits_on_graph(g, &self.config);
             (res.authorities, res.diagnostics)
         });
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

@@ -13,11 +13,11 @@
 use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use sgraph::CsrGraph;
 use srand::rngs::SmallRng;
 use srand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Monte-Carlo PageRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,18 +126,17 @@ impl Ranker for MonteCarloPageRank {
 
     fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
         self.config.assert_valid();
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let g = ctx.citation_graph();
-        let build_secs = built.elapsed().as_secs_f64();
+        let build_secs = built.secs();
         let key = format!(
             "mc-pagerank(d={},walks={},seed={})",
             self.config.damping, self.config.walks_per_node, self.config.seed
         );
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) =
             ctx.cached_solve(&key, || monte_carlo_pagerank(g, &self.config));
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

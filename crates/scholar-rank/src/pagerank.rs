@@ -3,11 +3,11 @@
 use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::Corpus;
 use sgraph::stochastic::PowerIterationOpts;
 use sgraph::{CsrGraph, JumpVector, RowStochastic};
-use std::time::Instant;
 
 /// PageRank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,18 +148,17 @@ impl Ranker for PageRank {
 
     fn solve_ctx(&self, ctx: &RankContext) -> RankOutput {
         self.config.assert_valid();
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let op = ctx.citation_op();
-        let build_secs = built.elapsed().as_secs_f64();
+        let build_secs = built.secs();
         let key = format!(
             "pagerank(d={},tol={},max={})",
             self.config.damping, self.config.tol, self.config.max_iter
         );
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) =
             ctx.cached_solve(&key, || pagerank_on_op(op, &self.config, JumpVector::Uniform, None));
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

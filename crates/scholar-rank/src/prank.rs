@@ -17,11 +17,11 @@ use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::pagerank::{pagerank_on_graph, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::model::author_position_weights;
 use scholar_corpus::Corpus;
 use sgraph::{GraphBuilder, JumpVector, NodeId};
-use std::time::Instant;
 
 /// P-Rank parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,12 +164,12 @@ impl Ranker for PRank {
         // The combined paper/author/venue graph is P-Rank-specific (it
         // depends on the layer weights), so it is not shared through the
         // context; repeated solves are served by the memo instead.
-        let solved = Instant::now();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&key, || {
             let res = self.run(ctx.corpus());
             (res.article_scores, res.diagnostics)
         });
-        let telemetry = SolveTelemetry::timed(&diag, 0.0, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, 0.0, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

@@ -9,6 +9,31 @@
 //! report solver behaviour without knowing which ranker produced it.
 
 use crate::diagnostics::Diagnostics;
+use std::time::Instant;
+
+/// The one sanctioned wall-clock source in the score-producing crates.
+///
+/// Timing never influences scores — it only fills the observability
+/// fields of [`SolveTelemetry`] — but scattering `Instant::now()` across
+/// rankers makes that impossible to audit. Every ranker times itself
+/// through this wrapper instead, so scholar-lint's DETERMINISM rule has
+/// exactly one allowlisted clock read to point at.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        // lint: allow(DETERMINISM) sole clock read in the score crates; feeds telemetry only, never scores
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`], as the `f64` the
+    /// telemetry fields carry.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
 
 /// What one ranker solve did: convergence trajectory plus wall-clock
 /// split between input preparation and iteration.

@@ -16,10 +16,10 @@ use crate::context::RankContext;
 use crate::diagnostics::Diagnostics;
 use crate::pagerank::{pagerank_on_op, PageRankConfig};
 use crate::ranker::Ranker;
+use crate::telemetry::Stopwatch;
 use crate::telemetry::{RankOutput, SolveTelemetry};
 use scholar_corpus::{Corpus, Year};
 use sgraph::JumpVector;
-use std::time::Instant;
 
 /// TWPR parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,16 +146,15 @@ impl Ranker for TimeWeightedPageRank {
             return RankOutput::closed_form(Vec::new());
         }
         let now = self.config.now.unwrap_or_else(|| ctx.now());
-        let built = Instant::now();
+        let built = Stopwatch::start();
         let decayed = ctx.decayed_citation(self.config.rho);
-        let build_secs = built.elapsed().as_secs_f64();
-        let solved = Instant::now();
+        let build_secs = built.secs();
+        let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&Self::solve_key(&self.config, now), || {
             let jump = ctx.recency_jump(self.config.tau, now);
             pagerank_on_op(&decayed.op, &self.config.pagerank, jump, None)
         });
-        let telemetry =
-            SolveTelemetry::timed(&diag, build_secs, solved.elapsed().as_secs_f64(), cached);
+        let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }
     }
 }

@@ -108,14 +108,23 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return Err(HttpError::Malformed(format!("read error: {e}"))),
         };
-        head.extend_from_slice(&buf[..n]);
+        let Some(chunk) = buf.get(..n) else {
+            // A Read impl that reports more bytes than the buffer holds
+            // is broken; refuse the request rather than trust it.
+            return Err(HttpError::Malformed("reader returned more bytes than requested".into()));
+        };
+        head.extend_from_slice(chunk);
     }
 
-    let line_end = head.iter().position(|&b| b == b'\n').expect("terminator implies newline");
+    let Some(line_end) = head.iter().position(|&b| b == b'\n') else {
+        // Unreachable while find_terminator requires a newline, but a 400
+        // is the right answer if that invariant ever shifts.
+        return Err(HttpError::Malformed("request head has no request line".into()));
+    };
     if line_end > MAX_REQUEST_LINE {
         return Err(HttpError::RequestLineTooLong);
     }
-    let line = String::from_utf8_lossy(&head[..line_end]);
+    let line = String::from_utf8_lossy(head.get(..line_end).unwrap_or_default());
     let line = line.trim_end_matches(['\r', '\n']);
     parse_request_line(line)
 }
@@ -165,8 +174,8 @@ pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'+' => {
                 out.push(b' ');
                 i += 1;

@@ -21,10 +21,9 @@ use std::sync::Arc;
 /// [`top_k`]: scholar_rank::scores::top_k
 #[inline]
 fn ranking_cmp(scores: &[f64], a: u32, b: u32) -> std::cmp::Ordering {
-    scores[b as usize]
-        .partial_cmp(&scores[a as usize])
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.cmp(&b))
+    // lint: allow(HOTPATH-PANIC) comparator ids are drawn from 0..scores.len() ranges built in build()
+    let (sa, sb) = (scores[a as usize], scores[b as usize]);
+    sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
 }
 
 /// A top-k request against the index. `None` filters match everything.
@@ -114,7 +113,7 @@ impl ScoreIndex {
         order.sort_by(|&a, &b| ranking_cmp(&scores, a, b));
         let mut rank_of = vec![0u32; n];
         for (pos, &a) in order.iter().enumerate() {
-            rank_of[a as usize] = pos as u32;
+            rank_of[a as usize] = pos as u32; // lint: allow(HOTPATH-PANIC) order holds exactly 0..n
         }
 
         // Posting lists inherit the global order by construction: walk
@@ -124,10 +123,11 @@ impl ScoreIndex {
         let mut by_author: Vec<Vec<u32>> = vec![Vec::new(); corpus.num_authors()];
         let mut year_slots: HashMap<Year, Vec<u32>> = HashMap::new();
         for &a in &order {
-            let art = &corpus.articles()[a as usize];
+            let art = &corpus.articles()[a as usize]; // lint: allow(HOTPATH-PANIC) order holds exactly 0..n
+                                                      // lint: allow(HOTPATH-PANIC) corpus ids are dense: venue.index() < num_venues by the Corpus contract
             by_venue[art.venue.index()].push(a);
             for &u in &art.authors {
-                by_author[u.index()].push(a);
+                by_author[u.index()].push(a); // lint: allow(HOTPATH-PANIC) author ids are dense, < num_authors
             }
             year_slots.entry(art.year).or_default().push(a);
         }
@@ -159,7 +159,11 @@ impl ScoreIndex {
     }
 
     /// The published score of one article.
+    ///
+    /// # Panics
+    /// If `id` is not in this index's corpus.
     pub fn score(&self, id: ArticleId) -> f64 {
+        // lint: allow(HOTPATH-PANIC) documented panic contract; the serving endpoints never call this, only tests and benches
         self.scores[id.index()]
     }
 
@@ -193,17 +197,28 @@ impl ScoreIndex {
         self.author_ids.get(name).copied()
     }
 
+    /// The article behind a dense id. Callers pass ids drawn from the
+    /// index's own `order` / posting lists, which `build` populated from
+    /// `0..num_articles` — the bound holds by construction.
+    #[inline]
+    fn art(&self, a: u32) -> &scholar_corpus::model::Article {
+        // lint: allow(HOTPATH-PANIC) posting lists only hold dense in-corpus ids < n (see doc comment)
+        &self.corpus.articles()[a as usize]
+    }
+
     fn hit(&self, a: u32) -> Hit {
         Hit {
+            // lint: allow(HOTPATH-PANIC) rank_of has length n and posting-list ids are < n by construction
             rank: self.rank_of[a as usize] as usize + 1,
             id: ArticleId(a),
+            // lint: allow(HOTPATH-PANIC) scores has length n, same bound as rank_of above
             score: self.scores[a as usize],
         }
     }
 
     #[inline]
     fn year_ok(&self, a: u32, q: &TopQuery) -> bool {
-        let y = self.corpus.articles()[a as usize].year;
+        let y = self.art(a).year;
         q.year_min.is_none_or(|lo| y >= lo) && q.year_max.is_none_or(|hi| y <= hi)
     }
 
@@ -220,20 +235,20 @@ impl ScoreIndex {
             // remaining predicates on the fly. Lists are score-ordered,
             // so the first k survivors are the answer.
             (Some(v), Some(u)) => {
-                let vl = self.by_venue.get(v as usize).map_or(&[][..], Vec::as_slice);
-                let ul = self.by_author.get(u as usize).map_or(&[][..], Vec::as_slice);
+                let vl = self.by_venue.get(v as usize).map(Vec::as_slice).unwrap_or(&[]);
+                let ul = self.by_author.get(u as usize).map(Vec::as_slice).unwrap_or(&[]);
                 if vl.len() <= ul.len() {
                     self.scan(vl, q, |a| self.on_byline(a, u))
                 } else {
-                    self.scan(ul, q, |a| self.corpus.articles()[a as usize].venue.0 == v)
+                    self.scan(ul, q, |a| self.art(a).venue.0 == v)
                 }
             }
             (Some(v), None) => {
-                let vl = self.by_venue.get(v as usize).map_or(&[][..], Vec::as_slice);
+                let vl = self.by_venue.get(v as usize).map(Vec::as_slice).unwrap_or(&[]);
                 self.scan(vl, q, |_| true)
             }
             (None, Some(u)) => {
-                let ul = self.by_author.get(u as usize).map_or(&[][..], Vec::as_slice);
+                let ul = self.by_author.get(u as usize).map(Vec::as_slice).unwrap_or(&[]);
                 self.scan(ul, q, |_| true)
             }
             // Year range only: k-way merge of the per-year lists in
@@ -247,7 +262,7 @@ impl ScoreIndex {
 
     /// Is author `u` on article `a`'s byline?
     fn on_byline(&self, a: u32, u: u32) -> bool {
-        self.corpus.articles()[a as usize].authors.iter().any(|x| x.0 == u)
+        self.art(a).authors.iter().any(|x| x.0 == u)
     }
 
     fn scan(&self, list: &[u32], q: &TopQuery, extra: impl Fn(u32) -> bool) -> Vec<Hit> {
@@ -276,20 +291,25 @@ impl ScoreIndex {
         if lo >= hi {
             return Vec::new();
         }
+        // lint: allow(HOTPATH-PANIC) lo < hi <= by_year.len(): both are partition_point results and the inverted case returned above
         let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = self.by_year[lo..hi]
             .iter()
             .enumerate()
             .filter(|(_, (_, list))| !list.is_empty())
+            // lint: allow(HOTPATH-PANIC) list[0] exists (empty lists filtered out above); rank_of is length n and lists hold dense ids
             .map(|(li, (_, list))| Reverse((self.rank_of[list[0] as usize], li + lo, 0)))
             .collect();
         let mut out = Vec::with_capacity(q.k);
         while let Some(Reverse((_, li, pos))) = heap.pop() {
+            // lint: allow(HOTPATH-PANIC) heap entries carry li < by_year.len() and pos < list.len() — see the pushes below
             let list = &self.by_year[li].1;
+            // lint: allow(HOTPATH-PANIC) pos was bounds-checked before the entry was pushed
             out.push(self.hit(list[pos]));
             if out.len() == q.k {
                 break;
             }
             if pos + 1 < list.len() {
+                // lint: allow(HOTPATH-PANIC) the line above checks pos + 1 < list.len(); rank_of is length n
                 heap.push(Reverse((self.rank_of[list[pos + 1] as usize], li, pos + 1)));
             }
         }
@@ -303,14 +323,17 @@ impl ScoreIndex {
         if id.index() >= n {
             return None;
         }
+        // lint: allow(HOTPATH-PANIC) id.index() < n was checked above; rank_of/scores have length n
         let pos = self.rank_of[id.index()] as usize;
         let from = pos.saturating_sub(want);
         let to = (pos + want + 1).min(n);
         Some(ArticleDetail {
             id,
             rank: pos + 1,
+            // lint: allow(HOTPATH-PANIC) id.index() < n was checked above
             score: self.scores[id.index()],
             percentile: (n - pos) as f64 / n as f64,
+            // lint: allow(HOTPATH-PANIC) from <= pos < n and to is clamped to n, so the slice bounds hold
             neighbors: self.order[from..to].iter().map(|&a| self.hit(a)).collect(),
         })
     }

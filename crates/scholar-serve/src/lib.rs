@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Query serving for query-independent rankings.
 //!
 //! The paper's central observation — article importance can be computed

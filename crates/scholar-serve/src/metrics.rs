@@ -85,8 +85,13 @@ impl Metrics {
             self.server_errors.fetch_add(1, Ordering::Relaxed);
         }
         let us = took.as_micros().min(u64::MAX as u128) as u64;
+        // partition_point ranges over 0..=buckets and `latency` has one
+        // overflow slot past the bucket bounds; fall back to the last
+        // slot rather than trust the arithmetic with a panic.
         let bucket = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.latency.get(bucket).or_else(|| self.latency.last()) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         self.latency_total_us.fetch_add(us, Ordering::Relaxed);
     }
 

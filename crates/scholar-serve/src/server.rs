@@ -70,8 +70,8 @@ pub struct ServerHandle {
 }
 
 /// Start serving `shared` on `config.addr`. Returns once the listener is
-/// bound and every thread is running; panics if the address cannot be
-/// bound.
+/// bound and every thread is running; bind and thread-spawn failures
+/// surface as the `Err` they are.
 pub fn serve(
     shared: Arc<SharedIndex>,
     metrics: Arc<Metrics>,
@@ -83,26 +83,27 @@ pub fn serve(
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
-            let rx = Arc::clone(&rx);
-            let shared = Arc::clone(&shared);
-            let metrics = Arc::clone(&metrics);
-            let read_timeout = config.read_timeout;
-            std::thread::Builder::new()
-                .name(format!("scholar-serve-{i}"))
-                .spawn(move || worker_loop(rx, shared, metrics, read_timeout))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    // Spawn failures propagate as the io::Error they are. On an early
+    // return, dropping `tx` closes the queue, so any workers already
+    // spawned see a disconnected channel and exit on their own.
+    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        let metrics = Arc::clone(&metrics);
+        let read_timeout = config.read_timeout;
+        let worker = std::thread::Builder::new()
+            .name(format!("scholar-serve-{i}"))
+            .spawn(move || worker_loop(rx, shared, metrics, read_timeout))?;
+        workers.push(worker);
+    }
 
     let acceptor = {
         let stop = Arc::clone(&stop);
         let metrics = Arc::clone(&metrics);
         std::thread::Builder::new()
             .name("scholar-accept".to_string())
-            .spawn(move || accept_loop(listener, tx, stop, metrics))
-            .expect("spawn acceptor thread")
+            .spawn(move || accept_loop(listener, tx, stop, metrics))?
     };
 
     Ok(ServerHandle { addr, metrics, stop, acceptor: Some(acceptor), workers })
@@ -186,8 +187,11 @@ fn worker_loop(
     read_timeout: Duration,
 ) {
     loop {
-        // Hold the lock only long enough to dequeue one connection.
-        let stream = match rx.lock().expect("queue lock poisoned").recv() {
+        // Hold the lock only long enough to dequeue one connection. A
+        // poisoned lock just means a sibling worker panicked while
+        // holding it; the receiver has no invariants a panic can break,
+        // so take the guard and keep serving.
+        let stream = match rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() {
             Ok(s) => s,
             Err(_) => return, // queue closed and drained: shutdown
         };
@@ -276,7 +280,10 @@ pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Va
         "/top" => {
             metrics.endpoints.top.fetch_add(1, rel);
             match parse_top_query(req, index) {
-                Ok(q) => (200, top_body(index, &q)),
+                Ok(q) => match top_body(index, &q) {
+                    Some(body) => (200, body),
+                    None => (500, broken_index_body()),
+                },
                 Err(msg) => (400, http::error_body(400, &msg)),
             }
         }
@@ -285,7 +292,10 @@ pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Va
                 metrics.endpoints.article.fetch_add(1, rel);
                 match rest.parse::<u32>() {
                     Ok(id) => match index.detail(ArticleId(id), DETAIL_NEIGHBORS) {
-                        Some(d) => (200, detail_body(index, &d)),
+                        Some(d) => match detail_body(index, &d) {
+                            Some(body) => (200, body),
+                            None => (500, broken_index_body()),
+                        },
                         None => (404, http::error_body(404, &format!("no article with id {id}"))),
                     },
                     Err(_) => {
@@ -296,6 +306,13 @@ pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Va
             None => (404, http::error_body(404, &format!("no route for {}", req.path))),
         },
     }
+}
+
+/// The `500` body for an index that returned an article id outside its
+/// own corpus — an invariant breach the client should see as a server
+/// error (and the 5xx counter should record), never as a panic.
+fn broken_index_body() -> Value {
+    http::error_body(500, "index returned an article outside the corpus")
 }
 
 /// Build a [`TopQuery`] from `/top` parameters, resolving venue/author
@@ -332,29 +349,37 @@ fn parse_top_query(req: &Request, index: &ScoreIndex) -> Result<TopQuery, String
     Ok(q)
 }
 
-fn hit_json(index: &ScoreIndex, h: &crate::index::Hit) -> Value {
-    let art = &index.corpus().articles()[h.id.index()];
-    ObjectBuilder::new()
-        .field("rank", h.rank as i64)
-        .field("id", h.id.0 as i64)
-        .field("score", h.score)
-        .field("title", art.title.as_str())
-        .field("year", art.year)
-        .field("venue", index.corpus().venue(art.venue).name.as_str())
-        .build()
+/// `None` when the hit's id falls outside the corpus (a broken index);
+/// the caller turns that into a 500.
+fn hit_json(index: &ScoreIndex, h: &crate::index::Hit) -> Option<Value> {
+    let art = index.corpus().articles().get(h.id.index())?;
+    Some(
+        ObjectBuilder::new()
+            .field("rank", h.rank as i64)
+            .field("id", h.id.0 as i64)
+            .field("score", h.score)
+            .field("title", art.title.as_str())
+            .field("year", art.year)
+            .field("venue", index.corpus().venue(art.venue).name.as_str())
+            .build(),
+    )
 }
 
-fn top_body(index: &ScoreIndex, q: &TopQuery) -> Value {
+fn top_body(index: &ScoreIndex, q: &TopQuery) -> Option<Value> {
     let hits = index.top(q);
-    ObjectBuilder::new()
-        .field("generation", index.generation() as i64)
-        .field("count", hits.len() as i64)
-        .field("results", Value::Array(hits.iter().map(|h| hit_json(index, h)).collect()))
-        .build()
+    let results = hits.iter().map(|h| hit_json(index, h)).collect::<Option<Vec<_>>>()?;
+    Some(
+        ObjectBuilder::new()
+            .field("generation", index.generation() as i64)
+            .field("count", hits.len() as i64)
+            .field("results", Value::Array(results))
+            .build(),
+    )
 }
 
-fn detail_body(index: &ScoreIndex, d: &crate::index::ArticleDetail) -> Value {
-    let art = &index.corpus().articles()[d.id.index()];
+fn detail_body(index: &ScoreIndex, d: &crate::index::ArticleDetail) -> Option<Value> {
+    let art = index.corpus().articles().get(d.id.index())?;
+    let neighbors = d.neighbors.iter().map(|h| hit_json(index, h)).collect::<Option<Vec<_>>>()?;
     ObjectBuilder::new()
         .field("generation", index.generation() as i64)
         .field("id", d.id.0 as i64)
@@ -374,6 +399,7 @@ fn detail_body(index: &ScoreIndex, d: &crate::index::ArticleDetail) -> Value {
         .field("score", d.score)
         .field("percentile", d.percentile)
         .field("references", art.references.len() as i64)
-        .field("neighbors", Value::Array(d.neighbors.iter().map(|h| hit_json(index, h)).collect()))
+        .field("neighbors", Value::Array(neighbors))
         .build()
+        .into()
 }

@@ -41,7 +41,10 @@ impl SharedIndex {
     /// valid (and immutable) even if a new index is published while the
     /// caller is still using it.
     pub fn load(&self) -> Arc<ScoreIndex> {
-        Arc::clone(&self.current.read().expect("index lock poisoned"))
+        // A poisoned lock only means some thread panicked while holding
+        // it; the cell holds a bare `Arc` that is either the old or the
+        // new index — never a torn value — so keep serving.
+        Arc::clone(&self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Atomically replace the published index, stamping the next
@@ -55,7 +58,9 @@ impl SharedIndex {
         // publishers then install indexes in generation order, so the
         // winning index always carries the highest generation and
         // `generation()` never runs ahead of what readers can load.
-        let mut current = self.current.write().expect("index lock poisoned");
+        // Same poisoning argument as `load`: the `Arc` swap below is the
+        // only write and cannot be observed half-done.
+        let mut current = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         index.set_generation(g);
         *current = Arc::new(index);
@@ -105,6 +110,7 @@ impl Reindexer {
             std::thread::Builder::new()
                 .name("scholar-reindex".into())
                 .spawn(move || Self::run(ranker, rx, shared, published, on_publish))
+                // lint: allow(HOTPATH-PANIC) producer-side startup, before any request is accepted; no counter exists yet to record into
                 .expect("spawn reindexer thread")
         };
         (Arc::clone(&shared), Reindexer { tx, handle, batches_published: published })
@@ -158,6 +164,7 @@ impl Reindexer {
     /// Queue a batch of new articles for ranking and publication. Returns
     /// immediately; the publish happens asynchronously.
     pub fn submit(&self, batch: Vec<Article>) {
+        // lint: allow(HOTPATH-PANIC) control-plane API, not the request path; a dead reindexer losing accepted batches must be loud
         self.tx.send(Job::Batch(batch)).expect("reindexer thread is alive");
     }
 
@@ -170,6 +177,7 @@ impl Reindexer {
     /// final ranker state (corpus + scores).
     pub fn shutdown(self) -> IncrementalRanker {
         let _ = self.tx.send(Job::Stop);
+        // lint: allow(HOTPATH-PANIC) control-plane join: re-raising a background panic at shutdown is the contract, not a request-path hazard
         self.handle.join().expect("reindexer thread panicked")
     }
 }

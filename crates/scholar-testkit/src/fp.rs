@@ -32,6 +32,26 @@ use srand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+/// The canonical catalogue of every `failpoint!` site in the workspace.
+///
+/// scholar-lint's FAILPOINT-SYNC rule holds this list, the sites that
+/// actually appear in production code, and the DESIGN.md §2.7 table in
+/// exact three-way agreement — adding, renaming, or deleting a site
+/// without updating all three fails CI. Keep the list sorted.
+pub const SITES: &[&str] = &[
+    "corpus.aan.parse",
+    "corpus.jsonl.io",
+    "corpus.jsonl.parse",
+    "corpus.mag.parse",
+    "incremental.extend",
+    "reindex.coalesce",
+    "reindex.publish",
+    "serve.accept",
+    "serve.handle",
+    "serve.respond",
+    "swap.publish",
+];
+
 /// What a site does on one hit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -251,6 +271,12 @@ impl Drop for Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_catalogue_is_sorted_and_unique() {
+        assert!(SITES.windows(2).all(|w| w[0] < w[1]), "SITES must be sorted and deduplicated");
+        assert!(SITES.iter().all(|s| s.contains('.')), "site names are dotted lowercase");
+    }
 
     #[test]
     fn unarmed_sites_do_nothing() {
