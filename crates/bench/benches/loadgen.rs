@@ -1,0 +1,154 @@
+//! Load-generator benchmark: drive a live `scholar-serve` instance with
+//! the seeded closed-loop `scholar-loadgen` harness — steady state
+//! first, then with the reindexer publishing generations *during* the
+//! run, so the artifact records latency under swap churn, not just at
+//! rest.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench loadgen
+//! ```
+//!
+//! Writes `BENCH_loadgen.json` at the repository root (skipped in smoke
+//! mode).
+
+use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
+use scholar::serve::{serve, Metrics, Reindexer, ServeConfig};
+use scholar::{Preset, QRankConfig};
+use scholar_bench::{smoke_mode, SEED};
+use scholar_loadgen::{run, LoadConfig, Report, StatusRanges};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn print_report(label: &str, r: &Report) {
+    println!(
+        "{label}: {} requests in {:.2}s = {:.0} req/s ({} connects)",
+        r.completed,
+        r.elapsed.as_secs_f64(),
+        r.throughput_rps(),
+        r.connects
+    );
+    println!(
+        "  latency: p50 {}us p90 {}us p99 {}us p999 {}us max {}us",
+        r.hist.percentile(0.50),
+        r.hist.percentile(0.90),
+        r.hist.percentile(0.99),
+        r.hist.percentile(0.999),
+        r.hist.max()
+    );
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (preset, name) = if smoke { (Preset::Tiny, "tiny") } else { (Preset::AanLike, "aan_like") };
+    let corpus = preset.generate(SEED);
+    let n = corpus.num_articles();
+    let (steady_requests, churn_requests, connections, swap_batches) =
+        if smoke { (400u64, 400u64, 2, 1) } else { (100_000u64, 50_000u64, 4, 4) };
+
+    println!(
+        "loadgen vs {name} ({n} articles): {connections} connections, \
+         {steady_requests} steady + {churn_requests} under churn\n"
+    );
+
+    let metrics = Arc::new(Metrics::new());
+    let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
+    let config = ServeConfig { workers: 2, ..Default::default() };
+    let server = serve(Arc::clone(&shared), Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+
+    let base = LoadConfig {
+        addr,
+        connections,
+        seed: SEED,
+        keep_alive: true,
+        targets: vec![
+            "/top?k=10".to_string(),
+            "/top?k=25&year_min=2005".to_string(),
+            "/top?k=3".to_string(),
+            "/health".to_string(),
+        ],
+        accept: StatusRanges::ok(),
+        ..Default::default()
+    };
+
+    // --- Phase 1: steady state. -----------------------------------------
+    let steady =
+        run(&LoadConfig { requests: steady_requests, ..base.clone() }).expect("steady run");
+    assert_eq!(steady.completed, steady_requests, "requests went missing");
+    assert_eq!(steady.violations, 0, "bad statuses: {:?}", steady.violation_samples);
+    assert_eq!(steady.transport_errors, 0, "torn responses in steady state");
+    print_report("steady state", &steady);
+
+    // --- Phase 2: the same load while generations swap under it. --------
+    // Republishing a generation means re-ranking the whole corpus, so a
+    // single fixed-size load round can drain before `swap_batches` swaps
+    // land. Repeat the round (fresh seed each time, reports merged) until
+    // the swap target is met — every round runs with the reindexer
+    // publishing under it, which is the property the artifact records.
+    let gen_before = shared.generation();
+    let mut published = 0u64;
+    let mut churn: Option<Report> = None;
+    let mut round = 0u64;
+    while churn.is_none() || shared.generation() - gen_before < swap_batches {
+        round += 1;
+        assert!(round <= 64, "swap churn never reached {swap_batches} swaps");
+        let churn_config =
+            LoadConfig { requests: churn_requests, seed: SEED ^ round, ..base.clone() };
+        let load = std::thread::spawn(move || run(&churn_config).expect("churn run"));
+        while !load.is_finished() {
+            reindexer.submit(vec![Article {
+                id: ArticleId(0),
+                title: format!("churn-{published}"),
+                year: 2012,
+                venue: VenueId(0),
+                authors: vec![AuthorId(0)],
+                references: vec![ArticleId(published as u32 % 7)],
+                merit: None,
+            }]);
+            published += 1;
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while reindexer.batches_published() < published && !load.is_finished() {
+                assert!(Instant::now() < deadline, "publish {published} never landed");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Keep swapping for the whole round — churn, not a warm-up —
+            // but give the serving path the bulk of the core in between.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let r = load.join().expect("churn thread panicked");
+        assert_eq!(r.completed, churn_requests);
+        assert_eq!(r.violations, 0, "bad statuses under churn: {:?}", r.violation_samples);
+        assert_eq!(r.transport_errors, 0, "torn responses under churn");
+        match &mut churn {
+            Some(merged) => merged.merge(&r),
+            None => churn = Some(r),
+        }
+    }
+    let churn = churn.expect("at least one churn round ran");
+    let swaps = shared.generation() - gen_before;
+    assert!(swaps >= swap_batches, "churn phase only saw {swaps} swaps");
+    print_report("under swap churn", &churn);
+    println!("  generations published during run: {swaps} (over {round} load rounds)");
+
+    drop(server);
+    reindexer.shutdown();
+
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_loadgen.json)");
+        return;
+    }
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", name)
+        .field("seed", SEED)
+        .field("articles", n)
+        .field("connections", connections)
+        .field("steady", steady.to_json())
+        .field("churn", churn.to_json())
+        .field("churn_swaps", swaps as i64)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_loadgen.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -483,13 +483,16 @@ pub fn convert<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 }
 
 /// `scholar serve corpus.jsonl [--addr HOST:PORT] [--workers N]
-/// [--queue N] [--read-timeout-ms MS] [--duration SECS]`
+/// [--queue N] [--read-timeout-ms MS] [--max-conns N]
+/// [--backend auto|epoll|blocking] [--duration SECS]`
 ///
 /// Rank the corpus, then serve it over HTTP: `GET /top`,
 /// `GET /article/{id}`, `GET /health`, `GET /metrics`. Without
 /// `--duration` the server runs until stdin closes (Ctrl-D); with it, for
 /// that many seconds. Either way shutdown is graceful — in-flight
-/// requests drain before the process moves on.
+/// requests drain before the process moves on. `--backend auto` (the
+/// default) picks the nonblocking epoll event loop on Linux and the
+/// portable blocking pool elsewhere.
 pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let config = qrank_config(args)?;
@@ -499,11 +502,19 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         }
         None => None,
     };
+    let backend = match args.get("backend").unwrap_or("auto") {
+        "auto" => scholar::serve::Backend::Auto,
+        "epoll" => scholar::serve::Backend::Epoll,
+        "blocking" => scholar::serve::Backend::Blocking,
+        other => return Err(format!("invalid --backend '{other}' (auto|epoll|blocking)")),
+    };
     let serve_config = scholar::serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         workers: args.get_parsed("workers", 4)?,
         queue_depth: args.get_parsed("queue", 64)?,
         read_timeout: std::time::Duration::from_millis(args.get_parsed("read-timeout-ms", 5000)?),
+        max_conns: args.get_parsed("max-conns", 1024)?,
+        backend,
     };
 
     outln!(out, "ranking {} articles...", corpus.num_articles());
@@ -584,6 +595,23 @@ mod tests {
         assert!(out.contains("served 0 requests"), "{out}");
         let err = run(&["serve", &path, "--duration", "soon"]).unwrap_err();
         assert!(err.contains("--duration"), "{err}");
+        // Both explicit backends bind and drain; a typo is rejected.
+        for backend in ["blocking", if cfg!(target_os = "linux") { "epoll" } else { "auto" }] {
+            let out = run(&[
+                "serve",
+                &path,
+                "--addr",
+                "127.0.0.1:0",
+                "--backend",
+                backend,
+                "--duration",
+                "0",
+            ])
+            .unwrap();
+            assert!(out.contains("listening on"), "backend {backend}: {out}");
+        }
+        let err = run(&["serve", &path, "--backend", "iocp"]).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -63,10 +63,14 @@ COMMANDS:
   convert   --from mag --papers P --authors A --refs R --out FILE
             convert MAG-style TSV tables to JSON lines
   serve     CORPUS.jsonl [--addr HOST:PORT] [--workers N] [--queue N]
-            [--read-timeout-ms MS] [--duration SECS]
+            [--read-timeout-ms MS] [--max-conns N]
+            [--backend auto|epoll|blocking] [--duration SECS]
             rank the corpus and serve it over HTTP: GET /top (k, venue,
             author, year_min, year_max filters), /article/{id}, /health,
-            /metrics; runs until stdin closes unless --duration is given
+            /metrics; runs until stdin closes unless --duration is given;
+            --backend auto picks the nonblocking epoll event loop on
+            Linux (keep-alive, SO_REUSEPORT shards) and the portable
+            blocking pool elsewhere
 
 Commands reading CORPUS.jsonl accept --missing-year error|drop|YEAR for
 records without a publication year (default: error — yearless records

@@ -1,0 +1,188 @@
+//! HDR-style latency histogram: log2 octaves split into linear
+//! subbuckets, so the whole microsecond range from 0 to ~6 days fits in
+//! a few KB with a bounded ~1.6% relative error above the exact region.
+//!
+//! Layout (`SUB` = 64): values below `SUB` get one bucket each — exact
+//! counts where the interesting sub-100µs action is. Above that, a
+//! value with top bit `m` lands in octave `m - 5`, subdivided linearly
+//! into `SUB` buckets, each bucket spanning `2^(octave-1)` values. The
+//! recorded representative is the bucket's inclusive *upper* bound, so
+//! reported percentiles never flatter the system under test.
+
+/// Subbuckets per octave (and size of the exact low region).
+const SUB: u64 = 64;
+/// log2(SUB).
+const SUB_BITS: u32 = 6;
+/// Octaves above the exact region; caps the tracked range at
+/// `64 << 33` µs ≈ 6.4 days, far past any sane request latency.
+const OCTAVES: usize = 34;
+
+/// Total bucket count.
+const BUCKETS: usize = SUB as usize * (OCTAVES + 1);
+
+/// A fixed-size latency histogram over `u64` microsecond samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    // Top bit position; `v >= SUB` so `msb >= SUB_BITS`.
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let octave = octave.min(OCTAVES); // clamp over-range samples
+    let sub = ((v >> (octave - 1)).min(2 * SUB - 1) - SUB) as usize;
+    SUB as usize * octave + sub
+}
+
+/// Inclusive upper bound of the bucket at `index`.
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let octave = index / SUB as usize;
+    let sub = (index % SUB as usize) as u64;
+    ((SUB + sub + 1) << (octave - 1)) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: Box::new([0; BUCKETS]), total: 0, max: 0 }
+    }
+
+    /// Record one sample (microseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded, exact (not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the bucket upper bound
+    /// below which at least `q` of the samples fall. Returns 0 on an
+    /// empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the true maximum: the top occupied
+                // bucket's upper bound can overshoot it.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_region_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        // 64 samples 0..=63: the median is 32 exactly, p100 is 63.
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.percentile(1.0), 63);
+        assert_eq!(h.count(), SUB);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_above_the_exact_region() {
+        for v in [64u64, 100, 999, 12_345, 1_000_000, 987_654_321] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper bound below sample for {v}");
+            // One subbucket spans 2^(octave-1) = upper-range / SUB:
+            // the overshoot is at most ~1/64 ≈ 1.6%.
+            assert!(
+                (upper - v) as f64 <= v as f64 / 32.0,
+                "bucket overshoot too wide for {v}: upper {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = bucket_index(0);
+        let mut prev_upper = bucket_upper(prev);
+        for v in 1..200_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at {v}");
+            if idx != prev {
+                assert_eq!(bucket_upper(prev), v - 1, "bucket seam misplaced at {v}");
+                assert!(bucket_upper(idx) > prev_upper);
+                prev = idx;
+                prev_upper = bucket_upper(idx);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 77_777).collect();
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s)
+            } else {
+                b.record(s)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn percentiles_never_exceed_the_true_max() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.percentile(1.0), 1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+    }
+}

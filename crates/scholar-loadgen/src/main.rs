@@ -1,0 +1,105 @@
+//! CLI front end for [`scholar_loadgen`]: drive a running server and
+//! print the JSON report.
+//!
+//! ```sh
+//! scholar-loadgen --addr 127.0.0.1:8080 --requests 50000 \
+//!     --connections 8 --seed 1 --target /top?k=10 --target /health \
+//!     --accept 200-299,404
+//! ```
+
+use scholar_loadgen::{run, LoadConfig, StatusRanges};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scholar-loadgen --addr HOST:PORT [options]
+  --addr HOST:PORT      server to drive (required)
+  --connections N       worker connections (default 4)
+  --requests N          total requests (default 1000)
+  --seed N              target-selection seed (default 0)
+  --target PATH         repeatable; default /top?k=10
+  --accept SPEC         accepted statuses, e.g. 200-299,404 (default 2xx)
+  --no-keep-alive       one connection per request
+  --smoke               tiny fixed workload (CI liveness check)";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("scholar-loadgen: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut addr = None;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => match value("--addr").map(|v| v.parse()) {
+                Ok(Ok(a)) => addr = Some(a),
+                Ok(Err(e)) => return fail(&format!("bad --addr: {e}")),
+                Err(e) => return fail(&e),
+            },
+            "--connections" => match value("--connections").map(|v| v.parse()) {
+                Ok(Ok(n)) => config.connections = n,
+                _ => return fail("bad --connections"),
+            },
+            "--requests" => match value("--requests").map(|v| v.parse()) {
+                Ok(Ok(n)) => config.requests = n,
+                _ => return fail("bad --requests"),
+            },
+            "--seed" => match value("--seed").map(|v| v.parse()) {
+                Ok(Ok(n)) => config.seed = n,
+                _ => return fail("bad --seed"),
+            },
+            "--target" => match value("--target") {
+                Ok(t) => targets.push(t),
+                Err(e) => return fail(&e),
+            },
+            "--accept" => match value("--accept").map(|v| StatusRanges::parse(&v)) {
+                Ok(Ok(r)) => config.accept = r,
+                Ok(Err(e)) => return fail(&e),
+                Err(e) => return fail(&e),
+            },
+            "--no-keep-alive" => config.keep_alive = false,
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("--addr is required");
+    };
+    config.addr = addr;
+    if !targets.is_empty() {
+        config.targets = targets;
+    }
+    if smoke {
+        config.connections = config.connections.min(2);
+        config.requests = config.requests.min(200);
+    }
+
+    match run(&config) {
+        Ok(report) => {
+            // writeln! (not println!) so a closed pipe — `loadgen | head` —
+            // reports an error instead of panicking.
+            use std::io::Write;
+            let json = report.to_json().to_string_pretty();
+            if let Err(e) = writeln!(std::io::stdout(), "{json}") {
+                return fail(&e.to_string());
+            }
+            if report.violations > 0 || report.transport_errors > 0 {
+                eprintln!(
+                    "scholar-loadgen: {} violation(s) (sample statuses {:?}), {} transport error(s)",
+                    report.violations, report.violation_samples, report.transport_errors
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("run failed: {e}")),
+    }
+}

@@ -1,0 +1,91 @@
+//! The load generator against a real `scholar-serve` instance: every
+//! ticket becomes exactly one completed request, keep-alive actually
+//! reuses connections, and the status assertions catch what they
+//! should.
+
+use scholar_corpus::generator::Preset;
+use scholar_loadgen::{run, LoadConfig, StatusRanges};
+use scholar_serve::{serve, Metrics, Reindexer, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(seed: u64) -> (Reindexer, scholar_serve::ServerHandle) {
+    let corpus = Preset::Tiny.generate(seed);
+    let (shared, reindexer) = Reindexer::start(qrank::QRankConfig::default(), corpus, |_| {});
+    let metrics = Arc::new(Metrics::new());
+    let config =
+        ServeConfig { workers: 2, read_timeout: Duration::from_millis(500), ..Default::default() };
+    let server = serve(shared, metrics, &config).expect("bind");
+    (reindexer, server)
+}
+
+#[test]
+fn every_ticket_becomes_one_completed_request() {
+    let (reindexer, server) = start(61);
+    let config = LoadConfig {
+        addr: server.addr(),
+        connections: 3,
+        requests: 240,
+        seed: 9,
+        keep_alive: true,
+        targets: vec!["/top?k=5".into(), "/health".into(), "/top?k=12&year_min=2005".into()],
+        accept: StatusRanges::ok(),
+    };
+    let report = run(&config).expect("run");
+    assert_eq!(report.completed, 240);
+    assert_eq!(report.violations, 0, "statuses: {:?}", report.violation_samples);
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.hist.count(), 240);
+    assert!(report.throughput_rps() > 0.0);
+    // Keep-alive holds on Linux (epoll backend): three workers, three
+    // connects. The blocking backend closes per request instead.
+    if server.backend() == scholar_serve::Backend::Epoll {
+        assert_eq!(report.connects, 3, "keep-alive failed to hold connections open");
+    } else {
+        assert_eq!(report.connects, 240);
+    }
+    drop(server);
+    reindexer.shutdown();
+}
+
+#[test]
+fn no_keep_alive_pays_one_connect_per_request() {
+    let (reindexer, server) = start(62);
+    let config = LoadConfig {
+        addr: server.addr(),
+        connections: 2,
+        requests: 40,
+        keep_alive: false,
+        ..Default::default()
+    };
+    let report = run(&config).expect("run");
+    assert_eq!(report.completed, 40);
+    assert_eq!(report.connects, 40);
+    assert_eq!(report.transport_errors, 0);
+    drop(server);
+    reindexer.shutdown();
+}
+
+#[test]
+fn status_violations_are_counted_not_panicked() {
+    let (reindexer, server) = start(63);
+    let config = LoadConfig {
+        addr: server.addr(),
+        connections: 2,
+        requests: 30,
+        // /nope is a 404 and 404 is not accepted here, so every request
+        // to it must show up as a violation with its status sampled.
+        targets: vec!["/health".into(), "/nope".into()],
+        accept: StatusRanges::ok(),
+        ..Default::default()
+    };
+    let report = run(&config).expect("run");
+    assert_eq!(report.completed, 30, "violations must still complete");
+    assert!(report.violations > 0, "the 404s went unnoticed");
+    assert!(report.violation_samples.iter().all(|&s| s == 404));
+    // And widening the accepted set makes the same traffic clean.
+    let lenient = LoadConfig { accept: StatusRanges::ok_or_not_found(), ..config };
+    assert_eq!(run(&lenient).expect("run").violations, 0);
+    drop(server);
+    reindexer.shutdown();
+}

@@ -1,8 +1,19 @@
 //! A deliberately small HTTP/1.1 layer over `std::net`: enough to parse
-//! one `GET` request defensively and write one `Connection: close`
-//! response. No external dependencies, no keep-alive, no chunked bodies —
-//! the serving API is read-only and every response is a single JSON
-//! document, so the simplest correct subset of the protocol wins.
+//! `GET` requests defensively and write JSON responses. No external
+//! dependencies, no chunked bodies — the serving API is read-only and
+//! every response is a single JSON document, so the simplest correct
+//! subset of the protocol wins.
+//!
+//! Two parsing front ends share one grammar:
+//! - [`read_request`] pulls one head off a blocking stream (the
+//!   thread-per-connection fallback path, always `Connection: close`);
+//! - [`try_parse_head`] parses a head out of an in-memory byte buffer
+//!   incrementally (the nonblocking event loop), reporting `NeedMore`
+//!   until the terminator arrives, and honouring an explicit
+//!   `Connection: keep-alive` request header. Keep-alive is opt-in
+//!   rather than the HTTP/1.1 default so legacy clients that read to
+//!   EOF (every test and bench client predating the event loop) keep
+//!   working unchanged.
 //!
 //! Defensive posture (each mapped to a distinct status):
 //! - request line longer than [`MAX_REQUEST_LINE`] → `414`
@@ -11,6 +22,11 @@
 //! - socket read timeout (slowloris: bytes trickling in forever) → `408`
 //! - any method but `GET` → `405`
 //! - malformed query values (`k=banana`) → `400`, reported per-parameter
+//!
+//! The response-rendering half is allocation-disciplined: head and error
+//! rendering append into caller-owned arenas ([`write_response_head`],
+//! [`write_error_response`]) instead of `format!`-ing fresh `String`s,
+//! so the event loop's steady state does not touch the allocator.
 
 use std::io::{ErrorKind, Read};
 
@@ -137,6 +153,112 @@ fn find_terminator(head: &[u8]) -> Option<usize> {
         .or_else(|| head.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
 }
 
+/// One request head parsed out of a connection's read buffer by
+/// [`try_parse_head`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedHead {
+    /// The parsed request (path + decoded query), same shape the
+    /// blocking path produces.
+    pub req: Request,
+    /// Bytes consumed from the buffer, through the head terminator.
+    /// The event loop drains `consumed` bytes and re-parses whatever
+    /// remains — the remainder is the next pipelined request.
+    pub consumed: usize,
+    /// The client sent an explicit `Connection: keep-alive`. Absent the
+    /// header (or on `Connection: close`) the connection closes after
+    /// the response, regardless of HTTP version — see the module docs
+    /// for why keep-alive is opt-in here.
+    pub keep_alive: bool,
+    /// Byte range of the raw (undecoded) request target within the
+    /// buffer. Used as a response-cache key: comparing raw bytes is
+    /// exact (two targets with the same raw bytes decode identically)
+    /// and costs no allocation.
+    pub target: core::ops::Range<usize>,
+}
+
+/// Incrementally parse one request head out of `buf`.
+///
+/// Returns `Ok(None)` when the terminator has not arrived yet (the
+/// caller should read more bytes and retry with the grown buffer) —
+/// but still enforces [`MAX_REQUEST_LINE`] / [`MAX_HEAD`] on the
+/// partial data, so a connection trickling an unbounded head is
+/// rejected as soon as it crosses a limit, not when it finishes.
+pub fn try_parse_head(buf: &[u8]) -> Result<Option<ParsedHead>, HttpError> {
+    let Some(consumed) = find_terminator(buf) else {
+        // Same early-limit discipline as the blocking reader: if the
+        // request line is already over budget there is no point
+        // buffering the rest.
+        if !buf.contains(&b'\n') && buf.len() > MAX_REQUEST_LINE {
+            return Err(HttpError::RequestLineTooLong);
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::Malformed(format!("request head exceeds {MAX_HEAD} bytes")));
+        }
+        return Ok(None);
+    };
+    if consumed > MAX_HEAD {
+        return Err(HttpError::Malformed(format!("request head exceeds {MAX_HEAD} bytes")));
+    }
+    let head = buf.get(..consumed).unwrap_or_default();
+    let Some(line_end) = head.iter().position(|&b| b == b'\n') else {
+        return Err(HttpError::Malformed("request head has no request line".into()));
+    };
+    if line_end > MAX_REQUEST_LINE {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let line_bytes = head.get(..line_end).unwrap_or_default();
+    let line = String::from_utf8_lossy(line_bytes);
+    let req = parse_request_line(line.trim_end_matches(['\r', '\n']))?;
+    let target = target_range(line_bytes);
+    let keep_alive = wants_keep_alive(head.get(line_end + 1..).unwrap_or_default());
+    Ok(Some(ParsedHead { req, consumed, keep_alive, target }))
+}
+
+/// Byte range of the second whitespace-delimited token of `line` — the
+/// request target. Empty on a degenerate line; the caller only uses the
+/// range as a cache key, so an empty key merely misses the cache.
+fn target_range(line: &[u8]) -> core::ops::Range<usize> {
+    let is_ws = |b: u8| b == b' ' || b == b'\t';
+    let mut i = 0;
+    while line.get(i).is_some_and(|&b| !is_ws(b)) {
+        i += 1; // skip the method token
+    }
+    while line.get(i).is_some_and(|&b| is_ws(b)) {
+        i += 1;
+    }
+    let start = i;
+    while line.get(i).is_some_and(|&b| !is_ws(b) && b != b'\r') {
+        i += 1;
+    }
+    start..i
+}
+
+/// Whether the header block carries an explicit `Connection: keep-alive`.
+///
+/// The Connection header value is a comma-separated option list; an
+/// explicit `close` anywhere in it wins over `keep-alive`.
+fn wants_keep_alive(headers: &[u8]) -> bool {
+    for raw in headers.split(|&b| b == b'\n') {
+        let line = String::from_utf8_lossy(raw);
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if !name.trim().eq_ignore_ascii_case("connection") {
+            continue;
+        }
+        let mut keep = false;
+        for opt in value.split(',') {
+            let opt = opt.trim();
+            if opt.eq_ignore_ascii_case("close") {
+                return false;
+            }
+            if opt.eq_ignore_ascii_case("keep-alive") {
+                keep = true;
+            }
+        }
+        return keep;
+    }
+    false
+}
+
 fn parse_request_line(line: &str) -> Result<Request, HttpError> {
     let mut parts = line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
@@ -222,18 +344,101 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Append the decimal rendering of `v` to `out` without allocating.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut n = 0;
+    loop {
+        // lint: allow(HOTPATH-PANIC) n < 20: a u64 has at most 20 decimal digits
+        tmp[n] = b'0' + (v % 10) as u8;
+        n += 1;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend(tmp.iter().take(n).rev());
+}
+
+/// Append one complete HTTP/1.1 response head (status line + headers +
+/// blank line) to `out` without allocating. The caller appends exactly
+/// `content_length` body bytes after it.
+pub fn write_response_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_length: usize,
+    keep_alive: bool,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    write_u64(out, u64::from(status));
+    out.push(b' ');
+    out.extend_from_slice(reason(status).as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: application/json\r\nContent-Length: ");
+    write_u64(out, content_length as u64);
+    out.extend_from_slice(if keep_alive {
+        b"\r\nConnection: keep-alive\r\n\r\n".as_slice()
+    } else {
+        b"\r\nConnection: close\r\n\r\n".as_slice()
+    });
+}
+
+fn hex_digit(v: u8) -> u8 {
+    match v {
+        0..=9 => b'0' + v,
+        _ => b'a' + (v - 10),
+    }
+}
+
+/// Append `s` JSON-string-escaped (no surrounding quotes) to `out`.
+/// Mirrors the escaping `sjson` applies, so bodies assembled byte-wise
+/// parse identically to builder-produced ones.
+pub fn write_json_escaped(out: &mut Vec<u8>, s: &str) {
+    for &b in s.as_bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            0x00..=0x1f => {
+                out.extend_from_slice(b"\\u00");
+                out.push(hex_digit(b >> 4));
+                out.push(hex_digit(b & 0xf));
+            }
+            _ => out.push(b),
+        }
+    }
+}
+
+/// Append one complete error response (head + JSON body matching
+/// [`error_body`]'s shape) to `out` without allocating. `scratch` is a
+/// caller-owned arena the body is staged in so its length is known
+/// before the head is written; it is cleared first.
+pub fn write_error_response(
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    status: u16,
+    message: &str,
+    keep_alive: bool,
+) {
+    scratch.clear();
+    scratch.extend_from_slice(b"{\"error\":\"");
+    write_json_escaped(scratch, reason(status));
+    scratch.extend_from_slice(b"\",\"status\":");
+    write_u64(scratch, u64::from(status));
+    scratch.extend_from_slice(b",\"message\":\"");
+    write_json_escaped(scratch, message);
+    scratch.extend_from_slice(b"\"}");
+    write_response_head(out, status, scratch.len(), keep_alive);
+    out.extend_from_slice(scratch);
+}
+
 /// Serialize one complete `Connection: close` HTTP/1.1 response with a
 /// JSON body.
 pub fn response_bytes(status: u16, body: &sjson::Value) -> Vec<u8> {
     let body = body.to_string_compact();
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        status,
-        reason(status),
-        body.len()
-    );
-    let mut out = Vec::with_capacity(head.len() + body.len());
-    out.extend_from_slice(head.as_bytes());
+    let mut out = Vec::with_capacity(body.len() + 96);
+    write_response_head(&mut out, status, body.len(), false);
     out.extend_from_slice(body.as_bytes());
     out
 }
@@ -356,5 +561,105 @@ mod tests {
         assert_eq!(v.get("status").unwrap().as_i64(), Some(404));
         assert_eq!(v.get("error").unwrap().as_str(), Some("Not Found"));
         assert_eq!(v.get("message").unwrap().as_str(), Some("no such article"));
+    }
+
+    #[test]
+    fn try_parse_needs_more_until_terminator_arrives() {
+        let full = b"GET /top?k=3 HTTP/1.1\r\nHost: x\r\n\r\n";
+        // Every strict prefix is NeedMore; the full head parses.
+        for cut in 0..full.len() - 1 {
+            assert_eq!(try_parse_head(&full[..cut]).unwrap(), None, "cut={cut}");
+        }
+        let h = try_parse_head(full).unwrap().unwrap();
+        assert_eq!(h.req.path, "/top");
+        assert_eq!(h.req.param("k"), Some("3"));
+        assert_eq!(h.consumed, full.len());
+        assert!(!h.keep_alive);
+        assert_eq!(&full[h.target.clone()], b"/top?k=3");
+    }
+
+    #[test]
+    fn try_parse_consumed_splits_pipelined_requests() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /top?k=1 HTTP/1.1\r\n\r\n".to_vec();
+        let first = try_parse_head(&raw).unwrap().unwrap();
+        assert_eq!(first.req.path, "/health");
+        let rest = &raw[first.consumed..];
+        let second = try_parse_head(rest).unwrap().unwrap();
+        assert_eq!(second.req.path, "/top");
+        assert_eq!(second.consumed, rest.len());
+        assert_eq!(&rest[second.target.clone()], b"/top?k=1");
+    }
+
+    #[test]
+    fn keep_alive_is_explicit_opt_in() {
+        let parse_ka = |head: &str| try_parse_head(head.as_bytes()).unwrap().unwrap().keep_alive;
+        // No Connection header → close, even on HTTP/1.1.
+        assert!(!parse_ka("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(parse_ka("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"));
+        // Case-insensitive name and value.
+        assert!(parse_ka("GET / HTTP/1.1\r\nCONNECTION: Keep-Alive\r\n\r\n"));
+        assert!(!parse_ka("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        // close anywhere in the option list wins.
+        assert!(!parse_ka("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"));
+        assert!(parse_ka("GET / HTTP/1.1\r\nConnection: foo, keep-alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn try_parse_enforces_limits_on_partial_heads() {
+        // Oversized request line with no newline yet → 414 immediately.
+        let long = format!("GET /{}", "x".repeat(MAX_REQUEST_LINE));
+        assert_eq!(try_parse_head(long.as_bytes()), Err(HttpError::RequestLineTooLong));
+        // Oversized head (newline present, no terminator) → 400.
+        let fat = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n", "y".repeat(MAX_HEAD));
+        assert_eq!(try_parse_head(fat.as_bytes()).unwrap_err().status(), 400);
+        // Errors propagate from the shared request-line grammar too.
+        assert_eq!(
+            try_parse_head(b"POST / HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::MethodNotAllowed("POST".to_string())
+        );
+    }
+
+    #[test]
+    fn write_u64_renders_decimal() {
+        for v in [0u64, 1, 9, 10, 204, 65535, u64::MAX] {
+            let mut out = Vec::new();
+            write_u64(&mut out, v);
+            assert_eq!(String::from_utf8(out).unwrap(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn written_head_matches_format_rendering() {
+        for (status, len, ka) in [(200u16, 0usize, false), (404, 123, true), (500, 9999, false)] {
+            let mut out = Vec::new();
+            write_response_head(&mut out, status, len, ka);
+            let conn = if ka { "keep-alive" } else { "close" };
+            let expect = format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                status,
+                reason(status),
+                len,
+                conn
+            );
+            assert_eq!(String::from_utf8(out).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn written_error_response_parses_and_escapes() {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let nasty = "quote \" slash \\ newline \n ctl \u{1}";
+        write_error_response(&mut out, &mut scratch, 400, nasty, true);
+        let text = String::from_utf8(out).unwrap();
+        let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(head.contains("Connection: keep-alive"));
+        assert!(head.contains(&format!("Content-Length: {}", payload.len())));
+        let v = sjson::parse(payload).unwrap();
+        assert_eq!(v.get("status").unwrap().as_i64(), Some(400));
+        assert_eq!(v.get("message").unwrap().as_str(), Some(nasty));
+        // Matches the builder-rendered body byte for byte.
+        assert_eq!(payload, error_body(400, nasty).to_string_compact());
     }
 }

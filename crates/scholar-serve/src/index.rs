@@ -97,6 +97,15 @@ pub struct ScoreIndex {
     venue_ids: HashMap<String, u32>,
     /// Author name -> dense id.
     author_ids: HashMap<String, u32>,
+    /// Pre-rendered JSON hit objects, concatenated in article-id order.
+    /// Every field of a hit (rank, id, score, title, year, venue) is
+    /// fixed once the index is built, so the event loop's response path
+    /// can memcpy [`Self::hit_fragment`] slices instead of re-serializing
+    /// per request.
+    frag_bytes: Vec<u8>,
+    /// `frag_bounds[a]..frag_bounds[a + 1]` bounds article `a`'s
+    /// fragment in `frag_bytes` (`n + 1` entries).
+    frag_bounds: Vec<usize>,
     /// Monotonic publish generation, stamped by the swap layer.
     generation: u64,
 }
@@ -139,6 +148,30 @@ impl ScoreIndex {
         let author_ids =
             corpus.authors().iter().map(|u| (u.name.clone(), u.id.0)).collect::<HashMap<_, _>>();
 
+        // Pre-render every hit object once. Rendering goes through the
+        // same sjson builder as the request-time JSON paths, so a
+        // fragment is byte-identical to what per-request serialization
+        // would have produced.
+        let mut frag_bytes = Vec::new();
+        let mut frag_bounds = Vec::with_capacity(n + 1);
+        frag_bounds.push(0);
+        for a in 0..n as u32 {
+            // lint: allow(HOTPATH-PANIC) build-time loop over 0..n: articles/rank_of/scores all have length n
+            let art = &corpus.articles()[a as usize];
+            let obj = sjson::ObjectBuilder::new()
+                // lint: allow(HOTPATH-PANIC) same 0..n bound as above
+                .field("rank", rank_of[a as usize] as i64 + 1)
+                .field("id", a as i64)
+                // lint: allow(HOTPATH-PANIC) same 0..n bound as above
+                .field("score", scores[a as usize])
+                .field("title", art.title.as_str())
+                .field("year", art.year)
+                .field("venue", corpus.venue(art.venue).name.as_str())
+                .build();
+            frag_bytes.extend_from_slice(obj.to_string_compact().as_bytes());
+            frag_bounds.push(frag_bytes.len());
+        }
+
         ScoreIndex {
             corpus,
             scores,
@@ -149,6 +182,8 @@ impl ScoreIndex {
             by_year,
             venue_ids,
             author_ids,
+            frag_bytes,
+            frag_bounds,
             generation: 0,
         }
     }
@@ -227,8 +262,21 @@ impl ScoreIndex {
     /// [`scholar_rank::scores::top_k`] would return on the filtered
     /// subset, without re-sorting anything at query time.
     pub fn top(&self, q: &TopQuery) -> Vec<Hit> {
+        let mut ids = Vec::new();
+        self.top_ids_into(q, &mut ids);
+        ids.into_iter().map(|a| self.hit(a)).collect()
+    }
+
+    /// Answer a top-k query into a caller-owned scratch vector of dense
+    /// article ids, cleared first. Same answer and order as [`Self::top`],
+    /// but once the scratch's capacity has warmed up, unfiltered and
+    /// entity-filtered queries allocate nothing (year-range merges still
+    /// build their heap). This plus [`Self::hit_fragment`] is the event
+    /// loop's zero-alloc response path.
+    pub fn top_ids_into(&self, q: &TopQuery, out: &mut Vec<u32>) {
+        out.clear();
         if q.k == 0 {
-            return Vec::new();
+            return;
         }
         match (q.venue, q.author) {
             // Entity filter(s): scan the smaller posting list, check the
@@ -238,25 +286,39 @@ impl ScoreIndex {
                 let vl = self.by_venue.get(v as usize).map(Vec::as_slice).unwrap_or(&[]);
                 let ul = self.by_author.get(u as usize).map(Vec::as_slice).unwrap_or(&[]);
                 if vl.len() <= ul.len() {
-                    self.scan(vl, q, |a| self.on_byline(a, u))
+                    self.scan_into(vl, q, |a| self.on_byline(a, u), out)
                 } else {
-                    self.scan(ul, q, |a| self.art(a).venue.0 == v)
+                    self.scan_into(ul, q, |a| self.art(a).venue.0 == v, out)
                 }
             }
             (Some(v), None) => {
                 let vl = self.by_venue.get(v as usize).map(Vec::as_slice).unwrap_or(&[]);
-                self.scan(vl, q, |_| true)
+                self.scan_into(vl, q, |_| true, out)
             }
             (None, Some(u)) => {
                 let ul = self.by_author.get(u as usize).map(Vec::as_slice).unwrap_or(&[]);
-                self.scan(ul, q, |_| true)
+                self.scan_into(ul, q, |_| true, out)
             }
             // Year range only: k-way merge of the per-year lists in
             // range; each is score-ordered, so a heap of list heads
             // yields the global filtered order.
-            (None, None) if q.year_min.is_some() || q.year_max.is_some() => self.merge_years(q),
+            (None, None) if q.year_min.is_some() || q.year_max.is_some() => {
+                self.merge_years_into(q, out)
+            }
             // Unfiltered: the first k of the published order.
-            (None, None) => self.order.iter().take(q.k).map(|&a| self.hit(a)).collect(),
+            (None, None) => out.extend(self.order.iter().take(q.k)),
+        }
+    }
+
+    /// The pre-rendered JSON hit object for article `a` (empty slice for
+    /// an id outside the corpus — callers treat that as the same broken
+    /// index condition as a failed per-request render).
+    #[inline]
+    pub fn hit_fragment(&self, a: u32) -> &[u8] {
+        let i = a as usize;
+        match (self.frag_bounds.get(i), self.frag_bounds.get(i + 1)) {
+            (Some(&start), Some(&end)) => self.frag_bytes.get(start..end).unwrap_or_default(),
+            _ => &[],
         }
     }
 
@@ -265,20 +327,24 @@ impl ScoreIndex {
         self.art(a).authors.iter().any(|x| x.0 == u)
     }
 
-    fn scan(&self, list: &[u32], q: &TopQuery, extra: impl Fn(u32) -> bool) -> Vec<Hit> {
-        let mut out = Vec::with_capacity(q.k.min(list.len()));
+    fn scan_into(
+        &self,
+        list: &[u32],
+        q: &TopQuery,
+        extra: impl Fn(u32) -> bool,
+        out: &mut Vec<u32>,
+    ) {
         for &a in list {
             if self.year_ok(a, q) && extra(a) {
-                out.push(self.hit(a));
+                out.push(a);
                 if out.len() == q.k {
                     break;
                 }
             }
         }
-        out
     }
 
-    fn merge_years(&self, q: &TopQuery) -> Vec<Hit> {
+    fn merge_years_into(&self, q: &TopQuery, out: &mut Vec<u32>) {
         // Heads of every in-range year list, keyed so the heap pops the
         // best-ranked article first: BinaryHeap is a max-heap, and
         // `Reverse(rank)` orders by published rank, which already encodes
@@ -289,7 +355,7 @@ impl ScoreIndex {
         // An inverted range (`year_min > year_max`) yields lo > hi, which
         // would panic as a slice bound — it just matches nothing.
         if lo >= hi {
-            return Vec::new();
+            return;
         }
         // lint: allow(HOTPATH-PANIC) lo < hi <= by_year.len(): both are partition_point results and the inverted case returned above
         let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = self.by_year[lo..hi]
@@ -299,12 +365,11 @@ impl ScoreIndex {
             // lint: allow(HOTPATH-PANIC) list[0] exists (empty lists filtered out above); rank_of is length n and lists hold dense ids
             .map(|(li, (_, list))| Reverse((self.rank_of[list[0] as usize], li + lo, 0)))
             .collect();
-        let mut out = Vec::with_capacity(q.k);
         while let Some(Reverse((_, li, pos))) = heap.pop() {
             // lint: allow(HOTPATH-PANIC) heap entries carry li < by_year.len() and pos < list.len() — see the pushes below
             let list = &self.by_year[li].1;
             // lint: allow(HOTPATH-PANIC) pos was bounds-checked before the entry was pushed
-            out.push(self.hit(list[pos]));
+            out.push(list[pos]);
             if out.len() == q.k {
                 break;
             }
@@ -313,7 +378,6 @@ impl ScoreIndex {
                 heap.push(Reverse((self.rank_of[list[pos + 1] as usize], li, pos + 1)));
             }
         }
-        out
     }
 
     /// The `explain`-style lookup: rank, score, percentile, and the
@@ -489,6 +553,50 @@ mod tests {
         assert_eq!(d.neighbors[2].id, mid);
         // Out of range id.
         assert!(index.detail(ArticleId(n as u32 + 7), 2).is_none());
+    }
+
+    #[test]
+    fn top_ids_into_matches_top_and_reuses_scratch() {
+        let (corpus, index) = indexed(16);
+        let (y0, y1) = corpus.year_range().unwrap();
+        let queries = [
+            TopQuery { k: 10, ..Default::default() },
+            TopQuery { k: 5, venue: Some(0), ..Default::default() },
+            TopQuery { k: 5, author: Some(1), ..Default::default() },
+            TopQuery { k: 8, year_min: Some(y0 + 1), year_max: Some(y1 - 1), ..Default::default() },
+            TopQuery { k: 0, ..Default::default() },
+        ];
+        let mut scratch = Vec::new();
+        for q in &queries {
+            index.top_ids_into(q, &mut scratch);
+            let via_top: Vec<u32> = index.top(q).iter().map(|h| h.id.0).collect();
+            assert_eq!(scratch, via_top, "query {q:?}");
+        }
+        // The scratch is cleared per call, not appended to.
+        index.top_ids_into(&TopQuery { k: 3, ..Default::default() }, &mut scratch);
+        assert_eq!(scratch.len(), 3.min(corpus.num_articles()));
+    }
+
+    #[test]
+    fn hit_fragments_match_per_request_rendering() {
+        let (corpus, index) = indexed(17);
+        for a in 0..corpus.num_articles() as u32 {
+            let frag = index.hit_fragment(a);
+            let v = sjson::parse(std::str::from_utf8(frag).unwrap()).unwrap();
+            let h = index.detail(ArticleId(a), 0).unwrap();
+            let art = &corpus.articles()[a as usize];
+            assert_eq!(v.get("rank").unwrap().as_i64(), Some(h.rank as i64));
+            assert_eq!(v.get("id").unwrap().as_i64(), Some(a as i64));
+            assert_eq!(v.get("score").unwrap().as_f64(), Some(h.score));
+            assert_eq!(v.get("title").unwrap().as_str(), Some(art.title.as_str()));
+            assert_eq!(v.get("year").unwrap().as_i64(), Some(art.year as i64));
+            assert_eq!(
+                v.get("venue").unwrap().as_str(),
+                Some(corpus.venue(art.venue).name.as_str())
+            );
+        }
+        // Out-of-corpus ids yield the empty fragment, never a panic.
+        assert!(index.hit_fragment(corpus.num_articles() as u32 + 9).is_empty());
     }
 
     #[test]

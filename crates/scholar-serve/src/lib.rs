@@ -63,13 +63,17 @@ macro_rules! failpoint {
     ($site:literal, $on_trigger:expr) => {};
 }
 
+#[cfg(target_os = "linux")]
+mod epoll;
 pub mod http;
 pub mod index;
 pub mod metrics;
 pub mod server;
 pub mod swap;
+#[cfg(target_os = "linux")]
+pub(crate) mod sys;
 
 pub use index::{ArticleDetail, Hit, ScoreIndex, TopQuery};
 pub use metrics::Metrics;
-pub use server::{respond, serve, ServeConfig, ServerHandle};
+pub use server::{respond, serve, Backend, ServeConfig, ServerHandle};
 pub use swap::{Reindexer, SharedIndex};

@@ -7,9 +7,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Histogram bucket upper bounds in microseconds, log-spaced. The last
-/// bucket is open-ended.
-pub const LATENCY_BUCKETS_US: [u64; 12] =
-    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 500_000, 2_000_000];
+/// bucket is open-ended. The sub-100µs region is deliberately fine
+/// (5/10/25/50/75µs): the event-loop serve path answers cached requests
+/// in single-digit microseconds, and a histogram whose first bucket is
+/// 50µs cannot distinguish a 4µs cache hit from a 40µs full render.
+pub const LATENCY_BUCKETS_US: [u64; 16] = [
+    5, 10, 25, 50, 75, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 500_000,
+    2_000_000,
+];
 
 /// Per-endpoint request counters.
 #[derive(Debug, Default)]
@@ -44,6 +49,16 @@ pub struct Metrics {
     pub panics: AtomicU64,
     /// Requests currently being parsed or answered.
     pub in_flight: AtomicU64,
+    /// Open client connections (accepted and not yet closed). The
+    /// blocking backend's connections are one-request-per-connection, so
+    /// there it tracks `in_flight` closely; under the event loop it
+    /// counts keep-alive sessions.
+    pub connections_active: AtomicU64,
+    /// Requests served on an already-used keep-alive connection (the
+    /// second and later request of each session). The ratio
+    /// `keepalive_reuses / requests` is the fraction of requests that
+    /// skipped a TCP handshake.
+    pub keepalive_reuses: AtomicU64,
     /// Index swaps observed by the serving layer.
     pub index_swaps: AtomicU64,
     /// Per-endpoint counters.
@@ -98,6 +113,23 @@ impl Metrics {
     /// Record a connection shed with `503` before it reached a worker.
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a client connection opening (accepted into the serving
+    /// layer, past any shed decision).
+    pub fn record_conn_open(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a client connection closing, for any reason.
+    pub fn record_conn_close(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a request arriving on an already-used keep-alive
+    /// connection.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a panic caught by a worker while handling a request.
@@ -157,6 +189,8 @@ impl Metrics {
             .field("shed", self.shed.load(Ordering::Relaxed) as i64)
             .field("panics", self.panics.load(Ordering::Relaxed) as i64)
             .field("in_flight", self.in_flight.load(Ordering::Relaxed) as i64)
+            .field("connections_active", self.connections_active.load(Ordering::Relaxed) as i64)
+            .field("keepalive_reuses", self.keepalive_reuses.load(Ordering::Relaxed) as i64)
             .field("index_swaps", self.index_swaps.load(Ordering::Relaxed) as i64)
             .field(
                 "endpoints",
@@ -228,6 +262,35 @@ mod tests {
         assert_eq!(hist.len(), LATENCY_BUCKETS_US.len() + 1);
         // The open-ended bucket labels itself "inf".
         assert_eq!(hist.last().unwrap().get("le_us").and_then(|x| x.as_str()), Some("inf"));
+    }
+
+    #[test]
+    fn sub_100us_latencies_resolve_to_fine_buckets() {
+        // The event-loop regime: cached responses land in single-digit
+        // microseconds and must not all pile into one coarse bucket.
+        let m = Metrics::new();
+        m.record(200, Duration::from_micros(3));
+        m.record(200, Duration::from_micros(8));
+        m.record(200, Duration::from_micros(20));
+        m.record(200, Duration::from_micros(60));
+        assert_eq!(m.latency_quantile_us(0.25), 5);
+        assert_eq!(m.latency_quantile_us(0.50), 10);
+        assert_eq!(m.latency_quantile_us(0.75), 25);
+        assert_eq!(m.latency_quantile_us(1.00), 75);
+    }
+
+    #[test]
+    fn connection_and_keepalive_counters() {
+        let m = Metrics::new();
+        m.record_conn_open();
+        m.record_conn_open();
+        m.record_keepalive_reuse();
+        m.record_conn_close();
+        assert_eq!(m.connections_active.load(Ordering::Relaxed), 1);
+        assert_eq!(m.keepalive_reuses.load(Ordering::Relaxed), 1);
+        let v = m.to_json();
+        assert_eq!(v.get("connections_active").and_then(|x| x.as_i64()), Some(1));
+        assert_eq!(v.get("keepalive_reuses").and_then(|x| x.as_i64()), Some(1));
     }
 
     #[test]

@@ -28,19 +28,62 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which serving backend to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Pick automatically: the `SCHOLAR_SERVE_BACKEND` env var
+    /// (`"epoll"` / `"blocking"`) if set, else epoll on Linux and the
+    /// blocking pool everywhere else.
+    Auto,
+    /// The nonblocking epoll event loop (Linux only; starting it
+    /// elsewhere is an `Unsupported` error).
+    Epoll,
+    /// The original blocking acceptor + fixed worker pool.
+    Blocking,
+}
+
+impl Backend {
+    /// Resolve `Auto` against the environment and platform.
+    pub fn resolve(self) -> Backend {
+        match self {
+            Backend::Auto => match std::env::var("SCHOLAR_SERVE_BACKEND").as_deref() {
+                Ok("blocking") => Backend::Blocking,
+                Ok("epoll") => Backend::Epoll,
+                _ => {
+                    if cfg!(target_os = "linux") {
+                        Backend::Epoll
+                    } else {
+                        Backend::Blocking
+                    }
+                }
+            },
+            resolved => resolved,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Address to bind, e.g. `127.0.0.1:0` (0 = any free port).
     pub addr: String,
-    /// Worker threads answering requests.
+    /// Worker threads answering requests (blocking backend), or event
+    /// loop shards, each with its own `SO_REUSEPORT` listener (epoll
+    /// backend).
     pub workers: usize,
     /// Accepted connections allowed to wait for a worker before the
-    /// acceptor starts shedding with `503`.
+    /// acceptor starts shedding with `503` (blocking backend only).
     pub queue_depth: usize,
     /// Per-connection read timeout while waiting for the request head;
-    /// a slowloris client is cut off with `408` after this long.
+    /// a slowloris client is cut off with `408` after this long. The
+    /// epoll backend also closes *idle keep-alive* connections after
+    /// this long, silently.
     pub read_timeout: Duration,
+    /// Which backend to run. [`Backend::Auto`] picks epoll on Linux.
+    pub backend: Backend,
+    /// Concurrent connections one epoll shard will hold before shedding
+    /// new ones with `503` (the event-loop analog of `queue_depth`).
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +93,8 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
+            backend: Backend::Auto,
+            max_conns: 1024,
         }
     }
 }
@@ -60,19 +105,63 @@ const DETAIL_NEIGHBORS: usize = 3;
 /// serialized a million times over.
 const MAX_K: usize = 10_000;
 
-/// A running server: owns the worker pool and the acceptor thread.
+/// A running server: owns its serving threads (acceptor + worker pool
+/// for the blocking backend; event-loop shards for epoll).
 pub struct ServerHandle {
     addr: SocketAddr,
+    backend: Backend,
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Start serving `shared` on `config.addr`. Returns once the listener is
-/// bound and every thread is running; bind and thread-spawn failures
-/// surface as the `Err` they are.
+/// Start serving `shared` on `config.addr` with the configured backend.
+/// Returns once the listener is bound and every thread is running; bind
+/// and thread-spawn failures surface as the `Err` they are.
 pub fn serve(
+    shared: Arc<SharedIndex>,
+    metrics: Arc<Metrics>,
+    config: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    match config.backend.resolve() {
+        Backend::Epoll => serve_epoll(shared, metrics, config),
+        _ => serve_blocking(shared, metrics, config),
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn serve_epoll(
+    shared: Arc<SharedIndex>,
+    metrics: Arc<Metrics>,
+    config: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addr, threads) =
+        crate::epoll::start(shared, Arc::clone(&metrics), config, Arc::clone(&stop))?;
+    Ok(ServerHandle {
+        addr,
+        backend: Backend::Epoll,
+        metrics,
+        stop,
+        acceptor: None,
+        workers: threads,
+    })
+}
+
+#[cfg(not(target_os = "linux"))]
+fn serve_epoll(
+    _shared: Arc<SharedIndex>,
+    _metrics: Arc<Metrics>,
+    _config: &ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the epoll backend requires Linux; use Backend::Blocking (or Auto)",
+    ))
+}
+
+fn serve_blocking(
     shared: Arc<SharedIndex>,
     metrics: Arc<Metrics>,
     config: &ServeConfig,
@@ -106,13 +195,26 @@ pub fn serve(
             .spawn(move || accept_loop(listener, tx, stop, metrics))?
     };
 
-    Ok(ServerHandle { addr, metrics, stop, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle {
+        addr,
+        backend: Backend::Blocking,
+        metrics,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
 }
 
 impl ServerHandle {
     /// The bound address (with the real port when `addr` asked for `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Which backend this server is actually running (resolved from the
+    /// config's, which may have been [`Backend::Auto`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The server's metrics registry.
@@ -211,7 +313,7 @@ fn worker_loop(
     }
 }
 
-fn log_panic(stage: &str, cause: &(dyn std::any::Any + Send)) {
+pub(crate) fn log_panic(stage: &str, cause: &(dyn std::any::Any + Send)) {
     let msg = cause
         .downcast_ref::<&str>()
         .copied()
@@ -227,6 +329,7 @@ fn handle_connection(
     read_timeout: Duration,
 ) {
     let _gauge = metrics.begin();
+    metrics.record_conn_open();
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
@@ -241,6 +344,7 @@ fn handle_connection(
         // `500`, so `/metrics` accounting stays exact even under panics
         // (the outer worker_loop catch remains as the last-resort belt).
         Ok(req) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            respond_failpoint();
             respond(&req, &shared.load(), metrics)
         }))
         .unwrap_or_else(|cause| {
@@ -252,14 +356,22 @@ fn handle_connection(
     };
     let _ = stream.write_all(&http::response_bytes(status, &body));
     metrics.record(status, started.elapsed());
+    metrics.record_conn_close();
+}
+
+/// The `serve.respond` chaos site, shared by both backends: a buggy or
+/// slow handler. An injected panic here must come back as a recorded
+/// `500`, never as a lost response or a dead worker/shard. Lives in its
+/// own function so the site has exactly one declaration (FAILPOINT-SYNC)
+/// while the blocking pool and the epoll loop both evaluate it once per
+/// request, inside their per-request panic isolation.
+pub(crate) fn respond_failpoint() {
+    failpoint!("serve.respond");
 }
 
 /// Route one parsed request. Pure: index snapshot in, `(status, body)`
 /// out, which is what makes the endpoints unit-testable without sockets.
 pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Value) {
-    // Chaos site: a buggy/slow handler. An injected panic here must come
-    // back as a recorded 500, never as a lost response or a dead worker.
-    failpoint!("serve.respond");
     let rel = Ordering::Relaxed;
     match req.path.as_str() {
         "/health" => {
@@ -318,7 +430,7 @@ fn broken_index_body() -> Value {
 /// Build a [`TopQuery`] from `/top` parameters, resolving venue/author
 /// names through the index. Every malformed value is a `400` with the
 /// offending parameter named.
-fn parse_top_query(req: &Request, index: &ScoreIndex) -> Result<TopQuery, String> {
+pub(crate) fn parse_top_query(req: &Request, index: &ScoreIndex) -> Result<TopQuery, String> {
     let mut q = TopQuery { k: 10, ..Default::default() };
     if let Some(raw) = req.param("k") {
         q.k = raw

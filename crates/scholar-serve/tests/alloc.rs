@@ -1,0 +1,114 @@
+//! Proof that the serving hot path is allocation-free: a counting
+//! global allocator (test binary only — production builds keep plain
+//! `System`) wraps every render primitive and the full `/top` body
+//! assembly, asserting **zero** heap allocations once buffers are
+//! warm. This is the regression fence for the arena-writer work: a
+//! stray `format!` or `to_string` in `http.rs` or the fragment path
+//! turns the count nonzero and fails here, not in a benchmark three
+//! PRs later.
+
+use scholar_corpus::generator::Preset;
+use scholar_serve::http::{
+    write_error_response, write_json_escaped, write_response_head, write_u64,
+};
+use scholar_serve::{ScoreIndex, TopQuery};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// `System`, plus a per-thread allocation counter. Thread-local so the
+/// test-harness thread's own allocations can't pollute a measurement;
+/// const-initialized so reading it never itself allocates.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter bump has no effect on layout or
+// pointer validity.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations made *by this thread* while running `f`.
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn warm_response_rendering_never_allocates() {
+    // Build everything that legitimately allocates up front.
+    let corpus = Arc::new(Preset::Tiny.generate(51));
+    let n = corpus.num_articles();
+    let scores: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let index = ScoreIndex::build(corpus, scores);
+    let query = TopQuery { k: 25, ..Default::default() };
+
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut scratch: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut ids: Vec<u32> = Vec::with_capacity(256);
+
+    // Warm pass: lets every buffer reach its high-water capacity (and
+    // faults in lazy pieces like the thread-local itself).
+    render_everything(&index, &query, &mut out, &mut scratch, &mut ids);
+
+    // Measured pass: byte-for-byte the same work, zero allocations.
+    let count = allocations(|| {
+        render_everything(&index, &query, &mut out, &mut scratch, &mut ids);
+    });
+    assert_eq!(count, 0, "the warm render path allocated {count} time(s)");
+    assert!(!out.is_empty());
+}
+
+/// Every arena writer plus the full `/top` success body, exactly as the
+/// event loop's fast path assembles it (fragments pre-rendered in the
+/// index, numbers via `write_u64`, head via `write_response_head`).
+fn render_everything(
+    index: &ScoreIndex,
+    query: &TopQuery,
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    ids: &mut Vec<u32>,
+) {
+    out.clear();
+
+    // The /top fast path: scratch body from pre-rendered fragments.
+    index.top_ids_into(query, ids);
+    scratch.clear();
+    scratch.extend_from_slice(b"{\"generation\":");
+    write_u64(scratch, index.generation());
+    scratch.extend_from_slice(b",\"count\":");
+    write_u64(scratch, ids.len() as u64);
+    scratch.extend_from_slice(b",\"results\":[");
+    for (i, &a) in ids.iter().enumerate() {
+        if i > 0 {
+            scratch.push(b',');
+        }
+        scratch.extend_from_slice(index.hit_fragment(a));
+    }
+    scratch.extend_from_slice(b"]}");
+    write_response_head(out, 200, scratch.len(), true);
+    out.extend_from_slice(scratch);
+
+    // Error rendering and escaping, as the loop's 4xx/5xx arms use them.
+    write_error_response(out, scratch, 400, "bad value k=\"banana\"\n", false);
+    write_json_escaped(out, "quote\" slash\\ tab\t ctrl\u{1}");
+    write_u64(out, u64::MAX);
+}

@@ -48,6 +48,8 @@ pub const SITES: &[&str] = &[
     "reindex.publish",
     "serve.accept",
     "serve.handle",
+    "serve.io.read",
+    "serve.io.write",
     "serve.respond",
     "swap.publish",
 ];
