@@ -1,0 +1,131 @@
+//! Out-of-core MAG-scale benchmark: stream-generate a 10M-article
+//! colstore, build the partitioned decayed-citation shard file, and rank
+//! through the mmap backend — proving the whole pipeline fits a fixed
+//! RSS budget that the equivalent in-RAM corpus could never meet.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench outofcore            # full 10M run
+//! cargo bench -p scholar-bench --bench outofcore -- --smoke # ~100k, CI
+//! ```
+//!
+//! The full run asserts `peak RSS < RSS_BUDGET` in-process (VmHWM from
+//! `/proc/self/status`) and writes `BENCH_outofcore.json` at the repo
+//! root. Smoke mode shrinks the corpus to ~100k articles, additionally
+//! cross-checks the mmap scores against the materialized in-RAM path,
+//! and skips the artifact.
+
+use scholar::corpus::colstore::ColStore;
+use scholar::corpus::generator::generate_mag_scale;
+use scholar::rank::RankContext;
+use scholar::{Ranker, TimeWeightedPageRank};
+use scholar_bench::{smoke_mode, SEED};
+use std::time::Instant;
+
+/// Peak-RSS ceiling for the full 10M-article run, asserted in-process.
+/// The budget covers two iterate vectors (160 MB), the recency jump and
+/// year columns, one resident shard of the mmap CSR, and the transient
+/// per-shard build state — while the dense in-RAM pipeline (corpus
+/// structs + a 2×-materialized 80M-edge operator) needs several times
+/// this.
+const RSS_BUDGET_BYTES: u64 = 2 * 1024 * 1024 * 1024;
+
+const FULL_ARTICLES: usize = 10_000_000;
+const SMOKE_ARTICLES: usize = 100_000;
+
+/// Peak resident set size of this process in bytes (`VmHWM`), the
+/// high-water mark the kernel tracked since process start.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    let line = status.lines().find(|l| l.starts_with("VmHWM:")).expect("VmHWM line");
+    let kb: u64 =
+        line.split_whitespace().nth(1).and_then(|v| v.parse().ok()).expect("VmHWM value in kB");
+    kb * 1024
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let articles = if smoke { SMOKE_ARTICLES } else { FULL_ARTICLES };
+    let dir = std::env::temp_dir().join(format!("scholar-outofcore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let started = Instant::now();
+    let stats = generate_mag_scale(&dir, articles, SEED).expect("stream generation");
+    let gen_secs = started.elapsed().as_secs_f64();
+    println!(
+        "generated {} articles, {} citations in {gen_secs:.2} s ({:.2} Marticles/s)",
+        stats.articles,
+        stats.citations,
+        stats.articles as f64 / gen_secs / 1e6
+    );
+
+    let store = ColStore::open(&dir).expect("open colstore");
+    let ctx = RankContext::from_colstore(&store);
+    let ranker = TimeWeightedPageRank::default();
+
+    // First decayed_plan call streams the partitioned CSR shard file to
+    // disk; the solve below reuses it from the context cache.
+    let built = Instant::now();
+    let _ = ctx.decayed_plan(ranker.config.rho);
+    let csr_build_secs = built.elapsed().as_secs_f64();
+    println!(
+        "built partitioned CSR in {csr_build_secs:.2} s ({:.2} Medges/s)",
+        stats.citations as f64 / csr_build_secs / 1e6
+    );
+
+    let solved = Instant::now();
+    let out = ranker.solve_ctx(&ctx);
+    let solve_secs = solved.elapsed().as_secs_f64();
+    assert!(out.telemetry.converged, "mmap TWPR solve must converge");
+    println!(
+        "solved TWPR over mmap shards in {solve_secs:.2} s ({} iterations, {:.2} Medge-gathers/s)",
+        out.telemetry.iterations,
+        stats.citations as f64 * out.telemetry.iterations as f64 / solve_secs / 1e6
+    );
+
+    let peak = peak_rss_bytes();
+    println!(
+        "peak RSS {:.0} MiB (budget {:.0} MiB)",
+        peak as f64 / (1024.0 * 1024.0),
+        RSS_BUDGET_BYTES as f64 / (1024.0 * 1024.0)
+    );
+
+    if smoke {
+        // Cheap enough to materialize: the mmap path must match the
+        // in-RAM path bit-for-bit before the numbers mean anything.
+        let corpus = store.materialize().expect("materialize smoke corpus");
+        let ram = ranker.solve_ctx(&RankContext::new(&corpus));
+        assert_eq!(
+            ram.telemetry.iterations, out.telemetry.iterations,
+            "backends took different iteration counts"
+        );
+        let drift: f64 = ram.scores.iter().zip(&out.scores).map(|(a, b)| (a - b).abs()).sum();
+        assert!(drift <= 1e-12, "mmap scores drifted {drift:.3e} from in-RAM");
+        println!("smoke equivalence: drift {drift:.2e} over {} articles", corpus.num_articles());
+        std::fs::remove_dir_all(&dir).ok();
+        println!("\n(smoke mode: skipped BENCH_outofcore.json and the RSS assertion)");
+        return;
+    }
+
+    assert!(
+        peak < RSS_BUDGET_BYTES,
+        "peak RSS {peak} exceeds the out-of-core budget {RSS_BUDGET_BYTES}"
+    );
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", "mag-scale")
+        .field("seed", SEED)
+        .field("articles", stats.articles)
+        .field("citations", stats.citations)
+        .field("gen_secs", gen_secs)
+        .field("csr_build_secs", csr_build_secs)
+        .field("solve_secs", solve_secs)
+        .field("iterations", out.telemetry.iterations)
+        .field("peak_rss_bytes", peak)
+        .field("rss_budget_bytes", RSS_BUDGET_BYTES)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_outofcore.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nwrote {path}");
+}

@@ -41,11 +41,17 @@ USAGE: scholar <command> [args]
 COMMANDS:
   generate  --preset tiny|aan|dblp|mag [--seed N] --out FILE
             synthesize a corpus and write it as JSON lines
+  generate  --preset mag-scale [--articles N] [--seed N] --out DIR
+            stream a MAG-scale corpus straight into an out-of-core
+            columnar store (default 10M articles; RAM stays bounded)
   stats     CORPUS.jsonl
             print corpus-level statistics
   rank      CORPUS.jsonl [--method qrank|twpr|pagerank|cc|hits|citerank|futurerank|prank]
             [--top N] [--explain] [--json]
             rank every article, print the top N
+  rank      STORE_DIR --store mmap [--method ...] [--top N] [--json]
+            rank an out-of-core columnar store through the mmap backend
+            (bit-identical scores; listing shows ids and years)
   ablate    CORPUS.jsonl [--json]
             run all seven ablation variants over one corpus, sharing
             prepared engines between structurally identical variants

@@ -195,29 +195,42 @@ impl QRankEngine {
     /// the expensive phase; amortize it across solves.
     pub fn build(corpus: &Corpus, config: &QRankConfig) -> Self {
         config.assert_valid();
+        let now =
+            config.twpr.now.or_else(|| corpus.year_range().map(|(_, last)| last)).unwrap_or(0);
         let net = HetNet::build(corpus, config);
-        Self::assemble(corpus, config, net)
+        let jump = TimeWeightedPageRank::recency_jump(corpus, config.twpr.tau, now);
+        let ages: Vec<f64> =
+            corpus.articles().iter().map(|a| (now - a.year).max(0) as f64).collect();
+        Self::assemble(config, net, now, jump, ages)
     }
 
     /// [`QRankEngine::build`] against a prepared [`RankContext`]: the
     /// decayed citation graph and the bipartites come from the context's
     /// caches (see [`HetNet::build_from_ctx`]); the structural walks and
-    /// partitions are still computed here.
+    /// partitions are still computed here. Works on any context backend
+    /// (in-RAM or colstore) — the engine only needs derived structures
+    /// and the year vector, never article strings.
     pub fn build_from_ctx(ctx: &RankContext, config: &QRankConfig) -> Self {
         config.assert_valid();
+        let now = config.twpr.now.or_else(|| ctx.try_now()).unwrap_or(0);
         let net = HetNet::build_from_ctx(ctx, config);
-        Self::assemble(ctx.corpus(), config, net)
+        let jump = ctx.recency_jump(config.twpr.tau, now);
+        let ages = ctx.ages(now);
+        Self::assemble(config, net, now, jump, ages)
     }
 
-    fn assemble(corpus: &Corpus, config: &QRankConfig, net: HetNet) -> Self {
+    fn assemble(
+        config: &QRankConfig,
+        net: HetNet,
+        now: i32,
+        jump: JumpVector,
+        ages: Vec<f64>,
+    ) -> Self {
         let n = net.num_articles();
-        let now =
-            config.twpr.now.or_else(|| corpus.year_range().map(|(_, last)| last)).unwrap_or(0);
 
         let citation_op = RowStochastic::new(&net.citation);
         let venue_op = RowStochastic::new(&net.venue_graph);
         let author_op = RowStochastic::new(&net.author_graph);
-        let jump = TimeWeightedPageRank::recency_jump(corpus, config.twpr.tau, now);
 
         let pr = &config.twpr.pagerank;
         let structural_opts = || PowerIterationOpts {
@@ -232,9 +245,6 @@ impl QRankEngine {
         let mut su = author_op.stationary(&structural_opts()).scores;
         normalize_l1(&mut sv);
         normalize_l1(&mut su);
-
-        let ages: Vec<f64> =
-            corpus.articles().iter().map(|a| (now - a.year).max(0) as f64).collect();
 
         let threads = pr.threads;
         let nv = net.num_venues();

@@ -48,15 +48,14 @@ impl HetNet {
     /// from the article table). The venue/author supernode graphs are
     /// QRank-specific aggregations and are still built here.
     pub fn build_from_ctx(ctx: &RankContext, config: &QRankConfig) -> Self {
-        let corpus = ctx.corpus();
         let rho = config.twpr.rho;
-        let decay = |citing: &scholar_corpus::Article, cited: &scholar_corpus::Article| {
-            TimeWeightedPageRank::edge_weight(rho, (citing.year - cited.year) as f64)
+        let decay = |citing: scholar_corpus::Year, cited: scholar_corpus::Year| {
+            TimeWeightedPageRank::edge_weight(rho, (citing - cited) as f64)
         };
         HetNet {
             citation: ctx.decayed_citation(rho).graph.clone(),
-            venue_graph: corpus.venue_graph(decay),
-            author_graph: corpus.author_graph(decay, config.drop_self_citations),
+            venue_graph: ctx.venue_graph_with(decay),
+            author_graph: ctx.author_graph_with(decay, config.drop_self_citations),
             authorship: ctx.authorship().clone(),
             publication: ctx.publication().clone(),
         }

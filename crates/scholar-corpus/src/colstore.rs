@@ -1,0 +1,750 @@
+//! Binary columnar corpus store for out-of-core ranking.
+//!
+//! The JSONL/AAN/MAG loaders and [`Corpus`](crate::Corpus) itself hold
+//! every article — title strings, byline `Vec`s, reference `Vec`s — in
+//! RAM, which tops out around a few million articles. The colstore is
+//! the out-of-core alternative: a directory of flat column files that a
+//! streaming writer produces one article at a time and that
+//! [`ColStore::open`] serves back through read-only memory maps, so
+//! neither producing nor ranking a 10M+-article corpus ever materializes
+//! it.
+//!
+//! ## Layout (`SCOLv1`, little-endian)
+//!
+//! A store directory holds seven files:
+//!
+//! | file          | payload                                            |
+//! |---------------|----------------------------------------------------|
+//! | `meta.col`    | u64 × 4: num_articles, num_authors, num_venues, num_citations |
+//! | `years.col`   | i32 × n — publication year per article             |
+//! | `venues.col`  | u32 × n — venue id per article                     |
+//! | `authors.idx` | u64 × (n+1) — byte offsets into `authors.dat`      |
+//! | `authors.dat` | per article: varint count, then varint author ids in byline order |
+//! | `refs.idx`    | u64 × (n+1) — byte offsets into `refs.dat`         |
+//! | `refs.dat`    | per article: varint count, then delta-varint cited ids (strictly ascending) |
+//!
+//! Varints are LEB128. Reference lists are stored as deltas between
+//! consecutive ids, which is what makes a MAG-scale citation column a
+//! few bytes per edge.
+//!
+//! Every file ends in a 32-byte footer: magic `SCOLv1\0\0`, `rows: u64`
+//! (= num_articles), `checksum: u64` (FNV-1a 64 of the payload bytes),
+//! and `generation: u64`. The generation is *content-derived* — an
+//! FNV-1a hash of the entity counts and the six data-file checksums —
+//! so identical corpora always stamp identical generations (no clocks),
+//! and derived caches keyed by generation (the mmap CSR shard files) can
+//! detect staleness.
+//!
+//! ## Atomicity
+//!
+//! The writer streams every column to a `*.tmp` sibling, appends
+//! footers once all checksums are known, fsyncs, and only then renames
+//! the files into place — `meta.col` strictly last. Readers require
+//! `meta.col`, so a crash anywhere mid-write leaves either the complete
+//! old store or no visible store at all (all-or-nothing; exercised by
+//! the kill-during-write chaos schedules via the `corpus.colstore.io`
+//! failpoint).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use sgraph::mmap::Mmap;
+
+use crate::model::{Article, ArticleId, Author, AuthorId, Venue, VenueId, Year};
+use crate::{Corpus, CorpusError, Result};
+
+const MAGIC: &[u8; 8] = b"SCOLv1\0\0";
+const FOOTER_BYTES: usize = 32;
+
+/// The column files of a store directory, in footer-hash order.
+const FILES: [&str; 7] =
+    ["years.col", "venues.col", "authors.idx", "authors.dat", "refs.idx", "refs.dat", "meta.col"];
+
+/// FNV-1a 64-bit streaming hasher (the workspace's standard content
+/// hash; dependency-free and stable across platforms).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Append `v` as a LEB128 varint.
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint at `*pos`, advancing it. Returns `None` on
+/// truncated or oversized input.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// A column file being streamed out: buffered writes with a running
+/// payload checksum and length.
+struct HashedFile {
+    w: BufWriter<File>,
+    hash: Fnv,
+    len: u64,
+    path: PathBuf,
+}
+
+impl HashedFile {
+    fn create(path: PathBuf) -> Result<HashedFile> {
+        colstore_io_check()?;
+        let file = File::create(&path)?;
+        Ok(HashedFile { w: BufWriter::new(file), hash: Fnv::new(), len: 0, path })
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        colstore_io_check()?;
+        self.w.write_all(bytes)?;
+        self.hash.update(bytes);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Append the footer, flush, and fsync. Returns the payload checksum.
+    fn seal(&mut self, rows: u64, generation: u64) -> Result<u64> {
+        colstore_io_check()?;
+        let checksum = self.hash.finish();
+        let mut footer = [0u8; FOOTER_BYTES];
+        footer[..8].copy_from_slice(MAGIC);
+        footer[8..16].copy_from_slice(&rows.to_le_bytes());
+        footer[16..24].copy_from_slice(&checksum.to_le_bytes());
+        footer[24..32].copy_from_slice(&generation.to_le_bytes());
+        self.w.write_all(&footer)?;
+        self.w.flush()?;
+        self.w.get_ref().sync_all()?;
+        Ok(checksum)
+    }
+}
+
+/// Chaos site: every write-path I/O step (create, buffered write, seal,
+/// the per-file renames, and the final meta commit) funnels through this
+/// one check, so a `fp::Script` over `corpus.colstore.io` can kill a
+/// store build at any step and the all-or-nothing publish contract is
+/// what the chaos suite exercises.
+fn colstore_io_check() -> Result<()> {
+    failpoint!(
+        "corpus.colstore.io",
+        return Err(CorpusError::Io(std::io::Error::other(
+            "injected I/O fault at corpus.colstore.io",
+        )))
+    );
+    Ok(())
+}
+
+/// Streaming writer for a colstore directory.
+///
+/// Feed articles in ascending id order via [`ColWriter::push`], then
+/// call [`ColWriter::finish`]. Nothing is visible to readers until
+/// `finish` returns `Ok`; a dropped or failed writer leaves only
+/// `*.tmp` debris (cleaned up on drop), never a partial store.
+pub struct ColWriter {
+    dir: PathBuf,
+    files: Vec<HashedFile>,
+    scratch: Vec<u8>,
+    n: u64,
+    citations: u64,
+    finished: bool,
+}
+
+/// Indices into `ColWriter::files` (same order as [`FILES`] minus meta,
+/// which is produced at finish time).
+const F_YEARS: usize = 0;
+const F_VENUES: usize = 1;
+const F_AUTHORS_IDX: usize = 2;
+const F_AUTHORS_DAT: usize = 3;
+const F_REFS_IDX: usize = 4;
+const F_REFS_DAT: usize = 5;
+
+impl ColWriter {
+    /// Start writing a store into `dir` (created if missing).
+    pub fn create(dir: &Path) -> Result<ColWriter> {
+        std::fs::create_dir_all(dir)?;
+        let mut files = Vec::with_capacity(6);
+        for name in &FILES[..6] {
+            files.push(HashedFile::create(dir.join(format!("{name}.tmp")))?);
+        }
+        Ok(ColWriter {
+            dir: dir.to_path_buf(),
+            files,
+            scratch: Vec::new(),
+            n: 0,
+            citations: 0,
+            finished: false,
+        })
+    }
+
+    /// Append one article. `refs` must be strictly ascending and cite
+    /// only already-pushed articles (`<` the current id) — the same
+    /// DAG discipline the generator and [`Corpus`] enforce.
+    pub fn push(&mut self, year: Year, venue: u32, authors: &[u32], refs: &[u32]) -> Result<()> {
+        let id = self.n;
+        for w in refs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(CorpusError::Parse {
+                    line: id as usize + 1,
+                    message: format!("reference list not strictly ascending at article {id}"),
+                });
+            }
+        }
+        if let Some(&last) = refs.last() {
+            if last as u64 >= id {
+                return Err(CorpusError::Parse {
+                    line: id as usize + 1,
+                    message: format!("article {id} cites a not-yet-written article {last}"),
+                });
+            }
+        }
+
+        let (files, scratch) = (&mut self.files, &mut self.scratch);
+        files[F_YEARS].write(&year.to_le_bytes())?;
+        files[F_VENUES].write(&venue.to_le_bytes())?;
+
+        let authors_off = files[F_AUTHORS_DAT].len;
+        files[F_AUTHORS_IDX].write(&authors_off.to_le_bytes())?;
+        scratch.clear();
+        push_varint(scratch, authors.len() as u64);
+        for &a in authors {
+            push_varint(scratch, a as u64);
+        }
+        files[F_AUTHORS_DAT].write(scratch)?;
+
+        let refs_off = files[F_REFS_DAT].len;
+        files[F_REFS_IDX].write(&refs_off.to_le_bytes())?;
+        scratch.clear();
+        push_varint(scratch, refs.len() as u64);
+        let mut prev = 0u64;
+        for (k, &r) in refs.iter().enumerate() {
+            let delta = if k == 0 { r as u64 } else { r as u64 - prev };
+            push_varint(scratch, delta);
+            prev = r as u64;
+        }
+        files[F_REFS_DAT].write(scratch)?;
+
+        self.n += 1;
+        self.citations += refs.len() as u64;
+        Ok(())
+    }
+
+    /// Seal every column, stamp the content-derived generation, and
+    /// atomically publish the store. Returns the generation.
+    pub fn finish(mut self, num_authors: u64, num_venues: u64) -> Result<u64> {
+        // Terminal index entries so every record is offset-delimited.
+        let authors_end = self.files[F_AUTHORS_DAT].len;
+        self.files[F_AUTHORS_IDX].write(&authors_end.to_le_bytes())?;
+        let refs_end = self.files[F_REFS_DAT].len;
+        self.files[F_REFS_IDX].write(&refs_end.to_le_bytes())?;
+
+        // Meta column (written last, renamed last: the commit point).
+        let mut meta = HashedFile::create(self.dir.join("meta.col.tmp"))?;
+        for v in [self.n, num_authors, num_venues, self.citations] {
+            meta.write(&v.to_le_bytes())?;
+        }
+
+        // Generation: FNV over the counts and the data-file checksums,
+        // in FILES order. Content-derived — no clocks (the workspace
+        // determinism rule), so equal corpora stamp equal generations.
+        let mut gen = Fnv::new();
+        for v in [self.n, num_authors, num_venues, self.citations] {
+            gen.update(&v.to_le_bytes());
+        }
+        for f in &self.files {
+            gen.update(&f.hash.finish().to_le_bytes());
+        }
+        let generation = gen.finish();
+
+        for f in &mut self.files {
+            f.seal(self.n, generation)?;
+        }
+        meta.seal(self.n, generation)?;
+
+        // Publish: data files first, meta.col last. A reader needs
+        // meta.col, so until the final rename the store does not exist.
+        for (f, name) in self.files.iter().zip(&FILES[..6]) {
+            colstore_io_check()?;
+            std::fs::rename(&f.path, self.dir.join(name))?;
+        }
+        colstore_io_check()?;
+        std::fs::rename(&meta.path, self.dir.join("meta.col"))?;
+        self.finished = true;
+        Ok(generation)
+    }
+}
+
+impl Drop for ColWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            for name in &FILES {
+                let _ = std::fs::remove_file(self.dir.join(format!("{name}.tmp")));
+            }
+        }
+    }
+}
+
+/// One mapped column file with its validated footer stripped off.
+struct Column {
+    map: Mmap,
+    payload: usize,
+    checksum: u64,
+}
+
+impl Column {
+    fn open(dir: &Path, name: &str, generation: Option<u64>) -> Result<Column> {
+        let path = dir.join(name);
+        failpoint!("corpus.colstore.map", return Err(corrupt(name, "injected map failure")));
+        let map = Mmap::map_file(&path).map_err(CorpusError::Io)?;
+        if map.len() < FOOTER_BYTES {
+            return Err(corrupt(name, "shorter than footer"));
+        }
+        let payload = map.len() - FOOTER_BYTES;
+        let footer = &map.bytes()[payload..];
+        if &footer[..8] != MAGIC {
+            return Err(corrupt(name, "bad magic"));
+        }
+        let checksum = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let file_gen = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        if let Some(want) = generation {
+            if file_gen != want {
+                return Err(corrupt(name, "generation disagrees with meta.col"));
+            }
+        }
+        Ok(Column { map, payload, checksum })
+    }
+
+    fn rows(&self) -> u64 {
+        let footer = &self.map.bytes()[self.payload..];
+        u64::from_le_bytes(footer[8..16].try_into().unwrap())
+    }
+
+    fn generation(&self) -> u64 {
+        let footer = &self.map.bytes()[self.payload..];
+        u64::from_le_bytes(footer[24..32].try_into().unwrap())
+    }
+
+    fn payload_bytes(&self) -> &[u8] {
+        &self.map.bytes()[..self.payload]
+    }
+}
+
+fn corrupt(file: &str, message: &str) -> CorpusError {
+    CorpusError::Corrupt { file: file.to_string(), message: message.to_string() }
+}
+
+/// An opened, mmap-backed columnar corpus.
+///
+/// All accessors are zero-copy over the maps except the varint-coded
+/// byline/reference lists, which decode into a caller-supplied scratch
+/// buffer so a full scan allocates nothing per article.
+pub struct ColStore {
+    dir: PathBuf,
+    n: usize,
+    num_authors: usize,
+    num_venues: usize,
+    num_citations: u64,
+    generation: u64,
+    years: Column,
+    venues: Column,
+    authors_idx: Column,
+    authors_dat: Column,
+    refs_idx: Column,
+    refs_dat: Column,
+}
+
+impl ColStore {
+    /// Open and validate the store in `dir`.
+    ///
+    /// Footers are checked for magic, row counts, and cross-file
+    /// generation agreement; payload sizes are checked against the
+    /// entity counts. Payload *checksums* are not recomputed here (that
+    /// would fault in every page of a MAG-scale store) — run
+    /// [`ColStore::verify`] for the full integrity pass.
+    pub fn open(dir: &Path) -> Result<ColStore> {
+        let meta = Column::open(dir, "meta.col", None)?;
+        if meta.payload != 32 {
+            return Err(corrupt("meta.col", "payload must be exactly four counters"));
+        }
+        let counts = meta.payload_bytes();
+        let at = |i: usize| u64::from_le_bytes(counts[i * 8..i * 8 + 8].try_into().unwrap());
+        let (n64, num_authors, num_venues, num_citations) = (at(0), at(1), at(2), at(3));
+        let generation = meta.generation();
+        let n = usize::try_from(n64).map_err(|_| corrupt("meta.col", "article count overflow"))?;
+
+        let col = |name: &str| Column::open(dir, name, Some(generation));
+        let years = col("years.col")?;
+        let venues = col("venues.col")?;
+        let authors_idx = col("authors.idx")?;
+        let authors_dat = col("authors.dat")?;
+        let refs_idx = col("refs.idx")?;
+        let refs_dat = col("refs.dat")?;
+        for (c, name) in [
+            (&years, "years.col"),
+            (&venues, "venues.col"),
+            (&authors_idx, "authors.idx"),
+            (&authors_dat, "authors.dat"),
+            (&refs_idx, "refs.idx"),
+            (&refs_dat, "refs.dat"),
+        ] {
+            if c.rows() != n64 {
+                return Err(corrupt(name, "row count disagrees with meta.col"));
+            }
+        }
+        if years.payload != n * 4 || venues.payload != n * 4 {
+            return Err(corrupt("years.col", "fixed-width column has wrong size"));
+        }
+        if authors_idx.payload != (n + 1) * 8 || refs_idx.payload != (n + 1) * 8 {
+            return Err(corrupt("authors.idx", "offset column has wrong size"));
+        }
+        let store = ColStore {
+            dir: dir.to_path_buf(),
+            n,
+            num_authors: num_authors as usize,
+            num_venues: num_venues as usize,
+            num_citations,
+            generation,
+            years,
+            venues,
+            authors_idx,
+            authors_dat,
+            refs_idx,
+            refs_dat,
+        };
+        let last = |c: &Column| c.map.as_u64s(n * 8, 1)[0] as usize;
+        if last(&store.authors_idx) != store.authors_dat.payload
+            || last(&store.refs_idx) != store.refs_dat.payload
+        {
+            return Err(corrupt("refs.idx", "terminal offset disagrees with data payload"));
+        }
+        Ok(store)
+    }
+
+    /// Recompute every payload checksum against the footers — the full
+    /// (page-faulting) integrity check skipped by [`ColStore::open`].
+    pub fn verify(&self) -> Result<()> {
+        for (c, name) in [
+            (&self.years, "years.col"),
+            (&self.venues, "venues.col"),
+            (&self.authors_idx, "authors.idx"),
+            (&self.authors_dat, "authors.dat"),
+            (&self.refs_idx, "refs.idx"),
+            (&self.refs_dat, "refs.dat"),
+        ] {
+            let mut h = Fnv::new();
+            h.update(c.payload_bytes());
+            if h.finish() != c.checksum {
+                return Err(corrupt(name, "payload checksum mismatch"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The store directory (derived caches, e.g. mmap CSR shard files,
+    /// live alongside the columns).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of articles.
+    pub fn num_articles(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct authors.
+    pub fn num_authors(&self) -> usize {
+        self.num_authors
+    }
+
+    /// Number of distinct venues.
+    pub fn num_venues(&self) -> usize {
+        self.num_venues
+    }
+
+    /// Total number of citation edges.
+    pub fn num_citations(&self) -> u64 {
+        self.num_citations
+    }
+
+    /// The content-derived generation stamp shared by every column.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// All publication years, zero-copy from the map.
+    pub fn years(&self) -> &[i32] {
+        self.years.map.as_i32s(0, self.n)
+    }
+
+    /// Publication year of article `i`.
+    pub fn year_of(&self, i: usize) -> Year {
+        self.years()[i]
+    }
+
+    /// Venue id of article `i`.
+    pub fn venue_of(&self, i: usize) -> u32 {
+        self.venues.map.as_u32s(0, self.n)[i]
+    }
+
+    /// `(earliest, latest)` publication year, or `None` when empty —
+    /// the same contract as [`Corpus::year_range`].
+    pub fn year_range(&self) -> Option<(Year, Year)> {
+        let years = self.years();
+        let first = *years.first()?;
+        let (mut lo, mut hi) = (first, first);
+        for &y in &years[1..] {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+
+    fn record<'a>(&self, idx: &Column, dat: &'a Column, i: usize) -> &'a [u8] {
+        let offs = idx.map.as_u64s(i * 8, 2);
+        &dat.payload_bytes()[offs[0] as usize..offs[1] as usize]
+    }
+
+    /// Decode article `i`'s byline (author ids, byline order) into `out`.
+    pub fn authors_of(&self, i: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let bytes = self.record(&self.authors_idx, &self.authors_dat, i);
+        let mut pos = 0;
+        let count = read_varint(bytes, &mut pos).expect("corrupt byline record");
+        out.reserve(count as usize);
+        for _ in 0..count {
+            out.push(read_varint(bytes, &mut pos).expect("corrupt byline record") as u32);
+        }
+    }
+
+    /// Decode article `i`'s reference list (strictly ascending cited
+    /// ids) into `out`.
+    pub fn refs_of(&self, i: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let bytes = self.record(&self.refs_idx, &self.refs_dat, i);
+        let mut pos = 0;
+        let count = read_varint(bytes, &mut pos).expect("corrupt reference record");
+        out.reserve(count as usize);
+        let mut prev = 0u64;
+        for k in 0..count {
+            let delta = read_varint(bytes, &mut pos).expect("corrupt reference record");
+            let v = if k == 0 { delta } else { prev + delta };
+            out.push(v as u32);
+            prev = v;
+        }
+    }
+
+    /// Materialize the store as an in-RAM [`Corpus`] with synthetic
+    /// entity names (the columnar format stores structure, not strings,
+    /// and no planted merit). Intended for small stores — tests, chaos
+    /// round-trips, and explain tooling — not for MAG scale.
+    pub fn materialize(&self) -> Result<Corpus> {
+        let mut articles = Vec::with_capacity(self.n);
+        let mut byline = Vec::new();
+        let mut refs = Vec::new();
+        for i in 0..self.n {
+            self.authors_of(i, &mut byline);
+            self.refs_of(i, &mut refs);
+            articles.push(Article {
+                id: ArticleId(i as u32),
+                title: format!("article-{i}"),
+                year: self.year_of(i),
+                venue: VenueId(self.venue_of(i)),
+                authors: byline.iter().map(|&a| AuthorId(a)).collect(),
+                references: refs.iter().map(|&r| ArticleId(r)).collect(),
+                merit: None,
+            });
+        }
+        let authors = (0..self.num_authors)
+            .map(|i| Author { id: AuthorId(i as u32), name: format!("author-{i}") })
+            .collect();
+        let venues = (0..self.num_venues)
+            .map(|i| Venue { id: VenueId(i as u32), name: format!("venue-{i}") })
+            .collect();
+        Ok(Corpus::from_parts(articles, authors, venues))
+    }
+}
+
+impl Corpus {
+    /// Write this corpus out as a columnar store (strings and planted
+    /// merit are not representable and are dropped). Returns the
+    /// store's generation stamp.
+    pub fn write_colstore(&self, dir: &Path) -> Result<u64> {
+        let mut w = ColWriter::create(dir)?;
+        let mut byline = Vec::new();
+        let mut refs = Vec::new();
+        for a in self.articles() {
+            byline.clear();
+            byline.extend(a.authors.iter().map(|x| x.0));
+            refs.clear();
+            refs.extend(a.references.iter().map(|x| x.0));
+            w.push(a.year, a.venue.0, &byline, &refs)?;
+        }
+        w.finish(self.authors().len() as u64, self.venues().len() as u64)
+    }
+}
+
+#[cfg(all(test, not(miri)))]
+mod tests {
+    use super::*;
+    use crate::generator::Preset;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("colstore-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let corpus = Preset::Tiny.generate(11);
+        let dir = tmpdir("roundtrip");
+        let generation = corpus.write_colstore(&dir).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        assert_eq!(store.generation(), generation);
+        assert_eq!(store.num_articles(), corpus.articles().len());
+        assert_eq!(store.num_authors(), corpus.authors().len());
+        assert_eq!(store.num_venues(), corpus.venues().len());
+        assert_eq!(store.num_citations() as usize, corpus.num_citations());
+        assert_eq!(store.year_range(), corpus.year_range());
+        store.verify().unwrap();
+
+        let mut byline = Vec::new();
+        let mut refs = Vec::new();
+        for a in corpus.articles() {
+            let i = a.id.0 as usize;
+            assert_eq!(store.year_of(i), a.year);
+            assert_eq!(store.venue_of(i), a.venue.0);
+            store.authors_of(i, &mut byline);
+            assert_eq!(byline, a.authors.iter().map(|x| x.0).collect::<Vec<_>>());
+            store.refs_of(i, &mut refs);
+            assert_eq!(refs, a.references.iter().map(|x| x.0).collect::<Vec<_>>());
+        }
+
+        let back = store.materialize().unwrap();
+        assert_eq!(back.articles().len(), corpus.articles().len());
+        for (a, b) in corpus.articles().iter().zip(back.articles()) {
+            assert_eq!(
+                (a.year, &a.venue, &a.authors, &a.references),
+                (b.year, &b.venue, &b.authors, &b.references)
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_corpora_stamp_identical_generations() {
+        let corpus = Preset::Tiny.generate(3);
+        let (d1, d2) = (tmpdir("gen1"), tmpdir("gen2"));
+        let g1 = corpus.write_colstore(&d1).unwrap();
+        let g2 = corpus.write_colstore(&d2).unwrap();
+        assert_eq!(g1, g2, "generation must be content-derived");
+        let other = Preset::Tiny.generate(4);
+        let d3 = tmpdir("gen3");
+        let g3 = other.write_colstore(&d3).unwrap();
+        assert_ne!(g1, g3, "different corpora must stamp different generations");
+        for d in [d1, d2, d3] {
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let dir = tmpdir("empty");
+        let w = ColWriter::create(&dir).unwrap();
+        w.finish(0, 0).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        assert_eq!(store.num_articles(), 0);
+        assert_eq!(store.year_range(), None);
+        assert!(store.materialize().unwrap().articles().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsorted_refs_rejected() {
+        let dir = tmpdir("unsorted");
+        let mut w = ColWriter::create(&dir).unwrap();
+        w.push(2000, 0, &[0], &[]).unwrap();
+        w.push(2001, 0, &[0], &[]).unwrap();
+        assert!(w.push(2002, 0, &[0], &[1, 0]).is_err());
+        let mut w2 = ColWriter::create(&dir).unwrap();
+        w2.push(2000, 0, &[0], &[]).unwrap();
+        assert!(w2.push(2001, 0, &[0], &[1]).is_err(), "forward citation must be rejected");
+        drop(w2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_column_fails_open_or_verify() {
+        let corpus = Preset::Tiny.generate(5);
+        let dir = tmpdir("tamper");
+        corpus.write_colstore(&dir).unwrap();
+
+        // Flip a payload byte: open (footer-only) succeeds, verify fails.
+        let path = dir.join("years.col");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        assert!(store.verify().is_err(), "checksum must catch payload tampering");
+        drop(store);
+
+        // Truncate a column below its footer: open fails.
+        std::fs::write(&path, &bytes[..8]).unwrap();
+        assert!(ColStore::open(&dir).is_err());
+
+        // Remove the commit point: the store does not exist.
+        std::fs::remove_file(dir.join("meta.col")).unwrap();
+        assert!(ColStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_no_store() {
+        let dir = tmpdir("unfinished");
+        let mut w = ColWriter::create(&dir).unwrap();
+        w.push(2000, 0, &[0], &[]).unwrap();
+        drop(w);
+        assert!(ColStore::open(&dir).is_err(), "unfinished write must not be visible");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "dropped writer must clean up its temp files"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

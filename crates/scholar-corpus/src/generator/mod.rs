@@ -29,7 +29,9 @@
 mod config;
 mod engine;
 mod presets;
+mod stream;
 
 pub use config::GeneratorConfig;
 pub use engine::CorpusGenerator;
 pub use presets::Preset;
+pub use stream::{generate_mag_scale, StreamStats};

@@ -53,6 +53,7 @@ macro_rules! failpoint {
 }
 
 pub mod analysis;
+pub mod colstore;
 pub mod corpus;
 pub mod generator;
 pub mod loader;
@@ -62,6 +63,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod validate;
 
+pub use colstore::{ColStore, ColWriter};
 pub use corpus::{Corpus, CorpusBuilder};
 pub use generator::{CorpusGenerator, GeneratorConfig, Preset};
 pub use model::{Article, ArticleId, Author, AuthorId, Venue, VenueId, Year};
@@ -95,6 +97,14 @@ pub enum CorpusError {
         /// Description of the problem.
         message: String,
     },
+    /// A columnar store file failed validation (bad magic, checksum,
+    /// generation, or size).
+    Corrupt {
+        /// The offending column file name.
+        file: String,
+        /// Description of the problem.
+        message: String,
+    },
     /// Underlying IO failure.
     Io(std::io::Error),
     /// Underlying JSON failure.
@@ -112,6 +122,9 @@ impl std::fmt::Display for CorpusError {
             }
             CorpusError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            CorpusError::Corrupt { file, message } => {
+                write!(f, "corrupt colstore file {file}: {message}")
             }
             CorpusError::Io(e) => write!(f, "io error: {e}"),
             CorpusError::Json(e) => write!(f, "json error: {e}"),

@@ -11,7 +11,11 @@
 //!
 //! The rule looks at each file under a `benches/` directory that
 //! mentions a `BENCH_*.json` string literal and requires a
-//! `.field("<key>", …)` call for every shared key.
+//! `.field("<key>", …)` call for every shared key. Artifacts listed in
+//! [`BENCH_ARTIFACT_KEYS`] additionally carry artifact-specific keys:
+//! a measurement the bench exists to gate on (e.g. the out-of-core
+//! bench's peak-RSS-vs-budget pair) must never silently drop out of the
+//! checked-in JSON.
 
 use crate::lexer::TokenKind;
 use crate::workspace::Workspace;
@@ -19,6 +23,14 @@ use crate::Diagnostic;
 
 /// Keys every `BENCH_*.json` artifact must carry.
 pub const BENCH_SHARED_KEYS: [&str; 3] = ["corpus", "seed", "articles"];
+
+/// Artifact-specific required keys, on top of [`BENCH_SHARED_KEYS`].
+///
+/// `BENCH_outofcore.json` is the proof that a MAG-scale build+rank fit a
+/// fixed memory budget; an artifact without the measured peak and the
+/// budget it was asserted against proves nothing.
+pub const BENCH_ARTIFACT_KEYS: &[(&str, &[&str])] =
+    &[("BENCH_outofcore.json", &["peak_rss_bytes", "rss_budget_bytes"])];
 
 const RULE: &str = "BENCH-SCHEMA";
 
@@ -66,6 +78,28 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                     BENCH_SHARED_KEYS.join("/"),
                 ),
             ));
+        }
+        // Artifact-specific keys: match on the file name at the end of
+        // the literal (writers build the path with concat!, so the
+        // literal usually carries a leading directory prefix).
+        let artifact = anchor.text.trim_matches('"').rsplit('/').next().unwrap_or("").to_string();
+        if let Some((name, keys)) = BENCH_ARTIFACT_KEYS.iter().find(|(n, _)| *n == artifact) {
+            let missing: Vec<&str> =
+                keys.iter().copied().filter(|key| !emitted.iter().any(|e| e == key)).collect();
+            if !missing.is_empty() {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    anchor.line,
+                    anchor.col,
+                    RULE,
+                    format!(
+                        "{name} writer is missing artifact key(s) {}: this artifact must \
+                         record {} or the measurement it gates on is unverifiable",
+                        missing.join(", "),
+                        keys.join("/"),
+                    ),
+                ));
+            }
         }
     }
 }

@@ -1,0 +1,24 @@
+//! Fixture: an outofcore artifact writer that emits the shared spine but
+//! drops the RSS measurement pair the artifact exists to record.
+
+fn main() {
+    let name = "/../../BENCH_outofcore.json";
+    let _ = name;
+    builder()
+        .field("corpus", 1)
+        .field("seed", 42)
+        .field("articles", 100)
+        .field("peak_rss_bytes", 7)
+        .build();
+}
+
+struct B;
+impl B {
+    fn field(self, _k: &str, _v: u32) -> Self {
+        self
+    }
+    fn build(self) {}
+}
+fn builder() -> B {
+    B
+}

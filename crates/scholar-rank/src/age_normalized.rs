@@ -73,13 +73,13 @@ impl Ranker for RecentCitations {
         let now = self.now.unwrap_or_else(|| ctx.now());
         let from = now - self.window + 1;
         let mut scores = vec![0.0f64; ctx.num_articles()];
-        for citing in ctx.corpus().articles() {
-            if citing.year >= from && citing.year <= now {
-                for &cited in &citing.references {
-                    scores[cited.index()] += 1.0;
+        ctx.store().for_each_article(&mut |row| {
+            if row.year >= from && row.year <= now {
+                for &cited in row.refs {
+                    scores[cited as usize] += 1.0;
                 }
             }
-        }
+        });
         crate::scores::normalize_or_uniform(&mut scores);
         RankOutput::closed_form(scores)
     }

@@ -11,14 +11,27 @@
 //! `rank(&Corpus)` entry point survives as a thin wrapper that builds a
 //! throwaway context.
 //!
+//! Since the out-of-core refactor the context solves through the
+//! [`Storage`] backing-store abstraction: [`RankContext::new`] wraps the
+//! in-RAM [`Corpus`], [`RankContext::from_colstore`] wraps an
+//! mmap-backed [`ColStore`]. Both backends derive bit-identical
+//! structures (see `storage.rs`), so every ranker produces the same
+//! scores either way; on the mmap backend the time-decayed citation
+//! operator can additionally stay *out of core* via
+//! [`RankContext::decayed_plan`], which materializes a sharded
+//! [`MmapCsr`] next to the store instead of a dense operator.
+//!
 //! Invalidation is by construction: a context borrows an immutable
-//! [`Corpus`] and is dropped when the corpus changes (there is no
+//! backing store and is dropped when the store changes (there is no
 //! in-place mutation to track). Caches are interior-mutable
 //! (`OnceLock`/`Mutex`) so a shared `&RankContext` works from the
 //! evaluation harness without threading `&mut` everywhere.
 
 use crate::diagnostics::Diagnostics;
+use crate::storage::Storage;
+use scholar_corpus::colstore::ColStore;
 use scholar_corpus::{Corpus, Year};
+use sgraph::mmap_csr::{MmapCsr, MmapCsrBuilder};
 use sgraph::{Bipartite, CsrGraph, JumpVector, RowStochastic};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -35,17 +48,37 @@ pub struct DecayedCitation {
     pub op: RowStochastic,
 }
 
+/// Where a context's decayed citation operator lives — the solve plan
+/// returned by [`RankContext::decayed_plan`].
+///
+/// Both variants implement `sgraph::CsrStore` and produce bit-identical
+/// power-iteration trajectories; the partitioned variant's peak memory
+/// is two iterate vectors plus one shard.
+#[derive(Clone)]
+pub enum DecayedPlan {
+    /// Dense in-RAM operator (the in-RAM backend's plan).
+    Dense(Arc<DecayedCitation>),
+    /// Mmap-backed shard file (the colstore backend's plan).
+    Partitioned(Arc<MmapCsr>),
+}
+
 /// A memoized solve: normalized scores plus convergence diagnostics.
 pub type SolveRecord = (Vec<f64>, Diagnostics);
 
+enum Backing<'c> {
+    Ram(&'c Corpus),
+    Mmap(&'c ColStore),
+}
+
 /// Prepared, lazily-cached derived structures for one corpus.
 ///
-/// Build once with [`RankContext::new`], then hand `&ctx` to any number
-/// of rankers: the first user of each structure pays for its
+/// Build once with [`RankContext::new`] (in-RAM) or
+/// [`RankContext::from_colstore`] (mmap-backed), then hand `&ctx` to any
+/// number of rankers: the first user of each structure pays for its
 /// construction, everyone after reads the cache.
 pub struct RankContext<'c> {
-    corpus: &'c Corpus,
-    now: Year,
+    backing: Backing<'c>,
+    now: Option<Year>,
     citation: OnceLock<CsrGraph>,
     citation_op: OnceLock<RowStochastic>,
     authorship: OnceLock<Bipartite>,
@@ -53,16 +86,36 @@ pub struct RankContext<'c> {
     citation_counts: OnceLock<Vec<u32>>,
     years: OnceLock<Vec<Year>>,
     decayed: Mutex<BTreeMap<u64, Arc<DecayedCitation>>>,
+    partitioned: Mutex<BTreeMap<u64, Arc<MmapCsr>>>,
     solves: Mutex<BTreeMap<String, Arc<SolveRecord>>>,
 }
 
 impl<'c> RankContext<'c> {
-    /// A fresh context over `corpus`. Cheap: nothing is built until a
-    /// ranker asks for it.
+    /// A fresh context over the in-RAM `corpus`. Cheap: nothing is built
+    /// until a ranker asks for it.
     pub fn new(corpus: &'c Corpus) -> Self {
+        Self::over(Backing::Ram(corpus))
+    }
+
+    /// A fresh context over an mmap-backed columnar store. Rankers see
+    /// the same interface and produce bit-identical scores; the decayed
+    /// citation operator can stay out of core via
+    /// [`RankContext::decayed_plan`].
+    pub fn from_colstore(store: &'c ColStore) -> Self {
+        Self::over(Backing::Mmap(store))
+    }
+
+    fn over(backing: Backing<'c>) -> Self {
+        let now = {
+            let store: &dyn Storage = match &backing {
+                Backing::Ram(c) => *c,
+                Backing::Mmap(s) => *s,
+            };
+            store.year_range().map(|(_, hi)| hi)
+        };
         RankContext {
-            corpus,
-            now: corpus.year_range().map(|(_, hi)| hi).unwrap_or(0),
+            backing,
+            now,
             citation: OnceLock::new(),
             citation_op: OnceLock::new(),
             authorship: OnceLock::new(),
@@ -70,29 +123,73 @@ impl<'c> RankContext<'c> {
             citation_counts: OnceLock::new(),
             years: OnceLock::new(),
             decayed: Mutex::new(BTreeMap::new()),
+            partitioned: Mutex::new(BTreeMap::new()),
             solves: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// The underlying corpus.
+    /// The backing store this context solves through.
+    pub fn store(&self) -> &'c dyn Storage {
+        match &self.backing {
+            Backing::Ram(c) => *c,
+            Backing::Mmap(s) => *s,
+        }
+    }
+
+    /// The underlying in-RAM corpus.
+    ///
+    /// # Panics
+    /// Panics on an mmap-backed context ([`RankContext::from_colstore`]):
+    /// string-bearing consumers (explainers, serving, personalized
+    /// lookups) require the in-RAM backend. Rankers must go through
+    /// [`RankContext::store`] and the typed accessors instead.
     pub fn corpus(&self) -> &'c Corpus {
-        self.corpus
+        match &self.backing {
+            Backing::Ram(c) => c,
+            Backing::Mmap(_) => panic!(
+                "RankContext::corpus() requires the in-RAM backend; \
+                 this context is colstore-backed (use store() accessors)"
+            ),
+        }
     }
 
     /// Number of articles (ranking vectors have this length).
     pub fn num_articles(&self) -> usize {
-        self.corpus.num_articles()
+        self.store().num_articles()
     }
 
-    /// The corpus's last publication year (0 for an empty corpus); the
-    /// default "now" for recency-aware rankers.
-    pub fn now(&self) -> Year {
+    /// Number of distinct authors.
+    pub fn num_authors(&self) -> usize {
+        self.store().num_authors()
+    }
+
+    /// Number of distinct venues.
+    pub fn num_venues(&self) -> usize {
+        self.store().num_venues()
+    }
+
+    /// The corpus's last publication year, or `None` for an empty
+    /// (yearless) corpus — the checked form of [`RankContext::now`].
+    pub fn try_now(&self) -> Option<Year> {
         self.now
+    }
+
+    /// The corpus's last publication year; the default "now" for
+    /// recency-aware rankers.
+    ///
+    /// Returns the documented sentinel `0` for an *empty* corpus. That
+    /// is safe — with no articles there are no ages to decay and every
+    /// ranker returns an empty score vector — but callers that would
+    /// feed "now" into decay weights for a non-empty corpus of their own
+    /// should prefer [`RankContext::try_now`] and handle `None`
+    /// explicitly.
+    pub fn now(&self) -> Year {
+        self.now.unwrap_or(0)
     }
 
     /// The unweighted citation CSR (built once per context).
     pub fn citation_graph(&self) -> &CsrGraph {
-        self.citation.get_or_init(|| self.corpus.citation_graph())
+        self.citation.get_or_init(|| self.store().citation_graph())
     }
 
     /// The row-stochastic walk operator over [`Self::citation_graph`],
@@ -104,23 +201,39 @@ impl<'c> RankContext<'c> {
     /// Authorship bipartite (left = authors, right = articles, harmonic
     /// byline weights).
     pub fn authorship(&self) -> &Bipartite {
-        self.authorship.get_or_init(|| self.corpus.authorship_bipartite())
+        self.authorship.get_or_init(|| self.store().authorship_bipartite())
     }
 
     /// Publication bipartite (left = venues, right = articles, unit
     /// weights).
     pub fn publication(&self) -> &Bipartite {
-        self.publication.get_or_init(|| self.corpus.publication_bipartite())
+        self.publication.get_or_init(|| self.store().publication_bipartite())
+    }
+
+    /// Venue-aggregated citation graph with `f(citing_year, cited_year)`
+    /// edge weights (not cached: each caller's kernel differs).
+    pub fn venue_graph_with(&self, mut f: impl FnMut(Year, Year) -> f64) -> CsrGraph {
+        self.store().venue_graph(&mut f)
+    }
+
+    /// Author-aggregated citation graph with byline-position weights
+    /// scaled by `f(citing_year, cited_year)`.
+    pub fn author_graph_with(
+        &self,
+        mut f: impl FnMut(Year, Year) -> f64,
+        drop_self_citations: bool,
+    ) -> CsrGraph {
+        self.store().author_graph(&mut f, drop_self_citations)
     }
 
     /// Citation counts per article (in-degree).
     pub fn citation_counts(&self) -> &[u32] {
-        self.citation_counts.get_or_init(|| self.corpus.citation_counts())
+        self.citation_counts.get_or_init(|| self.store().citation_counts())
     }
 
     /// Publication year per article.
     pub fn years(&self) -> &[Year] {
-        self.years.get_or_init(|| self.corpus.articles().iter().map(|a| a.year).collect())
+        self.years.get_or_init(|| self.store().years())
     }
 
     /// Article ages in years relative to `now`, clamped at 0. Computed
@@ -133,7 +246,12 @@ impl<'c> RankContext<'c> {
     /// The recency-personalized jump vector `j(v) ∝ exp(-τ·age(v))`
     /// (uniform when `τ = 0` or the corpus is empty).
     pub fn recency_jump(&self, tau: f64, now: Year) -> JumpVector {
-        crate::time_weighted::TimeWeightedPageRank::recency_jump(self.corpus, tau, now)
+        if tau == 0.0 || self.num_articles() == 0 {
+            return JumpVector::Uniform;
+        }
+        let weights: Vec<f64> =
+            self.years().iter().map(|&y| (-tau * (now - y).max(0) as f64).exp()).collect();
+        JumpVector::weighted(weights)
     }
 
     /// The time-decayed citation graph + operator for decay rate `rho`,
@@ -144,16 +262,68 @@ impl<'c> RankContext<'c> {
         if let Some(hit) = self.decayed.lock().unwrap().get(&key) {
             return Arc::clone(hit);
         }
-        let graph = self.corpus.weighted_citation_graph(|citing, cited| {
-            crate::time_weighted::TimeWeightedPageRank::edge_weight(
-                rho,
-                (citing.year - cited.year) as f64,
-            )
+        let graph = self.store().weighted_citation_graph(&mut |citing, cited| {
+            crate::time_weighted::TimeWeightedPageRank::edge_weight(rho, (citing - cited) as f64)
         });
         let op = RowStochastic::new(&graph);
         let entry = Arc::new(DecayedCitation { graph, op });
         self.decayed.lock().unwrap().entry(key).or_insert_with(|| Arc::clone(&entry));
         entry
+    }
+
+    /// The decayed-citation *solve plan* for decay rate `rho`: dense on
+    /// the in-RAM backend, a sharded mmap CSR on the colstore backend.
+    ///
+    /// On the colstore backend the shard file is materialized next to
+    /// the columns as `csr-rho<bits>-g<generation>.scsr`, streamed
+    /// straight from the reference postings (the dense graph is never
+    /// built), and reused across contexts: an existing file whose
+    /// header tag matches the store generation is opened as-is.
+    ///
+    /// # Panics
+    /// Panics if the colstore backend cannot write or reopen the shard
+    /// file (disk full, permissions); ranking cannot proceed without it.
+    pub fn decayed_plan(&self, rho: f64) -> DecayedPlan {
+        let store = match &self.backing {
+            Backing::Ram(_) => return DecayedPlan::Dense(self.decayed_citation(rho)),
+            Backing::Mmap(s) => *s,
+        };
+        let key = rho.to_bits();
+        if let Some(hit) = self.partitioned.lock().unwrap().get(&key) {
+            return DecayedPlan::Partitioned(Arc::clone(hit));
+        }
+        let tag = store.generation();
+        let path = store.dir().join(format!("csr-rho{:016x}-g{tag:016x}.scsr", key));
+        let opened = match MmapCsr::open(&path, Some(tag)) {
+            Ok(csr) => csr,
+            Err(_) => {
+                // Build (or rebuild a stale/corrupt cache) by streaming
+                // the reference postings through the shard writer.
+                let n = store.num_articles();
+                let shard_size = (n.div_ceil(8)).max(1024);
+                let mut b =
+                    MmapCsrBuilder::new(&path, n, shard_size).expect("create decayed shard file");
+                let years = store.years();
+                let mut refs = Vec::new();
+                let mut weights = Vec::new();
+                for i in 0..n {
+                    store.refs_of(i, &mut refs);
+                    weights.clear();
+                    weights.extend(refs.iter().map(|&r| {
+                        crate::time_weighted::TimeWeightedPageRank::edge_weight(
+                            rho,
+                            (years[i] - years[r as usize]) as f64,
+                        )
+                    }));
+                    b.add_source(&refs, &weights).expect("spill decayed shard edges");
+                }
+                b.finish(tag).expect("publish decayed shard file");
+                MmapCsr::open(&path, Some(tag)).expect("reopen decayed shard file")
+            }
+        };
+        let entry = Arc::new(opened);
+        self.partitioned.lock().unwrap().entry(key).or_insert_with(|| Arc::clone(&entry));
+        DecayedPlan::Partitioned(entry)
     }
 
     /// Memoized solve: if `key` was solved before in this context, the
@@ -186,9 +356,17 @@ impl std::fmt::Debug for RankContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RankContext")
             .field("articles", &self.num_articles())
+            .field(
+                "backing",
+                &match &self.backing {
+                    Backing::Ram(_) => "ram",
+                    Backing::Mmap(_) => "mmap",
+                },
+            )
             .field("now", &self.now)
             .field("citation_built", &self.citation.get().is_some())
             .field("decayed_entries", &self.decayed.lock().unwrap().len())
+            .field("partitioned_entries", &self.partitioned.lock().unwrap().len())
             .field("memoized_solves", &self.solves.lock().unwrap().len())
             .finish()
     }
@@ -249,15 +427,32 @@ mod tests {
         assert_eq!(ages.len(), c.num_articles());
         assert!(ages.iter().all(|&a| a >= 0.0));
         assert_eq!(ctx.now(), c.year_range().unwrap().1);
+        assert_eq!(ctx.try_now(), Some(c.year_range().unwrap().1));
     }
 
     #[test]
     fn empty_corpus_context() {
         let c = scholar_corpus::CorpusBuilder::new().finish().unwrap();
         let ctx = RankContext::new(&c);
-        assert_eq!(ctx.now(), 0);
+        assert_eq!(ctx.try_now(), None, "empty corpus has no last year");
+        assert_eq!(ctx.now(), 0, "documented sentinel for the unchecked accessor");
         assert_eq!(ctx.num_articles(), 0);
-        assert!(ctx.citation_graph().is_empty());
+        assert_eq!(ctx.citation_graph().num_nodes(), 0);
         assert_eq!(ctx.citation_counts().len(), 0);
+    }
+
+    /// Regression for the `now` fallback: recency-aware rankers over an
+    /// empty corpus must return cleanly instead of exploding decay
+    /// weights off year-0 "now".
+    #[test]
+    fn empty_corpus_rankers_do_not_explode() {
+        use crate::ranker::Ranker;
+        let c = scholar_corpus::CorpusBuilder::new().finish().unwrap();
+        let ctx = RankContext::new(&c);
+        assert!(matches!(ctx.recency_jump(0.1, ctx.now()), JumpVector::Uniform));
+        let out = crate::time_weighted::TimeWeightedPageRank::default().solve_ctx(&ctx);
+        assert!(out.scores.is_empty());
+        let out = crate::futurerank::FutureRank::default().solve_ctx(&ctx);
+        assert!(out.scores.is_empty());
     }
 }

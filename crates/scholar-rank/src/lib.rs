@@ -46,6 +46,7 @@ pub mod prank;
 pub mod ranker;
 pub mod rescaled;
 pub mod scores;
+pub mod storage;
 pub mod telemetry;
 pub mod time_weighted;
 pub mod venue_author;
@@ -53,7 +54,7 @@ pub mod venue_author;
 pub use age_normalized::{AgeNormalizedCitations, RecentCitations};
 pub use citation_count::CitationCount;
 pub use citerank::{CiteRank, CiteRankConfig};
-pub use context::{DecayedCitation, RankContext};
+pub use context::{DecayedCitation, DecayedPlan, RankContext};
 pub use diagnostics::Diagnostics;
 pub use fusion::{fuse_scores, FusedRanker, FusionRule};
 pub use futurerank::{FutureRank, FutureRankConfig};
@@ -63,6 +64,7 @@ pub use pagerank::{PageRank, PageRankConfig};
 pub use personalized::{personalized_pagerank, related_articles, PersonalizedConfig};
 pub use prank::{PRank, PRankConfig};
 pub use ranker::Ranker;
-pub use rescaled::{rescale_by_year, RescaledRanker};
+pub use rescaled::{rescale_by_year, rescale_by_years, RescaledRanker};
+pub use storage::{ArticleRow, Storage};
 pub use telemetry::{RankOutput, SolveTelemetry};
 pub use time_weighted::{TimeWeightedPageRank, TwprConfig};

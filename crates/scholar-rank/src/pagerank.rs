@@ -120,15 +120,31 @@ pub fn pagerank_on_op(
     jump: JumpVector,
     warm_start: Option<Vec<f64>>,
 ) -> (Vec<f64>, Diagnostics) {
+    pagerank_on_store(op, config, jump, warm_start)
+}
+
+/// [`pagerank_on_op`] generalized over any [`sgraph::CsrStore`] backing
+/// — the dense in-RAM operator or an mmap-backed shard file. Both
+/// backings drive the identical power-iteration loop, so scores and
+/// iteration counts are bit-identical across them.
+pub fn pagerank_on_store<S: sgraph::CsrStore + ?Sized>(
+    store: &S,
+    config: &PageRankConfig,
+    jump: JumpVector,
+    warm_start: Option<Vec<f64>>,
+) -> (Vec<f64>, Diagnostics) {
     config.assert_valid();
-    let res = op.stationary(&PowerIterationOpts {
-        damping: config.damping,
-        jump,
-        tol: config.tol,
-        max_iter: config.max_iter,
-        threads: config.threads,
-        warm_start,
-    });
+    let res = sgraph::stationary_store(
+        store,
+        &PowerIterationOpts {
+            damping: config.damping,
+            jump,
+            tol: config.tol,
+            max_iter: config.max_iter,
+            threads: config.threads,
+            warm_start,
+        },
+    );
     let scores = res.scores.clone();
     (scores, res.into())
 }

@@ -91,11 +91,19 @@ impl PRank {
 
     /// Run the combined walk, returning scores for all entity classes.
     pub fn run(&self, corpus: &Corpus) -> PRankResult {
+        self.run_store(corpus)
+    }
+
+    /// [`PRank::run`] against any backing store (in-RAM corpus or mmap
+    /// colstore). Both replay the identical edge-insertion sequence, so
+    /// the combined graph — and therefore every score — is bit-identical
+    /// across backends.
+    pub fn run_store(&self, store: &dyn crate::storage::Storage) -> PRankResult {
         let cfg = &self.config;
         cfg.assert_valid();
-        let np = corpus.num_articles() as u32;
-        let na = corpus.num_authors() as u32;
-        let nv = corpus.num_venues() as u32;
+        let np = store.num_articles() as u32;
+        let na = store.num_authors() as u32;
+        let nv = store.num_venues() as u32;
         if np == 0 {
             return PRankResult {
                 article_scores: Vec::new(),
@@ -110,27 +118,27 @@ impl PRank {
         let venue = |v: u32| NodeId(np + na + v);
 
         let mut b = GraphBuilder::new(total).self_loops(false);
-        for art in corpus.articles() {
-            let p = art.id.0;
+        store.for_each_article(&mut |art| {
+            let p = art.id;
             // Citations: lambda_cite split across the reference list.
-            if !art.references.is_empty() {
-                let w = cfg.lambda_cite / art.references.len() as f64;
-                for &r in &art.references {
-                    b.add_edge(paper(p), paper(r.0), w);
+            if !art.refs.is_empty() {
+                let w = cfg.lambda_cite / art.refs.len() as f64;
+                for &r in art.refs {
+                    b.add_edge(paper(p), paper(r), w);
                 }
             }
             // Authors: lambda_author split by byline position, symmetric.
             if !art.authors.is_empty() {
                 let pos = author_position_weights(art.authors.len());
                 for (&u, &pw) in art.authors.iter().zip(&pos) {
-                    b.add_edge(paper(p), author(u.0), cfg.lambda_author * pw);
-                    b.add_edge(author(u.0), paper(p), pw);
+                    b.add_edge(paper(p), author(u), cfg.lambda_author * pw);
+                    b.add_edge(author(u), paper(p), pw);
                 }
             }
             // Venue: symmetric unit link scaled by lambda_venue.
-            b.add_edge(paper(p), venue(art.venue.0), cfg.lambda_venue);
-            b.add_edge(venue(art.venue.0), paper(p), 1.0);
-        }
+            b.add_edge(paper(p), venue(art.venue), cfg.lambda_venue);
+            b.add_edge(venue(art.venue), paper(p), 1.0);
+        });
         let g = b.build();
         let (scores, diagnostics) = pagerank_on_graph(&g, &cfg.pagerank, JumpVector::Uniform);
 
@@ -166,7 +174,7 @@ impl Ranker for PRank {
         // context; repeated solves are served by the memo instead.
         let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&key, || {
-            let res = self.run(ctx.corpus());
+            let res = self.run_store(ctx.store());
             (res.article_scores, res.diagnostics)
         });
         let telemetry = SolveTelemetry::timed(&diag, 0.0, solved.secs(), cached);

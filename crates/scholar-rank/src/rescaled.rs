@@ -13,7 +13,7 @@
 use crate::context::RankContext;
 use crate::ranker::Ranker;
 use crate::telemetry::RankOutput;
-use scholar_corpus::Corpus;
+use scholar_corpus::{Corpus, Year};
 
 /// Wraps any ranker and z-scores its output within publication-year
 /// windows of `window_years`.
@@ -38,18 +38,23 @@ impl RescaledRanker {
 /// then L1-normalized) so the [`Ranker`] contract holds.
 pub fn rescale_by_year(corpus: &Corpus, scores: &[f64], window_years: i32) -> Vec<f64> {
     assert_eq!(scores.len(), corpus.num_articles(), "score length mismatch");
+    let years: Vec<Year> = corpus.articles().iter().map(|a| a.year).collect();
+    rescale_by_years(&years, scores, window_years)
+}
+
+/// [`rescale_by_year`] on a bare per-article year vector — the form
+/// backend-agnostic callers (mmap-backed contexts) use.
+pub fn rescale_by_years(years: &[Year], scores: &[f64], window_years: i32) -> Vec<f64> {
+    assert_eq!(scores.len(), years.len(), "score length mismatch");
     assert!(window_years > 0, "window must be positive");
     let n = scores.len();
     if n == 0 {
         return Vec::new();
     }
-    let (first, _) = corpus.year_range().expect("non-empty corpus");
+    let first = years.iter().copied().min().expect("non-empty corpus");
     // Bucket index per article.
-    let bucket_of: Vec<usize> = corpus
-        .articles()
-        .iter()
-        .map(|a| ((a.year - first).max(0) / window_years) as usize)
-        .collect();
+    let bucket_of: Vec<usize> =
+        years.iter().map(|&y| ((y - first).max(0) / window_years) as usize).collect();
     let num_buckets = bucket_of.iter().copied().max().unwrap_or(0) + 1;
     let mut count = vec![0usize; num_buckets];
     let mut sum = vec![0.0f64; num_buckets];
@@ -99,7 +104,7 @@ impl Ranker for RescaledRanker {
         if inner.scores.is_empty() {
             return inner;
         }
-        let scores = rescale_by_year(ctx.corpus(), &inner.scores, self.window_years);
+        let scores = rescale_by_years(ctx.years(), &inner.scores, self.window_years);
         // The rescaling itself is closed-form; the telemetry that matters
         // (iterations, convergence, walls) is the wrapped solve's.
         RankOutput { scores, telemetry: inner.telemetry }

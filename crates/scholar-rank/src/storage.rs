@@ -1,0 +1,396 @@
+//! The backing-store abstraction under [`RankContext`](crate::RankContext).
+//!
+//! Every derived structure a ranker consumes — citation CSRs, decayed
+//! variants, venue/author aggregates, bipartites, year vectors — is a
+//! deterministic function of the corpus's *structure*: per-article
+//! `(year, venue, byline, references)` plus the entity counts.
+//! [`Storage`] captures exactly that surface, so the context can build
+//! identical derived structures from the in-RAM [`Corpus`] or from an
+//! mmap-backed [`ColStore`] without the rankers knowing which is
+//! underneath.
+//!
+//! ## Bit identity
+//!
+//! `sgraph::GraphBuilder` is deterministic: replaying the same
+//! `add_edge` sequence yields a byte-identical `CsrGraph`. Both
+//! implementations here therefore walk articles in ascending id order
+//! and references in stored (ascending) order — the exact insertion
+//! sequence the original `Corpus` methods use — so a graph derived
+//! through either backend is *the same graph*, and every score computed
+//! downstream is bit-for-bit unchanged. The conformance suite
+//! (`tests/conformance.rs`) locks this in for the whole ranker roster.
+//!
+//! Weight closures receive `(citing_year, cited_year)`: publication
+//! years are the only article attribute any edge-weight kernel in the
+//! stack reads.
+
+use scholar_corpus::colstore::ColStore;
+use scholar_corpus::model::author_position_weights;
+use scholar_corpus::{Corpus, Year};
+use sgraph::{Bipartite, BipartiteBuilder, CsrGraph, GraphBuilder, NodeId};
+
+/// One article's structural row, borrowed from the backing store during
+/// [`Storage::for_each_article`].
+#[derive(Debug)]
+pub struct ArticleRow<'a> {
+    /// Dense article id (also the row index).
+    pub id: u32,
+    /// Publication year.
+    pub year: Year,
+    /// Venue id.
+    pub venue: u32,
+    /// Author ids in byline order.
+    pub authors: &'a [u32],
+    /// Cited article ids, strictly ascending.
+    pub refs: &'a [u32],
+}
+
+/// A corpus backing store: the structural surface from which every
+/// ranker-visible derived structure is built.
+///
+/// Object-safe so [`RankContext`](crate::RankContext) can hold either
+/// backend behind one reference; weight kernels are passed as
+/// `&mut dyn FnMut(citing_year, cited_year) -> f64`.
+pub trait Storage: Sync {
+    /// Number of articles.
+    fn num_articles(&self) -> usize;
+    /// Number of distinct authors.
+    fn num_authors(&self) -> usize;
+    /// Number of distinct venues.
+    fn num_venues(&self) -> usize;
+    /// Total number of citation edges.
+    fn num_citations(&self) -> usize;
+    /// `(earliest, latest)` publication year, `None` when empty.
+    fn year_range(&self) -> Option<(Year, Year)>;
+    /// Publication year per article.
+    fn years(&self) -> Vec<Year>;
+    /// The unweighted citation CSR (citing → cited, unit weights).
+    fn citation_graph(&self) -> CsrGraph;
+    /// The citation CSR with `f(citing_year, cited_year)` edge weights.
+    fn weighted_citation_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph;
+    /// Venue-aggregated citation graph (self-loops dropped).
+    fn venue_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph;
+    /// Author-aggregated citation graph with byline-position weights.
+    fn author_graph(
+        &self,
+        f: &mut dyn FnMut(Year, Year) -> f64,
+        drop_self_citations: bool,
+    ) -> CsrGraph;
+    /// Authorship bipartite (authors × articles, harmonic byline weights).
+    fn authorship_bipartite(&self) -> Bipartite;
+    /// Publication bipartite (venues × articles, unit weights).
+    fn publication_bipartite(&self) -> Bipartite;
+    /// Citation count (in-degree) per article.
+    fn citation_counts(&self) -> Vec<u32>;
+    /// Visit every article in ascending id order with zero per-article
+    /// allocation (rows borrow internal scratch buffers).
+    fn for_each_article(&self, visit: &mut dyn FnMut(ArticleRow<'_>));
+}
+
+impl Storage for Corpus {
+    fn num_articles(&self) -> usize {
+        Corpus::num_articles(self)
+    }
+
+    fn num_authors(&self) -> usize {
+        Corpus::num_authors(self)
+    }
+
+    fn num_venues(&self) -> usize {
+        Corpus::num_venues(self)
+    }
+
+    fn num_citations(&self) -> usize {
+        Corpus::num_citations(self)
+    }
+
+    fn year_range(&self) -> Option<(Year, Year)> {
+        Corpus::year_range(self)
+    }
+
+    fn years(&self) -> Vec<Year> {
+        self.articles().iter().map(|a| a.year).collect()
+    }
+
+    fn citation_graph(&self) -> CsrGraph {
+        Corpus::citation_graph(self)
+    }
+
+    fn weighted_citation_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph {
+        Corpus::weighted_citation_graph(self, |citing, cited| f(citing.year, cited.year))
+    }
+
+    fn venue_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph {
+        Corpus::venue_graph(self, |citing, cited| f(citing.year, cited.year))
+    }
+
+    fn author_graph(
+        &self,
+        f: &mut dyn FnMut(Year, Year) -> f64,
+        drop_self_citations: bool,
+    ) -> CsrGraph {
+        Corpus::author_graph(self, |citing, cited| f(citing.year, cited.year), drop_self_citations)
+    }
+
+    fn authorship_bipartite(&self) -> Bipartite {
+        Corpus::authorship_bipartite(self)
+    }
+
+    fn publication_bipartite(&self) -> Bipartite {
+        Corpus::publication_bipartite(self)
+    }
+
+    fn citation_counts(&self) -> Vec<u32> {
+        Corpus::citation_counts(self)
+    }
+
+    fn for_each_article(&self, visit: &mut dyn FnMut(ArticleRow<'_>)) {
+        let mut byline: Vec<u32> = Vec::new();
+        let mut refs: Vec<u32> = Vec::new();
+        for a in self.articles() {
+            byline.clear();
+            byline.extend(a.authors.iter().map(|x| x.0));
+            refs.clear();
+            refs.extend(a.references.iter().map(|x| x.0));
+            visit(ArticleRow {
+                id: a.id.0,
+                year: a.year,
+                venue: a.venue.0,
+                authors: &byline,
+                refs: &refs,
+            });
+        }
+    }
+}
+
+impl Storage for ColStore {
+    fn num_articles(&self) -> usize {
+        ColStore::num_articles(self)
+    }
+
+    fn num_authors(&self) -> usize {
+        ColStore::num_authors(self)
+    }
+
+    fn num_venues(&self) -> usize {
+        ColStore::num_venues(self)
+    }
+
+    fn num_citations(&self) -> usize {
+        ColStore::num_citations(self) as usize
+    }
+
+    fn year_range(&self) -> Option<(Year, Year)> {
+        ColStore::year_range(self)
+    }
+
+    fn years(&self) -> Vec<Year> {
+        ColStore::years(self).to_vec()
+    }
+
+    fn citation_graph(&self) -> CsrGraph {
+        let n = self.num_articles();
+        let mut b = GraphBuilder::new(n as u32)
+            .with_edge_capacity(Storage::num_citations(self))
+            .self_loops(false);
+        let mut refs = Vec::new();
+        for i in 0..n {
+            self.refs_of(i, &mut refs);
+            for &r in &refs {
+                b.add_unweighted(NodeId(i as u32), NodeId(r));
+            }
+        }
+        b.build()
+    }
+
+    fn weighted_citation_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph {
+        let n = self.num_articles();
+        let years = ColStore::years(self);
+        let mut b = GraphBuilder::new(n as u32)
+            .with_edge_capacity(Storage::num_citations(self))
+            .self_loops(false);
+        let mut refs = Vec::new();
+        for i in 0..n {
+            self.refs_of(i, &mut refs);
+            for &r in &refs {
+                let w = f(years[i], years[r as usize]);
+                b.add_edge(NodeId(i as u32), NodeId(r), w);
+            }
+        }
+        b.build()
+    }
+
+    fn venue_graph(&self, f: &mut dyn FnMut(Year, Year) -> f64) -> CsrGraph {
+        let n = self.num_articles();
+        let years = ColStore::years(self);
+        let mut b = GraphBuilder::new(self.num_venues() as u32).self_loops(false);
+        let mut refs = Vec::new();
+        for i in 0..n {
+            self.refs_of(i, &mut refs);
+            for &r in &refs {
+                let w = f(years[i], years[r as usize]);
+                b.add_edge(NodeId(self.venue_of(i)), NodeId(self.venue_of(r as usize)), w);
+            }
+        }
+        b.build()
+    }
+
+    fn author_graph(
+        &self,
+        f: &mut dyn FnMut(Year, Year) -> f64,
+        drop_self_citations: bool,
+    ) -> CsrGraph {
+        let n = self.num_articles();
+        let years = ColStore::years(self);
+        let mut b = GraphBuilder::new(self.num_authors() as u32).self_loops(!drop_self_citations);
+        let mut byline = Vec::new();
+        let mut cited_byline = Vec::new();
+        let mut refs = Vec::new();
+        for i in 0..n {
+            self.authors_of(i, &mut byline);
+            if byline.is_empty() {
+                continue;
+            }
+            let wa = author_position_weights(byline.len());
+            self.refs_of(i, &mut refs);
+            for &r in &refs {
+                self.authors_of(r as usize, &mut cited_byline);
+                if cited_byline.is_empty() {
+                    continue;
+                }
+                let wc = author_position_weights(cited_byline.len());
+                let base = f(years[i], years[r as usize]);
+                if base <= 0.0 {
+                    continue;
+                }
+                for (&ua, &pa) in byline.iter().zip(&wa) {
+                    for (&uc, &pc) in cited_byline.iter().zip(&wc) {
+                        if drop_self_citations && ua == uc {
+                            continue;
+                        }
+                        b.add_edge(NodeId(ua), NodeId(uc), base * pa * pc);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn authorship_bipartite(&self) -> Bipartite {
+        let n = self.num_articles();
+        let mut b = BipartiteBuilder::new(self.num_authors() as u32, n as u32);
+        let mut byline = Vec::new();
+        for i in 0..n {
+            self.authors_of(i, &mut byline);
+            let w = author_position_weights(byline.len());
+            for (&author, &weight) in byline.iter().zip(&w) {
+                b.add_edge(author, i as u32, weight);
+            }
+        }
+        b.build()
+    }
+
+    fn publication_bipartite(&self) -> Bipartite {
+        let n = self.num_articles();
+        let mut b = BipartiteBuilder::new(self.num_venues() as u32, n as u32);
+        for i in 0..n {
+            b.add_edge(self.venue_of(i), i as u32, 1.0);
+        }
+        b.build()
+    }
+
+    fn citation_counts(&self) -> Vec<u32> {
+        let n = self.num_articles();
+        let mut counts = vec![0u32; n];
+        let mut refs = Vec::new();
+        for i in 0..n {
+            self.refs_of(i, &mut refs);
+            for &r in &refs {
+                counts[r as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    fn for_each_article(&self, visit: &mut dyn FnMut(ArticleRow<'_>)) {
+        let n = self.num_articles();
+        let years = ColStore::years(self);
+        let mut byline = Vec::new();
+        let mut refs = Vec::new();
+        for (i, &year) in years.iter().enumerate().take(n) {
+            self.authors_of(i, &mut byline);
+            self.refs_of(i, &mut refs);
+            visit(ArticleRow {
+                id: i as u32,
+                year,
+                venue: self.venue_of(i),
+                authors: &byline,
+                refs: &refs,
+            });
+        }
+    }
+}
+
+#[cfg(all(test, not(miri)))]
+mod tests {
+    use super::*;
+    use scholar_corpus::generator::Preset;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("storage-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    /// Every derived structure must be byte-identical across backends.
+    #[test]
+    fn backends_derive_identical_structures() {
+        let corpus = Preset::Tiny.generate(9);
+        let dir = tmpdir("equiv");
+        corpus.write_colstore(&dir).unwrap();
+        let store = scholar_corpus::colstore::ColStore::open(&dir).unwrap();
+
+        let ram: &dyn Storage = &corpus;
+        let mm: &dyn Storage = &store;
+
+        assert_eq!(ram.num_articles(), mm.num_articles());
+        assert_eq!(ram.num_authors(), mm.num_authors());
+        assert_eq!(ram.num_venues(), mm.num_venues());
+        assert_eq!(ram.num_citations(), mm.num_citations());
+        assert_eq!(ram.year_range(), mm.year_range());
+        assert_eq!(ram.years(), mm.years());
+        assert_eq!(ram.citation_counts(), mm.citation_counts());
+
+        let decay = |rho: f64| {
+            move |citing: Year, cited: Year| (-rho * ((citing - cited) as f64).max(0.0)).exp()
+        };
+        assert_eq!(ram.citation_graph(), mm.citation_graph());
+        assert_eq!(
+            ram.weighted_citation_graph(&mut decay(0.15)),
+            mm.weighted_citation_graph(&mut decay(0.15))
+        );
+        assert_eq!(ram.venue_graph(&mut decay(0.15)), mm.venue_graph(&mut decay(0.15)));
+        for drop_self in [false, true] {
+            assert_eq!(
+                ram.author_graph(&mut decay(0.15), drop_self),
+                mm.author_graph(&mut decay(0.15), drop_self)
+            );
+        }
+        assert_eq!(ram.authorship_bipartite(), mm.authorship_bipartite());
+        assert_eq!(ram.publication_bipartite(), mm.publication_bipartite());
+
+        type Row = (u32, Year, u32, Vec<u32>, Vec<u32>);
+        let mut rows_ram: Vec<Row> = Vec::new();
+        ram.for_each_article(&mut |r| {
+            rows_ram.push((r.id, r.year, r.venue, r.authors.to_vec(), r.refs.to_vec()));
+        });
+        let mut rows_mm = Vec::new();
+        mm.for_each_article(&mut |r| {
+            rows_mm.push((r.id, r.year, r.venue, r.authors.to_vec(), r.refs.to_vec()));
+        });
+        assert_eq!(rows_ram, rows_mm);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -147,12 +147,19 @@ impl Ranker for TimeWeightedPageRank {
         }
         let now = self.config.now.unwrap_or_else(|| ctx.now());
         let built = Stopwatch::start();
-        let decayed = ctx.decayed_citation(self.config.rho);
+        let plan = ctx.decayed_plan(self.config.rho);
         let build_secs = built.secs();
         let solved = Stopwatch::start();
         let (scores, diag, cached) = ctx.cached_solve(&Self::solve_key(&self.config, now), || {
             let jump = ctx.recency_jump(self.config.tau, now);
-            pagerank_on_op(&decayed.op, &self.config.pagerank, jump, None)
+            match &plan {
+                crate::context::DecayedPlan::Dense(decayed) => {
+                    pagerank_on_op(&decayed.op, &self.config.pagerank, jump, None)
+                }
+                crate::context::DecayedPlan::Partitioned(shards) => {
+                    crate::pagerank::pagerank_on_store(&**shards, &self.config.pagerank, jump, None)
+                }
+            }
         });
         let telemetry = SolveTelemetry::timed(&diag, build_secs, solved.secs(), cached);
         RankOutput { scores, telemetry }

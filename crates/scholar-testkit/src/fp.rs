@@ -40,6 +40,8 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 /// without updating all three fails CI. Keep the list sorted.
 pub const SITES: &[&str] = &[
     "corpus.aan.parse",
+    "corpus.colstore.io",
+    "corpus.colstore.map",
     "corpus.jsonl.io",
     "corpus.jsonl.parse",
     "corpus.mag.parse",

@@ -36,10 +36,11 @@ pub use sgraph as graph;
 pub use qrank::{
     Ablation, ColdStartScorer, MixParams, QRank, QRankConfig, QRankEngine, QRankResult,
 };
-pub use scholar_corpus::{Corpus, CorpusBuilder, GeneratorConfig, Preset};
+pub use scholar_corpus::{colstore::ColStore, Corpus, CorpusBuilder, GeneratorConfig, Preset};
 pub use scholar_eval::GroundTruth;
 pub use scholar_rank::{
-    CitationCount, CiteRank, FutureRank, Hits, PRank, PageRank, Ranker, TimeWeightedPageRank,
+    CitationCount, CiteRank, FutureRank, Hits, PRank, PageRank, Ranker, Storage,
+    TimeWeightedPageRank,
 };
 
 /// The full comparison suite used by the R-Tables: every baseline plus

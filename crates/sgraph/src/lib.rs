@@ -54,6 +54,8 @@ pub mod error;
 pub mod generate;
 pub mod io;
 pub mod kcore;
+pub mod mmap;
+pub mod mmap_csr;
 pub mod par;
 pub mod push;
 pub mod sampling;
@@ -61,6 +63,7 @@ pub mod scc;
 pub mod solver;
 pub mod stats;
 pub mod stochastic;
+pub mod store;
 pub mod traversal;
 pub mod view;
 
@@ -68,7 +71,9 @@ pub use bipartite::{Bipartite, BipartiteBuilder};
 pub use builder::{DuplicateEdgePolicy, GraphBuilder};
 pub use csr::{CsrGraph, EdgeRef, NodeId};
 pub use error::GraphError;
+pub use mmap_csr::{MmapCsr, MmapCsrBuilder};
 pub use stochastic::{JumpVector, RowStochastic};
+pub use store::{stationary_store, CsrStore};
 pub use view::SubgraphMap;
 
 /// Crate-wide result alias.

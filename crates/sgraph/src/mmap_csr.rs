@@ -1,0 +1,635 @@
+//! Mmap-backed, node-sharded pull CSR for out-of-core power iteration.
+//!
+//! [`MmapCsr`] stores the same pull-form transition structure as
+//! [`RowStochastic`](crate::RowStochastic) — per-target in-edge lists
+//! with precomputed probabilities plus the global dangling set — but on
+//! disk, partitioned into contiguous node shards that are served
+//! zero-copy through [`crate::mmap::Mmap`]. A sweep touches one shard's
+//! arrays at a time, so peak resident memory is two iterate vectors plus
+//! one shard, not the whole graph.
+//!
+//! ## Bit identity with the dense operator
+//!
+//! The damped step `y = d·Pᵀx + (d·dangling_mass(x) + (1−d))·j` is a
+//! sum per output slot, and floating-point addition is order-sensitive;
+//! the dense kernel fixes the order as *ascending global source id per
+//! target* and *ascending node id for the dangling mass*.
+//! [`MmapCsrBuilder`] preserves exactly those orders (sources arrive
+//! ascending because `add_source` must be called for node 0, 1, …, n−1;
+//! the stable per-shard sort by target keeps them ascending per row),
+//! and [`MmapCsr::apply_step`] accumulates in stored order. Node
+//! partitioning never reorders a per-slot sum — each target's whole row
+//! lives in its own shard — so shard size is a pure layout knob:
+//! residuals, iteration counts, and stationaries are bit-identical to
+//! the dense solve at any `shard_size`.
+//!
+//! ## File format (`SCSRv1`, little-endian, 8-byte-aligned sections)
+//!
+//! ```text
+//! header   : magic "SCSRv1\0\0" · n · m · shard_size · num_shards
+//!            · dangling_off · dangling_len · tag          (8 × u64)
+//! directory: per shard { boundary_off, boundary_len, offsets_off,
+//!            sources_off, probs_off, edges }              (6 × u64)
+//! dangling : u32[dangling_len]   ascending global ids
+//! per shard:
+//!   boundary: u32[boundary_len]  sorted global ids of sources that
+//!                                live OUTSIDE this shard's node range
+//!   offsets : u64[shard_len + 1] row starts, relative to the shard
+//!   sources : u32[edges]         local codes: code < shard_len is the
+//!                                in-shard node (global = start + code),
+//!                                else boundary[code − shard_len]
+//!   probs   : f64[edges]         transition probabilities w / out_sum
+//! ```
+//!
+//! The `tag` is caller-supplied (the colstore layer passes its content
+//! generation) and is validated on open, so a stale shard file built
+//! from an older corpus cannot be silently reused.
+//!
+//! The boundary list is the *frontier exchange*: before sweeping a
+//! shard, the solver gathers `x` at each boundary id into a dense
+//! frontier buffer, so row gathers read either the shard's own `x`
+//! range or the frontier — never a random global offset per edge.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::mmap::Mmap;
+use crate::stochastic::JumpVector;
+use crate::store::CsrStore;
+use crate::CsrGraph;
+
+const MAGIC: &[u8; 8] = b"SCSRv1\0\0";
+const HEADER_BYTES: usize = 64;
+const DIR_FIELDS: usize = 6;
+
+/// Round `off` up to the next multiple of 8.
+fn align8(off: u64) -> u64 {
+    (off + 7) & !7
+}
+
+#[derive(Clone, Copy)]
+struct ShardMeta {
+    boundary_off: u64,
+    boundary_len: u64,
+    offsets_off: u64,
+    sources_off: u64,
+    probs_off: u64,
+    edges: u64,
+}
+
+/// Streaming writer for the [`MmapCsr`] shard file.
+///
+/// Call [`MmapCsrBuilder::add_source`] once per node in ascending id
+/// order with that node's out-edges (targets and raw weights, in the
+/// same order the dense CSR stores them), then
+/// [`MmapCsrBuilder::finish`]. Edges are spilled to per-shard temp
+/// files as they arrive, so the full edge set is never held in memory;
+/// `finish` assembles one shard at a time and atomically renames the
+/// result into place.
+pub struct MmapCsrBuilder {
+    path: PathBuf,
+    n: usize,
+    shard_size: usize,
+    num_shards: usize,
+    next: u32,
+    m: u64,
+    dangling: Vec<u32>,
+    spills: Vec<BufWriter<File>>,
+    spill_paths: Vec<PathBuf>,
+}
+
+impl MmapCsrBuilder {
+    /// Start building a shard file at `path` for an `n`-node graph with
+    /// `shard_size` nodes per shard.
+    pub fn new(path: &Path, n: usize, shard_size: usize) -> io::Result<MmapCsrBuilder> {
+        assert!(shard_size > 0, "shard_size must be positive");
+        assert!(n < u32::MAX as usize, "node count must fit in u32");
+        let num_shards = n.div_ceil(shard_size).max(1);
+        let mut spills = Vec::with_capacity(num_shards);
+        let mut spill_paths = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let sp = path.with_extension(format!("spill{s}"));
+            spills.push(BufWriter::new(File::create(&sp)?));
+            spill_paths.push(sp);
+        }
+        Ok(MmapCsrBuilder {
+            path: path.to_path_buf(),
+            n,
+            shard_size,
+            num_shards,
+            next: 0,
+            m: 0,
+            dangling: Vec::new(),
+            spills,
+            spill_paths,
+        })
+    }
+
+    /// Feed the out-edges of the next node (ids must arrive 0, 1, …).
+    ///
+    /// `targets`/`weights` must be in the dense CSR's storage order
+    /// (ascending target, no duplicates). A node whose weight sum is
+    /// `<= 0` is dangling, exactly as in
+    /// [`RowStochastic::new`](crate::RowStochastic::new); otherwise each
+    /// edge with `w > 0` contributes probability `w / sum`.
+    pub fn add_source(&mut self, targets: &[u32], weights: &[f64]) -> io::Result<()> {
+        assert_eq!(targets.len(), weights.len(), "targets/weights length mismatch");
+        assert!((self.next as usize) < self.n, "add_source called more than n times");
+        let u = self.next;
+        self.next += 1;
+        let out_sum: f64 = weights.iter().sum();
+        if out_sum <= 0.0 {
+            self.dangling.push(u);
+            return Ok(());
+        }
+        for (&t, &w) in targets.iter().zip(weights) {
+            assert!((t as usize) < self.n, "target {t} out of bounds");
+            if w > 0.0 {
+                let prob = w / out_sum;
+                let shard = t as usize / self.shard_size;
+                let sp = &mut self.spills[shard];
+                sp.write_all(&t.to_le_bytes())?;
+                sp.write_all(&u.to_le_bytes())?;
+                sp.write_all(&prob.to_le_bytes())?;
+                self.m += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble the shard file and atomically move it into place,
+    /// stamping `tag` into the header for staleness detection on open.
+    pub fn finish(mut self, tag: u64) -> io::Result<()> {
+        assert_eq!(self.next as usize, self.n, "add_source must be called exactly n times");
+        for sp in &mut self.spills {
+            sp.flush()?;
+        }
+        self.spills.clear();
+
+        let tmp = self.path.with_extension("scsr.tmp");
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        let dir_bytes = (self.num_shards * DIR_FIELDS * 8) as u64;
+        let dangling_off = HEADER_BYTES as u64 + dir_bytes;
+        // Header + directory are rewritten at the end once section
+        // offsets are known; reserve their bytes now.
+        out.write_all(&vec![0u8; (dangling_off as usize) + self.dangling.len() * 4])?;
+        let mut cursor = dangling_off + (self.dangling.len() * 4) as u64;
+
+        let mut dir = Vec::with_capacity(self.num_shards);
+        let pad = |out: &mut BufWriter<File>, cursor: &mut u64| -> io::Result<()> {
+            let aligned = align8(*cursor);
+            if aligned > *cursor {
+                out.write_all(&vec![0u8; (aligned - *cursor) as usize])?;
+                *cursor = aligned;
+            }
+            Ok(())
+        };
+
+        for shard in 0..self.num_shards {
+            let start = shard * self.shard_size;
+            let shard_len = self.shard_size.min(self.n - start.min(self.n));
+            let records = read_spill(&self.spill_paths[shard])?;
+            let mut order: Vec<u32> = (0..records.len() as u32).collect();
+            // Stable sort by target: spill order is ascending source
+            // (add_source id order), so each row stays source-ascending.
+            order.sort_by_key(|&i| records[i as usize].0);
+
+            let mut boundary: Vec<u32> = records
+                .iter()
+                .map(|r| r.1)
+                .filter(|&s| (s as usize) < start || (s as usize) >= start + shard_len)
+                .collect();
+            boundary.sort_unstable();
+            boundary.dedup();
+
+            let mut offsets = vec![0u64; shard_len + 1];
+            for r in &records {
+                offsets[(r.0 as usize - start) + 1] += 1;
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+
+            pad(&mut out, &mut cursor)?;
+            let boundary_off = cursor;
+            for &b in &boundary {
+                out.write_all(&b.to_le_bytes())?;
+            }
+            cursor += (boundary.len() * 4) as u64;
+
+            pad(&mut out, &mut cursor)?;
+            let offsets_off = cursor;
+            for &o in &offsets {
+                out.write_all(&o.to_le_bytes())?;
+            }
+            cursor += (offsets.len() * 8) as u64;
+
+            pad(&mut out, &mut cursor)?;
+            let sources_off = cursor;
+            for &i in &order {
+                let src = records[i as usize].1 as usize;
+                let code = if src >= start && src < start + shard_len {
+                    (src - start) as u32
+                } else {
+                    let bi = boundary.binary_search(&(src as u32)).expect("boundary id present");
+                    (shard_len + bi) as u32
+                };
+                out.write_all(&code.to_le_bytes())?;
+            }
+            cursor += (order.len() * 4) as u64;
+
+            pad(&mut out, &mut cursor)?;
+            let probs_off = cursor;
+            for &i in &order {
+                out.write_all(&records[i as usize].2.to_le_bytes())?;
+            }
+            cursor += (order.len() * 8) as u64;
+
+            dir.push(ShardMeta {
+                boundary_off,
+                boundary_len: boundary.len() as u64,
+                offsets_off,
+                sources_off,
+                probs_off,
+                edges: records.len() as u64,
+            });
+        }
+        out.flush()?;
+        let mut file = out.into_inner().map_err(|e| e.into_error())?;
+
+        // Now rewrite the reserved header, directory, and dangling list.
+        file.seek(SeekFrom::Start(0))?;
+        let mut head = Vec::with_capacity(HEADER_BYTES);
+        head.extend_from_slice(MAGIC);
+        for v in [
+            self.n as u64,
+            self.m,
+            self.shard_size as u64,
+            self.num_shards as u64,
+            dangling_off,
+            self.dangling.len() as u64,
+            tag,
+        ] {
+            head.extend_from_slice(&v.to_le_bytes());
+        }
+        file.write_all(&head)?;
+        let mut dir_buf = Vec::with_capacity(dir.len() * DIR_FIELDS * 8);
+        for d in &dir {
+            for v in
+                [d.boundary_off, d.boundary_len, d.offsets_off, d.sources_off, d.probs_off, d.edges]
+            {
+                dir_buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        file.write_all(&dir_buf)?;
+        let mut dang_buf = Vec::with_capacity(self.dangling.len() * 4);
+        for &u in &self.dangling {
+            dang_buf.extend_from_slice(&u.to_le_bytes());
+        }
+        file.write_all(&dang_buf)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &self.path)?;
+        for sp in &self.spill_paths {
+            let _ = std::fs::remove_file(sp);
+        }
+        Ok(())
+    }
+}
+
+fn read_spill(path: &Path) -> io::Result<Vec<(u32, u32, f64)>> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len() as usize;
+    assert_eq!(len % 16, 0, "corrupt spill file");
+    let mut reader = BufReader::new(file);
+    let mut records = Vec::with_capacity(len / 16);
+    let mut buf = [0u8; 16];
+    for _ in 0..len / 16 {
+        reader.read_exact(&mut buf)?;
+        records.push((
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            f64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        ));
+    }
+    Ok(records)
+}
+
+/// An opened, validated shard file serving pull-CSR rows zero-copy.
+pub struct MmapCsr {
+    map: Mmap,
+    n: usize,
+    m: u64,
+    shard_size: usize,
+    dangling_off: usize,
+    dangling_len: usize,
+    tag: u64,
+    dir: Vec<ShardMeta>,
+}
+
+impl MmapCsr {
+    /// Open `path`, validating magic, header invariants, and — when
+    /// `expected_tag` is given — the builder's generation stamp.
+    pub fn open(path: &Path, expected_tag: Option<u64>) -> io::Result<MmapCsr> {
+        let map = Mmap::map_file(path)?;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if map.len() < HEADER_BYTES {
+            return Err(bad("shard file shorter than header"));
+        }
+        if &map.bytes()[..8] != MAGIC {
+            return Err(bad("bad shard file magic"));
+        }
+        let h = map.as_u64s(8, 7);
+        let (n, m, shard_size, num_shards, dangling_off, dangling_len, tag) =
+            (h[0], h[1], h[2], h[3], h[4], h[5], h[6]);
+        if let Some(want) = expected_tag {
+            if tag != want {
+                return Err(bad("shard file generation tag mismatch (stale cache?)"));
+            }
+        }
+        let n = usize::try_from(n).map_err(|_| bad("node count overflow"))?;
+        let shard_size = usize::try_from(shard_size).map_err(|_| bad("shard size overflow"))?;
+        if shard_size == 0 || num_shards != n.div_ceil(shard_size).max(1) as u64 {
+            return Err(bad("inconsistent shard geometry"));
+        }
+        let num_shards = num_shards as usize;
+        if map.len() < HEADER_BYTES + num_shards * DIR_FIELDS * 8 {
+            return Err(bad("shard file shorter than directory"));
+        }
+        let mut dir = Vec::with_capacity(num_shards);
+        let mut edges_total = 0u64;
+        for s in 0..num_shards {
+            let d = map.as_u64s(HEADER_BYTES + s * DIR_FIELDS * 8, DIR_FIELDS);
+            let meta = ShardMeta {
+                boundary_off: d[0],
+                boundary_len: d[1],
+                offsets_off: d[2],
+                sources_off: d[3],
+                probs_off: d[4],
+                edges: d[5],
+            };
+            let shard_len = shard_size.min(n - (s * shard_size).min(n));
+            let file_len = map.len() as u128;
+            let fits = |off: u64, count: u64, size: u64| {
+                off as u128 + count as u128 * size as u128 <= file_len
+            };
+            if !fits(meta.probs_off, meta.edges, 8)
+                || !fits(meta.sources_off, meta.edges, 4)
+                || !fits(meta.offsets_off, (shard_len + 1) as u64, 8)
+                || !fits(meta.boundary_off, meta.boundary_len, 4)
+            {
+                return Err(bad("shard section out of bounds"));
+            }
+            edges_total += meta.edges;
+            dir.push(meta);
+        }
+        if edges_total != m {
+            return Err(bad("edge count disagrees with shard directory"));
+        }
+        if dangling_off as u128 + dangling_len as u128 * 4 > map.len() as u128 {
+            return Err(bad("dangling list out of bounds"));
+        }
+        let dangling_len = usize::try_from(dangling_len).map_err(|_| bad("dangling overflow"))?;
+        let dangling_off = usize::try_from(dangling_off).map_err(|_| bad("dangling overflow"))?;
+        Ok(MmapCsr { map, n, m, shard_size, dangling_off, dangling_len, tag, dir })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored transition edges.
+    pub fn num_edges(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of node shards.
+    pub fn num_shards(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Nodes per shard (the last shard may be shorter).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// The generation tag stamped at build time.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The ascending global ids of dangling nodes.
+    pub fn dangling(&self) -> &[u32] {
+        self.map.as_u32s(self.dangling_off, self.dangling_len)
+    }
+
+    /// Σ x[u] over dangling u, in ascending id order — the same
+    /// summation as the dense operator's.
+    pub fn dangling_mass(&self, x: &[f64]) -> f64 {
+        self.dangling().iter().map(|&u| x[u as usize]).sum()
+    }
+}
+
+impl CsrStore for MmapCsr {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Shard-by-shard damped step with boundary-frontier exchange.
+    ///
+    /// Sequential regardless of `threads`: shard sweeps are IO-bound
+    /// and the result is bitwise independent of parallelism anyway.
+    fn apply_step(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        damping: f64,
+        jump: &JumpVector,
+        _threads: usize,
+    ) {
+        assert_eq!(x.len(), self.n, "input vector length mismatch");
+        assert_eq!(y.len(), self.n, "output vector length mismatch");
+        let residual = damping * self.dangling_mass(x) + (1.0 - damping);
+        let base = residual / self.n as f64;
+        let jump_slice: Option<&[f64]> = match jump {
+            JumpVector::Uniform => None,
+            JumpVector::Weighted(w) => {
+                assert_eq!(w.len(), self.n, "jump vector length mismatch");
+                Some(w)
+            }
+        };
+        let mut frontier: Vec<f64> = Vec::new();
+        for (si, meta) in self.dir.iter().enumerate() {
+            let start = si * self.shard_size;
+            let shard_len = self.shard_size.min(self.n - start);
+            let boundary = self.map.as_u32s(meta.boundary_off as usize, meta.boundary_len as usize);
+            frontier.clear();
+            frontier.extend(boundary.iter().map(|&u| x[u as usize]));
+            let offsets = self.map.as_u64s(meta.offsets_off as usize, shard_len + 1);
+            let sources = self.map.as_u32s(meta.sources_off as usize, meta.edges as usize);
+            let probs = self.map.as_f64s(meta.probs_off as usize, meta.edges as usize);
+            for v_local in 0..shard_len {
+                let (lo, hi) = (offsets[v_local] as usize, offsets[v_local + 1] as usize);
+                let mut acc = 0.0;
+                for (c, p) in sources[lo..hi].iter().zip(&probs[lo..hi]) {
+                    let code = *c as usize;
+                    let xv =
+                        if code < shard_len { x[start + code] } else { frontier[code - shard_len] };
+                    acc += xv * p;
+                }
+                let v = start + v_local;
+                let jp = match jump_slice {
+                    None => base,
+                    Some(w) => residual * w[v],
+                };
+                y[v] = damping * acc + jp;
+            }
+        }
+    }
+}
+
+/// Build a shard file from an in-RAM [`CsrGraph`] — the conformance
+/// bridge between the dense and out-of-core paths (the MAG-scale path
+/// streams straight from the columnar store instead).
+pub fn build_from_graph(
+    g: &CsrGraph,
+    path: &Path,
+    shard_size: usize,
+    tag: u64,
+) -> io::Result<MmapCsr> {
+    let mut b = MmapCsrBuilder::new(path, g.num_nodes() as usize, shard_size)?;
+    let mut targets: Vec<u32> = Vec::new();
+    for u in g.nodes() {
+        targets.clear();
+        targets.extend(g.out_neighbors(u).iter().map(|t| t.0));
+        b.add_source(&targets, g.out_edge_weights(u))?;
+    }
+    b.finish(tag)?;
+    MmapCsr::open(path, Some(tag))
+}
+
+#[cfg(all(test, not(miri)))]
+mod tests {
+    use super::*;
+    use crate::stochastic::{PowerIterationOpts, RowStochastic};
+    use crate::store::stationary_store;
+    use crate::{GraphBuilder, NodeId};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sgraph-scsr-{}-{}.scsr", std::process::id(), name));
+        p
+    }
+
+    /// A small graph with dangling nodes, zero-weight edges, and skewed
+    /// in-degrees, exercised at several shard sizes.
+    fn test_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(23).with_edge_capacity(64);
+        let mut s = 17u64;
+        for i in 0..60u64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((s >> 33) % 23) as u32;
+            let v = ((s >> 13) % 23) as u32;
+            if u == v {
+                continue;
+            }
+            let w = if i % 9 == 0 { 0.0 } else { 0.25 + (i % 7) as f64 };
+            b.add_edge(NodeId(u), NodeId(v), w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bit_identical_to_dense_at_every_shard_size() {
+        let g = test_graph();
+        let op = RowStochastic::new(&g);
+        for (i, shard_size) in [1usize, 4, 7, 23, 1000].into_iter().enumerate() {
+            let path = tmp(&format!("bits{i}"));
+            let mc = build_from_graph(&g, &path, shard_size, 42).unwrap();
+            assert_eq!(mc.num_nodes(), g.num_nodes() as usize);
+            for opts in [
+                PowerIterationOpts::default(),
+                PowerIterationOpts {
+                    jump: crate::JumpVector::weighted(
+                        (0..23).map(|v| 1.0 + (v % 5) as f64).collect(),
+                    ),
+                    damping: 0.7,
+                    ..PowerIterationOpts::default()
+                },
+            ] {
+                let dense = op.stationary(&opts);
+                let sharded = stationary_store(&mc, &opts);
+                assert_eq!(dense.scores, sharded.scores, "scores must be bit-identical");
+                assert_eq!(dense.iterations, sharded.iterations);
+                assert_eq!(dense.residuals, sharded.residuals);
+            }
+            assert_eq!(
+                mc.dangling(),
+                op.dangling(),
+                "dangling sets must agree (shard_size {shard_size})"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_dense() {
+        let g = test_graph();
+        let op = RowStochastic::new(&g);
+        let path = tmp("warm");
+        let mc = build_from_graph(&g, &path, 5, 1).unwrap();
+        let opts = PowerIterationOpts {
+            warm_start: Some((0..23).map(|v| 1.0 + v as f64).collect()),
+            ..PowerIterationOpts::default()
+        };
+        let dense = op.stationary(&opts);
+        let sharded = stationary_store(&mc, &opts);
+        assert_eq!(dense.scores, sharded.scores);
+        assert_eq!(dense.iterations, sharded.iterations);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tag_mismatch_rejected() {
+        let g = test_graph();
+        let path = tmp("tag");
+        build_from_graph(&g, &path, 8, 7).unwrap();
+        let err = match MmapCsr::open(&path, Some(8)) {
+            Err(e) => e,
+            Ok(_) => panic!("stale tag must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(MmapCsr::open(&path, Some(7)).is_ok());
+        assert!(MmapCsr::open(&path, None).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let g = test_graph();
+        let path = tmp("trunc");
+        build_from_graph(&g, &path, 8, 7).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(MmapCsr::open(&path, None).is_err());
+        std::fs::write(&path, &bytes[..40]).unwrap();
+        assert!(MmapCsr::open(&path, None).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let path = tmp("empty");
+        let b = MmapCsrBuilder::new(&path, 0, 16).unwrap();
+        b.finish(0).unwrap();
+        let mc = MmapCsr::open(&path, Some(0)).unwrap();
+        assert_eq!(mc.num_nodes(), 0);
+        assert_eq!(mc.num_edges(), 0);
+        let res = stationary_store(&mc, &PowerIterationOpts::default());
+        assert!(res.converged);
+        assert!(res.scores.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -205,40 +205,7 @@ impl RowStochastic {
     /// the L1 residual drops below `tol` or `max_iter` steps elapse, and
     /// returns the final vector plus per-iteration residual history.
     pub fn stationary(&self, opts: &PowerIterationOpts) -> PowerIterationResult {
-        let n = self.n;
-        if n == 0 {
-            return PowerIterationResult {
-                scores: Vec::new(),
-                iterations: 0,
-                converged: true,
-                residuals: Vec::new(),
-            };
-        }
-        let mut x = match &opts.warm_start {
-            Some(v) => {
-                assert_eq!(v.len(), n, "warm start length mismatch");
-                let s: f64 = v.iter().sum();
-                assert!(s > 0.0, "warm start must have positive mass");
-                v.iter().map(|&e| e / s).collect()
-            }
-            None => opts.jump.to_dense(n),
-        };
-        let mut y = vec![0.0; n];
-        let mut residuals = Vec::new();
-        let mut converged = false;
-        let mut iterations = 0;
-        while iterations < opts.max_iter {
-            self.apply_parallel(&x, &mut y, opts.damping, &opts.jump, opts.threads);
-            iterations += 1;
-            let r = l1_distance(&x, &y);
-            residuals.push(r);
-            std::mem::swap(&mut x, &mut y);
-            if r < opts.tol {
-                converged = true;
-                break;
-            }
-        }
-        PowerIterationResult { scores: x, iterations, converged, residuals }
+        crate::store::stationary_store(self, opts)
     }
 }
 

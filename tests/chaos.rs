@@ -664,3 +664,97 @@ fn reindex_publish_delay_never_tears_a_reader() {
     assert_monotone_generations(&reader.join().expect("reader panicked"));
     assert!(shared.load().num_articles() > n0);
 }
+
+// ------------------------------------- pillar 1b: colstore write chaos
+
+/// A small fixed corpus for the colstore kill-during-write sweep (few
+/// enough I/O steps that the sweep can cover every one of them,
+/// including the per-file renames and the final meta commit).
+fn colstore_corpus() -> Corpus {
+    let mut b = CorpusBuilder::new();
+    let v0 = b.venue("V0");
+    let v1 = b.venue("V1");
+    let u0 = b.author("U0");
+    let u1 = b.author("U1");
+    let a0 = b.add_article("a0", 1999, v0, vec![u0], vec![], None);
+    let a1 = b.add_article("a1", 2004, v1, vec![u0, u1], vec![a0], None);
+    b.add_article("a2", 2010, v0, vec![u1], vec![a0, a1], None);
+    b.finish().expect("fixed corpus must build")
+}
+
+/// Kill a colstore build at *every* I/O step in turn (create, column
+/// writes, seals, per-file renames, meta commit). The contract is
+/// all-or-nothing: a killed write must never leave an openable store,
+/// and a disarmed retry into the same directory must publish the full
+/// store with the identical content-derived generation.
+#[test]
+fn colstore_kill_during_write_is_all_or_nothing() {
+    let _s = Scenario::begin();
+    let corpus = colstore_corpus();
+    let base = std::env::temp_dir().join(format!("scholar-chaos-colstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let clean = base.join("clean");
+    let generation = corpus.write_colstore(&clean).expect("fault-free write");
+
+    let mut steps = 0usize;
+    loop {
+        let dir = base.join(format!("kill-{steps}"));
+        let mut script = vec![Action::Off; steps];
+        script.push(Action::Trigger);
+        fp::script("corpus.colstore.io", script);
+        let res = corpus.write_colstore(&dir);
+        fp::clear("corpus.colstore.io");
+        match res {
+            Err(e) => {
+                assert!(e.to_string().contains("corpus.colstore.io"), "{e}");
+                assert!(
+                    scholar::corpus::colstore::ColStore::open(&dir).is_err(),
+                    "write killed at I/O step {steps} left an openable store"
+                );
+                // Disarmed retry into the same directory heals fully.
+                let regen = corpus.write_colstore(&dir).expect("disarmed retry");
+                assert_eq!(regen, generation, "retry must stamp the identical generation");
+                let store = scholar::corpus::colstore::ColStore::open(&dir).unwrap();
+                store.verify().unwrap();
+                assert_eq!(store.num_articles(), corpus.num_articles());
+            }
+            // The trigger landed past the last I/O step: the write ran
+            // fault-free, so the sweep has covered every step. Done.
+            Ok(regen) => {
+                assert_eq!(regen, generation);
+                break;
+            }
+        }
+        steps += 1;
+    }
+    // 6 column creates + per-article writes + 7 seals + 7 renames must
+    // all have been individually killed; a tiny count means the sweep
+    // silently stopped short of the publish phase.
+    assert!(steps > 20, "sweep covered only {steps} I/O steps");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// An unmappable column file must fail `ColStore::open` with a clean
+/// `Corrupt` error (never a panic or a half-open store), and the same
+/// directory must open fine once the fault clears.
+#[test]
+fn colstore_map_fault_fails_open_cleanly() {
+    let _s = Scenario::begin();
+    let corpus = colstore_corpus();
+    let dir = std::env::temp_dir().join(format!("scholar-chaos-map-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    corpus.write_colstore(&dir).expect("fault-free write");
+
+    fp::set("corpus.colstore.map", Action::Trigger);
+    let err = match scholar::corpus::colstore::ColStore::open(&dir) {
+        Ok(_) => panic!("open must fail while the map fault is armed"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("injected map failure"), "{err}");
+    fp::clear("corpus.colstore.map");
+
+    let store = scholar::corpus::colstore::ColStore::open(&dir).expect("fault cleared");
+    store.verify().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -112,3 +112,112 @@ fn every_ranker_emits_a_distribution_on_large_presets() {
         check_preset(preset, 11);
     }
 }
+
+/// Top-k under total order (score desc, id asc) — ties included, so two
+/// backends only agree if every tied score is bit-identical too.
+fn full_order(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+    idx
+}
+
+/// Backend equivalence: every registered ranker over the same corpus via
+/// the in-RAM and mmap (colstore) backends must produce ≤ 1e-12 L1
+/// drift, the identical full ranking order (ties resolved by the same
+/// deterministic rule on both sides), and identical solver iteration
+/// counts — the out-of-core path is a storage change, not an algorithm
+/// change.
+#[test]
+fn mmap_backend_is_score_identical_to_ram() {
+    for seed in [3, 12] {
+        let corpus = Preset::Tiny.generate(seed);
+        let dir =
+            std::env::temp_dir().join(format!("scholar-conformance-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        corpus.write_colstore(&dir).unwrap();
+        let store = scholar::corpus::colstore::ColStore::open(&dir).unwrap();
+
+        let ram = RankContext::new(&corpus);
+        let mmap = RankContext::from_colstore(&store);
+        for ranker in registered_rankers() {
+            let name = ranker.name();
+            let a = ranker.solve_ctx(&ram);
+            let b = ranker.solve_ctx(&mmap);
+            assert_distribution(&name, &corpus, &b.scores);
+            let drift = l1_distance(&a.scores, &b.scores);
+            assert!(drift <= 1e-12, "{name}: backend drift {drift:.3e} > 1e-12 (seed {seed})");
+            assert_eq!(
+                full_order(&a.scores),
+                full_order(&b.scores),
+                "{name}: backends disagree on ranking order (seed {seed})"
+            );
+            assert_eq!(
+                a.telemetry.iterations, b.telemetry.iterations,
+                "{name}: backends took different iteration counts (seed {seed})"
+            );
+            assert_eq!(
+                a.telemetry.converged, b.telemetry.converged,
+                "{name}: backends disagree on convergence (seed {seed})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The QRank engine built from an mmap-backed context must match the
+/// in-RAM engine bit-for-bit, including the ablation-relevant pieces
+/// (venue/author stationaries feed the mixture).
+#[test]
+fn qrank_engine_matches_across_backends() {
+    let corpus = Preset::Tiny.generate(21);
+    let dir =
+        std::env::temp_dir().join(format!("scholar-conformance-qrank-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    corpus.write_colstore(&dir).unwrap();
+    let store = scholar::corpus::colstore::ColStore::open(&dir).unwrap();
+
+    let cfg = scholar::QRankConfig::default();
+    let ram = RankContext::new(&corpus);
+    let mmap = RankContext::from_colstore(&store);
+    let mix = scholar::MixParams::from_config(&cfg);
+    let a = scholar::QRankEngine::build_from_ctx(&ram, &cfg).solve(&mix);
+    let b = scholar::QRankEngine::build_from_ctx(&mmap, &cfg).solve(&mix);
+    assert_eq!(a.article_scores, b.article_scores, "QRank scores must be bit-identical");
+    assert_eq!(a.outer.iterations, b.outer.iterations);
+    assert_eq!(a.twpr_diagnostics.iterations, b.twpr_diagnostics.iterations);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// TWPR on the mmap backend solves through the *partitioned* shard file
+/// (not a dense operator rebuilt in RAM); the shard cache must appear in
+/// the store directory and a second context must reuse it.
+#[test]
+fn mmap_twpr_materializes_and_reuses_the_shard_cache() {
+    let corpus = Preset::Tiny.generate(33);
+    let dir = std::env::temp_dir().join(format!("scholar-conformance-scsr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    corpus.write_colstore(&dir).unwrap();
+    let store = scholar::corpus::colstore::ColStore::open(&dir).unwrap();
+
+    let ranker = scholar::TimeWeightedPageRank::default();
+    let baseline = ranker.rank(&corpus);
+    let first = ranker.solve_ctx(&RankContext::from_colstore(&store));
+    let shards: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "scsr"))
+        .collect();
+    assert_eq!(shards.len(), 1, "TWPR over mmap must leave one shard cache file");
+    assert!(l1_distance(&baseline, &first.scores) <= 1e-12);
+
+    // A fresh context reopens the cached shard file instead of rebuilding.
+    let mtime = shards[0].metadata().unwrap().modified().unwrap();
+    let again = ranker.solve_ctx(&RankContext::from_colstore(&store));
+    assert_eq!(first.scores, again.scores);
+    assert_eq!(
+        shards[0].metadata().unwrap().modified().unwrap(),
+        mtime,
+        "second solve must reuse the shard cache, not rewrite it"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
