@@ -96,15 +96,17 @@ fn main() {
             LoadConfig { requests: churn_requests, seed: SEED ^ round, ..base.clone() };
         let load = std::thread::spawn(move || run(&churn_config).expect("churn run"));
         while !load.is_finished() {
-            reindexer.submit(vec![Article {
-                id: ArticleId(0),
-                title: format!("churn-{published}"),
-                year: 2012,
-                venue: VenueId(0),
-                authors: vec![AuthorId(0)],
-                references: vec![ArticleId(published as u32 % 7)],
-                merit: None,
-            }]);
+            reindexer
+                .submit(vec![Article {
+                    id: ArticleId(0),
+                    title: format!("churn-{published}"),
+                    year: 2012,
+                    venue: VenueId(0),
+                    authors: vec![AuthorId(0)],
+                    references: vec![ArticleId(published as u32 % 7)],
+                    merit: None,
+                }])
+                .unwrap();
             published += 1;
             let deadline = Instant::now() + Duration::from_secs(60);
             while reindexer.batches_published() < published && !load.is_finished() {

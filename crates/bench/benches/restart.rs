@@ -1,0 +1,144 @@
+//! Restart economics: what a crash-safe start costs versus the cold
+//! rebuild it replaces (DESIGN.md §2.11).
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench restart            # full, writes artifact
+//! cargo bench -p scholar-bench --bench restart -- --smoke # tiny corpus, CI
+//! ```
+//!
+//! Measures both server boot paths on one corpus. The cold path is what
+//! `scholar serve corpus.jsonl` pays with no state dir: parse the corpus
+//! from JSONL, then rank it from scratch. The warm path is what
+//! `--state` replaces it with: mmap + checksum-verify the snapshot and
+//! resume the ranker with no solve. Journal append / replay-decode
+//! throughput is measured alongside. The full run asserts the restore is
+//! ≥ 50× faster than the cold boot and writes `BENCH_restart.json` at
+//! the repo root.
+
+use scholar::core::IncrementalRanker;
+use scholar::corpus::loader::{jsonl, LoadOptions};
+use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
+use scholar::serve::{load_snapshot, write_snapshot, Wal};
+use scholar::{Preset, QRankConfig};
+use scholar_bench::{smoke_mode, SEED};
+use std::time::Instant;
+
+/// The restore must beat the rebuild by at least this factor — the whole
+/// point of shipping a snapshot format instead of re-ranking on boot.
+const MIN_RESTORE_SPEEDUP: f64 = 50.0;
+
+const WAL_BATCHES: usize = 64;
+const BATCH_ARTICLES: usize = 8;
+
+fn journal_batch(tag: usize) -> Vec<Article> {
+    (0..BATCH_ARTICLES)
+        .map(|j| Article {
+            id: ArticleId(0),
+            title: format!("restart-bench-{tag}-{j}"),
+            year: 2015,
+            venue: VenueId(0),
+            authors: vec![AuthorId(0)],
+            references: vec![ArticleId((tag * BATCH_ARTICLES + j) as u32)],
+            merit: None,
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (preset, name) =
+        if smoke { (Preset::Tiny, "tiny") } else { (Preset::DblpLike, "dblp_like") };
+    let corpus = preset.generate(SEED);
+    let n = corpus.num_articles();
+    println!("corpus: {name} ({n} articles, {} citations)", corpus.num_citations());
+
+    let dir = std::env::temp_dir().join(format!("scholar-restart-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let corpus_path = dir.join("corpus.jsonl");
+    jsonl::write_jsonl_file(&corpus, &corpus_path).expect("write corpus");
+    drop(corpus);
+
+    // The cold path: exactly what `scholar serve corpus.jsonl` does with
+    // no state dir — parse the corpus, then rank it from scratch.
+    let started = Instant::now();
+    let corpus = jsonl::read_jsonl_file(&corpus_path, &LoadOptions::default()).expect("load");
+    let cold_load_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let ranker = IncrementalRanker::new(QRankConfig::default(), corpus);
+    let cold_rank_secs = started.elapsed().as_secs_f64();
+    let cold_boot_secs = cold_load_secs + cold_rank_secs;
+    println!("cold boot:        {cold_boot_secs:>9.4} s ({cold_load_secs:.4} s parse + {cold_rank_secs:.4} s rank)");
+
+    // The once-per-publish cost: snapshot write (tmp + fsync + rename).
+    let started = Instant::now();
+    let generation = write_snapshot(&dir, ranker.corpus(), ranker.result(), 0).expect("snapshot");
+    let snapshot_write_secs = started.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(dir.join("snapshot.snap")).expect("stat").len();
+    println!(
+        "snapshot write:   {snapshot_write_secs:>9.4} s ({:.1} MiB, generation {generation:016x})",
+        snapshot_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // The warm path: mmap + checksum-verify + rebuild the ranker state.
+    let started = Instant::now();
+    let restored = load_snapshot(&dir).expect("restore");
+    let ranker2 =
+        IncrementalRanker::restore(QRankConfig::default(), restored.corpus, restored.result);
+    let restore_secs = started.elapsed().as_secs_f64();
+    let restore_speedup = cold_boot_secs / restore_secs;
+    println!("mmap restore:     {restore_secs:>9.4} s ({restore_speedup:.0}× the cold boot)");
+    assert_eq!(restored.generation, generation, "restore returned a different generation");
+    assert_eq!(ranker2.corpus().num_articles(), n, "restore dropped articles");
+
+    // Journal economics: durably acknowledge WAL_BATCHES batches, then
+    // decode them back the way a restart would.
+    let mut wal = Wal::create(&dir, 0).expect("wal create");
+    let started = Instant::now();
+    for i in 0..WAL_BATCHES {
+        wal.append(&journal_batch(i)).expect("append");
+    }
+    let wal_append_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let replayed = scholar::serve::wal::replay(&dir, 0).expect("replay");
+    let wal_replay_secs = started.elapsed().as_secs_f64();
+    assert_eq!(replayed.records.len(), WAL_BATCHES, "replay lost a journaled batch");
+    println!(
+        "journal:          {:>9.0} appends/s (fsync each), {:.0} batches/s replay decode",
+        WAL_BATCHES as f64 / wal_append_secs,
+        WAL_BATCHES as f64 / wal_replay_secs
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_restart.json and the speedup assertion)");
+        return;
+    }
+
+    assert!(
+        restore_speedup >= MIN_RESTORE_SPEEDUP,
+        "restore is only {restore_speedup:.1}× the cold boot (need ≥ {MIN_RESTORE_SPEEDUP}×)"
+    );
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", name)
+        .field("seed", SEED)
+        .field("articles", n)
+        .field("cold_load_secs", cold_load_secs)
+        .field("cold_rank_secs", cold_rank_secs)
+        .field("cold_boot_secs", cold_boot_secs)
+        .field("snapshot_write_secs", snapshot_write_secs)
+        .field("snapshot_bytes", snapshot_bytes)
+        .field("restore_secs", restore_secs)
+        .field("restore_speedup", restore_speedup)
+        .field("min_restore_speedup", MIN_RESTORE_SPEEDUP)
+        .field("wal_batches", WAL_BATCHES)
+        .field("wal_appends_per_sec", WAL_BATCHES as f64 / wal_append_secs)
+        .field("wal_replay_batches_per_sec", WAL_BATCHES as f64 / wal_replay_secs)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_restart.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

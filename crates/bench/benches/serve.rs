@@ -129,7 +129,7 @@ fn main() {
         })
         .collect();
     for b in 0..swap_batches {
-        reindexer.submit(batch(b));
+        reindexer.submit(batch(b)).unwrap();
         let deadline = Instant::now() + Duration::from_secs(60);
         while reindexer.batches_published() < (b + 1) as u64 {
             assert!(Instant::now() < deadline, "swap {b} never published");

@@ -584,7 +584,8 @@ pub fn convert<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 
 /// `scholar serve corpus.jsonl [--addr HOST:PORT] [--workers N]
 /// [--queue N] [--read-timeout-ms MS] [--max-conns N]
-/// [--backend auto|epoll|blocking] [--duration SECS]`
+/// [--backend auto|epoll|blocking] [--duration SECS] [--state DIR]
+/// [--snapshot-every N]`
 ///
 /// Rank the corpus, then serve it over HTTP: `GET /top`,
 /// `GET /article/{id}`, `GET /health`, `GET /metrics`. Without
@@ -593,6 +594,13 @@ pub fn convert<W: Write>(args: &Args, out: &mut W) -> CmdResult {
 /// requests drain before the process moves on. `--backend auto` (the
 /// default) picks the nonblocking epoll event loop on Linux and the
 /// portable blocking pool elsewhere.
+///
+/// With `--state DIR` the server is crash-safe: accepted batches are
+/// journaled to `DIR/wal.log` before they are acknowledged, the ranked
+/// state is snapshotted to `DIR/snapshot.snap` every `--snapshot-every`
+/// batches (default 8), and a restart restores from the snapshot plus
+/// journal replay — milliseconds instead of a full re-rank, losing no
+/// accepted batch.
 pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
     let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
     let config = qrank_config(args)?;
@@ -617,11 +625,43 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         backend,
     };
 
-    outln!(out, "ranking {} articles...", corpus.num_articles());
     let metrics = std::sync::Arc::new(scholar::serve::Metrics::new());
     let swap_metrics = std::sync::Arc::clone(&metrics);
-    let (shared, reindexer) =
-        scholar::serve::Reindexer::start(config, corpus, move |_| swap_metrics.record_swap());
+    let on_publish = move |_| swap_metrics.record_swap();
+    let (shared, reindexer) = match args.get("state") {
+        Some(dir) => {
+            let mut opts = scholar::serve::DurableOptions::new(dir);
+            opts.snapshot_every = args.get_parsed("snapshot-every", opts.snapshot_every)?;
+            let started = Instant::now();
+            let (shared, reindexer, report) =
+                scholar::serve::Reindexer::start_durable(config, corpus, opts, on_publish)
+                    .map_err(|e| format!("cannot recover state in '{dir}': {e}"))?;
+            if report.restored_from_snapshot {
+                outln!(
+                    out,
+                    "restored snapshot generation {:016x} + {} journaled batches \
+                     ({} articles{}) in {:?}",
+                    report.snapshot_generation,
+                    report.replayed_batches,
+                    report.replayed_articles,
+                    if report.torn_tail { ", torn journal tail discarded" } else { "" },
+                    started.elapsed()
+                );
+            } else {
+                outln!(
+                    out,
+                    "cold start: ranked and wrote snapshot generation {:016x} in {:?}",
+                    report.snapshot_generation,
+                    started.elapsed()
+                );
+            }
+            (shared, reindexer)
+        }
+        None => {
+            outln!(out, "ranking {} articles...", corpus.num_articles());
+            scholar::serve::Reindexer::start(config, corpus, on_publish)
+        }
+    };
     let mut server = scholar::serve::serve(shared, std::sync::Arc::clone(&metrics), &serve_config)
         .map_err(|e| format!("cannot bind {}: {e}", serve_config.addr))?;
     outln!(out, "listening on http://{}", server.addr());
@@ -650,6 +690,35 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         metrics.shed.load(rel),
         metrics.latency_quantile_us(0.50),
         metrics.latency_quantile_us(0.99)
+    );
+    Ok(())
+}
+
+/// `scholar snapshot corpus.jsonl --state DIR [--config FILE]`
+///
+/// Rank the corpus offline and publish the result as a durable state
+/// directory (`DIR/snapshot.snap` + an empty `DIR/wal.log`), exactly
+/// what a cold `serve --state DIR` would write — so the first real
+/// `serve --state DIR` restores in milliseconds instead of ranking.
+pub fn snapshot<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let corpus = load_corpus(args.positional(0, "corpus path")?, args)?;
+    let config = qrank_config(args)?;
+    let dir = std::path::PathBuf::from(args.get("state").ok_or("missing --state DIR")?);
+    outln!(out, "ranking {} articles...", corpus.num_articles());
+    let started = Instant::now();
+    let ranker = scholar::core::IncrementalRanker::new(config, corpus);
+    let ranked_in = started.elapsed();
+    let generation = scholar::serve::write_snapshot(&dir, ranker.corpus(), ranker.result(), 0)
+        .map_err(|e| format!("cannot write snapshot in '{}': {e}", dir.display()))?;
+    scholar::serve::Wal::create(&dir, 0)
+        .map_err(|e| format!("cannot create journal in '{}': {e}", dir.display()))?;
+    outln!(
+        out,
+        "wrote {} generation {:016x} ({} articles, ranked in {:?})",
+        scholar::serve::snapshot::snapshot_path(&dir).display(),
+        generation,
+        ranker.corpus().num_articles(),
+        ranked_in
     );
     Ok(())
 }
@@ -880,6 +949,22 @@ mod tests {
         assert!(out.contains("future-citation prediction"));
         assert!(out.contains("QRank"));
         assert!(out.contains("PageRank"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_then_serve_state_restores_instead_of_ranking() {
+        let dir = tmpdir();
+        let path = corpus_file(&dir);
+        let state = dir.join("state").to_string_lossy().into_owned();
+        let out = run(&["snapshot", &path, "--state", &state]).unwrap();
+        assert!(out.contains("generation"), "{out}");
+        let out =
+            run(&["serve", &path, "--state", &state, "--addr", "127.0.0.1:0", "--duration", "0"])
+                .unwrap();
+        assert!(out.contains("restored snapshot generation"), "{out}");
+        let err = run(&["snapshot", &path]).unwrap_err();
+        assert!(err.contains("--state"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

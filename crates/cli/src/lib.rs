@@ -24,6 +24,7 @@ pub fn dispatch<W: std::io::Write>(parsed: &Args, out: &mut W) -> Result<(), Str
         "eval" => commands::eval(parsed, out),
         "convert" => commands::convert(parsed, out),
         "serve" => commands::serve(parsed, out),
+        "snapshot" => commands::snapshot(parsed, out),
         "" | "help" => {
             writeln!(out, "{}", help_text()).map_err(|e| e.to_string())?;
             Ok(())
@@ -71,18 +72,27 @@ COMMANDS:
   serve     CORPUS.jsonl [--addr HOST:PORT] [--workers N] [--queue N]
             [--read-timeout-ms MS] [--max-conns N]
             [--backend auto|epoll|blocking] [--duration SECS]
+            [--state DIR] [--snapshot-every N]
             rank the corpus and serve it over HTTP: GET /top (k, venue,
             author, year_min, year_max filters), /article/{id}, /health,
             /metrics; runs until stdin closes unless --duration is given;
             --backend auto picks the nonblocking epoll event loop on
             Linux (keep-alive, SO_REUSEPORT shards) and the portable
-            blocking pool elsewhere
+            blocking pool elsewhere; --state DIR makes the server
+            crash-safe: batches journal to DIR/wal.log before they are
+            acknowledged, state snapshots to DIR/snapshot.snap every
+            --snapshot-every batches, and a restart restores snapshot +
+            journal in milliseconds instead of re-ranking
+  snapshot  CORPUS.jsonl --state DIR
+            rank the corpus offline and publish it as a durable state
+            directory, so the first `serve --state DIR` restores
+            instantly instead of ranking
 
 Commands reading CORPUS.jsonl accept --missing-year error|drop|YEAR for
 records without a publication year (default: error — yearless records
 abort the load rather than silently becoming year-0 articles).
 
-Commands running QRank (rank, ablate, coldstart, eval, serve) accept --config FILE
+Commands running QRank (rank, ablate, coldstart, eval, serve, snapshot) accept --config FILE
 with a partial QRankConfig as JSON; unspecified fields keep tuned defaults.
 They also accept --threads N to set the worker count (--threads 1 forces
 sequential execution); the SCHOLAR_THREADS environment variable changes

@@ -13,6 +13,7 @@ use crate::engine::{MixParams, QRankEngine};
 use crate::qrank::QRankResult;
 use scholar_corpus::model::Article;
 use scholar_corpus::Corpus;
+use std::sync::OnceLock;
 
 /// Maintains a QRank ranking across corpus updates.
 ///
@@ -26,7 +27,10 @@ use scholar_corpus::Corpus;
 pub struct IncrementalRanker {
     config: QRankConfig,
     corpus: Corpus,
-    engine: QRankEngine,
+    /// Lazily built so [`IncrementalRanker::restore`] is O(corpus): a
+    /// ranker resurrected from a snapshot only pays for the engine plan
+    /// when the first update (or explanation) actually needs it.
+    engine: OnceLock<QRankEngine>,
     result: QRankResult,
 }
 
@@ -45,7 +49,40 @@ impl IncrementalRanker {
         config.assert_valid();
         let engine = QRankEngine::build(&corpus, &config);
         let result = engine.solve(&MixParams::from_config(&config));
-        IncrementalRanker { config, corpus, engine, result }
+        let cell = OnceLock::new();
+        let _ = cell.set(engine);
+        IncrementalRanker { config, corpus, engine: cell, result }
+    }
+
+    /// Resume tracking a corpus whose ranking was already computed — the
+    /// crash-safe restart path. No solve happens and no engine plan is
+    /// built; the caller asserts that `result` is the fixpoint for
+    /// `corpus` under `config` (e.g. it was decoded from a checksummed
+    /// snapshot that was written from a live ranker). Scores must match
+    /// the corpus dimensions or this panics.
+    pub fn restore(config: QRankConfig, corpus: Corpus, result: QRankResult) -> Self {
+        config.assert_valid();
+        assert_eq!(
+            result.article_scores.len(),
+            corpus.num_articles(),
+            "restored article scores must match the corpus"
+        );
+        assert_eq!(
+            result.venue_scores.len(),
+            corpus.num_venues(),
+            "restored venue scores must match the corpus"
+        );
+        assert_eq!(
+            result.author_scores.len(),
+            corpus.num_authors(),
+            "restored author scores must match the corpus"
+        );
+        assert_eq!(
+            result.twpr_scores.len(),
+            corpus.num_articles(),
+            "restored walk scores must match the corpus"
+        );
+        IncrementalRanker { config, corpus, engine: OnceLock::new(), result }
     }
 
     /// The current corpus.
@@ -53,9 +90,10 @@ impl IncrementalRanker {
         &self.corpus
     }
 
-    /// The prepared engine for the current corpus.
+    /// The prepared engine for the current corpus, built on first use
+    /// after a [`IncrementalRanker::restore`].
     pub fn engine(&self) -> &QRankEngine {
-        &self.engine
+        self.engine.get_or_init(|| QRankEngine::build(&self.corpus, &self.config))
     }
 
     /// The current ranking.
@@ -122,7 +160,8 @@ impl IncrementalRanker {
             warm_iterations: result.twpr_diagnostics.iterations,
         };
         self.corpus = grown;
-        self.engine = engine;
+        self.engine = OnceLock::new();
+        let _ = self.engine.set(engine);
         self.result = result;
         stats
     }

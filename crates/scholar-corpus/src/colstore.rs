@@ -534,38 +534,102 @@ impl ColStore {
         Some((lo, hi))
     }
 
-    fn record<'a>(&self, idx: &Column, dat: &'a Column, i: usize) -> &'a [u8] {
+    /// The byte range of record `i`, bounds-checked against the data
+    /// payload. [`ColStore::open`] validates only the *terminal* index
+    /// offset, so interior offsets are untrusted bytes here: a flipped
+    /// bit must surface as [`CorpusError::Corrupt`], never a panic.
+    fn record<'a>(
+        &self,
+        name: &'static str,
+        idx: &Column,
+        dat: &'a Column,
+        i: usize,
+    ) -> Result<&'a [u8]> {
+        if i >= self.n {
+            return Err(corrupt(
+                name,
+                &format!("record {i} out of range (store has {} rows)", self.n),
+            ));
+        }
         let offs = idx.map.as_u64s(i * 8, 2);
-        &dat.payload_bytes()[offs[0] as usize..offs[1] as usize]
+        let payload = dat.payload_bytes();
+        let lo = usize::try_from(offs[0]).map_err(|_| corrupt(name, "record offset overflow"))?;
+        let hi = usize::try_from(offs[1]).map_err(|_| corrupt(name, "record offset overflow"))?;
+        if lo > hi || hi > payload.len() {
+            return Err(corrupt(name, &format!("record {i} offsets {lo}..{hi} out of bounds")));
+        }
+        Ok(&payload[lo..hi])
     }
 
     /// Decode article `i`'s byline (author ids, byline order) into `out`.
-    pub fn authors_of(&self, i: usize, out: &mut Vec<u32>) {
+    /// Truncated or malformed bytes come back as
+    /// [`CorpusError::Corrupt`] — this path reads mmap-backed disk bytes
+    /// whose checksums [`ColStore::open`] deliberately skipped.
+    pub fn authors_of(&self, i: usize, out: &mut Vec<u32>) -> Result<()> {
         out.clear();
-        let bytes = self.record(&self.authors_idx, &self.authors_dat, i);
+        let bytes = self.record("authors.dat", &self.authors_idx, &self.authors_dat, i)?;
         let mut pos = 0;
-        let count = read_varint(bytes, &mut pos).expect("corrupt byline record");
+        let count = read_varint(bytes, &mut pos).ok_or_else(|| {
+            corrupt("authors.dat", &format!("truncated byline count in record {i}"))
+        })?;
+        // Every author id is at least one byte, so a count beyond the
+        // remaining bytes is corruption — checked before the reserve so
+        // a corrupt count cannot drive a huge allocation.
+        if count > (bytes.len() - pos) as u64 {
+            return Err(corrupt(
+                "authors.dat",
+                &format!("byline count {count} exceeds record {i}"),
+            ));
+        }
         out.reserve(count as usize);
         for _ in 0..count {
-            out.push(read_varint(bytes, &mut pos).expect("corrupt byline record") as u32);
+            let v = read_varint(bytes, &mut pos).ok_or_else(|| {
+                corrupt("authors.dat", &format!("truncated byline varint in record {i}"))
+            })?;
+            let a = u32::try_from(v).map_err(|_| {
+                corrupt("authors.dat", &format!("author id {v} overflows u32 in record {i}"))
+            })?;
+            out.push(a);
         }
+        Ok(())
     }
 
     /// Decode article `i`'s reference list (strictly ascending cited
-    /// ids) into `out`.
-    pub fn refs_of(&self, i: usize, out: &mut Vec<u32>) {
+    /// ids) into `out`. Corrupt bytes surface as
+    /// [`CorpusError::Corrupt`], like [`ColStore::authors_of`].
+    pub fn refs_of(&self, i: usize, out: &mut Vec<u32>) -> Result<()> {
         out.clear();
-        let bytes = self.record(&self.refs_idx, &self.refs_dat, i);
+        let bytes = self.record("refs.dat", &self.refs_idx, &self.refs_dat, i)?;
         let mut pos = 0;
-        let count = read_varint(bytes, &mut pos).expect("corrupt reference record");
+        let count = read_varint(bytes, &mut pos).ok_or_else(|| {
+            corrupt("refs.dat", &format!("truncated reference count in record {i}"))
+        })?;
+        if count > (bytes.len() - pos) as u64 {
+            return Err(corrupt(
+                "refs.dat",
+                &format!("reference count {count} exceeds record {i}"),
+            ));
+        }
         out.reserve(count as usize);
         let mut prev = 0u64;
         for k in 0..count {
-            let delta = read_varint(bytes, &mut pos).expect("corrupt reference record");
-            let v = if k == 0 { delta } else { prev + delta };
-            out.push(v as u32);
+            let delta = read_varint(bytes, &mut pos).ok_or_else(|| {
+                corrupt("refs.dat", &format!("truncated reference varint in record {i}"))
+            })?;
+            let v = if k == 0 {
+                delta
+            } else {
+                prev.checked_add(delta).ok_or_else(|| {
+                    corrupt("refs.dat", &format!("reference delta overflow in record {i}"))
+                })?
+            };
+            let r = u32::try_from(v).map_err(|_| {
+                corrupt("refs.dat", &format!("cited id {v} overflows u32 in record {i}"))
+            })?;
+            out.push(r);
             prev = v;
         }
+        Ok(())
     }
 
     /// Materialize the store as an in-RAM [`Corpus`] with synthetic
@@ -577,8 +641,8 @@ impl ColStore {
         let mut byline = Vec::new();
         let mut refs = Vec::new();
         for i in 0..self.n {
-            self.authors_of(i, &mut byline);
-            self.refs_of(i, &mut refs);
+            self.authors_of(i, &mut byline)?;
+            self.refs_of(i, &mut refs)?;
             articles.push(Article {
                 id: ArticleId(i as u32),
                 title: format!("article-{i}"),
@@ -650,9 +714,9 @@ mod tests {
             let i = a.id.0 as usize;
             assert_eq!(store.year_of(i), a.year);
             assert_eq!(store.venue_of(i), a.venue.0);
-            store.authors_of(i, &mut byline);
+            store.authors_of(i, &mut byline).unwrap();
             assert_eq!(byline, a.authors.iter().map(|x| x.0).collect::<Vec<_>>());
-            store.refs_of(i, &mut refs);
+            store.refs_of(i, &mut refs).unwrap();
             assert_eq!(refs, a.references.iter().map(|x| x.0).collect::<Vec<_>>());
         }
 
@@ -731,6 +795,57 @@ mod tests {
         // Remove the commit point: the store does not exist.
         std::fs::remove_file(dir.join("meta.col")).unwrap();
         assert!(ColStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_bytes_surface_as_typed_errors_not_panics() {
+        let dir = tmpdir("corrupt-bytes");
+        let mut w = ColWriter::create(&dir).unwrap();
+        w.push(2000, 0, &[1, 2], &[]).unwrap();
+        w.push(2001, 1, &[0], &[0]).unwrap();
+        w.finish(3, 2).unwrap();
+        let mut out = Vec::new();
+
+        // Open skips payload checksums by design, so every tampered
+        // store below opens fine — the *decode* must refuse, with a
+        // typed Corrupt error, never a panic or a bogus huge reserve.
+
+        // Record 0 of authors.dat is [count=2, 1, 2]. A count claiming
+        // more entries than the record holds:
+        let dat = dir.join("authors.dat");
+        let good = std::fs::read(&dat).unwrap();
+        let mut bytes = good.clone();
+        bytes[0] = 0x7f;
+        std::fs::write(&dat, &bytes).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        let err = store.authors_of(0, &mut out).unwrap_err();
+        assert!(matches!(err, CorpusError::Corrupt { .. }), "{err}");
+
+        // A varint truncated by the record boundary (continuation bit
+        // set on the record's last byte):
+        let mut bytes = good.clone();
+        bytes[2] = 0x80;
+        std::fs::write(&dat, &bytes).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        let err = store.authors_of(0, &mut out).unwrap_err();
+        assert!(matches!(err, CorpusError::Corrupt { .. }), "{err}");
+        std::fs::write(&dat, &good).unwrap();
+
+        // An interior index offset pointing past the data payload —
+        // open only validates the terminal offset:
+        let idx = dir.join("refs.idx");
+        let mut bytes = std::fs::read(&idx).unwrap();
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&idx, &bytes).unwrap();
+        let store = ColStore::open(&dir).unwrap();
+        let err = store.refs_of(0, &mut out).unwrap_err();
+        assert!(matches!(err, CorpusError::Corrupt { .. }), "{err}");
+
+        // A record id past the row count (a corrupt reference chased
+        // into `authors_of`) is typed, not an index panic.
+        let err = store.authors_of(99, &mut out).unwrap_err();
+        assert!(matches!(err, CorpusError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -47,6 +47,82 @@ impl Corpus {
         Corpus { articles, authors, venues, citation_graph_builds: AtomicUsize::new(0) }
     }
 
+    /// Reassemble a corpus from parts previously extracted from a live
+    /// `Corpus` — the snapshot-restore path. Unlike [`CorpusBuilder`],
+    /// this does **not** intern by name (two distinct authors may share a
+    /// name; interning would silently merge them), but it re-runs the
+    /// structural checks so corrupt or tampered inputs surface as typed
+    /// errors instead of panics downstream: dense ids, in-bounds
+    /// venue/author/reference ids, sorted deduplicated references, no
+    /// self-citations.
+    pub fn assemble(
+        articles: Vec<Article>,
+        authors: Vec<Author>,
+        venues: Vec<Venue>,
+    ) -> Result<Self> {
+        let n_articles = articles.len() as u32;
+        let n_authors = authors.len() as u32;
+        let n_venues = venues.len() as u32;
+        let dense = |what: &'static str, got: u32, want: usize| {
+            Err(CorpusError::Corrupt {
+                file: "<assemble>".to_owned(),
+                message: format!("{what} id {got} at position {want} is not dense"),
+            })
+        };
+        for (i, u) in authors.iter().enumerate() {
+            if u.id.index() != i {
+                return dense("author", u.id.0, i);
+            }
+        }
+        for (i, v) in venues.iter().enumerate() {
+            if v.id.index() != i {
+                return dense("venue", v.id.0, i);
+            }
+        }
+        for (i, art) in articles.iter().enumerate() {
+            if art.id.index() != i {
+                return dense("article", art.id.0, i);
+            }
+            if art.venue.0 >= n_venues {
+                return Err(CorpusError::DanglingReference {
+                    kind: "venue",
+                    id: art.venue.0,
+                    article: art.id.0,
+                });
+            }
+            for &u in &art.authors {
+                if u.0 >= n_authors {
+                    return Err(CorpusError::DanglingReference {
+                        kind: "author",
+                        id: u.0,
+                        article: art.id.0,
+                    });
+                }
+            }
+            let mut prev: Option<ArticleId> = None;
+            for &r in &art.references {
+                if r.0 >= n_articles {
+                    return Err(CorpusError::DanglingReference {
+                        kind: "article",
+                        id: r.0,
+                        article: art.id.0,
+                    });
+                }
+                if r == art.id || prev.is_some_and(|p| p >= r) {
+                    return Err(CorpusError::Corrupt {
+                        file: "<assemble>".to_owned(),
+                        message: format!(
+                            "article {} has unsorted, duplicate, or self references",
+                            art.id.0
+                        ),
+                    });
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(Corpus::from_parts(articles, authors, venues))
+    }
+
     /// How many times [`Corpus::citation_graph`] has run for this
     /// instance. Used by tests and benches to assert that prepared layers
     /// (RankContext, QRankEngine) amortize the CSR build.

@@ -28,9 +28,13 @@ pub const BENCH_SHARED_KEYS: [&str; 3] = ["corpus", "seed", "articles"];
 ///
 /// `BENCH_outofcore.json` is the proof that a MAG-scale build+rank fit a
 /// fixed memory budget; an artifact without the measured peak and the
-/// budget it was asserted against proves nothing.
-pub const BENCH_ARTIFACT_KEYS: &[(&str, &[&str])] =
-    &[("BENCH_outofcore.json", &["peak_rss_bytes", "rss_budget_bytes"])];
+/// budget it was asserted against proves nothing. `BENCH_restart.json`
+/// exists to gate the restore-vs-rebuild ratio — without both sides and
+/// the ratio itself, the crash-safe restart claim is untracked.
+pub const BENCH_ARTIFACT_KEYS: &[(&str, &[&str])] = &[
+    ("BENCH_outofcore.json", &["peak_rss_bytes", "rss_budget_bytes"]),
+    ("BENCH_restart.json", &["cold_rank_secs", "restore_secs", "restore_speedup"]),
+];
 
 const RULE: &str = "BENCH-SCHEMA";
 

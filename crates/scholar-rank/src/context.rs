@@ -307,7 +307,9 @@ impl<'c> RankContext<'c> {
                 let mut refs = Vec::new();
                 let mut weights = Vec::new();
                 for i in 0..n {
-                    store.refs_of(i, &mut refs);
+                    store
+                        .refs_of(i, &mut refs)
+                        .unwrap_or_else(|e| panic!("column store decode failed: {e}"));
                     weights.clear();
                     weights.extend(refs.iter().map(|&r| {
                         crate::time_weighted::TimeWeightedPageRank::edge_weight(

@@ -29,6 +29,14 @@ use scholar_corpus::model::author_position_weights;
 use scholar_corpus::{Corpus, Year};
 use sgraph::{Bipartite, BipartiteBuilder, CsrGraph, GraphBuilder, NodeId};
 
+/// The [`Storage`] surface is infallible by design — rankers consume
+/// stores that were already opened and validated. A corrupt record
+/// surfacing mid-scan has no recovery at this layer, so it aborts with
+/// the colstore's typed diagnosis instead of a bare index panic.
+fn decoded<T>(r: scholar_corpus::Result<T>) -> T {
+    r.unwrap_or_else(|e| panic!("column store decode failed: {e}"))
+}
+
 /// One article's structural row, borrowed from the backing store during
 /// [`Storage::for_each_article`].
 #[derive(Debug)]
@@ -195,7 +203,7 @@ impl Storage for ColStore {
             .self_loops(false);
         let mut refs = Vec::new();
         for i in 0..n {
-            self.refs_of(i, &mut refs);
+            decoded(self.refs_of(i, &mut refs));
             for &r in &refs {
                 b.add_unweighted(NodeId(i as u32), NodeId(r));
             }
@@ -211,7 +219,7 @@ impl Storage for ColStore {
             .self_loops(false);
         let mut refs = Vec::new();
         for i in 0..n {
-            self.refs_of(i, &mut refs);
+            decoded(self.refs_of(i, &mut refs));
             for &r in &refs {
                 let w = f(years[i], years[r as usize]);
                 b.add_edge(NodeId(i as u32), NodeId(r), w);
@@ -226,7 +234,7 @@ impl Storage for ColStore {
         let mut b = GraphBuilder::new(self.num_venues() as u32).self_loops(false);
         let mut refs = Vec::new();
         for i in 0..n {
-            self.refs_of(i, &mut refs);
+            decoded(self.refs_of(i, &mut refs));
             for &r in &refs {
                 let w = f(years[i], years[r as usize]);
                 b.add_edge(NodeId(self.venue_of(i)), NodeId(self.venue_of(r as usize)), w);
@@ -247,14 +255,14 @@ impl Storage for ColStore {
         let mut cited_byline = Vec::new();
         let mut refs = Vec::new();
         for i in 0..n {
-            self.authors_of(i, &mut byline);
+            decoded(self.authors_of(i, &mut byline));
             if byline.is_empty() {
                 continue;
             }
             let wa = author_position_weights(byline.len());
-            self.refs_of(i, &mut refs);
+            decoded(self.refs_of(i, &mut refs));
             for &r in &refs {
-                self.authors_of(r as usize, &mut cited_byline);
+                decoded(self.authors_of(r as usize, &mut cited_byline));
                 if cited_byline.is_empty() {
                     continue;
                 }
@@ -281,7 +289,7 @@ impl Storage for ColStore {
         let mut b = BipartiteBuilder::new(self.num_authors() as u32, n as u32);
         let mut byline = Vec::new();
         for i in 0..n {
-            self.authors_of(i, &mut byline);
+            decoded(self.authors_of(i, &mut byline));
             let w = author_position_weights(byline.len());
             for (&author, &weight) in byline.iter().zip(&w) {
                 b.add_edge(author, i as u32, weight);
@@ -304,7 +312,7 @@ impl Storage for ColStore {
         let mut counts = vec![0u32; n];
         let mut refs = Vec::new();
         for i in 0..n {
-            self.refs_of(i, &mut refs);
+            decoded(self.refs_of(i, &mut refs));
             for &r in &refs {
                 counts[r as usize] += 1;
             }
@@ -318,8 +326,8 @@ impl Storage for ColStore {
         let mut byline = Vec::new();
         let mut refs = Vec::new();
         for (i, &year) in years.iter().enumerate().take(n) {
-            self.authors_of(i, &mut byline);
-            self.refs_of(i, &mut refs);
+            decoded(self.authors_of(i, &mut byline));
+            decoded(self.refs_of(i, &mut refs));
             visit(ArticleRow {
                 id: i as u32,
                 year,

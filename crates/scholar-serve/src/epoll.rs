@@ -27,10 +27,14 @@
 //! 3. **flush** — write the output buffer until done or `WouldBlock`;
 //!    leftover bytes wait for the next `EPOLLOUT` edge.
 //!
-//! A tick-based sweep (every [`TICK_MS`]) evicts connections idle past
-//! the read timeout: mid-request stalls get the same `408` the blocking
-//! path produces (slowloris parity); idle keep-alive connections are
-//! closed silently, as keep-alive clients expect.
+//! An idle sweep evicts connections idle past the read timeout:
+//! mid-request stalls get the same `408` the blocking path produces
+//! (slowloris parity); idle keep-alive connections are closed silently,
+//! as keep-alive clients expect. The `epoll_wait` timeout is
+//! deadline-driven: it is the time until the earliest idle connection's
+//! eviction deadline, capped at [`TICK_MS`] (the stop-flag check
+//! cadence), so an eviction lands within about a millisecond of its
+//! deadline instead of up to a full tick late.
 //!
 //! ## Cache invalidation on swap
 //!
@@ -57,8 +61,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Epoll wait timeout: the cadence of the stop-flag check and the
-/// idle-connection sweep. Bounds shutdown latency and 408 lateness.
+/// Maximum epoll wait timeout: the cadence of the stop-flag check. The
+/// actual timeout is the sooner of this and the earliest idle-eviction
+/// deadline, so evictions are not quantized to this tick.
 const TICK_MS: i32 = 25;
 /// Events drained per `epoll_wait` call.
 const EVENTS_CAP: usize = 256;
@@ -199,8 +204,19 @@ impl Shard {
 
     fn run(&mut self, stop: &AtomicBool) {
         let mut events = vec![EpollEvent::zeroed(); EVENTS_CAP];
+        let mut next_deadline: Option<Instant> = None;
         while !stop.load(Ordering::SeqCst) {
-            let n = match self.epoll.wait(&mut events, TICK_MS) {
+            // Wake for the earliest idle-eviction deadline if it is
+            // sooner than the stop-check tick; round the remainder up so
+            // a sub-millisecond wait cannot spin at timeout zero.
+            let timeout = match next_deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    left.as_millis().saturating_add(1).min(TICK_MS as u128) as i32
+                }
+                None => TICK_MS,
+            };
+            let n = match self.epoll.wait(&mut events, timeout) {
                 Ok(n) => n,
                 Err(e) => {
                     eprintln!("scholar-serve: epoll_wait failed: {e}");
@@ -225,7 +241,7 @@ impl Shard {
                     self.conn_ready(token as usize);
                 }
             }
-            self.sweep_idle();
+            next_deadline = self.sweep_idle();
         }
         self.drain_pending_writes();
     }
@@ -315,10 +331,14 @@ impl Shard {
                 // tidies the interest list when the fd lives on (it
                 // never does here, but the call is harmless).
                 let _ = self.epoll.del(conn.stream.as_raw_fd());
-                drop(conn);
+                // All bookkeeping happens *before* the fd closes: the
+                // close delivers EOF to the client, and a client that
+                // reacts to that EOF by reading the metrics must see the
+                // gauge already decremented.
                 self.free.push(slot);
                 self.active -= 1;
                 self.ctx.metrics.record_conn_close();
+                drop(conn);
             }
         }
     }
@@ -326,14 +346,22 @@ impl Shard {
     /// Evict connections idle past the read timeout. Mid-request stalls
     /// (bytes buffered, or nothing ever served) answer `408` exactly
     /// like the blocking path's read-timeout; idle keep-alive
-    /// connections close silently.
-    fn sweep_idle(&mut self) {
+    /// connections close silently. Returns the earliest eviction
+    /// deadline among the surviving connections, which becomes the next
+    /// `epoll_wait` timeout.
+    fn sweep_idle(&mut self) -> Option<Instant> {
         let now = Instant::now();
         let timeout = self.ctx.read_timeout;
+        let mut earliest: Option<Instant> = None;
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { continue };
             let idle = now.duration_since(conn.last_activity);
             if idle <= timeout {
+                let deadline = conn.last_activity + timeout;
+                earliest = Some(match earliest {
+                    Some(e) => e.min(deadline),
+                    None => deadline,
+                });
                 continue;
             }
             let mid_request = !conn.buf.is_empty() || conn.served == 0;
@@ -355,6 +383,7 @@ impl Shard {
             }
             self.close(slot);
         }
+        earliest
     }
 
     /// Post-shutdown courtesy: responses already rendered get a short

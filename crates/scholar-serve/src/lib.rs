@@ -69,11 +69,15 @@ pub mod http;
 pub mod index;
 pub mod metrics;
 pub mod server;
+pub mod snapshot;
 pub mod swap;
 #[cfg(target_os = "linux")]
 pub(crate) mod sys;
+pub mod wal;
 
 pub use index::{ArticleDetail, Hit, ScoreIndex, TopQuery};
 pub use metrics::Metrics;
 pub use server::{respond, serve, Backend, ServeConfig, ServerHandle};
-pub use swap::{Reindexer, SharedIndex};
+pub use snapshot::{load_snapshot, write_snapshot, RestoredState, StateError};
+pub use swap::{DurableOptions, RecoveryReport, Reindexer, SharedIndex, SubmitError};
+pub use wal::{Replay, Wal};

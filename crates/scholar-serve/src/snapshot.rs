@@ -1,0 +1,711 @@
+//! SNAPv1: a durable single-file snapshot of the served ranking state.
+//!
+//! The serving stack's crash-safe restart path (DESIGN.md §2.11). One
+//! file, `snapshot.snap`, holds everything [`crate::Reindexer`] needs to
+//! resume serving without a solve: the corpus (articles, bylines,
+//! references, names) and the four score vectors of the current
+//! [`qrank::QRankResult`]. The layout follows the SCOLv1
+//! discipline from `scholar_corpus::colstore`:
+//!
+//! - **checksummed sections** — every section carries an FNV-1a 64
+//!   checksum in the section table; a flipped bit anywhere surfaces as a
+//!   typed [`StateError::Corrupt`], never a panic or a wrong answer;
+//! - **content-derived generation** — the snapshot generation is the
+//!   FNV-1a hash of the entity counts, the WAL high-water mark, and all
+//!   section checksums, so two snapshots of identical state agree and
+//!   any difference in state changes the generation;
+//! - **tmp-then-rename publish** — the writer streams to
+//!   `snapshot.snap.tmp`, fsyncs, and renames into place, so readers see
+//!   either the old complete snapshot or the new complete snapshot and
+//!   never a torn file.
+//!
+//! Sections are 8-byte aligned so the loader can hand out `&[i32]` /
+//! `&[f64]` views straight from the mmap without copying; only the
+//! variable-width payloads (titles, names, bylines, references) are
+//! decoded.
+//!
+//! Every write-path and map-path I/O step funnels through the
+//! `snapshot.io` failpoint, mirroring `corpus.colstore.io`, so the chaos
+//! suite can kill a snapshot publish (or a restart's load) at any step
+//! and assert the all-or-nothing contract.
+
+use qrank::QRankResult;
+use scholar_corpus::model::{Article, ArticleId, Author, AuthorId, Venue, VenueId};
+use scholar_corpus::Corpus;
+use scholar_rank::Diagnostics;
+use sgraph::mmap::Mmap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors from the durable-state layer (snapshot + WAL).
+#[derive(Debug)]
+pub enum StateError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A state file failed validation (bad magic, checksum, bounds, or
+    /// internal structure).
+    Corrupt {
+        /// The offending file name.
+        file: String,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Io(e) => write!(f, "state io error: {e}"),
+            StateError::Corrupt { file, message } => {
+                write!(f, "corrupt state file {file}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+/// Result alias for the durable-state layer.
+pub type Result<T> = std::result::Result<T, StateError>;
+
+const MAGIC: &[u8; 8] = b"SNAPv1\0\0";
+const END_MAGIC: &[u8; 8] = b"SNAPend\0";
+const SNAP_FILE: &str = "snapshot.snap";
+const TMP_FILE: &str = "snapshot.snap.tmp";
+
+/// Header: magic, generation, wal_seq, n_articles, n_authors, n_venues,
+/// section count.
+const HEADER_BYTES: usize = 56;
+/// Section-table entry: offset, length, checksum.
+const ENTRY_BYTES: usize = 24;
+/// Footer: end magic + generation echo (truncation tripwire).
+const FOOTER_BYTES: usize = 16;
+
+// Section ids, in file order. All sections start 8-byte aligned.
+const S_YEARS: usize = 0; // i32 × n
+const S_VENUES: usize = 1; // u32 × n
+const S_TITLES_IDX: usize = 2; // u64 × (n+1)
+const S_TITLES_DAT: usize = 3; // utf8 bytes
+const S_AUTHORS_IDX: usize = 4; // u64 × (n+1)
+const S_AUTHORS_DAT: usize = 5; // varint author ids
+const S_REFS_IDX: usize = 6; // u64 × (n+1)
+const S_REFS_DAT: usize = 7; // delta varints (refs are sorted)
+const S_MERIT_MASK: usize = 8; // u8 × n
+const S_MERIT_VAL: usize = 9; // f64 × n (0.0 where mask is 0)
+const S_NAMES: usize = 10; // varint-len strings: venues then authors
+const S_SCORE_ARTICLE: usize = 11; // f64 × n
+const S_SCORE_VENUE: usize = 12; // f64 × n_venues
+const S_SCORE_AUTHOR: usize = 13; // f64 × n_authors
+const S_SCORE_TWPR: usize = 14; // f64 × n
+const SECTIONS: usize = 15;
+
+const TABLE_OFF: usize = HEADER_BYTES;
+const DATA_OFF: usize = TABLE_OFF + SECTIONS * ENTRY_BYTES;
+
+/// FNV-1a 64 — same function SCOLv1 uses; good dispersion, no tables,
+/// and bit-for-bit reproducible across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// LEB128-style varint append (shared with WALv1).
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Varint read; `None` on truncation or a value wider than 64 bits.
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Chaos site: every snapshot I/O step (tmp create, section writes,
+/// fsync, the rename publish, and the restart-side mmap) funnels through
+/// this one check, so a `fp::Script` over `snapshot.io` can kill a
+/// snapshot publish or load at any step.
+fn snapshot_io_check() -> Result<()> {
+    failpoint!(
+        "snapshot.io",
+        return Err(StateError::Io(std::io::Error::other("injected I/O fault at snapshot.io")))
+    );
+    Ok(())
+}
+
+fn corrupt(message: impl Into<String>) -> StateError {
+    StateError::Corrupt { file: SNAP_FILE.to_owned(), message: message.into() }
+}
+
+/// Path of the published snapshot inside a state directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAP_FILE)
+}
+
+fn pad8(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(8) {
+        buf.push(0);
+    }
+}
+
+/// Encode the sections for `(corpus, result)`. Returns the concatenated
+/// 8-aligned section bytes (relative to [`DATA_OFF`]) and the per-section
+/// `(offset, length, checksum)` table.
+fn encode_sections(
+    corpus: &Corpus,
+    result: &QRankResult,
+) -> (Vec<u8>, [(u64, u64, u64); SECTIONS]) {
+    let n = corpus.num_articles();
+    let mut body = Vec::new();
+    let mut table = [(0u64, 0u64, 0u64); SECTIONS];
+    let mut section = |id: usize, body: &mut Vec<u8>, bytes: &[u8]| {
+        debug_assert_eq!(body.len() % 8, 0);
+        // lint: allow(HOTPATH-PANIC) every call site passes an S_* constant < SECTIONS
+        table[id] = ((DATA_OFF + body.len()) as u64, bytes.len() as u64, fnv64(bytes));
+        body.extend_from_slice(bytes);
+        pad8(body);
+    };
+
+    let mut scratch = Vec::with_capacity(n * 4);
+    for a in corpus.articles() {
+        scratch.extend_from_slice(&a.year.to_le_bytes());
+    }
+    section(S_YEARS, &mut body, &scratch);
+
+    scratch.clear();
+    for a in corpus.articles() {
+        scratch.extend_from_slice(&a.venue.0.to_le_bytes());
+    }
+    section(S_VENUES, &mut body, &scratch);
+
+    // Ragged payloads share one encoding: an (n+1)-entry u64 index of
+    // byte offsets into a data section.
+    let ragged = |items: &mut dyn Iterator<Item = Vec<u8>>| {
+        let mut idx = Vec::with_capacity((n + 1) * 8);
+        let mut dat = Vec::new();
+        idx.extend_from_slice(&0u64.to_le_bytes());
+        for item in items {
+            dat.extend_from_slice(&item);
+            idx.extend_from_slice(&(dat.len() as u64).to_le_bytes());
+        }
+        (idx, dat)
+    };
+
+    let (idx, dat) = ragged(&mut corpus.articles().iter().map(|a| a.title.as_bytes().to_vec()));
+    section(S_TITLES_IDX, &mut body, &idx);
+    section(S_TITLES_DAT, &mut body, &dat);
+
+    let (idx, dat) = ragged(&mut corpus.articles().iter().map(|a| {
+        let mut b = Vec::new();
+        for &u in &a.authors {
+            push_varint(&mut b, u.0 as u64);
+        }
+        b
+    }));
+    section(S_AUTHORS_IDX, &mut body, &idx);
+    section(S_AUTHORS_DAT, &mut body, &dat);
+
+    let (idx, dat) = ragged(&mut corpus.articles().iter().map(|a| {
+        // References are sorted and strictly increasing (a `Corpus`
+        // invariant), so delta encoding keeps most of them one byte.
+        let mut b = Vec::new();
+        let mut prev = 0u64;
+        for &r in &a.references {
+            push_varint(&mut b, r.0 as u64 - prev);
+            prev = r.0 as u64;
+        }
+        b
+    }));
+    section(S_REFS_IDX, &mut body, &idx);
+    section(S_REFS_DAT, &mut body, &dat);
+
+    scratch.clear();
+    for a in corpus.articles() {
+        scratch.push(a.merit.is_some() as u8);
+    }
+    section(S_MERIT_MASK, &mut body, &scratch);
+
+    scratch.clear();
+    for a in corpus.articles() {
+        scratch.extend_from_slice(&a.merit.unwrap_or(0.0).to_le_bytes());
+    }
+    section(S_MERIT_VAL, &mut body, &scratch);
+
+    scratch.clear();
+    for v in corpus.venues() {
+        push_varint(&mut scratch, v.name.len() as u64);
+        scratch.extend_from_slice(v.name.as_bytes());
+    }
+    for u in corpus.authors() {
+        push_varint(&mut scratch, u.name.len() as u64);
+        scratch.extend_from_slice(u.name.as_bytes());
+    }
+    section(S_NAMES, &mut body, &scratch);
+
+    let f64s = |xs: &[f64]| {
+        let mut b = Vec::with_capacity(xs.len() * 8);
+        for x in xs {
+            b.extend_from_slice(&x.to_le_bytes());
+        }
+        b
+    };
+    section(S_SCORE_ARTICLE, &mut body, &f64s(&result.article_scores));
+    section(S_SCORE_VENUE, &mut body, &f64s(&result.venue_scores));
+    section(S_SCORE_AUTHOR, &mut body, &f64s(&result.author_scores));
+    section(S_SCORE_TWPR, &mut body, &f64s(&result.twpr_scores));
+
+    (body, table)
+}
+
+/// The content-derived generation: FNV-1a over the counts, the WAL
+/// high-water mark, and every section checksum.
+fn derive_generation(
+    counts: (u64, u64, u64),
+    wal_seq: u64,
+    table: &[(u64, u64, u64); SECTIONS],
+) -> u64 {
+    let mut h = Fnv::new();
+    h.update(&counts.0.to_le_bytes());
+    h.update(&counts.1.to_le_bytes());
+    h.update(&counts.2.to_le_bytes());
+    h.update(&wal_seq.to_le_bytes());
+    for &(_, _, checksum) in table {
+        h.update(&checksum.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Write a snapshot of `(corpus, result)` into `dir/snapshot.snap`,
+/// recording `wal_seq` as the WAL high-water mark it covers (replay
+/// resumes after this sequence number). Atomic: the file appears under
+/// its final name only complete and fsynced. Returns the content-derived
+/// snapshot generation.
+pub fn write_snapshot(
+    dir: &Path,
+    corpus: &Corpus,
+    result: &QRankResult,
+    wal_seq: u64,
+) -> Result<u64> {
+    let counts =
+        (corpus.num_articles() as u64, corpus.num_authors() as u64, corpus.num_venues() as u64);
+    let (body, table) = encode_sections(corpus, result);
+    let generation = derive_generation(counts, wal_seq, &table);
+
+    let mut header = Vec::with_capacity(DATA_OFF);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&generation.to_le_bytes());
+    header.extend_from_slice(&wal_seq.to_le_bytes());
+    header.extend_from_slice(&counts.0.to_le_bytes());
+    header.extend_from_slice(&counts.1.to_le_bytes());
+    header.extend_from_slice(&counts.2.to_le_bytes());
+    header.extend_from_slice(&(SECTIONS as u64).to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_BYTES);
+    for &(off, len, checksum) in &table {
+        header.extend_from_slice(&off.to_le_bytes());
+        header.extend_from_slice(&len.to_le_bytes());
+        header.extend_from_slice(&checksum.to_le_bytes());
+    }
+    debug_assert_eq!(header.len(), DATA_OFF);
+
+    let mut footer = Vec::with_capacity(FOOTER_BYTES);
+    footer.extend_from_slice(END_MAGIC);
+    footer.extend_from_slice(&generation.to_le_bytes());
+
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(TMP_FILE);
+    let out = TmpGuard { path: tmp.clone() };
+    snapshot_io_check()?;
+    let mut file = File::create(&tmp)?;
+    // lint: allow(HOTPATH-PANIC) full-range slices cannot be out of bounds
+    for chunk in [&header[..], &body[..], &footer[..]] {
+        snapshot_io_check()?;
+        file.write_all(chunk)?;
+    }
+    snapshot_io_check()?;
+    file.sync_all()?;
+    drop(file);
+    snapshot_io_check()?;
+    std::fs::rename(&tmp, snapshot_path(dir))?;
+    std::mem::forget(out);
+    // Make the rename durable; failure here is not a torn snapshot (the
+    // rename is already atomic in-memory), so best effort.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(generation)
+}
+
+/// Removes the tmp file if the writer errors out partway.
+struct TmpGuard {
+    path: PathBuf,
+}
+
+impl Drop for TmpGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Everything a restart recovers from a snapshot.
+#[derive(Debug)]
+pub struct RestoredState {
+    /// The corpus as of the snapshot.
+    pub corpus: Corpus,
+    /// The ranking as of the snapshot. Convergence diagnostics are
+    /// [`Diagnostics::closed_form`] — the snapshot stores the fixpoint,
+    /// not the path to it.
+    pub result: QRankResult,
+    /// WAL sequence number the snapshot covers; replay resumes after it.
+    pub wal_seq: u64,
+    /// Content-derived snapshot generation.
+    pub generation: u64,
+}
+
+/// A validated section view into the mapped snapshot.
+struct Sections<'a> {
+    map: &'a Mmap,
+    table: [(u64, u64, u64); SECTIONS],
+}
+
+impl<'a> Sections<'a> {
+    fn bytes(&self, id: usize) -> &'a [u8] {
+        let (off, len, _) = self.table[id]; // lint: allow(HOTPATH-PANIC) id is an S_* constant < SECTIONS
+                                            // lint: allow(HOTPATH-PANIC) every table entry was bounds-checked before Sections was built
+        &self.map.bytes()[off as usize..(off + len) as usize]
+    }
+
+    /// Expect section `id` to hold exactly `count` little-endian i32s.
+    fn i32s(&self, id: usize, count: usize) -> Result<&'a [i32]> {
+        let (off, len, _) = self.table[id]; // lint: allow(HOTPATH-PANIC) id is an S_* constant < SECTIONS
+        if len as usize != count * 4 {
+            return Err(corrupt(format!("section {id} has {len} bytes, want {}", count * 4)));
+        }
+        Ok(self.map.as_i32s(off as usize, count))
+    }
+
+    fn u32s(&self, id: usize, count: usize) -> Result<&'a [u32]> {
+        let (off, len, _) = self.table[id]; // lint: allow(HOTPATH-PANIC) id is an S_* constant < SECTIONS
+        if len as usize != count * 4 {
+            return Err(corrupt(format!("section {id} has {len} bytes, want {}", count * 4)));
+        }
+        Ok(self.map.as_u32s(off as usize, count))
+    }
+
+    fn u64s(&self, id: usize, count: usize) -> Result<&'a [u64]> {
+        let (off, len, _) = self.table[id]; // lint: allow(HOTPATH-PANIC) id is an S_* constant < SECTIONS
+        if len as usize != count * 8 {
+            return Err(corrupt(format!("section {id} has {len} bytes, want {}", count * 8)));
+        }
+        Ok(self.map.as_u64s(off as usize, count))
+    }
+
+    fn f64s(&self, id: usize, count: usize) -> Result<Vec<f64>> {
+        let (off, len, _) = self.table[id]; // lint: allow(HOTPATH-PANIC) id is an S_* constant < SECTIONS
+        if len as usize != count * 8 {
+            return Err(corrupt(format!("section {id} has {len} bytes, want {}", count * 8)));
+        }
+        Ok(self.map.as_f64s(off as usize, count).to_vec())
+    }
+
+    /// The byte range of ragged item `i` within data section `dat`,
+    /// bounds-checked against the index section.
+    fn ragged(&self, idx: &[u64], dat: usize, i: usize) -> Result<&'a [u8]> {
+        let bytes = self.bytes(dat);
+        let (lo, hi) = (idx[i] as usize, idx[i + 1] as usize); // lint: allow(HOTPATH-PANIC) callers pass i < n against an index of n + 1 entries
+        if lo > hi || hi > bytes.len() {
+            return Err(corrupt(format!("ragged index {i} out of bounds ({lo}..{hi})")));
+        }
+        Ok(&bytes[lo..hi]) // lint: allow(HOTPATH-PANIC) lo <= hi <= bytes.len() checked just above
+    }
+}
+
+/// Map and validate `dir/snapshot.snap`, decoding it back into the
+/// corpus and ranking it was written from. Every section checksum is
+/// verified before any byte is interpreted; all structural errors come
+/// back as [`StateError::Corrupt`].
+pub fn load_snapshot(dir: &Path) -> Result<RestoredState> {
+    snapshot_io_check()?;
+    let path = snapshot_path(dir);
+    let map = Mmap::map_file(&path)?;
+    let bytes = map.bytes();
+    if bytes.len() < DATA_OFF + FOOTER_BYTES {
+        return Err(corrupt(format!("file is {} bytes, shorter than any snapshot", bytes.len())));
+    }
+    // lint: allow(HOTPATH-PANIC) bytes.len() >= DATA_OFF + FOOTER_BYTES checked above
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    // lint: allow(HOTPATH-PANIC) word() is only called at offsets inside the length-checked header and footer
+    let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let generation = word(8);
+    let wal_seq = word(16);
+    let n = word(24) as usize;
+    let n_authors = word(32) as usize;
+    let n_venues = word(40) as usize;
+    if word(48) != SECTIONS as u64 {
+        return Err(corrupt(format!("section count {} != {SECTIONS}", word(48))));
+    }
+    let footer_at = bytes.len() - FOOTER_BYTES;
+    // lint: allow(HOTPATH-PANIC) footer_at + 8 < bytes.len() by the length check above
+    if &bytes[footer_at..footer_at + 8] != END_MAGIC {
+        return Err(corrupt("missing end marker (truncated file)"));
+    }
+    if word(footer_at + 8) != generation {
+        return Err(corrupt("footer generation does not echo the header"));
+    }
+
+    let mut table = [(0u64, 0u64, 0u64); SECTIONS];
+    for (id, entry) in table.iter_mut().enumerate() {
+        let at = TABLE_OFF + id * ENTRY_BYTES;
+        *entry = (word(at), word(at + 8), word(at + 16));
+        let (off, len, checksum) = *entry;
+        let end = off.checked_add(len).ok_or_else(|| corrupt("section bounds overflow"))?;
+        if off % 8 != 0 || (off as usize) < DATA_OFF || end as usize > footer_at {
+            return Err(corrupt(format!("section {id} out of bounds ({off}+{len})")));
+        }
+        // lint: allow(HOTPATH-PANIC) off..end bounds were rejected above if out of range
+        if fnv64(&bytes[off as usize..end as usize]) != checksum {
+            return Err(corrupt(format!("section {id} checksum mismatch")));
+        }
+    }
+    let counts = (n as u64, n_authors as u64, n_venues as u64);
+    if derive_generation(counts, wal_seq, &table) != generation {
+        return Err(corrupt("generation does not match content"));
+    }
+
+    let s = Sections { map: &map, table };
+    let years = s.i32s(S_YEARS, n)?;
+    let venues = s.u32s(S_VENUES, n)?;
+    let titles_idx = s.u64s(S_TITLES_IDX, n + 1)?;
+    let authors_idx = s.u64s(S_AUTHORS_IDX, n + 1)?;
+    let refs_idx = s.u64s(S_REFS_IDX, n + 1)?;
+    let merit_mask = s.bytes(S_MERIT_MASK);
+    if merit_mask.len() != n {
+        return Err(corrupt("merit mask length mismatch"));
+    }
+    let merit_val = s.f64s(S_MERIT_VAL, n)?;
+
+    let id32 = |v: u64, what: &str| -> Result<u32> {
+        u32::try_from(v).map_err(|_| corrupt(format!("{what} id {v} overflows u32")))
+    };
+
+    let mut articles = Vec::with_capacity(n);
+    for i in 0..n {
+        let title = std::str::from_utf8(s.ragged(titles_idx, S_TITLES_DAT, i)?)
+            .map_err(|_| corrupt(format!("title {i} is not utf-8")))?
+            .to_owned();
+        let byline = s.ragged(authors_idx, S_AUTHORS_DAT, i)?;
+        let mut pos = 0;
+        let mut authors = Vec::new();
+        while pos < byline.len() {
+            let v = read_varint(byline, &mut pos)
+                .ok_or_else(|| corrupt(format!("truncated byline varint in article {i}")))?;
+            authors.push(AuthorId(id32(v, "author")?));
+        }
+        let refs = s.ragged(refs_idx, S_REFS_DAT, i)?;
+        let mut pos = 0;
+        let mut references = Vec::new();
+        let mut prev = 0u64;
+        while pos < refs.len() {
+            let d = read_varint(refs, &mut pos)
+                .ok_or_else(|| corrupt(format!("truncated reference varint in article {i}")))?;
+            prev = prev
+                .checked_add(d)
+                .ok_or_else(|| corrupt(format!("reference delta overflow in article {i}")))?;
+            references.push(ArticleId(id32(prev, "article")?));
+        }
+        articles.push(Article {
+            id: ArticleId(i as u32),
+            title,
+            year: years[i], // lint: allow(HOTPATH-PANIC) section validated to exactly n entries, i < n
+            venue: VenueId(venues[i]), // lint: allow(HOTPATH-PANIC) section validated to exactly n entries, i < n
+            authors,
+            references,
+            // lint: allow(HOTPATH-PANIC) both sections validated to exactly n entries, i < n
+            merit: (merit_mask[i] != 0).then(|| merit_val[i]),
+        });
+    }
+
+    let names = s.bytes(S_NAMES);
+    let mut pos = 0;
+    let mut next_name = |what: &str, i: usize| -> Result<String> {
+        let len = read_varint(names, &mut pos)
+            .ok_or_else(|| corrupt(format!("truncated {what} name length at {i}")))?
+            as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= names.len())
+            .ok_or_else(|| corrupt(format!("{what} name {i} overruns the names section")))?;
+        // lint: allow(HOTPATH-PANIC) pos <= end <= names.len() by the filter above
+        let name = std::str::from_utf8(&names[pos..end])
+            .map_err(|_| corrupt(format!("{what} name {i} is not utf-8")))?
+            .to_owned();
+        pos = end;
+        Ok(name)
+    };
+    let mut venue_table = Vec::with_capacity(n_venues);
+    for i in 0..n_venues {
+        venue_table.push(Venue { id: VenueId(i as u32), name: next_name("venue", i)? });
+    }
+    let mut author_table = Vec::with_capacity(n_authors);
+    for i in 0..n_authors {
+        author_table.push(Author { id: AuthorId(i as u32), name: next_name("author", i)? });
+    }
+    if pos != names.len() {
+        return Err(corrupt("trailing bytes after the last name"));
+    }
+
+    let corpus = Corpus::assemble(articles, author_table, venue_table)
+        .map_err(|e| corrupt(format!("decoded corpus failed validation: {e}")))?;
+    let result = QRankResult {
+        article_scores: s.f64s(S_SCORE_ARTICLE, n)?,
+        venue_scores: s.f64s(S_SCORE_VENUE, n_venues)?,
+        author_scores: s.f64s(S_SCORE_AUTHOR, n_authors)?,
+        twpr_scores: s.f64s(S_SCORE_TWPR, n)?,
+        twpr_diagnostics: Diagnostics::closed_form(),
+        outer: Diagnostics::closed_form(),
+    };
+    Ok(RestoredState { corpus, result, wal_seq, generation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrank::QRank;
+    use scholar_corpus::generator::Preset;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scholar-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ranked(seed: u64) -> (Corpus, QRankResult) {
+        let corpus = Preset::Tiny.generate(seed);
+        let result = QRank::default().run(&corpus);
+        (corpus, result)
+    }
+
+    #[test]
+    fn round_trip_preserves_corpus_and_scores() {
+        let dir = tmpdir("roundtrip");
+        let (corpus, result) = ranked(71);
+        let wrote = write_snapshot(&dir, &corpus, &result, 42).unwrap();
+        let restored = load_snapshot(&dir).unwrap();
+        assert_eq!(restored.generation, wrote);
+        assert_eq!(restored.wal_seq, 42);
+        assert_eq!(restored.corpus, corpus);
+        assert_eq!(restored.result.article_scores, result.article_scores);
+        assert_eq!(restored.result.venue_scores, result.venue_scores);
+        assert_eq!(restored.result.author_scores, result.author_scores);
+        assert_eq!(restored.result.twpr_scores, result.twpr_scores);
+        // Names survive verbatim (fragments are rendered from them).
+        assert_eq!(restored.corpus.venues()[0].name, corpus.venues()[0].name);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_is_content_derived() {
+        let dir_a = tmpdir("gen-a");
+        let dir_b = tmpdir("gen-b");
+        let (corpus, result) = ranked(72);
+        let a = write_snapshot(&dir_a, &corpus, &result, 7).unwrap();
+        let b = write_snapshot(&dir_b, &corpus, &result, 7).unwrap();
+        assert_eq!(a, b, "identical state must produce identical generations");
+        let c = write_snapshot(&dir_b, &corpus, &result, 8).unwrap();
+        assert_ne!(a, c, "a different WAL high-water mark is different state");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn tampered_snapshot_fails_with_typed_error() {
+        let dir = tmpdir("tamper");
+        let (corpus, result) = ranked(73);
+        write_snapshot(&dir, &corpus, &result, 0).unwrap();
+        let path = snapshot_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit past the table.
+        let at = super::DATA_OFF + 5;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_snapshot(&dir) {
+            Err(StateError::Corrupt { .. }) => {}
+            other => panic!("tampered snapshot must fail Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_with_typed_error() {
+        let dir = tmpdir("truncate");
+        let (corpus, result) = ranked(74);
+        write_snapshot(&dir, &corpus, &result, 0).unwrap();
+        let path = snapshot_path(&dir);
+        let bytes = std::fs::read(&path).unwrap();
+        for keep in [bytes.len() - 3, bytes.len() / 2, super::HEADER_BYTES, 5] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            match load_snapshot(&dir) {
+                Err(StateError::Corrupt { .. }) | Err(StateError::Io(_)) => {}
+                other => panic!("truncated snapshot ({keep} bytes) must fail, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_is_io_not_corrupt() {
+        let dir = tmpdir("missing");
+        match load_snapshot(&dir) {
+            Err(StateError::Io(_)) => {}
+            other => panic!("missing snapshot must be Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

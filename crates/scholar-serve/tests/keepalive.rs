@@ -157,15 +157,17 @@ fn keep_alive_connection_survives_generation_swaps_untorn() {
     // are stamped with the generation that rendered them.
     let mut seen = Vec::new();
     for batch in 0..3u32 {
-        reindexer.submit(vec![Article {
-            id: ArticleId(0),
-            title: format!("swap-{batch}"),
-            year: 2012,
-            venue: VenueId(0),
-            authors: vec![AuthorId(0)],
-            references: vec![ArticleId(batch)],
-            merit: None,
-        }]);
+        reindexer
+            .submit(vec![Article {
+                id: ArticleId(0),
+                title: format!("swap-{batch}"),
+                year: 2012,
+                venue: VenueId(0),
+                authors: vec![AuthorId(0)],
+                references: vec![ArticleId(batch)],
+                merit: None,
+            }])
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(30);
         while reindexer.batches_published() < (batch + 1) as u64 {
             assert!(Instant::now() < deadline, "publish {batch} never landed");
@@ -238,6 +240,37 @@ fn idle_keep_alive_connections_are_evicted_silently() {
     s.write_all(b"GET /top?k=").unwrap();
     let (status, _, _) = read_response(&mut s);
     assert_eq!(status, 408, "a stalled mid-request head on a reused connection");
+    drop(server);
+    reindexer.shutdown();
+}
+
+#[test]
+fn idle_eviction_fires_near_the_deadline_not_a_tick_late() {
+    let (_shared, reindexer, server) = start(47);
+    let timeout = Duration::from_millis(300);
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+
+    // Measure from before the request: the server's idle clock restarts
+    // on the request's arrival, which is at or after this instant, so
+    // EOF strictly before `t0 + timeout` would be a premature eviction.
+    let t0 = Instant::now();
+    s.write_all(&keep_alive_get("/health")).unwrap();
+    assert_eq!(read_response(&mut s).0, 200);
+
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut rest = Vec::new();
+    s.read_to_end(&mut rest).expect("expected silent EOF");
+    let elapsed = t0.elapsed();
+    assert!(rest.is_empty(), "idle eviction leaked bytes: {rest:?}");
+    assert!(elapsed >= timeout, "evicted {elapsed:?} in, before the {timeout:?} idle deadline");
+    // The wait timeout is deadline-driven, so the eviction lands close
+    // to the deadline — the slack here covers request latency and CI
+    // scheduling noise, not an eviction cadence.
+    assert!(
+        elapsed <= timeout + Duration::from_millis(150),
+        "eviction landed {:?} past the {timeout:?} deadline",
+        elapsed - timeout
+    );
     drop(server);
     reindexer.shutdown();
 }

@@ -263,15 +263,17 @@ fn no_torn_responses_during_hot_swap() {
 
     // Publish several generations while the clients hammer away.
     for batch in 0..3 {
-        reindexer.submit(vec![Article {
-            id: ArticleId(0),
-            title: format!("hot-{batch}"),
-            year: 2012,
-            venue: VenueId(0),
-            authors: vec![AuthorId(0)],
-            references: vec![ArticleId(batch as u32)],
-            merit: None,
-        }]);
+        reindexer
+            .submit(vec![Article {
+                id: ArticleId(0),
+                title: format!("hot-{batch}"),
+                year: 2012,
+                venue: VenueId(0),
+                authors: vec![AuthorId(0)],
+                references: vec![ArticleId(batch as u32)],
+                merit: None,
+            }])
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(30);
         while reindexer.batches_published() < batch + 1 {
             assert!(Instant::now() < deadline, "publish {batch} never landed");

@@ -53,7 +53,10 @@ pub const SITES: &[&str] = &[
     "serve.io.read",
     "serve.io.write",
     "serve.respond",
+    "snapshot.io",
     "swap.publish",
+    "wal.append",
+    "wal.replay",
 ];
 
 /// What a site does on one hit.

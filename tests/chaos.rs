@@ -26,10 +26,12 @@
 
 #![cfg(feature = "failpoints")]
 
+use scholar::core::incremental::{grow_corpus, IncrementalRanker};
 use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
 use scholar::corpus::{Corpus, CorpusBuilder};
 use scholar::serve::{
-    serve, Backend, Metrics, Reindexer, ScoreIndex, ServeConfig, SharedIndex, TopQuery,
+    serve, Backend, DurableOptions, Metrics, Reindexer, ScoreIndex, ServeConfig, SharedIndex,
+    TopQuery,
 };
 use scholar::QRankConfig;
 use scholar_testkit::chaos;
@@ -577,7 +579,7 @@ fn regression_mid_coalesce_shutdown_still_publishes() {
         let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
         let batches = rng.gen_range(1usize..3);
         for i in 0..batches {
-            reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]);
+            reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]).unwrap();
         }
         let ranker = reindexer.shutdown();
         assert_eq!(
@@ -602,7 +604,7 @@ fn reindexer_death_leaves_the_published_index_serving() {
     let corpus = small_corpus(1);
     let n0 = corpus.num_articles();
     let (shared, reindexer) = Reindexer::start(QRankConfig::default(), corpus, |_| {});
-    reindexer.submit(vec![batch_article(0, vec![ArticleId(0)])]);
+    reindexer.submit(vec![batch_article(0, vec![ArticleId(0)])]).unwrap();
 
     // Wait for the injected death, bounded.
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
@@ -616,6 +618,29 @@ fn reindexer_death_leaves_the_published_index_serving() {
     assert_eq!(snap.generation(), 1);
     assert_eq!(snap.num_articles(), n0);
     assert_eq!(snap.top(&TopQuery { k: 5, ..Default::default() }).len(), 5);
+    // Submitting into the dead reindexer must NOT panic the caller (the
+    // control plane): it reports the dead thread as a typed error.
+    // Regression for the old `expect("reindexer thread is alive")`.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match reindexer.submit(vec![batch_article(1, vec![ArticleId(1)])]) {
+            Err(scholar::serve::SubmitError::ThreadDead { journaled }) => {
+                assert!(!journaled, "no state dir was configured");
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+            // The channel closes when the unwinding thread drops the
+            // receiver; a submit racing ahead of the unwind can still
+            // win. Retry until the death is observable.
+            Ok(()) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "submit never observed the dead reindexer"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
     // The death is loud at shutdown, not swallowed.
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reindexer.shutdown()))
         .expect_err("a dead reindexer must fail the join");
@@ -657,7 +682,7 @@ fn reindex_publish_delay_never_tears_a_reader() {
         })
     };
     for i in 0..2 {
-        reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]);
+        reindexer.submit(vec![batch_article(i, vec![ArticleId(i as u32)])]).unwrap();
     }
     reindexer.shutdown();
     stop.store(true, Ordering::SeqCst);
@@ -733,6 +758,310 @@ fn colstore_kill_during_write_is_all_or_nothing() {
     // silently stopped short of the publish phase.
     assert!(steps > 20, "sweep covered only {steps} I/O steps");
     std::fs::remove_dir_all(&base).unwrap();
+}
+
+// --------------------- pillar 1c: durable-state kill-and-recover chaos
+//
+// The crash-safety contract of DESIGN.md §2.11, swept at every injected
+// I/O step of the snapshot and journal paths: a kill at any point must
+// be all-or-nothing on disk, and a disarmed restart must serve exactly
+// the batches `submit` acknowledged — bit for bit against the
+// deterministic pipeline rebuild, never merely "close".
+
+/// Fold `batches` through the pipeline the journal is a log of (cold
+/// rank of the base, one extend per batch). A correct recovery serves
+/// exactly these bit patterns.
+fn oracle_scores(corpus: &Corpus, batches: &[Vec<Article>]) -> Vec<f64> {
+    let mut ranker = IncrementalRanker::new(QRankConfig::default(), corpus.clone());
+    for b in batches {
+        let grown = grow_corpus(ranker.corpus(), b.clone());
+        ranker.extend(grown);
+    }
+    ranker.result().article_scores.clone()
+}
+
+fn assert_serves_exactly(shared: &SharedIndex, want: &[f64]) {
+    let snap = shared.load();
+    assert_eq!(snap.num_articles(), want.len(), "recovered corpus has the wrong article count");
+    for (i, w) in want.iter().enumerate() {
+        assert_eq!(
+            snap.scores()[i].to_bits(),
+            w.to_bits(),
+            "recovered score {i} diverged from the pipeline rebuild"
+        );
+    }
+}
+
+fn durable_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("scholar-chaos-durable-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn one_batch(i: usize) -> Vec<Article> {
+    vec![batch_article(i, vec![ArticleId(i as u32)])]
+}
+
+fn await_published(reindexer: &Reindexer, n: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while reindexer.batches_published() < n {
+        assert!(std::time::Instant::now() < deadline, "publish of batch {n} never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Kill a cold durable start at every `snapshot.io` step in turn. A
+/// killed start must fail loudly, leaving neither a published snapshot
+/// nor tmp debris, and a disarmed retry into the same directory must
+/// come up serving the exact cold-rank scores.
+#[test]
+fn cold_start_kill_sweep_never_publishes_a_torn_snapshot() {
+    let _s = Scenario::begin();
+    let corpus = small_corpus(11);
+    let want = oracle_scores(&corpus, &[]);
+    let base = durable_dir("cold");
+    let mut steps = 0usize;
+    loop {
+        let dir = base.join(format!("kill-{steps}"));
+        let mut script = vec![Action::Off; steps];
+        script.push(Action::Trigger);
+        fp::script("snapshot.io", script);
+        let res = Reindexer::start_durable(
+            QRankConfig::default(),
+            corpus.clone(),
+            DurableOptions::new(&dir),
+            |_| {},
+        );
+        fp::clear("snapshot.io");
+        match res {
+            Err(e) => {
+                assert!(e.to_string().contains("snapshot.io"), "{e}");
+                assert!(
+                    !scholar::serve::snapshot::snapshot_path(&dir).exists(),
+                    "kill at I/O step {steps} left a published snapshot"
+                );
+                assert!(
+                    !dir.join("snapshot.snap.tmp").exists(),
+                    "kill at I/O step {steps} leaked the tmp file"
+                );
+                let (shared, reindexer, report) = Reindexer::start_durable(
+                    QRankConfig::default(),
+                    corpus.clone(),
+                    DurableOptions::new(&dir),
+                    |_| {},
+                )
+                .expect("disarmed retry");
+                assert!(!report.restored_from_snapshot, "a killed start left restorable state");
+                assert_serves_exactly(&shared, &want);
+                reindexer.shutdown();
+            }
+            // Trigger landed past the last I/O step: the start ran
+            // fault-free, so every step has been individually killed.
+            Ok((shared, reindexer, report)) => {
+                assert!(!report.restored_from_snapshot);
+                assert_serves_exactly(&shared, &want);
+                reindexer.shutdown();
+                break;
+            }
+        }
+        steps += 1;
+    }
+    assert!(steps >= 6, "sweep covered only {steps} snapshot I/O steps");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Kill the journal at every `wal.append` I/O step across a run of
+/// submits. A faulted submit must not acknowledge; every acknowledged
+/// submit must survive restart — `replayed_batches` equals the acked
+/// count exactly (no lost batch, no invented batch, no torn tail) and
+/// the recovered scores match the pipeline rebuild of the acked batches.
+#[test]
+fn wal_append_kill_sweep_loses_no_acknowledged_batch() {
+    let _s = Scenario::begin();
+    let corpus = small_corpus(12);
+    let all: Vec<Vec<Article>> = (0..4).map(one_batch).collect();
+    let base = durable_dir("append");
+    let mut steps = 0usize;
+    let mut faulted_runs = 0usize;
+    loop {
+        let dir = base.join(format!("kill-{steps}"));
+        let (_shared, reindexer, _report) = Reindexer::start_durable(
+            QRankConfig::default(),
+            corpus.clone(),
+            DurableOptions::new(&dir),
+            |_| {},
+        )
+        .expect("fault-free cold start");
+        let mut script = vec![Action::Off; steps];
+        script.push(Action::Trigger);
+        fp::script("wal.append", script);
+        let mut acked = Vec::new();
+        let mut faulted = false;
+        for (i, b) in all.iter().enumerate() {
+            match reindexer.submit(b.clone()) {
+                Ok(()) => acked.push(i),
+                Err(scholar::serve::SubmitError::Journal(e)) => {
+                    assert!(e.to_string().contains("wal.append"), "{e}");
+                    faulted = true;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        fp::clear("wal.append");
+        await_published(&reindexer, acked.len() as u64);
+        reindexer.shutdown();
+
+        let (shared, r2, report) = Reindexer::start_durable(
+            QRankConfig::default(),
+            corpus.clone(),
+            DurableOptions::new(&dir),
+            |_| {},
+        )
+        .expect("restart after journal faults");
+        assert!(report.restored_from_snapshot);
+        assert_eq!(
+            report.replayed_batches,
+            acked.len(),
+            "journal lost or invented an acknowledged batch (kill at step {steps})"
+        );
+        assert!(!report.torn_tail, "failed-append rollback left a torn tail (step {steps})");
+        let want: Vec<Vec<Article>> = acked.iter().map(|&i| all[i].clone()).collect();
+        assert_serves_exactly(&shared, &oracle_scores(&corpus, &want));
+        r2.shutdown();
+        if !faulted {
+            break;
+        }
+        faulted_runs += 1;
+        steps += 1;
+    }
+    // 4 submits × 2 journal I/O steps each: every one individually killed.
+    assert_eq!(faulted_runs, 8, "sweep coverage changed — update the floor");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Kill a *restart* at every I/O step of every durable-state site. A
+/// killed restart must fail cleanly (never serve state of unknown
+/// provenance), leave the on-disk state restorable, and a disarmed retry
+/// must serve every journaled batch bit-identically.
+#[test]
+fn restart_kill_sweep_fails_clean_and_recovers_disarmed() {
+    let _s = Scenario::begin();
+    let corpus = small_corpus(13);
+    let all: Vec<Vec<Article>> = (0..3).map(one_batch).collect();
+    let want = oracle_scores(&corpus, &all);
+    let base = durable_dir("restart");
+    let pristine = base.join("pristine");
+    {
+        let (_shared, reindexer, _report) = Reindexer::start_durable(
+            QRankConfig::default(),
+            corpus.clone(),
+            DurableOptions::new(&pristine),
+            |_| {},
+        )
+        .expect("seed run");
+        for b in &all {
+            reindexer.submit(b.clone()).expect("seed submit");
+        }
+        await_published(&reindexer, all.len() as u64);
+        reindexer.shutdown();
+    }
+
+    let mut total_kills = 0usize;
+    for site in ["snapshot.io", "wal.replay", "wal.append"] {
+        let mut steps = 0usize;
+        loop {
+            let dir = base.join(format!("{site}-{steps}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            for f in ["snapshot.snap", "wal.log"] {
+                std::fs::copy(pristine.join(f), dir.join(f)).unwrap();
+            }
+            let mut script = vec![Action::Off; steps];
+            script.push(Action::Trigger);
+            fp::script(site, script);
+            let res = Reindexer::start_durable(
+                QRankConfig::default(),
+                corpus.clone(),
+                DurableOptions::new(&dir),
+                |_| {},
+            );
+            fp::clear(site);
+            match res {
+                Err(e) => {
+                    assert!(
+                        e.to_string().contains(site),
+                        "kill at {site} step {steps} surfaced the wrong error: {e}"
+                    );
+                    total_kills += 1;
+                    // Whatever the kill interrupted (load, re-snapshot,
+                    // journal rotation), the state on disk must still
+                    // restore completely once the fault clears.
+                    let (shared, r2, report) = Reindexer::start_durable(
+                        QRankConfig::default(),
+                        corpus.clone(),
+                        DurableOptions::new(&dir),
+                        |_| {},
+                    )
+                    .expect("disarmed retry");
+                    assert!(report.restored_from_snapshot, "retry after {site} kill re-ranked");
+                    assert_serves_exactly(&shared, &want);
+                    r2.shutdown();
+                }
+                Ok((shared, r2, report)) => {
+                    assert!(report.restored_from_snapshot);
+                    assert_eq!(report.replayed_batches, all.len());
+                    assert!(!report.torn_tail);
+                    assert_serves_exactly(&shared, &want);
+                    r2.shutdown();
+                    break;
+                }
+            }
+            steps += 1;
+        }
+    }
+    assert!(total_kills >= 10, "sweep covered only {total_kills} restart I/O steps");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// A failing background snapshot must degrade restart *speed*, never
+/// durability or serving: publishes keep landing while every snapshot
+/// attempt dies, and a later restart replays every journaled batch.
+#[test]
+fn snapshot_publish_failure_keeps_serving_and_durability() {
+    let _s = Scenario::begin();
+    let corpus = small_corpus(14);
+    let dir = durable_dir("degrade");
+    let mut opts = DurableOptions::new(&dir);
+    opts.snapshot_every = 1;
+    let (shared, reindexer, _report) =
+        Reindexer::start_durable(QRankConfig::default(), corpus.clone(), opts, |_| {})
+            .expect("cold start");
+    // Every snapshot-on-publish attempt from here on dies.
+    fp::set("snapshot.io", Action::Trigger);
+    let all: Vec<Vec<Article>> = (0..2).map(one_batch).collect();
+    for b in &all {
+        reindexer.submit(b.clone()).expect("submit must not depend on snapshots");
+    }
+    await_published(&reindexer, all.len() as u64);
+    assert!(shared.load().generation() >= 2, "publishes stopped with the snapshot path down");
+    // Keep the fault armed through shutdown: the final snapshot attempt
+    // must fail too, so the restart below really exercises full replay.
+    reindexer.shutdown();
+    assert!(fp::fired("snapshot.io") > 0, "no snapshot attempt ever ran");
+    fp::clear("snapshot.io");
+
+    let (shared2, r2, report) = Reindexer::start_durable(
+        QRankConfig::default(),
+        corpus.clone(),
+        DurableOptions::new(&dir),
+        |_| {},
+    )
+    .expect("restart");
+    assert!(report.restored_from_snapshot);
+    assert_eq!(report.replayed_batches, all.len(), "a failed snapshot cost a journaled batch");
+    assert_serves_exactly(&shared2, &oracle_scores(&corpus, &all));
+    r2.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// An unmappable column file must fail `ColStore::open` with a clean
