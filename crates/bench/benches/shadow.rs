@@ -1,0 +1,167 @@
+//! Shadow-evaluation benchmark: what does "prove before you promote"
+//! cost the live path?
+//!
+//! Three phases against the same ranked corpus, same seeded workload:
+//!
+//! 1. **baseline** — plain serving, no recorder, no shadow.
+//! 2. **recording** — an RLOGv1 [`Recorder`] sampling every request.
+//!    The p99 must stay within 5% of baseline (plus a microsecond-scale
+//!    quantization floor): recording is one atomic on the off-stride
+//!    path and one `try_lock` push on-stride, and this assertion is the
+//!    proof it stays that cheap.
+//! 3. **shadow** — recording *and* an equivalent candidate staged in
+//!    the shadow slot, so every stored request is also answered by the
+//!    candidate. The artifact records the mirror latency distribution
+//!    and the drift statistics the promotion gate reads.
+//!
+//! ```sh
+//! cargo bench -p scholar-bench --bench shadow
+//! ```
+//!
+//! Writes `BENCH_shadow.json` at the repository root (skipped in smoke
+//! mode).
+
+use scholar::core::incremental::IncrementalRanker;
+use scholar::serve::{serve, Metrics, Recorder, ScoreIndex, ServeConfig, SharedIndex};
+use scholar::serve::{ShadowReport, ShadowThresholds};
+use scholar::{Preset, QRankConfig};
+use scholar_bench::{smoke_mode, SEED};
+use scholar_loadgen::{run, LoadConfig, Report, StatusRanges};
+use std::sync::Arc;
+
+fn print_report(label: &str, r: &Report) {
+    println!(
+        "{label}: {} requests in {:.2}s = {:.0} req/s, p50 {}us p99 {}us",
+        r.completed,
+        r.elapsed.as_secs_f64(),
+        r.throughput_rps(),
+        r.hist.percentile(0.50),
+        r.hist.percentile(0.99),
+    );
+}
+
+struct Phase {
+    report: Report,
+    shadow: Option<ShadowReport>,
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (preset, name) = if smoke { (Preset::Tiny, "tiny") } else { (Preset::AanLike, "aan_like") };
+    let corpus = Arc::new(preset.generate(SEED));
+    let n = corpus.num_articles();
+    let (requests, connections) = if smoke { (400u64, 2usize) } else { (50_000u64, 4) };
+
+    println!("shadow overhead vs {name} ({n} articles): {connections} connections, {requests} requests/phase\n");
+
+    let scores = IncrementalRanker::new(QRankConfig::default(), corpus.as_ref().clone())
+        .result()
+        .article_scores
+        .clone();
+
+    let workload = |addr| LoadConfig {
+        addr,
+        connections,
+        requests,
+        seed: SEED,
+        keep_alive: true,
+        targets: vec![
+            "/top?k=10".to_string(),
+            "/top?k=25&year_min=2005".to_string(),
+            "/top?k=3".to_string(),
+            "/health".to_string(),
+        ],
+        accept: StatusRanges::ok(),
+    };
+
+    // One phase: serve the index, drive the workload, tear down.
+    let phase = |label: &str, recorder: Option<Arc<Recorder>>, stage_shadow: bool| -> Phase {
+        let shared =
+            Arc::new(SharedIndex::new(ScoreIndex::build(Arc::clone(&corpus), scores.clone())));
+        if stage_shadow {
+            // An equivalent candidate (the realistic promote case) that
+            // never reaches its evidence bar during the run, so every
+            // request keeps mirroring and the report covers the whole
+            // phase.
+            shared.stage_shadow(
+                ScoreIndex::build(Arc::clone(&corpus), scores.clone()),
+                ShadowThresholds { min_mirrored: u64::MAX, ..Default::default() },
+            );
+        }
+        let config = ServeConfig { workers: 2, recorder, ..Default::default() };
+        let mut server =
+            serve(Arc::clone(&shared), Arc::new(Metrics::new()), &config).expect("bind");
+        let report = run(&workload(server.addr())).expect("load run");
+        assert_eq!(report.completed, requests, "{label}: requests went missing");
+        assert_eq!(report.violations, 0, "{label}: bad statuses");
+        assert_eq!(report.transport_errors, 0, "{label}: torn responses");
+        let shadow = shared.shadow_report();
+        server.shutdown();
+        print_report(label, &report);
+        Phase { report, shadow }
+    };
+
+    // The recorder's file is only written on flush, which the bench
+    // never calls — the ring cost is what is being measured.
+    let rlog = std::env::temp_dir().join("BENCH_shadow.rlog");
+    let baseline = phase("baseline ", None, false);
+    let recording = phase("recording", Some(Arc::new(Recorder::new(&rlog, 1, 1 << 16))), false);
+    let shadowed = phase("shadowed ", Some(Arc::new(Recorder::new(&rlog, 1, 1 << 16))), true);
+
+    let base_p99 = baseline.report.hist.percentile(0.99);
+    let rec_p99 = recording.report.hist.percentile(0.99);
+    let overhead = rec_p99 as f64 / base_p99.max(1) as f64;
+    println!("\nrecording p99 overhead: {overhead:.3}x ({base_p99}us -> {rec_p99}us)");
+
+    let report = shadowed.shadow.expect("shadow phase staged a candidate");
+    println!(
+        "mirror latency: p50 {}us p99 {}us over {} mirrored \
+         (overlap {:.4}, tau {:.4}, l1 {:.3e}, {} status mismatches)",
+        report.mirror_p50_us,
+        report.mirror_p99_us,
+        report.mirrored,
+        report.topk_overlap(),
+        report.kendall_tau(),
+        report.score_l1_mean(),
+        report.status_mismatches,
+    );
+    assert!(report.mirrored > 0, "shadow phase never mirrored a request");
+    assert_eq!(report.status_mismatches, 0, "equivalent candidate answered differently");
+
+    if smoke {
+        println!("\n(smoke mode: skipped BENCH_shadow.json and the overhead gate)");
+        return;
+    }
+
+    // The recording gate: sampling every request must cost the p99 less
+    // than 5%. The +10us floor absorbs microsecond quantization — at a
+    // double-digit-microsecond p99, 5% is below timer resolution, and
+    // the floor keeps the gate meaningful instead of coin-flippy.
+    assert!(
+        rec_p99 as f64 <= base_p99 as f64 * 1.05 + 10.0,
+        "recording overhead out of budget: baseline p99 {base_p99}us, recording p99 {rec_p99}us"
+    );
+
+    let json = sjson::ObjectBuilder::new()
+        .field("corpus", name)
+        .field("seed", SEED)
+        .field("articles", n)
+        .field("connections", connections)
+        .field("requests", requests)
+        .field("baseline", baseline.report.to_json())
+        .field("recording", recording.report.to_json())
+        .field("record_p99_overhead", overhead)
+        .field("shadowed", shadowed.report.to_json())
+        .field("mirror_p50_us", report.mirror_p50_us as i64)
+        .field("mirror_p99_us", report.mirror_p99_us as i64)
+        .field("mirrored", report.mirrored as i64)
+        .field("topk_overlap", report.topk_overlap())
+        .field("kendall_tau", report.kendall_tau())
+        .field("score_l1_mean", report.score_l1_mean())
+        .field("status_mismatches", report.status_mismatches as i64)
+        .build();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shadow.json");
+    std::fs::write(path, format!("{}\n", json.to_string_pretty()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -616,6 +616,20 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         "blocking" => scholar::serve::Backend::Blocking,
         other => return Err(format!("invalid --backend '{other}' (auto|epoll|blocking)")),
     };
+    // --record PATH arms the sampled request recorder; the ring is
+    // flushed to an RLOGv1 file at shutdown (and keeps the most recent
+    // --record-cap samples until then).
+    let recorder = match args.get("record") {
+        Some(path) => {
+            let sample = args.get_parsed("sample", 1u64)?;
+            if sample == 0 {
+                return Err("--sample must be >= 1".into());
+            }
+            let cap = args.get_parsed("record-cap", 65536usize)?;
+            Some(std::sync::Arc::new(scholar::serve::Recorder::new(path, sample, cap)))
+        }
+        None => None,
+    };
     let serve_config = scholar::serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7171").to_string(),
         workers: args.get_parsed("workers", 4)?,
@@ -623,6 +637,23 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         read_timeout: std::time::Duration::from_millis(args.get_parsed("read-timeout-ms", 5000)?),
         max_conns: args.get_parsed("max-conns", 1024)?,
         backend,
+        recorder: recorder.clone(),
+    };
+    let shadow_gate = if args.has_switch("shadow") {
+        if args.get("state").is_some() {
+            return Err("--shadow and --state cannot be combined yet".into());
+        }
+        let d = scholar::serve::ShadowThresholds::default();
+        Some(scholar::serve::ShadowThresholds {
+            min_mirrored: args.get_parsed("shadow-min-mirrored", d.min_mirrored)?,
+            min_topk_overlap: args.get_parsed("shadow-min-overlap", d.min_topk_overlap)?,
+            min_kendall_tau: args.get_parsed("shadow-min-tau", d.min_kendall_tau)?,
+            max_score_l1: args.get_parsed("shadow-max-l1", d.max_score_l1)?,
+            max_status_mismatches: args
+                .get_parsed("shadow-max-mismatches", d.max_status_mismatches)?,
+        })
+    } else {
+        None
     };
 
     let metrics = std::sync::Arc::new(scholar::serve::Metrics::new());
@@ -659,13 +690,28 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         }
         None => {
             outln!(out, "ranking {} articles...", corpus.num_articles());
-            scholar::serve::Reindexer::start(config, corpus, on_publish)
+            match shadow_gate.clone() {
+                Some(gate) => {
+                    scholar::serve::Reindexer::start_gated(config, corpus, gate, on_publish)
+                }
+                None => scholar::serve::Reindexer::start(config, corpus, on_publish),
+            }
         }
     };
-    let mut server = scholar::serve::serve(shared, std::sync::Arc::clone(&metrics), &serve_config)
-        .map_err(|e| format!("cannot bind {}: {e}", serve_config.addr))?;
+    let mut server = scholar::serve::serve(
+        std::sync::Arc::clone(&shared),
+        std::sync::Arc::clone(&metrics),
+        &serve_config,
+    )
+    .map_err(|e| format!("cannot bind {}: {e}", serve_config.addr))?;
     outln!(out, "listening on http://{}", server.addr());
-    outln!(out, "endpoints: /top /article/{{id}} /health /metrics");
+    outln!(out, "endpoints: /top /article/{{id}} /health /metrics /shadow");
+    if shadow_gate.is_some() {
+        outln!(
+            out,
+            "shadow gate armed: rebuilt indexes stage at /shadow and must pass before publish"
+        );
+    }
 
     match duration {
         Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
@@ -691,7 +737,113 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> CmdResult {
         metrics.latency_quantile_us(0.50),
         metrics.latency_quantile_us(0.99)
     );
+    if let Some(r) = &recorder {
+        match r.flush() {
+            Ok(n) => outln!(
+                out,
+                "recorded {} requests to {} ({} dropped to ring contention)",
+                n,
+                r.path().display(),
+                r.dropped()
+            ),
+            Err(e) => outln!(out, "request log flush failed (recording degraded): {e}"),
+        }
+    }
+    if let Some(gate) = &shadow_gate {
+        if let Some(report) = shared.shadow_report() {
+            let failures = report.failures(gate);
+            if failures.is_empty() {
+                outln!(
+                    out,
+                    "shadow candidate generation {} healthy ({} mirrored)",
+                    report.candidate_generation,
+                    report.mirrored
+                );
+            } else {
+                outln!(
+                    out,
+                    "shadow candidate generation {} NOT promotable: {}",
+                    report.candidate_generation,
+                    failures.join("; ")
+                );
+            }
+        }
+    }
     Ok(())
+}
+
+/// `scholar replay LOG.rlog --addr HOST:PORT [--connections N]
+/// [--no-keep-alive] [--expect DIGESTS] [--write-digests FILE] [--json]`
+///
+/// Re-issue a recorded RLOGv1 request log against a running server,
+/// preserving per-connection request order, and digest the responses
+/// per endpoint. With `--expect FILE` the digests are compared against
+/// a previously written sidecar and any drift is an error — the
+/// regression-gate mode CI uses. `--write-digests FILE` records the
+/// sidecar for a future `--expect`.
+pub fn replay<W: Write>(args: &Args, out: &mut W) -> CmdResult {
+    let log_path = args.positional(0, "request log path")?;
+    let log = scholar::serve::read_rlog(Path::new(log_path))
+        .map_err(|e| format!("cannot read '{log_path}': {e}"))?;
+    if log.torn_tail {
+        outln!(out, "note: {log_path} has a torn tail; replaying the clean prefix");
+    }
+    if log.records.is_empty() {
+        return Err(format!("'{log_path}' holds no records"));
+    }
+    let addr_raw = args.get("addr").ok_or("missing --addr HOST:PORT")?;
+    let addr = resolve_addr(addr_raw)?;
+    let config = scholar_loadgen::ReplayConfig {
+        addr,
+        connections: args.get_parsed("connections", 2)?,
+        keep_alive: !args.has_switch("no-keep-alive"),
+    };
+    let report = scholar_loadgen::replay(&log.records, &config).map_err(|e| e.to_string())?;
+    if args.has_switch("json") {
+        outln!(out, "{}", report.to_json().to_string_pretty());
+    } else {
+        outln!(
+            out,
+            "replayed {} of {} records in {:?}: {} transport errors, {} status mismatches",
+            report.replayed,
+            log.records.len(),
+            report.elapsed,
+            report.transport_errors,
+            report.status_mismatches
+        );
+        for line in report.format_digests().lines() {
+            outln!(out, "  {line}");
+        }
+    }
+    if let Some(path) = args.get("write-digests") {
+        std::fs::write(path, report.format_digests())
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        outln!(out, "wrote digests to {path}");
+    }
+    if report.transport_errors > 0 {
+        return Err(format!("{} transport errors — digests unusable", report.transport_errors));
+    }
+    if let Some(path) = args.get("expect") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let expected = scholar_loadgen::parse_digests(&text)
+            .map_err(|e| format!("bad digest file '{path}': {e}"))?;
+        let drift = report.diff_digests(&expected);
+        if !drift.is_empty() {
+            return Err(format!("response digest drift vs {path}:\n  {}", drift.join("\n  ")));
+        }
+        outln!(out, "digests match {path}");
+    }
+    Ok(())
+}
+
+/// Resolve `HOST:PORT` to one socket address.
+fn resolve_addr(raw: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    raw.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve '{raw}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{raw}' resolves to no address"))
 }
 
 /// `scholar snapshot corpus.jsonl --state DIR [--config FILE]`

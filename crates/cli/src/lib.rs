@@ -24,6 +24,7 @@ pub fn dispatch<W: std::io::Write>(parsed: &Args, out: &mut W) -> Result<(), Str
         "eval" => commands::eval(parsed, out),
         "convert" => commands::convert(parsed, out),
         "serve" => commands::serve(parsed, out),
+        "replay" => commands::replay(parsed, out),
         "snapshot" => commands::snapshot(parsed, out),
         "" | "help" => {
             writeln!(out, "{}", help_text()).map_err(|e| e.to_string())?;
@@ -73,16 +74,32 @@ COMMANDS:
             [--read-timeout-ms MS] [--max-conns N]
             [--backend auto|epoll|blocking] [--duration SECS]
             [--state DIR] [--snapshot-every N]
+            [--record FILE [--sample N] [--record-cap N]] [--shadow]
             rank the corpus and serve it over HTTP: GET /top (k, venue,
             author, year_min, year_max filters), /article/{id}, /health,
-            /metrics; runs until stdin closes unless --duration is given;
-            --backend auto picks the nonblocking epoll event loop on
-            Linux (keep-alive, SO_REUSEPORT shards) and the portable
-            blocking pool elsewhere; --state DIR makes the server
-            crash-safe: batches journal to DIR/wal.log before they are
-            acknowledged, state snapshots to DIR/snapshot.snap every
-            --snapshot-every batches, and a restart restores snapshot +
-            journal in milliseconds instead of re-ranking
+            /metrics, /shadow; runs until stdin closes unless --duration
+            is given; --backend auto picks the nonblocking epoll event
+            loop on Linux (keep-alive, SO_REUSEPORT shards) and the
+            portable blocking pool elsewhere; --state DIR makes the
+            server crash-safe: batches journal to DIR/wal.log before
+            they are acknowledged, state snapshots to DIR/snapshot.snap
+            every --snapshot-every batches, and a restart restores
+            snapshot + journal in milliseconds instead of re-ranking;
+            --record FILE samples every --sample N-th request (default
+            every request) into an RLOGv1 log flushed at shutdown;
+            --shadow stages rebuilt indexes as candidates that must pass
+            drift thresholds on mirrored live traffic before publishing
+            (--shadow-min-mirrored N, --shadow-min-overlap F,
+            --shadow-min-tau F, --shadow-max-l1 F,
+            --shadow-max-mismatches N tune the gate)
+  replay    LOG.rlog --addr HOST:PORT [--connections N]
+            [--no-keep-alive] [--expect FILE] [--write-digests FILE]
+            [--json]
+            re-issue a recorded request log against a running server,
+            preserving per-connection order, and digest the responses
+            per endpoint; --expect FILE fails on any digest drift
+            (regression gate), --write-digests FILE saves the sidecar
+            a future --expect compares against
   snapshot  CORPUS.jsonl --state DIR
             rank the corpus offline and publish it as a durable state
             directory, so the first `serve --state DIR` restores

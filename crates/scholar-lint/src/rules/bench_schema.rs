@@ -31,9 +31,24 @@ pub const BENCH_SHARED_KEYS: [&str; 3] = ["corpus", "seed", "articles"];
 /// budget it was asserted against proves nothing. `BENCH_restart.json`
 /// exists to gate the restore-vs-rebuild ratio — without both sides and
 /// the ratio itself, the crash-safe restart claim is untracked.
+/// `BENCH_shadow.json` gates the record/replay layer: the recording p99
+/// overhead (asserted ≤5% of baseline) plus the mirror latency and
+/// drift statistics the shadow-promotion gate reads.
 pub const BENCH_ARTIFACT_KEYS: &[(&str, &[&str])] = &[
     ("BENCH_outofcore.json", &["peak_rss_bytes", "rss_budget_bytes"]),
     ("BENCH_restart.json", &["cold_rank_secs", "restore_secs", "restore_speedup"]),
+    (
+        "BENCH_shadow.json",
+        &[
+            "record_p99_overhead",
+            "mirror_p50_us",
+            "mirror_p99_us",
+            "topk_overlap",
+            "kendall_tau",
+            "score_l1_mean",
+            "status_mismatches",
+        ],
+    ),
 ];
 
 const RULE: &str = "BENCH-SCHEMA";

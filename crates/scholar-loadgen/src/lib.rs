@@ -36,8 +36,10 @@
 //! ```
 
 pub mod hist;
+pub mod replay;
 
 pub use hist::Histogram;
+pub use replay::{parse_digests, replay, ReplayConfig, ReplayReport};
 
 use srand::rngs::SmallRng;
 use srand::{Rng, SeedableRng};

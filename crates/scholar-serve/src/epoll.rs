@@ -113,9 +113,10 @@ pub(crate) fn start(
         let stop = Arc::clone(&stop);
         let read_timeout = config.read_timeout;
         let max_conns = config.max_conns.max(1);
+        let recorder = config.recorder.clone();
         let thread =
             std::thread::Builder::new().name(format!("scholar-epoll-{i}")).spawn(move || {
-                match Shard::new(listener, shared, metrics, read_timeout, max_conns) {
+                match Shard::new(listener, shared, metrics, read_timeout, max_conns, recorder) {
                     Ok(mut shard) => shard.run(&stop),
                     Err(e) => eprintln!("scholar-serve: epoll shard {i} failed to start: {e}"),
                 }
@@ -142,6 +143,9 @@ struct Conn {
     close_after_flush: bool,
     /// Peer EOF seen: flush what we owe, read nothing more.
     peer_gone: bool,
+    /// Recorder-assigned connection id (0 without a recorder); recorded
+    /// requests carry it so replay can preserve per-connection order.
+    id: u64,
 }
 
 enum Drive {
@@ -162,6 +166,8 @@ struct Ctx {
     /// known before the head is written).
     body: Vec<u8>,
     cache: TopCache,
+    /// Optional request recorder shared by every shard.
+    recorder: Option<Arc<crate::record::Recorder>>,
 }
 
 struct Shard {
@@ -181,6 +187,7 @@ impl Shard {
         metrics: Arc<Metrics>,
         read_timeout: Duration,
         max_conns: usize,
+        recorder: Option<Arc<crate::record::Recorder>>,
     ) -> std::io::Result<Shard> {
         let epoll = Epoll::new()?;
         epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, sys::EPOLLIN)?;
@@ -198,6 +205,7 @@ impl Shard {
                 ids: Vec::new(),
                 body: Vec::new(),
                 cache: TopCache::new(CACHE_CAP),
+                recorder,
             },
         })
     }
@@ -287,6 +295,7 @@ impl Shard {
                 served: 0,
                 close_after_flush: false,
                 peer_gone: false,
+                id: self.ctx.recorder.as_ref().map(|r| r.conn_id()).unwrap_or(0),
             };
             let interest = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
             if self.epoll.add(conn.stream.as_raw_fd(), slot as u64, interest).is_err() {
@@ -377,6 +386,7 @@ impl Shard {
                     false,
                 );
                 self.ctx.metrics.record(408, idle);
+                self.ctx.metrics.record_generation(self.ctx.shared.generation(), 408);
                 // One best-effort nonblocking flush; the client was the
                 // slow side, so an unflushed remainder is its loss.
                 let _ = flush(conn);
@@ -536,6 +546,9 @@ fn render_early_error(conn: &mut Conn, ctx: &mut Ctx, status: u16, message: &str
     let started = Instant::now();
     http::write_error_response(&mut conn.out, &mut ctx.body, status, message, false);
     ctx.metrics.record(status, started.elapsed());
+    // No index was consulted; attribute to the currently published
+    // generation so per-generation requests still sum to `requests`.
+    ctx.metrics.record_generation(ctx.shared.generation(), status);
     conn.close_after_flush = true;
 }
 
@@ -574,7 +587,27 @@ fn answer(conn: &mut Conn, ctx: &mut Ctx, head: &ParsedHead, head_offset: usize)
             500
         }
     };
-    ctx.metrics.record(status, started.elapsed());
+    let took = started.elapsed();
+    ctx.metrics.record(status, took);
+    ctx.metrics.record_generation(index.generation(), status);
+    // Record + mirror after the response is rendered and accounted:
+    // `took` (what `/metrics` reports) never includes shadow work, and a
+    // mirror fault can only degrade recording, never the answer already
+    // sitting in the output buffer.
+    let target = conn.buf.get(target_start..target_end).unwrap_or_default();
+    let target = String::from_utf8_lossy(target);
+    let us = took.as_micros().min(u128::from(u64::MAX)) as u64;
+    server::observe_request(
+        ctx.recorder.as_deref(),
+        &ctx.shared,
+        &index,
+        &target,
+        conn.id,
+        conn.served,
+        status,
+        us,
+        &ctx.metrics,
+    );
 }
 
 /// Route one request, writing the complete response (head + body) into
@@ -641,9 +674,9 @@ fn write_answer(
             }
         };
     }
-    // Cold endpoints (/health, /metrics, /article/{id}, 404s): the pure
-    // router's per-request serialization is fine here.
-    let (status, body) = server::respond(req, index, &ctx.metrics);
+    // Cold endpoints (/health, /metrics, /article/{id}, /shadow, 404s):
+    // the router's per-request serialization is fine here.
+    let (status, body) = server::respond_full(req, index, Some(&ctx.shared), &ctx.metrics);
     let rendered = body.to_string_compact();
     http::write_response_head(out, status, rendered.len(), keep);
     out.extend_from_slice(rendered.as_bytes());

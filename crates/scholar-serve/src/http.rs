@@ -97,6 +97,14 @@ impl HttpError {
 /// an attacker cannot buffer unbounded garbage. A read timeout configured
 /// on the stream surfaces as [`HttpError::Timeout`].
 pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    read_request_with_target(stream).map(|(req, _)| req)
+}
+
+/// [`read_request`], also returning the raw (undecoded) request target
+/// exactly as it appeared on the wire. The recording path needs the raw
+/// form: RLOGv1 stores targets verbatim so replay re-issues the same
+/// bytes the original client sent.
+pub fn read_request_with_target(stream: &mut impl Read) -> Result<(Request, String), HttpError> {
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
     loop {
@@ -140,9 +148,13 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     if line_end > MAX_REQUEST_LINE {
         return Err(HttpError::RequestLineTooLong);
     }
-    let line = String::from_utf8_lossy(head.get(..line_end).unwrap_or_default());
+    let line_bytes = head.get(..line_end).unwrap_or_default();
+    let line = String::from_utf8_lossy(line_bytes);
     let line = line.trim_end_matches(['\r', '\n']);
-    parse_request_line(line)
+    let req = parse_request_line(line)?;
+    let range = target_range(line_bytes);
+    let target = String::from_utf8_lossy(line_bytes.get(range).unwrap_or_default()).into_owned();
+    Ok((req, target))
 }
 
 /// Position just past the `\r\n\r\n` (or bare `\n\n`) head terminator.
@@ -275,6 +287,16 @@ fn parse_request_line(line: &str) -> Result<Request, HttpError> {
     if method != "GET" {
         return Err(HttpError::MethodNotAllowed(method.to_string()));
     }
+    Ok(parse_target(target))
+}
+
+/// Parse a bare request target (`/top?k=5&venue=X`) into a [`Request`],
+/// exactly as the request-line parser would — same percent decoding,
+/// same query splitting. This is what lets a recorded raw target (RLOGv1
+/// stores targets verbatim off the wire) be re-interpreted offline:
+/// shadow replay routes a recorded target through the same parse the
+/// live server used.
+pub fn parse_target(target: &str) -> Request {
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -287,7 +309,7 @@ fn parse_request_line(line: &str) -> Result<Request, HttpError> {
             (percent_decode(k), percent_decode(v))
         })
         .collect();
-    Ok(Request { path: percent_decode(path), query })
+    Request { path: percent_decode(path), query }
 }
 
 /// Decode `%XX` escapes and `+`-for-space. Invalid escapes pass through

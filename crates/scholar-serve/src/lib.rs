@@ -68,7 +68,9 @@ mod epoll;
 pub mod http;
 pub mod index;
 pub mod metrics;
+pub mod record;
 pub mod server;
+pub mod shadow;
 pub mod snapshot;
 pub mod swap;
 #[cfg(target_os = "linux")]
@@ -77,7 +79,9 @@ pub mod wal;
 
 pub use index::{ArticleDetail, Hit, ScoreIndex, TopQuery};
 pub use metrics::Metrics;
+pub use record::{read_rlog, write_rlog, RecordLog, Recorder, ReqRecord};
 pub use server::{respond, serve, Backend, ServeConfig, ServerHandle};
+pub use shadow::{ShadowReport, ShadowThresholds};
 pub use snapshot::{load_snapshot, write_snapshot, RestoredState, StateError};
 pub use swap::{DurableOptions, RecoveryReport, Reindexer, SharedIndex, SubmitError};
 pub use wal::{Replay, Wal};

@@ -16,6 +16,55 @@ pub const LATENCY_BUCKETS_US: [u64; 16] = [
     2_000_000,
 ];
 
+/// Distinct index generations `/metrics` can attribute requests to
+/// before falling back to the shared "other" bucket (reported as
+/// generation 0). Slots are claimed first-come and never recycled, so a
+/// long-lived server attributes its most recent restarts-worth of
+/// generations precisely and lumps the ancient tail together — the sums
+/// stay exact either way.
+const GENERATION_SLOTS: usize = 8;
+
+/// Request counters attributed to one index generation. Without this
+/// breakdown a shadow mismatch is unattributable: `/metrics` could say
+/// *that* 500s happened but not *which generation* answered them.
+#[derive(Debug, Default)]
+pub struct GenerationCounters {
+    /// Generation label; 0 marks an unclaimed slot (live generations
+    /// start at 1) and, on the overflow bucket, "older generations".
+    tag: AtomicU64,
+    /// Requests answered by this generation.
+    pub requests: AtomicU64,
+    /// 2xx responses from this generation.
+    pub ok: AtomicU64,
+    /// 4xx responses from this generation.
+    pub client_errors: AtomicU64,
+    /// 5xx responses from this generation.
+    pub server_errors: AtomicU64,
+}
+
+impl GenerationCounters {
+    fn bump(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if (200..300).contains(&status) {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else if (500..600).contains(&status) {
+            self.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn json(&self, generation: u64) -> Value {
+        ObjectBuilder::new()
+            .field("generation", generation as i64)
+            .field("requests", self.requests.load(Ordering::Relaxed) as i64)
+            .field("ok", self.ok.load(Ordering::Relaxed) as i64)
+            .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
+            .field("server_errors", self.server_errors.load(Ordering::Relaxed) as i64)
+            .build()
+    }
+}
+
 /// Per-endpoint request counters.
 #[derive(Debug, Default)]
 pub struct EndpointCounters {
@@ -27,6 +76,8 @@ pub struct EndpointCounters {
     pub health: AtomicU64,
     /// `GET /metrics` requests served.
     pub metrics: AtomicU64,
+    /// `GET /shadow` requests served.
+    pub shadow: AtomicU64,
 }
 
 /// All server metrics. One instance lives in an `Arc` shared by every
@@ -63,6 +114,10 @@ pub struct Metrics {
     pub index_swaps: AtomicU64,
     /// Per-endpoint counters.
     pub endpoints: EndpointCounters,
+    /// Per-generation attribution (see [`GenerationCounters`]).
+    generations: [GenerationCounters; GENERATION_SLOTS],
+    /// Requests from generations beyond the slot budget, labelled 0.
+    generation_overflow: GenerationCounters,
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_total_us: AtomicU64,
 }
@@ -108,6 +163,70 @@ impl Metrics {
             counter.fetch_add(1, Ordering::Relaxed);
         }
         self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Attribute a completed response to the index generation that
+    /// answered it. Called alongside [`Metrics::record`] wherever the
+    /// generation is known (which is every answered request — error
+    /// paths attribute to the currently published generation), so per-
+    /// generation requests sum exactly to the global `requests` counter
+    /// and each slot's class counters sum exactly to its `requests`.
+    pub fn record_generation(&self, generation: u64, status: u16) {
+        self.generation_slot(generation).bump(status);
+    }
+
+    fn generation_slot(&self, generation: u64) -> &GenerationCounters {
+        if generation != 0 {
+            for slot in &self.generations {
+                if slot.tag.load(Ordering::Acquire) == generation {
+                    return slot;
+                }
+                if slot
+                    .tag
+                    .compare_exchange(0, generation, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return slot;
+                }
+                // Lost the claim race — if the winner claimed it for the
+                // same generation, this slot is still the right one.
+                if slot.tag.load(Ordering::Acquire) == generation {
+                    return slot;
+                }
+            }
+        }
+        &self.generation_overflow
+    }
+
+    /// Snapshot the per-generation counters: `(generation, requests, ok,
+    /// client_errors, server_errors)` for every claimed slot, with the
+    /// overflow bucket (if used) labelled generation 0.
+    pub fn generation_counts(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        let rel = Ordering::Relaxed;
+        let mut out = Vec::new();
+        for slot in &self.generations {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag != 0 {
+                out.push((
+                    tag,
+                    slot.requests.load(rel),
+                    slot.ok.load(rel),
+                    slot.client_errors.load(rel),
+                    slot.server_errors.load(rel),
+                ));
+            }
+        }
+        let overflow = &self.generation_overflow;
+        if overflow.requests.load(rel) != 0 {
+            out.push((
+                0,
+                overflow.requests.load(rel),
+                overflow.ok.load(rel),
+                overflow.client_errors.load(rel),
+                overflow.server_errors.load(rel),
+            ));
+        }
+        out
     }
 
     /// Record a connection shed with `503` before it reached a worker.
@@ -199,7 +318,23 @@ impl Metrics {
                     .field("article", self.endpoints.article.load(Ordering::Relaxed) as i64)
                     .field("health", self.endpoints.health.load(Ordering::Relaxed) as i64)
                     .field("metrics", self.endpoints.metrics.load(Ordering::Relaxed) as i64)
+                    .field("shadow", self.endpoints.shadow.load(Ordering::Relaxed) as i64)
                     .build(),
+            )
+            .field(
+                "generations",
+                Value::Array({
+                    let mut gens: Vec<Value> = self
+                        .generations
+                        .iter()
+                        .filter(|s| s.tag.load(Ordering::Acquire) != 0)
+                        .map(|s| s.json(s.tag.load(Ordering::Acquire)))
+                        .collect();
+                    if self.generation_overflow.requests.load(Ordering::Relaxed) != 0 {
+                        gens.push(self.generation_overflow.json(0));
+                    }
+                    gens
+                }),
             )
             .field(
                 "latency",
@@ -298,5 +433,45 @@ mod tests {
         let m = Metrics::new();
         m.record(200, Duration::from_secs(30));
         assert_eq!(m.latency_quantile_us(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn generation_counters_attribute_and_sum_exactly() {
+        let m = Metrics::new();
+        m.record_generation(1, 200);
+        m.record_generation(1, 404);
+        m.record_generation(2, 200);
+        m.record_generation(2, 500);
+        m.record_generation(2, 200);
+        let counts = m.generation_counts();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0], (1, 2, 1, 1, 0));
+        assert_eq!(counts[1], (2, 3, 2, 0, 1));
+        // Class counters sum exactly to each slot's requests.
+        for &(_, req, ok, ce, se) in &counts {
+            assert_eq!(ok + ce + se, req);
+        }
+        let v = m.to_json();
+        let gens = v.get("generations").and_then(|g| g.as_array()).unwrap();
+        assert_eq!(gens.len(), 2);
+        assert_eq!(gens[1].get("generation").and_then(|x| x.as_i64()), Some(2));
+        assert_eq!(gens[1].get("requests").and_then(|x| x.as_i64()), Some(3));
+    }
+
+    #[test]
+    fn generation_slots_overflow_to_the_other_bucket() {
+        let m = Metrics::new();
+        // Claim every slot, then two more generations: both must land in
+        // the shared overflow bucket (generation 0) so sums stay exact.
+        for g in 1..=(GENERATION_SLOTS as u64 + 2) {
+            m.record_generation(g, 200);
+        }
+        let counts = m.generation_counts();
+        assert_eq!(counts.len(), GENERATION_SLOTS + 1);
+        let total: u64 = counts.iter().map(|&(_, req, ..)| req).sum();
+        assert_eq!(total, GENERATION_SLOTS as u64 + 2);
+        let overflow = counts.last().unwrap();
+        assert_eq!(overflow.0, 0);
+        assert_eq!(overflow.1, 2);
     }
 }

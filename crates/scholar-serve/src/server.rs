@@ -17,6 +17,7 @@
 use crate::http::{self, Request};
 use crate::index::{ScoreIndex, TopQuery};
 use crate::metrics::Metrics;
+use crate::record::{Recorder, ReqRecord};
 use crate::swap::SharedIndex;
 use scholar_corpus::ArticleId;
 use sjson::{ObjectBuilder, Value};
@@ -84,6 +85,10 @@ pub struct ServeConfig {
     /// Concurrent connections one epoll shard will hold before shedding
     /// new ones with `503` (the event-loop analog of `queue_depth`).
     pub max_conns: usize,
+    /// Optional request recorder (see [`crate::record`]): both backends
+    /// offer every answered request to it after the response is written.
+    /// Recording is sampled and never blocks or fails the live path.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             backend: Backend::Auto,
             max_conns: 1024,
+            recorder: None,
         }
     }
 }
@@ -181,9 +187,10 @@ fn serve_blocking(
         let shared = Arc::clone(&shared);
         let metrics = Arc::clone(&metrics);
         let read_timeout = config.read_timeout;
+        let recorder = config.recorder.clone();
         let worker = std::thread::Builder::new()
             .name(format!("scholar-serve-{i}"))
-            .spawn(move || worker_loop(rx, shared, metrics, read_timeout))?;
+            .spawn(move || worker_loop(rx, shared, metrics, read_timeout, recorder))?;
         workers.push(worker);
     }
 
@@ -287,6 +294,7 @@ fn worker_loop(
     shared: Arc<SharedIndex>,
     metrics: Arc<Metrics>,
     read_timeout: Duration,
+    recorder: Option<Arc<Recorder>>,
 ) {
     loop {
         // Hold the lock only long enough to dequeue one connection. A
@@ -304,7 +312,7 @@ fn worker_loop(
         // and `shared`/`metrics` only expose atomic or lock-guarded
         // state whose guards poison on panic.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(stream, &shared, &metrics, read_timeout)
+            handle_connection(stream, &shared, &metrics, read_timeout, recorder.as_ref())
         }));
         if let Err(cause) = caught {
             metrics.record_panic();
@@ -327,6 +335,7 @@ fn handle_connection(
     shared: &Arc<SharedIndex>,
     metrics: &Arc<Metrics>,
     read_timeout: Duration,
+    recorder: Option<&Arc<Recorder>>,
 ) {
     let _gauge = metrics.begin();
     metrics.record_conn_open();
@@ -336,27 +345,92 @@ fn handle_connection(
     // Chaos site: slow or dying worker before it even reads the request.
     failpoint!("serve.handle");
 
-    let (status, body) = match http::read_request(&mut stream) {
-        // Snapshot the index once per request: the whole answer comes
-        // from one immutable generation even if a swap lands mid-answer.
+    // Snapshot the index once per request: the whole answer comes from
+    // one immutable generation even if a swap lands mid-answer, and
+    // `/metrics` attributes the response to exactly that generation.
+    let index = shared.load();
+    let (status, body, target) = match http::read_request_with_target(&mut stream) {
         // Panic isolation at the narrowest useful scope: a handler bug
         // must not cost the client its response — it becomes a recorded
         // `500`, so `/metrics` accounting stays exact even under panics
         // (the outer worker_loop catch remains as the last-resort belt).
-        Ok(req) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            respond_failpoint();
-            respond(&req, &shared.load(), metrics)
-        }))
-        .unwrap_or_else(|cause| {
-            metrics.record_panic();
-            log_panic("answering a request", cause.as_ref());
-            (500, http::error_body(500, "internal error while answering the request"))
-        }),
-        Err(e) => (e.status(), http::error_body(e.status(), &e.message())),
+        Ok((req, target)) => {
+            let (status, body) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                respond_failpoint();
+                respond_full(&req, &index, Some(shared), metrics)
+            }))
+            .unwrap_or_else(|cause| {
+                metrics.record_panic();
+                log_panic("answering a request", cause.as_ref());
+                (500, http::error_body(500, "internal error while answering the request"))
+            });
+            (status, body, Some(target))
+        }
+        Err(e) => (e.status(), http::error_body(e.status(), &e.message()), None),
     };
     let _ = stream.write_all(&http::response_bytes(status, &body));
-    metrics.record(status, started.elapsed());
+    let took = started.elapsed();
+    metrics.record(status, took);
+    metrics.record_generation(index.generation(), status);
+    // Record + mirror strictly after the response is on the wire: the
+    // client's latency never includes shadow work.
+    if let Some(target) = target {
+        let conn = recorder.map(|r| r.conn_id()).unwrap_or(0);
+        let us = took.as_micros().min(u128::from(u64::MAX)) as u64;
+        observe_request(
+            recorder.map(Arc::as_ref),
+            shared,
+            &index,
+            &target,
+            conn,
+            0,
+            status,
+            us,
+            metrics,
+        );
+    }
     metrics.record_conn_close();
+}
+
+/// Shared post-response hook for both backends: offer the answered
+/// request to the recorder, and mirror it to a staged shadow candidate.
+///
+/// Recording and mirroring are *coupled*: with a recorder configured,
+/// only requests that were actually stored in the ring are mirrored.
+/// That makes the flushed RLOGv1 log exactly the mirrored workload, so
+/// [`crate::shadow::replay_mirror`] over the log reproduces the online
+/// `ShadowReport` drift numbers bit for bit. Without a recorder, every
+/// request is mirrored.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_request(
+    recorder: Option<&Recorder>,
+    shared: &SharedIndex,
+    live: &ScoreIndex,
+    target: &str,
+    conn: u64,
+    seq: u64,
+    status: u16,
+    latency_us: u64,
+    metrics: &Metrics,
+) {
+    let mirror = match recorder {
+        Some(r) => {
+            r.sample()
+                && r.store(ReqRecord {
+                    conn,
+                    seq,
+                    generation: live.generation(),
+                    status,
+                    latency_us,
+                    target: target.to_owned(),
+                })
+        }
+        None => true,
+    };
+    if mirror && shared.mirror_if_shadowing(live, target, latency_us).is_some() {
+        // This mirror's auto-decision just promoted the candidate.
+        metrics.record_swap();
+    }
 }
 
 /// The `serve.respond` chaos site, shared by both backends: a buggy or
@@ -371,9 +445,31 @@ pub(crate) fn respond_failpoint() {
 
 /// Route one parsed request. Pure: index snapshot in, `(status, body)`
 /// out, which is what makes the endpoints unit-testable without sockets.
+/// `/shadow` needs the serving cell itself and answers 404 here; use
+/// [`respond_full`] on paths that have one.
 pub fn respond(req: &Request, index: &ScoreIndex, metrics: &Metrics) -> (u16, Value) {
+    respond_full(req, index, None, metrics)
+}
+
+/// [`respond`] with access to the [`SharedIndex`], which is what the
+/// `/shadow` endpoint reports on (the staged candidate and its report
+/// live on the cell, not on any one index snapshot). Both backends route
+/// through this.
+pub fn respond_full(
+    req: &Request,
+    index: &ScoreIndex,
+    shared: Option<&SharedIndex>,
+    metrics: &Metrics,
+) -> (u16, Value) {
     let rel = Ordering::Relaxed;
     match req.path.as_str() {
+        "/shadow" => {
+            metrics.endpoints.shadow.fetch_add(1, rel);
+            match shared {
+                Some(s) => (200, s.shadow_json()),
+                None => (404, http::error_body(404, "no shadow state on this serving path")),
+            }
+        }
         "/health" => {
             metrics.endpoints.health.fetch_add(1, rel);
             (

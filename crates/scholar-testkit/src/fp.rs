@@ -48,11 +48,13 @@ pub const SITES: &[&str] = &[
     "incremental.extend",
     "reindex.coalesce",
     "reindex.publish",
+    "replay.record.io",
     "serve.accept",
     "serve.handle",
     "serve.io.read",
     "serve.io.write",
     "serve.respond",
+    "shadow.mirror",
     "snapshot.io",
     "swap.publish",
     "wal.append",

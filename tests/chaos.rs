@@ -29,9 +29,10 @@
 use scholar::core::incremental::{grow_corpus, IncrementalRanker};
 use scholar::corpus::model::{Article, ArticleId, AuthorId, VenueId};
 use scholar::corpus::{Corpus, CorpusBuilder};
+use scholar::serve::shadow::Decision;
 use scholar::serve::{
-    serve, Backend, DurableOptions, Metrics, Reindexer, ScoreIndex, ServeConfig, SharedIndex,
-    TopQuery,
+    read_rlog, serve, Backend, DurableOptions, Metrics, Recorder, Reindexer, ReqRecord, ScoreIndex,
+    ServeConfig, ShadowThresholds, SharedIndex, StateError, TopQuery,
 };
 use scholar::QRankConfig;
 use scholar_testkit::chaos;
@@ -1086,4 +1087,176 @@ fn colstore_map_fault_fails_open_cleanly() {
     let store = scholar::corpus::colstore::ColStore::open(&dir).expect("fault cleared");
     store.verify().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ------------------------------------- pillar 1b: record/shadow chaos
+
+fn chaos_record(seq: u64) -> ReqRecord {
+    ReqRecord {
+        conn: 1,
+        seq,
+        generation: 1,
+        status: 200,
+        latency_us: 100 + seq,
+        target: format!("/top?k={}", 1 + seq),
+    }
+}
+
+/// `replay.record.io` kill sweep: the RLOGv1 flush dies at each of its
+/// I/O steps (tmp create, write+fsync, rename) in turn. The published
+/// file is all-or-nothing — it keeps decoding as the *previous* complete
+/// log — the recorder degrades itself loudly, and the live serving path
+/// neither blocks nor loses a single request.
+#[test]
+fn record_flush_kill_sweep_degrades_recording_never_serving() {
+    let _s = Scenario::begin();
+    let path = std::env::temp_dir().join(format!("scholar-chaos-rlog-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Publish one complete log fault-free; every faulty re-flush below
+    // must leave exactly this on disk.
+    let first = Recorder::new(&path, 1, 64);
+    assert!(first.record(chaos_record(0)));
+    first.flush().expect("fault-free flush");
+    let want = read_rlog(&path).expect("baseline log").records;
+    assert_eq!(want.len(), 1);
+
+    for step in 0..3usize {
+        let r = Recorder::new(&path, 1, 64);
+        for seq in 0..4 {
+            assert!(r.record(chaos_record(seq)));
+        }
+        let mut script = vec![Action::Off; step];
+        script.push(Action::Trigger);
+        fp::script("replay.record.io", script);
+        let err = r.flush().expect_err("armed flush must fail");
+        assert!(matches!(err, StateError::Io(_)), "step {step}: {err}");
+        assert!(r.degraded(), "step {step}: failed flush must degrade the recorder");
+        // Degraded recording is a cheap no-op, not an error storm.
+        assert!(!r.record(chaos_record(99)), "degraded recorder must stop sampling");
+        fp::clear("replay.record.io");
+        let log = read_rlog(&path).expect("step {step}: the published log must survive");
+        assert!(!log.torn_tail, "step {step}: tmp-then-rename published a tear");
+        assert_eq!(log.records, want, "step {step}: a dead flush mutated the published log");
+    }
+
+    // Live path: a server whose recorder's disk is dead keeps serving.
+    let corpus = Arc::new(small_corpus(55));
+    let scores = IncrementalRanker::new(QRankConfig::default(), corpus.as_ref().clone())
+        .result()
+        .article_scores
+        .clone();
+    let recorder = Arc::new(Recorder::new(&path, 1, 64));
+    let shared = Arc::new(SharedIndex::new(ScoreIndex::build(Arc::clone(&corpus), scores.clone())));
+    let metrics = Arc::new(Metrics::new());
+    let config =
+        ServeConfig { workers: 2, recorder: Some(Arc::clone(&recorder)), ..Default::default() };
+    let mut server = serve(Arc::clone(&shared), Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+
+    for _ in 0..6 {
+        let (status, _) = chaos::http_get(addr, "/top?k=5");
+        assert_eq!(status, 200);
+    }
+    fp::set("replay.record.io", Action::Trigger);
+    recorder.flush().expect_err("armed flush must fail");
+    assert!(recorder.degraded());
+    fp::clear("replay.record.io");
+    // Recording is down; serving must not notice.
+    for _ in 0..6 {
+        let (status, _) = chaos::http_get(addr, "/top?k=5");
+        assert_eq!(status, 200, "a degraded recorder leaked into the live path");
+    }
+    chaos::assert_pool_live(addr, config.workers);
+    let (status, m) = chaos::http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let field = |name: &str| m.get(name).and_then(|v| v.as_i64()).unwrap();
+    assert_eq!(
+        field("ok") + field("client_errors") + field("server_errors"),
+        field("requests"),
+        "request accounting drifted while recording was degraded"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `shadow.mirror` faults: a candidate that *panics* answering a mirror
+/// poisons the slot — auto-rejected, loud report, live response already
+/// sent and untouched. A mirror that merely *errors* is counted and
+/// skipped: enough clean mirrors afterwards still promote the candidate.
+#[test]
+fn shadow_mirror_faults_poison_or_degrade_never_touch_live() {
+    let _s = Scenario::begin();
+    let corpus = Arc::new(small_corpus(77));
+    let scores = IncrementalRanker::new(QRankConfig::default(), corpus.as_ref().clone())
+        .result()
+        .article_scores
+        .clone();
+    let shared = Arc::new(SharedIndex::new(ScoreIndex::build(Arc::clone(&corpus), scores.clone())));
+    let metrics = Arc::new(Metrics::new());
+    let config = ServeConfig { workers: 2, ..Default::default() };
+    let mut server = serve(Arc::clone(&shared), Arc::clone(&metrics), &config).expect("bind");
+    let addr = server.addr();
+    let thresholds = ShadowThresholds { min_mirrored: 8, ..Default::default() };
+    let deadline = || std::time::Instant::now() + Duration::from_secs(30);
+
+    // Phase 1: the very first mirror panics inside the candidate.
+    shared.stage_shadow(ScoreIndex::build(Arc::clone(&corpus), scores.clone()), thresholds.clone());
+    fp::script("shadow.mirror", vec![Action::Panic]);
+    let (status, _) = chaos::http_get(addr, "/top?k=5");
+    assert_eq!(status, 200, "the request carrying the poisoned mirror must still answer");
+    // The mirror runs after the response is written; wait out the race.
+    let end = deadline();
+    let report = loop {
+        let report = shared.shadow_report().expect("slot must stay up to explain itself");
+        if report.decision != Decision::Pending {
+            break report;
+        }
+        assert!(std::time::Instant::now() < end, "poisoned slot never auto-rejected");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    fp::clear("shadow.mirror");
+    assert!(report.poisoned);
+    assert_eq!(report.decision, Decision::Rejected);
+    assert_eq!(shared.generation(), 1, "a poisoned candidate must never publish");
+    let (status, body) = chaos::http_get(addr, "/shadow");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("decision").and_then(|v| v.as_str()), Some("rejected"));
+    assert!(
+        !body.get("failures").and_then(|f| f.as_array()).expect("failures").is_empty(),
+        "a poisoned rejection must name its reason"
+    );
+
+    // Phase 2: three injected mirror *errors* (no panic), then clean
+    // mirrors. Errors degrade the evidence stream, they do not kill the
+    // candidate: it still reaches min_mirrored and promotes.
+    shared.stage_shadow(ScoreIndex::build(Arc::clone(&corpus), scores.clone()), thresholds);
+    fp::script("shadow.mirror", vec![Action::Trigger; 3]);
+    for i in 0..11 {
+        let (status, _) = chaos::http_get(addr, "/top?k=5");
+        assert_eq!(status, 200, "request {i} failed while mirrors were erroring");
+    }
+    let end = deadline();
+    while shared.generation() < 2 {
+        assert!(std::time::Instant::now() < end, "candidate never promoted past mirror errors");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    fp::clear("shadow.mirror");
+    let report = shared.shadow_report().expect("report stays up after promotion");
+    assert_eq!(report.decision, Decision::Promoted);
+    assert_eq!(report.mirror_errors, 3, "each injected fault must be counted exactly once");
+    assert_eq!(report.mirrored, 8);
+
+    chaos::assert_pool_live(addr, config.workers);
+    // Accounting stayed exact through poison, errors, and promotion —
+    // including the per-generation breakdown.
+    let (status, m) = chaos::http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let field = |v: &sjson::Value, name: &str| v.get(name).and_then(|x| x.as_i64()).unwrap();
+    let requests = field(&m, "requests");
+    assert_eq!(field(&m, "ok") + field(&m, "client_errors") + field(&m, "server_errors"), requests);
+    let gens = m.get("generations").and_then(|g| g.as_array()).expect("generations");
+    let by_gen: i64 = gens.iter().map(|g| field(g, "requests")).sum();
+    assert_eq!(by_gen, requests, "generation breakdown must sum to the request counter");
+    server.shutdown();
 }
