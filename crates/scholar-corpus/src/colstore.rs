@@ -304,9 +304,18 @@ impl ColWriter {
         }
         colstore_io_check()?;
         std::fs::rename(&meta.path, self.dir.join("meta.col"))?;
+        // Make the publish durable: fsync the directory after the
+        // renames, so a crash cannot roll back to a half-visible store.
+        fsync_dir(&self.dir)?;
         self.finished = true;
         Ok(generation)
     }
+}
+
+/// Fsync a directory so renames into it survive a crash — the second
+/// half of the tmp-then-rename publish protocol.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 impl Drop for ColWriter {

@@ -127,6 +127,8 @@ impl Corpus {
     /// instance. Used by tests and benches to assert that prepared layers
     /// (RankContext, QRankEngine) amortize the CSR build.
     pub fn citation_graph_builds(&self) -> usize {
+        // ORDERING: a test/bench statistic — an independent monotone
+        // counter that publishes no data.
         self.citation_graph_builds.load(Ordering::Relaxed)
     }
     /// All articles, indexed by [`ArticleId`].
@@ -195,6 +197,8 @@ impl Corpus {
     /// The citation graph: one node per article, edge **citing → cited**,
     /// unit weights. In-degree is citation count.
     pub fn citation_graph(&self) -> CsrGraph {
+        // ORDERING: build counter for tests/benches only; the RMW gives
+        // the count, and no reader infers visibility from it.
         self.citation_graph_builds.fetch_add(1, Ordering::Relaxed);
         let mut b = GraphBuilder::new(self.articles.len() as u32)
             .with_edge_capacity(self.num_citations())

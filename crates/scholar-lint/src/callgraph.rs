@@ -1,0 +1,651 @@
+//! A name-resolved intra-workspace call graph over [`crate::items`].
+//!
+//! Resolution is deliberately conservative and purely lexical:
+//!
+//! - A call site is an identifier followed by `(` that is not a macro
+//!   (`name!(…)`), not a definition (`fn name(`), and not a keyword.
+//! - Direct calls (`helper()`) resolve same-file first, then
+//!   same-crate, then workspace-wide; method calls (`x.helper()`)
+//!   resolve same-file then same-crate **only** — a bare method name
+//!   matching some other crate's function is almost always a std
+//!   method (`Vec::extend`, `HashMap::clear`) colliding with a
+//!   workspace name, and a wrong edge manufactures findings while a
+//!   missing edge only weakens them. At every level the name must be
+//!   **unique** or the call stays unresolved.
+//! - A path call's qualifier is the router: leading `crate`/`self`/
+//!   `super`/`Self` segments are stripped; a segment naming a
+//!   workspace crate (`scholar_corpus::load_jsonl(…)`) restricts the
+//!   search to that crate; otherwise the last segment must name a
+//!   module file (or its directory, or a type whose lowercase matches
+//!   one — `Wal::create` → `wal.rs`) in the *same* crate. Anything
+//!   else (`thread::spawn`, `fs::rename`, `mem::take`) is external and
+//!   never resolves.
+//! - Direct calls to `let`-bound names (closures, function-pointer
+//!   locals) are *shadowed*: they never resolve to a workspace fn.
+//! - Atomic operations (`x.load(Ordering::Acquire)`,
+//!   `x.fetch_add(1, RELAXED)`) look like method calls but target
+//!   `std::sync::atomic`, not the workspace; any call with a memory-
+//!   ordering argument (literal path or a resolved alias/const) is
+//!   skipped. [`ordering_aliases`] resolves the alias form.
+
+use crate::items::{next_code, prev_code, FnItem, FnTable};
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// The five memory-ordering names of `std::sync::atomic::Ordering`.
+pub const ORDERING_NAMES: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Keywords that can precede a `(` without being a call.
+const KEYWORDS: [&str; 12] =
+    ["if", "while", "match", "for", "return", "loop", "fn", "as", "in", "move", "let", "else"];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Call {
+    /// Callee fn id (index into [`FnTable::fns`]).
+    pub callee: usize,
+    /// Token index of the call site in the caller's file.
+    pub tok: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// The workspace call graph: `calls[f]` are fn `f`'s resolved calls, in
+/// source order.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Per-fn outgoing edges.
+    pub calls: Vec<Vec<Call>>,
+}
+
+impl CallGraph {
+    /// Build the graph for every fn in `table`.
+    pub fn build(ws: &Workspace, table: &FnTable) -> CallGraph {
+        let mut calls = vec![Vec::new(); table.fns.len()];
+        for (fi, file) in ws.files.iter().enumerate() {
+            let aliases = ordering_aliases(file);
+            let lets = let_bound_idents(file);
+            for site in call_sites(file, &aliases) {
+                let Some(caller) = table.innermost_at(fi, site.tok) else { continue };
+                if site.kind == CallKind::Direct
+                    && lets.iter().any(|&(ref n, at)| {
+                        *n == site.name
+                            && table.innermost_at(fi, at) == Some(caller)
+                            && at < site.tok
+                    })
+                {
+                    continue; // shadowed by a local binding
+                }
+                if let Some(callee) = resolve(ws, table, fi, file.crate_name.as_deref(), &site) {
+                    calls[caller].push(Call {
+                        callee,
+                        tok: site.tok,
+                        line: file.tokens[site.tok].line,
+                    });
+                }
+            }
+        }
+        CallGraph { calls }
+    }
+
+    /// BFS from `roots`; returns, for each reachable fn, the `(parent,
+    /// call)` that first reached it (roots map to `None`). Unreachable
+    /// fns are absent.
+    pub fn reach_parents(&self, roots: &[usize]) -> Vec<Option<Option<(usize, Call)>>> {
+        let mut seen: Vec<Option<Option<(usize, Call)>>> = vec![None; self.calls.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if seen[r].is_none() {
+                seen[r] = Some(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &c in &self.calls[f] {
+                if seen[c.callee].is_none() {
+                    seen[c.callee] = Some(Some((f, c)));
+                    queue.push_back(c.callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper()`.
+    Direct,
+    /// `x.helper()`.
+    Method,
+    /// `module::helper()`.
+    Path,
+}
+
+/// One lexical call site, pre-resolution.
+#[derive(Debug)]
+pub struct CallSite {
+    /// The called name (final path segment or method name).
+    pub name: String,
+    /// Token index of the name.
+    pub tok: usize,
+    /// Direct, method, or path call.
+    pub kind: CallKind,
+    /// For path calls: the qualifying segments, outermost first.
+    pub qualifier: Vec<String>,
+}
+
+/// Every call site in a file's production code.
+pub fn call_sites(file: &SourceFile, ordering_aliases: &[(String, &'static str)]) -> Vec<CallSite> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.test_mask[i] || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(open) = next_code(toks, i + 1) else { continue };
+        if !toks[open].is_punct("(") {
+            continue;
+        }
+        let prev = prev_code(toks, i);
+        let prev_tok = prev.map(|p| &toks[p]);
+        if prev_tok.is_some_and(|p| p.is_ident("fn") || p.is_punct("!") || p.is_punct("#")) {
+            continue; // definition, macro body edge, or attribute
+        }
+        let kind = match prev_tok {
+            Some(p) if p.is_punct(".") => CallKind::Method,
+            Some(p) if p.is_punct("::") => CallKind::Path,
+            _ => CallKind::Direct,
+        };
+        // Atomic ops pass a memory ordering; those calls target std.
+        if has_ordering_arg(toks, open, ordering_aliases) {
+            continue;
+        }
+        let qualifier = if kind == CallKind::Path {
+            let mut segs = Vec::new();
+            let mut j = prev; // at `::`
+            while let Some(colon) = j {
+                if !toks[colon].is_punct("::") {
+                    break;
+                }
+                let Some(seg) = prev_code(toks, colon) else { break };
+                if toks[seg].kind != TokenKind::Ident {
+                    break; // e.g. `<T as Trait>::f` — give up on the qualifier
+                }
+                segs.push(toks[seg].text.clone());
+                j = prev_code(toks, seg);
+            }
+            segs.reverse();
+            segs
+        } else {
+            Vec::new()
+        };
+        out.push(CallSite { name: t.text.clone(), tok: i, kind, qualifier });
+    }
+    out
+}
+
+/// Does the paren group opening at `open` contain a memory-ordering
+/// argument (an `Ordering::X` path or an alias bound to one)?
+fn has_ordering_arg(toks: &[Token], open: usize, aliases: &[(String, &'static str)]) -> bool {
+    let mut depth = 0i32;
+    for t in &toks[open..] {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if t.kind == TokenKind::Ident
+            && (ORDERING_NAMES.contains(&t.text.as_str())
+                || t.text == "Ordering"
+                || aliases.iter().any(|(n, _)| *n == t.text))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `let`-bound identifiers in production code, with the binding's token
+/// index — used to keep local closures from resolving as workspace fns.
+fn let_bound_idents(file: &SourceFile) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("let") || file.test_mask[i] {
+            continue;
+        }
+        let Some(mut j) = next_code(toks, i + 1) else { continue };
+        if toks[j].is_ident("mut") {
+            let Some(k) = next_code(toks, j + 1) else { continue };
+            j = k;
+        }
+        if toks[j].kind == TokenKind::Ident {
+            out.push((toks[j].text.clone(), j));
+        }
+    }
+    out
+}
+
+/// File-scope map of identifiers bound to a memory ordering, covering
+/// both forms the workspace uses: `let rel = Ordering::Relaxed;` and
+/// `const RELAXED: Ordering = Ordering::Relaxed;`.
+pub fn ordering_aliases(file: &SourceFile) -> Vec<(String, &'static str)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("let") || t.is_ident("const")) || file.test_mask[i] {
+            continue;
+        }
+        let Some(name_at) = next_code(toks, i + 1) else { continue };
+        if toks[name_at].kind != TokenKind::Ident || toks[name_at].text == "mut" {
+            continue;
+        }
+        // Scan the initializer up to `;` for `Ordering :: <X>`.
+        let mut saw_ordering_path = false;
+        let mut value = None;
+        let mut j = name_at + 1;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            if toks[j].is_ident("Ordering")
+                && next_code(toks, j + 1).is_some_and(|k| toks[k].is_punct("::"))
+            {
+                saw_ordering_path = true;
+            }
+            if saw_ordering_path
+                && toks[j].kind == TokenKind::Ident
+                && ORDERING_NAMES.contains(&toks[j].text.as_str())
+            {
+                value = ORDERING_NAMES.iter().find(|&&n| n == toks[j].text).copied();
+            }
+            j += 1;
+        }
+        if let Some(v) = value {
+            out.push((toks[name_at].text.clone(), v));
+        }
+    }
+    out
+}
+
+/// Resolve a call site to a fn id. See the module docs for the exact
+/// search order per call kind; a unique match is required at the first
+/// level that has any candidate.
+fn resolve(
+    ws: &Workspace,
+    table: &FnTable,
+    file_idx: usize,
+    crate_of_file: Option<&str>,
+    site: &CallSite,
+) -> Option<usize> {
+    if site.kind == CallKind::Path {
+        let segs: Vec<&str> = site
+            .qualifier
+            .iter()
+            .map(String::as_str)
+            .skip_while(|s| matches!(*s, "crate" | "self" | "super" | "Self"))
+            .collect();
+        if !segs.is_empty() {
+            // A segment naming a workspace crate restricts to it.
+            for seg in &segs {
+                let dashed = seg.replace('_', "-");
+                let names_crate = |f: &FnItem| {
+                    f.crate_name.as_deref() == Some(dashed.as_str())
+                        || f.crate_name.as_deref() == Some(seg)
+                };
+                if table.fns.iter().any(&names_crate) {
+                    let in_crate: Vec<usize> = table
+                        .fns
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.name == site.name && names_crate(f))
+                        .map(|(id, _)| id)
+                        .collect();
+                    return unique(&in_crate);
+                }
+            }
+            // Otherwise the last segment must name a module file in the
+            // same crate (`wal::append`, `Wal::create`, `rules::run_all`
+            // via the directory of `rules/mod.rs`). Anything else is an
+            // external path (`thread::spawn`, `fs::rename`).
+            let seg = segs[segs.len() - 1];
+            let in_module: Vec<usize> = table
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.name == site.name
+                        && f.crate_name.as_deref() == crate_of_file
+                        && file_matches_module(&ws.files[f.file].rel_path, seg)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            return if in_module.is_empty() { None } else { unique(&in_module) };
+        }
+    }
+    let same_file: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.file == file_idx && f.name == site.name)
+        .map(|(id, _)| id)
+        .collect();
+    if !same_file.is_empty() {
+        return unique(&same_file);
+    }
+    if let Some(krate) = crate_of_file {
+        let same_crate: Vec<usize> = table.by_name_in_crate(&site.name, krate).collect();
+        if !same_crate.is_empty() {
+            return unique(&same_crate);
+        }
+    }
+    if site.kind == CallKind::Method {
+        // A method name with no same-crate match is a std method, not a
+        // cross-crate call — never fall back to the whole workspace.
+        return None;
+    }
+    let anywhere: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == site.name)
+        .map(|(id, _)| id)
+        .collect();
+    unique(&anywhere)
+}
+
+/// Does the file at `rel_path` implement the module a path-call
+/// qualifier segment names? Matches the file stem (`wal.rs` ← `wal` or
+/// the type `Wal`, case-insensitively) or the parent directory of a
+/// `mod.rs` (`rules/mod.rs` ← `rules`).
+fn file_matches_module(rel_path: &str, seg: &str) -> bool {
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let stem = file_name.strip_suffix(".rs").unwrap_or(file_name);
+    if stem.eq_ignore_ascii_case(seg) {
+        return true;
+    }
+    if stem == "mod" {
+        let parent = rel_path.rsplit('/').nth(1).unwrap_or("");
+        return parent.eq_ignore_ascii_case(seg);
+    }
+    false
+}
+
+fn unique(ids: &[usize]) -> Option<usize> {
+    match ids {
+        [one] => Some(*one),
+        _ => None,
+    }
+}
+
+/// The receiver identifier of a method call or lock acquisition at name
+/// token `i`: the last field/variable identifier before the `.`,
+/// skipping one `[…]` index group (`self.ring[k].lock()` → `ring`).
+pub fn receiver_ident(toks: &[Token], i: usize) -> Option<String> {
+    let dot = prev_code(toks, i)?;
+    if !toks[dot].is_punct(".") {
+        return None;
+    }
+    let mut r = prev_code(toks, dot)?;
+    if toks[r].is_punct("]") {
+        // Walk back over the index group to the `[`, then its base.
+        let mut depth = 0usize;
+        loop {
+            if toks[r].is_punct("]") {
+                depth += 1;
+            } else if toks[r].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            r = prev_code(toks, r)?;
+        }
+        r = prev_code(toks, r)?;
+    }
+    (toks[r].kind == TokenKind::Ident).then(|| toks[r].text.clone())
+}
+
+/// End of the statement containing token `i`: the index of the next `;`
+/// at the same brace depth, or the end of the enclosing block.
+pub fn statement_end(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// End of the innermost block containing token `i`, scanning forward to
+/// the `}` that closes it (or end of input).
+pub fn block_end(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Re-find the matching close paren for `open` (a `(` token).
+pub fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect(),
+            design: None,
+        }
+    }
+
+    fn graph(files: &[(&str, &str)]) -> (Workspace, FnTable, CallGraph) {
+        let w = ws(files);
+        let t = FnTable::build(&w);
+        let g = CallGraph::build(&w, &t);
+        (w, t, g)
+    }
+
+    fn edges(t: &FnTable, g: &CallGraph, caller: &str) -> Vec<String> {
+        let id = t.fns.iter().position(|f| f.name == caller).unwrap();
+        g.calls[id].iter().map(|c| t.fns[c.callee].name.clone()).collect()
+    }
+
+    #[test]
+    fn direct_method_and_path_calls_resolve() {
+        let (_, t, g) = graph(&[
+            (
+                "crates/app/src/lib.rs",
+                "fn a() { b(); s.c(); wal::d(); Wal::e(); }\nfn b() {}\nfn c(&self) {}",
+            ),
+            ("crates/app/src/wal.rs", "pub fn d() {}\npub fn e() {}"),
+        ]);
+        assert_eq!(edges(&t, &g, "a"), ["b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn external_paths_and_foreign_method_names_stay_unresolved() {
+        let (_, t, g) = graph(&[
+            (
+                "crates/app/src/lib.rs",
+                "fn a(buf: &mut Vec<u8>) { thread::spawn(w); fs::rename(p, q); buf.extend(x); }\nfn spawn() {}\nfn rename() {}",
+            ),
+            ("crates/other/src/lib.rs", "pub fn extend(&mut self) {}"),
+        ]);
+        assert!(
+            edges(&t, &g, "a").is_empty(),
+            "std paths and std method names must not resolve: {:?}",
+            edges(&t, &g, "a")
+        );
+    }
+
+    #[test]
+    fn crate_prefixed_paths_and_mod_rs_directories_resolve() {
+        let (_, t, g) = graph(&[
+            (
+                "crates/app/src/lib.rs",
+                "fn a() { crate::helper(); rules::run_all(); }\nfn helper() {}",
+            ),
+            ("crates/app/src/rules/mod.rs", "pub fn run_all() {}"),
+        ]);
+        assert_eq!(edges(&t, &g, "a"), ["helper", "run_all"]);
+    }
+
+    #[test]
+    fn let_bound_name_shadows_the_workspace_fn() {
+        let (_, t, g) = graph(&[(
+            "crates/app/src/lib.rs",
+            "fn a() { let helper = || (); helper(); }\nfn helper() {}\nfn late() { helper(); }",
+        )]);
+        assert!(edges(&t, &g, "a").is_empty(), "closure call must not resolve");
+        assert_eq!(edges(&t, &g, "late"), ["helper"]);
+    }
+
+    #[test]
+    fn cross_crate_path_qualifier_restricts_resolution() {
+        let (_, t, g) = graph(&[
+            ("crates/scholar-corpus/src/lib.rs", "pub fn load_jsonl() {}"),
+            (
+                "crates/app/src/lib.rs",
+                "fn a() { scholar_corpus::load_jsonl(); }\nfn load_jsonl() {}",
+            ),
+        ]);
+        // The qualifier names the corpus crate, so the same-file decoy
+        // must lose.
+        let id = t.fns.iter().position(|f| f.name == "a").unwrap();
+        let callee = g.calls[id][0].callee;
+        assert_eq!(t.fns[callee].crate_name.as_deref(), Some("scholar-corpus"));
+    }
+
+    #[test]
+    fn ambiguous_names_stay_unresolved() {
+        let (_, t, g) = graph(&[
+            ("crates/a/src/lib.rs", "pub fn dup() {}"),
+            ("crates/b/src/lib.rs", "pub fn dup() {}"),
+            ("crates/c/src/lib.rs", "fn caller() { dup(); }"),
+        ]);
+        assert!(edges(&t, &g, "caller").is_empty());
+    }
+
+    #[test]
+    fn same_crate_beats_other_crates() {
+        let (_, t, g) = graph(&[
+            ("crates/a/src/one.rs", "pub fn helper() {}"),
+            ("crates/a/src/two.rs", "pub fn caller() { helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let id = t.fns.iter().position(|f| f.name == "caller").unwrap();
+        let callee = g.calls[id][0].callee;
+        assert_eq!(t.fns[callee].crate_name.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn atomic_ops_with_ordering_args_are_not_edges() {
+        let (_, t, g) = graph(&[(
+            "crates/app/src/lib.rs",
+            "const RELAXED: Ordering = Ordering::Relaxed;\n\
+             fn load() {}\n\
+             fn a(x: &AtomicU64) { x.load(Ordering::Acquire); x.fetch_add(1, RELAXED); }\n\
+             fn b(s: &S) { s.load(); }",
+        )]);
+        assert!(edges(&t, &g, "a").is_empty(), "atomic ops must not resolve to fn load");
+        assert_eq!(edges(&t, &g, "b"), ["load"], "zero-arg method call still resolves");
+    }
+
+    #[test]
+    fn ordering_alias_map_reads_let_and_const_forms() {
+        let f = SourceFile::parse(
+            "crates/app/src/lib.rs",
+            "const RELAXED: Ordering = Ordering::Relaxed;\nfn f() { let rel = std::sync::atomic::Ordering::SeqCst; }",
+        );
+        let m = ordering_aliases(&f);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&("RELAXED".to_string(), "Relaxed")));
+        assert!(m.contains(&("rel".to_string(), "SeqCst")));
+    }
+
+    #[test]
+    fn receiver_walks_over_index_groups() {
+        let f = SourceFile::parse(
+            "crates/app/src/lib.rs",
+            "fn f(&self) { self.mirror_latency[bucket].fetch_add(1, x); self.ring.lock(); }",
+        );
+        let fa = f.tokens.iter().position(|t| t.is_ident("fetch_add")).unwrap();
+        assert_eq!(receiver_ident(&f.tokens, fa).as_deref(), Some("mirror_latency"));
+        let lk = f.tokens.iter().position(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(receiver_ident(&f.tokens, lk).as_deref(), Some("ring"));
+    }
+
+    #[test]
+    fn reachability_reports_a_parent_chain() {
+        let (_, t, g) = graph(&[(
+            "crates/app/src/lib.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}",
+        )]);
+        let root = t.fns.iter().position(|f| f.name == "root").unwrap();
+        let leaf = t.fns.iter().position(|f| f.name == "leaf").unwrap();
+        let island = t.fns.iter().position(|f| f.name == "island").unwrap();
+        let seen = g.reach_parents(&[root]);
+        assert!(seen[leaf].is_some());
+        assert!(seen[island].is_none());
+        let (parent, _) = seen[leaf].unwrap().unwrap();
+        assert_eq!(t.fns[parent].name, "mid");
+    }
+}

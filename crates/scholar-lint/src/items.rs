@@ -1,0 +1,233 @@
+//! A lightweight item parser over the lexer: extracts every production
+//! `fn` with its body token range, so interprocedural rules can reason
+//! about *functions* instead of raw token streams.
+//!
+//! This is deliberately not a Rust parser. It recognizes exactly the
+//! shape the call-graph rules need — `fn name … { body }` — by scanning
+//! for the `fn` keyword and brace-matching the body. Trait method
+//! *declarations* (`fn f(…);`) have no body and are skipped. Function
+//! pointer types (`fn(u32)`) have no name and are skipped. `#[cfg(test)]`
+//! items are already masked by [`crate::source`], so test helpers never
+//! become call-graph nodes.
+//!
+//! Bodies can nest (closures are transparent, nested `fn`s are their own
+//! items); [`FnTable::innermost_at`] attributes a token to the innermost
+//! function holding it, so a nested helper's tokens are never charged to
+//! its parent.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use std::ops::Range;
+
+/// One parsed function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name (identifier after `fn`).
+    pub name: String,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Crate directory name (e.g. `scholar-serve`), when under `crates/`.
+    pub crate_name: Option<String>,
+    /// Token range of the body, *excluding* the outer braces.
+    pub body: Range<usize>,
+    /// 1-based line of the name token (where diagnostics anchor).
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+}
+
+/// Every function in the workspace, in file order.
+#[derive(Debug)]
+pub struct FnTable {
+    /// The parsed items. Indices into this vec are the node ids the
+    /// call graph uses.
+    pub fns: Vec<FnItem>,
+}
+
+impl FnTable {
+    /// Parse every file in the workspace.
+    pub fn build(ws: &Workspace) -> FnTable {
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            collect_fns(file, fi, &mut fns);
+        }
+        FnTable { fns }
+    }
+
+    /// The innermost function whose body contains token `tok` of file
+    /// `file`, if any.
+    pub fn innermost_at(&self, file: usize, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.file == file && f.body.contains(&tok))
+            .min_by_key(|(_, f)| f.body.end - f.body.start)
+            .map(|(id, _)| id)
+    }
+
+    /// Ids of every function named `name` in crate `krate`.
+    pub fn by_name_in_crate<'a>(
+        &'a self,
+        name: &'a str,
+        krate: &'a str,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.name == name && f.crate_name.as_deref() == Some(krate))
+            .map(|(id, _)| id)
+    }
+}
+
+/// Scan one file for `fn` items (production code only).
+fn collect_fns(file: &SourceFile, file_idx: usize, out: &mut Vec<FnItem>) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || file.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        // Name: the next non-comment token must be an identifier (a `(`
+        // here means a function-pointer type, not an item).
+        let Some(name_idx) = next_code(toks, i + 1) else { break };
+        if toks[name_idx].kind != TokenKind::Ident {
+            i = name_idx;
+            continue;
+        }
+        // Body: first `{` at paren/bracket depth 0 after the signature.
+        // A `;` first means a bodyless trait declaration.
+        let mut j = name_idx + 1;
+        let mut depth = 0i32;
+        let mut body_open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let close = matching_brace(toks, open);
+        out.push(FnItem {
+            name: toks[name_idx].text.clone(),
+            file: file_idx,
+            crate_name: file.crate_name.clone(),
+            body: open + 1..close,
+            line: toks[name_idx].line,
+            col: toks[name_idx].col,
+        });
+        // Continue *inside* the body so nested fns are found too.
+        i = open + 1;
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or end of input).
+pub fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Next non-comment token index at or after `i`.
+pub fn next_code(toks: &[Token], i: usize) -> Option<usize> {
+    (i..toks.len()).find(|&j| !toks[j].is_comment())
+}
+
+/// Previous non-comment token index strictly before `i`.
+pub fn prev_code(toks: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !toks[j].is_comment())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (Workspace, FnTable) {
+        let file = SourceFile::parse("crates/app/src/lib.rs", src);
+        let ws = Workspace { root: std::path::PathBuf::new(), files: vec![file], design: None };
+        let table = FnTable::build(&ws);
+        (ws, table)
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = "fn top() { helper(); }\nstruct S;\nimpl S {\n  fn method(&self) -> u32 { 7 }\n}\nfn helper() {}";
+        let (_, t) = table(src);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top", "method", "helper"]);
+    }
+
+    #[test]
+    fn skips_bodyless_decls_and_fn_pointer_types() {
+        let src = "trait T { fn decl(&self); }\nfn takes(f: fn(u32) -> u32) { f(1); }";
+        let (_, t) = table(src);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["takes"]);
+    }
+
+    #[test]
+    fn nested_fn_is_its_own_item_and_innermost_wins() {
+        let src = "fn outer() {\n  fn inner() { let x = 1; }\n  inner();\n}";
+        let (ws, t) = table(src);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        let x_tok = ws.files[0].tokens.iter().position(|tk| tk.is_ident("x")).unwrap();
+        let owner = t.innermost_at(0, x_tok).unwrap();
+        assert_eq!(t.fns[owner].name, "inner");
+        let call_tok = ws.files[0]
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, tk)| tk.is_ident("inner"))
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap();
+        assert_eq!(t.fns[t.innermost_at(0, call_tok).unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_items() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}";
+        let (_, t) = table(src);
+        let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["live"]);
+    }
+
+    #[test]
+    fn where_clause_and_array_return_do_not_confuse_the_body_scan() {
+        let src = "fn g<T>(x: T) -> [u8; 2] where T: Clone { [0, 1] }";
+        let (ws, t) = table(src);
+        assert_eq!(t.fns.len(), 1);
+        let body = &t.fns[0].body;
+        assert!(ws.files[0].tokens[body.clone()].iter().any(|tk| tk.is_punct("[")));
+    }
+}

@@ -8,8 +8,10 @@
 //! panicking, a failpoint catalogue that matches reality — are exactly
 //! the invariants `clippy` cannot see, because they are *this
 //! workspace's* contracts, not the language's. This crate is a
-//! dependency-free static-analysis pass that encodes them as five
-//! machine-checked rules over a hand-rolled, literal-aware Rust lexer:
+//! dependency-free static-analysis pass that encodes them as nine
+//! machine-checked rules over a hand-rolled, literal-aware Rust lexer —
+//! five token-level, and four interprocedural rules over a
+//! name-resolved workspace call graph ([`items`] + [`callgraph`]):
 //!
 //! | rule | invariant |
 //! |---|---|
@@ -18,6 +20,10 @@
 //! | `FAILPOINT-SYNC` | `failpoint!` sites in code ≡ `scholar_testkit::fp::SITES` ≡ the DESIGN.md §2.7 table, bijectively |
 //! | `SAFETY-COMMENT` | every `unsafe` is preceded (or trailed on its line) by a `// SAFETY:` comment |
 //! | `BENCH-SCHEMA` | every `BENCH_*.json` writer emits the shared key set, so the perf trajectory stays diffable |
+//! | `LOCK-ORDER` | the workspace's Mutex/RwLock acquisition digraph, propagated through the call graph, stays acyclic — no potential deadlocks |
+//! | `ATOMIC-ORDERING` | every `Ordering::Relaxed` in the serve/score-publishing crates carries a reasoned `// ORDERING:` comment, and publish/consume pairs on one atomic field use Release/Acquire-compatible orderings |
+//! | `DURABILITY-PROTOCOL` | rename-into-published-path reaches fsync of file (before) and directory (after), transitively; WAL append fsyncs before the send |
+//! | `BLOCKING-IN-EVENT-LOOP` | no fsync / blocking lock / unbounded read / filesystem call reachable from the epoll `drive` loop |
 //!
 //! Exceptions are spelled in-source — `// lint: allow(RULE-ID) reason`
 //! — and are themselves policed: a missing reason is `ALLOW-SYNTAX`, an
@@ -29,6 +35,8 @@
 //! default test suite on any undocumented diagnostic), or
 //! [`check_workspace`] from code.
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod source;
@@ -41,8 +49,17 @@ use std::path::Path;
 use workspace::Workspace;
 
 /// The rule identifiers an allowlist entry may name.
-pub const RULES: [&str; 5] =
-    ["DETERMINISM", "HOTPATH-PANIC", "FAILPOINT-SYNC", "SAFETY-COMMENT", "BENCH-SCHEMA"];
+pub const RULES: [&str; 9] = [
+    "DETERMINISM",
+    "HOTPATH-PANIC",
+    "FAILPOINT-SYNC",
+    "SAFETY-COMMENT",
+    "BENCH-SCHEMA",
+    "LOCK-ORDER",
+    "ATOMIC-ORDERING",
+    "DURABILITY-PROTOCOL",
+    "BLOCKING-IN-EVENT-LOOP",
+];
 
 /// One finding, rendered as `file:line:col [RULE-ID] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,356 @@
+//! **ATOMIC-ORDERING** — relaxed atomics in the serve/score-publishing
+//! crates must be *argued*, and publish/consume pairs must agree.
+//!
+//! Two checks, both scoped to the crates that publish scores or serve
+//! them (`scholar-serve`, `scholar-corpus`):
+//!
+//! 1. Every literal `Ordering::Relaxed` needs a reasoned `// ORDERING:`
+//!    comment on the same line or in the comment run directly above.
+//!    Aliases (`const RELAXED: Ordering = Ordering::Relaxed;`) carry
+//!    the literal once, so the argument concentrates at the definition
+//!    and every use inherits it — that is the encouraged shape.
+//!
+//! 2. Per atomic field (identified as `crate/receiver`, the same
+//!    coarseness as LOCK-ORDER): if any *writer* op (`store`, `swap`,
+//!    `fetch_*`, `compare_exchange*`) publishes with Release-class
+//!    ordering (`Release`/`AcqRel`/`SeqCst`), then a `Relaxed` *load*
+//!    of that field is flagged — the consumer would not synchronize
+//!    with the publication. Symmetrically, an Acquire-class load paired
+//!    with only-Relaxed writers flags the writer. Ops whose arguments
+//!    name no ordering at all are ignored (they are not atomics —
+//!    `Vec::swap`, `cmp::Ordering` comparisons).
+
+use crate::callgraph::{matching_paren, ordering_aliases, receiver_ident, ORDERING_NAMES};
+use crate::items::next_code;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Crates where memory-ordering discipline is load-bearing.
+const SCOPE: [&str; 2] = ["scholar-serve", "scholar-corpus"];
+
+/// Atomic method names that read the value.
+const READERS: [&str; 13] = [
+    "load",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Atomic method names that write the value.
+const WRITERS: [&str; 13] = [
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic op site.
+#[derive(Debug)]
+struct Op {
+    field: String,
+    method: String,
+    orderings: Vec<&'static str>,
+    path: String,
+    line: u32,
+    col: u32,
+}
+
+/// Run both checks over the scoped crates.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let mut ops: Vec<Op> = Vec::new();
+    for file in &ws.files {
+        let Some(krate) = file.crate_name.as_deref() else { continue };
+        if !SCOPE.contains(&krate) {
+            continue;
+        }
+        let aliases = ordering_aliases(file);
+        relaxed_comment_check(file, out);
+        collect_ops(file, krate, &aliases, &mut ops);
+    }
+    pairing_check(&ops, out);
+}
+
+/// Check 1: every literal `Ordering::Relaxed` carries an `// ORDERING:`
+/// argument nearby.
+fn relaxed_comment_check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    // Lines holding any code token, to bound "directly above".
+    let code_lines: Vec<u32> = toks
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| !t.is_comment() && !file.test_mask[*i])
+        .map(|(_, t)| t.line)
+        .collect();
+    let ordering_comment_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.is_comment() && t.text.contains("ORDERING:"))
+        .map(|t| t.line)
+        .collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "Relaxed" || file.test_mask[i] {
+            continue;
+        }
+        let Some(prev) = crate::items::prev_code(toks, i) else { continue };
+        if !toks[prev].is_punct("::") {
+            continue;
+        }
+        let covered = ordering_comment_lines.iter().any(|&cl| {
+            cl == t.line
+                || (cl < t.line && !code_lines.iter().any(|&code| cl < code && code < t.line))
+        });
+        if !covered {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                t.line,
+                t.col,
+                "ATOMIC-ORDERING",
+                "Ordering::Relaxed in a score-publishing/serve crate without a reasoned \
+                 `// ORDERING:` comment (same line or directly above) — state why relaxed \
+                 suffices, or bind it once as `const RELAXED: Ordering = Ordering::Relaxed;` \
+                 with the argument at the definition",
+            ));
+        }
+    }
+}
+
+/// Collect atomic ops (method calls carrying an ordering argument) with
+/// their field identity and resolved orderings.
+fn collect_ops(
+    file: &SourceFile,
+    krate: &str,
+    aliases: &[(String, &'static str)],
+    ops: &mut Vec<Op>,
+) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.test_mask[i] {
+            continue;
+        }
+        let method = t.text.as_str();
+        if !(READERS.contains(&method) || WRITERS.contains(&method)) {
+            continue;
+        }
+        let Some(prev) = crate::items::prev_code(toks, i) else { continue };
+        if !toks[prev].is_punct(".") {
+            continue;
+        }
+        let Some(open) = next_code(toks, i + 1) else { continue };
+        if !toks[open].is_punct("(") {
+            continue;
+        }
+        let close = matching_paren(toks, open);
+        let mut orderings: Vec<&'static str> = Vec::new();
+        for arg in &toks[open..=close.min(toks.len() - 1)] {
+            if arg.kind != TokenKind::Ident {
+                continue;
+            }
+            if let Some(&name) = ORDERING_NAMES.iter().find(|&&n| n == arg.text) {
+                orderings.push(name);
+            } else if let Some((_, v)) = aliases.iter().find(|(n, _)| *n == arg.text) {
+                orderings.push(v);
+            }
+        }
+        if orderings.is_empty() {
+            continue; // not an atomic op (Vec::swap, cmp::Ordering, …)
+        }
+        let Some(field) = receiver_ident(toks, i) else { continue };
+        ops.push(Op {
+            field: format!("{krate}/{field}"),
+            method: method.to_string(),
+            orderings,
+            path: file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+        });
+    }
+}
+
+fn release_class(o: &str) -> bool {
+    matches!(o, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn acquire_class(o: &str) -> bool {
+    matches!(o, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// Check 2: per-field publish/consume compatibility.
+fn pairing_check(ops: &[Op], out: &mut Vec<Diagnostic>) {
+    let mut by_field: BTreeMap<&str, Vec<&Op>> = BTreeMap::new();
+    for op in ops {
+        by_field.entry(&op.field).or_default().push(op);
+    }
+    for (field, ops) in by_field {
+        let release_writer = ops.iter().any(|o| {
+            WRITERS.contains(&o.method.as_str()) && o.orderings.iter().any(|x| release_class(x))
+        });
+        let acquire_reader = ops.iter().any(|o| {
+            READERS.contains(&o.method.as_str()) && o.orderings.iter().any(|x| acquire_class(x))
+        });
+        let short = field.rsplit('/').next().unwrap_or(field);
+        for o in &ops {
+            let all_relaxed = o.orderings.iter().all(|&x| x == "Relaxed");
+            if !all_relaxed {
+                continue;
+            }
+            if release_writer && o.method == "load" {
+                out.push(Diagnostic::new(
+                    &o.path,
+                    o.line,
+                    o.col,
+                    "ATOMIC-ORDERING",
+                    format!(
+                        "atomic field `{short}` is published with Release-class writes elsewhere \
+                         but this load is Relaxed — the consumer will not synchronize with the \
+                         publication; load with Acquire (or allowlist with the invariant that \
+                         makes the race benign)"
+                    ),
+                ));
+            } else if acquire_reader && o.method != "load" {
+                out.push(Diagnostic::new(
+                    &o.path,
+                    o.line,
+                    o.col,
+                    "ATOMIC-ORDERING",
+                    format!(
+                        "atomic field `{short}` is consumed with Acquire-class loads elsewhere \
+                         but this write is Relaxed — the publication will not synchronize; write \
+                         with Release (or allowlist with the invariant that makes the race \
+                         benign)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: PathBuf::new(),
+            files: files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect(),
+            design: None,
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_relaxed_in_scope_is_flagged() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "fn f(x: &AtomicU64) { x.load(Ordering::Relaxed); }",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ORDERING:"));
+    }
+
+    #[test]
+    fn commented_relaxed_is_clean_same_line_and_above() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "fn f(x: &AtomicU64) {\n\
+             x.load(Ordering::Relaxed); // ORDERING: monotone counter, no data published\n\
+             // ORDERING: same argument\n\
+             x.load(Ordering::Relaxed);\n\
+             }",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn alias_concentrates_the_argument_at_the_definition() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "// ORDERING: stat counters only; never used to publish data\n\
+             const RELAXED: Ordering = Ordering::Relaxed;\n\
+             fn f(x: &AtomicU64) { x.fetch_add(1, RELAXED); x.load(RELAXED); }",
+        )]);
+        assert!(d.is_empty(), "alias uses carry no literal: {d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let d = run(&[(
+            "crates/sgraph/src/m.rs",
+            "fn f(x: &AtomicU64) { x.load(Ordering::Relaxed); }",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn release_publish_with_relaxed_load_is_flagged() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "// ORDERING: covered below\n\
+             fn publish(&self, g: u64) { self.generation.store(g, Ordering::Release); }\n\
+             // ORDERING: covered\n\
+             fn read(&self) -> u64 { self.generation.load(Ordering::Relaxed) }",
+        )]);
+        let pair: Vec<_> = d.iter().filter(|x| x.message.contains("Release-class")).collect();
+        assert_eq!(pair.len(), 1, "{d:?}");
+        assert_eq!(pair[0].line, 4);
+    }
+
+    #[test]
+    fn acquire_load_with_relaxed_store_flags_the_writer() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "// ORDERING: covered\n\
+             fn publish(&self, g: u64) { self.generation.store(g, Ordering::Relaxed); }\n\
+             fn read(&self) -> u64 { self.generation.load(Ordering::Acquire) }",
+        )]);
+        let pair: Vec<_> = d.iter().filter(|x| x.message.contains("Acquire-class")).collect();
+        assert_eq!(pair.len(), 1, "{d:?}");
+        assert_eq!(pair[0].line, 2);
+    }
+
+    #[test]
+    fn seqcst_pairs_and_non_atomic_swaps_are_clean() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "fn f(&mut self) { self.generation.store(1, Ordering::SeqCst); \
+             self.generation.load(Ordering::SeqCst); self.vals.swap(0, 1); \
+             if x.cmp(&y) == Ordering::Equal {} }",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn compare_exchange_success_ordering_counts_as_publish() {
+        let d = run(&[(
+            "crates/scholar-serve/src/m.rs",
+            "// ORDERING: covered\n\
+             fn cx(&self) { self.tag.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n\
+             // ORDERING: covered\n\
+             fn peek(&self) -> u64 { self.tag.load(Ordering::Relaxed) }",
+        )]);
+        let pair: Vec<_> = d.iter().filter(|x| x.message.contains("Release-class")).collect();
+        assert_eq!(pair.len(), 1, "{d:?}");
+    }
+}

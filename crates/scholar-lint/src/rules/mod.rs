@@ -4,13 +4,24 @@
 //! `#[cfg(test)]` items are masked out by [`crate::source`] — and never
 //! see the inside of string literals or comments, by construction of
 //! the lexer.
+//!
+//! The interprocedural rules (LOCK-ORDER, DURABILITY-PROTOCOL,
+//! BLOCKING-IN-EVENT-LOOP) share one [`FnTable`] and [`CallGraph`]
+//! built here, so the workspace is item-parsed and name-resolved
+//! exactly once per run.
 
+pub mod atomic_ordering;
 pub mod bench_schema;
 pub mod determinism;
+pub mod durability;
+pub mod event_loop;
 pub mod failpoint_sync;
 pub mod hotpath;
+pub mod lock_order;
 pub mod safety;
 
+use crate::callgraph::CallGraph;
+use crate::items::FnTable;
 use crate::workspace::Workspace;
 use crate::Diagnostic;
 
@@ -21,4 +32,10 @@ pub fn run_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     failpoint_sync::check(ws, out);
     safety::check(ws, out);
     bench_schema::check(ws, out);
+    atomic_ordering::check(ws, out);
+    let table = FnTable::build(ws);
+    let graph = CallGraph::build(ws, &table);
+    lock_order::check(ws, &table, &graph, out);
+    durability::check(ws, &table, &graph, out);
+    event_loop::check(ws, &table, &graph, out);
 }

@@ -1,0 +1,33 @@
+//! Stale-allowlist fixture: an allow that no longer suppresses anything
+//! is itself a finding; a live allow stays silent.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct State {
+    pub stats: Mutex<u64>,
+}
+
+pub fn drive(s: &State) {
+    hot(s);
+    cooled();
+    refactored();
+}
+
+// Live: the lock is still there, so the allow suppresses a real finding.
+fn hot(s: &State) {
+    // lint: allow(BLOCKING-IN-EVENT-LOOP) fixture exception: held for one increment
+    let mut g = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *g += 1;
+}
+
+// Stale: the unwrap this once excused was removed in a refactor.
+fn cooled() {
+    // lint: allow(HOTPATH-PANIC) fixture leftover from a deleted unwrap
+    let _x = 1u32;
+}
+
+// Stale: the lock this once excused moved to another module.
+fn refactored() {
+    // lint: allow(BLOCKING-IN-EVENT-LOOP) fixture leftover from a moved lock
+    let _y = 2u32;
+}

@@ -1,0 +1,50 @@
+//! ATOMIC-ORDERING fixture: bare `Relaxed` in a scoped crate needs an
+//! `// ORDERING:` comment, and publish/consume pairs on one field must
+//! use compatible orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    pub hits: AtomicU64,
+    pub generation: AtomicU64,
+    pub epoch: AtomicU64,
+}
+
+// Positive: Relaxed with no reasoned comment.
+pub fn bump(c: &Cell) {
+    c.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+// Clean: the comment states why relaxed is enough.
+pub fn bump_documented(c: &Cell) {
+    // ORDERING: independent monotone counter; nothing reads it to infer
+    // visibility of other data.
+    c.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+// Allowlisted: suppressed without an ORDERING comment.
+pub fn bump_allowed(c: &Cell) {
+    // lint: allow(ATOMIC-ORDERING) fixture exception standing in for generated code
+    c.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+// Positive (pairing): `generation` is published with Release but
+// consumed with a Relaxed load — the consumer cannot rely on anything
+// the publisher wrote before the store.
+pub fn publish(c: &Cell) {
+    c.generation.store(1, Ordering::Release);
+}
+
+pub fn consume(c: &Cell) -> u64 {
+    // ORDERING: commented, but the pairing check still fires.
+    c.generation.load(Ordering::Relaxed)
+}
+
+// Clean pairing: Release store, Acquire load.
+pub fn advance(c: &Cell) {
+    c.epoch.store(2, Ordering::Release);
+}
+
+pub fn observe(c: &Cell) -> u64 {
+    c.epoch.load(Ordering::Acquire)
+}

@@ -1,0 +1,38 @@
+//! DURABILITY-PROTOCOL fixture, journal half: inside scholar-serve a
+//! WAL append must reach disk before the response is sent.
+
+use std::fs::File;
+use std::io::Write;
+
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    pub fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.file.sync_data()
+    }
+}
+
+pub struct Conn;
+
+impl Conn {
+    pub fn send(&mut self, _bytes: &[u8]) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// Positive: the response leaves before the journal entry is durable.
+pub fn answer_then_log(wal: &mut Wal, conn: &mut Conn) -> std::io::Result<()> {
+    conn.send(b"200 ok")?;
+    wal.append(b"entry")?;
+    Ok(())
+}
+
+// Clean: journal first (append syncs internally), then send.
+pub fn log_then_answer(wal: &mut Wal, conn: &mut Conn) -> std::io::Result<()> {
+    wal.append(b"entry")?;
+    conn.send(b"200 ok")?;
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! BLOCKING-IN-EVENT-LOOP fixture: fsync and blocking lock acquisition
+//! reachable from the epoll driver (`drive`) via the call graph.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct State {
+    pub log: std::fs::File,
+    pub stats: Mutex<u64>,
+}
+
+pub fn drive(s: &mut State) {
+    step(s);
+    note(s);
+    peek(s);
+}
+
+// Positive: fsync two hops below the event loop.
+fn step(s: &mut State) {
+    flush_log(s);
+}
+
+fn flush_log(s: &mut State) {
+    let _ = s.log.sync_all();
+}
+
+// Positive, allowlisted: a blocking lock the fixture vouches for.
+fn note(s: &State) {
+    // lint: allow(BLOCKING-IN-EVENT-LOOP) fixture exception: holders release within nanoseconds
+    let mut g = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *g += 1;
+}
+
+// Clean: try_lock never blocks the loop.
+fn peek(s: &State) {
+    if let Ok(g) = s.stats.try_lock() {
+        let _ = *g;
+    }
+}

@@ -1,0 +1,62 @@
+//! LOCK-ORDER fixture: inconsistent acquisition orders form a cycle in
+//! the lock-order graph; consistent orders stay silent.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+    pub c: Mutex<u32>,
+    pub d: Mutex<u32>,
+}
+
+// Positive: a -> b here, b -> a below — a two-lock cycle.
+pub fn sum_ab(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *ga + *gb
+}
+
+pub fn sum_ba(s: &Shared) -> u32 {
+    let gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    *ga + *gb
+}
+
+// Interprocedural: holding `c`, call a helper that takes `d`; another
+// path takes them in the opposite order through a guard-returning
+// helper. Allowlisted — the runtime never runs both paths concurrently.
+pub fn with_c_then_d(s: &Shared) -> u32 {
+    let gc = s.c.lock().unwrap_or_else(PoisonError::into_inner);
+    // lint: allow(LOCK-ORDER) fixture exception: the d->c path only runs in single-threaded setup
+    *gc + read_d(s)
+}
+
+fn read_d(s: &Shared) -> u32 {
+    *s.d.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_d(s: &Shared) -> std::sync::MutexGuard<'_, u32> {
+    s.d.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn with_d_then_c(s: &Shared) -> u32 {
+    let gd = lock_d(s);
+    let gc = s.c.lock().unwrap_or_else(PoisonError::into_inner);
+    *gd + *gc
+}
+
+// Clean: everyone takes `a` before `b`; try_lock never forms an edge.
+pub fn sum_ab_again(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *ga + *gb
+}
+
+pub fn opportunistic(s: &Shared) -> u32 {
+    let gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    match s.a.try_lock() {
+        Ok(ga) => *ga + *gb,
+        Err(_) => *gb,
+    }
+}

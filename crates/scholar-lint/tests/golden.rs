@@ -66,6 +66,31 @@ fn bench_schema_fixture_matches_golden() {
     assert_golden("bench");
 }
 
+#[test]
+fn lock_order_fixture_matches_golden() {
+    assert_golden("lockorder");
+}
+
+#[test]
+fn atomic_ordering_fixture_matches_golden() {
+    assert_golden("atomic");
+}
+
+#[test]
+fn durability_fixture_matches_golden() {
+    assert_golden("durability");
+}
+
+#[test]
+fn event_loop_fixture_matches_golden() {
+    assert_golden("eventloop");
+}
+
+#[test]
+fn stale_allow_fixture_matches_golden() {
+    assert_golden("allowstale");
+}
+
 /// The acceptance property behind the golden transcripts, stated
 /// directly: rules never fire on banned names that appear only inside
 /// string literals or comments.

@@ -3,9 +3,10 @@
 //! This is the test CI leans on — any new violation of a workspace
 //! invariant (nondeterministic containers in score crates, panics in
 //! the serve path, failpoint catalogue drift, undocumented `unsafe`,
-//! bench schema drift) or any allow comment without a reason fails
-//! `cargo test` here, with the same `file:line:col [RULE]` lines the
-//! CLI prints.
+//! bench schema drift, lock-order cycles, unexplained relaxed atomics,
+//! torn rename protocols, blocking calls under the event loop) or any
+//! allow comment without a reason fails `cargo test` here, with the
+//! same `file:line:col [RULE]` lines the CLI prints.
 
 use std::path::Path;
 
@@ -36,4 +37,46 @@ fn every_allow_is_well_formed_and_used() {
         .map(|d| d.to_string())
         .collect();
     assert!(meta.is_empty(), "allowlist entries out of round-trip:\n{}", meta.join("\n"));
+}
+
+/// The interprocedural rules actually exercise the real tree: the call
+/// graph must resolve a healthy number of intra-workspace edges and
+/// find fns in every production crate, or the graph rules are running
+/// on an empty model and "clean" means "blind".
+#[test]
+fn call_graph_covers_the_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = scholar_lint::workspace::Workspace::load(&root).expect("scan the workspace");
+    let table = scholar_lint::items::FnTable::build(&ws);
+    let graph = scholar_lint::callgraph::CallGraph::build(&ws, &table);
+    assert!(
+        table.fns.len() > 300,
+        "expected hundreds of fn items across the workspace, found {}",
+        table.fns.len()
+    );
+    let edges: usize = graph.calls.iter().map(Vec::len).sum();
+    assert!(edges > 200, "expected hundreds of resolved call edges, found {edges}");
+    for krate in ["scholar-serve", "scholar-corpus", "sgraph", "scholar-rank"] {
+        assert!(
+            table.fns.iter().any(|f| f.crate_name.as_deref() == Some(krate)),
+            "no fn items found in crate {krate}"
+        );
+    }
+}
+
+/// The lint runtime budget the CI gate assumes: a full workspace scan
+/// (all nine rules, call graph included) stays under two seconds, so it
+/// can run on every push without anyone routing around it.
+#[test]
+fn full_workspace_scan_stays_under_two_seconds() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // Warm the page cache so the budget measures analysis, not cold IO.
+    scholar_lint::check_workspace(&root).expect("scan the workspace");
+    let start = std::time::Instant::now();
+    scholar_lint::check_workspace(&root).expect("scan the workspace");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "workspace lint took {elapsed:?}, over the 2s budget"
+    );
 }

@@ -625,6 +625,8 @@ fn write_answer(
     // The shared chaos site both backends evaluate once per request.
     server::respond_failpoint();
     if req.path == "/top" {
+        // ORDERING: endpoint hit counter — an independent monotone
+        // statistic (see metrics.rs); no visibility hangs off it.
         ctx.metrics.endpoints.top.fetch_add(1, Ordering::Relaxed);
         return match server::parse_top_query(req, index) {
             Ok(q) => {

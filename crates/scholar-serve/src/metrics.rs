@@ -6,6 +6,13 @@ use sjson::{ObjectBuilder, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// ORDERING: every counter and gauge in this module is an independent
+/// monotone statistic — no thread reads one to decide whether another
+/// atomic's data is visible, so relaxed suffices for all of them. The
+/// one true publish/consume pair (generation slot `tag` claiming) uses
+/// Acquire/AcqRel at its sites instead of this alias.
+const RELAXED: Ordering = Ordering::Relaxed;
+
 /// Histogram bucket upper bounds in microseconds, log-spaced. The last
 /// bucket is open-ended. The sub-100µs region is deliberately fine
 /// (5/10/25/50/75µs): the event-loop serve path answers cached requests
@@ -44,23 +51,23 @@ pub struct GenerationCounters {
 
 impl GenerationCounters {
     fn bump(&self, status: u16) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, RELAXED);
         if (200..300).contains(&status) {
-            self.ok.fetch_add(1, Ordering::Relaxed);
+            self.ok.fetch_add(1, RELAXED);
         } else if (400..500).contains(&status) {
-            self.client_errors.fetch_add(1, Ordering::Relaxed);
+            self.client_errors.fetch_add(1, RELAXED);
         } else if (500..600).contains(&status) {
-            self.server_errors.fetch_add(1, Ordering::Relaxed);
+            self.server_errors.fetch_add(1, RELAXED);
         }
     }
 
     fn json(&self, generation: u64) -> Value {
         ObjectBuilder::new()
             .field("generation", generation as i64)
-            .field("requests", self.requests.load(Ordering::Relaxed) as i64)
-            .field("ok", self.ok.load(Ordering::Relaxed) as i64)
-            .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
-            .field("server_errors", self.server_errors.load(Ordering::Relaxed) as i64)
+            .field("requests", self.requests.load(RELAXED) as i64)
+            .field("ok", self.ok.load(RELAXED) as i64)
+            .field("client_errors", self.client_errors.load(RELAXED) as i64)
+            .field("server_errors", self.server_errors.load(RELAXED) as i64)
             .build()
     }
 }
@@ -128,7 +135,7 @@ pub struct InFlight<'a>(&'a Metrics);
 
 impl Drop for InFlight<'_> {
     fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.0.in_flight.fetch_sub(1, RELAXED);
     }
 }
 
@@ -140,19 +147,19 @@ impl Metrics {
 
     /// Mark a request as in flight; the gauge drops when the guard does.
     pub fn begin(&self) -> InFlight<'_> {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, RELAXED);
         InFlight(self)
     }
 
     /// Record a completed response with its status and service time.
     pub fn record(&self, status: u16, took: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, RELAXED);
         if (200..300).contains(&status) {
-            self.ok.fetch_add(1, Ordering::Relaxed);
+            self.ok.fetch_add(1, RELAXED);
         } else if (400..500).contains(&status) {
-            self.client_errors.fetch_add(1, Ordering::Relaxed);
+            self.client_errors.fetch_add(1, RELAXED);
         } else if (500..600).contains(&status) {
-            self.server_errors.fetch_add(1, Ordering::Relaxed);
+            self.server_errors.fetch_add(1, RELAXED);
         }
         let us = took.as_micros().min(u64::MAX as u128) as u64;
         // partition_point ranges over 0..=buckets and `latency` has one
@@ -160,9 +167,9 @@ impl Metrics {
         // slot rather than trust the arithmetic with a panic.
         let bucket = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
         if let Some(counter) = self.latency.get(bucket).or_else(|| self.latency.last()) {
-            counter.fetch_add(1, Ordering::Relaxed);
+            counter.fetch_add(1, RELAXED);
         }
-        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_total_us.fetch_add(us, RELAXED);
     }
 
     /// Attribute a completed response to the index generation that
@@ -202,28 +209,27 @@ impl Metrics {
     /// client_errors, server_errors)` for every claimed slot, with the
     /// overflow bucket (if used) labelled generation 0.
     pub fn generation_counts(&self) -> Vec<(u64, u64, u64, u64, u64)> {
-        let rel = Ordering::Relaxed;
         let mut out = Vec::new();
         for slot in &self.generations {
             let tag = slot.tag.load(Ordering::Acquire);
             if tag != 0 {
                 out.push((
                     tag,
-                    slot.requests.load(rel),
-                    slot.ok.load(rel),
-                    slot.client_errors.load(rel),
-                    slot.server_errors.load(rel),
+                    slot.requests.load(RELAXED),
+                    slot.ok.load(RELAXED),
+                    slot.client_errors.load(RELAXED),
+                    slot.server_errors.load(RELAXED),
                 ));
             }
         }
         let overflow = &self.generation_overflow;
-        if overflow.requests.load(rel) != 0 {
+        if overflow.requests.load(RELAXED) != 0 {
             out.push((
                 0,
-                overflow.requests.load(rel),
-                overflow.ok.load(rel),
-                overflow.client_errors.load(rel),
-                overflow.server_errors.load(rel),
+                overflow.requests.load(RELAXED),
+                overflow.ok.load(RELAXED),
+                overflow.client_errors.load(RELAXED),
+                overflow.server_errors.load(RELAXED),
             ));
         }
         out
@@ -231,47 +237,47 @@ impl Metrics {
 
     /// Record a connection shed with `503` before it reached a worker.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, RELAXED);
     }
 
     /// Record a client connection opening (accepted into the serving
     /// layer, past any shed decision).
     pub fn record_conn_open(&self) {
-        self.connections_active.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, RELAXED);
     }
 
     /// Record a client connection closing, for any reason.
     pub fn record_conn_close(&self) {
-        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+        self.connections_active.fetch_sub(1, RELAXED);
     }
 
     /// Record a request arriving on an already-used keep-alive
     /// connection.
     pub fn record_keepalive_reuse(&self) {
-        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+        self.keepalive_reuses.fetch_add(1, RELAXED);
     }
 
     /// Record a panic caught by a worker while handling a request.
     pub fn record_panic(&self) {
-        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.panics.fetch_add(1, RELAXED);
     }
 
     /// Record an index swap becoming visible to queries.
     pub fn record_swap(&self) {
-        self.index_swaps.fetch_add(1, Ordering::Relaxed);
+        self.index_swaps.fetch_add(1, RELAXED);
     }
 
     /// Approximate latency quantile (0.0..=1.0) in microseconds, read from
     /// the histogram: the upper bound of the bucket holding the quantile.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        let total: u64 = self.latency.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let total: u64 = self.latency.iter().map(|c| c.load(RELAXED)).sum();
         if total == 0 {
             return 0;
         }
         let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, c) in self.latency.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
+            seen += c.load(RELAXED);
             if seen >= target {
                 return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
             }
@@ -294,31 +300,31 @@ impl Metrics {
                             None => Value::String("inf".to_string()),
                         },
                     )
-                    .field("count", c.load(Ordering::Relaxed) as i64)
+                    .field("count", c.load(RELAXED) as i64)
                     .build()
             })
             .collect();
-        let requests = self.requests.load(Ordering::Relaxed);
-        let total_us = self.latency_total_us.load(Ordering::Relaxed);
+        let requests = self.requests.load(RELAXED);
+        let total_us = self.latency_total_us.load(RELAXED);
         ObjectBuilder::new()
             .field("requests", requests as i64)
-            .field("ok", self.ok.load(Ordering::Relaxed) as i64)
-            .field("client_errors", self.client_errors.load(Ordering::Relaxed) as i64)
-            .field("server_errors", self.server_errors.load(Ordering::Relaxed) as i64)
-            .field("shed", self.shed.load(Ordering::Relaxed) as i64)
-            .field("panics", self.panics.load(Ordering::Relaxed) as i64)
-            .field("in_flight", self.in_flight.load(Ordering::Relaxed) as i64)
-            .field("connections_active", self.connections_active.load(Ordering::Relaxed) as i64)
-            .field("keepalive_reuses", self.keepalive_reuses.load(Ordering::Relaxed) as i64)
-            .field("index_swaps", self.index_swaps.load(Ordering::Relaxed) as i64)
+            .field("ok", self.ok.load(RELAXED) as i64)
+            .field("client_errors", self.client_errors.load(RELAXED) as i64)
+            .field("server_errors", self.server_errors.load(RELAXED) as i64)
+            .field("shed", self.shed.load(RELAXED) as i64)
+            .field("panics", self.panics.load(RELAXED) as i64)
+            .field("in_flight", self.in_flight.load(RELAXED) as i64)
+            .field("connections_active", self.connections_active.load(RELAXED) as i64)
+            .field("keepalive_reuses", self.keepalive_reuses.load(RELAXED) as i64)
+            .field("index_swaps", self.index_swaps.load(RELAXED) as i64)
             .field(
                 "endpoints",
                 ObjectBuilder::new()
-                    .field("top", self.endpoints.top.load(Ordering::Relaxed) as i64)
-                    .field("article", self.endpoints.article.load(Ordering::Relaxed) as i64)
-                    .field("health", self.endpoints.health.load(Ordering::Relaxed) as i64)
-                    .field("metrics", self.endpoints.metrics.load(Ordering::Relaxed) as i64)
-                    .field("shadow", self.endpoints.shadow.load(Ordering::Relaxed) as i64)
+                    .field("top", self.endpoints.top.load(RELAXED) as i64)
+                    .field("article", self.endpoints.article.load(RELAXED) as i64)
+                    .field("health", self.endpoints.health.load(RELAXED) as i64)
+                    .field("metrics", self.endpoints.metrics.load(RELAXED) as i64)
+                    .field("shadow", self.endpoints.shadow.load(RELAXED) as i64)
                     .build(),
             )
             .field(
@@ -330,7 +336,7 @@ impl Metrics {
                         .filter(|s| s.tag.load(Ordering::Acquire) != 0)
                         .map(|s| s.json(s.tag.load(Ordering::Acquire)))
                         .collect();
-                    if self.generation_overflow.requests.load(Ordering::Relaxed) != 0 {
+                    if self.generation_overflow.requests.load(RELAXED) != 0 {
                         gens.push(self.generation_overflow.json(0));
                     }
                     gens
@@ -364,11 +370,11 @@ mod tests {
         m.record(404, Duration::from_micros(3_000));
         m.record(500, Duration::from_micros(120));
         m.record_shed();
-        assert_eq!(m.requests.load(Ordering::Relaxed), 4);
-        assert_eq!(m.ok.load(Ordering::Relaxed), 2);
-        assert_eq!(m.client_errors.load(Ordering::Relaxed), 1);
-        assert_eq!(m.server_errors.load(Ordering::Relaxed), 1);
-        assert_eq!(m.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.requests.load(RELAXED), 4);
+        assert_eq!(m.ok.load(RELAXED), 2);
+        assert_eq!(m.client_errors.load(RELAXED), 1);
+        assert_eq!(m.server_errors.load(RELAXED), 1);
+        assert_eq!(m.shed.load(RELAXED), 1);
         // Two of four requests landed in the <=100us bucket.
         assert_eq!(m.latency_quantile_us(0.5), 100);
         assert_eq!(m.latency_quantile_us(0.99), 5_000);
@@ -380,9 +386,9 @@ mod tests {
         {
             let _a = m.begin();
             let _b = m.begin();
-            assert_eq!(m.in_flight.load(Ordering::Relaxed), 2);
+            assert_eq!(m.in_flight.load(RELAXED), 2);
         }
-        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+        assert_eq!(m.in_flight.load(RELAXED), 0);
     }
 
     #[test]
@@ -421,8 +427,8 @@ mod tests {
         m.record_conn_open();
         m.record_keepalive_reuse();
         m.record_conn_close();
-        assert_eq!(m.connections_active.load(Ordering::Relaxed), 1);
-        assert_eq!(m.keepalive_reuses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.connections_active.load(RELAXED), 1);
+        assert_eq!(m.keepalive_reuses.load(RELAXED), 1);
         let v = m.to_json();
         assert_eq!(v.get("connections_active").and_then(|x| x.as_i64()), Some(1));
         assert_eq!(v.get("keepalive_reuses").and_then(|x| x.as_i64()), Some(1));

@@ -240,7 +240,14 @@ pub fn write_rlog(path: &Path, records: &[ReqRecord], sample_every: u64) -> Resu
     file.sync_all()?;
     drop(file);
     record_io_check()?;
-    std::fs::rename(&tmp, path).map_err(StateError::Io)
+    std::fs::rename(&tmp, path).map_err(StateError::Io)?;
+    // Make the rename durable: fsync the parent directory. Best effort —
+    // the rename is already atomic in-memory, so a failure here cannot
+    // tear the log, only lose the rotation on a crash.
+    if let Some(dir) = path.parent() {
+        let _ = crate::snapshot::fsync_dir(dir);
+    }
+    Ok(())
 }
 
 /// Sampled, non-blocking request recording shared by both serve
@@ -281,6 +288,8 @@ impl Recorder {
 
     /// Allocate a connection id for a newly accepted connection.
     pub fn conn_id(&self) -> u64 {
+        // ORDERING: a pure id allocator — uniqueness comes from the RMW
+        // itself; no data is published under the returned id.
         self.next_conn.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -290,9 +299,14 @@ impl Recorder {
     /// and [`Recorder::store`]s it. Split from `store` so off-stride
     /// requests cost one atomic increment and nothing else.
     pub fn sample(&self) -> bool {
+        // ORDERING: `degraded` is an advisory kill switch — reading it
+        // stale costs at most a few extra samples that the degraded
+        // flush then discards; nothing is published under the flag.
         if self.degraded.load(Ordering::Relaxed) {
             return false;
         }
+        // ORDERING: the tick is a stride counter; each thread only needs
+        // a unique value, which the RMW guarantees on its own.
         let t = self.tick.fetch_add(1, Ordering::Relaxed);
         t.is_multiple_of(self.sample_every)
     }
@@ -312,6 +326,8 @@ impl Recorder {
             Err(_) => {
                 // Contended (a flush holds the lock, or another shard's
                 // store is mid-push) or poisoned: drop the sample.
+                // ORDERING: an independent monotone statistic; no reader
+                // uses it to infer visibility of other data.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -336,6 +352,9 @@ impl Recorder {
         match write_rlog(&self.path, &records, self.sample_every) {
             Ok(()) => Ok(records.len() as u64),
             Err(e) => {
+                // ORDERING: advisory kill switch (see `sample`); the flag
+                // guards no associated data, so there is nothing for a
+                // Release store to publish.
                 self.degraded.store(true, Ordering::Relaxed);
                 Err(e)
             }
@@ -344,11 +363,15 @@ impl Recorder {
 
     /// Whether a flush failure has disabled recording.
     pub fn degraded(&self) -> bool {
+        // ORDERING: advisory kill switch (see `sample`) — a stale read
+        // is harmless and the flag publishes no data.
         self.degraded.load(Ordering::Relaxed)
     }
 
     /// Sampled requests lost to ring contention.
     pub fn dropped(&self) -> u64 {
+        // ORDERING: independent monotone statistic, read for reporting
+        // only — no data visibility depends on it.
         self.dropped.load(Ordering::Relaxed)
     }
 

@@ -461,6 +461,8 @@ pub fn respond_full(
     shared: Option<&SharedIndex>,
     metrics: &Metrics,
 ) -> (u16, Value) {
+    // ORDERING: endpoint hit counters are independent monotone
+    // statistics — see the module-level note in metrics.rs.
     let rel = Ordering::Relaxed;
     match req.path.as_str() {
         "/shadow" => {

@@ -273,6 +273,10 @@ impl ShadowState {
     pub fn mirror_one(&self, target: &str, live: &ScoreIndex, candidate: &ScoreIndex) -> bool {
         failpoint!("shadow.mirror", return false);
         let d = drift_for(target, live, candidate);
+        // ORDERING: drift accumulators are independent monotone sums; the
+        // promotion decision reads them only after `claim_decision`'s
+        // SeqCst RMW has already won, and exact totals (not cross-field
+        // consistency) are all the report needs.
         let rel = Ordering::Relaxed;
         self.mirrored.fetch_add(1, rel);
         self.top_compared.fetch_add(d.top_compared, rel);
@@ -296,6 +300,8 @@ impl ShadowState {
 
     /// Record how long one mirror took, and the live latency it shadows.
     pub fn note_latency(&self, mirror_us: u64, live_us: u64) {
+        // ORDERING: latency histogram buckets and sums are statistics;
+        // nothing gates on them, so relaxed is enough.
         let rel = Ordering::Relaxed;
         let bucket = LATENCY_BUCKETS_US.partition_point(|&b| b < mirror_us);
         // lint: allow(HOTPATH-PANIC) partition_point <= len and the array has len+1 slots
@@ -307,28 +313,40 @@ impl ShadowState {
 
     /// Count a mirror that failed without panicking (injected fault).
     pub fn note_mirror_error(&self) {
+        // ORDERING: monotone error count, read only for reporting.
         self.mirror_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark the slot poisoned: the candidate panicked while answering a
     /// mirror. A poisoned candidate can never promote.
     pub fn poison(&self) {
+        // ORDERING: a one-way boolean flag; the promotion gate re-checks
+        // it after winning the SeqCst `claim_decision` race, which
+        // orders the flag before any publication that matters.
         self.poisoned.store(true, Ordering::Relaxed);
     }
 
     /// Whether a mirror panic has poisoned the slot.
     pub fn poisoned(&self) -> bool {
+        // ORDERING: see `poison` — a stale read can only delay the
+        // rejection by one evaluation round, never promote a poisoned
+        // candidate past the SeqCst decision fence.
         self.poisoned.load(Ordering::Relaxed)
     }
 
     /// Requests mirrored so far.
     pub fn mirrored(&self) -> u64 {
+        // ORDERING: monotone progress counter used for threshold checks;
+        // undercounting momentarily only defers the decision.
         self.mirrored.load(Ordering::Relaxed)
     }
 
     /// The slot's decision so far.
     pub fn decision(&self) -> Decision {
-        match self.decided.load(Ordering::Relaxed) {
+        // ORDERING: Acquire pairs with the SeqCst success of
+        // `claim_decision` — a reader that observes Promoted/Rejected
+        // must also observe everything the winner wrote before deciding.
+        match self.decided.load(Ordering::Acquire) {
             DECIDED_PROMOTED => Decision::Promoted,
             DECIDED_REJECTED => Decision::Rejected,
             _ => Decision::Pending,
@@ -350,6 +368,8 @@ impl ShadowState {
     }
 
     fn latency_quantile_us(&self, q: f64) -> u64 {
+        // ORDERING: quantiles over a live histogram are approximate by
+        // nature; relaxed reads only add noise within one request.
         let total: u64 = self.mirror_latency.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         if total == 0 {
             return 0;
@@ -357,6 +377,7 @@ impl ShadowState {
         let want = ((total as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, c) in self.mirror_latency.iter().enumerate() {
+            // ORDERING: same approximate-snapshot argument as above.
             seen += c.load(Ordering::Relaxed);
             if seen >= want {
                 return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
@@ -367,6 +388,9 @@ impl ShadowState {
 
     /// Snapshot the accumulated evidence as a report.
     pub fn report(&self, live_generation: u64, candidate_generation: u64) -> ShadowReport {
+        // ORDERING: the report is a statistical snapshot; each field is
+        // independently exact, and cross-field skew of a request or two
+        // is inherent to sampling a live system.
         let rel = Ordering::Relaxed;
         ShadowReport {
             live_generation,

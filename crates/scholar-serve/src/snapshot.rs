@@ -373,10 +373,15 @@ pub fn write_snapshot(
     std::mem::forget(out);
     // Make the rename durable; failure here is not a torn snapshot (the
     // rename is already atomic in-memory), so best effort.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = fsync_dir(dir);
     Ok(generation)
+}
+
+/// Fsync a directory so a rename into it survives a crash. The second
+/// half of the publish protocol every tmp-then-rename site in this
+/// crate follows: sync the file, rename, sync the parent dir.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 /// Removes the tmp file if the writer errors out partway.

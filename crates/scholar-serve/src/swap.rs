@@ -77,6 +77,7 @@ impl SharedIndex {
         // A poisoned lock only means some thread panicked while holding
         // it; the cell holds a bare `Arc` that is either the old or the
         // new index — never a torn value — so keep serving.
+        // lint: allow(BLOCKING-IN-EVENT-LOOP) read lock over an Arc clone; the only writer is the rare generation publish, which holds it for one pointer swap
         Arc::clone(&self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
@@ -93,6 +94,7 @@ impl SharedIndex {
         // `generation()` never runs ahead of what readers can load.
         // Same poisoning argument as `load`: the `Arc` swap below is the
         // only write and cannot be observed half-done.
+        // lint: allow(BLOCKING-IN-EVENT-LOOP) publish happens at most once per index rebuild; the critical section is a generation stamp plus one Arc swap
         let mut current = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         index.set_generation(g);
@@ -108,10 +110,12 @@ impl SharedIndex {
     fn shadow_read(&self) -> std::sync::RwLockReadGuard<'_, Option<ShadowSlot>> {
         // Same poisoning argument as `load`: the slot is replaced whole,
         // never mutated in place, so a panicking holder cannot tear it.
+        // lint: allow(BLOCKING-IN-EVENT-LOOP) shadow slot reads are short Option peeks; writers hold the lock only to swap the slot during rare stage/promote
         self.shadow.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn shadow_write(&self) -> std::sync::RwLockWriteGuard<'_, Option<ShadowSlot>> {
+        // lint: allow(BLOCKING-IN-EVENT-LOOP) taken only at stage/decide time (bounded by rebuild frequency), never per request; holders swap the slot and release
         self.shadow.write().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -294,6 +294,9 @@ pub fn rotate(dir: &Path, base_seq: u64) -> Result<Wal> {
     wal_append_check()?;
     let path = wal_path(dir);
     std::fs::rename(&tmp, &path)?;
+    // Make the rename durable: fsync the directory so a crash cannot
+    // resurrect the pre-rotation log.
+    crate::snapshot::fsync_dir(dir)?;
     let file = OpenOptions::new().append(true).open(&path)?;
     Ok(Wal { file, path, next_seq: kept.high_water() + 1, poisoned: false })
 }

@@ -291,11 +291,22 @@ impl MmapCsrBuilder {
         file.sync_all()?;
         drop(file);
         std::fs::rename(&tmp, &self.path)?;
+        // Make the rename durable: fsync the parent directory so a crash
+        // cannot resurrect a stale (or absent) shard file.
+        if let Some(dir) = self.path.parent() {
+            fsync_dir(dir)?;
+        }
         for sp in &self.spill_paths {
             let _ = std::fs::remove_file(sp);
         }
         Ok(())
     }
+}
+
+/// Fsync a directory so a rename into it survives a crash — the second
+/// half of the tmp-then-rename publish protocol.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 fn read_spill(path: &Path) -> io::Result<Vec<(u32, u32, f64)>> {
